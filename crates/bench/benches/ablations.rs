@@ -1,0 +1,44 @@
+//! Ablation benches for the design choices called out in Sections 4.2/4.3
+//! of the paper: score normalisation, the precision/generality weight,
+//! balanced sampling and the training-sample size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfxplain_bench::experiments::ablations;
+use perfxplain_bench::ExperimentContext;
+use perfxplain_core::PerfXplain;
+use std::hint::black_box;
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::quick(0xAB1A);
+    ctx.runs = 2;
+
+    for result in ablations(&ctx, &ctx.job_query) {
+        println!(
+            "ablation {:<32} precision={:.2} generality={:.2}",
+            result.name, result.precision.mean, result.generality.mean
+        );
+    }
+
+    let mut group = c.benchmark_group("ablations");
+    group.sample_size(10);
+    let variants = [
+        ("paper_defaults", ctx.config.clone()),
+        ("no_normalisation", ctx.config.clone().with_normalize_scores(false)),
+        ("unbalanced_sampling", ctx.config.clone().with_balanced_sampling(false)),
+        ("sample_size_200", ctx.config.clone().with_sample_size(200)),
+    ];
+    for (name, config) in variants {
+        let engine = PerfXplain::new(config.with_width(3));
+        group.bench_with_input(BenchmarkId::new("explain", name), &name, |b, _| {
+            b.iter(|| {
+                engine
+                    .explain(black_box(&ctx.log), &ctx.job_query.bound)
+                    .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

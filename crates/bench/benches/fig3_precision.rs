@@ -1,0 +1,65 @@
+//! Figures 3(a) and 3(b): precision vs explanation width for the three
+//! explanation-generation techniques, on the task-level query
+//! (*WhyLastTaskFaster*) and the job-level query
+//! (*WhySlowerDespiteSameNumInstances*).
+//!
+//! The bench measures the cost of one generate-and-evaluate round per
+//! technique; the full multi-run figure is produced by the `reproduce`
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfxplain_bench::experiments::precision_vs_width;
+use perfxplain_bench::ExperimentContext;
+use perfxplain_core::eval::{related_pairs_for_evaluation, split_log};
+use perfxplain_core::{generate_explanation, Technique};
+use std::hint::black_box;
+
+fn bench_fig3(c: &mut Criterion) {
+    let ctx = ExperimentContext::quick(3163);
+
+    // Print the regenerated (quick-scale) series once so that bench output
+    // doubles as a sanity check of the figure's shape.
+    for (figure, binding) in [("fig3a", &ctx.task_query), ("fig3b", &ctx.job_query)] {
+        let series = precision_vs_width(&ctx, binding);
+        for s in &series {
+            let line: Vec<String> = s
+                .points
+                .iter()
+                .map(|p| format!("w{}={:.2}", p.width, p.precision.mean))
+                .collect();
+            println!("{figure} {}: {}", s.technique, line.join(" "));
+        }
+    }
+
+    let mut group = c.benchmark_group("fig3_precision");
+    group.sample_size(10);
+    for (name, binding) in [
+        ("WhyLastTaskFaster", &ctx.task_query),
+        ("WhySlowerDespiteSameNumInstances", &ctx.job_query),
+    ] {
+        let (train, test) = split_log(&ctx.log, &binding.bound, 0.5, 7);
+        let test_set = related_pairs_for_evaluation(&test, &binding.bound, &ctx.config);
+        for technique in Technique::all() {
+            group.bench_with_input(
+                BenchmarkId::new(name, technique.to_string()),
+                &technique,
+                |b, &technique| {
+                    b.iter(|| {
+                        let explanation = generate_explanation(
+                            technique,
+                            black_box(&train),
+                            &binding.bound,
+                            &ctx.config,
+                        )
+                        .expect("explanation");
+                        perfxplain_core::metrics::precision(&test_set, &explanation).value
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 3(c): explaining a pair of `simple-filter.pig` jobs when the log
+//! contains only `simple-groupby.pig` jobs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfxplain_bench::experiments::different_job_log;
+use perfxplain_bench::ExperimentContext;
+use std::hint::black_box;
+
+fn bench_fig3c(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::quick(1633);
+    ctx.runs = 1;
+    ctx.widths = vec![0, 1, 2, 3];
+
+    let series = different_job_log(&ctx);
+    for s in &series {
+        let line: Vec<String> = s
+            .points
+            .iter()
+            .map(|p| format!("w{}={:.2}", p.width, p.precision.mean))
+            .collect();
+        println!("fig3c {}: {}", s.technique, line.join(" "));
+    }
+
+    let mut group = c.benchmark_group("fig3c_different_job");
+    group.sample_size(10);
+    group.bench_function("all_techniques", |b| {
+        b.iter(|| different_job_log(black_box(&ctx)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3c);
+criterion_main!(benches);

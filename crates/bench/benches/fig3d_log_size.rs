@@ -1,0 +1,52 @@
+//! Figure 3(d): width-3 precision as a function of the training-log size
+//! (10% … 50% of the jobs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfxplain_bench::experiments::log_size_sweep;
+use perfxplain_bench::ExperimentContext;
+use perfxplain_core::eval::{related_pairs_for_evaluation, split_log};
+use perfxplain_core::{generate_explanation, Technique};
+use std::hint::black_box;
+
+fn bench_fig3d(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::quick(1634);
+    ctx.runs = 2;
+
+    let series = log_size_sweep(&ctx, &ctx.job_query, &[0.1, 0.3, 0.5]);
+    for s in &series {
+        let line: Vec<String> = s
+            .points
+            .iter()
+            .map(|(f, agg)| format!("{:.0}%={:.2}", f * 100.0, agg.mean))
+            .collect();
+        println!("fig3d {}: {}", s.technique, line.join(" "));
+    }
+
+    let mut group = c.benchmark_group("fig3d_log_size");
+    group.sample_size(10);
+    for fraction in [0.1f64, 0.5] {
+        let (train, test) = split_log(&ctx.log, &ctx.job_query.bound, fraction, 11);
+        let test_set = related_pairs_for_evaluation(&test, &ctx.job_query.bound, &ctx.config);
+        group.bench_with_input(
+            BenchmarkId::new("perfxplain_width3", format!("{:.0}%", fraction * 100.0)),
+            &fraction,
+            |b, _| {
+                b.iter(|| {
+                    let explanation = generate_explanation(
+                        Technique::PerfXplain,
+                        black_box(&train),
+                        &ctx.job_query.bound,
+                        &ctx.config,
+                    );
+                    explanation
+                        .ok()
+                        .and_then(|e| perfxplain_core::metrics::precision(&test_set, &e).value)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig3d);
+criterion_main!(benches);

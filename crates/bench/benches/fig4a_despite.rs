@@ -1,0 +1,43 @@
+//! Figure 4(a): relevance of PerfXplain-generated despite clauses as a
+//! function of their width, for both queries.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfxplain_bench::experiments::despite_relevance;
+use perfxplain_bench::ExperimentContext;
+use perfxplain_core::PerfXplain;
+use std::hint::black_box;
+
+fn bench_fig4a(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::quick(1641);
+    ctx.runs = 2;
+
+    for binding in [&ctx.task_query, &ctx.job_query] {
+        let result = despite_relevance(&ctx, binding);
+        let line: Vec<String> = result
+            .series
+            .iter()
+            .map(|p| format!("w{}={:.2}", p.width, p.relevance.mean))
+            .collect();
+        println!("fig4a {}: {}", result.query, line.join(" "));
+    }
+
+    let mut group = c.benchmark_group("fig4a_despite_generation");
+    group.sample_size(10);
+    for (name, binding) in [
+        ("WhyLastTaskFaster", &ctx.task_query),
+        ("WhySlowerDespiteSameNumInstances", &ctx.job_query),
+    ] {
+        // Benchmark the despite-clause generation on an under-specified
+        // version of the query (empty DESPITE clause).
+        let mut bound = binding.bound.clone();
+        bound.query = bound.query.clone().with_despite(pxql::Predicate::always_true());
+        let engine = PerfXplain::new(ctx.config.clone());
+        group.bench_with_input(BenchmarkId::new("generate_despite", name), &bound, |b, bound| {
+            b.iter(|| engine.generate_despite(black_box(&ctx.log), bound).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4a);
+criterion_main!(benches);

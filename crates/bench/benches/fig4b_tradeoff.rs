@@ -1,0 +1,48 @@
+//! Figure 4(b): the precision / generality trade-off of the three
+//! techniques.  The same data as Figure 3(b) is used; this bench reports the
+//! generality side and measures the cost of computing both metrics over the
+//! related pairs of a test log.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfxplain_bench::experiments::precision_vs_width;
+use perfxplain_bench::ExperimentContext;
+use perfxplain_core::eval::{related_pairs_for_evaluation, split_log};
+use perfxplain_core::{generate_explanation, metrics, Technique};
+use std::hint::black_box;
+
+fn bench_fig4b(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::quick(1642);
+    ctx.runs = 2;
+
+    let series = precision_vs_width(&ctx, &ctx.job_query);
+    for s in &series {
+        for p in &s.points {
+            if p.width > 0 && p.precision.samples > 0 {
+                println!(
+                    "fig4b {} w{}: generality={:.2} precision={:.2}",
+                    s.technique, p.width, p.generality.mean, p.precision.mean
+                );
+            }
+        }
+    }
+
+    let (train, test) = split_log(&ctx.log, &ctx.job_query.bound, 0.5, 3);
+    let test_set = related_pairs_for_evaluation(&test, &ctx.job_query.bound, &ctx.config);
+    let explanation =
+        generate_explanation(Technique::PerfXplain, &train, &ctx.job_query.bound, &ctx.config)
+            .expect("explanation");
+
+    let mut group = c.benchmark_group("fig4b_tradeoff");
+    group.sample_size(20);
+    group.bench_function("precision_and_generality_on_test_pairs", |b| {
+        b.iter(|| {
+            let p = metrics::precision(black_box(&test_set), &explanation).value;
+            let g = metrics::generality(black_box(&test_set), &explanation).value;
+            (p, g)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4b);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Figure 4(c): PerfXplain's precision when the feature vocabulary is
+//! restricted to level 1 (isSame only), level 2 (+compare/diff) or level 3
+//! (all pair features).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use perfxplain_bench::experiments::feature_levels;
+use perfxplain_bench::ExperimentContext;
+use perfxplain_core::{FeatureLevel, PerfXplain};
+use std::hint::black_box;
+
+fn bench_fig4c(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::quick(1643);
+    ctx.runs = 2;
+
+    let series = feature_levels(&ctx, &ctx.job_query);
+    for s in &series {
+        let line: Vec<String> = s
+            .points
+            .iter()
+            .map(|p| format!("w{}={:.2}", p.width, p.precision.mean))
+            .collect();
+        println!("fig4c {}: {}", s.level, line.join(" "));
+    }
+
+    let mut group = c.benchmark_group("fig4c_feature_levels");
+    group.sample_size(10);
+    for level in FeatureLevel::all() {
+        let config = ctx.config.clone().with_feature_level(level).with_width(3);
+        let engine = PerfXplain::new(config);
+        group.bench_with_input(
+            BenchmarkId::new("explain", format!("{level}")),
+            &level,
+            |b, _| {
+                b.iter(|| {
+                    engine
+                        .explain(black_box(&ctx.log), &ctx.job_query.bound)
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4c);
+criterion_main!(benches);

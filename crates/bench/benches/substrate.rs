@@ -1,0 +1,102 @@
+//! Micro-benchmarks of the substrate layers: the cluster simulator, the
+//! Hadoop history/Ganglia writers and parsers, the feature collector, the
+//! pair-feature constructor and the core ML primitives.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hadoop_logs::{parse_job_history, render_job_history, JobLogBundle, LogCollector};
+use mlcore::{balanced_sample, best_split_for_attribute, AttrValue, Attribute, Dataset};
+use mrsim::{Cluster, ClusterSpec, JobSpec, PigScript, GB, MB};
+use perfxplain_core::{compute_pair_features, ExecutionLog};
+use std::hint::black_box;
+
+fn job_trace(instances: usize, seed: u64) -> mrsim::JobTrace {
+    let mut cluster = Cluster::new(ClusterSpec::with_instances(instances), seed);
+    cluster.run_job(JobSpec {
+        name: "bench".to_string(),
+        script: PigScript::SimpleGroupBy,
+        input_bytes: (1.3 * GB as f64) as u64,
+        input_records: 13_000_000,
+        dfs_block_size: 64 * MB,
+        reduce_tasks_factor: 1.5,
+        io_sort_factor: 10,
+        submit_time: 0.0,
+    })
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("substrate/simulator");
+    group.sample_size(20);
+    for instances in [2usize, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("run_job", format!("{instances}_instances")),
+            &instances,
+            |b, &instances| {
+                let mut seed = 0;
+                b.iter(|| {
+                    seed += 1;
+                    job_trace(black_box(instances), seed)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_hadoop_logs(c: &mut Criterion) {
+    let trace = job_trace(8, 1);
+    let history = render_job_history(&trace);
+    let bundle = JobLogBundle::from_trace(&trace);
+
+    let mut group = c.benchmark_group("substrate/hadoop_logs");
+    group.sample_size(20);
+    group.bench_function("render_job_history", |b| {
+        b.iter(|| render_job_history(black_box(&trace)))
+    });
+    group.bench_function("parse_job_history", |b| {
+        b.iter(|| parse_job_history(black_box(&history)).unwrap())
+    });
+    group.bench_function("collect_bundle", |b| {
+        let collector = LogCollector::new();
+        b.iter(|| {
+            let mut log = ExecutionLog::new();
+            collector.collect_bundle(black_box(&bundle), &mut log).unwrap();
+            log
+        })
+    });
+    group.finish();
+}
+
+fn bench_core_primitives(c: &mut Criterion) {
+    // Pair-feature construction over a realistic task catalog.
+    let trace = job_trace(8, 2);
+    let log = hadoop_logs::collect_traces(&[trace]).unwrap();
+    let tasks: Vec<_> = log.tasks().collect();
+    let catalog = log.task_catalog();
+
+    let mut group = c.benchmark_group("substrate/core_primitives");
+    group.sample_size(30);
+    group.bench_function("compute_pair_features_task", |b| {
+        b.iter(|| compute_pair_features(black_box(catalog), tasks[0], tasks[1], 0.1))
+    });
+
+    // Balanced sampling over a skewed label vector.
+    let labels: Vec<bool> = (0..50_000).map(|i| i % 20 != 0).collect();
+    group.bench_function("balanced_sample_50k", |b| {
+        b.iter(|| balanced_sample(black_box(&labels), 2_000, 7))
+    });
+
+    // Information-gain split search over a numeric attribute.
+    let mut dataset = Dataset::new(vec![Attribute::numeric("x")]);
+    for i in 0..2_000 {
+        let x = (i % 997) as f64;
+        dataset.push(vec![AttrValue::Num(x)], x > 500.0);
+    }
+    let indices: Vec<usize> = (0..dataset.len()).collect();
+    group.bench_function("best_split_2000_rows", |b| {
+        b.iter(|| best_split_for_attribute(black_box(&dataset), &indices, 0).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_hadoop_logs, bench_core_primitives);
+criterion_main!(benches);

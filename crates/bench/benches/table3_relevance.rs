@@ -1,0 +1,30 @@
+//! Table 3: relevance of the two PXQL queries with an empty despite clause
+//! versus with a PerfXplain-generated despite clause.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use perfxplain_bench::experiments::despite_relevance;
+use perfxplain_bench::ExperimentContext;
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let mut ctx = ExperimentContext::quick(7333);
+    ctx.runs = 2;
+
+    for binding in [&ctx.task_query, &ctx.job_query] {
+        let result = despite_relevance(&ctx, binding);
+        println!(
+            "table3 {}: relevance before={:.2} after={:.2}",
+            result.query, result.before.mean, result.after.mean
+        );
+    }
+
+    let mut group = c.benchmark_group("table3_relevance");
+    group.sample_size(10);
+    group.bench_function("despite_relevance_job_query", |b| {
+        b.iter(|| despite_relevance(black_box(&ctx), &ctx.job_query))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

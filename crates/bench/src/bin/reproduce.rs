@@ -1,0 +1,308 @@
+//! Regenerate the tables and figures of the PerfXplain paper.
+//!
+//! ```text
+//! cargo run --release -p perfxplain-bench --bin reproduce -- [EXPERIMENT] [OPTIONS]
+//!
+//! EXPERIMENT:  table2 | table3 | fig3a | fig3b | fig3c | fig3d |
+//!              fig4a | fig4b | fig4c | ablations | all        (default: all)
+//!
+//! OPTIONS:
+//!   --preset tiny|small|paper   workload preset behind the log  (default: small)
+//!   --runs N                    repeated train/test rounds      (default: 10)
+//!   --seed N                    master seed                     (default: 42)
+//! ```
+
+use perfxplain_bench::experiments::{
+    ablations, despite_relevance, different_job_log, feature_levels, log_size_sweep,
+    precision_vs_width, table2_summary, TechniqueSeries,
+};
+use perfxplain_bench::{fmt_aggregate, render_table, ExperimentContext};
+use workload::LogPreset;
+
+struct Options {
+    experiment: String,
+    preset: LogPreset,
+    runs: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Options {
+    let mut options = Options {
+        experiment: "all".to_string(),
+        preset: LogPreset::Small,
+        runs: 10,
+        seed: 42,
+    };
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--preset" => {
+                i += 1;
+                options.preset = match args.get(i).map(String::as_str) {
+                    Some("tiny") => LogPreset::Tiny,
+                    Some("small") => LogPreset::Small,
+                    Some("paper") => LogPreset::PaperGrid,
+                    other => {
+                        eprintln!("unknown preset {other:?} (expected tiny|small|paper)");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--runs" => {
+                i += 1;
+                options.runs = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--runs expects a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--seed" => {
+                i += 1;
+                options.seed = args
+                    .get(i)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed expects a number");
+                        std::process::exit(2);
+                    });
+            }
+            "--help" | "-h" => {
+                println!("see the module documentation at the top of reproduce.rs");
+                std::process::exit(0);
+            }
+            name if !name.starts_with("--") => options.experiment = name.to_string(),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    options
+}
+
+fn width_series_rows(series: &[TechniqueSeries]) -> Vec<Vec<String>> {
+    let mut rows = Vec::new();
+    if series.is_empty() {
+        return rows;
+    }
+    for (i, point) in series[0].points.iter().enumerate() {
+        let mut row = vec![point.width.to_string()];
+        for s in series {
+            row.push(fmt_aggregate(&s.points[i].precision));
+        }
+        rows.push(row);
+    }
+    rows
+}
+
+fn print_fig3_like(title: &str, series: &[TechniqueSeries]) {
+    let names: Vec<String> = series.iter().map(|s| s.technique.to_string()).collect();
+    let mut headers: Vec<&str> = vec!["width"];
+    headers.extend(names.iter().map(String::as_str));
+    println!("{}", render_table(title, &headers, &width_series_rows(series)));
+}
+
+fn print_tradeoff(title: &str, series: &[TechniqueSeries]) {
+    let mut rows = Vec::new();
+    for s in series {
+        for p in &s.points {
+            if p.width == 0 {
+                continue;
+            }
+            rows.push(vec![
+                s.technique.to_string(),
+                p.width.to_string(),
+                fmt_aggregate(&p.generality),
+                fmt_aggregate(&p.precision),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(title, &["technique", "width", "generality", "precision"], &rows)
+    );
+}
+
+fn main() {
+    let options = parse_args();
+    println!(
+        "PerfXplain reproduction — preset {:?} ({} jobs), {} runs, seed {}\n",
+        options.preset,
+        options.preset.num_jobs(),
+        options.runs,
+        options.seed
+    );
+    println!("building the execution log (simulate + render Hadoop/Ganglia logs + parse + collect)...");
+    let start = std::time::Instant::now();
+    let ctx = ExperimentContext::prepare(options.preset, options.seed, options.runs);
+    println!(
+        "  log ready in {:.1} s: {} jobs, {} tasks, {} job features, {} task features\n",
+        start.elapsed().as_secs_f64(),
+        ctx.log.jobs().count(),
+        ctx.log.tasks().count(),
+        ctx.log.job_catalog().len(),
+        ctx.log.task_catalog().len()
+    );
+
+    let experiment = options.experiment.as_str();
+    let want = |name: &str| experiment == name || experiment == "all";
+
+    if want("table2") {
+        let (parameters, measured) = table2_summary(&ctx);
+        println!(
+            "{}",
+            render_table("Table 2: varied parameters", &["Parameter", "Different values"], &parameters)
+        );
+        println!(
+            "{}",
+            render_table(
+                "Table 2 (measured): collected log summary",
+                &["script", "instances", "jobs", "mean duration (s)", "min", "max"],
+                &measured
+            )
+        );
+    }
+
+    if want("fig3a") || want("fig4b") {
+        let series = precision_vs_width(&ctx, &ctx.task_query);
+        if want("fig3a") {
+            print_fig3_like("Figure 3(a): precision vs width — WhyLastTaskFaster", &series);
+        }
+    }
+
+    let job_series = if want("fig3b") || want("fig4b") {
+        Some(precision_vs_width(&ctx, &ctx.job_query))
+    } else {
+        None
+    };
+    if want("fig3b") {
+        print_fig3_like(
+            "Figure 3(b): precision vs width — WhySlowerDespiteSameNumInstances",
+            job_series.as_ref().unwrap(),
+        );
+    }
+
+    if want("fig3c") {
+        let series = different_job_log(&ctx);
+        print_fig3_like(
+            "Figure 3(c): precision vs width when the log contains only simple-groupby.pig jobs",
+            &series,
+        );
+    }
+
+    if want("fig3d") {
+        let series = log_size_sweep(&ctx, &ctx.job_query, &[0.1, 0.2, 0.3, 0.4, 0.5]);
+        let mut rows = Vec::new();
+        for (i, fraction) in [0.1, 0.2, 0.3, 0.4, 0.5].iter().enumerate() {
+            let mut row = vec![format!("{fraction:.1}")];
+            for s in &series {
+                row.push(fmt_aggregate(&s.points[i].1));
+            }
+            rows.push(row);
+        }
+        let names: Vec<String> = series.iter().map(|s| s.technique.to_string()).collect();
+        let mut headers = vec!["% of log"];
+        headers.extend(names.iter().map(String::as_str));
+        println!(
+            "{}",
+            render_table(
+                "Figure 3(d): width-3 precision vs training-log size — WhySlowerDespiteSameNumInstances",
+                &headers,
+                &rows
+            )
+        );
+    }
+
+    if want("table3") || want("fig4a") {
+        let task = despite_relevance(&ctx, &ctx.task_query);
+        let job = despite_relevance(&ctx, &ctx.job_query);
+        if want("table3") {
+            let rows = vec![
+                vec![
+                    format!("1 ({})", task.query),
+                    fmt_aggregate(&task.before),
+                    fmt_aggregate(&task.after),
+                ],
+                vec![
+                    format!("2 ({})", job.query),
+                    fmt_aggregate(&job.before),
+                    fmt_aggregate(&job.after),
+                ],
+            ];
+            println!(
+                "{}",
+                render_table(
+                    "Table 3: relevance with an empty vs a PerfXplain-generated despite clause (width 3)",
+                    &["Query", "Avg relevance before", "Avg relevance after"],
+                    &rows
+                )
+            );
+        }
+        if want("fig4a") {
+            let mut rows = Vec::new();
+            for (i, point) in task.series.iter().enumerate() {
+                rows.push(vec![
+                    point.width.to_string(),
+                    fmt_aggregate(&point.relevance),
+                    fmt_aggregate(&job.series[i].relevance),
+                ]);
+            }
+            println!(
+                "{}",
+                render_table(
+                    "Figure 4(a): relevance of PerfXplain-generated despite clauses",
+                    &["width", "WhyLastTaskFaster", "WhySlowerDespiteSameNumInstances"],
+                    &rows
+                )
+            );
+        }
+    }
+
+    if want("fig4b") {
+        print_tradeoff(
+            "Figure 4(b): precision vs generality — WhySlowerDespiteSameNumInstances",
+            job_series.as_ref().unwrap(),
+        );
+    }
+
+    if want("fig4c") {
+        let series = feature_levels(&ctx, &ctx.job_query);
+        let mut rows = Vec::new();
+        for (i, &width) in ctx.widths.iter().enumerate() {
+            let mut row = vec![width.to_string()];
+            for s in &series {
+                row.push(fmt_aggregate(&s.points[i].precision));
+            }
+            rows.push(row);
+        }
+        println!(
+            "{}",
+            render_table(
+                "Figure 4(c): precision per feature level — WhySlowerDespiteSameNumInstances",
+                &["width", "level 1 (isSame)", "level 2 (+compare/diff)", "level 3 (all)"],
+                &rows
+            )
+        );
+    }
+
+    if want("ablations") {
+        let rows: Vec<Vec<String>> = ablations(&ctx, &ctx.job_query)
+            .into_iter()
+            .map(|a| vec![a.name, fmt_aggregate(&a.precision), fmt_aggregate(&a.generality)])
+            .collect();
+        println!(
+            "{}",
+            render_table(
+                "Ablations (width 3, WhySlowerDespiteSameNumInstances)",
+                &["variant", "precision", "generality"],
+                &rows
+            )
+        );
+    }
+
+    println!("total time: {:.1} s", start.elapsed().as_secs_f64());
+}

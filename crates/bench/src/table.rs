@@ -1,0 +1,91 @@
+//! Plain-text table rendering for the `reproduce` binary and the benches.
+
+/// Renders a titled, column-aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            } else {
+                widths.push(cell.len());
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+    out.push_str(&"=".repeat(title.len().max(total)));
+    out.push('\n');
+
+    let render_row = |cells: &[String]| -> String {
+        let mut line = String::new();
+        for (i, width) in widths.iter().enumerate() {
+            if i > 0 {
+                line.push_str(" | ");
+            }
+            let cell = cells.get(i).map(String::as_str).unwrap_or("");
+            line.push_str(&format!("{cell:<width$}"));
+        }
+        line.trim_end().to_string()
+    };
+
+    out.push_str(&render_row(
+        &headers.iter().map(|h| h.to_string()).collect::<Vec<_>>(),
+    ));
+    out.push('\n');
+    out.push_str(&"-".repeat(total.max(title.len())));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&render_row(row));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats an aggregate as `mean ± stddev`.
+pub fn fmt_aggregate(agg: &perfxplain_core::Aggregate) -> String {
+    if agg.samples == 0 {
+        "n/a".to_string()
+    } else {
+        format!("{:.2} ± {:.2}", agg.mean, agg.stddev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfxplain_core::Aggregate;
+
+    #[test]
+    fn table_is_aligned_and_complete() {
+        let text = render_table(
+            "Figure X",
+            &["width", "precision"],
+            &[
+                vec!["0".to_string(), "0.50".to_string()],
+                vec!["3".to_string(), "0.93".to_string()],
+            ],
+        );
+        assert!(text.starts_with("Figure X\n"));
+        assert!(text.contains("width | precision"));
+        assert!(text.lines().count() >= 6);
+        assert!(text.contains("3     | 0.93"));
+    }
+
+    #[test]
+    fn aggregates_format_with_uncertainty() {
+        let agg = Aggregate {
+            mean: 0.875,
+            stddev: 0.0321,
+            samples: 10,
+        };
+        assert_eq!(fmt_aggregate(&agg), "0.88 ± 0.03");
+        assert_eq!(
+            fmt_aggregate(&Aggregate::default()),
+            "n/a"
+        );
+    }
+}

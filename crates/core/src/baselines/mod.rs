@@ -1,0 +1,7 @@
+//! The two naïve explanation-generation baselines of Section 5.
+
+pub mod ruleofthumb;
+pub mod simbutdiff;
+
+pub use ruleofthumb::RuleOfThumb;
+pub use simbutdiff::SimButDiff;

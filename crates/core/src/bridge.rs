@@ -1,0 +1,258 @@
+//! Bridge between the pair-feature representation (PXQL [`Value`]s) and the
+//! columnar dataset representation `mlcore` uses for split search.
+//!
+//! The bridge owns the attribute schema (one attribute per allowed pair
+//! feature), the interning dictionaries for nominal values, the mapping from
+//! interned ids back to the *original* `Value`s (so that learned tests can
+//! be turned back into PXQL atoms, including `diff` features whose values
+//! are pairs), and the pair-of-interest's row, which Algorithm 1 needs to
+//! enforce applicability.
+
+use crate::features::FeatureKind;
+use crate::pairs::{PairCatalog, PairExample};
+use crate::training::TrainingSet;
+use mlcore::{AttrValue, Attribute, Dataset, TestAtom, TestConstant, TestOp};
+use pxql::{Atom, Op, Value};
+
+/// The columnar view of a training set plus the pair of interest.
+#[derive(Debug, Clone)]
+pub struct DatasetBridge {
+    dataset: Dataset,
+    attr_names: Vec<String>,
+    /// For every attribute, the original `Value` behind each interned
+    /// nominal id (empty for numeric attributes).
+    originals: Vec<Vec<Value>>,
+    poi_row: Vec<AttrValue>,
+}
+
+impl DatasetBridge {
+    /// Builds the bridge from a training set.
+    ///
+    /// * `catalog` — the pair features to expose as attributes (already
+    ///   restricted to the configured feature level);
+    /// * `excluded_raw` — raw features whose derived pair features must not
+    ///   appear in explanations (the query's own performance metric plus any
+    ///   user-configured exclusions);
+    /// * `poi` — the pair of interest, interned alongside the training pairs
+    ///   so applicability can be checked per candidate test.
+    pub fn build(
+        set: &TrainingSet,
+        poi: &PairExample,
+        catalog: &PairCatalog,
+        excluded_raw: &[String],
+    ) -> Self {
+        let defs: Vec<_> = catalog
+            .defs()
+            .iter()
+            .filter(|d| !excluded_raw.iter().any(|x| x == &d.raw))
+            .collect();
+
+        let attributes: Vec<Attribute> = defs
+            .iter()
+            .map(|d| match d.kind {
+                FeatureKind::Numeric => Attribute::numeric(d.name.clone()),
+                FeatureKind::Nominal => Attribute::nominal(d.name.clone()),
+            })
+            .collect();
+        let attr_names: Vec<String> = defs.iter().map(|d| d.name.clone()).collect();
+        let mut dataset = Dataset::new(attributes);
+        let mut originals: Vec<Vec<Value>> = vec![Vec::new(); defs.len()];
+
+        let encode_row = |dataset: &mut Dataset,
+                              originals: &mut Vec<Vec<Value>>,
+                              pair: &PairExample|
+         -> Vec<AttrValue> {
+            defs.iter()
+                .enumerate()
+                .map(|(i, def)| {
+                    let value = pair.feature(&def.name);
+                    encode_value(dataset, originals, i, def.kind, value)
+                })
+                .collect()
+        };
+
+        // Intern the pair of interest first so that its values always exist
+        // in the dictionaries (candidate equality tests can then target
+        // them).
+        let poi_row = encode_row(&mut dataset, &mut originals, poi);
+        for (example, label) in set.iter() {
+            let row = encode_row(&mut dataset, &mut originals, example);
+            dataset.push(row, label);
+        }
+
+        DatasetBridge {
+            dataset,
+            attr_names,
+            originals,
+            poi_row,
+        }
+    }
+
+    /// The columnar dataset (one row per training pair).
+    pub fn dataset(&self) -> &Dataset {
+        &self.dataset
+    }
+
+    /// Number of attributes exposed to the split search.
+    pub fn num_attributes(&self) -> usize {
+        self.attr_names.len()
+    }
+
+    /// Name of attribute `index`.
+    pub fn attr_name(&self, index: usize) -> &str {
+        &self.attr_names[index]
+    }
+
+    /// The pair of interest's value for attribute `index`.
+    pub fn poi_value(&self, index: usize) -> AttrValue {
+        self.poi_row[index]
+    }
+
+    /// Converts a learned test back into a PXQL atom, resolving interned
+    /// nominal ids to their original values.
+    pub fn atom_to_pxql(&self, atom: &TestAtom) -> Atom {
+        let feature = self.attr_names[atom.attribute].clone();
+        let (op, constant) = match (atom.op, atom.constant) {
+            (TestOp::Eq, TestConstant::Num(v)) => (Op::Eq, Value::Num(v)),
+            (TestOp::Le, TestConstant::Num(v)) => (Op::Le, Value::Num(v)),
+            (TestOp::Gt, TestConstant::Num(v)) => (Op::Gt, Value::Num(v)),
+            (_, TestConstant::Nom(id)) => (
+                Op::Eq,
+                self.originals[atom.attribute]
+                    .get(id as usize)
+                    .cloned()
+                    .unwrap_or(Value::Null),
+            ),
+        };
+        Atom {
+            feature,
+            op,
+            constant,
+        }
+    }
+}
+
+/// Encodes one pair-feature value into the dataset representation, interning
+/// nominal values and remembering their originals.
+fn encode_value(
+    dataset: &mut Dataset,
+    originals: &mut [Vec<Value>],
+    attr_index: usize,
+    kind: FeatureKind,
+    value: Value,
+) -> AttrValue {
+    match (&value, kind) {
+        (Value::Null, _) => AttrValue::Missing,
+        (Value::Num(v), FeatureKind::Numeric) => AttrValue::Num(*v),
+        _ => {
+            // Everything else is treated as a nominal symbol keyed by its
+            // canonical text form.
+            let key = value.to_string();
+            let dictionary = &mut dataset.attribute_mut(attr_index).dictionary;
+            let id = dictionary.intern(&key);
+            if id as usize == originals[attr_index].len() {
+                originals[attr_index].push(value);
+            }
+            AttrValue::Nom(id)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::features::{FeatureCatalog, FeatureDef};
+    use crate::pairs::{compute_pair_features, PairCatalog};
+    use crate::record::ExecutionRecord;
+    use mlcore::{TestAtom, TestConstant, TestOp};
+
+    fn setup() -> (DatasetBridge, PairCatalog) {
+        let raw = FeatureCatalog::from_defs(vec![
+            FeatureDef::numeric("inputsize"),
+            FeatureDef::nominal("pigscript"),
+            FeatureDef::numeric("duration"),
+        ]);
+        let catalog = PairCatalog::from_raw(&raw);
+
+        let job = |id: &str, size: f64, script: &str, duration: f64| {
+            ExecutionRecord::job(id)
+                .with_feature("inputsize", size)
+                .with_feature("pigscript", script)
+                .with_feature("duration", duration)
+        };
+        let a = job("a", 2.0e9, "filter.pig", 100.0);
+        let b = job("b", 1.0e9, "group.pig", 100.0);
+        let c = job("c", 2.0e9, "filter.pig", 300.0);
+
+        let mut set = TrainingSet::default();
+        for (left, right, label) in [(&a, &b, true), (&a, &c, false), (&b, &c, true)] {
+            set.examples.push(PairExample {
+                left_id: left.id.clone(),
+                right_id: right.id.clone(),
+                features: compute_pair_features(&raw, left, right, 0.1),
+            });
+            set.labels.push(label);
+        }
+        let poi = set.examples[0].clone();
+        let bridge = DatasetBridge::build(&set, &poi, &catalog, &["duration".to_string()]);
+        (bridge, catalog)
+    }
+
+    #[test]
+    fn excluded_raw_features_are_absent() {
+        let (bridge, catalog) = setup();
+        // duration contributes 4 pair features that must all be gone.
+        assert_eq!(bridge.num_attributes(), catalog.len() - 4);
+        assert!(!(0..bridge.num_attributes())
+            .any(|i| bridge.attr_name(i).starts_with("duration")));
+        assert_eq!(bridge.dataset().len(), 3);
+    }
+
+    #[test]
+    fn nominal_atoms_round_trip_to_pxql() {
+        let (bridge, _) = setup();
+        let attr = (0..bridge.num_attributes())
+            .find(|&i| bridge.attr_name(i) == "pigscript_diff")
+            .unwrap();
+        // The pair of interest (a, b) disagrees on the script, so its diff
+        // value is interned; id 0 belongs to it.
+        let atom = TestAtom {
+            attribute: attr,
+            op: TestOp::Eq,
+            constant: TestConstant::Nom(0),
+        };
+        let pxql_atom = bridge.atom_to_pxql(&atom);
+        assert_eq!(pxql_atom.feature, "pigscript_diff");
+        assert_eq!(
+            pxql_atom.constant,
+            Value::pair(Value::str("filter.pig"), Value::str("group.pig"))
+        );
+    }
+
+    #[test]
+    fn numeric_atoms_round_trip_to_pxql() {
+        let (bridge, _) = setup();
+        let attr = (0..bridge.num_attributes())
+            .find(|&i| bridge.attr_name(i) == "inputsize")
+            .unwrap();
+        let atom = TestAtom {
+            attribute: attr,
+            op: TestOp::Gt,
+            constant: TestConstant::Num(1.5e9),
+        };
+        let pxql_atom = bridge.atom_to_pxql(&atom);
+        assert_eq!(pxql_atom.op, Op::Gt);
+        assert_eq!(pxql_atom.constant, Value::Num(1.5e9));
+    }
+
+    #[test]
+    fn poi_row_is_available_for_applicability_checks() {
+        let (bridge, _) = setup();
+        let is_same_attr = (0..bridge.num_attributes())
+            .find(|&i| bridge.attr_name(i) == "pigscript_isSame")
+            .unwrap();
+        // The pair of interest disagrees on the script, so its isSame value
+        // is the interned form of `F`, not missing.
+        assert!(!matches!(bridge.poi_value(is_same_attr), AttrValue::Missing));
+    }
+}

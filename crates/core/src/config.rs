@@ -1,0 +1,173 @@
+//! Configuration of the explanation engine.
+
+use crate::levels::FeatureLevel;
+use serde::{Deserialize, Serialize};
+
+/// Tunables of PerfXplain and the baseline techniques.  The defaults are the
+/// values the paper reports using.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExplainConfig {
+    /// Width of the because clause (number of atomic predicates).
+    pub width: usize,
+    /// Width of an automatically generated despite clause (Section 6.4 uses
+    /// width 3).
+    pub despite_width: usize,
+    /// Weight of precision vs. generality in the predicate score
+    /// (`w = 0.8` in the paper, "thus favoring precision over generality").
+    pub precision_weight: f64,
+    /// Target size of the balanced training sample (2000 in the paper).
+    pub sample_size: usize,
+    /// Similarity band of the `compare` features (10% in the paper).
+    pub sim_threshold: f64,
+    /// Feature level available to the generator (Section 6.8); level 3 by
+    /// default.
+    pub feature_level: FeatureLevel,
+    /// Raw features that must never appear in generated clauses, in addition
+    /// to the features mentioned by the query's OBSERVED/EXPECTED clauses
+    /// (which are always excluded to avoid circular explanations).
+    ///
+    /// By default the wall-clock bookkeeping features are excluded: a job's
+    /// `finish_time` is `submit_time + duration`, so explaining a duration
+    /// difference with a finish-time difference would be circular in
+    /// disguise (the paper makes the related point that a `start_time`
+    /// explanation can be perfectly precise yet useless).
+    pub excluded_raw_features: Vec<String>,
+    /// Upper bound on the number of candidate pairs enumerated from the log
+    /// before classification; larger logs are subsampled deterministically.
+    pub max_candidate_pairs: usize,
+    /// Similarity threshold `s` of the SimButDiff baseline (0.9 in the
+    /// paper).
+    pub simbutdiff_similarity: f64,
+    /// Number of Relief iterations used by the RuleOfThumb baseline.
+    pub relief_iterations: usize,
+    /// Relevance threshold `r`: when the user's despite clause scores below
+    /// this, PerfXplain extends it automatically.
+    pub relevance_threshold: f64,
+    /// Whether per-iteration precision/generality scores are replaced by
+    /// their percentile ranks before the weighted combination
+    /// (`normalizeScore` in Algorithm 1).  The paper added this step after
+    /// observing that raw generality scores were too small to matter;
+    /// disabling it reproduces that earlier behaviour for the ablation
+    /// benchmarks.
+    pub normalize_scores: bool,
+    /// Whether the training sample is class-balanced (Section 4.3).  When
+    /// disabled, a uniform sample of the related pairs is used instead —
+    /// the ablation the paper motivates with the "99% observed pairs make
+    /// the empty explanation look good" argument.
+    pub balanced_sampling: bool,
+    /// Seed for all randomised steps (sampling, subsampling), making
+    /// explanation generation reproducible.
+    pub seed: u64,
+}
+
+impl Default for ExplainConfig {
+    fn default() -> Self {
+        ExplainConfig {
+            width: 3,
+            despite_width: 3,
+            precision_weight: 0.8,
+            sample_size: 2000,
+            sim_threshold: crate::pairs::DEFAULT_SIM_THRESHOLD,
+            feature_level: FeatureLevel::Level3,
+            excluded_raw_features: vec![
+                "submit_time".to_string(),
+                "launch_time".to_string(),
+                "finish_time".to_string(),
+                "start_time".to_string(),
+            ],
+            max_candidate_pairs: 250_000,
+            simbutdiff_similarity: 0.9,
+            relief_iterations: 200,
+            relevance_threshold: 0.8,
+            normalize_scores: true,
+            balanced_sampling: true,
+            seed: 0x9e3779b97f4a7c15,
+        }
+    }
+}
+
+impl ExplainConfig {
+    /// Builder-style setter for the explanation width.
+    pub fn with_width(mut self, width: usize) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Builder-style setter for the feature level.
+    pub fn with_feature_level(mut self, level: FeatureLevel) -> Self {
+        self.feature_level = level;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for the balanced-sample size.
+    pub fn with_sample_size(mut self, sample_size: usize) -> Self {
+        self.sample_size = sample_size;
+        self
+    }
+
+    /// Builder-style setter for the precision weight `w`.
+    pub fn with_precision_weight(mut self, weight: f64) -> Self {
+        self.precision_weight = weight;
+        self
+    }
+
+    /// Builder-style setter for the score-normalisation ablation switch.
+    pub fn with_normalize_scores(mut self, normalize: bool) -> Self {
+        self.normalize_scores = normalize;
+        self
+    }
+
+    /// Builder-style setter for the balanced-sampling ablation switch.
+    pub fn with_balanced_sampling(mut self, balanced: bool) -> Self {
+        self.balanced_sampling = balanced;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let config = ExplainConfig::default();
+        assert_eq!(config.width, 3);
+        assert_eq!(config.sample_size, 2000);
+        assert!((config.precision_weight - 0.8).abs() < 1e-12);
+        assert!((config.sim_threshold - 0.10).abs() < 1e-12);
+        assert!((config.simbutdiff_similarity - 0.9).abs() < 1e-12);
+        assert_eq!(config.feature_level, FeatureLevel::Level3);
+        assert!(config.normalize_scores);
+        assert!(config.balanced_sampling);
+    }
+
+    #[test]
+    fn ablation_builders() {
+        let config = ExplainConfig::default()
+            .with_precision_weight(0.5)
+            .with_normalize_scores(false)
+            .with_balanced_sampling(false);
+        assert!((config.precision_weight - 0.5).abs() < 1e-12);
+        assert!(!config.normalize_scores);
+        assert!(!config.balanced_sampling);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let config = ExplainConfig::default()
+            .with_width(5)
+            .with_feature_level(FeatureLevel::Level1)
+            .with_seed(42)
+            .with_sample_size(100);
+        assert_eq!(config.width, 5);
+        assert_eq!(config.feature_level, FeatureLevel::Level1);
+        assert_eq!(config.seed, 42);
+        assert_eq!(config.sample_size, 100);
+    }
+}

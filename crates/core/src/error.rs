@@ -1,0 +1,82 @@
+//! Error type of the PerfXplain core crate.
+
+use std::fmt;
+
+/// Errors surfaced by the explanation engine and the execution-log data
+/// model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// A record referenced by a query is not present in the execution log.
+    UnknownExecution(String),
+    /// The query references executions of a different kind (e.g. a task
+    /// query bound to job identifiers).
+    KindMismatch {
+        /// What the query expects.
+        expected: String,
+        /// What the identifier resolved to.
+        found: String,
+    },
+    /// The query's semantic preconditions (Definition 1) do not hold for the
+    /// pair of interest: the pair must satisfy `des` and `obs` and must not
+    /// satisfy `exp`.
+    QueryPreconditionViolated(String),
+    /// There are not enough related pairs in the log to learn from.
+    NotEnoughTrainingPairs {
+        /// Pairs that performed as observed.
+        observed: usize,
+        /// Pairs that performed as expected.
+        expected: usize,
+    },
+    /// The underlying PXQL query was malformed.
+    Pxql(String),
+    /// An execution log could not be serialized or deserialized.
+    Serialization(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::UnknownExecution(id) => {
+                write!(f, "execution '{id}' is not in the log")
+            }
+            CoreError::KindMismatch { expected, found } => {
+                write!(f, "expected a {expected} identifier but found a {found}")
+            }
+            CoreError::QueryPreconditionViolated(msg) => {
+                write!(f, "query precondition violated: {msg}")
+            }
+            CoreError::NotEnoughTrainingPairs { observed, expected } => write!(
+                f,
+                "not enough related pairs to learn from ({observed} observed, {expected} expected)"
+            ),
+            CoreError::Pxql(msg) => write!(f, "PXQL error: {msg}"),
+            CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<pxql::PxqlError> for CoreError {
+    fn from(e: pxql::PxqlError) -> Self {
+        CoreError::Pxql(e.to_string())
+    }
+}
+
+/// Convenience result alias.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let err = CoreError::UnknownExecution("job_7".to_string());
+        assert!(err.to_string().contains("job_7"));
+        let err = CoreError::NotEnoughTrainingPairs { observed: 1, expected: 0 };
+        assert!(err.to_string().contains("1 observed"));
+        let err: CoreError = pxql::PxqlError::Invalid("nope".to_string()).into();
+        assert!(matches!(err, CoreError::Pxql(_)));
+    }
+}

@@ -1,0 +1,148 @@
+//! Explanations and their applicability (Definitions 2 and 3 of the paper).
+
+use pxql::{FeatureSource, Predicate, PxqlError};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A candidate explanation: a pair of predicates over pair features.
+///
+/// The `despite` clause extends the user's own despite clause and captures
+/// why the pair *should* have performed as expected; the `because` clause
+/// captures why, within that context, it performed as observed instead.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Explanation {
+    /// The (possibly extended) despite clause, `des'`.
+    pub despite: Predicate,
+    /// The because clause, `bec`.
+    pub because: Predicate,
+}
+
+impl Explanation {
+    /// Creates an explanation.
+    pub fn new(despite: Predicate, because: Predicate) -> Self {
+        Explanation { despite, because }
+    }
+
+    /// An explanation with only a because clause (the common case when the
+    /// user supplied a good despite clause themselves).
+    pub fn because_only(because: Predicate) -> Self {
+        Explanation {
+            despite: Predicate::always_true(),
+            because,
+        }
+    }
+
+    /// Definition 3: an explanation is applicable to a pair when both of its
+    /// clauses hold for that pair.
+    pub fn is_applicable<S: FeatureSource>(&self, pair: &S) -> bool {
+        self.despite.eval(pair) && self.because.eval(pair)
+    }
+
+    /// Width of the because clause (number of atomic predicates).
+    pub fn width(&self) -> usize {
+        self.because.width()
+    }
+
+    /// A copy of the explanation with the because clause truncated to
+    /// `width` atoms (the atoms are ordered most-important first, so the
+    /// truncation keeps the strongest predicates).
+    pub fn truncated(&self, width: usize) -> Explanation {
+        Explanation {
+            despite: self.despite.clone(),
+            because: self.because.truncated(width),
+        }
+    }
+}
+
+impl fmt::Display for Explanation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "DESPITE {}", self.despite)?;
+        write!(f, "BECAUSE {}", self.because)
+    }
+}
+
+impl FromStr for Explanation {
+    type Err = PxqlError;
+
+    /// Parses the textual `DESPITE … BECAUSE …` form, the inverse of
+    /// [`Display`](fmt::Display).
+    fn from_str(text: &str) -> Result<Self, Self::Err> {
+        let (despite, because) = pxql::parse_explanation_str(text)?;
+        Ok(Explanation { despite, because })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pxql::{Atom, Value};
+    use std::collections::BTreeMap;
+
+    fn pair_features() -> BTreeMap<String, Value> {
+        BTreeMap::from([
+            ("inputsize_compare".to_string(), Value::str("GT")),
+            ("blocksize".to_string(), Value::Num(128.0)),
+            ("numinstances".to_string(), Value::Num(150.0)),
+        ])
+    }
+
+    #[test]
+    fn applicability_requires_both_clauses() {
+        let features = pair_features();
+        let expl = Explanation::new(
+            Predicate::from_atoms(vec![Atom::eq("inputsize_compare", "GT")]),
+            Predicate::from_atoms(vec![
+                Atom::new("blocksize", pxql::Op::Ge, 128i64),
+                Atom::new("numinstances", pxql::Op::Ge, 100i64),
+            ]),
+        );
+        assert!(expl.is_applicable(&features));
+
+        let not_applicable = Explanation::new(
+            Predicate::from_atoms(vec![Atom::eq("inputsize_compare", "LT")]),
+            expl.because.clone(),
+        );
+        assert!(!not_applicable.is_applicable(&features));
+        assert_eq!(expl.width(), 2);
+    }
+
+    #[test]
+    fn truncation_keeps_leading_atoms() {
+        let expl = Explanation::because_only(Predicate::from_atoms(vec![
+            Atom::eq("a", 1i64),
+            Atom::eq("b", 2i64),
+            Atom::eq("c", 3i64),
+        ]));
+        let narrow = expl.truncated(1);
+        assert_eq!(narrow.width(), 1);
+        assert_eq!(narrow.because.atoms()[0].feature, "a");
+        assert!(narrow.despite.is_trivial());
+    }
+
+    #[test]
+    fn display_uses_despite_because_form() {
+        let expl = Explanation::new(
+            Predicate::from_atoms(vec![Atom::eq("inputsize_compare", "GT")]),
+            Predicate::from_atoms(vec![Atom::new("blocksize", pxql::Op::Ge, 128i64)]),
+        );
+        let text = expl.to_string();
+        assert!(text.starts_with("DESPITE inputsize_compare = GT"));
+        assert!(text.contains("BECAUSE blocksize >= 128"));
+    }
+
+    #[test]
+    fn explanations_round_trip_through_text() {
+        let expl = Explanation::new(
+            Predicate::from_atoms(vec![Atom::eq("inputsize_compare", "GT")]),
+            Predicate::from_atoms(vec![
+                Atom::new("blocksize", pxql::Op::Ge, 128i64),
+                Atom::eq("avg_cpu_user_isSame", false),
+            ]),
+        );
+        let parsed: Explanation = expl.to_string().parse().unwrap();
+        assert_eq!(parsed.despite.width(), 1);
+        assert_eq!(parsed.because.width(), 2);
+        assert!("not an explanation".parse::<Explanation>().is_err());
+    }
+}

@@ -1,0 +1,99 @@
+//! Feature levels (Section 6.8 of the paper).
+//!
+//! The paper studies three nested feature sets:
+//!
+//! 1. **Level 1** — only the `isSame` features;
+//! 2. **Level 2** — `isSame`, `compare` and `diff` features (all comparison
+//!    features);
+//! 3. **Level 3** — everything, including the base features copied from the
+//!    executions when they agree.
+//!
+//! Simpler levels produce more generally-applicable explanations; richer
+//! levels allow more precise ones (e.g. `numinstances <= 12`, which needs a
+//! base feature).
+
+use crate::pairs::PairFeatureGroup;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The feature set available to the explanation generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FeatureLevel {
+    /// Only `isSame` features.
+    Level1,
+    /// `isSame`, `compare` and `diff` features.
+    Level2,
+    /// All pair features, including base features.
+    Level3,
+}
+
+impl FeatureLevel {
+    /// The pair-feature groups available at this level.
+    pub fn allowed_groups(&self) -> &'static [PairFeatureGroup] {
+        match self {
+            FeatureLevel::Level1 => &[PairFeatureGroup::IsSame],
+            FeatureLevel::Level2 => &[
+                PairFeatureGroup::IsSame,
+                PairFeatureGroup::Compare,
+                PairFeatureGroup::Diff,
+            ],
+            FeatureLevel::Level3 => &[
+                PairFeatureGroup::IsSame,
+                PairFeatureGroup::Compare,
+                PairFeatureGroup::Diff,
+                PairFeatureGroup::Base,
+            ],
+        }
+    }
+
+    /// Whether a feature of the given group may be used at this level.
+    pub fn allows(&self, group: PairFeatureGroup) -> bool {
+        self.allowed_groups().contains(&group)
+    }
+
+    /// All levels, in increasing order of expressiveness.
+    pub fn all() -> [FeatureLevel; 3] {
+        [FeatureLevel::Level1, FeatureLevel::Level2, FeatureLevel::Level3]
+    }
+}
+
+impl fmt::Display for FeatureLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FeatureLevel::Level1 => write!(f, "level-1 (isSame only)"),
+            FeatureLevel::Level2 => write!(f, "level-2 (comparison features)"),
+            FeatureLevel::Level3 => write!(f, "level-3 (all features)"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_are_nested() {
+        let l1 = FeatureLevel::Level1.allowed_groups();
+        let l2 = FeatureLevel::Level2.allowed_groups();
+        let l3 = FeatureLevel::Level3.allowed_groups();
+        assert!(l1.iter().all(|g| l2.contains(g)));
+        assert!(l2.iter().all(|g| l3.contains(g)));
+        assert_eq!(l1.len(), 1);
+        assert_eq!(l2.len(), 3);
+        assert_eq!(l3.len(), 4);
+    }
+
+    #[test]
+    fn allows_matches_groups() {
+        assert!(FeatureLevel::Level1.allows(PairFeatureGroup::IsSame));
+        assert!(!FeatureLevel::Level1.allows(PairFeatureGroup::Base));
+        assert!(!FeatureLevel::Level2.allows(PairFeatureGroup::Base));
+        assert!(FeatureLevel::Level3.allows(PairFeatureGroup::Base));
+        assert_eq!(FeatureLevel::all().len(), 3);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(FeatureLevel::Level1.to_string().contains("isSame"));
+    }
+}

@@ -1,0 +1,94 @@
+//! PerfXplain: explain the relative performance of MapReduce jobs and tasks.
+//!
+//! This crate is a faithful reproduction of the system described in
+//! *"PerfXplain: Debugging MapReduce Job Performance"* (Khoussainova,
+//! Balazinska, Suciu — VLDB 2012).  Given
+//!
+//! * an **execution log** of past MapReduce job and task executions, each
+//!   represented as a flat vector of features (configuration parameters,
+//!   data characteristics, Hadoop counters, averaged Ganglia metrics and the
+//!   runtime itself), and
+//! * a **PXQL query** identifying a pair of executions and stating what was
+//!   observed and what was expected,
+//!
+//! it produces an **explanation**: a pair of predicates over *pair features*
+//! (a despite clause and a because clause) chosen to be applicable to the
+//! pair of interest, precise, general and relevant.
+//!
+//! # Quick example
+//!
+//! ```
+//! use perfxplain_core::{
+//!     BoundQuery, ExecutionLog, ExecutionRecord, ExplainConfig, PerfXplain,
+//! };
+//!
+//! // A miniature execution log: jobs with big blocks finish in ~600 s
+//! // regardless of their input size.
+//! let mut log = ExecutionLog::new();
+//! for i in 0..30 {
+//!     let big_blocks = i % 2 == 0;
+//!     let input: f64 = if i % 4 < 2 { 32.0e9 } else { 1.0e9 };
+//!     let duration = if big_blocks { 600.0 } else { input / 5.0e7 };
+//!     log.push(
+//!         ExecutionRecord::job(format!("job_{i}"))
+//!             .with_feature("inputsize", input)
+//!             .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+//!             .with_feature("duration", duration),
+//!     );
+//! }
+//! log.rebuild_catalogs();
+//!
+//! // "Despite reading much more data, job_0 was not slower than job_2. Why?"
+//! let query = pxql::parse_query(
+//!     "DESPITE inputsize_compare = GT\n\
+//!      OBSERVED duration_compare = SIM\n\
+//!      EXPECTED duration_compare = GT",
+//! )
+//! .unwrap();
+//! let bound = BoundQuery::new(query, "job_0", "job_2");
+//!
+//! let engine = PerfXplain::new(ExplainConfig::default().with_width(2));
+//! let explanation = engine.explain(&log, &bound).unwrap();
+//! assert!(explanation.width() >= 1);
+//! println!("{explanation}");
+//! ```
+
+pub mod baselines;
+pub mod bridge;
+pub mod config;
+pub mod error;
+pub mod eval;
+pub mod explain;
+pub mod explanation;
+pub mod features;
+pub mod levels;
+pub mod metrics;
+pub mod narrate;
+pub mod pairs;
+pub mod query;
+pub mod record;
+pub mod training;
+
+pub use baselines::{RuleOfThumb, SimButDiff};
+pub use config::ExplainConfig;
+pub use error::{CoreError, Result};
+pub use eval::{
+    evaluate_on_log, generate_explanation, split_log, train_test_round, Aggregate,
+    EvaluationResult, Technique,
+};
+pub use explain::PerfXplain;
+pub use explanation::Explanation;
+pub use features::{FeatureCatalog, FeatureDef, FeatureKind, DURATION_FEATURE};
+pub use levels::FeatureLevel;
+pub use metrics::{assess, generality, precision, relevance, ExplanationQuality, MetricEstimate};
+pub use narrate::narrate;
+pub use pairs::{
+    compute_pair_features, PairCatalog, PairExample, PairFeatureGroup, DEFAULT_SIM_THRESHOLD,
+};
+pub use query::{BoundQuery, PairLabel};
+pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
+pub use training::{prepare_training_set, TrainingSet};
+
+// Re-export the query language so that downstream users only need one
+// dependency.
+pub use pxql;

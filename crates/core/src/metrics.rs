@@ -1,0 +1,221 @@
+//! Explanation-quality metrics: relevance, precision and generality
+//! (Definitions 4–6 of the paper).
+//!
+//! All three metrics are conditional probabilities estimated over the pairs
+//! of the log that are *related* to the query (they satisfy the despite
+//! clause and either the observed or the expected clause):
+//!
+//! * `Rel(E)  = P(exp | des' ∧ des)`
+//! * `Pr(E)   = P(obs | bec ∧ des' ∧ des)`
+//! * `Gen(E)  = P(bec | des' ∧ des)`
+//!
+//! Precision and generality correspond to the data-mining notions of
+//! confidence and support of the because clause within the context of the
+//! despite clause.
+
+use crate::explanation::Explanation;
+use crate::training::TrainingSet;
+use pxql::Predicate;
+
+/// A conditional probability estimate together with the number of pairs that
+/// satisfied the condition (its support).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MetricEstimate {
+    /// The estimated probability, or `None` when no pair satisfied the
+    /// condition.
+    pub value: Option<f64>,
+    /// How many pairs satisfied the condition.
+    pub support: usize,
+}
+
+impl MetricEstimate {
+    /// The estimate, or `default` when undefined.
+    pub fn unwrap_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+}
+
+/// Estimates `P(target | condition)` over the related pairs of `set`, where
+/// the target is "performed as observed" (`target_observed = true`) or
+/// "performed as expected" (`false`).
+pub fn conditional_probability(
+    set: &TrainingSet,
+    condition: &Predicate,
+    target_observed: bool,
+) -> MetricEstimate {
+    let mut satisfied = 0usize;
+    let mut hits = 0usize;
+    for (example, observed) in set.iter() {
+        if condition.eval(example) {
+            satisfied += 1;
+            if observed == target_observed {
+                hits += 1;
+            }
+        }
+    }
+    MetricEstimate {
+        value: if satisfied == 0 {
+            None
+        } else {
+            Some(hits as f64 / satisfied as f64)
+        },
+        support: satisfied,
+    }
+}
+
+/// Relevance of an explanation: `P(exp | des' ∧ des)`.  The user's `des`
+/// clause is already folded into the construction of `set` (only related
+/// pairs are present), so only `des'` needs to be applied here.
+pub fn relevance(set: &TrainingSet, despite_extension: &Predicate) -> MetricEstimate {
+    conditional_probability(set, despite_extension, false)
+}
+
+/// Precision of an explanation: `P(obs | bec ∧ des' ∧ des)`.
+pub fn precision(set: &TrainingSet, explanation: &Explanation) -> MetricEstimate {
+    let condition = explanation.despite.conjoin(&explanation.because);
+    conditional_probability(set, &condition, true)
+}
+
+/// Generality of an explanation: `P(bec | des' ∧ des)`.
+pub fn generality(set: &TrainingSet, explanation: &Explanation) -> MetricEstimate {
+    let mut in_context = 0usize;
+    let mut satisfied = 0usize;
+    for (example, _) in set.iter() {
+        if explanation.despite.eval(example) {
+            in_context += 1;
+            if explanation.because.eval(example) {
+                satisfied += 1;
+            }
+        }
+    }
+    MetricEstimate {
+        value: if in_context == 0 {
+            None
+        } else {
+            Some(satisfied as f64 / in_context as f64)
+        },
+        support: in_context,
+    }
+}
+
+/// All three metrics of an explanation at once.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExplanationQuality {
+    /// `Rel(E)`.
+    pub relevance: MetricEstimate,
+    /// `Pr(E)`.
+    pub precision: MetricEstimate,
+    /// `Gen(E)`.
+    pub generality: MetricEstimate,
+}
+
+/// Scores an explanation on a set of related pairs.
+pub fn assess(set: &TrainingSet, explanation: &Explanation) -> ExplanationQuality {
+    ExplanationQuality {
+        relevance: relevance(set, &explanation.despite),
+        precision: precision(set, explanation),
+        generality: generality(set, explanation),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairs::PairExample;
+    use pxql::{Atom, Value};
+    use std::collections::BTreeMap;
+
+    /// Builds a small hand-crafted training set:
+    /// 6 pairs, 3 observed / 3 expected; `blocksize_isSame = T` holds for
+    /// all observed pairs and one expected pair.
+    fn set() -> TrainingSet {
+        let mut set = TrainingSet::default();
+        let entries = [
+            (true, true, 150.0),
+            (true, true, 120.0),
+            (true, true, 100.0),
+            (false, true, 150.0),
+            (false, false, 10.0),
+            (false, false, 20.0),
+        ];
+        for (i, (observed, same_block, instances)) in entries.into_iter().enumerate() {
+            let features = BTreeMap::from([
+                ("blocksize_isSame".to_string(), Value::Bool(same_block)),
+                ("numinstances".to_string(), Value::Num(instances)),
+            ]);
+            set.examples.push(PairExample {
+                left_id: format!("l{i}"),
+                right_id: format!("r{i}"),
+                features,
+            });
+            set.labels.push(observed);
+        }
+        set
+    }
+
+    #[test]
+    fn precision_counts_only_condition_satisfying_pairs() {
+        let set = set();
+        let expl = Explanation::because_only(Predicate::from_atoms(vec![Atom::eq(
+            "blocksize_isSame",
+            true,
+        )]));
+        let p = precision(&set, &expl);
+        // 4 pairs satisfy the because clause; 3 of them are observed.
+        assert_eq!(p.support, 4);
+        assert!((p.unwrap_or(0.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn generality_is_support_within_context() {
+        let set = set();
+        let expl = Explanation::new(
+            Predicate::from_atoms(vec![Atom::new("numinstances", pxql::Op::Ge, 100i64)]),
+            Predicate::from_atoms(vec![Atom::eq("blocksize_isSame", true)]),
+        );
+        let g = generality(&set, &expl);
+        // 4 pairs satisfy the despite clause (instances >= 100); all of them
+        // also satisfy the because clause.
+        assert_eq!(g.support, 4);
+        assert!((g.unwrap_or(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relevance_measures_expected_fraction() {
+        let set = set();
+        // Restricting to small clusters makes "expected" behaviour dominant.
+        let despite = Predicate::from_atoms(vec![Atom::new("numinstances", pxql::Op::Lt, 100i64)]);
+        let r = relevance(&set, &despite);
+        assert_eq!(r.support, 2);
+        assert!((r.unwrap_or(0.0) - 1.0).abs() < 1e-12);
+
+        // The empty despite clause has the base-rate relevance of 0.5.
+        let empty = relevance(&set, &Predicate::always_true());
+        assert!((empty.unwrap_or(0.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_condition_support_yields_none() {
+        let set = set();
+        let impossible = Predicate::from_atoms(vec![Atom::eq("blocksize_isSame", "MAYBE")]);
+        let estimate = conditional_probability(&set, &impossible, true);
+        assert_eq!(estimate.support, 0);
+        assert_eq!(estimate.value, None);
+        assert_eq!(estimate.unwrap_or(0.3), 0.3);
+    }
+
+    #[test]
+    fn assess_bundles_all_metrics() {
+        let set = set();
+        let expl = Explanation::because_only(Predicate::from_atoms(vec![Atom::eq(
+            "blocksize_isSame",
+            true,
+        )]));
+        let quality = assess(&set, &expl);
+        assert!(quality.precision.value.is_some());
+        assert!(quality.generality.value.is_some());
+        assert!(quality.relevance.value.is_some());
+        // With an empty despite clause relevance is the base rate.
+        assert!((quality.relevance.unwrap_or(0.0) - 0.5).abs() < 1e-12);
+    }
+}

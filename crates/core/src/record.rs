@@ -1,0 +1,354 @@
+//! Execution records and the execution log.
+//!
+//! The log of past MapReduce executions is the only input PerfXplain needs
+//! besides the query: each record is one job or one task execution with its
+//! flat feature vector and its duration (Section 3.1 of the paper,
+//! `Job(JobID, feature1, …, featurek, duration)` and
+//! `Task(TaskID, JobID, feature1, …, featurel, duration)`).
+
+use crate::error::{CoreError, Result};
+use crate::features::{FeatureCatalog, DURATION_FEATURE};
+use pxql::{FeatureSource, SubjectKind, Value};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Whether a record describes a job or a task execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionKind {
+    /// A MapReduce job.
+    Job,
+    /// A MapReduce task.
+    Task,
+}
+
+impl From<SubjectKind> for ExecutionKind {
+    fn from(kind: SubjectKind) -> Self {
+        match kind {
+            SubjectKind::Jobs => ExecutionKind::Job,
+            SubjectKind::Tasks => ExecutionKind::Task,
+        }
+    }
+}
+
+impl ExecutionKind {
+    /// Human-readable name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ExecutionKind::Job => "job",
+            ExecutionKind::Task => "task",
+        }
+    }
+}
+
+/// One job or task execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionRecord {
+    /// Unique identifier (`job_…` or `task_…`).
+    pub id: String,
+    /// Job or task.
+    pub kind: ExecutionKind,
+    /// For tasks: the job they belong to.
+    pub parent_job: Option<String>,
+    /// Raw feature values (the catalog gives their kinds).
+    pub features: BTreeMap<String, Value>,
+}
+
+impl ExecutionRecord {
+    /// Creates a job record.
+    pub fn job(id: impl Into<String>) -> Self {
+        ExecutionRecord {
+            id: id.into(),
+            kind: ExecutionKind::Job,
+            parent_job: None,
+            features: BTreeMap::new(),
+        }
+    }
+
+    /// Creates a task record belonging to `parent_job`.
+    pub fn task(id: impl Into<String>, parent_job: impl Into<String>) -> Self {
+        ExecutionRecord {
+            id: id.into(),
+            kind: ExecutionKind::Task,
+            parent_job: Some(parent_job.into()),
+            features: BTreeMap::new(),
+        }
+    }
+
+    /// Sets a feature value (builder style).
+    pub fn with_feature(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.features.insert(name.into(), value.into());
+        self
+    }
+
+    /// Sets a feature value.
+    pub fn set_feature(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.features.insert(name.into(), value.into());
+    }
+
+    /// Reads a feature value (missing features read as `Null`).
+    pub fn feature(&self, name: &str) -> Value {
+        self.features.get(name).cloned().unwrap_or(Value::Null)
+    }
+
+    /// The execution duration in seconds (the `duration` feature), if set.
+    pub fn duration(&self) -> Option<f64> {
+        self.features.get(DURATION_FEATURE).and_then(Value::as_num)
+    }
+}
+
+impl FeatureSource for ExecutionRecord {
+    fn feature(&self, name: &str) -> Option<Value> {
+        self.features.get(name).cloned()
+    }
+}
+
+/// A log of past executions: jobs, their tasks and the raw feature catalog.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExecutionLog {
+    job_catalog: FeatureCatalog,
+    task_catalog: FeatureCatalog,
+    records: Vec<ExecutionRecord>,
+}
+
+impl ExecutionLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ExecutionLog::default()
+    }
+
+    /// Adds a record.
+    pub fn push(&mut self, record: ExecutionRecord) {
+        self.records.push(record);
+    }
+
+    /// Adds every record of `other` to this log.
+    pub fn extend(&mut self, other: ExecutionLog) {
+        self.records.extend(other.records);
+        self.rebuild_catalogs();
+    }
+
+    /// Recomputes the job and task feature catalogs from the stored records.
+    /// Call after bulk loading records.
+    pub fn rebuild_catalogs(&mut self) {
+        self.job_catalog = FeatureCatalog::infer(
+            self.records
+                .iter()
+                .filter(|r| r.kind == ExecutionKind::Job)
+                .map(|r| &r.features),
+        );
+        self.task_catalog = FeatureCatalog::infer(
+            self.records
+                .iter()
+                .filter(|r| r.kind == ExecutionKind::Task)
+                .map(|r| &r.features),
+        );
+    }
+
+    /// The catalog of job features.
+    pub fn job_catalog(&self) -> &FeatureCatalog {
+        &self.job_catalog
+    }
+
+    /// The catalog of task features.
+    pub fn task_catalog(&self) -> &FeatureCatalog {
+        &self.task_catalog
+    }
+
+    /// The catalog for a given execution kind.
+    pub fn catalog(&self, kind: ExecutionKind) -> &FeatureCatalog {
+        match kind {
+            ExecutionKind::Job => &self.job_catalog,
+            ExecutionKind::Task => &self.task_catalog,
+        }
+    }
+
+    /// All records.
+    pub fn records(&self) -> &[ExecutionRecord] {
+        &self.records
+    }
+
+    /// Number of records (jobs + tasks).
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// The job records.
+    pub fn jobs(&self) -> impl Iterator<Item = &ExecutionRecord> {
+        self.records.iter().filter(|r| r.kind == ExecutionKind::Job)
+    }
+
+    /// The task records.
+    pub fn tasks(&self) -> impl Iterator<Item = &ExecutionRecord> {
+        self.records.iter().filter(|r| r.kind == ExecutionKind::Task)
+    }
+
+    /// Records of the given kind.
+    pub fn of_kind(&self, kind: ExecutionKind) -> impl Iterator<Item = &ExecutionRecord> {
+        self.records.iter().filter(move |r| r.kind == kind)
+    }
+
+    /// The tasks that belong to a given job.
+    pub fn tasks_of_job<'a>(&'a self, job_id: &'a str) -> impl Iterator<Item = &'a ExecutionRecord> {
+        self.records
+            .iter()
+            .filter(move |r| r.kind == ExecutionKind::Task && r.parent_job.as_deref() == Some(job_id))
+    }
+
+    /// Looks up a record by identifier.
+    pub fn get(&self, id: &str) -> Option<&ExecutionRecord> {
+        self.records.iter().find(|r| r.id == id)
+    }
+
+    /// Looks up a record by identifier, failing with a descriptive error.
+    pub fn require(&self, id: &str, kind: ExecutionKind) -> Result<&ExecutionRecord> {
+        let record = self
+            .get(id)
+            .ok_or_else(|| CoreError::UnknownExecution(id.to_string()))?;
+        if record.kind != kind {
+            return Err(CoreError::KindMismatch {
+                expected: kind.as_str().to_string(),
+                found: record.kind.as_str().to_string(),
+            });
+        }
+        Ok(record)
+    }
+
+    /// Builds a new log containing only records selected by `keep` (tasks of
+    /// dropped jobs are dropped as well unless `keep` retains them).
+    pub fn filter(&self, keep: impl Fn(&ExecutionRecord) -> bool) -> ExecutionLog {
+        let mut out = ExecutionLog::new();
+        for record in &self.records {
+            if keep(record) {
+                out.push(record.clone());
+            }
+        }
+        out.rebuild_catalogs();
+        out
+    }
+
+    /// Builds a new log containing the given jobs and all of their tasks.
+    pub fn restrict_to_jobs(&self, job_ids: &[&str]) -> ExecutionLog {
+        self.filter(|r| match r.kind {
+            ExecutionKind::Job => job_ids.contains(&r.id.as_str()),
+            ExecutionKind::Task => r
+                .parent_job
+                .as_deref()
+                .map(|j| job_ids.contains(&j))
+                .unwrap_or(false),
+        })
+    }
+
+    /// Serializes the log to JSON.
+    pub fn to_json(&self) -> Result<String> {
+        serde_json::to_string_pretty(self).map_err(|e| CoreError::Serialization(e.to_string()))
+    }
+
+    /// Loads a log from JSON produced by [`ExecutionLog::to_json`].
+    pub fn from_json(json: &str) -> Result<ExecutionLog> {
+        let mut log: ExecutionLog =
+            serde_json::from_str(json).map_err(|e| CoreError::Serialization(e.to_string()))?;
+        log.rebuild_catalogs();
+        Ok(log)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_log() -> ExecutionLog {
+        let mut log = ExecutionLog::new();
+        log.push(
+            ExecutionRecord::job("job_1")
+                .with_feature("inputsize", 1024i64)
+                .with_feature("pigscript", "simple-filter.pig")
+                .with_feature(DURATION_FEATURE, 120.0),
+        );
+        log.push(
+            ExecutionRecord::job("job_2")
+                .with_feature("inputsize", 2048i64)
+                .with_feature("pigscript", "simple-groupby.pig")
+                .with_feature(DURATION_FEATURE, 240.0),
+        );
+        log.push(
+            ExecutionRecord::task("task_1_m_0", "job_1")
+                .with_feature("tasktype", "MAP")
+                .with_feature(DURATION_FEATURE, 30.0),
+        );
+        log.rebuild_catalogs();
+        log
+    }
+
+    #[test]
+    fn catalogs_are_split_by_kind() {
+        let log = sample_log();
+        assert!(log.job_catalog().get("inputsize").is_some());
+        assert!(log.job_catalog().get("tasktype").is_none());
+        assert!(log.task_catalog().get("tasktype").is_some());
+        assert_eq!(log.jobs().count(), 2);
+        assert_eq!(log.tasks().count(), 1);
+        assert_eq!(log.of_kind(ExecutionKind::Job).count(), 2);
+    }
+
+    #[test]
+    fn lookup_and_require() {
+        let log = sample_log();
+        assert!(log.get("job_1").is_some());
+        assert!(log.get("job_99").is_none());
+        assert!(log.require("job_1", ExecutionKind::Job).is_ok());
+        assert!(matches!(
+            log.require("job_99", ExecutionKind::Job),
+            Err(CoreError::UnknownExecution(_))
+        ));
+        assert!(matches!(
+            log.require("task_1_m_0", ExecutionKind::Job),
+            Err(CoreError::KindMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn durations_and_features() {
+        let log = sample_log();
+        let job = log.get("job_1").unwrap();
+        assert_eq!(job.duration(), Some(120.0));
+        assert_eq!(job.feature("inputsize"), Value::Num(1024.0));
+        assert_eq!(job.feature("missing"), Value::Null);
+        assert_eq!(FeatureSource::feature(job, "missing"), None);
+    }
+
+    #[test]
+    fn tasks_of_job_and_restrict() {
+        let log = sample_log();
+        assert_eq!(log.tasks_of_job("job_1").count(), 1);
+        assert_eq!(log.tasks_of_job("job_2").count(), 0);
+        let restricted = log.restrict_to_jobs(&["job_2"]);
+        assert_eq!(restricted.jobs().count(), 1);
+        assert_eq!(restricted.tasks().count(), 0);
+        let only_tasks = log.filter(|r| r.kind == ExecutionKind::Task);
+        assert_eq!(only_tasks.len(), 1);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let log = sample_log();
+        let json = log.to_json().unwrap();
+        let back = ExecutionLog::from_json(&json).unwrap();
+        assert_eq!(log, back);
+        assert!(ExecutionLog::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn extend_merges_and_rebuilds() {
+        let mut log = sample_log();
+        let mut other = ExecutionLog::new();
+        other.push(ExecutionRecord::job("job_3").with_feature("newfeature", 1i64));
+        log.extend(other);
+        assert_eq!(log.jobs().count(), 3);
+        assert!(log.job_catalog().get("newfeature").is_some());
+    }
+}

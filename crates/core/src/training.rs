@@ -1,0 +1,372 @@
+//! Construction of training examples from the execution log.
+//!
+//! `constructTrainingExamples` (line 1 of Algorithm 1) turns the log into
+//! the set of pairs *related* to the query: pairs that satisfy the despite
+//! clause and either the observed or the expected clause.  The pairs that
+//! performed as observed become positive examples, the pairs that performed
+//! as expected become negative ones.  `sample` (line 2) then draws a
+//! class-balanced sample so that explanation generation stays fast and is
+//! not misled by skewed class frequencies.
+//!
+//! Enumerating every ordered pair of a large log is quadratic, so the
+//! builder applies two optimisations that do not change the result
+//! semantics:
+//!
+//! * **Blocking** — when the despite clause contains `f_isSame = T` for a
+//!   nominal raw feature (e.g. `jobid_isSame = T` for task queries), only
+//!   pairs within the same group can possibly be related, so only those are
+//!   enumerated.
+//! * **Capping** — if the candidate space is still larger than
+//!   `max_candidate_pairs`, a deterministic random subset is used.
+
+use crate::config::ExplainConfig;
+use crate::error::{CoreError, Result};
+use crate::features::FeatureKind;
+use crate::pairs::{parse_pair_feature, PairExample, PairFeatureGroup};
+use crate::query::{BoundQuery, PairLabel};
+use crate::record::{ExecutionLog, ExecutionRecord};
+use mlcore::balanced_sample;
+use pxql::{Op, Value};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A class-balanced, fully materialised set of training pairs.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingSet {
+    /// The training pairs with their full pair-feature maps.
+    pub examples: Vec<PairExample>,
+    /// `true` for pairs that performed as observed (positive class).
+    pub labels: Vec<bool>,
+}
+
+impl TrainingSet {
+    /// Number of training pairs.
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Number of pairs that performed as observed.
+    pub fn num_observed(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of pairs that performed as expected.
+    pub fn num_expected(&self) -> usize {
+        self.len() - self.num_observed()
+    }
+
+    /// Iterates over `(example, performed_as_observed)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&PairExample, bool)> {
+        self.examples.iter().zip(self.labels.iter().copied())
+    }
+}
+
+/// A related candidate pair before materialisation: indices into the record
+/// list plus its label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RelatedPair {
+    /// Index of the first execution in the per-kind record list.
+    pub left: usize,
+    /// Index of the second execution.
+    pub right: usize,
+    /// Observed or expected.
+    pub label: PairLabel,
+}
+
+/// Finds a blocking key in the despite clause: a `f_isSame = T` atom whose
+/// raw feature is nominal.  Pairs disagreeing on that raw feature can never
+/// satisfy the despite clause, so enumeration can be restricted to groups of
+/// records sharing the raw value.
+fn blocking_feature<'a>(query: &'a BoundQuery, log: &ExecutionLog) -> Option<&'a str> {
+    let catalog = log.catalog(query.kind);
+    for atom in query.query.despite.atoms() {
+        if atom.op != Op::Eq {
+            continue;
+        }
+        let wants_true = match &atom.constant {
+            Value::Bool(b) => *b,
+            Value::Str(s) => s.eq_ignore_ascii_case("T") || s.eq_ignore_ascii_case("true"),
+            _ => false,
+        };
+        if !wants_true {
+            continue;
+        }
+        let (raw, group) = parse_pair_feature(&atom.feature);
+        if group == PairFeatureGroup::IsSame && catalog.kind(raw) == Some(FeatureKind::Nominal) {
+            return Some(raw);
+        }
+    }
+    None
+}
+
+/// Enumerates and classifies the pairs of the log that are related to the
+/// query.  Returns the per-kind record list alongside the related pairs so
+/// that callers can materialise features later.
+pub fn collect_related_pairs<'a>(
+    log: &'a ExecutionLog,
+    query: &BoundQuery,
+    config: &ExplainConfig,
+) -> (Vec<&'a ExecutionRecord>, Vec<RelatedPair>) {
+    let records: Vec<&ExecutionRecord> = log.of_kind(query.kind).collect();
+    let n = records.len();
+    if n < 2 {
+        return (records, Vec::new());
+    }
+
+    // Candidate index pairs, possibly blocked by a shared nominal value.
+    let mut candidates: Vec<(usize, usize)> = Vec::new();
+    if let Some(block_feature) = blocking_feature(query, log) {
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, record) in records.iter().enumerate() {
+            let key = record.feature(block_feature).to_string();
+            if key != "NULL" {
+                groups.entry(key).or_default().push(i);
+            }
+        }
+        for members in groups.values() {
+            for &i in members {
+                for &j in members {
+                    if i != j {
+                        candidates.push((i, j));
+                    }
+                }
+            }
+        }
+    } else {
+        candidates.reserve(n * (n - 1));
+        for i in 0..n {
+            for j in 0..n {
+                if i != j {
+                    candidates.push((i, j));
+                }
+            }
+        }
+    }
+
+    // Cap the candidate space deterministically.
+    if candidates.len() > config.max_candidate_pairs {
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC0FFEE);
+        let keep_probability = config.max_candidate_pairs as f64 / candidates.len() as f64;
+        candidates.retain(|_| rng.random::<f64>() < keep_probability);
+    }
+
+    let catalog = log.catalog(query.kind);
+    let needed = query.mentioned_features();
+    let mut related = Vec::new();
+    for (i, j) in candidates {
+        let features = crate::pairs::compute_selected_pair_features(
+            catalog,
+            records[i],
+            records[j],
+            config.sim_threshold,
+            &needed,
+        );
+        let label = query.classify(&features);
+        if label.is_related() {
+            related.push(RelatedPair {
+                left: i,
+                right: j,
+                label,
+            });
+        }
+    }
+    (records, related)
+}
+
+/// Draws the balanced sample of Section 4.3 and materialises the full pair
+/// features of the selected pairs.
+pub fn build_training_set(
+    log: &ExecutionLog,
+    query: &BoundQuery,
+    records: &[&ExecutionRecord],
+    related: &[RelatedPair],
+    config: &ExplainConfig,
+) -> Result<TrainingSet> {
+    let observed = related
+        .iter()
+        .filter(|p| p.label == PairLabel::Observed)
+        .count();
+    let expected = related.len() - observed;
+    if observed == 0 || expected == 0 {
+        return Err(CoreError::NotEnoughTrainingPairs { observed, expected });
+    }
+
+    let labels: Vec<bool> = related.iter().map(|p| p.label == PairLabel::Observed).collect();
+    let selected: Vec<usize> = if config.balanced_sampling {
+        balanced_sample(&labels, config.sample_size, config.seed).0
+    } else {
+        // Ablation: a uniform sample of the related pairs, keeping the
+        // original class skew.
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xBA1A);
+        let keep = (config.sample_size as f64 / labels.len() as f64).min(1.0);
+        (0..labels.len())
+            .filter(|_| keep >= 1.0 || rng.random::<f64>() < keep)
+            .collect()
+    };
+
+    let catalog = log.catalog(query.kind);
+    let mut set = TrainingSet::default();
+    for index in selected {
+        let pair = &related[index];
+        set.examples.push(PairExample::build(
+            catalog,
+            records[pair.left],
+            records[pair.right],
+            config.sim_threshold,
+        ));
+        set.labels.push(pair.label == PairLabel::Observed);
+    }
+    if set.num_observed() == 0 || set.num_expected() == 0 {
+        return Err(CoreError::NotEnoughTrainingPairs {
+            observed: set.num_observed(),
+            expected: set.num_expected(),
+        });
+    }
+    Ok(set)
+}
+
+/// Convenience: enumerate, classify, sample and materialise in one call.
+pub fn prepare_training_set(
+    log: &ExecutionLog,
+    query: &BoundQuery,
+    config: &ExplainConfig,
+) -> Result<TrainingSet> {
+    let (records, related) = collect_related_pairs(log, query, config);
+    build_training_set(log, query, &records, &related, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ExecutionRecord;
+    use pxql::parse_query;
+
+    /// A synthetic log where half the job pairs with larger input have the
+    /// same duration (because block size is large) and half behave as
+    /// expected (bigger input takes longer).
+    fn synthetic_log() -> ExecutionLog {
+        let mut log = ExecutionLog::new();
+        for i in 0..30 {
+            let big_blocks = i % 2 == 0;
+            let input = if i % 3 == 0 { 32.0e9 } else { 1.0e9 };
+            // Jobs with big blocks finish in ~600s regardless of input size;
+            // small-block jobs scale with input.
+            let duration = if big_blocks { 600.0 } else { input / 5.0e7 };
+            log.push(
+                ExecutionRecord::job(format!("job_{i}"))
+                    .with_feature("inputsize", input)
+                    .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+                    .with_feature("pigscript", if i % 5 == 0 { "a.pig" } else { "b.pig" })
+                    .with_feature("duration", duration),
+            );
+        }
+        log.rebuild_catalogs();
+        log
+    }
+
+    fn query() -> BoundQuery {
+        let q = parse_query(
+            "DESPITE inputsize_compare = GT\n\
+             OBSERVED duration_compare = SIM\n\
+             EXPECTED duration_compare = GT",
+        )
+        .unwrap();
+        BoundQuery::new(q, "job_0", "job_1")
+    }
+
+    #[test]
+    fn related_pairs_have_both_labels() {
+        let log = synthetic_log();
+        let config = ExplainConfig::default();
+        let (records, related) = collect_related_pairs(&log, &query(), &config);
+        assert_eq!(records.len(), 30);
+        assert!(!related.is_empty());
+        assert!(related.iter().any(|p| p.label == PairLabel::Observed));
+        assert!(related.iter().any(|p| p.label == PairLabel::Expected));
+        // Only pairs with strictly greater input size are related.
+        for pair in &related {
+            let left = records[pair.left].feature("inputsize").as_num().unwrap();
+            let right = records[pair.right].feature("inputsize").as_num().unwrap();
+            assert!(left > right);
+        }
+    }
+
+    #[test]
+    fn training_set_is_materialised_and_balanced() {
+        let log = synthetic_log();
+        let config = ExplainConfig::default().with_sample_size(60);
+        let set = prepare_training_set(&log, &query(), &config).unwrap();
+        assert!(!set.is_empty());
+        assert!(set.num_observed() > 0);
+        assert!(set.num_expected() > 0);
+        // Full pair features are available.
+        assert!(set.examples[0].features.contains_key("blocksize_isSame"));
+        assert!(set.examples[0].features.contains_key("blocksize_compare"));
+        assert_eq!(set.iter().count(), set.len());
+    }
+
+    #[test]
+    fn capping_limits_candidate_pairs() {
+        let log = synthetic_log();
+        let config = ExplainConfig {
+            max_candidate_pairs: 50,
+            ..ExplainConfig::default()
+        };
+        let (_, related) = collect_related_pairs(&log, &query(), &config);
+        // 30 jobs -> 870 ordered pairs before capping; far fewer after.
+        assert!(related.len() <= 60, "related = {}", related.len());
+    }
+
+    #[test]
+    fn blocking_restricts_to_matching_groups() {
+        let log = synthetic_log();
+        let q = parse_query(
+            "DESPITE pigscript_isSame = T\n\
+             OBSERVED duration_compare = GT\n\
+             EXPECTED duration_compare = SIM",
+        )
+        .unwrap();
+        let bound = BoundQuery::new(q, "job_0", "job_5");
+        assert_eq!(blocking_feature(&bound, &log), Some("pigscript"));
+        let config = ExplainConfig::default();
+        let (records, related) = collect_related_pairs(&log, &bound, &config);
+        for pair in &related {
+            assert_eq!(
+                records[pair.left].feature("pigscript"),
+                records[pair.right].feature("pigscript")
+            );
+        }
+    }
+
+    #[test]
+    fn single_class_fails_with_descriptive_error() {
+        // All jobs identical: no pair can perform "as observed".
+        let mut log = ExecutionLog::new();
+        for i in 0..5 {
+            log.push(
+                ExecutionRecord::job(format!("job_{i}"))
+                    .with_feature("inputsize", 1.0e9)
+                    .with_feature("duration", 100.0),
+            );
+        }
+        log.rebuild_catalogs();
+        let err = prepare_training_set(&log, &query(), &ExplainConfig::default()).unwrap_err();
+        assert!(matches!(err, CoreError::NotEnoughTrainingPairs { .. }));
+    }
+
+    #[test]
+    fn tiny_log_yields_no_pairs() {
+        let mut log = ExecutionLog::new();
+        log.push(ExecutionRecord::job("only").with_feature("duration", 1.0));
+        log.rebuild_catalogs();
+        let (_, related) = collect_related_pairs(&log, &query(), &ExplainConfig::default());
+        assert!(related.is_empty());
+    }
+}

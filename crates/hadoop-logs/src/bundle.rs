@@ -1,0 +1,154 @@
+//! A job's on-disk log bundle: history file, configuration XML and Ganglia
+//! dump.
+//!
+//! PerfXplain's input is "a log of past MapReduce job executions along with
+//! their detailed configuration and performance metrics"; in a Hadoop
+//! deployment that log materialises as a directory per job containing the
+//! job-history file, the `job.xml` configuration and (here) the exported
+//! monitoring data.  [`JobLogBundle`] models that directory, can be built
+//! from a simulated trace, written to disk and read back.
+
+use crate::conf::render_job_conf;
+use crate::ganglia::render_ganglia_csv;
+use crate::history::render_job_history;
+use mrsim::JobTrace;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// File name of the job-history file inside a bundle directory.
+pub const HISTORY_FILE: &str = "job_history.log";
+/// File name of the configuration file inside a bundle directory.
+pub const CONF_FILE: &str = "job.xml";
+/// File name of the Ganglia dump inside a bundle directory.
+pub const GANGLIA_FILE: &str = "ganglia.csv";
+
+/// The textual log artefacts of one job execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobLogBundle {
+    /// Job identifier (also the directory name on disk).
+    pub job_id: String,
+    /// Hadoop job-history text.
+    pub history: String,
+    /// `job.xml` configuration text.
+    pub conf_xml: String,
+    /// Ganglia CSV dump covering the job's execution window.
+    pub ganglia_csv: String,
+}
+
+impl JobLogBundle {
+    /// Renders the bundle of a simulated job trace.
+    pub fn from_trace(trace: &JobTrace) -> Self {
+        JobLogBundle {
+            job_id: trace.job_id.clone(),
+            history: render_job_history(trace),
+            conf_xml: render_job_conf(trace),
+            ganglia_csv: render_ganglia_csv(&trace.ganglia),
+        }
+    }
+
+    /// Writes the bundle into `<root>/<job_id>/`.
+    pub fn write_to_dir(&self, root: &Path) -> io::Result<()> {
+        let dir = root.join(&self.job_id);
+        fs::create_dir_all(&dir)?;
+        fs::write(dir.join(HISTORY_FILE), &self.history)?;
+        fs::write(dir.join(CONF_FILE), &self.conf_xml)?;
+        fs::write(dir.join(GANGLIA_FILE), &self.ganglia_csv)?;
+        Ok(())
+    }
+
+    /// Reads a bundle from `<dir>` (a directory previously produced by
+    /// [`JobLogBundle::write_to_dir`]).
+    pub fn read_from_dir(dir: &Path) -> io::Result<Self> {
+        let job_id = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("unknown_job")
+            .to_string();
+        Ok(JobLogBundle {
+            job_id,
+            history: fs::read_to_string(dir.join(HISTORY_FILE))?,
+            conf_xml: fs::read_to_string(dir.join(CONF_FILE))?,
+            ganglia_csv: fs::read_to_string(dir.join(GANGLIA_FILE))?,
+        })
+    }
+
+    /// Reads every bundle directory under `root`, sorted by job id.
+    pub fn read_all(root: &Path) -> io::Result<Vec<Self>> {
+        let mut bundles = Vec::new();
+        for entry in fs::read_dir(root)? {
+            let entry = entry?;
+            if entry.file_type()?.is_dir() {
+                let dir = entry.path();
+                if dir.join(HISTORY_FILE).exists() {
+                    bundles.push(JobLogBundle::read_from_dir(&dir)?);
+                }
+            }
+        }
+        bundles.sort_by(|a, b| a.job_id.cmp(&b.job_id));
+        Ok(bundles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::{Cluster, ClusterSpec, JobSpec};
+    use std::env;
+
+    fn trace(seed: u64) -> JobTrace {
+        Cluster::new(ClusterSpec::with_instances(2), seed).run_job(JobSpec::default())
+    }
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = env::temp_dir().join(format!("perfxplain-bundle-test-{name}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn bundle_contains_all_artefacts() {
+        let bundle = JobLogBundle::from_trace(&trace(1));
+        assert!(bundle.history.contains("JOB_STATUS=\"SUCCESS\""));
+        assert!(bundle.conf_xml.contains("dfs.block.size"));
+        assert!(bundle.ganglia_csv.starts_with("timestamp,host,metric,value"));
+    }
+
+    #[test]
+    fn filesystem_round_trip() {
+        let root = temp_dir("roundtrip");
+        let a = JobLogBundle::from_trace(&trace(1));
+        let b = JobLogBundle::from_trace(&trace(2));
+        a.write_to_dir(&root).unwrap();
+        b.write_to_dir(&root).unwrap();
+
+        let read = JobLogBundle::read_all(&root).unwrap();
+        assert_eq!(read.len(), 2);
+        assert!(read.iter().any(|r| r == &a));
+        assert!(read.iter().any(|r| r == &b));
+
+        let single = JobLogBundle::read_from_dir(&root.join(&a.job_id)).unwrap();
+        assert_eq!(single, a);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn read_all_skips_unrelated_directories() {
+        let root = temp_dir("skips");
+        fs::create_dir_all(root.join("not-a-bundle")).unwrap();
+        fs::write(root.join("stray-file.txt"), "hello").unwrap();
+        let bundle = JobLogBundle::from_trace(&trace(3));
+        bundle.write_to_dir(&root).unwrap();
+        let read = JobLogBundle::read_all(&root).unwrap();
+        assert_eq!(read.len(), 1);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_files_surface_io_errors() {
+        let root = temp_dir("missing");
+        assert!(JobLogBundle::read_from_dir(&root.join("absent")).is_err());
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -1,0 +1,181 @@
+//! Job configuration files (`job.xml`).
+//!
+//! Hadoop stores the effective configuration of every submitted job as an
+//! XML file next to the job-history file; PerfXplain reads the configuration
+//! parameters it cares about (block size, reduce task count, io.sort.factor,
+//! the Pig script, …) from it.  This module renders and parses a minimal but
+//! well-formed version of that format without any XML dependency.
+
+use mrsim::JobTrace;
+use std::collections::BTreeMap;
+
+/// Configuration keys written for every job.
+pub mod keys {
+    /// HDFS block size in bytes (`dfs.block.size`).
+    pub const BLOCK_SIZE: &str = "dfs.block.size";
+    /// Number of reduce tasks (`mapred.reduce.tasks`).
+    pub const REDUCE_TASKS: &str = "mapred.reduce.tasks";
+    /// Merge fan-in (`io.sort.factor`).
+    pub const IO_SORT_FACTOR: &str = "io.sort.factor";
+    /// Job name (`mapred.job.name`).
+    pub const JOB_NAME: &str = "mapred.job.name";
+    /// The Pig script behind the job (`pig.script.name`).
+    pub const PIG_SCRIPT: &str = "pig.script.name";
+    /// Number of instances of the cluster (`perfxplain.cluster.instances`).
+    pub const NUM_INSTANCES: &str = "perfxplain.cluster.instances";
+    /// Reduce-tasks factor used to derive `mapred.reduce.tasks`.
+    pub const REDUCE_TASKS_FACTOR: &str = "perfxplain.reduce.tasks.factor";
+    /// Total input size in bytes.
+    pub const INPUT_BYTES: &str = "perfxplain.input.bytes";
+    /// Total input records.
+    pub const INPUT_RECORDS: &str = "perfxplain.input.records";
+    /// Map slots per instance.
+    pub const MAP_SLOTS: &str = "mapred.tasktracker.map.tasks.maximum";
+    /// Reduce slots per instance.
+    pub const REDUCE_SLOTS: &str = "mapred.tasktracker.reduce.tasks.maximum";
+}
+
+fn escape_xml(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+fn unescape_xml(text: &str) -> String {
+    text.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+}
+
+/// Renders a configuration map as a `job.xml` document.
+pub fn render_conf(properties: &BTreeMap<String, String>) -> String {
+    let mut out = String::from("<?xml version=\"1.0\"?>\n<configuration>\n");
+    for (name, value) in properties {
+        out.push_str(&format!(
+            "  <property><name>{}</name><value>{}</value></property>\n",
+            escape_xml(name),
+            escape_xml(value)
+        ));
+    }
+    out.push_str("</configuration>\n");
+    out
+}
+
+/// Builds the configuration map of a simulated job and renders it.
+pub fn render_job_conf(trace: &JobTrace) -> String {
+    let mut properties = BTreeMap::new();
+    properties.insert(keys::BLOCK_SIZE.to_string(), trace.spec.dfs_block_size.to_string());
+    properties.insert(
+        keys::REDUCE_TASKS.to_string(),
+        trace
+            .spec
+            .num_reduce_tasks(trace.cluster.num_instances)
+            .to_string(),
+    );
+    properties.insert(
+        keys::IO_SORT_FACTOR.to_string(),
+        trace.spec.io_sort_factor.to_string(),
+    );
+    properties.insert(keys::JOB_NAME.to_string(), trace.job_name.clone());
+    properties.insert(
+        keys::PIG_SCRIPT.to_string(),
+        trace.spec.script.file_name().to_string(),
+    );
+    properties.insert(
+        keys::NUM_INSTANCES.to_string(),
+        trace.cluster.num_instances.to_string(),
+    );
+    properties.insert(
+        keys::REDUCE_TASKS_FACTOR.to_string(),
+        trace.spec.reduce_tasks_factor.to_string(),
+    );
+    properties.insert(keys::INPUT_BYTES.to_string(), trace.spec.input_bytes.to_string());
+    properties.insert(
+        keys::INPUT_RECORDS.to_string(),
+        trace.spec.input_records.to_string(),
+    );
+    properties.insert(
+        keys::MAP_SLOTS.to_string(),
+        trace.cluster.map_slots_per_instance.to_string(),
+    );
+    properties.insert(
+        keys::REDUCE_SLOTS.to_string(),
+        trace.cluster.reduce_slots_per_instance.to_string(),
+    );
+    render_conf(&properties)
+}
+
+/// Parses a `job.xml` document back into a configuration map.  Unknown
+/// markup is ignored; only `<property><name>…</name><value>…</value>`
+/// elements are read.
+pub fn parse_job_conf(xml: &str) -> BTreeMap<String, String> {
+    let mut properties = BTreeMap::new();
+    let mut rest = xml;
+    while let Some(start) = rest.find("<property>") {
+        let Some(end) = rest[start..].find("</property>") else {
+            break;
+        };
+        let body = &rest[start + "<property>".len()..start + end];
+        let name = extract(body, "name");
+        let value = extract(body, "value");
+        if let (Some(name), Some(value)) = (name, value) {
+            properties.insert(name, value);
+        }
+        rest = &rest[start + end + "</property>".len()..];
+    }
+    properties
+}
+
+fn extract(body: &str, tag: &str) -> Option<String> {
+    let open = format!("<{tag}>");
+    let close = format!("</{tag}>");
+    let start = body.find(&open)? + open.len();
+    let end = body[start..].find(&close)? + start;
+    Some(unescape_xml(&body[start..end]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::{Cluster, ClusterSpec, JobSpec};
+
+    fn trace() -> JobTrace {
+        Cluster::new(ClusterSpec::with_instances(4), 9).run_job(JobSpec::default())
+    }
+
+    #[test]
+    fn conf_round_trip() {
+        let trace = trace();
+        let xml = render_job_conf(&trace);
+        assert!(xml.contains("<configuration>"));
+        let parsed = parse_job_conf(&xml);
+        assert_eq!(
+            parsed.get(keys::BLOCK_SIZE).map(String::as_str),
+            Some(trace.spec.dfs_block_size.to_string().as_str())
+        );
+        assert_eq!(parsed.get(keys::NUM_INSTANCES).map(String::as_str), Some("4"));
+        assert_eq!(
+            parsed.get(keys::PIG_SCRIPT).map(String::as_str),
+            Some("simple-filter.pig")
+        );
+        assert_eq!(parsed.len(), 11);
+    }
+
+    #[test]
+    fn xml_escaping_round_trips() {
+        let mut properties = BTreeMap::new();
+        properties.insert("weird".to_string(), "a<b & c>d".to_string());
+        let xml = render_conf(&properties);
+        assert!(!xml.contains("a<b"));
+        let parsed = parse_job_conf(&xml);
+        assert_eq!(parsed.get("weird").map(String::as_str), Some("a<b & c>d"));
+    }
+
+    #[test]
+    fn malformed_documents_do_not_panic() {
+        assert!(parse_job_conf("").is_empty());
+        assert!(parse_job_conf("<configuration><property><name>x</name>").is_empty());
+        let partial = parse_job_conf(
+            "<property><name>ok</name><value>1</value></property><property>broken</property>",
+        );
+        assert_eq!(partial.len(), 1);
+    }
+}

@@ -1,0 +1,200 @@
+//! Hadoop counter strings.
+//!
+//! Hadoop 1.x job-history files embed counters in a compact bracketed
+//! notation:
+//!
+//! ```text
+//! {(org\.apache\.hadoop\.mapred\.Task$Counter)(Map-Reduce Framework)
+//!  [(MAP_INPUT_RECORDS)(Map input records)(67108864)]
+//!  [(MAP_OUTPUT_BYTES)(Map output bytes)(57042534)]}
+//! ```
+//!
+//! This module renders and parses that notation (single group; the group
+//! names are fixed, the counter display names are derived from the counter
+//! keys).
+
+use std::collections::BTreeMap;
+
+/// The counter group used for framework counters.
+pub const FRAMEWORK_GROUP: &str = "org.apache.hadoop.mapred.Task$Counter";
+/// The human-readable group name.
+pub const FRAMEWORK_GROUP_DISPLAY: &str = "Map-Reduce Framework";
+
+fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '(' | ')' | '[' | ']' | '{' | '}' | '.' | '\\' => {
+                out.push('\\');
+                out.push(c);
+            }
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+fn unescape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    let mut chars = text.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(next) = chars.next() {
+                out.push(next);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Derives the display name Hadoop shows for a counter key
+/// (`MAP_INPUT_RECORDS` → `Map input records`).
+pub fn display_name(key: &str) -> String {
+    let lower = key.to_ascii_lowercase().replace('_', " ");
+    let mut chars = lower.chars();
+    match chars.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + chars.as_str(),
+        None => String::new(),
+    }
+}
+
+/// Renders a counter map into the bracketed history notation.
+pub fn render_counters(counters: &BTreeMap<String, u64>) -> String {
+    let mut out = String::new();
+    out.push('{');
+    out.push_str(&format!(
+        "({})({})",
+        escape(FRAMEWORK_GROUP),
+        escape(FRAMEWORK_GROUP_DISPLAY)
+    ));
+    for (key, value) in counters {
+        out.push_str(&format!(
+            "[({})({})({})]",
+            escape(key),
+            escape(&display_name(key)),
+            value
+        ));
+    }
+    out.push('}');
+    out
+}
+
+/// Splits a bracketed/parenthesised section, honouring escapes.  Returns the
+/// content between the opening delimiter at `start` and its matching closer,
+/// plus the index just past the closer.
+fn delimited(text: &[char], start: usize, open: char, close: char) -> Option<(String, usize)> {
+    if text.get(start) != Some(&open) {
+        return None;
+    }
+    let mut out = String::new();
+    let mut i = start + 1;
+    let mut depth = 1usize;
+    while i < text.len() {
+        let c = text[i];
+        if c == '\\' {
+            if let Some(&next) = text.get(i + 1) {
+                out.push('\\');
+                out.push(next);
+                i += 2;
+                continue;
+            }
+        }
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some((out, i + 1));
+            }
+        }
+        out.push(c);
+        i += 1;
+    }
+    None
+}
+
+/// Parses a counters string back into a map.  Unknown or malformed sections
+/// are skipped rather than failing the whole parse, mirroring how tolerant
+/// Hadoop log consumers have to be.
+pub fn parse_counters(text: &str) -> BTreeMap<String, u64> {
+    let mut counters = BTreeMap::new();
+    let chars: Vec<char> = text.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        if chars[i] == '[' {
+            if let Some((body, next)) = delimited(&chars, i, '[', ']') {
+                let inner: Vec<char> = body.chars().collect();
+                // [(KEY)(Display)(value)]
+                if let Some((key, after_key)) = delimited(&inner, 0, '(', ')') {
+                    if let Some((_display, after_display)) = delimited(&inner, after_key, '(', ')') {
+                        if let Some((value, _)) = delimited(&inner, after_display, '(', ')') {
+                            if let Ok(parsed) = unescape(&value).trim().parse::<u64>() {
+                                counters.insert(unescape(&key), parsed);
+                            }
+                        }
+                    }
+                }
+                i = next;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    counters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BTreeMap<String, u64> {
+        BTreeMap::from([
+            ("MAP_INPUT_RECORDS".to_string(), 67_108_864u64),
+            ("MAP_OUTPUT_BYTES".to_string(), 57_042_534u64),
+            ("SPILLED_RECORDS".to_string(), 0u64),
+        ])
+    }
+
+    #[test]
+    fn round_trip() {
+        let counters = sample();
+        let text = render_counters(&counters);
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains("(MAP_INPUT_RECORDS)(Map input records)(67108864)"));
+        let parsed = parse_counters(&text);
+        assert_eq!(parsed, counters);
+    }
+
+    #[test]
+    fn display_name_formatting() {
+        assert_eq!(display_name("MAP_INPUT_RECORDS"), "Map input records");
+        assert_eq!(display_name("HDFS_BYTES_READ"), "Hdfs bytes read");
+        assert_eq!(display_name(""), "");
+    }
+
+    #[test]
+    fn escaping_special_characters() {
+        assert_eq!(escape("a.b(c)"), "a\\.b\\(c\\)");
+        assert_eq!(unescape("a\\.b\\(c\\)"), "a.b(c)");
+        // The group name contains dots and a dollar sign and must survive.
+        let text = render_counters(&sample());
+        assert!(text.contains("org\\.apache\\.hadoop"));
+    }
+
+    #[test]
+    fn malformed_sections_are_skipped() {
+        let parsed = parse_counters("{(g)(G)[(OK)(Ok)(5)][(BROKEN)(missing value)]}");
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed.get("OK"), Some(&5));
+        assert!(parse_counters("garbage").is_empty());
+        assert!(parse_counters("").is_empty());
+    }
+
+    #[test]
+    fn empty_counter_map() {
+        let text = render_counters(&BTreeMap::new());
+        assert_eq!(parse_counters(&text), BTreeMap::new());
+    }
+}

@@ -1,0 +1,191 @@
+//! Ganglia metric dumps: rendering, parsing and windowed averaging.
+//!
+//! The paper runs Ganglia on every instance and samples each metric every
+//! five seconds; PerfXplain computes, for every task, the average value of
+//! every metric over the task's execution window on the instance the task
+//! ran on, and percolates those averages up to jobs.
+//!
+//! The dump format used here is a plain CSV with one row per
+//! `(timestamp, host, metric, value)`, similar to what `gmetad` exports.
+
+use mrsim::GangliaSample;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed metric row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricRow {
+    /// Sample time in seconds.
+    pub time: f64,
+    /// Hostname of the instance.
+    pub host: String,
+    /// Metric name.
+    pub metric: String,
+    /// Metric value.
+    pub value: f64,
+}
+
+/// Renders the samples of a job into the CSV dump format.
+pub fn render_ganglia_csv(samples: &[GangliaSample]) -> String {
+    let mut out = String::from("timestamp,host,metric,value\n");
+    for sample in samples {
+        for (metric, value) in &sample.metrics {
+            let _ = writeln!(
+                out,
+                "{:.1},{},{},{}",
+                sample.time, sample.hostname, metric, value
+            );
+        }
+    }
+    out
+}
+
+/// Parses a CSV dump.  Malformed rows are skipped (real monitoring dumps are
+/// never pristine); the header row is optional.
+pub fn parse_ganglia_csv(text: &str) -> Vec<MetricRow> {
+    let mut rows = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("timestamp") {
+            continue;
+        }
+        let mut parts = line.splitn(4, ',');
+        let (Some(time), Some(host), Some(metric), Some(value)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            continue;
+        };
+        let (Ok(time), Ok(value)) = (time.parse::<f64>(), value.parse::<f64>()) else {
+            continue;
+        };
+        rows.push(MetricRow {
+            time,
+            host: host.to_string(),
+            metric: metric.to_string(),
+            value,
+        });
+    }
+    rows
+}
+
+/// Averages every metric of `host` over the window `[start, end]`.
+///
+/// Returns an empty map when no sample of that host falls inside the window
+/// (the caller then typically widens the window to the nearest sample).
+pub fn windowed_average(
+    rows: &[MetricRow],
+    host: &str,
+    start: f64,
+    end: f64,
+) -> BTreeMap<String, f64> {
+    let mut sums: BTreeMap<String, (f64, usize)> = BTreeMap::new();
+    for row in rows {
+        if row.host == host && row.time >= start - 1e-9 && row.time <= end + 1e-9 {
+            let entry = sums.entry(row.metric.clone()).or_insert((0.0, 0));
+            entry.0 += row.value;
+            entry.1 += 1;
+        }
+    }
+    sums.into_iter()
+        .map(|(metric, (sum, count))| (metric, sum / count as f64))
+        .collect()
+}
+
+/// Like [`windowed_average`] but, when the window contains no sample (tasks
+/// shorter than the sampling period), falls back to the sample closest to
+/// the window's midpoint.
+pub fn windowed_average_or_nearest(
+    rows: &[MetricRow],
+    host: &str,
+    start: f64,
+    end: f64,
+) -> BTreeMap<String, f64> {
+    let averages = windowed_average(rows, host, start, end);
+    if !averages.is_empty() {
+        return averages;
+    }
+    let midpoint = (start + end) / 2.0;
+    let mut nearest_time: Option<f64> = None;
+    for row in rows.iter().filter(|r| r.host == host) {
+        let better = match nearest_time {
+            None => true,
+            Some(t) => (row.time - midpoint).abs() < (t - midpoint).abs(),
+        };
+        if better {
+            nearest_time = Some(row.time);
+        }
+    }
+    match nearest_time {
+        Some(t) => rows
+            .iter()
+            .filter(|r| r.host == host && (r.time - t).abs() < 1e-9)
+            .map(|r| (r.metric.clone(), r.value))
+            .collect(),
+        None => BTreeMap::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::{Cluster, ClusterSpec, JobSpec};
+
+    fn samples() -> Vec<GangliaSample> {
+        Cluster::new(ClusterSpec::with_instances(2), 3)
+            .run_job(JobSpec::default())
+            .ganglia
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let samples = samples();
+        let csv = render_ganglia_csv(&samples);
+        let rows = parse_ganglia_csv(&csv);
+        // One row per (sample, metric).
+        let expected: usize = samples.iter().map(|s| s.metrics.len()).sum();
+        assert_eq!(rows.len(), expected);
+        // Values survive the round trip.
+        let first = &samples[0];
+        let (metric, value) = first.metrics.iter().next().unwrap();
+        let row = rows
+            .iter()
+            .find(|r| r.host == first.hostname && (r.time - first.time).abs() < 0.05 && &r.metric == metric)
+            .unwrap();
+        assert!((row.value - value).abs() < 1e-9 * value.abs().max(1.0));
+    }
+
+    #[test]
+    fn malformed_rows_are_skipped() {
+        let rows = parse_ganglia_csv(
+            "timestamp,host,metric,value\n5.0,host-a,cpu_user,42.0\nnot,a,row\n,,,\nbad,host,cpu,NaNope\n",
+        );
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].metric, "cpu_user");
+    }
+
+    #[test]
+    fn windowed_average_selects_host_and_window() {
+        let rows = vec![
+            MetricRow { time: 0.0, host: "a".into(), metric: "cpu_user".into(), value: 10.0 },
+            MetricRow { time: 5.0, host: "a".into(), metric: "cpu_user".into(), value: 30.0 },
+            MetricRow { time: 10.0, host: "a".into(), metric: "cpu_user".into(), value: 90.0 },
+            MetricRow { time: 5.0, host: "b".into(), metric: "cpu_user".into(), value: 1.0 },
+        ];
+        let avg = windowed_average(&rows, "a", 0.0, 5.0);
+        assert!((avg["cpu_user"] - 20.0).abs() < 1e-9);
+        assert!(windowed_average(&rows, "c", 0.0, 5.0).is_empty());
+    }
+
+    #[test]
+    fn nearest_fallback_for_short_windows() {
+        let rows = vec![
+            MetricRow { time: 0.0, host: "a".into(), metric: "load_one".into(), value: 1.0 },
+            MetricRow { time: 5.0, host: "a".into(), metric: "load_one".into(), value: 2.0 },
+        ];
+        // Window (1.2, 2.8) contains no sample; the closest is t=0 to the
+        // midpoint 2.0? No: |0-2| = 2, |5-2| = 3, so t=0 wins.
+        let avg = windowed_average_or_nearest(&rows, "a", 1.2, 2.8);
+        assert_eq!(avg.get("load_one"), Some(&1.0));
+        assert!(windowed_average_or_nearest(&rows, "zzz", 0.0, 1.0).is_empty());
+    }
+}

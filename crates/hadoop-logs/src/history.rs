@@ -1,0 +1,204 @@
+//! Rendering simulated job traces into the Hadoop 1.x job-history format.
+//!
+//! A history file is a sequence of records, one per line, of the form
+//!
+//! ```text
+//! Job JOBID="job_202601_0001" JOBNAME="PigLatin:simple-filter.pig" SUBMIT_TIME="1323158533000" .
+//! Task TASKID="task_202601_0001_m_000000" TASK_TYPE="MAP" START_TIME="1323158541000" .
+//! MapAttempt TASK_TYPE="MAP" TASKID="…" TASK_ATTEMPT_ID="…" TASK_STATUS="SUCCESS" FINISH_TIME="…" COUNTERS="{…}" .
+//! ```
+//!
+//! Every record is an event type followed by `KEY="value"` attributes and a
+//! terminating ` .`.  Values escape embedded quotes.  Timestamps are in
+//! milliseconds, as Hadoop writes them.
+
+use crate::counters::render_counters;
+use mrsim::{JobTrace, TaskKind, TaskTrace};
+use std::fmt::Write as _;
+
+/// Converts simulated seconds into Hadoop-style millisecond timestamps.
+pub fn to_millis(seconds: f64) -> u64 {
+    (seconds * 1000.0).round().max(0.0) as u64
+}
+
+fn escape_value(value: &str) -> String {
+    value.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_record(out: &mut String, event: &str, attrs: &[(&str, String)]) {
+    out.push_str(event);
+    for (key, value) in attrs {
+        let _ = write!(out, " {key}=\"{}\"", escape_value(value));
+    }
+    out.push_str(" .\n");
+}
+
+fn attempt_records(out: &mut String, task: &TaskTrace) {
+    let event = match task.kind {
+        TaskKind::Map => "MapAttempt",
+        TaskKind::Reduce => "ReduceAttempt",
+    };
+    // Attempt start record.
+    write_record(
+        out,
+        event,
+        &[
+            ("TASK_TYPE", task.kind.as_history_str().to_string()),
+            ("TASKID", task.task_id.clone()),
+            ("TASK_ATTEMPT_ID", task.attempt_id.clone()),
+            ("START_TIME", to_millis(task.start_time).to_string()),
+            ("TRACKER_NAME", task.tracker_name.clone()),
+            ("HTTP_PORT", "50060".to_string()),
+        ],
+    );
+    // Attempt finish record.
+    let mut attrs: Vec<(&str, String)> = vec![
+        ("TASK_TYPE", task.kind.as_history_str().to_string()),
+        ("TASKID", task.task_id.clone()),
+        ("TASK_ATTEMPT_ID", task.attempt_id.clone()),
+        ("TASK_STATUS", "SUCCESS".to_string()),
+    ];
+    if let Some(shuffle) = task.shuffle_finish_time {
+        attrs.push(("SHUFFLE_FINISHED", to_millis(shuffle).to_string()));
+    }
+    if let Some(sort) = task.sort_finish_time {
+        attrs.push(("SORT_FINISHED", to_millis(sort).to_string()));
+    }
+    attrs.push(("FINISH_TIME", to_millis(task.finish_time).to_string()));
+    attrs.push((
+        "HOSTNAME",
+        task.tracker_name
+            .trim_start_matches("tracker_")
+            .split(':')
+            .next()
+            .unwrap_or("unknown")
+            .to_string(),
+    ));
+    attrs.push(("COUNTERS", render_counters(&task.counters)));
+    write_record(out, event, &attrs);
+
+    // Task summary record.
+    write_record(
+        out,
+        "Task",
+        &[
+            ("TASKID", task.task_id.clone()),
+            ("TASK_TYPE", task.kind.as_history_str().to_string()),
+            ("TASK_STATUS", "SUCCESS".to_string()),
+            ("FINISH_TIME", to_millis(task.finish_time).to_string()),
+            ("COUNTERS", render_counters(&task.counters)),
+        ],
+    );
+}
+
+/// Renders a full job-history file for a simulated job.
+pub fn render_job_history(trace: &JobTrace) -> String {
+    let mut out = String::new();
+    write_record(&mut out, "Meta", &[("VERSION", "1".to_string())]);
+    write_record(
+        &mut out,
+        "Job",
+        &[
+            ("JOBID", trace.job_id.clone()),
+            ("JOBNAME", trace.job_name.clone()),
+            ("USER", "perfxplain".to_string()),
+            ("SUBMIT_TIME", to_millis(trace.submit_time).to_string()),
+            ("JOBCONF", format!("hdfs:///jobs/{}/job.xml", trace.job_id)),
+        ],
+    );
+    let num_maps = trace.map_tasks().count();
+    let num_reduces = trace.reduce_tasks().count();
+    write_record(
+        &mut out,
+        "Job",
+        &[
+            ("JOBID", trace.job_id.clone()),
+            ("LAUNCH_TIME", to_millis(trace.launch_time).to_string()),
+            ("TOTAL_MAPS", num_maps.to_string()),
+            ("TOTAL_REDUCES", num_reduces.to_string()),
+            ("JOB_STATUS", "PREP".to_string()),
+        ],
+    );
+
+    for task in &trace.tasks {
+        // Task start record.
+        write_record(
+            &mut out,
+            "Task",
+            &[
+                ("TASKID", task.task_id.clone()),
+                ("TASK_TYPE", task.kind.as_history_str().to_string()),
+                ("START_TIME", to_millis(task.start_time).to_string()),
+                ("SPLITS", String::new()),
+            ],
+        );
+        attempt_records(&mut out, task);
+    }
+
+    write_record(
+        &mut out,
+        "Job",
+        &[
+            ("JOBID", trace.job_id.clone()),
+            ("FINISH_TIME", to_millis(trace.finish_time).to_string()),
+            ("JOB_STATUS", "SUCCESS".to_string()),
+            ("FINISHED_MAPS", num_maps.to_string()),
+            ("FINISHED_REDUCES", num_reduces.to_string()),
+            ("COUNTERS", render_counters(&trace.counters)),
+        ],
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mrsim::{Cluster, ClusterSpec, JobSpec};
+
+    fn trace() -> JobTrace {
+        Cluster::new(ClusterSpec::with_instances(2), 5).run_job(JobSpec::default())
+    }
+
+    #[test]
+    fn history_contains_all_record_types() {
+        let trace = trace();
+        let history = render_job_history(&trace);
+        assert!(history.contains("Meta VERSION=\"1\""));
+        assert!(history.contains(&format!("JOBID=\"{}\"", trace.job_id)));
+        assert!(history.contains("MapAttempt TASK_TYPE=\"MAP\""));
+        assert!(history.contains("ReduceAttempt TASK_TYPE=\"REDUCE\""));
+        assert!(history.contains("SHUFFLE_FINISHED="));
+        assert!(history.contains("JOB_STATUS=\"SUCCESS\""));
+        // Every line is terminated by " ." like real history files.
+        assert!(history.lines().all(|l| l.ends_with(" .")));
+    }
+
+    #[test]
+    fn record_counts_match_tasks() {
+        let trace = trace();
+        let history = render_job_history(&trace);
+        let attempts = history
+            .lines()
+            .filter(|l| l.starts_with("MapAttempt") || l.starts_with("ReduceAttempt"))
+            .count();
+        // Two attempt records (start + finish) per task.
+        assert_eq!(attempts, trace.tasks.len() * 2);
+    }
+
+    #[test]
+    fn timestamps_are_milliseconds() {
+        assert_eq!(to_millis(1.5), 1500);
+        assert_eq!(to_millis(-3.0), 0);
+        let trace = trace();
+        let history = render_job_history(&trace);
+        let submit = format!("SUBMIT_TIME=\"{}\"", to_millis(trace.submit_time));
+        assert!(history.contains(&submit));
+    }
+
+    #[test]
+    fn values_with_quotes_are_escaped() {
+        let mut out = String::new();
+        write_record(&mut out, "Test", &[("KEY", "a \"quoted\" value".to_string())]);
+        assert!(out.contains("KEY=\"a \\\"quoted\\\" value\""));
+    }
+}

@@ -1,0 +1,376 @@
+//! A small, self-contained dataset abstraction.
+//!
+//! PerfXplain training examples are pairs of job (or task) executions encoded
+//! as a fixed-width vector of mixed numeric/nominal features with missing
+//! values, plus a binary label: did the pair perform *as observed* (positive)
+//! or *as expected* (negative).  This module provides that representation in
+//! a form the split search, the decision-tree learner and Relief can share.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The kind of an attribute (column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrKind {
+    /// Real-valued attribute; ordered comparisons are meaningful.
+    Numeric,
+    /// Categorical attribute; only equality is meaningful.  Values are
+    /// interned into a per-attribute [`NominalDictionary`].
+    Nominal,
+}
+
+impl fmt::Display for AttrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrKind::Numeric => write!(f, "numeric"),
+            AttrKind::Nominal => write!(f, "nominal"),
+        }
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttrValue {
+    /// The value is unknown / not applicable for this instance.
+    Missing,
+    /// A numeric value.
+    Num(f64),
+    /// An interned nominal value (index into the attribute's dictionary).
+    Nom(u32),
+}
+
+impl AttrValue {
+    /// Returns `true` if the value is [`AttrValue::Missing`].
+    pub fn is_missing(&self) -> bool {
+        matches!(self, AttrValue::Missing)
+    }
+
+    /// Returns the numeric payload, if any.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            AttrValue::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the nominal payload, if any.
+    pub fn as_nom(&self) -> Option<u32> {
+        match self {
+            AttrValue::Nom(v) => Some(*v),
+            _ => None,
+        }
+    }
+}
+
+/// Per-attribute dictionary interning nominal string values.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct NominalDictionary {
+    values: Vec<String>,
+    index: HashMap<String, u32>,
+}
+
+impl NominalDictionary {
+    /// Creates an empty dictionary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `value`, returning its stable index.
+    pub fn intern(&mut self, value: &str) -> u32 {
+        if let Some(&id) = self.index.get(value) {
+            return id;
+        }
+        let id = self.values.len() as u32;
+        self.values.push(value.to_string());
+        self.index.insert(value.to_string(), id);
+        id
+    }
+
+    /// Looks up the index of an already-interned value.
+    pub fn get(&self, value: &str) -> Option<u32> {
+        self.index.get(value).copied()
+    }
+
+    /// Resolves an index back to its string.
+    pub fn resolve(&self, id: u32) -> Option<&str> {
+        self.values.get(id as usize).map(String::as_str)
+    }
+
+    /// Number of distinct interned values.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the dictionary has no values.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Iterates over `(index, value)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str)> {
+        self.values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (i as u32, v.as_str()))
+    }
+}
+
+/// Schema entry for one attribute.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute name (e.g. `inputsize_compare`).
+    pub name: String,
+    /// Attribute kind.
+    pub kind: AttrKind,
+    /// Dictionary for nominal attributes; empty for numeric ones.
+    pub dictionary: NominalDictionary,
+}
+
+impl Attribute {
+    /// Creates a numeric attribute.
+    pub fn numeric(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Numeric,
+            dictionary: NominalDictionary::new(),
+        }
+    }
+
+    /// Creates a nominal attribute with an empty dictionary.
+    pub fn nominal(name: impl Into<String>) -> Self {
+        Attribute {
+            name: name.into(),
+            kind: AttrKind::Nominal,
+            dictionary: NominalDictionary::new(),
+        }
+    }
+}
+
+/// A labeled dataset with a fixed schema.
+///
+/// Rows are instances; `labels[i]` is `true` for positive instances (in
+/// PerfXplain: pairs that performed *as observed*).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Dataset {
+    attributes: Vec<Attribute>,
+    rows: Vec<Vec<AttrValue>>,
+    labels: Vec<bool>,
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given schema.
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        Dataset {
+            attributes,
+            rows: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// The schema.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Mutable access to an attribute (used to intern nominal values while
+    /// loading).
+    pub fn attribute_mut(&mut self, index: usize) -> &mut Attribute {
+        &mut self.attributes[index]
+    }
+
+    /// Index of the attribute named `name`, if present.
+    pub fn attribute_index(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Number of attributes.
+    pub fn num_attributes(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no instances.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Appends an instance.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the schema.
+    pub fn push(&mut self, row: Vec<AttrValue>, label: bool) {
+        assert_eq!(
+            row.len(),
+            self.attributes.len(),
+            "row width {} does not match schema width {}",
+            row.len(),
+            self.attributes.len()
+        );
+        self.rows.push(row);
+        self.labels.push(label);
+    }
+
+    /// The `i`-th instance.
+    pub fn row(&self, i: usize) -> &[AttrValue] {
+        &self.rows[i]
+    }
+
+    /// The `i`-th label.
+    pub fn label(&self, i: usize) -> bool {
+        self.labels[i]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[bool] {
+        &self.labels
+    }
+
+    /// Value of attribute `attr` for instance `i`.
+    pub fn value(&self, i: usize, attr: usize) -> AttrValue {
+        self.rows[i][attr]
+    }
+
+    /// Number of positive instances.
+    pub fn num_positive(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Fraction of positive instances; 0.0 for an empty dataset.
+    pub fn positive_fraction(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.num_positive() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Builds a new dataset containing only the instances whose indices are
+    /// listed in `indices` (schema and dictionaries are shared by clone).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut out = Dataset::new(self.attributes.clone());
+        for &i in indices {
+            out.push(self.rows[i].clone(), self.labels[i]);
+        }
+        out
+    }
+
+    /// Builds a new dataset keeping only the attributes whose indices are in
+    /// `attr_indices` (in that order).
+    pub fn project(&self, attr_indices: &[usize]) -> Dataset {
+        let attributes = attr_indices
+            .iter()
+            .map(|&a| self.attributes[a].clone())
+            .collect();
+        let mut out = Dataset::new(attributes);
+        for (row, &label) in self.rows.iter().zip(self.labels.iter()) {
+            let projected = attr_indices.iter().map(|&a| row[a]).collect();
+            out.push(projected, label);
+        }
+        out
+    }
+
+    /// Iterates over `(row, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&[AttrValue], bool)> {
+        self.rows
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.labels.iter().copied())
+    }
+
+    /// Per-attribute observed numeric range `(min, max)`, ignoring missing
+    /// values. Returns `None` when no numeric value was observed.
+    pub fn numeric_range(&self, attr: usize) -> Option<(f64, f64)> {
+        let mut range: Option<(f64, f64)> = None;
+        for row in &self.rows {
+            if let AttrValue::Num(v) = row[attr] {
+                range = Some(match range {
+                    None => (v, v),
+                    Some((lo, hi)) => (lo.min(v), hi.max(v)),
+                });
+            }
+        }
+        range
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Dataset {
+        let mut ds = Dataset::new(vec![
+            Attribute::numeric("x"),
+            Attribute::nominal("color"),
+        ]);
+        let red = ds.attribute_mut(1).dictionary.intern("red");
+        let blue = ds.attribute_mut(1).dictionary.intern("blue");
+        ds.push(vec![AttrValue::Num(1.0), AttrValue::Nom(red)], true);
+        ds.push(vec![AttrValue::Num(2.0), AttrValue::Nom(blue)], false);
+        ds.push(vec![AttrValue::Missing, AttrValue::Nom(red)], true);
+        ds
+    }
+
+    #[test]
+    fn dictionary_interns_stably() {
+        let mut d = NominalDictionary::new();
+        let a = d.intern("a");
+        let b = d.intern("b");
+        assert_eq!(d.intern("a"), a);
+        assert_ne!(a, b);
+        assert_eq!(d.resolve(a), Some("a"));
+        assert_eq!(d.get("b"), Some(b));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn dataset_basic_accessors() {
+        let ds = toy();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.num_attributes(), 2);
+        assert_eq!(ds.num_positive(), 2);
+        assert!((ds.positive_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(ds.attribute_index("color"), Some(1));
+        assert_eq!(ds.attribute_index("nope"), None);
+        assert_eq!(ds.value(0, 0), AttrValue::Num(1.0));
+        assert!(ds.value(2, 0).is_missing());
+    }
+
+    #[test]
+    fn subset_and_project() {
+        let ds = toy();
+        let sub = ds.subset(&[0, 2]);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.num_positive(), 2);
+
+        let proj = ds.project(&[1]);
+        assert_eq!(proj.num_attributes(), 1);
+        assert_eq!(proj.attributes()[0].name, "color");
+        assert_eq!(proj.len(), 3);
+    }
+
+    #[test]
+    fn numeric_range_ignores_missing() {
+        let ds = toy();
+        assert_eq!(ds.numeric_range(0), Some((1.0, 2.0)));
+        assert_eq!(ds.numeric_range(1), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn push_rejects_wrong_width() {
+        let mut ds = toy();
+        ds.push(vec![AttrValue::Num(1.0)], true);
+    }
+
+    #[test]
+    fn positive_fraction_of_empty_is_zero() {
+        let ds = Dataset::new(vec![Attribute::numeric("x")]);
+        assert_eq!(ds.positive_fraction(), 0.0);
+        assert!(ds.is_empty());
+    }
+}

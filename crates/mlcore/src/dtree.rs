@@ -1,0 +1,284 @@
+//! A reference decision-tree learner.
+//!
+//! PerfXplain deliberately does **not** run a full decision-tree induction
+//! (Section 4.2 discusses why), but the paper grounds its predicate search in
+//! C4.5.  This module provides a small, faithful tree learner that the test
+//! suite uses as an oracle for the split search and that the ablation
+//! benchmarks use to compare "path of a decision tree" explanations against
+//! PerfXplain's greedy precision/generality-driven conjunctions.
+
+use crate::dataset::Dataset;
+use crate::split::{best_split, TestAtom};
+use serde::{Deserialize, Serialize};
+
+/// Learner configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TreeConfig {
+    /// Maximum tree depth (root has depth 0).
+    pub max_depth: usize,
+    /// Minimum number of instances required to attempt a split.
+    pub min_split: usize,
+    /// Minimum information gain required to accept a split.
+    pub min_gain: f64,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        TreeConfig {
+            max_depth: 8,
+            min_split: 4,
+            min_gain: 1e-6,
+        }
+    }
+}
+
+/// A node of the learned tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TreeNode {
+    /// Leaf predicting the positive class with the stored probability.
+    Leaf {
+        /// Estimated probability of the positive class at this leaf.
+        probability: f64,
+        /// Number of training instances that reached the leaf.
+        support: usize,
+    },
+    /// Internal node testing an atom.
+    Split {
+        /// The test applied at this node.
+        atom: TestAtom,
+        /// Subtree for instances satisfying the test.
+        then_branch: Box<TreeNode>,
+        /// Subtree for instances not satisfying the test.
+        else_branch: Box<TreeNode>,
+    },
+}
+
+/// A trained decision tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    root: TreeNode,
+    config: TreeConfig,
+}
+
+impl DecisionTree {
+    /// Trains a tree on every instance of `data`.
+    pub fn fit(data: &Dataset, config: TreeConfig) -> Self {
+        let indices: Vec<usize> = (0..data.len()).collect();
+        let root = Self::build(data, &indices, config, 0);
+        DecisionTree { root, config }
+    }
+
+    fn leaf(data: &Dataset, indices: &[usize]) -> TreeNode {
+        let positive = indices.iter().filter(|&&i| data.label(i)).count();
+        let probability = if indices.is_empty() {
+            0.5
+        } else {
+            positive as f64 / indices.len() as f64
+        };
+        TreeNode::Leaf {
+            probability,
+            support: indices.len(),
+        }
+    }
+
+    fn build(data: &Dataset, indices: &[usize], config: TreeConfig, depth: usize) -> TreeNode {
+        let positive = indices.iter().filter(|&&i| data.label(i)).count();
+        let pure = positive == 0 || positive == indices.len();
+        if pure || depth >= config.max_depth || indices.len() < config.min_split {
+            return Self::leaf(data, indices);
+        }
+        let Some(split) = best_split(data, indices) else {
+            return Self::leaf(data, indices);
+        };
+        if split.gain < config.min_gain
+            || split.inside.total() == 0
+            || split.outside.total() == 0
+        {
+            return Self::leaf(data, indices);
+        }
+        let (inside, outside): (Vec<usize>, Vec<usize>) = indices
+            .iter()
+            .partition(|&&i| split.atom.matches_row(data, i));
+        TreeNode::Split {
+            atom: split.atom,
+            then_branch: Box::new(Self::build(data, &inside, config, depth + 1)),
+            else_branch: Box::new(Self::build(data, &outside, config, depth + 1)),
+        }
+    }
+
+    /// The configuration the tree was trained with.
+    pub fn config(&self) -> TreeConfig {
+        self.config
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &TreeNode {
+        &self.root
+    }
+
+    /// Probability of the positive class for row `i` of `data`.
+    pub fn predict_proba(&self, data: &Dataset, i: usize) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                TreeNode::Leaf { probability, .. } => return *probability,
+                TreeNode::Split {
+                    atom,
+                    then_branch,
+                    else_branch,
+                } => {
+                    node = if atom.matches_row(data, i) {
+                        then_branch
+                    } else {
+                        else_branch
+                    };
+                }
+            }
+        }
+    }
+
+    /// Hard classification of row `i` (threshold 0.5).
+    pub fn predict(&self, data: &Dataset, i: usize) -> bool {
+        self.predict_proba(data, i) >= 0.5
+    }
+
+    /// Training-set accuracy; convenience for tests and benches.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        if data.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..data.len())
+            .filter(|&i| self.predict(data, i) == data.label(i))
+            .count();
+        correct as f64 / data.len() as f64
+    }
+
+    /// The sequence of atoms on the path followed by row `i`, i.e. the
+    /// conjunction a plain decision tree would give as an "explanation" for
+    /// that instance.  Each atom is paired with whether the instance took the
+    /// `then` branch.
+    pub fn decision_path(&self, data: &Dataset, i: usize) -> Vec<(TestAtom, bool)> {
+        let mut node = &self.root;
+        let mut path = Vec::new();
+        loop {
+            match node {
+                TreeNode::Leaf { .. } => return path,
+                TreeNode::Split {
+                    atom,
+                    then_branch,
+                    else_branch,
+                } => {
+                    let taken = atom.matches_row(data, i);
+                    path.push((*atom, taken));
+                    node = if taken { then_branch } else { else_branch };
+                }
+            }
+        }
+    }
+
+    /// Number of nodes in the tree.
+    pub fn num_nodes(&self) -> usize {
+        fn count(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf { .. } => 1,
+                TreeNode::Split {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => 1 + count(then_branch) + count(else_branch),
+            }
+        }
+        count(&self.root)
+    }
+
+    /// Depth of the tree (a single leaf has depth 0).
+    pub fn depth(&self) -> usize {
+        fn depth_of(node: &TreeNode) -> usize {
+            match node {
+                TreeNode::Leaf { .. } => 0,
+                TreeNode::Split {
+                    then_branch,
+                    else_branch,
+                    ..
+                } => 1 + depth_of(then_branch).max(depth_of(else_branch)),
+            }
+        }
+        depth_of(&self.root)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::{AttrValue, Attribute};
+
+    /// label = (x > 5) XOR (color == red), learnable with depth 2.
+    fn xor_dataset() -> Dataset {
+        let mut ds = Dataset::new(vec![Attribute::numeric("x"), Attribute::nominal("color")]);
+        let red = ds.attribute_mut(1).dictionary.intern("red");
+        let blue = ds.attribute_mut(1).dictionary.intern("blue");
+        for i in 0..40 {
+            let x = (i % 10) as f64;
+            let color = if i % 2 == 0 { red } else { blue };
+            let label = (x > 5.0) ^ (color == red);
+            ds.push(vec![AttrValue::Num(x), AttrValue::Nom(color)], label);
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_xor_with_enough_depth() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeConfig {
+                max_depth: 4,
+                min_split: 2,
+                min_gain: 1e-9,
+            },
+        );
+        assert!(tree.accuracy(&ds) > 0.85, "accuracy {}", tree.accuracy(&ds));
+        assert!(tree.depth() >= 2);
+    }
+
+    #[test]
+    fn depth_zero_produces_single_leaf() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::fit(
+            &ds,
+            TreeConfig {
+                max_depth: 0,
+                ..TreeConfig::default()
+            },
+        );
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.depth(), 0);
+        // Majority-class probability is 0.5 for the XOR data set.
+        assert!((tree.predict_proba(&ds, 0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decision_path_matches_prediction_route() {
+        let ds = xor_dataset();
+        let tree = DecisionTree::fit(&ds, TreeConfig::default());
+        for i in 0..ds.len() {
+            let path = tree.decision_path(&ds, i);
+            assert!(path.len() <= tree.depth());
+            for (atom, taken) in path {
+                assert_eq!(atom.matches_row(&ds, i), taken);
+            }
+        }
+    }
+
+    #[test]
+    fn pure_dataset_yields_single_leaf() {
+        let mut ds = Dataset::new(vec![Attribute::numeric("x")]);
+        for i in 0..10 {
+            ds.push(vec![AttrValue::Num(i as f64)], true);
+        }
+        let tree = DecisionTree::fit(&ds, TreeConfig::default());
+        assert_eq!(tree.num_nodes(), 1);
+        assert!(tree.predict(&ds, 3));
+        assert_eq!(tree.accuracy(&ds), 1.0);
+    }
+}

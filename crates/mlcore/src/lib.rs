@@ -1,0 +1,48 @@
+//! Hand-rolled machine-learning primitives used by PerfXplain.
+//!
+//! The PerfXplain explanation-generation algorithm (Algorithm 1 in the paper)
+//! is *related to* decision-tree learning but is not a decision tree: it only
+//! borrows the notion of information gain for choosing the best predicate per
+//! feature, and then ranks the per-feature predicates by a weighted,
+//! percentile-normalised combination of precision and generality.  The two
+//! baselines additionally need Relief-style feature importance
+//! (RuleOfThumb) and a balanced sampler (Section 4.3 of the paper).
+//!
+//! This crate provides exactly those primitives, with no external ML
+//! dependencies:
+//!
+//! * [`dataset`] — a small columnar dataset abstraction over mixed
+//!   numeric/nominal attributes with missing values and binary labels.
+//! * [`entropy`] — binary entropy, entropy of count vectors and information
+//!   gain of a boolean partition.
+//! * [`split`] — C4.5-style best-split search per attribute (threshold
+//!   candidates for numeric attributes, equality tests for nominal ones).
+//! * [`dtree`] — a reference decision-tree learner.  PerfXplain itself does
+//!   not build full trees, but the tree learner is used by the ablation
+//!   benchmarks ("greedy conjunction vs. plain decision-tree path") and by
+//!   tests as an oracle for the split search.
+//! * [`relief`] — the Relief feature-estimation algorithm
+//!   (Robnik-Šikonja & Kononenko) adapted for mixed attributes and missing
+//!   values, used by the RuleOfThumb baseline.
+//! * [`sample`] — the balanced sampling procedure of Section 4.3.
+//! * [`stats`] — means, standard deviations and the percentile-rank
+//!   normalisation used by `normalizeScore` in Algorithm 1.
+
+pub mod dataset;
+pub mod dtree;
+pub mod entropy;
+pub mod relief;
+pub mod sample;
+pub mod split;
+pub mod stats;
+
+pub use dataset::{AttrKind, AttrValue, Attribute, Dataset, NominalDictionary};
+pub use dtree::{DecisionTree, TreeConfig};
+pub use entropy::{binary_entropy, entropy_of_counts, information_gain};
+pub use relief::{relief_weights, ReliefConfig};
+pub use sample::{balanced_sample, BalanceStats};
+pub use split::{
+    best_split, best_split_for_attribute, best_split_for_attribute_filtered, SplitCandidate,
+    TestAtom, TestConstant, TestOp,
+};
+pub use stats::{mean, percentile_ranks, stddev};

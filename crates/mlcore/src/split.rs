@@ -1,0 +1,412 @@
+//! Per-attribute best-predicate (split) search.
+//!
+//! For a given attribute the search considers atomic tests of the form
+//! `attribute op constant`:
+//!
+//! * nominal attributes: equality with each observed dictionary value
+//!   (`= v`), as in the paper ("for nominal attributes, the only operator it
+//!   considers is equality");
+//! * numeric attributes: `<= t` and `> t` for C4.5-style candidate thresholds
+//!   (mid-points between consecutive distinct observed values), plus equality
+//!   with each distinct value so that explanations such as
+//!   `numinstances <= 12` and `blocksize = 256MB` can both be produced.
+//!
+//! Instances with a missing value for the attribute never satisfy a test on
+//! that attribute; they count toward the "outside" partition, mirroring how
+//! PerfXplain treats non-applicable comparison features.
+
+use crate::dataset::{AttrKind, AttrValue, Dataset};
+use crate::entropy::{information_gain, CellCounts};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Operator of an atomic test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TestOp {
+    /// Equality (numeric or nominal).
+    Eq,
+    /// `<=` on a numeric attribute.
+    Le,
+    /// `>` on a numeric attribute.
+    Gt,
+}
+
+impl fmt::Display for TestOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestOp::Eq => write!(f, "="),
+            TestOp::Le => write!(f, "<="),
+            TestOp::Gt => write!(f, ">"),
+        }
+    }
+}
+
+/// The constant of an atomic test.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TestConstant {
+    /// Numeric threshold or value.
+    Num(f64),
+    /// Interned nominal value.
+    Nom(u32),
+}
+
+/// An atomic test `attribute op constant`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TestAtom {
+    /// Index of the attribute in the dataset schema.
+    pub attribute: usize,
+    /// Operator.
+    pub op: TestOp,
+    /// Constant.
+    pub constant: TestConstant,
+}
+
+impl TestAtom {
+    /// Evaluates the test on a single value of the attribute.
+    /// Missing values never satisfy a test.
+    pub fn matches_value(&self, value: AttrValue) -> bool {
+        match (self.op, self.constant, value) {
+            (_, _, AttrValue::Missing) => false,
+            (TestOp::Eq, TestConstant::Num(c), AttrValue::Num(v)) => (v - c).abs() <= f64::EPSILON * c.abs().max(1.0),
+            (TestOp::Le, TestConstant::Num(c), AttrValue::Num(v)) => v <= c,
+            (TestOp::Gt, TestConstant::Num(c), AttrValue::Num(v)) => v > c,
+            (TestOp::Eq, TestConstant::Nom(c), AttrValue::Nom(v)) => v == c,
+            // Type mismatches (e.g. numeric test against a nominal value)
+            // never match; they indicate schema drift, not an error.
+            _ => false,
+        }
+    }
+
+    /// Evaluates the test on row `i` of `data`.
+    pub fn matches_row(&self, data: &Dataset, i: usize) -> bool {
+        self.matches_value(data.value(i, self.attribute))
+    }
+
+    /// Renders the test against a dataset schema (resolving nominal values).
+    pub fn display<'a>(&'a self, data: &'a Dataset) -> TestAtomDisplay<'a> {
+        TestAtomDisplay { atom: self, data }
+    }
+}
+
+/// Helper for rendering a [`TestAtom`] with resolved attribute and value
+/// names.
+pub struct TestAtomDisplay<'a> {
+    atom: &'a TestAtom,
+    data: &'a Dataset,
+}
+
+impl fmt::Display for TestAtomDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let attr = &self.data.attributes()[self.atom.attribute];
+        write!(f, "{} {} ", attr.name, self.atom.op)?;
+        match self.atom.constant {
+            TestConstant::Num(v) => write!(f, "{v}"),
+            TestConstant::Nom(id) => {
+                write!(f, "{}", attr.dictionary.resolve(id).unwrap_or("<unknown>"))
+            }
+        }
+    }
+}
+
+/// A candidate split: the best atomic test found for one attribute together
+/// with its information gain and the partition counts it induces.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SplitCandidate {
+    /// The winning test.
+    pub atom: TestAtom,
+    /// Information gain of the test over the considered instances.
+    pub gain: f64,
+    /// Counts of instances satisfying the test.
+    pub inside: CellCounts,
+    /// Counts of instances not satisfying the test (including missing).
+    pub outside: CellCounts,
+}
+
+impl SplitCandidate {
+    /// Fraction of considered instances that satisfy the test.
+    pub fn coverage(&self) -> f64 {
+        let total = self.inside.total() + self.outside.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.inside.total() as f64 / total as f64
+        }
+    }
+
+    /// Fraction of positive instances among those satisfying the test
+    /// (`None` if nothing satisfies it).
+    pub fn inside_precision(&self) -> Option<f64> {
+        if self.inside.total() == 0 {
+            None
+        } else {
+            Some(self.inside.positive as f64 / self.inside.total() as f64)
+        }
+    }
+}
+
+fn evaluate_atom(data: &Dataset, indices: &[usize], atom: TestAtom) -> SplitCandidate {
+    let mut inside = CellCounts::default();
+    let mut outside = CellCounts::default();
+    for &i in indices {
+        let cell = if atom.matches_row(data, i) {
+            &mut inside
+        } else {
+            &mut outside
+        };
+        if data.label(i) {
+            cell.positive += 1;
+        } else {
+            cell.negative += 1;
+        }
+    }
+    SplitCandidate {
+        atom,
+        gain: information_gain(inside, outside),
+        inside,
+        outside,
+    }
+}
+
+/// Finds the atomic test on `attribute` with the highest information gain
+/// over the instances listed in `indices`.
+///
+/// Returns `None` when the attribute has no observed (non-missing) values
+/// among the instances, or when every candidate test yields zero gain *and*
+/// either never matches or always matches (i.e. the test is vacuous).
+pub fn best_split_for_attribute(
+    data: &Dataset,
+    indices: &[usize],
+    attribute: usize,
+) -> Option<SplitCandidate> {
+    best_split_for_attribute_filtered(data, indices, attribute, |_| true)
+}
+
+/// Like [`best_split_for_attribute`] but only considers candidate tests
+/// accepted by `allow`.
+///
+/// PerfXplain uses the filter to enforce *applicability*: an explanation must
+/// hold for the pair of interest, so only tests that the pair of interest
+/// satisfies are eligible.
+pub fn best_split_for_attribute_filtered(
+    data: &Dataset,
+    indices: &[usize],
+    attribute: usize,
+    allow: impl Fn(&TestAtom) -> bool,
+) -> Option<SplitCandidate> {
+    let kind = data.attributes()[attribute].kind;
+    let mut candidates: Vec<TestAtom> = Vec::new();
+
+    match kind {
+        AttrKind::Nominal => {
+            let mut seen: Vec<u32> = Vec::new();
+            for &i in indices {
+                if let AttrValue::Nom(v) = data.value(i, attribute) {
+                    if !seen.contains(&v) {
+                        seen.push(v);
+                    }
+                }
+            }
+            for v in seen {
+                candidates.push(TestAtom {
+                    attribute,
+                    op: TestOp::Eq,
+                    constant: TestConstant::Nom(v),
+                });
+            }
+        }
+        AttrKind::Numeric => {
+            let mut values: Vec<f64> = indices
+                .iter()
+                .filter_map(|&i| data.value(i, attribute).as_num())
+                .collect();
+            values.sort_by(|a, b| a.partial_cmp(b).expect("NaN feature value"));
+            values.dedup();
+            for window in values.windows(2) {
+                let threshold = (window[0] + window[1]) / 2.0;
+                candidates.push(TestAtom {
+                    attribute,
+                    op: TestOp::Le,
+                    constant: TestConstant::Num(threshold),
+                });
+                candidates.push(TestAtom {
+                    attribute,
+                    op: TestOp::Gt,
+                    constant: TestConstant::Num(threshold),
+                });
+            }
+            for v in values {
+                candidates.push(TestAtom {
+                    attribute,
+                    op: TestOp::Eq,
+                    constant: TestConstant::Num(v),
+                });
+            }
+        }
+    }
+
+    let mut best: Option<SplitCandidate> = None;
+    for atom in candidates {
+        if !allow(&atom) {
+            continue;
+        }
+        let candidate = evaluate_atom(data, indices, atom);
+        // A vacuous test (matches nothing) can never be part of an applicable
+        // explanation; skip it.
+        if candidate.inside.total() == 0 {
+            continue;
+        }
+        let better = match &best {
+            None => true,
+            Some(b) => {
+                candidate.gain > b.gain + 1e-12
+                    || ((candidate.gain - b.gain).abs() <= 1e-12
+                        && candidate.inside.total() > b.inside.total())
+            }
+        };
+        if better {
+            best = Some(candidate);
+        }
+    }
+    best
+}
+
+/// Finds the best split over *all* attributes; convenience used by the
+/// decision-tree learner.
+pub fn best_split(data: &Dataset, indices: &[usize]) -> Option<SplitCandidate> {
+    let mut best: Option<SplitCandidate> = None;
+    for attribute in 0..data.num_attributes() {
+        if let Some(candidate) = best_split_for_attribute(data, indices, attribute) {
+            let better = match &best {
+                None => true,
+                Some(b) => candidate.gain > b.gain + 1e-12,
+            };
+            if better {
+                best = Some(candidate);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Attribute;
+
+    fn numeric_dataset() -> Dataset {
+        // label = x > 5
+        let mut ds = Dataset::new(vec![Attribute::numeric("x"), Attribute::numeric("noise")]);
+        for i in 0..10 {
+            let x = i as f64;
+            ds.push(
+                vec![AttrValue::Num(x), AttrValue::Num((i % 3) as f64)],
+                x > 5.0,
+            );
+        }
+        ds
+    }
+
+    fn nominal_dataset() -> Dataset {
+        let mut ds = Dataset::new(vec![Attribute::nominal("color")]);
+        let red = ds.attribute_mut(0).dictionary.intern("red");
+        let blue = ds.attribute_mut(0).dictionary.intern("blue");
+        for _ in 0..5 {
+            ds.push(vec![AttrValue::Nom(red)], true);
+            ds.push(vec![AttrValue::Nom(blue)], false);
+        }
+        ds
+    }
+
+    fn all_indices(ds: &Dataset) -> Vec<usize> {
+        (0..ds.len()).collect()
+    }
+
+    #[test]
+    fn numeric_threshold_is_found() {
+        let ds = numeric_dataset();
+        let idx = all_indices(&ds);
+        let split = best_split_for_attribute(&ds, &idx, 0).expect("split");
+        // The perfect threshold lies between 5 and 6.
+        match (split.atom.op, split.atom.constant) {
+            (TestOp::Gt, TestConstant::Num(t)) => assert!((t - 5.5).abs() < 1e-9),
+            (TestOp::Le, TestConstant::Num(t)) => assert!((t - 5.5).abs() < 1e-9),
+            other => panic!("unexpected winning atom {other:?}"),
+        }
+        assert!(split.gain > 0.9);
+    }
+
+    #[test]
+    fn noise_attribute_has_lower_gain() {
+        let ds = numeric_dataset();
+        let idx = all_indices(&ds);
+        let informative = best_split_for_attribute(&ds, &idx, 0).unwrap();
+        let noisy = best_split_for_attribute(&ds, &idx, 1).unwrap();
+        assert!(informative.gain > noisy.gain);
+        let overall = best_split(&ds, &idx).unwrap();
+        assert_eq!(overall.atom.attribute, 0);
+    }
+
+    #[test]
+    fn nominal_equality_is_found() {
+        let ds = nominal_dataset();
+        let idx = all_indices(&ds);
+        let split = best_split_for_attribute(&ds, &idx, 0).expect("split");
+        assert_eq!(split.atom.op, TestOp::Eq);
+        assert!(split.gain > 0.99);
+        assert_eq!(split.inside.total(), 5);
+    }
+
+    #[test]
+    fn missing_values_do_not_match() {
+        let atom = TestAtom {
+            attribute: 0,
+            op: TestOp::Le,
+            constant: TestConstant::Num(10.0),
+        };
+        assert!(!atom.matches_value(AttrValue::Missing));
+        assert!(atom.matches_value(AttrValue::Num(3.0)));
+        assert!(!atom.matches_value(AttrValue::Num(30.0)));
+    }
+
+    #[test]
+    fn attribute_with_only_missing_values_yields_none() {
+        let mut ds = Dataset::new(vec![Attribute::numeric("x")]);
+        ds.push(vec![AttrValue::Missing], true);
+        ds.push(vec![AttrValue::Missing], false);
+        assert!(best_split_for_attribute(&ds, &[0, 1], 0).is_none());
+    }
+
+    #[test]
+    fn subset_of_indices_is_respected() {
+        let ds = numeric_dataset();
+        // Only positives considered: any non-vacuous split has zero gain.
+        let idx: Vec<usize> = (6..10).collect();
+        let split = best_split_for_attribute(&ds, &idx, 0).unwrap();
+        assert!(split.gain.abs() < 1e-9);
+        assert_eq!(split.inside.total() + split.outside.total(), 4);
+    }
+
+    #[test]
+    fn filtered_search_respects_the_filter() {
+        let ds = numeric_dataset();
+        let idx = all_indices(&ds);
+        // Only allow equality tests; the perfect threshold split is excluded.
+        let split =
+            best_split_for_attribute_filtered(&ds, &idx, 0, |atom| atom.op == TestOp::Eq)
+                .expect("split");
+        assert_eq!(split.atom.op, TestOp::Eq);
+        let unrestricted = best_split_for_attribute(&ds, &idx, 0).unwrap();
+        assert!(unrestricted.gain >= split.gain);
+        // A filter that rejects everything yields no candidate.
+        assert!(best_split_for_attribute_filtered(&ds, &idx, 0, |_| false).is_none());
+    }
+
+    #[test]
+    fn display_renders_names() {
+        let ds = nominal_dataset();
+        let idx = all_indices(&ds);
+        let split = best_split_for_attribute(&ds, &idx, 0).unwrap();
+        let text = format!("{}", split.atom.display(&ds));
+        assert!(text.starts_with("color = "));
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based tests for the ML primitives.
+
+use mlcore::{
+    balanced_sample, best_split_for_attribute, binary_entropy, entropy_of_counts,
+    information_gain, percentile_ranks, AttrValue, Attribute, Dataset,
+};
+use mlcore::entropy::CellCounts;
+use proptest::prelude::*;
+
+proptest! {
+    // -----------------------------------------------------------------
+    // Entropy and information gain
+    // -----------------------------------------------------------------
+    #[test]
+    fn entropy_is_bounded_and_symmetric(p in 0.0..=1.0f64) {
+        let h = binary_entropy(p);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&h));
+        prop_assert!((h - binary_entropy(1.0 - p)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn information_gain_is_bounded_by_parent_entropy(
+        inside_pos in 0usize..200,
+        inside_neg in 0usize..200,
+        outside_pos in 0usize..200,
+        outside_neg in 0usize..200,
+    ) {
+        let inside = CellCounts { positive: inside_pos, negative: inside_neg };
+        let outside = CellCounts { positive: outside_pos, negative: outside_neg };
+        let gain = information_gain(inside, outside);
+        let parent = entropy_of_counts(inside_pos + outside_pos, inside_neg + outside_neg);
+        prop_assert!(gain >= 0.0);
+        prop_assert!(gain <= parent + 1e-9, "gain {gain} exceeds parent entropy {parent}");
+    }
+
+    // -----------------------------------------------------------------
+    // Percentile-rank normalisation
+    // -----------------------------------------------------------------
+    #[test]
+    fn percentile_ranks_are_bounded_and_order_preserving(
+        values in proptest::collection::vec(0.0..1.0f64, 1..40)
+    ) {
+        let ranks = percentile_ranks(&values);
+        prop_assert_eq!(ranks.len(), values.len());
+        for r in &ranks {
+            prop_assert!((0.0..=1.0).contains(r));
+        }
+        for i in 0..values.len() {
+            for j in 0..values.len() {
+                if values[i] > values[j] {
+                    prop_assert!(ranks[i] >= ranks[j]);
+                }
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Balanced sampling
+    // -----------------------------------------------------------------
+    #[test]
+    fn balanced_sample_indices_are_valid_and_classes_capped(
+        positives in 0usize..3000,
+        negatives in 0usize..3000,
+        target in 10usize..500,
+        seed in 0u64..1000,
+    ) {
+        let mut labels = vec![true; positives];
+        labels.extend(vec![false; negatives]);
+        let (selected, stats) = balanced_sample(&labels, target, seed);
+        prop_assert_eq!(selected.len(), stats.total());
+        prop_assert!(stats.positive <= positives);
+        prop_assert!(stats.negative <= negatives);
+        for &index in &selected {
+            prop_assert!(index < labels.len());
+        }
+        // Indices are strictly increasing (scan order, no duplicates).
+        for window in selected.windows(2) {
+            prop_assert!(window[0] < window[1]);
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Split search
+    // -----------------------------------------------------------------
+    #[test]
+    fn best_split_counts_are_consistent_with_its_own_atom(
+        values in proptest::collection::vec((0.0..100.0f64, any::<bool>()), 4..80)
+    ) {
+        let mut dataset = Dataset::new(vec![Attribute::numeric("x")]);
+        for (x, label) in &values {
+            dataset.push(vec![AttrValue::Num(*x)], *label);
+        }
+        let indices: Vec<usize> = (0..dataset.len()).collect();
+        if let Some(split) = best_split_for_attribute(&dataset, &indices, 0) {
+            // Re-count the partition the winning atom induces and compare
+            // against what the search reported.
+            let mut inside = 0usize;
+            let mut inside_pos = 0usize;
+            for &i in &indices {
+                if split.atom.matches_row(&dataset, i) {
+                    inside += 1;
+                    if dataset.label(i) {
+                        inside_pos += 1;
+                    }
+                }
+            }
+            prop_assert_eq!(inside, split.inside.total());
+            prop_assert_eq!(inside_pos, split.inside.positive);
+            prop_assert!(split.gain >= 0.0);
+            prop_assert!(inside > 0, "winning splits are never vacuous");
+        }
+    }
+}

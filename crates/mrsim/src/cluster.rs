@@ -1,0 +1,480 @@
+//! The cluster: ties together configuration, scheduling, the cost model and
+//! the monitor, and produces [`JobTrace`]s.
+
+use crate::config::{ClusterSpec, JobSpec};
+use crate::cost::CostModel;
+use crate::ganglia::{sample_cluster, TaskLoad};
+use crate::instance::Instance;
+use crate::noise::NoiseModel;
+use crate::scheduler::{phase_finish, schedule_phase, PendingTask};
+use crate::trace::{counters, JobTrace, TaskKind, TaskTrace};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+
+/// A simulated MapReduce cluster.
+///
+/// A `Cluster` is cheap to create; the paper's methodology (one cluster per
+/// parameter configuration, one or more jobs run on it) is reproduced by the
+/// workload driver creating many clusters with different specs and seeds.
+#[derive(Debug)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    instances: Vec<Instance>,
+    cost_model: CostModel,
+    noise: NoiseModel,
+    rng: StdRng,
+    /// Identifier embedded in job ids (Hadoop uses the JobTracker start
+    /// timestamp; we use the cluster seed).
+    run_id: u64,
+    job_seq: u32,
+    clock: f64,
+}
+
+impl Cluster {
+    /// Creates a cluster with the default cost and noise models.
+    pub fn new(spec: ClusterSpec, seed: u64) -> Self {
+        Cluster::with_models(spec, seed, CostModel::default(), NoiseModel::default())
+    }
+
+    /// Creates a cluster with explicit cost and noise models (used by tests
+    /// that need exact determinism).
+    pub fn with_models(
+        spec: ClusterSpec,
+        seed: u64,
+        cost_model: CostModel,
+        noise: NoiseModel,
+    ) -> Self {
+        let instances = Instance::fleet(spec.num_instances, seed);
+        Cluster {
+            spec,
+            instances,
+            cost_model,
+            noise,
+            rng: StdRng::seed_from_u64(seed),
+            run_id: 202_600_000_000 + (seed % 99_999_999),
+            job_seq: 0,
+            clock: 0.0,
+        }
+    }
+
+    /// The cluster specification.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// The cluster's instances.
+    pub fn instances(&self) -> &[Instance] {
+        &self.instances
+    }
+
+    /// The simulated wall-clock time after the last job finished.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// Runs one job to completion and returns its trace.
+    pub fn run_job(&mut self, job: JobSpec) -> JobTrace {
+        self.job_seq += 1;
+        let job_id = format!("job_{}_{:04}", self.run_id, self.job_seq);
+        let job_name = format!("PigLatin:{}", job.script.file_name());
+
+        let submit_time = job.submit_time.max(self.clock);
+        // Job setup (split computation, Pig plan compilation) before the
+        // first task launches; the remainder of the job overhead is cleanup
+        // after the last task.
+        let setup = self.cost_model.job_overhead_secs / 3.0;
+        let cleanup = self.cost_model.job_overhead_secs - setup;
+        let launch_time = submit_time + setup * self.noise.factor(&mut self.rng);
+
+        // ------------------------------------------------------------------
+        // Map phase.
+        // ------------------------------------------------------------------
+        let num_maps = job.num_map_tasks();
+        let mut map_costs = Vec::with_capacity(num_maps);
+        let mut map_pending = Vec::with_capacity(num_maps);
+        for index in 0..num_maps {
+            let cost = self.cost_model.map_cost(&self.spec, &job, index);
+            let solo = cost.total_secs() * self.noise.factor(&mut self.rng);
+            map_pending.push(PendingTask {
+                index,
+                solo_duration: solo,
+            });
+            map_costs.push(cost);
+        }
+        let map_sched = schedule_phase(
+            &self.spec,
+            &map_pending,
+            self.spec.map_slots_per_instance,
+            launch_time,
+        );
+        let map_finish = phase_finish(&map_sched, launch_time);
+
+        let total_map_output_bytes: u64 = map_costs.iter().map(|c| c.output_bytes).sum();
+        let total_map_output_records: u64 = map_costs.iter().map(|c| c.output_records).sum();
+
+        // ------------------------------------------------------------------
+        // Reduce phase (starts once every map task finished).
+        // ------------------------------------------------------------------
+        let num_reduces = job.num_reduce_tasks(self.spec.num_instances);
+        let mut reduce_costs = Vec::with_capacity(num_reduces);
+        let mut reduce_pending = Vec::with_capacity(num_reduces);
+        let mut reduce_shuffle_bytes = Vec::with_capacity(num_reduces);
+        for index in 0..num_reduces {
+            // Hash partitioning is never perfectly even; skew the partition
+            // sizes by a few percent.
+            let skew = 1.0 + (self.rng.random_range(-0.05..0.05f64));
+            let share = (total_map_output_bytes as f64 / num_reduces as f64 * skew).max(0.0);
+            let shuffle_bytes = share as u64;
+            let cost = self
+                .cost_model
+                .reduce_cost(&self.spec, &job, shuffle_bytes, num_maps);
+            let solo = cost.total_secs() * self.noise.factor(&mut self.rng);
+            reduce_pending.push(PendingTask {
+                index,
+                solo_duration: solo,
+            });
+            reduce_costs.push(cost);
+            reduce_shuffle_bytes.push(shuffle_bytes);
+        }
+        let reduce_sched = schedule_phase(
+            &self.spec,
+            &reduce_pending,
+            self.spec.reduce_slots_per_instance,
+            map_finish,
+        );
+        let reduce_finish = phase_finish(&reduce_sched, map_finish);
+
+        let finish_time = reduce_finish + cleanup * self.noise.factor(&mut self.rng);
+
+        // ------------------------------------------------------------------
+        // Task traces and counters.
+        // ------------------------------------------------------------------
+        let mut tasks = Vec::with_capacity(num_maps + num_reduces);
+        let mut loads = Vec::with_capacity(num_maps + num_reduces);
+
+        for (sched, cost) in map_sched.iter().zip(map_costs.iter()) {
+            let index = sched.index;
+            let block_bytes = job.block_bytes(index);
+            let block_records = job.block_records(index);
+            let instance = &self.instances[sched.instance];
+            let task_id = format!("task_{}_{:04}_m_{:06}", self.run_id, self.job_seq, index);
+            let attempt_id = format!(
+                "attempt_{}_{:04}_m_{:06}_0",
+                self.run_id, self.job_seq, index
+            );
+            let mut task_counters = BTreeMap::new();
+            task_counters.insert(counters::HDFS_BYTES_READ.to_string(), block_bytes);
+            task_counters.insert(counters::MAP_INPUT_BYTES.to_string(), block_bytes);
+            task_counters.insert(counters::MAP_INPUT_RECORDS.to_string(), block_records);
+            task_counters.insert(counters::MAP_OUTPUT_BYTES.to_string(), cost.output_bytes);
+            task_counters.insert(counters::MAP_OUTPUT_RECORDS.to_string(), cost.output_records);
+            task_counters.insert(counters::FILE_BYTES_WRITTEN.to_string(), cost.output_bytes);
+            task_counters.insert(counters::SPILLED_RECORDS.to_string(), cost.output_records);
+            task_counters.insert(counters::COMBINE_INPUT_RECORDS.to_string(), 0);
+            task_counters.insert(counters::COMBINE_OUTPUT_RECORDS.to_string(), 0);
+
+            let duration = (sched.finish - sched.start).max(1e-6);
+            // Roughly one HDFS replica in three is remote.
+            let remote_read_rate = block_bytes as f64 / 3.0 / duration;
+            loads.push(TaskLoad {
+                instance: sched.instance,
+                start: sched.start,
+                finish: sched.finish,
+                kind: TaskKind::Map,
+                net_in_bytes_per_sec: remote_read_rate,
+                net_out_bytes_per_sec: cost.output_bytes as f64 / 3.0 / duration,
+            });
+            tasks.push(TaskTrace {
+                task_id,
+                attempt_id,
+                kind: TaskKind::Map,
+                instance: sched.instance,
+                tracker_name: instance.tracker_name.clone(),
+                start_time: sched.start,
+                finish_time: sched.finish,
+                shuffle_finish_time: None,
+                sort_finish_time: None,
+                concurrency: sched.concurrency,
+                counters: task_counters,
+            });
+        }
+
+        for (sched, cost) in reduce_sched.iter().zip(reduce_costs.iter()) {
+            let index = sched.index;
+            let instance = &self.instances[sched.instance];
+            let task_id = format!("task_{}_{:04}_r_{:06}", self.run_id, self.job_seq, index);
+            let attempt_id = format!(
+                "attempt_{}_{:04}_r_{:06}_0",
+                self.run_id, self.job_seq, index
+            );
+            let shuffle_bytes = reduce_shuffle_bytes[index];
+            let input_records =
+                (total_map_output_records as f64 / num_reduces as f64).round() as u64;
+            let groups = match job.script {
+                crate::pig::PigScript::SimpleGroupBy => {
+                    // Distinct users per reducer; bounded by the record count.
+                    (input_records / 12).max(1).min(input_records.max(1))
+                }
+                crate::pig::PigScript::SimpleFilter => input_records,
+            };
+            let output_records = match job.script {
+                crate::pig::PigScript::SimpleGroupBy => groups,
+                crate::pig::PigScript::SimpleFilter => input_records,
+            };
+            let merge_passes = CostModel::merge_passes(num_maps, job.io_sort_factor) as u64;
+
+            let mut task_counters = BTreeMap::new();
+            task_counters.insert(counters::REDUCE_SHUFFLE_BYTES.to_string(), shuffle_bytes);
+            task_counters.insert(counters::REDUCE_INPUT_RECORDS.to_string(), input_records);
+            task_counters.insert(counters::REDUCE_INPUT_GROUPS.to_string(), groups);
+            task_counters.insert(counters::REDUCE_OUTPUT_RECORDS.to_string(), output_records);
+            task_counters.insert(counters::HDFS_BYTES_WRITTEN.to_string(), cost.output_bytes);
+            task_counters.insert(
+                counters::FILE_BYTES_READ.to_string(),
+                shuffle_bytes * merge_passes,
+            );
+            task_counters.insert(
+                counters::FILE_BYTES_WRITTEN.to_string(),
+                shuffle_bytes * merge_passes,
+            );
+
+            // The scheduler scaled the whole task by the contention
+            // multiplier; distribute the scaled duration over the phases in
+            // proportion to their solo costs.
+            let duration = (sched.finish - sched.start).max(1e-6);
+            let solo_total = cost.total_secs().max(1e-9);
+            let shuffle_span = duration * (cost.shuffle_secs + cost.overhead_secs) / solo_total;
+            let sort_span = duration * cost.sort_secs / solo_total;
+            let shuffle_finish = sched.start + shuffle_span;
+            let sort_finish = shuffle_finish + sort_span;
+
+            loads.push(TaskLoad {
+                instance: sched.instance,
+                start: sched.start,
+                finish: sched.finish,
+                kind: TaskKind::Reduce,
+                net_in_bytes_per_sec: shuffle_bytes as f64 / duration,
+                net_out_bytes_per_sec: cost.output_bytes as f64 * 2.0 / 3.0 / duration,
+            });
+            tasks.push(TaskTrace {
+                task_id,
+                attempt_id,
+                kind: TaskKind::Reduce,
+                instance: sched.instance,
+                tracker_name: instance.tracker_name.clone(),
+                start_time: sched.start,
+                finish_time: sched.finish,
+                shuffle_finish_time: Some(shuffle_finish),
+                sort_finish_time: Some(sort_finish),
+                concurrency: sched.concurrency,
+                counters: task_counters,
+            });
+        }
+
+        // Job-level counters: sums over tasks plus launch totals.
+        let mut job_counters: BTreeMap<String, u64> = BTreeMap::new();
+        for task in &tasks {
+            for (name, value) in &task.counters {
+                *job_counters.entry(name.clone()).or_insert(0) += value;
+            }
+        }
+        job_counters.insert(counters::TOTAL_LAUNCHED_MAPS.to_string(), num_maps as u64);
+        job_counters.insert(
+            counters::TOTAL_LAUNCHED_REDUCES.to_string(),
+            num_reduces as u64,
+        );
+
+        // Ganglia monitoring over the whole job window.
+        let ganglia = sample_cluster(
+            &self.spec,
+            &self.instances,
+            &loads,
+            submit_time,
+            finish_time,
+            &self.noise,
+            &mut self.rng,
+        );
+
+        // Leave a small gap before the next job on this cluster.
+        self.clock = finish_time + 5.0;
+
+        JobTrace {
+            job_id,
+            job_name,
+            cluster: self.spec.clone(),
+            spec: job,
+            submit_time,
+            launch_time,
+            finish_time,
+            tasks,
+            counters: job_counters,
+            ganglia,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pig::PigScript;
+    use crate::{GB, MB};
+
+    fn quiet_cluster(instances: usize, seed: u64) -> Cluster {
+        Cluster::with_models(
+            ClusterSpec::with_instances(instances),
+            seed,
+            CostModel::default(),
+            NoiseModel::none(),
+        )
+    }
+
+    #[test]
+    fn job_produces_expected_task_counts() {
+        let mut cluster = quiet_cluster(4, 1);
+        let job = JobSpec {
+            input_bytes: GB,
+            dfs_block_size: 128 * MB,
+            reduce_tasks_factor: 1.5,
+            ..JobSpec::default()
+        };
+        let trace = cluster.run_job(job);
+        assert_eq!(trace.map_tasks().count(), 8);
+        assert_eq!(trace.reduce_tasks().count(), 6);
+        assert_eq!(trace.counter(counters::TOTAL_LAUNCHED_MAPS), 8);
+        assert!(trace.duration() > 0.0);
+        assert!(!trace.ganglia.is_empty());
+        assert!(trace.tasks.iter().all(|t| t.finish_time > t.start_time));
+        assert!(trace.job_id.starts_with("job_"));
+    }
+
+    #[test]
+    fn larger_input_takes_longer_on_a_small_cluster() {
+        let job_small = JobSpec {
+            input_bytes: (1.3 * GB as f64) as u64,
+            input_records: 13_000_000,
+            ..JobSpec::default()
+        };
+        let job_large = JobSpec {
+            input_bytes: (2.6 * GB as f64) as u64,
+            input_records: 26_000_000,
+            ..JobSpec::default()
+        };
+        let d_small = quiet_cluster(2, 3).run_job(job_small).duration();
+        let d_large = quiet_cluster(2, 3).run_job(job_large).duration();
+        assert!(
+            d_large > d_small * 1.4,
+            "large {d_large}s vs small {d_small}s"
+        );
+    }
+
+    #[test]
+    fn motivating_example_same_duration_with_large_blocks_and_cluster() {
+        // Section 2.1: with 128 MB blocks and a cluster large enough that
+        // neither job fills it, a 32x smaller input does not run faster.
+        let big_cluster = || {
+            Cluster::with_models(
+                ClusterSpec::with_instances(150),
+                7,
+                CostModel::default(),
+                NoiseModel::none(),
+            )
+        };
+        let large = JobSpec {
+            input_bytes: 32 * GB,
+            input_records: 320_000_000,
+            dfs_block_size: 128 * MB,
+            ..JobSpec::default()
+        };
+        let small = JobSpec {
+            input_bytes: GB,
+            input_records: 10_000_000,
+            dfs_block_size: 128 * MB,
+            ..JobSpec::default()
+        };
+        let d_large = big_cluster().run_job(large).duration();
+        let d_small = big_cluster().run_job(small).duration();
+        let ratio = d_large / d_small;
+        assert!(
+            (0.8..1.3).contains(&ratio),
+            "expected similar durations, got {d_large}s vs {d_small}s"
+        );
+    }
+
+    #[test]
+    fn more_instances_speed_up_a_big_job() {
+        let job = || JobSpec {
+            input_bytes: (2.6 * GB as f64) as u64,
+            input_records: 26_000_000,
+            dfs_block_size: 64 * MB,
+            ..JobSpec::default()
+        };
+        let d2 = quiet_cluster(2, 5).run_job(job()).duration();
+        let d16 = quiet_cluster(16, 5).run_job(job()).duration();
+        assert!(d16 < d2 * 0.5, "16 instances {d16}s vs 2 instances {d2}s");
+    }
+
+    #[test]
+    fn groupby_jobs_are_slower_than_filter_jobs() {
+        let base = JobSpec {
+            input_bytes: (1.3 * GB as f64) as u64,
+            input_records: 13_000_000,
+            ..JobSpec::default()
+        };
+        let filter = JobSpec {
+            script: PigScript::SimpleFilter,
+            ..base.clone()
+        };
+        let groupby = JobSpec {
+            script: PigScript::SimpleGroupBy,
+            ..base
+        };
+        let d_filter = quiet_cluster(4, 11).run_job(filter).duration();
+        let d_groupby = quiet_cluster(4, 11).run_job(groupby).duration();
+        assert!(d_groupby > d_filter);
+    }
+
+    #[test]
+    fn consecutive_jobs_advance_the_clock_and_sequence() {
+        let mut cluster = quiet_cluster(2, 13);
+        let a = cluster.run_job(JobSpec::default());
+        let b = cluster.run_job(JobSpec::default());
+        assert!(b.submit_time >= a.finish_time);
+        assert_ne!(a.job_id, b.job_id);
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let job = JobSpec::default();
+        let a = Cluster::new(ClusterSpec::with_instances(4), 21).run_job(job.clone());
+        let b = Cluster::new(ClusterSpec::with_instances(4), 21).run_job(job);
+        assert_eq!(a.finish_time, b.finish_time);
+        assert_eq!(a.tasks.len(), b.tasks.len());
+        for (x, y) in a.tasks.iter().zip(b.tasks.iter()) {
+            assert_eq!(x.finish_time, y.finish_time);
+            assert_eq!(x.counters, y.counters);
+        }
+    }
+
+    #[test]
+    fn reduce_phases_are_ordered() {
+        let mut cluster = quiet_cluster(4, 17);
+        let trace = cluster.run_job(JobSpec {
+            script: PigScript::SimpleGroupBy,
+            ..JobSpec::default()
+        });
+        let last_map_finish = trace
+            .map_tasks()
+            .map(|t| t.finish_time)
+            .fold(0.0f64, f64::max);
+        for reduce in trace.reduce_tasks() {
+            assert!(reduce.start_time >= last_map_finish - 1e-6);
+            let shuffle = reduce.shuffle_finish_time.unwrap();
+            let sort = reduce.sort_finish_time.unwrap();
+            assert!(reduce.start_time <= shuffle);
+            assert!(shuffle <= sort);
+            assert!(sort <= reduce.finish_time + 1e-6);
+        }
+    }
+}

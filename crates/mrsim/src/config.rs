@@ -1,0 +1,236 @@
+//! Cluster and job configuration.
+
+use crate::pig::PigScript;
+use crate::{GB, MB};
+use serde::{Deserialize, Serialize};
+
+/// Static description of the simulated cluster.
+///
+/// The defaults mirror the EC2 setup of the paper: every instance has two
+/// cores and can run two concurrent map tasks and two concurrent reduce
+/// tasks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// Number of virtual machines.
+    pub num_instances: usize,
+    /// CPU cores per instance.
+    pub cores_per_instance: usize,
+    /// Concurrent map tasks per instance.
+    pub map_slots_per_instance: usize,
+    /// Concurrent reduce tasks per instance.
+    pub reduce_slots_per_instance: usize,
+    /// Sequential disk bandwidth per instance, bytes per second.
+    pub disk_bytes_per_sec: f64,
+    /// Network bandwidth per instance, bytes per second.
+    pub network_bytes_per_sec: f64,
+    /// Relative CPU speed (1.0 = the reference instance type).
+    pub cpu_speed: f64,
+    /// Physical memory per instance in bytes.
+    pub memory_bytes: u64,
+    /// Additional slowdown applied to a task for every other task running on
+    /// the same instance (memory/disk contention).  0.30 means two
+    /// co-located tasks each run 30% slower than a lone task — the
+    /// mechanism behind the paper's "WhyLastTaskFaster" query.
+    pub contention_per_task: f64,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            num_instances: 8,
+            cores_per_instance: 2,
+            map_slots_per_instance: 2,
+            reduce_slots_per_instance: 2,
+            disk_bytes_per_sec: 80.0 * MB as f64,
+            network_bytes_per_sec: 60.0 * MB as f64,
+            cpu_speed: 1.0,
+            memory_bytes: 7 * GB + GB / 2,
+            contention_per_task: 0.30,
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// A cluster with the given number of instances and default hardware.
+    pub fn with_instances(num_instances: usize) -> Self {
+        ClusterSpec {
+            num_instances,
+            ..ClusterSpec::default()
+        }
+    }
+
+    /// Total number of map slots in the cluster.
+    pub fn total_map_slots(&self) -> usize {
+        self.num_instances * self.map_slots_per_instance
+    }
+
+    /// Total number of reduce slots in the cluster.
+    pub fn total_reduce_slots(&self) -> usize {
+        self.num_instances * self.reduce_slots_per_instance
+    }
+}
+
+/// Configuration of one MapReduce (Pig) job submission.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobSpec {
+    /// Human-readable job name.
+    pub name: String,
+    /// Which Pig script the job runs.
+    pub script: PigScript,
+    /// Total input size in bytes.
+    pub input_bytes: u64,
+    /// Number of records in the input.
+    pub input_records: u64,
+    /// `dfs.block.size`: input split size in bytes.
+    pub dfs_block_size: u64,
+    /// `mapred.reduce.tasks` is derived as
+    /// `ceil(reduce_tasks_factor * num_instances)`, as in the paper.
+    pub reduce_tasks_factor: f64,
+    /// `io.sort.factor`: number of on-disk segments merged at a time.
+    pub io_sort_factor: u32,
+    /// Simulated submit time (seconds since the epoch of the trace).
+    pub submit_time: f64,
+}
+
+impl Default for JobSpec {
+    fn default() -> Self {
+        JobSpec {
+            name: "pig-job".to_string(),
+            script: PigScript::SimpleFilter,
+            input_bytes: (1.3 * GB as f64) as u64,
+            input_records: 13_000_000,
+            dfs_block_size: 64 * MB,
+            reduce_tasks_factor: 1.0,
+            io_sort_factor: 10,
+            submit_time: 0.0,
+        }
+    }
+}
+
+impl JobSpec {
+    /// Number of map tasks: one per input block.
+    pub fn num_map_tasks(&self) -> usize {
+        if self.input_bytes == 0 {
+            return 1;
+        }
+        self.input_bytes.div_ceil(self.dfs_block_size).max(1) as usize
+    }
+
+    /// Number of reduce tasks for a cluster of `num_instances` machines.
+    pub fn num_reduce_tasks(&self, num_instances: usize) -> usize {
+        ((self.reduce_tasks_factor * num_instances as f64).round() as usize).max(1)
+    }
+
+    /// Bytes processed by map task `index` (the last block may be short).
+    pub fn block_bytes(&self, index: usize) -> u64 {
+        let full_blocks = self.input_bytes / self.dfs_block_size;
+        if (index as u64) < full_blocks {
+            self.dfs_block_size
+        } else {
+            let remainder = self.input_bytes % self.dfs_block_size;
+            if remainder == 0 {
+                self.dfs_block_size
+            } else {
+                remainder
+            }
+        }
+    }
+
+    /// Records in map task `index`, proportional to its block size.
+    pub fn block_records(&self, index: usize) -> u64 {
+        if self.input_bytes == 0 {
+            return 0;
+        }
+        let share = self.block_bytes(index) as f64 / self.input_bytes as f64;
+        (self.input_records as f64 * share).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_task_count_follows_block_size() {
+        let spec = JobSpec {
+            input_bytes: (1.3 * GB as f64) as u64,
+            dfs_block_size: 64 * MB,
+            ..JobSpec::default()
+        };
+        // 1.3 GB / 64 MB = 20.8 -> 21 map tasks.
+        assert_eq!(spec.num_map_tasks(), 21);
+
+        let big_blocks = JobSpec {
+            dfs_block_size: GB,
+            ..spec
+        };
+        assert_eq!(big_blocks.num_map_tasks(), 2);
+    }
+
+    #[test]
+    fn paper_motivating_example_block_counts() {
+        // Section 2.1: 32 GB with 128 MB blocks -> 256 blocks; 1 GB -> 8.
+        let large = JobSpec {
+            input_bytes: 32 * GB,
+            dfs_block_size: 128 * MB,
+            ..JobSpec::default()
+        };
+        assert_eq!(large.num_map_tasks(), 256);
+        let small = JobSpec {
+            input_bytes: GB,
+            dfs_block_size: 128 * MB,
+            ..JobSpec::default()
+        };
+        assert_eq!(small.num_map_tasks(), 8);
+    }
+
+    #[test]
+    fn reduce_task_count_scales_with_factor() {
+        let spec = JobSpec {
+            reduce_tasks_factor: 1.5,
+            ..JobSpec::default()
+        };
+        // Paper example: 8 instances, factor 1.5 -> 12 reduce tasks.
+        assert_eq!(spec.num_reduce_tasks(8), 12);
+        assert_eq!(spec.num_reduce_tasks(1), 2);
+        let one = JobSpec {
+            reduce_tasks_factor: 1.0,
+            ..JobSpec::default()
+        };
+        assert_eq!(one.num_reduce_tasks(16), 16);
+    }
+
+    #[test]
+    fn last_block_is_short() {
+        let spec = JobSpec {
+            input_bytes: 130 * MB,
+            dfs_block_size: 64 * MB,
+            input_records: 1_300,
+            ..JobSpec::default()
+        };
+        assert_eq!(spec.num_map_tasks(), 3);
+        assert_eq!(spec.block_bytes(0), 64 * MB);
+        assert_eq!(spec.block_bytes(1), 64 * MB);
+        assert_eq!(spec.block_bytes(2), 2 * MB);
+        let records: u64 = (0..3).map(|i| spec.block_records(i)).sum();
+        assert!((records as i64 - 1_300).abs() <= 2);
+    }
+
+    #[test]
+    fn cluster_slot_totals() {
+        let spec = ClusterSpec::with_instances(16);
+        assert_eq!(spec.total_map_slots(), 32);
+        assert_eq!(spec.total_reduce_slots(), 32);
+    }
+
+    #[test]
+    fn zero_input_degenerates_gracefully() {
+        let spec = JobSpec {
+            input_bytes: 0,
+            input_records: 0,
+            ..JobSpec::default()
+        };
+        assert_eq!(spec.num_map_tasks(), 1);
+        assert_eq!(spec.block_records(0), 0);
+    }
+}

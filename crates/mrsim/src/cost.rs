@@ -1,0 +1,303 @@
+//! The per-phase task cost model.
+//!
+//! Task durations are composed of the classic Hadoop phases:
+//!
+//! * **map task** = task launch overhead + read block from HDFS + apply the
+//!   map function + partition/sort/spill the map output;
+//! * **reduce task** = task launch overhead + shuffle its partition over the
+//!   network + merge the spilled segments (the number of merge passes
+//!   depends on `io.sort.factor`) + apply the reduce function + write the
+//!   output to HDFS.
+//!
+//! Every phase duration scales with the instance's relative CPU/disk/network
+//! speed and is multiplied by a contention factor that grows with the number
+//! of other tasks concurrently running on the same instance.
+
+use crate::config::{ClusterSpec, JobSpec};
+use crate::pig::PigScript;
+use crate::MB;
+use serde::{Deserialize, Serialize};
+
+/// Breakdown of a map task's solo (contention-free, noise-free) runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MapCost {
+    /// Task launch / JVM start-up overhead in seconds.
+    pub overhead_secs: f64,
+    /// Time to read the input block.
+    pub read_secs: f64,
+    /// CPU time of the map function.
+    pub cpu_secs: f64,
+    /// Time to partition, sort and spill the map output.
+    pub spill_secs: f64,
+    /// Bytes produced by the map task.
+    pub output_bytes: u64,
+    /// Records produced by the map task.
+    pub output_records: u64,
+}
+
+impl MapCost {
+    /// Total solo duration in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.overhead_secs + self.read_secs + self.cpu_secs + self.spill_secs
+    }
+}
+
+/// Breakdown of a reduce task's solo runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReduceCost {
+    /// Task launch overhead in seconds.
+    pub overhead_secs: f64,
+    /// Time to shuffle this reducer's partition over the network.
+    pub shuffle_secs: f64,
+    /// Time to merge the shuffled segments on disk.
+    pub sort_secs: f64,
+    /// CPU time of the reduce function.
+    pub cpu_secs: f64,
+    /// Time to write the reducer output to HDFS.
+    pub write_secs: f64,
+    /// Bytes shuffled into the reducer.
+    pub shuffle_bytes: u64,
+    /// Bytes written by the reducer.
+    pub output_bytes: u64,
+}
+
+impl ReduceCost {
+    /// Total solo duration in seconds.
+    pub fn total_secs(&self) -> f64 {
+        self.overhead_secs + self.shuffle_secs + self.sort_secs + self.cpu_secs + self.write_secs
+    }
+}
+
+/// The cost model: fixed overheads plus the cluster hardware rates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Per-task launch overhead (JVM start, task setup) in seconds.
+    pub task_overhead_secs: f64,
+    /// Per-job fixed overhead (job setup, Pig plan compilation, job cleanup).
+    pub job_overhead_secs: f64,
+    /// Fraction of the disk bandwidth available to the spill/merge phases
+    /// (they compete with HDFS traffic).
+    pub spill_bandwidth_fraction: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            task_overhead_secs: 3.0,
+            job_overhead_secs: 18.0,
+            spill_bandwidth_fraction: 0.7,
+        }
+    }
+}
+
+impl CostModel {
+    /// Number of merge passes needed to merge `segments` sorted runs when at
+    /// most `io_sort_factor` can be merged at a time (at least one pass).
+    pub fn merge_passes(segments: usize, io_sort_factor: u32) -> u32 {
+        let factor = io_sort_factor.max(2) as f64;
+        let mut passes = 1u32;
+        let mut runs = segments.max(1) as f64;
+        while runs > factor {
+            runs = (runs / factor).ceil();
+            passes += 1;
+        }
+        passes
+    }
+
+    /// Solo cost of map task `index` of `job` on `cluster`.
+    pub fn map_cost(&self, cluster: &ClusterSpec, job: &JobSpec, index: usize) -> MapCost {
+        let block_bytes = job.block_bytes(index);
+        let block_records = job.block_records(index);
+        let block_mb = block_bytes as f64 / MB as f64;
+        let script = job.script;
+
+        let read_secs = block_bytes as f64 / cluster.disk_bytes_per_sec;
+        let cpu_secs = block_mb * script.map_cpu_sec_per_mb() / cluster.cpu_speed;
+
+        let output_bytes = (block_bytes as f64 * script.map_output_ratio()) as u64;
+        let output_records = (block_records as f64 * script.map_selectivity()).round() as u64;
+
+        // The map output is buffered, partitioned, sorted and spilled to
+        // local disk; small io.sort.factor values force extra merge passes
+        // over the spills before they are served to reducers.
+        let spill_passes = Self::merge_passes(
+            (block_mb / 100.0).ceil().max(1.0) as usize,
+            job.io_sort_factor,
+        ) as f64;
+        let spill_secs = output_bytes as f64
+            / (cluster.disk_bytes_per_sec * self.spill_bandwidth_fraction)
+            * spill_passes;
+
+        MapCost {
+            overhead_secs: self.task_overhead_secs,
+            read_secs,
+            cpu_secs,
+            spill_secs,
+            output_bytes,
+            output_records,
+        }
+    }
+
+    /// Solo cost of one reduce task that receives `shuffle_bytes` of map
+    /// output produced by `num_map_tasks` mappers.
+    pub fn reduce_cost(
+        &self,
+        cluster: &ClusterSpec,
+        job: &JobSpec,
+        shuffle_bytes: u64,
+        num_map_tasks: usize,
+    ) -> ReduceCost {
+        let script = job.script;
+        let shuffle_mb = shuffle_bytes as f64 / MB as f64;
+
+        // Shuffle: the reducer pulls one segment from every map task; small
+        // transfers are latency-bound, large ones bandwidth-bound.
+        let per_segment_latency = 0.01;
+        let shuffle_secs = shuffle_bytes as f64 / cluster.network_bytes_per_sec
+            + per_segment_latency * num_map_tasks as f64;
+
+        // Merge the num_map_tasks segments in passes of io.sort.factor.
+        let passes = Self::merge_passes(num_map_tasks, job.io_sort_factor) as f64;
+        let sort_secs = shuffle_bytes as f64
+            / (cluster.disk_bytes_per_sec * self.spill_bandwidth_fraction)
+            * passes;
+
+        let cpu_secs = shuffle_mb * script.reduce_cpu_sec_per_mb() / cluster.cpu_speed;
+
+        let output_bytes = (shuffle_bytes as f64 * script.reduce_output_ratio()) as u64;
+        let write_secs = output_bytes as f64 / cluster.disk_bytes_per_sec;
+
+        ReduceCost {
+            overhead_secs: self.task_overhead_secs,
+            shuffle_secs,
+            sort_secs,
+            cpu_secs,
+            write_secs,
+            shuffle_bytes,
+            output_bytes,
+        }
+    }
+
+    /// The contention multiplier for a task sharing its instance with
+    /// `concurrent_tasks - 1` other tasks.
+    pub fn contention_multiplier(cluster: &ClusterSpec, concurrent_tasks: usize) -> f64 {
+        let others = concurrent_tasks.saturating_sub(1) as f64;
+        1.0 + cluster.contention_per_task * others
+    }
+}
+
+/// Convenience: the script of a job, re-exported so callers do not need to
+/// reach into the spec.
+pub fn script_of(job: &JobSpec) -> PigScript {
+    job.script
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GB;
+
+    fn cluster() -> ClusterSpec {
+        ClusterSpec::default()
+    }
+
+    #[test]
+    fn merge_passes_monotone_in_segments_and_factor() {
+        assert_eq!(CostModel::merge_passes(1, 10), 1);
+        assert_eq!(CostModel::merge_passes(10, 10), 1);
+        assert_eq!(CostModel::merge_passes(11, 10), 2);
+        assert_eq!(CostModel::merge_passes(101, 10), 3);
+        assert_eq!(CostModel::merge_passes(101, 100), 2);
+        assert!(CostModel::merge_passes(256, 10) >= CostModel::merge_passes(256, 50));
+    }
+
+    #[test]
+    fn map_cost_scales_with_block_size() {
+        let model = CostModel::default();
+        let small = JobSpec {
+            input_bytes: GB,
+            dfs_block_size: 64 * MB,
+            ..JobSpec::default()
+        };
+        let large = JobSpec {
+            input_bytes: GB,
+            dfs_block_size: 256 * MB,
+            ..JobSpec::default()
+        };
+        let c_small = model.map_cost(&cluster(), &small, 0);
+        let c_large = model.map_cost(&cluster(), &large, 0);
+        assert!(c_large.total_secs() > c_small.total_secs());
+        // Excluding the fixed overhead the ratio should be roughly 4x.
+        let ratio = (c_large.total_secs() - model.task_overhead_secs)
+            / (c_small.total_secs() - model.task_overhead_secs);
+        assert!((3.0..5.0).contains(&ratio), "ratio = {ratio}");
+    }
+
+    #[test]
+    fn groupby_maps_are_slower_than_filter_maps() {
+        let model = CostModel::default();
+        let filter = JobSpec {
+            script: PigScript::SimpleFilter,
+            ..JobSpec::default()
+        };
+        let groupby = JobSpec {
+            script: PigScript::SimpleGroupBy,
+            ..JobSpec::default()
+        };
+        assert!(
+            model.map_cost(&cluster(), &groupby, 0).cpu_secs
+                > model.map_cost(&cluster(), &filter, 0).cpu_secs
+        );
+    }
+
+    #[test]
+    fn small_io_sort_factor_slows_reduces() {
+        let model = CostModel::default();
+        let fast = JobSpec {
+            io_sort_factor: 100,
+            ..JobSpec::default()
+        };
+        let slow = JobSpec {
+            io_sort_factor: 10,
+            ..JobSpec::default()
+        };
+        let many_maps = 180;
+        let fast_cost = model.reduce_cost(&cluster(), &fast, 200 * MB, many_maps);
+        let slow_cost = model.reduce_cost(&cluster(), &slow, 200 * MB, many_maps);
+        assert!(slow_cost.sort_secs > fast_cost.sort_secs);
+        assert!(slow_cost.total_secs() > fast_cost.total_secs());
+    }
+
+    #[test]
+    fn contention_multiplier_grows_with_load() {
+        let c = cluster();
+        assert_eq!(CostModel::contention_multiplier(&c, 0), 1.0);
+        assert_eq!(CostModel::contention_multiplier(&c, 1), 1.0);
+        let two = CostModel::contention_multiplier(&c, 2);
+        let four = CostModel::contention_multiplier(&c, 4);
+        assert!(two > 1.0);
+        assert!(four > two);
+    }
+
+    #[test]
+    fn reduce_output_shrinks_for_groupby() {
+        let model = CostModel::default();
+        let groupby = JobSpec {
+            script: PigScript::SimpleGroupBy,
+            ..JobSpec::default()
+        };
+        let cost = model.reduce_cost(&cluster(), &groupby, 100 * MB, 10);
+        assert!(cost.output_bytes < cost.shuffle_bytes / 10);
+    }
+
+    #[test]
+    fn costs_are_positive_and_finite() {
+        let model = CostModel::default();
+        let job = JobSpec::default();
+        let map = model.map_cost(&cluster(), &job, 0);
+        assert!(map.total_secs().is_finite() && map.total_secs() > 0.0);
+        let red = model.reduce_cost(&cluster(), &job, 64 * MB, job.num_map_tasks());
+        assert!(red.total_secs().is_finite() && red.total_secs() > 0.0);
+        assert_eq!(script_of(&job), PigScript::SimpleFilter);
+    }
+}

@@ -1,0 +1,370 @@
+//! A Ganglia-style cluster monitor.
+//!
+//! The paper's setup runs Ganglia on every instance and samples system
+//! metrics every five seconds; PerfXplain later averages each metric over a
+//! task's execution window (and over all of a job's tasks) to obtain the
+//! `avg_cpu_user`, `avg_load_five`, `avg_bytes_in`, … features that show up
+//! in its explanations.
+//!
+//! The simulator reproduces this: given the set of task intervals placed on
+//! each instance it emits one sample per instance per five simulated
+//! seconds, with CPU utilisation, UNIX-style exponentially-smoothed load
+//! averages, process counts, network traffic and memory metrics derived from
+//! the number of concurrently running tasks (plus measurement noise).
+
+use crate::config::ClusterSpec;
+use crate::instance::Instance;
+use crate::noise::NoiseModel;
+use crate::trace::TaskKind;
+use rand::rngs::StdRng;
+use rand::RngExt;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Sampling period in simulated seconds (Ganglia's default in the paper).
+pub const SAMPLE_INTERVAL_SECS: f64 = 5.0;
+
+/// The metrics every sample carries, in emission order.
+pub const METRIC_NAMES: &[&str] = &[
+    "boottime",
+    "cpu_num",
+    "cpu_speed",
+    "cpu_user",
+    "cpu_system",
+    "cpu_idle",
+    "cpu_wio",
+    "load_one",
+    "load_five",
+    "load_fifteen",
+    "proc_run",
+    "proc_total",
+    "mem_free",
+    "mem_cached",
+    "mem_buffers",
+    "swap_free",
+    "bytes_in",
+    "bytes_out",
+    "pkts_in",
+    "pkts_out",
+    "disk_free",
+];
+
+/// One monitoring sample of one instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GangliaSample {
+    /// Index of the instance within its cluster.
+    pub instance: usize,
+    /// Hostname of the instance.
+    pub hostname: String,
+    /// Sample timestamp (simulated seconds).
+    pub time: f64,
+    /// Metric name → value.
+    pub metrics: BTreeMap<String, f64>,
+}
+
+impl GangliaSample {
+    /// Convenience accessor (0.0 when the metric is absent).
+    pub fn metric(&self, name: &str) -> f64 {
+        self.metrics.get(name).copied().unwrap_or(0.0)
+    }
+}
+
+/// The load one task puts on its instance while it runs; input to the
+/// sampler.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskLoad {
+    /// Instance the task runs on.
+    pub instance: usize,
+    /// Start time.
+    pub start: f64,
+    /// Finish time.
+    pub finish: f64,
+    /// Map or reduce.
+    pub kind: TaskKind,
+    /// Network bytes per second flowing *into* the instance because of this
+    /// task (shuffle for reduce tasks, remote HDFS reads for map tasks).
+    pub net_in_bytes_per_sec: f64,
+    /// Network bytes per second flowing *out* of the instance because of
+    /// this task (serving map output to reducers, HDFS replication).
+    pub net_out_bytes_per_sec: f64,
+}
+
+impl TaskLoad {
+    fn running_at(&self, t: f64) -> bool {
+        self.start <= t && t < self.finish
+    }
+}
+
+/// Exponential smoothing factor for a UNIX load average with time constant
+/// `tau` seconds sampled every `dt` seconds.
+fn ewma_alpha(dt: f64, tau: f64) -> f64 {
+    1.0 - (-dt / tau).exp()
+}
+
+/// Samples every instance of the cluster every five seconds over
+/// `[window_start, window_end]`.
+pub fn sample_cluster(
+    spec: &ClusterSpec,
+    instances: &[Instance],
+    loads: &[TaskLoad],
+    window_start: f64,
+    window_end: f64,
+    noise: &NoiseModel,
+    rng: &mut StdRng,
+) -> Vec<GangliaSample> {
+    let mut samples = Vec::new();
+    if window_end <= window_start || instances.is_empty() {
+        return samples;
+    }
+
+    let cores = spec.cores_per_instance.max(1) as f64;
+    // Idle background load every instance carries (daemons, the tasktracker).
+    let background_procs = 85.0;
+    let alpha_one = ewma_alpha(SAMPLE_INTERVAL_SECS, 60.0);
+    let alpha_five = ewma_alpha(SAMPLE_INTERVAL_SECS, 300.0);
+    let alpha_fifteen = ewma_alpha(SAMPLE_INTERVAL_SECS, 900.0);
+
+    // Per-instance smoothed load state.
+    let mut load_one = vec![0.05; instances.len()];
+    let mut load_five = vec![0.05; instances.len()];
+    let mut load_fifteen = vec![0.05; instances.len()];
+
+    let mut t = window_start;
+    while t <= window_end + 1e-9 {
+        for (idx, instance) in instances.iter().enumerate() {
+            let running: Vec<&TaskLoad> = loads
+                .iter()
+                .filter(|l| l.instance == idx && l.running_at(t))
+                .collect();
+            let n_running = running.len() as f64;
+
+            // Instantaneous runnable-process count feeding the load average.
+            let instantaneous = n_running + 0.05 + rng.random_range(0.0..0.05);
+            load_one[idx] += alpha_one * (instantaneous - load_one[idx]);
+            load_five[idx] += alpha_five * (instantaneous - load_five[idx]);
+            load_fifteen[idx] += alpha_fifteen * (instantaneous - load_fifteen[idx]);
+
+            let busy_fraction = (n_running / cores).min(2.0);
+            let cpu_user = (busy_fraction * 44.0).min(93.0) * noise.factor(rng).min(1.2);
+            let cpu_system = 2.0 + n_running * 1.5 + rng.random_range(0.0..1.0);
+            let cpu_wio = (n_running * 2.5).min(12.0) + rng.random_range(0.0..0.5);
+            let cpu_idle = (100.0 - cpu_user - cpu_system - cpu_wio).max(0.0);
+
+            let net_in: f64 = running.iter().map(|l| l.net_in_bytes_per_sec).sum::<f64>()
+                * noise.factor(rng)
+                + rng.random_range(500.0..2_000.0);
+            let net_out: f64 = running.iter().map(|l| l.net_out_bytes_per_sec).sum::<f64>()
+                * noise.factor(rng)
+                + rng.random_range(500.0..2_000.0);
+
+            let task_mem = 0.11 * spec.memory_bytes as f64;
+            let mem_used = 0.22 * spec.memory_bytes as f64 + n_running * task_mem;
+            let mem_free = (spec.memory_bytes as f64 - mem_used).max(0.05 * spec.memory_bytes as f64);
+
+            let mut metrics = BTreeMap::new();
+            metrics.insert("boottime".to_string(), instance.boot_time);
+            metrics.insert("cpu_num".to_string(), cores);
+            metrics.insert("cpu_speed".to_string(), 2_266.0 * spec.cpu_speed);
+            metrics.insert("cpu_user".to_string(), cpu_user);
+            metrics.insert("cpu_system".to_string(), cpu_system);
+            metrics.insert("cpu_idle".to_string(), cpu_idle);
+            metrics.insert("cpu_wio".to_string(), cpu_wio);
+            metrics.insert("load_one".to_string(), load_one[idx]);
+            metrics.insert("load_five".to_string(), load_five[idx]);
+            metrics.insert("load_fifteen".to_string(), load_fifteen[idx]);
+            metrics.insert(
+                "proc_run".to_string(),
+                n_running + rng.random_range(0.0..1.0f64).round(),
+            );
+            metrics.insert(
+                "proc_total".to_string(),
+                background_procs + n_running * 3.0 + rng.random_range(0.0..4.0f64).round(),
+            );
+            metrics.insert("mem_free".to_string(), mem_free);
+            metrics.insert(
+                "mem_cached".to_string(),
+                0.15 * spec.memory_bytes as f64 * noise.factor(rng),
+            );
+            metrics.insert(
+                "mem_buffers".to_string(),
+                0.03 * spec.memory_bytes as f64 * noise.factor(rng),
+            );
+            metrics.insert("swap_free".to_string(), spec.memory_bytes as f64 / 2.0);
+            metrics.insert("bytes_in".to_string(), net_in);
+            metrics.insert("bytes_out".to_string(), net_out);
+            metrics.insert("pkts_in".to_string(), net_in / 1_400.0);
+            metrics.insert("pkts_out".to_string(), net_out / 1_400.0);
+            metrics.insert(
+                "disk_free".to_string(),
+                380.0e9 - n_running * 1.0e9 + rng.random_range(0.0..1.0e8),
+            );
+
+            samples.push(GangliaSample {
+                instance: idx,
+                hostname: instance.hostname.clone(),
+                time: t,
+                metrics,
+            });
+        }
+        t += SAMPLE_INTERVAL_SECS;
+    }
+    samples
+}
+
+/// Averages a metric over the samples of one instance within a time window
+/// (inclusive of both ends).  Returns `None` when no sample falls inside.
+pub fn average_metric(
+    samples: &[GangliaSample],
+    instance: usize,
+    metric: &str,
+    start: f64,
+    end: f64,
+) -> Option<f64> {
+    let values: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.instance == instance && s.time >= start - 1e-9 && s.time <= end + 1e-9)
+        .map(|s| s.metric(metric))
+        .collect();
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn setup() -> (ClusterSpec, Vec<Instance>, StdRng) {
+        let spec = ClusterSpec::with_instances(2);
+        let instances = Instance::fleet(2, 7);
+        let rng = StdRng::seed_from_u64(99);
+        (spec, instances, rng)
+    }
+
+    #[test]
+    fn sample_count_matches_window_and_fleet() {
+        let (spec, instances, mut rng) = setup();
+        let samples = sample_cluster(
+            &spec,
+            &instances,
+            &[],
+            0.0,
+            60.0,
+            &NoiseModel::none(),
+            &mut rng,
+        );
+        // 13 ticks (0..=60 step 5) x 2 instances.
+        assert_eq!(samples.len(), 26);
+        for s in &samples {
+            for name in METRIC_NAMES {
+                assert!(s.metrics.contains_key(*name), "missing metric {name}");
+            }
+        }
+    }
+
+    #[test]
+    fn busy_instance_shows_higher_cpu_and_load() {
+        let (spec, instances, mut rng) = setup();
+        let loads = vec![
+            TaskLoad {
+                instance: 0,
+                start: 0.0,
+                finish: 300.0,
+                kind: TaskKind::Map,
+                net_in_bytes_per_sec: 0.0,
+                net_out_bytes_per_sec: 0.0,
+            },
+            TaskLoad {
+                instance: 0,
+                start: 0.0,
+                finish: 300.0,
+                kind: TaskKind::Map,
+                net_in_bytes_per_sec: 0.0,
+                net_out_bytes_per_sec: 0.0,
+            },
+        ];
+        let samples = sample_cluster(
+            &spec,
+            &instances,
+            &loads,
+            0.0,
+            300.0,
+            &NoiseModel::none(),
+            &mut rng,
+        );
+        let busy_cpu = average_metric(&samples, 0, "cpu_user", 100.0, 300.0).unwrap();
+        let idle_cpu = average_metric(&samples, 1, "cpu_user", 100.0, 300.0).unwrap();
+        assert!(busy_cpu > idle_cpu + 20.0, "busy {busy_cpu} idle {idle_cpu}");
+        let busy_load = average_metric(&samples, 0, "load_five", 100.0, 300.0).unwrap();
+        let idle_load = average_metric(&samples, 1, "load_five", 100.0, 300.0).unwrap();
+        assert!(busy_load > idle_load + 0.5);
+        let busy_mem = average_metric(&samples, 0, "mem_free", 100.0, 300.0).unwrap();
+        let idle_mem = average_metric(&samples, 1, "mem_free", 100.0, 300.0).unwrap();
+        assert!(busy_mem < idle_mem);
+    }
+
+    #[test]
+    fn shuffle_traffic_shows_up_in_network_metrics() {
+        let (spec, instances, mut rng) = setup();
+        let loads = vec![TaskLoad {
+            instance: 1,
+            start: 0.0,
+            finish: 200.0,
+            kind: TaskKind::Reduce,
+            net_in_bytes_per_sec: 20.0e6,
+            net_out_bytes_per_sec: 1.0e6,
+        }];
+        let samples = sample_cluster(
+            &spec,
+            &instances,
+            &loads,
+            0.0,
+            200.0,
+            &NoiseModel::none(),
+            &mut rng,
+        );
+        let shuffling_in = average_metric(&samples, 1, "bytes_in", 0.0, 200.0).unwrap();
+        let quiet_in = average_metric(&samples, 0, "bytes_in", 0.0, 200.0).unwrap();
+        assert!(shuffling_in > 100.0 * quiet_in);
+        let pkts = average_metric(&samples, 1, "pkts_in", 0.0, 200.0).unwrap();
+        assert!(pkts > 1_000.0);
+    }
+
+    #[test]
+    fn load_average_decays_after_tasks_finish() {
+        let (spec, instances, mut rng) = setup();
+        let loads = vec![TaskLoad {
+            instance: 0,
+            start: 0.0,
+            finish: 100.0,
+            kind: TaskKind::Map,
+            net_in_bytes_per_sec: 0.0,
+            net_out_bytes_per_sec: 0.0,
+        }];
+        let samples = sample_cluster(
+            &spec,
+            &instances,
+            &loads,
+            0.0,
+            400.0,
+            &NoiseModel::none(),
+            &mut rng,
+        );
+        let during = average_metric(&samples, 0, "load_one", 50.0, 100.0).unwrap();
+        let after = average_metric(&samples, 0, "load_one", 300.0, 400.0).unwrap();
+        assert!(during > after + 0.3, "during {during} after {after}");
+    }
+
+    #[test]
+    fn empty_window_or_fleet_yields_no_samples() {
+        let (spec, instances, mut rng) = setup();
+        assert!(sample_cluster(&spec, &instances, &[], 10.0, 10.0, &NoiseModel::none(), &mut rng)
+            .is_empty());
+        assert!(sample_cluster(&spec, &[], &[], 0.0, 100.0, &NoiseModel::none(), &mut rng)
+            .is_empty());
+        assert_eq!(average_metric(&[], 0, "cpu_user", 0.0, 10.0), None);
+    }
+}

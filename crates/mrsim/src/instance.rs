@@ -1,0 +1,83 @@
+//! The virtual machines of the simulated cluster.
+
+use serde::{Deserialize, Serialize};
+
+/// One simulated EC2-style instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Instance {
+    /// Index within the cluster (0-based).
+    pub index: usize,
+    /// Hostname in the style the paper's logs show
+    /// (`domU-12-31-39-xx.compute-1.internal`).
+    pub hostname: String,
+    /// Hadoop task-tracker name for this instance.
+    pub tracker_name: String,
+    /// Boot time of the instance (seconds before the trace epoch), reported
+    /// by Ganglia's `boottime` metric.
+    pub boot_time: f64,
+}
+
+impl Instance {
+    /// Creates the `index`-th instance of a cluster.  `cluster_seed`
+    /// diversifies hostnames and boot times across clusters so that
+    /// instance-level features differ between jobs run on different
+    /// clusters.
+    pub fn new(index: usize, cluster_seed: u64) -> Self {
+        let a = ((cluster_seed >> 8) & 0xff) as u8;
+        let b = (cluster_seed & 0xff) as u8;
+        let hostname = format!(
+            "domU-12-31-39-{:02X}-{:02X}-{:02X}.compute-1.internal",
+            a,
+            b,
+            index as u8
+        );
+        let tracker_name = format!("tracker_{hostname}:localhost/127.0.0.1:{}", 40000 + index);
+        // Instances booted a few hours before the experiment started.
+        let boot_time = -(3600.0 * 4.0) - (cluster_seed % 1000) as f64 - index as f64 * 17.0;
+        Instance {
+            index,
+            hostname,
+            tracker_name,
+            boot_time,
+        }
+    }
+
+    /// Builds the full set of instances of a cluster.
+    pub fn fleet(count: usize, cluster_seed: u64) -> Vec<Instance> {
+        (0..count).map(|i| Instance::new(i, cluster_seed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hostnames_are_unique_within_a_cluster() {
+        let fleet = Instance::fleet(16, 0xBEEF);
+        let mut names: Vec<&str> = fleet.iter().map(|i| i.hostname.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+
+    #[test]
+    fn different_clusters_get_different_hostnames() {
+        let a = Instance::new(0, 1);
+        let b = Instance::new(0, 2);
+        assert_ne!(a.hostname, b.hostname);
+        assert_ne!(a.boot_time, b.boot_time);
+    }
+
+    #[test]
+    fn tracker_name_embeds_hostname() {
+        let inst = Instance::new(3, 7);
+        assert!(inst.tracker_name.contains(&inst.hostname));
+        assert!(inst.tracker_name.starts_with("tracker_"));
+    }
+
+    #[test]
+    fn boot_time_is_before_epoch() {
+        assert!(Instance::new(0, 99).boot_time < 0.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! A discrete-event MapReduce cluster simulator.
+//!
+//! The PerfXplain paper evaluates on a log of Pig jobs executed on Amazon EC2
+//! clusters of 1–16 virtual machines, with Hadoop's per-task counters and
+//! Ganglia system metrics collected for every execution.  That substrate is
+//! not available here, so this crate simulates it: it models
+//!
+//! * a cluster of identical instances, each with a fixed number of cores and
+//!   of map/reduce slots (two of each, like the `m1.large` instances used in
+//!   the paper),
+//! * block-based input splitting (`dfs.block.size`) that determines the
+//!   number of map tasks,
+//! * FIFO wave scheduling of tasks onto free slots,
+//! * a per-phase cost model (read, map, spill/sort, shuffle, merge, reduce,
+//!   write) whose rates degrade under per-instance contention — this is the
+//!   mechanism behind the paper's "the last task was faster because the
+//!   machine load was lighter" explanation,
+//! * per-task Hadoop-style counters, and
+//! * a Ganglia-style monitor that samples CPU, load, process, network and
+//!   memory metrics for every instance every five simulated seconds.
+//!
+//! The output of a simulated job is a [`trace::JobTrace`]: the raw material
+//! that `perfxplain-logs` renders into Hadoop job-history files and Ganglia
+//! dumps, and from which the PerfXplain execution log is collected.
+//!
+//! The simulator is deterministic for a fixed seed.
+
+pub mod cluster;
+pub mod config;
+pub mod cost;
+pub mod ganglia;
+pub mod instance;
+pub mod noise;
+pub mod pig;
+pub mod scheduler;
+pub mod trace;
+
+pub use cluster::Cluster;
+pub use config::{ClusterSpec, JobSpec};
+pub use cost::CostModel;
+pub use ganglia::{GangliaSample, METRIC_NAMES};
+pub use pig::PigScript;
+pub use trace::{JobTrace, TaskKind, TaskTrace};
+
+/// Mebibytes → bytes.
+pub const MB: u64 = 1024 * 1024;
+/// Gibibytes → bytes.
+pub const GB: u64 = 1024 * 1024 * 1024;

@@ -1,0 +1,108 @@
+//! Multiplicative runtime noise.
+//!
+//! Real clusters — and especially virtualised EC2 instances, as Schad et al.
+//! (cited by the paper) measured — show run-to-run variance even for
+//! identical configurations.  The simulator injects a small amount of
+//! log-normal multiplicative noise into every task phase so that the
+//! execution log PerfXplain learns from is not perfectly deterministic in its
+//! raw runtimes, while keeping the overall behaviour reproducible for a fixed
+//! seed.
+
+use rand::rngs::StdRng;
+use rand::RngExt;
+
+/// A source of multiplicative noise factors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseModel {
+    /// Standard deviation of the underlying normal distribution (in log
+    /// space).  0 disables noise entirely.
+    pub sigma: f64,
+}
+
+impl Default for NoiseModel {
+    fn default() -> Self {
+        NoiseModel { sigma: 0.06 }
+    }
+}
+
+impl NoiseModel {
+    /// A noise-free model, useful for tests that need exact determinism.
+    pub fn none() -> Self {
+        NoiseModel { sigma: 0.0 }
+    }
+
+    /// Samples a standard normal deviate via the Box–Muller transform.
+    fn standard_normal(rng: &mut StdRng) -> f64 {
+        // Avoid ln(0).
+        let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+        let u2: f64 = rng.random_range(0.0..1.0);
+        (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+    }
+
+    /// Samples a multiplicative factor centred on 1.0.
+    pub fn factor(&self, rng: &mut StdRng) -> f64 {
+        if self.sigma <= 0.0 {
+            return 1.0;
+        }
+        let z = Self::standard_normal(rng);
+        (self.sigma * z).exp()
+    }
+
+    /// Samples a small additive jitter in `[0, max_seconds)`, used for task
+    /// launch overhead variation.
+    pub fn jitter(&self, rng: &mut StdRng, max_seconds: f64) -> f64 {
+        if max_seconds <= 0.0 {
+            return 0.0;
+        }
+        rng.random_range(0.0..max_seconds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_sigma_is_exactly_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let model = NoiseModel::none();
+        for _ in 0..10 {
+            assert_eq!(model.factor(&mut rng), 1.0);
+        }
+    }
+
+    #[test]
+    fn factors_are_positive_and_centred_near_one() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let model = NoiseModel { sigma: 0.1 };
+        let samples: Vec<f64> = (0..2_000).map(|_| model.factor(&mut rng)).collect();
+        assert!(samples.iter().all(|&f| f > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.05, "mean = {mean}");
+        // Noise actually varies.
+        assert!(samples.iter().any(|&f| f > 1.02));
+        assert!(samples.iter().any(|&f| f < 0.98));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let model = NoiseModel::default();
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            assert_eq!(model.factor(&mut a), model.factor(&mut b));
+        }
+    }
+
+    #[test]
+    fn jitter_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = NoiseModel::default();
+        for _ in 0..100 {
+            let j = model.jitter(&mut rng, 2.0);
+            assert!((0.0..2.0).contains(&j));
+        }
+        assert_eq!(model.jitter(&mut rng, 0.0), 0.0);
+    }
+}

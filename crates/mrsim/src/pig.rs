@@ -1,0 +1,172 @@
+//! Models of the two Pig scripts used in the paper's evaluation.
+//!
+//! * `simple-filter.pig` loads the Excite query log, filters out queries
+//!   whose query string is a URL and stores the rest.  It is map-heavy with
+//!   a high selectivity and an almost pass-through reduce phase.
+//! * `simple-groupby.pig` groups the queries by user and outputs the number
+//!   of queries per user.  Its map output is smaller (only user/count pairs)
+//!   but the reduce phase does real aggregation work.
+//!
+//! Only the coefficients that drive the cost model and the counters are
+//! modelled; the scripts' actual semantics are exercised by the workload
+//! generator in `perfxplain-workload` when it derives record counts and
+//! selectivities from the synthetic Excite data.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The Pig script a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PigScript {
+    /// `simple-filter.pig`: keep queries that are not URLs.
+    SimpleFilter,
+    /// `simple-groupby.pig`: count queries per user.
+    SimpleGroupBy,
+}
+
+impl PigScript {
+    /// The on-disk script name used in the paper and in the job features.
+    pub fn file_name(&self) -> &'static str {
+        match self {
+            PigScript::SimpleFilter => "simple-filter.pig",
+            PigScript::SimpleGroupBy => "simple-groupby.pig",
+        }
+    }
+
+    /// All modelled scripts.
+    pub fn all() -> [PigScript; 2] {
+        [PigScript::SimpleFilter, PigScript::SimpleGroupBy]
+    }
+
+    /// Fraction of input *records* that survive the map phase.
+    pub fn map_selectivity(&self) -> f64 {
+        match self {
+            // Roughly 85% of Excite queries are not URLs.
+            PigScript::SimpleFilter => 0.85,
+            // GroupBy emits one (user, 1) pair per input record.
+            PigScript::SimpleGroupBy => 1.0,
+        }
+    }
+
+    /// Ratio of map-output bytes (data that must be shuffled to reducers) to
+    /// map-input bytes.  The filter script is effectively map-only: Pig
+    /// stores the surviving records straight from the map tasks and only a
+    /// small remainder flows through the reduce stage.
+    pub fn map_output_ratio(&self) -> f64 {
+        match self {
+            PigScript::SimpleFilter => 0.12,
+            // One (user, 1) pair per record must be shuffled for grouping.
+            PigScript::SimpleGroupBy => 0.35,
+        }
+    }
+
+    /// CPU seconds needed to apply the map logic to one megabyte of input on
+    /// the reference instance.
+    pub fn map_cpu_sec_per_mb(&self) -> f64 {
+        match self {
+            PigScript::SimpleFilter => 0.055,
+            PigScript::SimpleGroupBy => 0.070,
+        }
+    }
+
+    /// CPU seconds needed to apply the reduce logic to one megabyte of
+    /// shuffled data on the reference instance.
+    pub fn reduce_cpu_sec_per_mb(&self) -> f64 {
+        match self {
+            // Filter's reduce stage only stores records.
+            PigScript::SimpleFilter => 0.015,
+            // GroupBy aggregates counts per user.
+            PigScript::SimpleGroupBy => 0.060,
+        }
+    }
+
+    /// Ratio of job-output bytes to reduce-input bytes.
+    pub fn reduce_output_ratio(&self) -> f64 {
+        match self {
+            PigScript::SimpleFilter => 1.0,
+            // One (user, count) line per distinct user.
+            PigScript::SimpleGroupBy => 0.04,
+        }
+    }
+
+    /// Whether the script needs a real shuffle (group-by does; a pure filter
+    /// mostly forwards data but Pig still schedules the reduce stage).
+    pub fn shuffle_heavy(&self) -> bool {
+        matches!(self, PigScript::SimpleGroupBy)
+    }
+}
+
+impl fmt::Display for PigScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.file_name())
+    }
+}
+
+/// Error returned when a script name cannot be resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownScript(pub String);
+
+impl fmt::Display for UnknownScript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown pig script '{}'", self.0)
+    }
+}
+
+impl std::error::Error for UnknownScript {}
+
+impl FromStr for PigScript {
+    type Err = UnknownScript;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "simple-filter.pig" | "simple-filter" | "filter" => Ok(PigScript::SimpleFilter),
+            "simple-groupby.pig" | "simple-groupby" | "groupby" => Ok(PigScript::SimpleGroupBy),
+            other => Err(UnknownScript(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for script in PigScript::all() {
+            let parsed: PigScript = script.file_name().parse().unwrap();
+            assert_eq!(parsed, script);
+            assert_eq!(script.to_string(), script.file_name());
+        }
+        assert!("mystery.pig".parse::<PigScript>().is_err());
+    }
+
+    #[test]
+    fn short_names_parse() {
+        assert_eq!("filter".parse::<PigScript>().unwrap(), PigScript::SimpleFilter);
+        assert_eq!("groupby".parse::<PigScript>().unwrap(), PigScript::SimpleGroupBy);
+    }
+
+    #[test]
+    fn groupby_shuffles_more_but_outputs_less() {
+        assert!(PigScript::SimpleGroupBy.map_output_ratio() > PigScript::SimpleFilter.map_output_ratio());
+        assert!(PigScript::SimpleGroupBy.reduce_output_ratio() < PigScript::SimpleFilter.reduce_output_ratio());
+    }
+
+    #[test]
+    fn groupby_is_heavier_on_cpu() {
+        assert!(PigScript::SimpleGroupBy.map_cpu_sec_per_mb() > PigScript::SimpleFilter.map_cpu_sec_per_mb());
+        assert!(PigScript::SimpleGroupBy.reduce_cpu_sec_per_mb() > PigScript::SimpleFilter.reduce_cpu_sec_per_mb());
+        assert!(PigScript::SimpleGroupBy.shuffle_heavy());
+        assert!(!PigScript::SimpleFilter.shuffle_heavy());
+    }
+
+    #[test]
+    fn ratios_are_sane() {
+        for script in PigScript::all() {
+            assert!(script.map_selectivity() > 0.0 && script.map_selectivity() <= 1.0);
+            assert!(script.map_output_ratio() > 0.0 && script.map_output_ratio() <= 1.0);
+            assert!(script.reduce_output_ratio() > 0.0 && script.reduce_output_ratio() <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,270 @@
+//! FIFO slot scheduling of tasks onto instances.
+//!
+//! Hadoop's JobTracker assigns pending tasks to the first free slot.  The
+//! simulator reproduces that with a wave-style scheduler: scheduling happens
+//! in rounds; at every round the earliest slot-free time is found, all slots
+//! free at that time receive the next pending tasks, and the tasks assigned
+//! in the same round on the same instance observe each other's load.
+//!
+//! Contention is resolved at task start: a task that starts while `c - 1`
+//! other tasks are running (or starting) on the same instance is slowed by
+//! the cluster's contention multiplier for concurrency `c`.  This is what
+//! creates the "last task runs faster" pattern the paper's first PXQL query
+//! asks about: the final task of an odd wave runs alone on its instance and
+//! finishes noticeably earlier than its peers.
+
+use crate::config::ClusterSpec;
+use crate::cost::CostModel;
+
+/// A task to be scheduled: its solo (contention-free) duration in seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PendingTask {
+    /// Index of the task within its phase (map index or reduce index).
+    pub index: usize,
+    /// Duration the task would need if it ran alone on an instance.
+    pub solo_duration: f64,
+}
+
+/// The placement and timing the scheduler decided for one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledTask {
+    /// Index of the task within its phase.
+    pub index: usize,
+    /// Instance the task ran on.
+    pub instance: usize,
+    /// Start time in seconds.
+    pub start: f64,
+    /// Finish time in seconds (solo duration × contention multiplier).
+    pub finish: f64,
+    /// Number of tasks (including this one) running on the instance at start.
+    pub concurrency: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    instance: usize,
+    free_at: f64,
+}
+
+const TIME_EPS: f64 = 1e-6;
+
+/// Schedules `tasks` (in FIFO order) onto `slots_per_instance` slots of each
+/// of the cluster's instances, starting no earlier than `phase_start`.
+///
+/// Returns one [`ScheduledTask`] per input task, ordered by task index.
+pub fn schedule_phase(
+    cluster: &ClusterSpec,
+    tasks: &[PendingTask],
+    slots_per_instance: usize,
+    phase_start: f64,
+) -> Vec<ScheduledTask> {
+    let num_instances = cluster.num_instances.max(1);
+    let slots_per_instance = slots_per_instance.max(1);
+
+    // Slot list in round-robin instance order so that consecutive tasks
+    // spread across instances the way Hadoop heartbeat assignment roughly
+    // does.
+    let mut slots: Vec<Slot> = Vec::with_capacity(num_instances * slots_per_instance);
+    for _slot in 0..slots_per_instance {
+        for instance in 0..num_instances {
+            slots.push(Slot {
+                instance,
+                free_at: phase_start,
+            });
+        }
+    }
+
+    let mut scheduled: Vec<ScheduledTask> = Vec::with_capacity(tasks.len());
+    // Intervals of already-started tasks per instance.
+    let mut placed: Vec<Vec<(f64, f64)>> = vec![Vec::new(); num_instances];
+
+    let mut next_task = 0usize;
+    while next_task < tasks.len() {
+        // Earliest time any slot becomes free.
+        let round_time = slots
+            .iter()
+            .map(|s| s.free_at)
+            .fold(f64::INFINITY, f64::min)
+            .max(phase_start);
+
+        // All slots free at (roughly) that time, in stable order.
+        let free_slot_ids: Vec<usize> = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.free_at <= round_time + TIME_EPS)
+            .map(|(i, _)| i)
+            .collect();
+
+        // Assign the next pending tasks to those slots.
+        let batch_len = free_slot_ids.len().min(tasks.len() - next_task);
+        let batch: Vec<(usize, usize)> = (0..batch_len)
+            .map(|offset| (next_task + offset, free_slot_ids[offset]))
+            .collect();
+        next_task += batch_len;
+
+        // Per-instance number of tasks assigned in this round.
+        let mut batch_per_instance = vec![0usize; num_instances];
+        for &(_, slot_id) in &batch {
+            batch_per_instance[slots[slot_id].instance] += 1;
+        }
+
+        // Tasks from previous rounds still running at the round time,
+        // snapshotted before this round's tasks are placed so that batch
+        // members are not double counted.
+        let still_running_before: Vec<usize> = (0..num_instances)
+            .map(|instance| {
+                placed[instance]
+                    .iter()
+                    .filter(|(s, f)| *s <= round_time + TIME_EPS && *f > round_time + TIME_EPS)
+                    .count()
+            })
+            .collect();
+
+        for (task_pos, slot_id) in batch {
+            let task = tasks[task_pos];
+            let instance = slots[slot_id].instance;
+            let start = round_time;
+
+            // Tasks already running on this instance at the start time, plus
+            // every task of this round assigned to the same instance
+            // (including this one).
+            let concurrency = still_running_before[instance] + batch_per_instance[instance];
+            let multiplier = CostModel::contention_multiplier(cluster, concurrency);
+            let finish = start + task.solo_duration * multiplier;
+
+            placed[instance].push((start, finish));
+            slots[slot_id].free_at = finish;
+            scheduled.push(ScheduledTask {
+                index: task.index,
+                instance,
+                start,
+                finish,
+                concurrency,
+            });
+        }
+    }
+
+    scheduled.sort_by_key(|t| t.index);
+    scheduled
+}
+
+/// The finish time of the last task of a scheduled phase (or `phase_start`
+/// when the phase has no tasks).
+pub fn phase_finish(scheduled: &[ScheduledTask], phase_start: f64) -> f64 {
+    scheduled
+        .iter()
+        .map(|t| t.finish)
+        .fold(phase_start, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_tasks(n: usize, solo: f64) -> Vec<PendingTask> {
+        (0..n)
+            .map(|index| PendingTask {
+                index,
+                solo_duration: solo,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn single_wave_fills_all_slots() {
+        let cluster = ClusterSpec::with_instances(4); // 8 map slots
+        let tasks = uniform_tasks(8, 30.0);
+        let scheduled = schedule_phase(&cluster, &tasks, cluster.map_slots_per_instance, 0.0);
+        assert_eq!(scheduled.len(), 8);
+        assert!(scheduled.iter().all(|t| t.start == 0.0));
+        // Every instance runs exactly two tasks, and both observe each other.
+        for t in &scheduled {
+            assert_eq!(t.concurrency, 2);
+        }
+        let per_instance: Vec<usize> = (0..4)
+            .map(|i| scheduled.iter().filter(|t| t.instance == i).count())
+            .collect();
+        assert_eq!(per_instance, vec![2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn co_scheduled_tasks_observe_each_other() {
+        let cluster = ClusterSpec::with_instances(1); // 2 map slots on 1 instance
+        let tasks = uniform_tasks(2, 100.0);
+        let scheduled = schedule_phase(&cluster, &tasks, 2, 0.0);
+        assert_eq!(scheduled[0].concurrency, 2);
+        assert_eq!(scheduled[1].concurrency, 2);
+        // Both are slowed by the same contention multiplier.
+        let expected = 100.0 * CostModel::contention_multiplier(&cluster, 2);
+        assert!((scheduled[0].finish - expected).abs() < 1e-6);
+        assert!((scheduled[1].finish - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn last_task_of_odd_wave_runs_alone_and_faster() {
+        // 1 instance, 2 slots, 5 equal tasks: the 5th task starts once both
+        // slots are free after two full waves and runs with no co-located
+        // task, so it is the fastest.
+        let cluster = ClusterSpec::with_instances(1);
+        let tasks = uniform_tasks(5, 60.0);
+        let scheduled = schedule_phase(&cluster, &tasks, 2, 0.0);
+        let durations: Vec<f64> = scheduled.iter().map(|t| t.finish - t.start).collect();
+        let last = durations[4];
+        for (i, d) in durations.iter().enumerate().take(4) {
+            assert!(last < *d, "task {i} ran {d}s, last ran {last}s");
+        }
+        assert_eq!(scheduled[4].concurrency, 1);
+    }
+
+    #[test]
+    fn waves_respect_slot_capacity() {
+        let cluster = ClusterSpec::with_instances(2); // 4 map slots
+        let tasks = uniform_tasks(10, 20.0);
+        let scheduled = schedule_phase(&cluster, &tasks, cluster.map_slots_per_instance, 0.0);
+        // At any scheduled start, no more than 4 tasks run concurrently.
+        for t in &scheduled {
+            let concurrent = scheduled
+                .iter()
+                .filter(|o| o.start <= t.start && o.finish > t.start)
+                .count();
+            assert!(concurrent <= 4, "{concurrent} tasks at t={}", t.start);
+        }
+        // The phase takes at least three waves of ~20s.
+        assert!(phase_finish(&scheduled, 0.0) >= 60.0);
+    }
+
+    #[test]
+    fn phase_start_is_respected() {
+        let cluster = ClusterSpec::with_instances(2);
+        let tasks = uniform_tasks(3, 10.0);
+        let scheduled = schedule_phase(&cluster, &tasks, 2, 500.0);
+        assert!(scheduled.iter().all(|t| t.start >= 500.0));
+        assert_eq!(phase_finish(&[], 500.0), 500.0);
+    }
+
+    #[test]
+    fn more_instances_shorten_the_phase() {
+        let tasks = uniform_tasks(32, 30.0);
+        let small = ClusterSpec::with_instances(2);
+        let large = ClusterSpec::with_instances(16);
+        let t_small = phase_finish(&schedule_phase(&small, &tasks, 2, 0.0), 0.0);
+        let t_large = phase_finish(&schedule_phase(&large, &tasks, 2, 0.0), 0.0);
+        assert!(t_large < t_small);
+    }
+
+    #[test]
+    fn results_are_in_task_index_order() {
+        let cluster = ClusterSpec::with_instances(3);
+        let tasks = uniform_tasks(17, 12.0);
+        let scheduled = schedule_phase(&cluster, &tasks, 2, 0.0);
+        let indices: Vec<usize> = scheduled.iter().map(|t| t.index).collect();
+        assert_eq!(indices, (0..17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_task_list_is_fine() {
+        let cluster = ClusterSpec::default();
+        let scheduled = schedule_phase(&cluster, &[], 2, 0.0);
+        assert!(scheduled.is_empty());
+    }
+}

@@ -1,0 +1,221 @@
+//! The abstract syntax of a PXQL query.
+
+use crate::error::PxqlError;
+use crate::predicate::Predicate;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Whether the query compares two jobs or two tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SubjectKind {
+    /// The pair of interest are MapReduce jobs.
+    Jobs,
+    /// The pair of interest are MapReduce tasks.
+    Tasks,
+}
+
+impl fmt::Display for SubjectKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubjectKind::Jobs => write!(f, "jobs"),
+            SubjectKind::Tasks => write!(f, "tasks"),
+        }
+    }
+}
+
+/// How the pair of interest is identified in the `WHERE` clause.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairBinding {
+    /// `J1.JobID = ?` — the caller supplies the identifier at evaluation
+    /// time.
+    Placeholder,
+    /// `J1.JobID = 'job_201203010001_0007'` — the identifier is inlined.
+    Literal(String),
+}
+
+impl PairBinding {
+    /// The inlined identifier, if any.
+    pub fn literal(&self) -> Option<&str> {
+        match self {
+            PairBinding::Literal(id) => Some(id),
+            PairBinding::Placeholder => None,
+        }
+    }
+}
+
+/// A parsed PXQL query.
+///
+/// Definition 1 of the paper: a query comprises a pair of jobs and a triple
+/// of predicates `(des, obs, exp)` with `des(J1,J2) = obs(J1,J2) = true`,
+/// `exp(J1,J2) = false` and `obs ⊨ ¬exp`.  Those semantic conditions involve
+/// the pair's feature values and are checked by `perfxplain-core` when the
+/// query is bound to an execution log; this struct only captures the syntax
+/// plus the purely syntactic sanity checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PxqlQuery {
+    /// Jobs or tasks.
+    pub subject: SubjectKind,
+    /// Variable name of the first execution (e.g. `J1` or `T1`).
+    pub left_var: String,
+    /// Variable name of the second execution.
+    pub right_var: String,
+    /// Binding of the first execution's identifier.
+    pub left_binding: PairBinding,
+    /// Binding of the second execution's identifier.
+    pub right_binding: PairBinding,
+    /// The (optional) `DESPITE` clause; `true` when omitted.
+    pub despite: Predicate,
+    /// The `OBSERVED` clause.
+    pub observed: Predicate,
+    /// The `EXPECTED` clause.
+    pub expected: Predicate,
+}
+
+impl PxqlQuery {
+    /// Builds a query programmatically (no `FOR`/`WHERE` text needed).
+    pub fn new(
+        subject: SubjectKind,
+        despite: Predicate,
+        observed: Predicate,
+        expected: Predicate,
+    ) -> Result<Self, PxqlError> {
+        let query = PxqlQuery {
+            subject,
+            left_var: match subject {
+                SubjectKind::Jobs => "J1".to_string(),
+                SubjectKind::Tasks => "T1".to_string(),
+            },
+            right_var: match subject {
+                SubjectKind::Jobs => "J2".to_string(),
+                SubjectKind::Tasks => "T2".to_string(),
+            },
+            left_binding: PairBinding::Placeholder,
+            right_binding: PairBinding::Placeholder,
+            despite,
+            observed,
+            expected,
+        };
+        query.validate()?;
+        Ok(query)
+    }
+
+    /// Supplies literal identifiers for the pair of interest.
+    pub fn with_pair(mut self, left: impl Into<String>, right: impl Into<String>) -> Self {
+        self.left_binding = PairBinding::Literal(left.into());
+        self.right_binding = PairBinding::Literal(right.into());
+        self
+    }
+
+    /// Replaces the despite clause (used when PerfXplain extends an
+    /// under-specified query with a generated `des'`).
+    pub fn with_despite(mut self, despite: Predicate) -> Self {
+        self.despite = despite;
+        self
+    }
+
+    /// Syntactic sanity checks.
+    pub fn validate(&self) -> Result<(), PxqlError> {
+        if self.observed.is_trivial() {
+            return Err(PxqlError::Invalid(
+                "the OBSERVED clause must not be empty".to_string(),
+            ));
+        }
+        if self.expected.is_trivial() {
+            return Err(PxqlError::Invalid(
+                "the EXPECTED clause must not be empty".to_string(),
+            ));
+        }
+        if self.observed == self.expected {
+            return Err(PxqlError::Invalid(
+                "OBSERVED and EXPECTED must describe different behaviours".to_string(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PxqlQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let id_field = match self.subject {
+            SubjectKind::Jobs => "JobID",
+            SubjectKind::Tasks => "TaskID",
+        };
+        let binding = |b: &PairBinding| match b {
+            PairBinding::Placeholder => "?".to_string(),
+            PairBinding::Literal(id) => format!("'{id}'"),
+        };
+        writeln!(
+            f,
+            "FOR {}, {} WHERE {}.{} = {} AND {}.{} = {}",
+            self.left_var,
+            self.right_var,
+            self.left_var,
+            id_field,
+            binding(&self.left_binding),
+            self.right_var,
+            id_field,
+            binding(&self.right_binding)
+        )?;
+        if !self.despite.is_trivial() {
+            writeln!(f, "DESPITE {}", self.despite)?;
+        }
+        writeln!(f, "OBSERVED {}", self.observed)?;
+        write!(f, "EXPECTED {}", self.expected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::{Atom, Predicate};
+
+    fn obs() -> Predicate {
+        Predicate::from_atoms(vec![Atom::eq("duration_compare", "SIM")])
+    }
+
+    fn exp() -> Predicate {
+        Predicate::from_atoms(vec![Atom::eq("duration_compare", "GT")])
+    }
+
+    #[test]
+    fn new_query_validates() {
+        let q = PxqlQuery::new(SubjectKind::Jobs, Predicate::always_true(), obs(), exp()).unwrap();
+        assert_eq!(q.left_var, "J1");
+        assert!(q.despite.is_trivial());
+    }
+
+    #[test]
+    fn empty_observed_is_rejected() {
+        let err =
+            PxqlQuery::new(SubjectKind::Jobs, Predicate::always_true(), Predicate::always_true(), exp())
+                .unwrap_err();
+        assert!(matches!(err, PxqlError::Invalid(_)));
+    }
+
+    #[test]
+    fn identical_observed_and_expected_rejected() {
+        let err = PxqlQuery::new(SubjectKind::Tasks, Predicate::always_true(), obs(), obs())
+            .unwrap_err();
+        assert!(matches!(err, PxqlError::Invalid(_)));
+    }
+
+    #[test]
+    fn with_pair_and_display() {
+        let q = PxqlQuery::new(SubjectKind::Jobs, Predicate::always_true(), obs(), exp())
+            .unwrap()
+            .with_pair("job_A", "job_B");
+        let text = q.to_string();
+        assert!(text.contains("J1.JobID = 'job_A'"));
+        assert!(text.contains("OBSERVED duration_compare = SIM"));
+        assert!(text.contains("EXPECTED duration_compare = GT"));
+        assert!(!text.contains("DESPITE"));
+        assert_eq!(q.left_binding.literal(), Some("job_A"));
+    }
+
+    #[test]
+    fn tasks_use_task_vars() {
+        let q = PxqlQuery::new(SubjectKind::Tasks, Predicate::always_true(), obs(), exp()).unwrap();
+        assert_eq!(q.left_var, "T1");
+        assert!(q.to_string().contains("TaskID"));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for lexing and parsing PXQL.
+
+use std::fmt;
+
+/// A lexing or parsing error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Byte offset in the input where the error was detected.
+    pub offset: usize,
+}
+
+impl ParseError {
+    /// Creates an error at the given byte offset.
+    pub fn new(message: impl Into<String>, offset: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (at byte {})", self.message, self.offset)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Top-level error type of the PXQL crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PxqlError {
+    /// The query text could not be tokenized or parsed.
+    Parse(ParseError),
+    /// The query parsed but is not well-formed (e.g. an empty OBSERVED
+    /// clause, or OBSERVED and EXPECTED that are identical).
+    Invalid(String),
+}
+
+impl fmt::Display for PxqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PxqlError::Parse(e) => write!(f, "PXQL parse error: {e}"),
+            PxqlError::Invalid(msg) => write!(f, "invalid PXQL query: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PxqlError {}
+
+impl From<ParseError> for PxqlError {
+    fn from(e: ParseError) -> Self {
+        PxqlError::Parse(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_offset() {
+        let err = ParseError::new("unexpected token", 17);
+        assert!(err.to_string().contains("17"));
+        let top: PxqlError = err.into();
+        assert!(top.to_string().contains("parse error"));
+    }
+
+    #[test]
+    fn invalid_variant_displays_message() {
+        let err = PxqlError::Invalid("OBSERVED must not imply EXPECTED".to_string());
+        assert!(err.to_string().contains("OBSERVED"));
+    }
+}

@@ -1,0 +1,397 @@
+//! Tokenizer for PXQL.
+//!
+//! The language is small: keywords (`FOR`, `WHERE`, `DESPITE`, `OBSERVED`,
+//! `EXPECTED`, `AND`, `TRUE`, `NULL`), identifiers, numeric literals
+//! (with optional size suffixes such as `128MB`), quoted strings, comparison
+//! operators, `?` placeholders, commas, dots and parentheses.  The unicode
+//! conjunction `∧` is accepted as a synonym for `AND` so that queries can be
+//! pasted straight from the paper.
+
+use crate::error::ParseError;
+
+/// A lexical token together with its byte offset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Keyword `FOR`.
+    For,
+    /// Keyword `WHERE`.
+    Where,
+    /// Keyword `DESPITE`.
+    Despite,
+    /// Keyword `OBSERVED`.
+    Observed,
+    /// Keyword `EXPECTED`.
+    Expected,
+    /// Keyword `BECAUSE` (used when parsing explanations back in).
+    Because,
+    /// Conjunction `AND` / `∧`.
+    And,
+    /// Literal `TRUE`.
+    True,
+    /// Literal `NULL`.
+    Null,
+    /// An identifier (feature name, job variable, …).
+    Ident(String),
+    /// A quoted string literal.
+    StringLit(String),
+    /// A numeric literal, already scaled by any size suffix.
+    Number(f64),
+    /// `=`.
+    Eq,
+    /// `!=` or `<>` or `≠`.
+    Ne,
+    /// `<`.
+    Lt,
+    /// `<=` or `≤`.
+    Le,
+    /// `>`.
+    Gt,
+    /// `>=` or `≥`.
+    Ge,
+    /// `?` placeholder in the WHERE clause.
+    Placeholder,
+    /// `,`.
+    Comma,
+    /// `.`.
+    Dot,
+    /// `(`.
+    LParen,
+    /// `)`.
+    RParen,
+}
+
+/// A token plus the byte offset where it started.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpannedToken {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the first character of the token.
+    pub offset: usize,
+}
+
+/// Multiplier for a size / time suffix attached to a number.
+fn suffix_multiplier(suffix: &str) -> Option<f64> {
+    match suffix.to_ascii_uppercase().as_str() {
+        "" => Some(1.0),
+        "KB" => Some(1024.0),
+        "MB" => Some(1024.0 * 1024.0),
+        "GB" => Some(1024.0 * 1024.0 * 1024.0),
+        "TB" => Some(1024.0 * 1024.0 * 1024.0 * 1024.0),
+        "MS" => Some(0.001),
+        "S" | "SEC" => Some(1.0),
+        "MIN" => Some(60.0),
+        "H" | "HR" => Some(3600.0),
+        _ => None,
+    }
+}
+
+fn keyword(word: &str) -> Option<Token> {
+    match word.to_ascii_uppercase().as_str() {
+        "FOR" => Some(Token::For),
+        "WHERE" => Some(Token::Where),
+        "DESPITE" => Some(Token::Despite),
+        "OBSERVED" => Some(Token::Observed),
+        "EXPECTED" => Some(Token::Expected),
+        "BECAUSE" => Some(Token::Because),
+        "AND" => Some(Token::And),
+        "TRUE" => Some(Token::True),
+        "NULL" => Some(Token::Null),
+        _ => None,
+    }
+}
+
+/// Tokenizes a PXQL query or predicate.
+pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
+    let mut tokens = Vec::new();
+    let bytes: Vec<char> = input.chars().collect();
+    // Track byte offsets for error messages.
+    let mut byte_offsets = Vec::with_capacity(bytes.len() + 1);
+    let mut acc = 0;
+    for c in &bytes {
+        byte_offsets.push(acc);
+        acc += c.len_utf8();
+    }
+    byte_offsets.push(acc);
+
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let offset = byte_offsets[i];
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '∧' => {
+                tokens.push(SpannedToken { token: Token::And, offset });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(SpannedToken { token: Token::Comma, offset });
+                i += 1;
+            }
+            '.' => {
+                tokens.push(SpannedToken { token: Token::Dot, offset });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(SpannedToken { token: Token::LParen, offset });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(SpannedToken { token: Token::RParen, offset });
+                i += 1;
+            }
+            '?' => {
+                tokens.push(SpannedToken { token: Token::Placeholder, offset });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(SpannedToken { token: Token::Eq, offset });
+                i += 1;
+            }
+            '≠' => {
+                tokens.push(SpannedToken { token: Token::Ne, offset });
+                i += 1;
+            }
+            '≤' => {
+                tokens.push(SpannedToken { token: Token::Le, offset });
+                i += 1;
+            }
+            '≥' => {
+                tokens.push(SpannedToken { token: Token::Ge, offset });
+                i += 1;
+            }
+            '!' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(SpannedToken { token: Token::Ne, offset });
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("expected '=' after '!'", offset));
+                }
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(SpannedToken { token: Token::Le, offset });
+                    i += 2;
+                } else if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(SpannedToken { token: Token::Ne, offset });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken { token: Token::Lt, offset });
+                    i += 1;
+                }
+            }
+            '>' => {
+                if bytes.get(i + 1) == Some(&'=') {
+                    tokens.push(SpannedToken { token: Token::Ge, offset });
+                    i += 2;
+                } else {
+                    tokens.push(SpannedToken { token: Token::Gt, offset });
+                    i += 1;
+                }
+            }
+            '\'' | '"' => {
+                let quote = c;
+                let mut value = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    if bytes[j] == quote {
+                        // Doubled quote is an escaped quote.
+                        if bytes.get(j + 1) == Some(&quote) {
+                            value.push(quote);
+                            j += 2;
+                            continue;
+                        }
+                        closed = true;
+                        break;
+                    }
+                    value.push(bytes[j]);
+                    j += 1;
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated string literal", offset));
+                }
+                tokens.push(SpannedToken {
+                    token: Token::StringLit(value),
+                    offset,
+                });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit()
+                || (c == '-' && bytes.get(i + 1).is_some_and(|d| d.is_ascii_digit())) =>
+            {
+                let mut j = i;
+                if bytes[j] == '-' {
+                    j += 1;
+                }
+                let mut num = String::new();
+                if bytes[i] == '-' {
+                    num.push('-');
+                }
+                let mut seen_dot = false;
+                while j < bytes.len() {
+                    let d = bytes[j];
+                    if d.is_ascii_digit() {
+                        num.push(d);
+                        j += 1;
+                    } else if d == '.' && !seen_dot && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                        seen_dot = true;
+                        num.push(d);
+                        j += 1;
+                    } else if d == '_' {
+                        j += 1; // digit separator
+                    } else {
+                        break;
+                    }
+                }
+                // Optional size/time suffix glued to the number (e.g. 128MB).
+                let mut suffix = String::new();
+                while j < bytes.len() && bytes[j].is_ascii_alphabetic() {
+                    suffix.push(bytes[j]);
+                    j += 1;
+                }
+                let base: f64 = num
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("invalid number '{num}'"), offset))?;
+                let multiplier = suffix_multiplier(&suffix).ok_or_else(|| {
+                    ParseError::new(format!("unknown numeric suffix '{suffix}'"), offset)
+                })?;
+                tokens.push(SpannedToken {
+                    token: Token::Number(base * multiplier),
+                    offset,
+                });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                let mut word = String::new();
+                while j < bytes.len() {
+                    let d = bytes[j];
+                    if d.is_alphanumeric() || d == '_' || d == '-' {
+                        word.push(d);
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let token = keyword(&word).unwrap_or(Token::Ident(word));
+                tokens.push(SpannedToken { token, offset });
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character '{other}'"),
+                    offset,
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+    }
+
+    #[test]
+    fn tokenizes_keywords_and_identifiers() {
+        let toks = kinds("DESPITE inputsize_compare = GT");
+        assert_eq!(
+            toks,
+            vec![
+                Token::Despite,
+                Token::Ident("inputsize_compare".to_string()),
+                Token::Eq,
+                Token::Ident("GT".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert_eq!(kinds("observed And eXpEcTeD"), vec![Token::Observed, Token::And, Token::Expected]);
+    }
+
+    #[test]
+    fn tokenizes_operators() {
+        assert_eq!(
+            kinds("= != <> < <= > >= ≤ ≥ ≠"),
+            vec![
+                Token::Eq,
+                Token::Ne,
+                Token::Ne,
+                Token::Lt,
+                Token::Le,
+                Token::Gt,
+                Token::Ge,
+                Token::Le,
+                Token::Ge,
+                Token::Ne,
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_conjunction_is_and() {
+        assert_eq!(
+            kinds("a = 1 ∧ b = 2"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Eq,
+                Token::Number(1.0),
+                Token::And,
+                Token::Ident("b".into()),
+                Token::Eq,
+                Token::Number(2.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn size_suffixes_scale_numbers() {
+        assert_eq!(kinds("128MB"), vec![Token::Number(128.0 * 1024.0 * 1024.0)]);
+        assert_eq!(kinds("1.5GB"), vec![Token::Number(1.5 * 1024.0 * 1024.0 * 1024.0)]);
+        assert_eq!(kinds("30min"), vec![Token::Number(1800.0)]);
+        assert!(tokenize("12parsecs").is_err());
+    }
+
+    #[test]
+    fn negative_and_fractional_numbers() {
+        assert_eq!(kinds("-3"), vec![Token::Number(-3.0)]);
+        assert_eq!(kinds("0.25"), vec![Token::Number(0.25)]);
+        assert_eq!(kinds("1_000"), vec![Token::Number(1000.0)]);
+    }
+
+    #[test]
+    fn string_literals_and_escapes() {
+        assert_eq!(
+            kinds("'simple-filter.pig'"),
+            vec![Token::StringLit("simple-filter.pig".to_string())]
+        );
+        assert_eq!(
+            kinds("'it''s'"),
+            vec![Token::StringLit("it's".to_string())]
+        );
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn where_clause_tokens() {
+        let toks = kinds("FOR J1, J2 WHERE J1.JobID = ? AND J2.JobID = ?");
+        assert!(toks.contains(&Token::Placeholder));
+        assert!(toks.contains(&Token::Dot));
+        assert!(toks.contains(&Token::Comma));
+        assert_eq!(toks[0], Token::For);
+    }
+
+    #[test]
+    fn error_carries_offset() {
+        let err = tokenize("a = #").unwrap_err();
+        assert_eq!(err.offset, 4);
+    }
+}

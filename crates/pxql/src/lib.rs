@@ -1,0 +1,45 @@
+//! The PerfXplain Query Language (PXQL).
+//!
+//! A PXQL query identifies a pair of MapReduce jobs (or tasks) and three
+//! predicates over the *pair features* of those executions:
+//!
+//! ```text
+//! FOR J1, J2 WHERE J1.JobID = ? AND J2.JobID = ?
+//! DESPITE  des
+//! OBSERVED obs
+//! EXPECTED exp
+//! ```
+//!
+//! Every predicate is a conjunction `φ1 ∧ … ∧ φm` of atoms `feature op
+//! constant`, with `op` one of `=`, `!=`, `<`, `<=`, `>`, `>=`.  The
+//! `DESPITE` clause is optional (omitting it is equivalent to `DESPITE
+//! true`).
+//!
+//! This crate contains the language itself — values, operators, atoms,
+//! predicates, the lexer and the recursive-descent parser — together with the
+//! evaluation of predicates over anything that can resolve feature names to
+//! [`Value`]s (the [`FeatureSource`] trait).  The data model that produces
+//! those features (pair-feature construction, execution logs) lives in
+//! `perfxplain-core`.
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod predicate;
+pub mod value;
+
+pub use ast::{PairBinding, PxqlQuery, SubjectKind};
+pub use error::{ParseError, PxqlError};
+pub use lexer::{tokenize, Token};
+pub use parser::{parse_explanation_str, parse_query};
+pub use predicate::{Atom, FeatureSource, Op, Predicate};
+pub use value::Value;
+
+/// Parses a single predicate expression, e.g.
+/// `inputsize_compare = GT AND numinstances <= 12`.
+///
+/// Convenience wrapper over [`parser::parse_predicate_str`].
+pub fn parse_predicate(input: &str) -> Result<Predicate, PxqlError> {
+    parser::parse_predicate_str(input)
+}

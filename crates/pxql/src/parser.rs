@@ -1,0 +1,416 @@
+//! Recursive-descent parser for PXQL queries and predicates.
+
+use crate::ast::{PairBinding, PxqlQuery, SubjectKind};
+use crate::error::{ParseError, PxqlError};
+use crate::lexer::{tokenize, SpannedToken, Token};
+use crate::predicate::{Atom, Op, Predicate};
+use crate::value::Value;
+
+struct Parser {
+    tokens: Vec<SpannedToken>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(input: &str) -> Result<Self, ParseError> {
+        Ok(Parser {
+            tokens: tokenize(input)?,
+            pos: 0,
+        })
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|t| &t.token)
+    }
+
+    fn offset(&self) -> usize {
+        self.tokens
+            .get(self.pos)
+            .or_else(|| self.tokens.last())
+            .map(|t| t.offset)
+            .unwrap_or(0)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let token = self.tokens.get(self.pos).map(|t| t.token.clone());
+        if token.is_some() {
+            self.pos += 1;
+        }
+        token
+    }
+
+    fn expect(&mut self, expected: &Token, what: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            _ => Err(ParseError::new(format!("expected {what}"), self.offset())),
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.advance() {
+            Some(Token::Ident(name)) => Ok(name),
+            _ => Err(ParseError::new(format!("expected {what}"), self.offset())),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn parse_op(&mut self) -> Result<Op, ParseError> {
+        let op = match self.peek() {
+            Some(Token::Eq) => Op::Eq,
+            Some(Token::Ne) => Op::Ne,
+            Some(Token::Lt) => Op::Lt,
+            Some(Token::Le) => Op::Le,
+            Some(Token::Gt) => Op::Gt,
+            Some(Token::Ge) => Op::Ge,
+            _ => {
+                return Err(ParseError::new(
+                    "expected a comparison operator (=, !=, <, <=, >, >=)",
+                    self.offset(),
+                ))
+            }
+        };
+        self.pos += 1;
+        Ok(op)
+    }
+
+    fn parse_constant(&mut self) -> Result<Value, ParseError> {
+        match self.advance() {
+            Some(Token::Number(n)) => Ok(Value::Num(n)),
+            Some(Token::StringLit(s)) => Ok(Value::Str(s)),
+            Some(Token::Null) => Ok(Value::Null),
+            Some(Token::True) => Ok(Value::Bool(true)),
+            Some(Token::Ident(word)) => {
+                // Bare identifiers: T/F become booleans, everything else is a
+                // nominal constant (LT, SIM, GT, hostnames, script names …).
+                match word.to_ascii_uppercase().as_str() {
+                    "T" => Ok(Value::Bool(true)),
+                    "F" => Ok(Value::Bool(false)),
+                    _ => Ok(Value::Str(word)),
+                }
+            }
+            Some(Token::LParen) => {
+                let first = self.parse_constant()?;
+                self.expect(&Token::Comma, "',' in pair constant")?;
+                let second = self.parse_constant()?;
+                self.expect(&Token::RParen, "')' closing pair constant")?;
+                Ok(Value::pair(first, second))
+            }
+            _ => Err(ParseError::new("expected a constant", self.offset())),
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Atom, ParseError> {
+        let feature = self.expect_ident("a feature name")?;
+        let op = self.parse_op()?;
+        let constant = self.parse_constant()?;
+        Ok(Atom { feature, op, constant })
+    }
+
+    fn parse_predicate(&mut self) -> Result<Predicate, ParseError> {
+        // The literal `TRUE` is the empty conjunction.
+        if self.peek() == Some(&Token::True) {
+            self.pos += 1;
+            return Ok(Predicate::always_true());
+        }
+        let mut atoms = vec![self.parse_atom()?];
+        while self.peek() == Some(&Token::And) {
+            self.pos += 1;
+            atoms.push(self.parse_atom()?);
+        }
+        Ok(Predicate::from_atoms(atoms))
+    }
+
+    /// Parses `J1.JobID = ?` or `J1.JobID = 'literal'`, returning the
+    /// variable name and the binding.
+    fn parse_binding(&mut self) -> Result<(String, PairBinding), ParseError> {
+        let var = self.expect_ident("an execution variable (e.g. J1)")?;
+        self.expect(&Token::Dot, "'.' after the execution variable")?;
+        let field = self.expect_ident("JobID or TaskID")?;
+        let field_upper = field.to_ascii_uppercase();
+        if field_upper != "JOBID" && field_upper != "TASKID" {
+            return Err(ParseError::new(
+                format!("expected JobID or TaskID, found '{field}'"),
+                self.offset(),
+            ));
+        }
+        self.expect(&Token::Eq, "'=' in the WHERE clause")?;
+        let binding = match self.advance() {
+            Some(Token::Placeholder) => PairBinding::Placeholder,
+            Some(Token::StringLit(id)) => PairBinding::Literal(id),
+            Some(Token::Ident(id)) => PairBinding::Literal(id),
+            _ => {
+                return Err(ParseError::new(
+                    "expected '?' or an identifier",
+                    self.offset(),
+                ))
+            }
+        };
+        Ok((var, binding))
+    }
+}
+
+/// Parses the textual form of an explanation,
+///
+/// ```text
+/// DESPITE inputsize_compare = GT
+/// BECAUSE blocksize >= 128MB AND numinstances >= 100
+/// ```
+///
+/// returning the `(despite, because)` pair of predicates.  The `DESPITE`
+/// clause is optional (defaults to `true`); the `BECAUSE` clause is
+/// mandatory.
+pub fn parse_explanation_str(input: &str) -> Result<(Predicate, Predicate), PxqlError> {
+    let mut parser = Parser::new(input)?;
+    let mut despite = Predicate::always_true();
+    if parser.peek() == Some(&Token::Despite) {
+        parser.pos += 1;
+        despite = parser.parse_predicate()?;
+    }
+    parser.expect(&Token::Because, "the BECAUSE clause")?;
+    let because = parser.parse_predicate()?;
+    if !parser.at_end() {
+        return Err(ParseError::new("unexpected trailing input", parser.offset()).into());
+    }
+    Ok((despite, because))
+}
+
+/// Parses a standalone predicate such as
+/// `inputsize_compare = SIM AND numinstances_isSame = T`.
+pub fn parse_predicate_str(input: &str) -> Result<Predicate, PxqlError> {
+    let mut parser = Parser::new(input)?;
+    let predicate = parser.parse_predicate()?;
+    if !parser.at_end() {
+        return Err(ParseError::new("unexpected trailing input", parser.offset()).into());
+    }
+    Ok(predicate)
+}
+
+/// Parses a full PXQL query.
+///
+/// The `FOR`/`WHERE` header is optional so that the concise form used in the
+/// paper's figures (starting directly with `DESPITE`/`OBSERVED`) also
+/// parses; in that case the subject defaults to jobs unless the variables are
+/// named `T1`/`T2`.
+pub fn parse_query(input: &str) -> Result<PxqlQuery, PxqlError> {
+    let mut parser = Parser::new(input)?;
+
+    let mut left_var = "J1".to_string();
+    let mut right_var = "J2".to_string();
+    let mut left_binding = PairBinding::Placeholder;
+    let mut right_binding = PairBinding::Placeholder;
+    let mut subject = SubjectKind::Jobs;
+
+    if parser.peek() == Some(&Token::For) {
+        parser.pos += 1;
+        left_var = parser.expect_ident("the first execution variable")?;
+        parser.expect(&Token::Comma, "',' between execution variables")?;
+        right_var = parser.expect_ident("the second execution variable")?;
+        if left_var.to_ascii_uppercase().starts_with('T') {
+            subject = SubjectKind::Tasks;
+        }
+        if parser.peek() == Some(&Token::Where) {
+            parser.pos += 1;
+            let (var_a, binding_a) = parser.parse_binding()?;
+            parser.expect(&Token::And, "AND between WHERE bindings")?;
+            let (var_b, binding_b) = parser.parse_binding()?;
+            for (var, binding) in [(var_a, binding_a), (var_b, binding_b)] {
+                if var.eq_ignore_ascii_case(&left_var) {
+                    left_binding = binding;
+                } else if var.eq_ignore_ascii_case(&right_var) {
+                    right_binding = binding;
+                } else {
+                    return Err(PxqlError::Invalid(format!(
+                        "WHERE clause references unknown variable '{var}'"
+                    )));
+                }
+            }
+        }
+    }
+
+    let mut despite = Predicate::always_true();
+    if parser.peek() == Some(&Token::Despite) {
+        parser.pos += 1;
+        despite = parser.parse_predicate()?;
+    }
+
+    parser.expect(&Token::Observed, "the OBSERVED clause")?;
+    let observed = parser.parse_predicate()?;
+
+    parser.expect(&Token::Expected, "the EXPECTED clause")?;
+    let expected = parser.parse_predicate()?;
+
+    if !parser.at_end() {
+        return Err(ParseError::new("unexpected trailing input", parser.offset()).into());
+    }
+
+    let query = PxqlQuery {
+        subject,
+        left_var,
+        right_var,
+        left_binding,
+        right_binding,
+        despite,
+        observed,
+        expected,
+    };
+    query.validate()?;
+    Ok(query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_paper_query_1() {
+        // Figure 1, query 1: unconstrained "why same duration".
+        let q = parse_query(
+            "OBSERVED duration_compare = SIM\nEXPECTED duration_compare = GT",
+        )
+        .unwrap();
+        assert_eq!(q.subject, SubjectKind::Jobs);
+        assert!(q.despite.is_trivial());
+        assert_eq!(q.observed.to_string(), "duration_compare = SIM");
+        assert_eq!(q.expected.to_string(), "duration_compare = GT");
+    }
+
+    #[test]
+    fn parses_paper_query_4_with_unicode_and() {
+        let q = parse_query(
+            "DESPITE inputsize_compare = SIM ∧ numinstances_isSame = T\n\
+             OBSERVED duration_compare = LT\n\
+             EXPECTED duration_compare = SIM",
+        )
+        .unwrap();
+        assert_eq!(q.despite.width(), 2);
+        assert_eq!(q.despite.atoms()[1].constant, Value::Bool(true));
+    }
+
+    #[test]
+    fn parses_full_form_with_where_clause() {
+        let q = parse_query(
+            "FOR J1, J2 WHERE J1.JobID = 'job_0001' AND J2.JobID = ?\n\
+             DESPITE numinstances_isSame = T AND pig_script_isSame = T\n\
+             OBSERVED duration_compare = GT\n\
+             EXPECTED duration_compare = SIM",
+        )
+        .unwrap();
+        assert_eq!(q.left_binding, PairBinding::Literal("job_0001".to_string()));
+        assert_eq!(q.right_binding, PairBinding::Placeholder);
+        assert_eq!(q.subject, SubjectKind::Jobs);
+    }
+
+    #[test]
+    fn task_variables_switch_subject() {
+        let q = parse_query(
+            "FOR T1, T2 WHERE T1.TaskID = ? AND T2.TaskID = ?\n\
+             DESPITE jobid_isSame = T AND inputsize_compare = SIM AND hostname_isSame = T\n\
+             OBSERVED duration_compare = LT\n\
+             EXPECTED duration_compare = SIM",
+        )
+        .unwrap();
+        assert_eq!(q.subject, SubjectKind::Tasks);
+        assert_eq!(q.despite.width(), 3);
+    }
+
+    #[test]
+    fn despite_true_is_trivial() {
+        let q = parse_query(
+            "DESPITE TRUE OBSERVED duration_compare = LT EXPECTED duration_compare = SIM",
+        )
+        .unwrap();
+        assert!(q.despite.is_trivial());
+    }
+
+    #[test]
+    fn numeric_constants_with_suffixes() {
+        let p = parse_predicate_str("blocksize >= 128MB AND numinstances <= 12").unwrap();
+        assert_eq!(p.atoms()[0].constant, Value::Num(128.0 * 1024.0 * 1024.0));
+        assert_eq!(p.atoms()[1].op, Op::Le);
+    }
+
+    #[test]
+    fn pair_constants_parse() {
+        let p = parse_predicate_str("pigscript_diff = ('filter.pig', 'join.pig')").unwrap();
+        assert_eq!(
+            p.atoms()[0].constant,
+            Value::pair(Value::str("filter.pig"), Value::str("join.pig"))
+        );
+    }
+
+    #[test]
+    fn missing_observed_clause_is_an_error() {
+        let err = parse_query("EXPECTED duration_compare = SIM").unwrap_err();
+        assert!(matches!(err, PxqlError::Parse(_)));
+    }
+
+    #[test]
+    fn identical_clauses_are_invalid() {
+        let err = parse_query(
+            "OBSERVED duration_compare = SIM EXPECTED duration_compare = SIM",
+        )
+        .unwrap_err();
+        assert!(matches!(err, PxqlError::Invalid(_)));
+    }
+
+    #[test]
+    fn trailing_garbage_is_an_error() {
+        let err = parse_query(
+            "OBSERVED duration_compare = SIM EXPECTED duration_compare = GT banana",
+        )
+        .unwrap_err();
+        assert!(matches!(err, PxqlError::Parse(_)));
+    }
+
+    #[test]
+    fn unknown_where_variable_is_invalid() {
+        let err = parse_query(
+            "FOR J1, J2 WHERE J9.JobID = ? AND J2.JobID = ?\n\
+             OBSERVED duration_compare = SIM EXPECTED duration_compare = GT",
+        )
+        .unwrap_err();
+        assert!(matches!(err, PxqlError::Invalid(_)));
+    }
+
+    #[test]
+    fn parse_error_on_bad_operator() {
+        let err = parse_predicate_str("a ~ 3").unwrap_err();
+        assert!(matches!(err, PxqlError::Parse(_)));
+    }
+
+    #[test]
+    fn explanations_parse_with_and_without_despite() {
+        let (despite, because) = parse_explanation_str(
+            "DESPITE inputsize_compare = GT\nBECAUSE blocksize >= 128MB AND numinstances >= 100",
+        )
+        .unwrap();
+        assert_eq!(despite.width(), 1);
+        assert_eq!(because.width(), 2);
+        assert_eq!(because.atoms()[0].constant, Value::Num(128.0 * 1024.0 * 1024.0));
+
+        let (despite, because) =
+            parse_explanation_str("BECAUSE avg_cpu_user_isSame = F").unwrap();
+        assert!(despite.is_trivial());
+        assert_eq!(because.width(), 1);
+
+        assert!(parse_explanation_str("DESPITE a = 1").is_err());
+        assert!(parse_explanation_str("BECAUSE a = 1 garbage").is_err());
+    }
+
+    #[test]
+    fn round_trip_through_display() {
+        let text = "FOR J1, J2 WHERE J1.JobID = 'a' AND J2.JobID = 'b'\n\
+                    DESPITE inputsize_compare = GT\n\
+                    OBSERVED duration_compare = SIM\n\
+                    EXPECTED duration_compare = GT";
+        let q = parse_query(text).unwrap();
+        let reparsed = parse_query(&q.to_string()).unwrap();
+        assert_eq!(q, reparsed);
+    }
+}

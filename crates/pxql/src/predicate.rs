@@ -1,0 +1,339 @@
+//! Atoms, predicates and their evaluation.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Comparison operators supported by PXQL (`=`, `!=`, `<`, `<=`, `>`, `>=`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Op {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Strictly less than (numeric only).
+    Lt,
+    /// Less than or equal (numeric only).
+    Le,
+    /// Strictly greater than (numeric only).
+    Gt,
+    /// Greater than or equal (numeric only).
+    Ge,
+}
+
+impl Op {
+    /// Applies the operator to a feature value and a constant.
+    ///
+    /// Missing feature values make every atom false (even `!=`), so that
+    /// explanations never hinge on features that do not apply to a pair.
+    pub fn apply(self, feature: &Value, constant: &Value) -> bool {
+        if feature.is_null() || constant.is_null() {
+            return false;
+        }
+        match self {
+            Op::Eq => feature.pxql_eq(constant),
+            Op::Ne => !feature.pxql_eq(constant),
+            Op::Lt => matches!(feature.pxql_cmp(constant), Some(std::cmp::Ordering::Less)),
+            Op::Le => matches!(
+                feature.pxql_cmp(constant),
+                Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal)
+            ),
+            Op::Gt => matches!(feature.pxql_cmp(constant), Some(std::cmp::Ordering::Greater)),
+            Op::Ge => matches!(
+                feature.pxql_cmp(constant),
+                Some(std::cmp::Ordering::Greater) | Some(std::cmp::Ordering::Equal)
+            ),
+        }
+    }
+
+    /// The operator that accepts exactly the complement of this operator's
+    /// acceptances on non-missing numeric values.
+    pub fn negate(self) -> Op {
+        match self {
+            Op::Eq => Op::Ne,
+            Op::Ne => Op::Eq,
+            Op::Lt => Op::Ge,
+            Op::Le => Op::Gt,
+            Op::Gt => Op::Le,
+            Op::Ge => Op::Lt,
+        }
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Op::Eq => "=",
+            Op::Ne => "!=",
+            Op::Lt => "<",
+            Op::Le => "<=",
+            Op::Gt => ">",
+            Op::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Anything that can resolve a feature name to a value.
+///
+/// Implemented for feature maps; `perfxplain-core` implements it for pair
+/// examples.
+pub trait FeatureSource {
+    /// Resolves `name`, returning `None` when the feature is unknown.
+    fn feature(&self, name: &str) -> Option<Value>;
+}
+
+impl FeatureSource for BTreeMap<String, Value> {
+    fn feature(&self, name: &str) -> Option<Value> {
+        self.get(name).cloned()
+    }
+}
+
+impl<T: FeatureSource + ?Sized> FeatureSource for &T {
+    fn feature(&self, name: &str) -> Option<Value> {
+        (**self).feature(name)
+    }
+}
+
+/// An atomic condition `feature op constant`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Atom {
+    /// Feature name, e.g. `inputsize_compare`.
+    pub feature: String,
+    /// Comparison operator.
+    pub op: Op,
+    /// Constant to compare against.
+    pub constant: Value,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(feature: impl Into<String>, op: Op, constant: impl Into<Value>) -> Self {
+        Atom {
+            feature: feature.into(),
+            op,
+            constant: constant.into(),
+        }
+    }
+
+    /// Shorthand for an equality atom.
+    pub fn eq(feature: impl Into<String>, constant: impl Into<Value>) -> Self {
+        Atom::new(feature, Op::Eq, constant)
+    }
+
+    /// Evaluates the atom against a feature source.  Unknown features are
+    /// treated as missing (false).
+    pub fn eval<S: FeatureSource>(&self, source: &S) -> bool {
+        match source.feature(&self.feature) {
+            Some(value) => self.op.apply(&value, &self.constant),
+            None => false,
+        }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.feature, self.op, self.constant)
+    }
+}
+
+/// A conjunction of atoms.  The empty conjunction is `true`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Predicate {
+    atoms: Vec<Atom>,
+}
+
+impl Predicate {
+    /// The always-true predicate (empty conjunction).
+    pub fn always_true() -> Self {
+        Predicate { atoms: Vec::new() }
+    }
+
+    /// Builds a predicate from atoms.
+    pub fn from_atoms(atoms: Vec<Atom>) -> Self {
+        Predicate { atoms }
+    }
+
+    /// The atoms of the conjunction, in order.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Number of atoms (the *width* of a clause, in the paper's terms).
+    pub fn width(&self) -> usize {
+        self.atoms.len()
+    }
+
+    /// Whether this is the empty (always-true) predicate.
+    pub fn is_trivial(&self) -> bool {
+        self.atoms.is_empty()
+    }
+
+    /// Appends an atom, returning the extended predicate.
+    pub fn and(mut self, atom: Atom) -> Self {
+        self.atoms.push(atom);
+        self
+    }
+
+    /// Appends an atom in place.
+    pub fn push(&mut self, atom: Atom) {
+        self.atoms.push(atom);
+    }
+
+    /// Concatenates two predicates (logical conjunction).
+    pub fn conjoin(&self, other: &Predicate) -> Predicate {
+        let mut atoms = self.atoms.clone();
+        atoms.extend(other.atoms.iter().cloned());
+        Predicate { atoms }
+    }
+
+    /// Truncates to the first `width` atoms (used when reporting
+    /// explanations of a requested width).
+    pub fn truncated(&self, width: usize) -> Predicate {
+        Predicate {
+            atoms: self.atoms.iter().take(width).cloned().collect(),
+        }
+    }
+
+    /// Evaluates the conjunction against a feature source.
+    pub fn eval<S: FeatureSource>(&self, source: &S) -> bool {
+        self.atoms.iter().all(|atom| atom.eval(source))
+    }
+
+    /// Whether the predicate mentions the given feature.
+    pub fn mentions(&self, feature: &str) -> bool {
+        self.atoms.iter().any(|a| a.feature == feature)
+    }
+
+    /// The set of feature names mentioned, in first-mention order.
+    pub fn features(&self) -> Vec<&str> {
+        let mut seen = Vec::new();
+        for atom in &self.atoms {
+            if !seen.contains(&atom.feature.as_str()) {
+                seen.push(atom.feature.as_str());
+            }
+        }
+        seen
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.atoms.is_empty() {
+            return write!(f, "true");
+        }
+        for (i, atom) in self.atoms.iter().enumerate() {
+            if i > 0 {
+                write!(f, " AND ")?;
+            }
+            write!(f, "{atom}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Atom> for Predicate {
+    fn from_iter<T: IntoIterator<Item = Atom>>(iter: T) -> Self {
+        Predicate {
+            atoms: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features() -> BTreeMap<String, Value> {
+        let mut m = BTreeMap::new();
+        m.insert("inputsize_compare".to_string(), Value::str("GT"));
+        m.insert("duration_compare".to_string(), Value::str("SIM"));
+        m.insert("numinstances".to_string(), Value::Num(8.0));
+        m.insert("jobid_isSame".to_string(), Value::Bool(true));
+        m.insert("blocksize".to_string(), Value::Num(128.0 * 1024.0 * 1024.0));
+        m.insert("missing_metric".to_string(), Value::Null);
+        m
+    }
+
+    #[test]
+    fn op_apply_covers_all_operators() {
+        let three = Value::Num(3.0);
+        let five = Value::Num(5.0);
+        assert!(Op::Lt.apply(&three, &five));
+        assert!(Op::Le.apply(&three, &three));
+        assert!(Op::Gt.apply(&five, &three));
+        assert!(Op::Ge.apply(&five, &five));
+        assert!(Op::Eq.apply(&three, &three));
+        assert!(Op::Ne.apply(&three, &five));
+    }
+
+    #[test]
+    fn missing_values_fail_every_operator() {
+        for op in [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge] {
+            assert!(!op.apply(&Value::Null, &Value::Num(1.0)), "{op}");
+            assert!(!op.apply(&Value::Num(1.0), &Value::Null), "{op}");
+        }
+    }
+
+    #[test]
+    fn negate_is_involutive() {
+        for op in [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge] {
+            assert_eq!(op.negate().negate(), op);
+        }
+    }
+
+    #[test]
+    fn atom_eval_against_feature_map() {
+        let f = features();
+        assert!(Atom::eq("inputsize_compare", "GT").eval(&f));
+        assert!(!Atom::eq("inputsize_compare", "LT").eval(&f));
+        assert!(Atom::new("numinstances", Op::Le, 12i64).eval(&f));
+        assert!(Atom::eq("jobid_isSame", true).eval(&f));
+        // Unknown and missing features are false.
+        assert!(!Atom::eq("unknown_feature", 1i64).eval(&f));
+        assert!(!Atom::new("missing_metric", Op::Ne, 0i64).eval(&f));
+    }
+
+    #[test]
+    fn predicate_conjunction_semantics() {
+        let f = features();
+        let p = Predicate::from_atoms(vec![
+            Atom::eq("inputsize_compare", "GT"),
+            Atom::new("numinstances", Op::Le, 12i64),
+        ]);
+        assert!(p.eval(&f));
+        let q = p.clone().and(Atom::eq("duration_compare", "GT"));
+        assert!(!q.eval(&f));
+        assert_eq!(q.width(), 3);
+        assert!(Predicate::always_true().eval(&f));
+    }
+
+    #[test]
+    fn predicate_helpers() {
+        let p = Predicate::from_atoms(vec![
+            Atom::eq("a", 1i64),
+            Atom::eq("b", 2i64),
+            Atom::eq("a", 3i64),
+        ]);
+        assert_eq!(p.features(), vec!["a", "b"]);
+        assert!(p.mentions("b"));
+        assert!(!p.mentions("c"));
+        assert_eq!(p.truncated(1).width(), 1);
+        let conj = p.conjoin(&Predicate::from_atoms(vec![Atom::eq("c", 4i64)]));
+        assert_eq!(conj.width(), 4);
+    }
+
+    #[test]
+    fn display_formats_readably() {
+        let p = Predicate::from_atoms(vec![
+            Atom::eq("inputsize_compare", "GT"),
+            Atom::new("blocksize", Op::Ge, 128i64),
+        ]);
+        assert_eq!(
+            p.to_string(),
+            "inputsize_compare = GT AND blocksize >= 128"
+        );
+        assert_eq!(Predicate::always_true().to_string(), "true");
+    }
+}

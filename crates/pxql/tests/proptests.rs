@@ -1,0 +1,81 @@
+//! Property-based tests for the PXQL language layer.
+
+use proptest::prelude::*;
+use pxql::{tokenize, Op, Value};
+
+proptest! {
+    // -----------------------------------------------------------------
+    // Lexer robustness: arbitrary input never panics, and either
+    // tokenizes or reports a positioned error.
+    // -----------------------------------------------------------------
+    #[test]
+    fn tokenizer_never_panics(input in ".{0,200}") {
+        match tokenize(&input) {
+            Ok(tokens) => prop_assert!(tokens.len() <= input.len() + 1),
+            Err(err) => prop_assert!(err.offset <= input.len()),
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Value equality semantics
+    // -----------------------------------------------------------------
+    #[test]
+    fn value_equality_is_reflexive_and_symmetric_for_non_null(
+        n in -1.0e9..1.0e9f64,
+        s in "[a-zA-Z0-9_.]{0,12}",
+        b in any::<bool>(),
+    ) {
+        let values = [Value::Num(n), Value::Str(s), Value::Bool(b)];
+        for v in &values {
+            prop_assert!(v.pxql_eq(v), "{v:?} not equal to itself");
+        }
+        for a in &values {
+            for c in &values {
+                prop_assert_eq!(a.pxql_eq(c), c.pxql_eq(a));
+            }
+        }
+        // Null never equals anything, including itself.
+        for v in &values {
+            prop_assert!(!Value::Null.pxql_eq(v));
+            prop_assert!(!v.pxql_eq(&Value::Null));
+        }
+        prop_assert!(!Value::Null.pxql_eq(&Value::Null));
+    }
+
+    // -----------------------------------------------------------------
+    // Operator semantics on numbers
+    // -----------------------------------------------------------------
+    #[test]
+    fn numeric_operators_partition_the_number_line(a in -1.0e6..1.0e6f64, b in -1.0e6..1.0e6f64) {
+        let left = Value::Num(a);
+        let right = Value::Num(b);
+        // Exactly one of <, =, > holds.
+        let lt = Op::Lt.apply(&left, &right);
+        let eq = Op::Eq.apply(&left, &right);
+        let gt = Op::Gt.apply(&left, &right);
+        prop_assert_eq!(u8::from(lt) + u8::from(eq) + u8::from(gt), 1);
+        // <= is < or =, >= is > or =.
+        prop_assert_eq!(Op::Le.apply(&left, &right), lt || eq);
+        prop_assert_eq!(Op::Ge.apply(&left, &right), gt || eq);
+        // != is the complement of = for non-missing values.
+        prop_assert_eq!(Op::Ne.apply(&left, &right), !eq);
+        // The negated operator accepts exactly the complement.
+        for op in [Op::Eq, Op::Ne, Op::Lt, Op::Le, Op::Gt, Op::Ge] {
+            prop_assert_eq!(op.negate().apply(&left, &right), !op.apply(&left, &right));
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Value display round trip through the lexer
+    // -----------------------------------------------------------------
+    #[test]
+    fn displayed_values_tokenize(
+        n in -1.0e6..1.0e6f64,
+        s in "[ -~]{0,16}",
+    ) {
+        for value in [Value::Num(n), Value::Str(s), Value::Bool(true), Value::Null] {
+            let text = value.to_string();
+            prop_assert!(tokenize(&text).is_ok(), "display form {text:?} does not tokenize");
+        }
+    }
+}

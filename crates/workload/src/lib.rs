@@ -1,0 +1,32 @@
+//! Workloads: the synthetic Excite query log, the Table-2 parameter grid,
+//! the sweep driver that produces PerfXplain execution logs, and the two
+//! PXQL queries the paper evaluates.
+//!
+//! The paper's evaluation runs two Pig scripts over the Excite search-query
+//! trace from the Pig tutorial (concatenated 30 or 60 times) on EC2 clusters
+//! of 1–16 instances, varying the parameters of Table 2, and collects the
+//! resulting Hadoop and Ganglia logs.  This crate reproduces that data
+//! collection on top of the simulator:
+//!
+//! * [`excite`] generates an Excite-like query log (Zipfian users, a mix of
+//!   term queries and URL queries) and measures the data characteristics
+//!   (bytes, records, selectivity of the filter script, group cardinality)
+//!   that parameterise the simulator;
+//! * [`grid`] enumerates the Table-2 parameter grid and runs the sweep —
+//!   optionally in parallel — producing one simulated job per
+//!   configuration;
+//! * [`presets`] packages ready-made log sizes (tiny/small/full grid) used
+//!   by tests, examples and the benchmark harness;
+//! * [`queries`] builds the two PXQL queries of Section 6.2
+//!   (*WhyLastTaskFaster*, *WhySlowerDespiteSameNumInstances*) and binds
+//!   them to suitable pairs of interest found in a log.
+
+pub mod excite;
+pub mod grid;
+pub mod presets;
+pub mod queries;
+
+pub use excite::{ExciteLog, ExciteSpec};
+pub use grid::{GridSpec, JobConfiguration, SweepOptions, SweepResult};
+pub use presets::{build_execution_log, LogPreset};
+pub use queries::{why_last_task_faster, why_slower_despite_same_num_instances, QueryBinding};

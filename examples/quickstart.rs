@@ -1,0 +1,64 @@
+//! Quickstart: build an execution log, ask a PXQL query, print the
+//! explanation.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use perfxplain::prelude::*;
+use perfxplain::{assess, narrate, prepare_training_set};
+
+fn main() {
+    // 1. A log of past executions.  In a real deployment this comes from the
+    //    Hadoop job-history and Ganglia dumps of your cluster; here we
+    //    simulate a small parameter sweep (the Table-2 grid of the paper,
+    //    reduced) and collect the logs it produces.
+    println!("building the execution log (simulated sweep)...");
+    let log = build_execution_log(LogPreset::Tiny, 42);
+    println!(
+        "  {} jobs, {} tasks, {} job features, {} task features\n",
+        log.jobs().count(),
+        log.tasks().count(),
+        log.job_catalog().len(),
+        log.task_catalog().len()
+    );
+
+    // 2. A performance question about a pair of jobs, in PXQL:
+    //    "Despite running the same script on the same number of instances,
+    //     J1 was much slower than J2.  I expected similar durations.  Why?"
+    let binding = why_slower_despite_same_num_instances(&log)
+        .expect("the log contains a pair of jobs with this behaviour");
+    println!("query ({}):\n{}\n", binding.name, binding.bound.query);
+    let slow = log.get(&binding.bound.left_id).unwrap();
+    let fast = log.get(&binding.bound.right_id).unwrap();
+    println!(
+        "pair of interest: {} ({:.0} s) vs {} ({:.0} s)\n",
+        slow.id,
+        slow.duration().unwrap_or(0.0),
+        fast.id,
+        fast.duration().unwrap_or(0.0)
+    );
+
+    // 3. Ask PerfXplain.
+    let config = ExplainConfig::default();
+    let engine = PerfXplain::new(config.clone());
+    let explanation = engine
+        .explain(&log, &binding.bound)
+        .expect("explanation generation succeeds");
+    println!("explanation:\n{explanation}\n");
+    println!("in plain English: {}\n", narrate(&binding.bound, &explanation));
+
+    // 4. How good is it?  Relevance / precision / generality over the
+    //    related pairs of the log (Definitions 4-6 of the paper).
+    let related = prepare_training_set(&log, &binding.bound, &config)
+        .expect("related pairs exist");
+    let quality = assess(&related, &explanation);
+    println!(
+        "quality on {} related pairs: precision {:.2}, generality {:.2}, relevance {:.2}",
+        related.len(),
+        quality.precision.unwrap_or(f64::NAN),
+        quality.generality.unwrap_or(f64::NAN),
+        quality.relevance.unwrap_or(f64::NAN),
+    );
+}

@@ -1,0 +1,249 @@
+//! The PerfXplain command-line tool.
+//!
+//! ```text
+//! perfxplain simulate --preset small --seed 42 --out log.json
+//!     Run the Table-2 workload sweep on the simulated cluster, collect the
+//!     Hadoop/Ganglia logs and store the resulting execution log as JSON.
+//!
+//! perfxplain inspect --log log.json
+//!     Summarise an execution log: jobs, tasks, features, durations.
+//!
+//! perfxplain queries --log log.json
+//!     Find the paper's two canonical queries (WhyLastTaskFaster,
+//!     WhySlowerDespiteSameNumInstances) in the log and print them together
+//!     with their pairs of interest.
+//!
+//! perfxplain explain --log log.json --query query.pxql [--left ID --right ID]
+//!                    [--width N] [--auto-despite] [--narrate] [--compare]
+//!     Answer a PXQL query: generate an explanation (optionally extending
+//!     the despite clause automatically), print it, score it, and optionally
+//!     narrate it in plain English or compare against the baselines.
+//! ```
+//!
+//! The query file contains a PXQL query; if its `WHERE` clause uses `?`
+//! placeholders the pair of interest must be supplied with `--left`/`--right`.
+
+use perfxplain::prelude::*;
+use perfxplain::{
+    assess, generate_explanation, narrate, prepare_training_set, BoundQuery, ExecutionLog,
+};
+use std::collections::BTreeMap;
+use std::process::exit;
+
+fn fail(message: &str) -> ! {
+    eprintln!("error: {message}");
+    exit(1);
+}
+
+/// Minimal `--flag value` / `--switch` argument parser.
+struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let arg = &raw[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                let takes_value = matches!(
+                    name,
+                    "preset" | "seed" | "out" | "log" | "query" | "query-text" | "left" | "right"
+                        | "width"
+                );
+                if takes_value {
+                    let value = raw.get(i + 1).unwrap_or_else(|| {
+                        fail(&format!("--{name} expects a value"));
+                    });
+                    values.insert(name.to_string(), value.clone());
+                    i += 1;
+                } else {
+                    switches.push(name.to_string());
+                }
+            } else {
+                fail(&format!("unexpected argument '{arg}'"));
+            }
+            i += 1;
+        }
+        Args { values, switches }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.values.get(name).map(String::as_str)
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+}
+
+fn load_log(args: &Args) -> ExecutionLog {
+    let path = args
+        .get("log")
+        .unwrap_or_else(|| fail("--log <file.json> is required"));
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    ExecutionLog::from_json(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
+}
+
+fn preset_from(args: &Args) -> LogPreset {
+    match args.get("preset").unwrap_or("small") {
+        "tiny" => LogPreset::Tiny,
+        "small" => LogPreset::Small,
+        "paper" => LogPreset::PaperGrid,
+        other => fail(&format!("unknown preset '{other}' (expected tiny|small|paper)")),
+    }
+}
+
+fn seed_from(args: &Args) -> u64 {
+    args.get("seed")
+        .map(|s| s.parse().unwrap_or_else(|_| fail("--seed expects a number")))
+        .unwrap_or(42)
+}
+
+fn cmd_simulate(args: &Args) {
+    let preset = preset_from(args);
+    let seed = seed_from(args);
+    let out = args.get("out").unwrap_or("perfxplain-log.json");
+    eprintln!("simulating the {preset:?} workload (seed {seed})...");
+    let log = build_execution_log(preset, seed);
+    let json = log.to_json().unwrap_or_else(|e| fail(&e.to_string()));
+    std::fs::write(out, json).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!(
+        "wrote {} jobs and {} tasks to {out}",
+        log.jobs().count(),
+        log.tasks().count()
+    );
+}
+
+fn cmd_inspect(args: &Args) {
+    let log = load_log(args);
+    let durations: Vec<f64> = log.jobs().filter_map(|j| j.duration()).collect();
+    let mean = if durations.is_empty() {
+        0.0
+    } else {
+        durations.iter().sum::<f64>() / durations.len() as f64
+    };
+    println!("jobs          : {}", log.jobs().count());
+    println!("tasks         : {}", log.tasks().count());
+    println!("job features  : {}", log.job_catalog().len());
+    println!("task features : {}", log.task_catalog().len());
+    println!("mean job time : {mean:.1} s");
+    let mut scripts: BTreeMap<String, usize> = BTreeMap::new();
+    for job in log.jobs() {
+        let script = job
+            .feature("pigscript")
+            .as_str()
+            .unwrap_or("unknown")
+            .to_string();
+        *scripts.entry(script).or_default() += 1;
+    }
+    for (script, count) in scripts {
+        println!("  {script}: {count} jobs");
+    }
+}
+
+fn cmd_queries(args: &Args) {
+    let log = load_log(args);
+    match why_slower_despite_same_num_instances(&log) {
+        Some(binding) => println!("{}:\n{}\n", binding.name, binding.bound.query.clone().with_pair(binding.bound.left_id.clone(), binding.bound.right_id.clone())),
+        None => println!("WhySlowerDespiteSameNumInstances: no suitable pair of jobs in this log\n"),
+    }
+    match why_last_task_faster(&log) {
+        Some(binding) => println!("{}:\n{}", binding.name, binding.bound.query.clone().with_pair(binding.bound.left_id.clone(), binding.bound.right_id.clone())),
+        None => println!("WhyLastTaskFaster: no suitable pair of tasks in this log"),
+    }
+}
+
+fn cmd_explain(args: &Args) {
+    let log = load_log(args);
+    let query_text = if let Some(path) = args.get("query") {
+        std::fs::read_to_string(path)
+            .unwrap_or_else(|e| fail(&format!("cannot read query file {path}: {e}")))
+    } else if let Some(text) = args.get("query-text") {
+        text.to_string()
+    } else {
+        fail("--query <file> or --query-text \"...\" is required");
+    };
+    let parsed = parse_query(&query_text).unwrap_or_else(|e| fail(&format!("invalid PXQL: {e}")));
+
+    let bound = match (args.get("left"), args.get("right")) {
+        (Some(left), Some(right)) => BoundQuery::new(parsed, left, right),
+        _ => BoundQuery::from_query(parsed)
+            .unwrap_or_else(|_| fail("the query uses '?' placeholders; pass --left and --right")),
+    };
+
+    let mut config = ExplainConfig::default();
+    if let Some(width) = args.get("width") {
+        config.width = width.parse().unwrap_or_else(|_| fail("--width expects a number"));
+    }
+    let engine = PerfXplain::new(config.clone());
+
+    let (explanation, effective_query) = if args.has("auto-despite") {
+        engine
+            .explain_full(&log, &bound)
+            .unwrap_or_else(|e| fail(&e.to_string()))
+    } else {
+        (
+            engine.explain(&log, &bound).unwrap_or_else(|e| fail(&e.to_string())),
+            bound.clone(),
+        )
+    };
+
+    println!("{explanation}\n");
+    if args.has("narrate") {
+        println!("{}\n", narrate(&bound, &explanation));
+    }
+
+    let related = prepare_training_set(&log, &effective_query, &config)
+        .unwrap_or_else(|e| fail(&e.to_string()));
+    let quality = assess(&related, &explanation);
+    println!(
+        "quality over {} related pairs: precision {:.2}, generality {:.2}, relevance {:.2}",
+        related.len(),
+        quality.precision.unwrap_or(f64::NAN),
+        quality.generality.unwrap_or(f64::NAN),
+        quality.relevance.unwrap_or(f64::NAN)
+    );
+
+    if args.has("compare") {
+        println!("\nbaselines:");
+        for technique in [Technique::RuleOfThumb, Technique::SimButDiff] {
+            match generate_explanation(technique, &log, &bound, &config) {
+                Ok(explanation) => {
+                    let quality = assess(&related, &explanation);
+                    println!(
+                        "  {technique:<12} precision {:.2}, generality {:.2}  ({})",
+                        quality.precision.unwrap_or(f64::NAN),
+                        quality.generality.unwrap_or(f64::NAN),
+                        explanation.because
+                    );
+                }
+                Err(err) => println!("  {technique:<12} failed: {err}"),
+            }
+        }
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = raw.split_first() else {
+        eprintln!("usage: perfxplain <simulate|inspect|queries|explain> [options]");
+        eprintln!("       see the module documentation at the top of src/bin/perfxplain.rs");
+        exit(2);
+    };
+    let args = Args::parse(rest);
+    match command.as_str() {
+        "simulate" => cmd_simulate(&args),
+        "inspect" => cmd_inspect(&args),
+        "queries" => cmd_queries(&args),
+        "explain" => cmd_explain(&args),
+        "--help" | "-h" | "help" => {
+            println!("usage: perfxplain <simulate|inspect|queries|explain> [options]");
+        }
+        other => fail(&format!("unknown command '{other}'")),
+    }
+}

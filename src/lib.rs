@@ -1,0 +1,77 @@
+//! PerfXplain — explain the relative performance of MapReduce jobs and
+//! tasks.
+//!
+//! This is the facade crate of the workspace: it re-exports the public API
+//! of every component so that applications (and the examples and integration
+//! tests of this repository) only need a single dependency.
+//!
+//! | component | crate | what it provides |
+//! |---|---|---|
+//! | explanation engine | [`perfxplain_core`] | execution-log data model, PXQL binding, pair features, metrics, Algorithm 1, baselines, evaluation harness |
+//! | query language | [`pxql`] | values, predicates, parser for PXQL |
+//! | ML primitives | [`mlcore`] | entropy, C4.5-style splits, decision trees, Relief, balanced sampling |
+//! | cluster simulator | [`mrsim`] | discrete-event MapReduce cluster with a Ganglia-style monitor |
+//! | log substrate | [`hadoop_logs`] | Hadoop job-history / job.xml / Ganglia dump writer, parser and feature collector |
+//! | workloads | [`workload`] | Excite-like data generator, the Table-2 grid, sweep driver and the paper's two queries |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use perfxplain::prelude::*;
+//!
+//! // 1. Produce an execution log (here: simulate a small parameter sweep and
+//! //    collect the Hadoop/Ganglia logs it leaves behind).
+//! let log = build_execution_log(LogPreset::Tiny, 42);
+//!
+//! // 2. Pose a PXQL query about a pair of executions.
+//! let binding = why_slower_despite_same_num_instances(&log).expect("pair of interest");
+//!
+//! // 3. Ask PerfXplain for an explanation.
+//! let engine = PerfXplain::new(ExplainConfig::default());
+//! let explanation = engine.explain(&log, &binding.bound).unwrap();
+//! println!("{explanation}");
+//! ```
+
+pub use perfxplain_core::{
+    assess, compute_pair_features, evaluate_on_log, generality, generate_explanation, narrate,
+    precision, prepare_training_set, relevance, split_log, train_test_round, Aggregate,
+    BoundQuery, CoreError, EvaluationResult,
+    ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig, Explanation, ExplanationQuality,
+    FeatureCatalog, FeatureDef, FeatureKind, FeatureLevel, MetricEstimate, PairCatalog,
+    PairExample, PairFeatureGroup, PairLabel, PerfXplain, RuleOfThumb, SimButDiff, Technique,
+    TrainingSet, DEFAULT_SIM_THRESHOLD, DURATION_FEATURE,
+};
+
+pub use hadoop_logs;
+pub use mlcore;
+pub use mrsim;
+pub use pxql;
+pub use workload;
+
+/// Everything most applications need, importable with a single `use`.
+pub mod prelude {
+    pub use crate::{
+        BoundQuery, ExecutionLog, ExecutionRecord, ExplainConfig, Explanation, FeatureLevel,
+        PairLabel, PerfXplain, RuleOfThumb, SimButDiff, Technique,
+    };
+    pub use hadoop_logs::{collect_traces, JobLogBundle, LogCollector};
+    pub use mrsim::{Cluster, ClusterSpec, JobSpec, PigScript};
+    pub use pxql::{parse_predicate, parse_query, Predicate, Value};
+    pub use workload::{
+        build_execution_log, why_last_task_faster, why_slower_despite_same_num_instances,
+        GridSpec, LogPreset, SweepOptions,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_exposes_the_main_types() {
+        use crate::prelude::*;
+        // Purely a compile-time check that the re-exports resolve.
+        let _ = ExplainConfig::default();
+        let _ = ClusterSpec::default();
+        let _ = LogPreset::Tiny;
+        let _ = Technique::all();
+    }
+}

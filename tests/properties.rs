@@ -1,0 +1,229 @@
+//! Property-based tests (proptest) on the core invariants of the data model
+//! and the query language.
+
+use perfxplain::pxql::{parse_predicate, Atom, Op, Predicate, Value};
+use perfxplain::{
+    compute_pair_features, BoundQuery, ExecutionLog, ExecutionRecord, ExplainConfig,
+    FeatureCatalog, FeatureDef, PairExample, PairLabel,
+};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// Generators
+// ---------------------------------------------------------------------------
+
+fn arb_record(id: String) -> impl Strategy<Value = ExecutionRecord> {
+    (
+        -1.0e9..1.0e9f64,
+        0.0..1.0e12f64,
+        prop_oneof![Just("simple-filter.pig"), Just("simple-groupby.pig")],
+        1.0..4000.0f64,
+    )
+        .prop_map(move |(metric, inputsize, script, duration)| {
+            ExecutionRecord::job(id.clone())
+                .with_feature("somemetric", metric)
+                .with_feature("inputsize", inputsize)
+                .with_feature("pigscript", script)
+                .with_feature("duration", duration)
+        })
+}
+
+fn catalog() -> FeatureCatalog {
+    FeatureCatalog::from_defs(vec![
+        FeatureDef::numeric("somemetric"),
+        FeatureDef::numeric("inputsize"),
+        FeatureDef::nominal("pigscript"),
+        FeatureDef::numeric("duration"),
+    ])
+}
+
+// ---------------------------------------------------------------------------
+// Pair-feature construction invariants (Table 1)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn pair_features_satisfy_table1_invariants(
+        left in arb_record("left".to_string()),
+        right in arb_record("right".to_string()),
+    ) {
+        let catalog = catalog();
+        let features = compute_pair_features(&catalog, &left, &right, 0.10);
+        for def in catalog.defs() {
+            let is_same = features.get(&format!("{}_isSame", def.name)).unwrap();
+            let compare = features.get(&format!("{}_compare", def.name)).unwrap();
+            let diff = features.get(&format!("{}_diff", def.name)).unwrap();
+            let base = features.get(&def.name).unwrap();
+
+            // isSame = T  ⇒  the base feature carries the shared value and
+            //               the diff feature is missing.
+            if *is_same == Value::Bool(true) {
+                prop_assert!(!base.is_null());
+                prop_assert!(diff.is_null());
+                // A numeric pair that is exactly equal is also SIM.
+                if let Value::Str(c) = compare {
+                    prop_assert_eq!(c.as_str(), "SIM");
+                }
+            }
+            // isSame = F  ⇒  no base value is copied.
+            if *is_same == Value::Bool(false) {
+                prop_assert!(base.is_null());
+            }
+            // compare is only ever LT / SIM / GT, and only for numeric
+            // features.
+            if let Value::Str(c) = compare {
+                prop_assert!(["LT", "SIM", "GT"].contains(&c.as_str()));
+                prop_assert_eq!(def.kind, perfxplain::FeatureKind::Numeric);
+            }
+            // diff is only defined for nominal features and always carries a
+            // pair of values.
+            if !diff.is_null() {
+                prop_assert_eq!(def.kind, perfxplain::FeatureKind::Nominal);
+                prop_assert!(matches!(diff, Value::Pair(_, _)));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_features_are_symmetric_under_swap(
+        left in arb_record("left".to_string()),
+        right in arb_record("right".to_string()),
+    ) {
+        let catalog = catalog();
+        let forward = compute_pair_features(&catalog, &left, &right, 0.10);
+        let backward = compute_pair_features(&catalog, &right, &left, 0.10);
+        for def in catalog.defs() {
+            // isSame is symmetric.
+            prop_assert_eq!(
+                forward.get(&format!("{}_isSame", def.name)),
+                backward.get(&format!("{}_isSame", def.name))
+            );
+            // compare flips LT <-> GT and keeps SIM.
+            let f = forward.get(&format!("{}_compare", def.name)).unwrap();
+            let b = backward.get(&format!("{}_compare", def.name)).unwrap();
+            match (f, b) {
+                (Value::Str(x), Value::Str(y)) => {
+                    let flipped = match x.as_str() {
+                        "LT" => "GT",
+                        "GT" => "LT",
+                        other => other,
+                    };
+                    prop_assert_eq!(flipped, y.as_str());
+                }
+                (Value::Null, Value::Null) => {}
+                other => prop_assert!(false, "asymmetric compare: {:?}", other),
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PXQL invariants
+// ---------------------------------------------------------------------------
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (
+        // Feature names never collide with PXQL keywords thanks to the
+        // prefix.
+        "f_[a-z_]{0,10}",
+        prop_oneof![
+            Just(Op::Eq),
+            Just(Op::Ne),
+            Just(Op::Lt),
+            Just(Op::Le),
+            Just(Op::Gt),
+            Just(Op::Ge)
+        ],
+        prop_oneof![
+            (-1.0e6..1.0e6f64).prop_map(Value::Num),
+            any::<bool>().prop_map(Value::Bool),
+            "[A-Za-z][A-Za-z0-9_.-]{0,8}".prop_map(Value::Str),
+        ],
+    )
+        .prop_map(|(feature, op, constant)| Atom { feature, op, constant })
+}
+
+proptest! {
+    #[test]
+    fn predicates_round_trip_through_their_display_form(
+        atoms in proptest::collection::vec(arb_atom(), 1..5)
+    ) {
+        let predicate = Predicate::from_atoms(atoms);
+        let text = predicate.to_string();
+        let reparsed = parse_predicate(&text).expect("rendered predicates parse");
+        prop_assert_eq!(reparsed.width(), predicate.width());
+        // Evaluation agrees on the features the predicate mentions (built
+        // from the predicate's own constants, so equality atoms hold).
+        let mut features = std::collections::BTreeMap::new();
+        for atom in predicate.atoms() {
+            features.insert(atom.feature.clone(), atom.constant.clone());
+        }
+        prop_assert_eq!(reparsed.eval(&features), predicate.eval(&features));
+    }
+
+    #[test]
+    fn atoms_on_missing_features_never_hold(atom in arb_atom()) {
+        let empty: std::collections::BTreeMap<String, Value> = std::collections::BTreeMap::new();
+        prop_assert!(!atom.eval(&empty));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Classification / metric invariants over small random logs
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn classification_is_consistent_with_metric_bounds(seed in 0u64..1000) {
+        // Build a small random-ish log deterministically from the seed.
+        let mut log = ExecutionLog::new();
+        for i in 0..14u64 {
+            let x = (seed.wrapping_mul(31).wrapping_add(i * 7)) % 5;
+            log.push(
+                ExecutionRecord::job(format!("job_{i}"))
+                    .with_feature("inputsize", (1 + x) as f64 * 1.0e9)
+                    .with_feature("blocksize", if i % 2 == 0 { 1024.0 } else { 64.0 })
+                    .with_feature("duration", 100.0 + (x as f64) * 120.0 + (i % 3) as f64),
+            );
+        }
+        log.rebuild_catalogs();
+
+        let query = perfxplain::pxql::parse_query(
+            "OBSERVED duration_compare = SIM\nEXPECTED duration_compare = GT",
+        )
+        .unwrap();
+        let bound = BoundQuery::new(query, "job_0", "job_1");
+        let config = ExplainConfig::default().with_sample_size(200);
+
+        // Every related pair is classified consistently with its own
+        // features, and metric estimates stay within [0, 1].
+        let catalog = log.job_catalog().clone();
+        let jobs: Vec<&ExecutionRecord> = log.jobs().collect();
+        let mut observed = 0usize;
+        let mut expected = 0usize;
+        for a in &jobs {
+            for b in &jobs {
+                if a.id == b.id {
+                    continue;
+                }
+                let pair = PairExample::build(&catalog, a, b, config.sim_threshold);
+                match bound.classify(&pair) {
+                    PairLabel::Observed => observed += 1,
+                    PairLabel::Expected => expected += 1,
+                    PairLabel::Unrelated => {}
+                }
+            }
+        }
+        if observed > 0 && expected > 0 {
+            let set = perfxplain::prepare_training_set(&log, &bound, &config).unwrap();
+            prop_assert_eq!(set.num_observed() + set.num_expected(), set.len());
+            let quality = perfxplain::assess(&set, &perfxplain::Explanation::default());
+            for estimate in [quality.precision, quality.generality, quality.relevance] {
+                if let Some(v) = estimate.value {
+                    prop_assert!((0.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+}
