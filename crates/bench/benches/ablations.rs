@@ -23,8 +23,14 @@ fn bench_ablations(c: &mut Criterion) {
     group.sample_size(10);
     let variants = [
         ("paper_defaults", ctx.config.clone()),
-        ("no_normalisation", ctx.config.clone().with_normalize_scores(false)),
-        ("unbalanced_sampling", ctx.config.clone().with_balanced_sampling(false)),
+        (
+            "no_normalisation",
+            ctx.config.clone().with_normalize_scores(false),
+        ),
+        (
+            "unbalanced_sampling",
+            ctx.config.clone().with_balanced_sampling(false),
+        ),
         ("sample_size_200", ctx.config.clone().with_sample_size(200)),
     ];
     for (name, config) in variants {

@@ -30,11 +30,16 @@ fn bench_fig4a(c: &mut Criterion) {
         // Benchmark the despite-clause generation on an under-specified
         // version of the query (empty DESPITE clause).
         let mut bound = binding.bound.clone();
-        bound.query = bound.query.clone().with_despite(pxql::Predicate::always_true());
+        bound.query = bound
+            .query
+            .clone()
+            .with_despite(pxql::Predicate::always_true());
         let engine = PerfXplain::new(ctx.config.clone());
-        group.bench_with_input(BenchmarkId::new("generate_despite", name), &bound, |b, bound| {
-            b.iter(|| engine.generate_despite(black_box(&ctx.log), bound).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("generate_despite", name),
+            &bound,
+            |b, bound| b.iter(|| engine.generate_despite(black_box(&ctx.log), bound).unwrap()),
+        );
     }
     group.finish();
 }

@@ -28,9 +28,13 @@ fn bench_fig4b(c: &mut Criterion) {
 
     let (train, test) = split_log(&ctx.log, &ctx.job_query.bound, 0.5, 3);
     let test_set = related_pairs_for_evaluation(&test, &ctx.job_query.bound, &ctx.config);
-    let explanation =
-        generate_explanation(Technique::PerfXplain, &train, &ctx.job_query.bound, &ctx.config)
-            .expect("explanation");
+    let explanation = generate_explanation(
+        Technique::PerfXplain,
+        &train,
+        &ctx.job_query.bound,
+        &ctx.config,
+    )
+    .expect("explanation");
 
     let mut group = c.benchmark_group("fig4b_tradeoff");
     group.sample_size(20);

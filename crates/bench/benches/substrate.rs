@@ -59,7 +59,9 @@ fn bench_hadoop_logs(c: &mut Criterion) {
         let collector = LogCollector::new();
         b.iter(|| {
             let mut log = ExecutionLog::new();
-            collector.collect_bundle(black_box(&bundle), &mut log).unwrap();
+            collector
+                .collect_bundle(black_box(&bundle), &mut log)
+                .unwrap();
             log
         })
     });
@@ -98,5 +100,10 @@ fn bench_core_primitives(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_simulator, bench_hadoop_logs, bench_core_primitives);
+criterion_group!(
+    benches,
+    bench_simulator,
+    bench_hadoop_logs,
+    bench_core_primitives
+);
 criterion_main!(benches);

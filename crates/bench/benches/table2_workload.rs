@@ -38,9 +38,11 @@ fn bench_table2(c: &mut Criterion) {
 
     // Collecting (render + parse + featurise) a handful of traces.
     let few: Vec<mrsim::JobTrace> = sweep.traces.iter().take(4).cloned().collect();
-    group.bench_with_input(BenchmarkId::new("collect_traces", few.len()), &few, |b, few| {
-        b.iter(|| collect_traces(black_box(few)).unwrap())
-    });
+    group.bench_with_input(
+        BenchmarkId::new("collect_traces", few.len()),
+        &few,
+        |b, few| b.iter(|| collect_traces(black_box(few)).unwrap()),
+    );
     group.finish();
 }
 

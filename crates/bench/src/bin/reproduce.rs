@@ -51,23 +51,17 @@ fn parse_args() -> Options {
             }
             "--runs" => {
                 i += 1;
-                options.runs = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--runs expects a number");
-                        std::process::exit(2);
-                    });
+                options.runs = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--runs expects a number");
+                    std::process::exit(2);
+                });
             }
             "--seed" => {
                 i += 1;
-                options.seed = args
-                    .get(i)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed expects a number");
-                        std::process::exit(2);
-                    });
+                options.seed = args.get(i).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed expects a number");
+                    std::process::exit(2);
+                });
             }
             "--help" | "-h" => {
                 println!("see the module documentation at the top of reproduce.rs");
@@ -103,7 +97,10 @@ fn print_fig3_like(title: &str, series: &[TechniqueSeries]) {
     let names: Vec<String> = series.iter().map(|s| s.technique.to_string()).collect();
     let mut headers: Vec<&str> = vec!["width"];
     headers.extend(names.iter().map(String::as_str));
-    println!("{}", render_table(title, &headers, &width_series_rows(series)));
+    println!(
+        "{}",
+        render_table(title, &headers, &width_series_rows(series))
+    );
 }
 
 fn print_tradeoff(title: &str, series: &[TechniqueSeries]) {
@@ -123,7 +120,11 @@ fn print_tradeoff(title: &str, series: &[TechniqueSeries]) {
     }
     println!(
         "{}",
-        render_table(title, &["technique", "width", "generality", "precision"], &rows)
+        render_table(
+            title,
+            &["technique", "width", "generality", "precision"],
+            &rows
+        )
     );
 }
 
@@ -136,7 +137,9 @@ fn main() {
         options.runs,
         options.seed
     );
-    println!("building the execution log (simulate + render Hadoop/Ganglia logs + parse + collect)...");
+    println!(
+        "building the execution log (simulate + render Hadoop/Ganglia logs + parse + collect)..."
+    );
     let start = std::time::Instant::now();
     let ctx = ExperimentContext::prepare(options.preset, options.seed, options.runs);
     println!(
@@ -155,13 +158,24 @@ fn main() {
         let (parameters, measured) = table2_summary(&ctx);
         println!(
             "{}",
-            render_table("Table 2: varied parameters", &["Parameter", "Different values"], &parameters)
+            render_table(
+                "Table 2: varied parameters",
+                &["Parameter", "Different values"],
+                &parameters
+            )
         );
         println!(
             "{}",
             render_table(
                 "Table 2 (measured): collected log summary",
-                &["script", "instances", "jobs", "mean duration (s)", "min", "max"],
+                &[
+                    "script",
+                    "instances",
+                    "jobs",
+                    "mean duration (s)",
+                    "min",
+                    "max"
+                ],
                 &measured
             )
         );
@@ -170,7 +184,10 @@ fn main() {
     if want("fig3a") || want("fig4b") {
         let series = precision_vs_width(&ctx, &ctx.task_query);
         if want("fig3a") {
-            print_fig3_like("Figure 3(a): precision vs width — WhyLastTaskFaster", &series);
+            print_fig3_like(
+                "Figure 3(a): precision vs width — WhyLastTaskFaster",
+                &series,
+            );
         }
     }
 
@@ -255,7 +272,11 @@ fn main() {
                 "{}",
                 render_table(
                     "Figure 4(a): relevance of PerfXplain-generated despite clauses",
-                    &["width", "WhyLastTaskFaster", "WhySlowerDespiteSameNumInstances"],
+                    &[
+                        "width",
+                        "WhyLastTaskFaster",
+                        "WhySlowerDespiteSameNumInstances"
+                    ],
                     &rows
                 )
             );
@@ -283,7 +304,12 @@ fn main() {
             "{}",
             render_table(
                 "Figure 4(c): precision per feature level — WhySlowerDespiteSameNumInstances",
-                &["width", "level 1 (isSame)", "level 2 (+compare/diff)", "level 3 (all)"],
+                &[
+                    "width",
+                    "level 1 (isSame)",
+                    "level 2 (+compare/diff)",
+                    "level 3 (all)"
+                ],
                 &rows
             )
         );
@@ -292,7 +318,13 @@ fn main() {
     if want("ablations") {
         let rows: Vec<Vec<String>> = ablations(&ctx, &ctx.job_query)
             .into_iter()
-            .map(|a| vec![a.name, fmt_aggregate(&a.precision), fmt_aggregate(&a.generality)])
+            .map(|a| {
+                vec![
+                    a.name,
+                    fmt_aggregate(&a.precision),
+                    fmt_aggregate(&a.generality),
+                ]
+            })
             .collect();
         println!(
             "{}",

@@ -1,8 +1,8 @@
 //! The shared experiment context: an execution log, the paper's two bound
 //! queries and the evaluation configuration.
 
-use perfxplain_core::ExplainConfig;
 use perfxplain_core::ExecutionLog;
+use perfxplain_core::ExplainConfig;
 use workload::{
     build_execution_log, why_last_task_faster, why_slower_despite_same_num_instances, LogPreset,
     QueryBinding,

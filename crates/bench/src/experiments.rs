@@ -12,8 +12,8 @@
 use crate::context::ExperimentContext;
 use perfxplain_core::eval::{related_pairs_for_evaluation, split_log};
 use perfxplain_core::{
-    generate_explanation, metrics, Aggregate, BoundQuery, ExecutionLog, ExplainConfig,
-    Explanation, FeatureLevel, PerfXplain, Technique, TrainingSet,
+    generate_explanation, metrics, Aggregate, BoundQuery, ExecutionLog, ExplainConfig, Explanation,
+    FeatureLevel, PerfXplain, Technique, TrainingSet,
 };
 use pxql::{parse_query, Predicate};
 use workload::QueryBinding;
@@ -159,13 +159,12 @@ fn one_round(
 /// Regenerates the data behind Figures 3(a)/3(b) (precision vs width for the
 /// three techniques) and, since generality is recorded alongside, Figure
 /// 4(b) (the precision/generality trade-off).
-pub fn precision_vs_width(
-    ctx: &ExperimentContext,
-    binding: &QueryBinding,
-) -> Vec<TechniqueSeries> {
+pub fn precision_vs_width(ctx: &ExperimentContext, binding: &QueryBinding) -> Vec<TechniqueSeries> {
     let max_width = ctx.max_width();
-    let mut per_technique: Vec<(Technique, Vec<RunMeasurements>)> =
-        Technique::all().into_iter().map(|t| (t, Vec::new())).collect();
+    let mut per_technique: Vec<(Technique, Vec<RunMeasurements>)> = Technique::all()
+        .into_iter()
+        .map(|t| (t, Vec::new()))
+        .collect();
 
     for run in 0..ctx.runs {
         let seed = ctx.run_seed(run);
@@ -176,9 +175,14 @@ pub fn precision_vs_width(
         }
         let config = ctx.config.clone().with_width(max_width).with_seed(seed);
         for (technique, results) in &mut per_technique {
-            if let Some(round) =
-                one_round(*technique, &train, &test_set, &binding.bound, &config, &ctx.widths)
-            {
+            if let Some(round) = one_round(
+                *technique,
+                &train,
+                &test_set,
+                &binding.bound,
+                &config,
+                &ctx.widths,
+            ) {
                 results.push(round);
             }
         }
@@ -304,9 +308,14 @@ pub fn different_job_log(ctx: &ExperimentContext) -> Vec<TechniqueSeries> {
                 .clone()
                 .with_width(max_width)
                 .with_seed(ctx.run_seed(run));
-            if let Some(round) =
-                one_round(technique, &train, &test_set, &binding.bound, &config, &ctx.widths)
-            {
+            if let Some(round) = one_round(
+                technique,
+                &train,
+                &test_set,
+                &binding.bound,
+                &config,
+                &ctx.widths,
+            ) {
                 raw.push(round);
             }
         }
@@ -339,8 +348,7 @@ pub fn log_size_sweep(
         .collect();
 
     for &fraction in fractions {
-        let mut per_technique: Vec<Vec<Option<f64>>> =
-            vec![Vec::new(); Technique::all().len()];
+        let mut per_technique: Vec<Vec<Option<f64>>> = vec![Vec::new(); Technique::all().len()];
         for run in 0..ctx.runs {
             let seed = ctx.run_seed(run) ^ (fraction * 1000.0) as u64;
             let (train, test) = split_log(&ctx.log, &binding.bound, fraction, seed);
@@ -468,7 +476,10 @@ pub fn table2_summary(ctx: &ExperimentContext) -> (Vec<Vec<String>>, Vec<Vec<Str
             .to_string();
         let instances = job.feature("numinstances").as_num().unwrap_or(0.0) as u64;
         if let Some(duration) = job.duration() {
-            groups.entry((script, instances)).or_default().push(duration);
+            groups
+                .entry((script, instances))
+                .or_default()
+                .push(duration);
         }
     }
     let measured = groups
@@ -538,8 +549,7 @@ pub fn ablations(ctx: &ExperimentContext, binding: &QueryBinding) -> Vec<Ablatio
                     continue;
                 }
                 let config = base_config.clone().with_width(3).with_seed(seed);
-                match generate_explanation(Technique::PerfXplain, &train, &binding.bound, &config)
-                {
+                match generate_explanation(Technique::PerfXplain, &train, &binding.bound, &config) {
                     Ok(explanation) => {
                         precisions.push(metrics::precision(&test_set, &explanation).value);
                         generalities.push(metrics::generality(&test_set, &explanation).value);

@@ -30,7 +30,7 @@ pub mod table;
 
 pub use context::ExperimentContext;
 pub use experiments::{
-    AblationResult, DespiteRelevance, LevelSeries, LogSizeSeries, RelevancePoint,
-    TechniqueSeries, WidthPoint,
+    AblationResult, DespiteRelevance, LevelSeries, LogSizeSeries, RelevancePoint, TechniqueSeries,
+    WidthPoint,
 };
 pub use table::{fmt_aggregate, render_table};

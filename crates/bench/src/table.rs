@@ -83,9 +83,6 @@ mod tests {
             samples: 10,
         };
         assert_eq!(fmt_aggregate(&agg), "0.88 ± 0.03");
-        assert_eq!(
-            fmt_aggregate(&Aggregate::default()),
-            "n/a"
-        );
+        assert_eq!(fmt_aggregate(&Aggregate::default()), "n/a");
     }
 }

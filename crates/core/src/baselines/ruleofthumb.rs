@@ -65,10 +65,7 @@ impl RuleOfThumb {
         let median = durations[durations.len() / 2];
 
         // One attribute per raw feature except the duration itself.
-        let feature_names: Vec<&str> = catalog
-            .names()
-            .filter(|n| *n != DURATION_FEATURE)
-            .collect();
+        let feature_names: Vec<&str> = catalog.names().filter(|n| *n != DURATION_FEATURE).collect();
         let attributes: Vec<Attribute> = feature_names
             .iter()
             .map(|name| match catalog.kind(name) {
@@ -85,7 +82,10 @@ impl RuleOfThumb {
                     Value::Num(v) => AttrValue::Num(v),
                     Value::Null => AttrValue::Missing,
                     other => {
-                        let id = dataset.attribute_mut(i).dictionary.intern(&other.to_string());
+                        let id = dataset
+                            .attribute_mut(i)
+                            .dictionary
+                            .intern(&other.to_string());
                         AttrValue::Nom(id)
                     }
                 })
@@ -109,7 +109,11 @@ impl RuleOfThumb {
                 weight,
             })
             .collect();
-        ranked.sort_by(|a, b| b.weight.partial_cmp(&a.weight).unwrap_or(std::cmp::Ordering::Equal));
+        ranked.sort_by(|a, b| {
+            b.weight
+                .partial_cmp(&a.weight)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         ranked
     }
 
@@ -157,10 +161,8 @@ mod tests {
     }
 
     fn query() -> BoundQuery {
-        let q = parse_query(
-            "OBSERVED duration_compare = GT\nEXPECTED duration_compare = SIM",
-        )
-        .unwrap();
+        let q =
+            parse_query("OBSERVED duration_compare = GT\nEXPECTED duration_compare = SIM").unwrap();
         BoundQuery::new(q, "job_1", "job_0")
     }
 

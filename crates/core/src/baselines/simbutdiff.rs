@@ -95,9 +95,7 @@ impl SimButDiff {
             (self.config.simbutdiff_similarity * is_same_features.len() as f64).ceil() as usize;
         let similar: Vec<(&PairExample, bool)> = set
             .iter()
-            .filter(|(example, _)| {
-                Self::agreement(poi, example, is_same_features) >= threshold
-            })
+            .filter(|(example, _)| Self::agreement(poi, example, is_same_features) >= threshold)
             .collect();
 
         let mut scores = Vec::with_capacity(is_same_features.len());
@@ -143,7 +141,8 @@ impl SimButDiff {
         // The balanced sample keeps the what-if fractions meaningful while
         // bounding the cost on large logs.
         let (records, related) = collect_related_pairs(log, query, &self.config);
-        let set = crate::training::build_training_set(log, query, &records, &related, &self.config)?;
+        let set =
+            crate::training::build_training_set(log, query, &records, &related, &self.config)?;
 
         let scores = self.what_if_scores(&poi, &set, &is_same_features);
         let atoms: Vec<Atom> = scores
@@ -192,10 +191,8 @@ mod tests {
     fn query() -> BoundQuery {
         // Why did these two jobs have the same duration? (they ran on the
         // same number of instances)
-        let q = parse_query(
-            "OBSERVED duration_compare = SIM\nEXPECTED duration_compare = GT",
-        )
-        .unwrap();
+        let q =
+            parse_query("OBSERVED duration_compare = SIM\nEXPECTED duration_compare = GT").unwrap();
         BoundQuery::new(q, "job_0", "job_3")
     }
 

@@ -8,9 +8,12 @@
 //! are pairs), and the pair-of-interest's row, which Algorithm 1 needs to
 //! enforce applicability.
 
+use crate::columnar::ColumnarLog;
 use crate::features::FeatureKind;
-use crate::pairs::{PairCatalog, PairExample};
-use crate::training::TrainingSet;
+use crate::pairs::{
+    compare_index, PairCatalog, PairExample, PairFeatureDef, PairFeatureGroup, COMPARE_VALUES,
+};
+use crate::training::{EncodedTraining, TrainingSet};
 use mlcore::{AttrValue, Attribute, Dataset, TestAtom, TestConstant, TestOp};
 use pxql::{Atom, Op, Value};
 
@@ -59,8 +62,8 @@ impl DatasetBridge {
         let mut originals: Vec<Vec<Value>> = vec![Vec::new(); defs.len()];
 
         let encode_row = |dataset: &mut Dataset,
-                              originals: &mut Vec<Vec<Value>>,
-                              pair: &PairExample|
+                          originals: &mut Vec<Vec<Value>>,
+                          pair: &PairExample|
          -> Vec<AttrValue> {
             defs.iter()
                 .enumerate()
@@ -77,6 +80,81 @@ impl DatasetBridge {
         let poi_row = encode_row(&mut dataset, &mut originals, poi);
         for (example, label) in set.iter() {
             let row = encode_row(&mut dataset, &mut originals, example);
+            dataset.push(row, label);
+        }
+
+        DatasetBridge {
+            dataset,
+            attr_names,
+            originals,
+            poi_row,
+        }
+    }
+
+    /// Builds the bridge straight from an encoded training set: pair
+    /// features of the sampled pairs are derived from the columnar view and
+    /// interned into the dataset in a single pass — no intermediate
+    /// `PairExample` maps.  Produces a dataset identical to
+    /// [`DatasetBridge::build`] over the materialised training set.
+    ///
+    /// `poi` is the pair of interest as `(left row, right row)` indices into
+    /// the view.
+    pub fn encode_from_view(
+        training: &EncodedTraining<'_>,
+        poi: (usize, usize),
+        catalog: &PairCatalog,
+        excluded_raw: &[String],
+        sim_threshold: f64,
+    ) -> Self {
+        let view = &training.view;
+        let defs: Vec<&PairFeatureDef> = catalog
+            .defs()
+            .iter()
+            .filter(|d| !excluded_raw.iter().any(|x| x == &d.raw))
+            .collect();
+
+        let attributes: Vec<Attribute> = defs
+            .iter()
+            .map(|d| match d.kind {
+                FeatureKind::Numeric => Attribute::numeric(d.name.clone()),
+                FeatureKind::Nominal => Attribute::nominal(d.name.clone()),
+            })
+            .collect();
+        let attr_names: Vec<String> = defs.iter().map(|d| d.name.clone()).collect();
+        // Resolve every attribute's raw-feature column once, not per cell.
+        let columns: Vec<Option<usize>> = defs.iter().map(|d| view.column_of(&d.raw)).collect();
+        let mut dataset = Dataset::new(attributes);
+        let mut originals: Vec<Vec<Value>> = vec![Vec::new(); defs.len()];
+
+        let encode_row = |dataset: &mut Dataset,
+                          originals: &mut Vec<Vec<Value>>,
+                          left: usize,
+                          right: usize|
+         -> Vec<AttrValue> {
+            defs.iter()
+                .zip(&columns)
+                .enumerate()
+                .map(|(i, (def, &col))| {
+                    encode_pair_cell(
+                        view,
+                        def,
+                        col,
+                        left,
+                        right,
+                        sim_threshold,
+                        dataset,
+                        originals,
+                        i,
+                    )
+                })
+                .collect()
+        };
+
+        // Intern the pair of interest first (same order as `build`) so that
+        // its values always exist in the dictionaries.
+        let poi_row = encode_row(&mut dataset, &mut originals, poi.0, poi.1);
+        for (&(left, right), &label) in training.pairs.iter().zip(&training.labels) {
+            let row = encode_row(&mut dataset, &mut originals, left, right);
             dataset.push(row, label);
         }
 
@@ -128,6 +206,75 @@ impl DatasetBridge {
             feature,
             op,
             constant,
+        }
+    }
+}
+
+/// Derives and encodes one pair-feature cell straight from the columnar
+/// view, interning nominal values exactly as [`encode_value`] would have
+/// for the materialised value.
+#[allow(clippy::too_many_arguments)]
+fn encode_pair_cell(
+    view: &ColumnarLog<'_>,
+    def: &PairFeatureDef,
+    col: Option<usize>,
+    left: usize,
+    right: usize,
+    sim_threshold: f64,
+    dataset: &mut Dataset,
+    originals: &mut [Vec<Value>],
+    attr_index: usize,
+) -> AttrValue {
+    let Some(col) = col else {
+        return AttrValue::Missing;
+    };
+    let l = view.cell(left, col);
+    let r = view.cell(right, col);
+    let missing = l.is_missing() || r.is_missing();
+    let intern = |dataset: &mut Dataset, originals: &mut [Vec<Value>], value: Value| {
+        let key = value.to_string();
+        let dictionary = &mut dataset.attribute_mut(attr_index).dictionary;
+        let id = dictionary.intern(&key);
+        if id as usize == originals[attr_index].len() {
+            originals[attr_index].push(value);
+        }
+        AttrValue::Nom(id)
+    };
+    match def.group {
+        PairFeatureGroup::IsSame => {
+            if missing {
+                AttrValue::Missing
+            } else {
+                intern(dataset, originals, Value::Bool(view.cells_equal(l, r)))
+            }
+        }
+        PairFeatureGroup::Compare => match (view.column_kind(col), l, r) {
+            (FeatureKind::Numeric, AttrValue::Num(lv), AttrValue::Num(rv)) => {
+                let outcome = COMPARE_VALUES[compare_index(lv, rv, sim_threshold)];
+                intern(dataset, originals, Value::str(outcome))
+            }
+            _ => AttrValue::Missing,
+        },
+        PairFeatureGroup::Diff => {
+            if view.column_kind(col) == FeatureKind::Nominal && !missing && !view.cells_equal(l, r)
+            {
+                let value = Value::pair(view.decode(col, l), view.decode(col, r));
+                intern(dataset, originals, value)
+            } else {
+                AttrValue::Missing
+            }
+        }
+        PairFeatureGroup::Base => {
+            if missing || !view.cells_equal(l, r) {
+                return AttrValue::Missing;
+            }
+            match (l, def.kind) {
+                (AttrValue::Num(v), FeatureKind::Numeric) => AttrValue::Num(v),
+                _ => {
+                    let value = view.decode(col, l);
+                    intern(dataset, originals, value)
+                }
+            }
         }
     }
 }
@@ -203,8 +350,7 @@ mod tests {
         let (bridge, catalog) = setup();
         // duration contributes 4 pair features that must all be gone.
         assert_eq!(bridge.num_attributes(), catalog.len() - 4);
-        assert!(!(0..bridge.num_attributes())
-            .any(|i| bridge.attr_name(i).starts_with("duration")));
+        assert!(!(0..bridge.num_attributes()).any(|i| bridge.attr_name(i).starts_with("duration")));
         assert_eq!(bridge.dataset().len(), 3);
     }
 
@@ -253,6 +399,9 @@ mod tests {
             .unwrap();
         // The pair of interest disagrees on the script, so its isSame value
         // is the interned form of `F`, not missing.
-        assert!(!matches!(bridge.poi_value(is_same_attr), AttrValue::Missing));
+        assert!(!matches!(
+            bridge.poi_value(is_same_attr),
+            AttrValue::Missing
+        ));
     }
 }

@@ -1,0 +1,488 @@
+//! Columnar encoded view of an execution log and query compilation.
+//!
+//! The training pipeline classifies O(n²) candidate pairs of executions.
+//! The original implementation rebuilt a `BTreeMap<String, Value>` of pair
+//! features — with `format!`-built keys — for every single pair.  This
+//! module replaces that hot path with a **columnar, zero-re-encoding**
+//! design:
+//!
+//! * [`ColumnarLog`] encodes the per-kind records of an [`ExecutionLog`]
+//!   once into per-feature columns ([`mlcore::ColumnStore`]): numeric cells
+//!   are stored inline, nominal cells are interned against a per-column
+//!   dictionary keyed by the value's canonical PXQL text, and the original
+//!   [`Value`] behind every interned id is retained for lossless decoding.
+//! * [`CompiledQuery`] resolves a [`BoundQuery`]'s three clauses against the
+//!   columns once — feature names are parsed into `(column index, pair
+//!   feature group)` pairs and constants are pre-analysed — so classifying
+//!   a candidate pair is a handful of integer/float comparisons with **no
+//!   allocation and no string hashing**.
+//!
+//! Semantics match the map-based path (`compute_selected_pair_features` +
+//! `BoundQuery::classify`) exactly, with one documented exception: two raw
+//! nominal values that differ textually but compare equal under PXQL's
+//! cross-type rules (e.g. `Bool(true)` vs the string `"true"`) intern to
+//! different ids and therefore compare unequal here.  Canonical log
+//! producers never mix value types within a feature, and `T`/`F` strings —
+//! the forms the paper's queries use — share their canonical text with the
+//! booleans they denote.
+
+use crate::features::FeatureKind;
+use crate::pairs::{compare_index, parse_pair_feature, PairFeatureGroup, COMPARE_VALUES};
+use crate::query::{BoundQuery, PairLabel};
+use crate::record::{ExecutionKind, ExecutionLog, ExecutionRecord};
+use mlcore::{AttrValue, Attribute, ColumnStore};
+use pxql::{Op, Predicate, Value};
+use std::collections::HashMap;
+
+/// The columnar encoded view of the records of one execution kind.
+#[derive(Debug, Clone)]
+pub struct ColumnarLog<'a> {
+    kind: ExecutionKind,
+    records: Vec<&'a ExecutionRecord>,
+    store: ColumnStore,
+    /// Per column: the original `Value` behind each interned nominal id.
+    originals: Vec<Vec<Value>>,
+    /// Catalog kind per column.
+    kinds: Vec<FeatureKind>,
+    /// Record id → row index.
+    row_index: HashMap<&'a str, usize>,
+}
+
+impl<'a> ColumnarLog<'a> {
+    /// Encodes the records of `kind` once.  Cells are stored by *value*
+    /// type: numeric values inline, everything else interned by canonical
+    /// text, so mixed-type features keep the exact comparison semantics of
+    /// the map-based path.
+    pub fn build(log: &'a ExecutionLog, kind: ExecutionKind) -> Self {
+        let catalog = log.catalog(kind);
+        let records: Vec<&ExecutionRecord> = log.of_kind(kind).collect();
+        let mut attributes = Vec::with_capacity(catalog.len());
+        let mut columns = Vec::with_capacity(catalog.len());
+        let mut originals = Vec::with_capacity(catalog.len());
+        let mut kinds = Vec::with_capacity(catalog.len());
+
+        for def in catalog.defs() {
+            let mut attribute = match def.kind {
+                FeatureKind::Numeric => Attribute::numeric(def.name.clone()),
+                FeatureKind::Nominal => Attribute::nominal(def.name.clone()),
+            };
+            let mut column = Vec::with_capacity(records.len());
+            let mut column_originals: Vec<Value> = Vec::new();
+            for record in &records {
+                let cell = match record.features.get(&def.name) {
+                    None | Some(Value::Null) => AttrValue::Missing,
+                    Some(Value::Num(v)) => AttrValue::Num(*v),
+                    Some(value) => {
+                        let id = attribute.dictionary.intern(&value.to_string());
+                        if id as usize == column_originals.len() {
+                            column_originals.push(value.clone());
+                        }
+                        AttrValue::Nom(id)
+                    }
+                };
+                column.push(cell);
+            }
+            attributes.push(attribute);
+            columns.push(column);
+            originals.push(column_originals);
+            kinds.push(def.kind);
+        }
+
+        let row_index = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id.as_str(), i))
+            .collect();
+        ColumnarLog {
+            kind,
+            records,
+            store: ColumnStore::from_columns(attributes, columns),
+            originals,
+            kinds,
+            row_index,
+        }
+    }
+
+    /// The execution kind this view encodes.
+    pub fn kind(&self) -> ExecutionKind {
+        self.kind
+    }
+
+    /// The encoded records, in row order.
+    pub fn records(&self) -> &[&'a ExecutionRecord] {
+        &self.records
+    }
+
+    /// Consumes the view, returning the record list.
+    pub fn into_records(self) -> Vec<&'a ExecutionRecord> {
+        self.records
+    }
+
+    /// Number of rows (records of the view's kind).
+    pub fn num_rows(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The underlying column store.
+    pub fn store(&self) -> &ColumnStore {
+        &self.store
+    }
+
+    /// Row index of the record with the given id.
+    pub fn row_of(&self, id: &str) -> Option<usize> {
+        self.row_index.get(id).copied()
+    }
+
+    /// Column index of a raw feature.
+    pub fn column_of(&self, feature: &str) -> Option<usize> {
+        self.store.column_index(feature)
+    }
+
+    /// Catalog kind of column `col`.
+    pub fn column_kind(&self, col: usize) -> FeatureKind {
+        self.kinds[col]
+    }
+
+    /// The cell at (`row`, `col`).
+    #[inline]
+    pub fn cell(&self, row: usize, col: usize) -> AttrValue {
+        self.store.value(row, col)
+    }
+
+    /// PXQL equality of two cells of the same column (`pxql_eq` semantics:
+    /// numeric tolerance, exact nominal identity, missing never equal).
+    #[inline]
+    pub fn cells_equal(&self, a: AttrValue, b: AttrValue) -> bool {
+        match (a, b) {
+            (AttrValue::Num(x), AttrValue::Num(y)) => Value::Num(x).pxql_eq(&Value::Num(y)),
+            (AttrValue::Nom(p), AttrValue::Nom(q)) => p == q,
+            _ => false,
+        }
+    }
+
+    /// PXQL equality of a cell against a constant, without allocating.
+    #[inline]
+    pub fn cell_eq_const(&self, col: usize, cell: AttrValue, constant: &Value) -> bool {
+        match cell {
+            AttrValue::Missing => false,
+            AttrValue::Num(v) => Value::Num(v).pxql_eq(constant),
+            AttrValue::Nom(id) => self.originals[col][id as usize].pxql_eq(constant),
+        }
+    }
+
+    /// Decodes a cell back into the original [`Value`].
+    pub fn decode(&self, col: usize, cell: AttrValue) -> Value {
+        match cell {
+            AttrValue::Missing => Value::Null,
+            AttrValue::Num(v) => Value::Num(v),
+            AttrValue::Nom(id) => self.originals[col][id as usize].clone(),
+        }
+    }
+
+    /// Borrows the original value behind an interned id of column `col`.
+    pub fn original(&self, col: usize, id: u32) -> &Value {
+        &self.originals[col][id as usize]
+    }
+}
+
+/// One pre-resolved atomic predicate over a pair of rows.
+#[derive(Debug, Clone)]
+enum CompiledAtom {
+    /// The atom can never hold (unknown raw feature, inapplicable group, or
+    /// a constant no derived value can equal).
+    Never,
+    /// `f_isSame op constant`.
+    IsSame { col: usize, op: Op, constant: Value },
+    /// `f_compare op constant`, pre-evaluated for the three outcomes
+    /// (indexed LT, SIM, GT).
+    Compare { col: usize, truth: [bool; 3] },
+    /// `f_diff op constant`.
+    Diff { col: usize, op: Op, constant: Value },
+    /// Base feature `f op constant` (holds only when the pair agrees on f).
+    Base { col: usize, op: Op, constant: Value },
+}
+
+impl CompiledAtom {
+    fn compile(feature: &str, op: Op, constant: &Value, view: &ColumnarLog<'_>, sim: f64) -> Self {
+        let (raw, group) = parse_pair_feature(feature);
+        let Some(col) = view.column_of(raw) else {
+            return CompiledAtom::Never;
+        };
+        match group {
+            PairFeatureGroup::IsSame => CompiledAtom::IsSame {
+                col,
+                op,
+                constant: constant.clone(),
+            },
+            PairFeatureGroup::Compare => {
+                if view.column_kind(col) != FeatureKind::Numeric {
+                    return CompiledAtom::Never;
+                }
+                // Pre-apply the operator to the three possible outcomes.
+                let truth = COMPARE_VALUES.map(|outcome| op.apply(&Value::str(outcome), constant));
+                let _ = sim;
+                if truth.iter().all(|t| !t) {
+                    CompiledAtom::Never
+                } else {
+                    CompiledAtom::Compare { col, truth }
+                }
+            }
+            PairFeatureGroup::Diff => {
+                if view.column_kind(col) != FeatureKind::Nominal {
+                    return CompiledAtom::Never;
+                }
+                CompiledAtom::Diff {
+                    col,
+                    op,
+                    constant: constant.clone(),
+                }
+            }
+            PairFeatureGroup::Base => CompiledAtom::Base {
+                col,
+                op,
+                constant: constant.clone(),
+            },
+        }
+    }
+
+    /// Evaluates the atom for the ordered pair of rows (`left`, `right`).
+    #[inline]
+    fn eval(&self, view: &ColumnarLog<'_>, left: usize, right: usize, sim: f64) -> bool {
+        match self {
+            CompiledAtom::Never => false,
+            CompiledAtom::IsSame { col, op, constant } => {
+                let l = view.cell(left, *col);
+                let r = view.cell(right, *col);
+                if l.is_missing() || r.is_missing() {
+                    return false;
+                }
+                op.apply(&Value::Bool(view.cells_equal(l, r)), constant)
+            }
+            CompiledAtom::Compare { col, truth } => {
+                match (view.cell(left, *col), view.cell(right, *col)) {
+                    (AttrValue::Num(l), AttrValue::Num(r)) => truth[compare_index(l, r, sim)],
+                    _ => false,
+                }
+            }
+            CompiledAtom::Diff { col, op, constant } => {
+                let l = view.cell(left, *col);
+                let r = view.cell(right, *col);
+                if l.is_missing() || r.is_missing() || view.cells_equal(l, r) {
+                    return false;
+                }
+                // The derived value is the pair (l, r); only equality-family
+                // operators can hold on pairs.
+                let equal = match constant {
+                    Value::Pair(a, b) => {
+                        view.cell_eq_const(*col, l, a) && view.cell_eq_const(*col, r, b)
+                    }
+                    _ => false,
+                };
+                match op {
+                    Op::Eq => equal,
+                    Op::Ne => !equal,
+                    _ => false,
+                }
+            }
+            CompiledAtom::Base { col, op, constant } => {
+                let l = view.cell(left, *col);
+                let r = view.cell(right, *col);
+                if l.is_missing() || r.is_missing() || !view.cells_equal(l, r) {
+                    return false;
+                }
+                match l {
+                    AttrValue::Num(v) => op.apply(&Value::Num(v), constant),
+                    AttrValue::Nom(id) => op.apply(view.original(*col, id), constant),
+                    AttrValue::Missing => false,
+                }
+            }
+        }
+    }
+}
+
+/// A conjunction of compiled atoms.
+#[derive(Debug, Clone, Default)]
+pub struct CompiledPredicate {
+    atoms: Vec<CompiledAtom>,
+}
+
+impl CompiledPredicate {
+    /// Compiles a predicate against a view.
+    pub fn compile(predicate: &Predicate, view: &ColumnarLog<'_>, sim: f64) -> Self {
+        CompiledPredicate {
+            atoms: predicate
+                .atoms()
+                .iter()
+                .map(|a| CompiledAtom::compile(&a.feature, a.op, &a.constant, view, sim))
+                .collect(),
+        }
+    }
+
+    /// Evaluates the conjunction for the ordered pair (`left`, `right`).
+    #[inline]
+    pub fn eval(&self, view: &ColumnarLog<'_>, left: usize, right: usize, sim: f64) -> bool {
+        self.atoms
+            .iter()
+            .all(|atom| atom.eval(view, left, right, sim))
+    }
+}
+
+/// A [`BoundQuery`] compiled against a [`ColumnarLog`]: classification of a
+/// candidate pair costs a few comparisons and zero allocations.
+#[derive(Debug, Clone)]
+pub struct CompiledQuery {
+    despite: CompiledPredicate,
+    observed: CompiledPredicate,
+    expected: CompiledPredicate,
+    sim_threshold: f64,
+}
+
+impl CompiledQuery {
+    /// Compiles the query's three clauses.
+    pub fn compile(query: &BoundQuery, view: &ColumnarLog<'_>, sim_threshold: f64) -> Self {
+        CompiledQuery {
+            despite: CompiledPredicate::compile(&query.query.despite, view, sim_threshold),
+            observed: CompiledPredicate::compile(&query.query.observed, view, sim_threshold),
+            expected: CompiledPredicate::compile(&query.query.expected, view, sim_threshold),
+            sim_threshold,
+        }
+    }
+
+    /// Classifies the ordered pair (`left`, `right`), mirroring
+    /// [`BoundQuery::classify`] (expected takes precedence over observed).
+    #[inline]
+    pub fn classify(&self, view: &ColumnarLog<'_>, left: usize, right: usize) -> PairLabel {
+        let sim = self.sim_threshold;
+        if !self.despite.eval(view, left, right, sim) {
+            return PairLabel::Unrelated;
+        }
+        if self.expected.eval(view, left, right, sim) {
+            return PairLabel::Expected;
+        }
+        if self.observed.eval(view, left, right, sim) {
+            return PairLabel::Observed;
+        }
+        PairLabel::Unrelated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ExplainConfig;
+    use crate::pairs::compute_pair_features;
+    use crate::record::ExecutionRecord;
+    use pxql::parse_query;
+
+    fn log() -> ExecutionLog {
+        let mut log = ExecutionLog::new();
+        for (id, input, script, duration) in [
+            ("job_a", 32.0e9, "filter.pig", 1800.0),
+            ("job_b", 1.0e9, "group.pig", 1750.0),
+            ("job_c", 1.0e9, "filter.pig", 300.0),
+            ("job_d", 8.0e9, "group.pig", 900.0),
+        ] {
+            log.push(
+                ExecutionRecord::job(id)
+                    .with_feature("inputsize", input)
+                    .with_feature("pigscript", script)
+                    .with_feature("duration", duration),
+            );
+        }
+        // A record with a missing feature.
+        log.push(ExecutionRecord::job("job_e").with_feature("duration", 100.0));
+        log.rebuild_catalogs();
+        log
+    }
+
+    #[test]
+    fn view_encodes_and_decodes_losslessly() {
+        let log = log();
+        let view = ColumnarLog::build(&log, ExecutionKind::Job);
+        assert_eq!(view.num_rows(), 5);
+        assert_eq!(view.kind(), ExecutionKind::Job);
+        let script_col = view.column_of("pigscript").unwrap();
+        for (row, record) in view.records().iter().enumerate() {
+            let decoded = view.decode(script_col, view.cell(row, script_col));
+            assert_eq!(decoded, record.feature("pigscript"));
+        }
+        assert_eq!(view.row_of("job_c"), Some(2));
+        assert_eq!(view.row_of("job_zz"), None);
+        assert_eq!(view.column_of("nope"), None);
+    }
+
+    #[test]
+    fn compiled_classification_matches_the_map_based_path() {
+        let log = log();
+        let view = ColumnarLog::build(&log, ExecutionKind::Job);
+        let config = ExplainConfig::default();
+        let q = parse_query(
+            "DESPITE inputsize_compare = GT\n\
+             OBSERVED duration_compare = SIM\n\
+             EXPECTED duration_compare = GT",
+        )
+        .unwrap();
+        let query = BoundQuery::new(q, "job_a", "job_b");
+        let compiled = CompiledQuery::compile(&query, &view, config.sim_threshold);
+        let records = view.records();
+        for i in 0..records.len() {
+            for j in 0..records.len() {
+                if i == j {
+                    continue;
+                }
+                let expected =
+                    query.classify_records(&log, records[i], records[j], config.sim_threshold);
+                assert_eq!(
+                    compiled.classify(&view, i, j),
+                    expected,
+                    "divergence on ({}, {})",
+                    records[i].id,
+                    records[j].id
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_atoms_cover_all_groups() {
+        let log = log();
+        let view = ColumnarLog::build(&log, ExecutionKind::Job);
+        let config = ExplainConfig::default();
+        let catalog = log.job_catalog();
+        // Every pair feature of every pair: the compiled atom must agree
+        // with evaluation over the full pair-feature map.
+        let records = view.records();
+        for i in 0..records.len() {
+            for j in 0..records.len() {
+                if i == j {
+                    continue;
+                }
+                let features =
+                    compute_pair_features(catalog, records[i], records[j], config.sim_threshold);
+                for (name, value) in &features {
+                    let atom = pxql::Atom::new(name.clone(), Op::Eq, value.clone());
+                    let by_map = atom.eval(&features);
+                    let compiled = CompiledPredicate::compile(
+                        &Predicate::from_atoms(vec![atom]),
+                        &view,
+                        config.sim_threshold,
+                    );
+                    assert_eq!(
+                        compiled.eval(&view, i, j, config.sim_threshold),
+                        by_map,
+                        "feature {name} = {value} on ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_features_never_hold() {
+        let log = log();
+        let view = ColumnarLog::build(&log, ExecutionKind::Job);
+        let predicate = Predicate::from_atoms(vec![pxql::Atom::eq("ghost_compare", "GT")]);
+        let compiled = CompiledPredicate::compile(&predicate, &view, 0.1);
+        assert!(!compiled.eval(&view, 0, 1, 0.1));
+    }
+}

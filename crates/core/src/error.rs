@@ -74,7 +74,10 @@ mod tests {
     fn display_messages_are_informative() {
         let err = CoreError::UnknownExecution("job_7".to_string());
         assert!(err.to_string().contains("job_7"));
-        let err = CoreError::NotEnoughTrainingPairs { observed: 1, expected: 0 };
+        let err = CoreError::NotEnoughTrainingPairs {
+            observed: 1,
+            expected: 0,
+        };
         assert!(err.to_string().contains("1 observed"));
         let err: CoreError = pxql::PxqlError::Invalid("nope".to_string()).into();
         assert!(matches!(err, CoreError::Pxql(_)));

@@ -42,7 +42,11 @@ pub enum Technique {
 impl Technique {
     /// All techniques, in the order the paper's figures list them.
     pub fn all() -> [Technique; 3] {
-        [Technique::PerfXplain, Technique::RuleOfThumb, Technique::SimButDiff]
+        [
+            Technique::PerfXplain,
+            Technique::RuleOfThumb,
+            Technique::SimButDiff,
+        ]
     }
 }
 
@@ -99,7 +103,10 @@ pub fn split_log(
         .filter_map(|id| {
             log.get(id).map(|record| match record.kind {
                 ExecutionKind::Job => record.id.clone(),
-                ExecutionKind::Task => record.parent_job.clone().unwrap_or_else(|| record.id.clone()),
+                ExecutionKind::Task => record
+                    .parent_job
+                    .clone()
+                    .unwrap_or_else(|| record.id.clone()),
             })
         })
         .collect();
@@ -294,7 +301,8 @@ mod tests {
         let log = log();
         let query = query();
         let config = ExplainConfig::default().with_seed(5);
-        let explanation = generate_explanation(Technique::PerfXplain, &log, &query, &config).unwrap();
+        let explanation =
+            generate_explanation(Technique::PerfXplain, &log, &query, &config).unwrap();
         let result = evaluate_on_log(&explanation, &log, &query, &config);
         assert!(result.related_pairs > 0);
         assert!(result.quality.precision.value.is_some());

@@ -19,11 +19,12 @@ use crate::bridge::DatasetBridge;
 use crate::config::ExplainConfig;
 use crate::error::Result;
 use crate::explanation::Explanation;
-use crate::metrics;
 use crate::pairs::{PairCatalog, PairExample};
 use crate::query::BoundQuery;
 use crate::record::ExecutionLog;
-use crate::training::{prepare_training_set, TrainingSet};
+use crate::training::{
+    prepare_encoded_training, prepare_encoded_training_in, EncodedTraining, TrainingSet,
+};
 use mlcore::{best_split_for_attribute_filtered, percentile_ranks, SplitCandidate};
 use pxql::{Atom, Predicate};
 
@@ -55,12 +56,39 @@ impl PerfXplain {
             .restrict_to_groups(self.config.feature_level.allowed_groups())
     }
 
+    /// Encodes the split-search dataset straight from an encoded training
+    /// set (one pass, no pair-feature maps).
+    fn encode_bridge(&self, training: &EncodedTraining<'_>, query: &BoundQuery) -> DatasetBridge {
+        let catalog = self.pair_catalog(training.log(), query);
+        let excluded = crate::query::excluded_raw_features(query, &self.config);
+        let left = training
+            .view
+            .row_of(&query.left_id)
+            .expect("pair-of-interest row exists after verify_preconditions");
+        let right = training
+            .view
+            .row_of(&query.right_id)
+            .expect("pair-of-interest row exists after verify_preconditions");
+        DatasetBridge::encode_from_view(
+            training,
+            (left, right),
+            &catalog,
+            &excluded,
+            self.config.sim_threshold,
+        )
+    }
+
     /// Generates an explanation for the query: a because clause of the
     /// configured width, in the context of the user's own despite clause.
+    ///
+    /// The entire pipeline is columnar: the log is encoded once, candidate
+    /// pairs are classified by a compiled query without allocation, and the
+    /// sampled pairs feed the split search directly.
     pub fn explain(&self, log: &ExecutionLog, query: &BoundQuery) -> Result<Explanation> {
-        let poi = query.verify_preconditions(log, self.config.sim_threshold)?;
-        let set = prepare_training_set(log, query, &self.config)?;
-        let because = self.because_from_training(&set, &poi, log, query);
+        query.verify_preconditions(log, self.config.sim_threshold)?;
+        let training = prepare_encoded_training(log, query, &self.config)?;
+        let bridge = self.encode_bridge(&training, query);
+        let because = self.generate_clause_from_bridge(&bridge, true, self.config.width);
         Ok(Explanation::because_only(because))
     }
 
@@ -68,9 +96,10 @@ impl PerfXplain {
     /// same algorithm with relevance as the target (Section 4.2, "Generating
     /// the des' clause").
     pub fn generate_despite(&self, log: &ExecutionLog, query: &BoundQuery) -> Result<Predicate> {
-        let poi = query.verify_preconditions(log, self.config.sim_threshold)?;
-        let set = prepare_training_set(log, query, &self.config)?;
-        Ok(self.despite_from_training(&set, &poi, log, query))
+        query.verify_preconditions(log, self.config.sim_threshold)?;
+        let training = prepare_encoded_training(log, query, &self.config)?;
+        let bridge = self.encode_bridge(&training, query);
+        Ok(self.generate_clause_from_bridge(&bridge, false, self.config.despite_width))
     }
 
     /// Generates a full explanation, automatically extending the despite
@@ -85,30 +114,39 @@ impl PerfXplain {
         log: &ExecutionLog,
         query: &BoundQuery,
     ) -> Result<(Explanation, BoundQuery)> {
-        let poi = query.verify_preconditions(log, self.config.sim_threshold)?;
-        let set = prepare_training_set(log, query, &self.config)?;
+        query.verify_preconditions(log, self.config.sim_threshold)?;
+        let training = prepare_encoded_training(log, query, &self.config)?;
 
-        let base_relevance =
-            metrics::relevance(&set, &Predicate::always_true()).unwrap_or(0.0);
+        // Relevance of the empty extension over the sample: the fraction of
+        // pairs that performed as expected.
+        let base_relevance = training.num_expected() as f64 / training.len().max(1) as f64;
         if base_relevance >= self.config.relevance_threshold {
-            let because = self.because_from_training(&set, &poi, log, query);
+            let bridge = self.encode_bridge(&training, query);
+            let because = self.generate_clause_from_bridge(&bridge, true, self.config.width);
             return Ok((Explanation::because_only(because), query.clone()));
         }
 
         // Extend the despite clause, fold it into the query and regenerate
-        // the training set in the narrower context.
-        let extension = self.despite_from_training(&set, &poi, log, query);
+        // the training set in the narrower context.  The columnar view is
+        // moved into the second pass — the extended query only changes the
+        // compiled predicates, not the encoding.
+        let bridge = self.encode_bridge(&training, query);
+        let extension = self.generate_clause_from_bridge(&bridge, false, self.config.despite_width);
         let mut extended = query.clone();
         extended.query = extended
             .query
             .clone()
             .with_despite(query.query.despite.conjoin(&extension));
-        let extended_set = prepare_training_set(log, &extended, &self.config)?;
-        let because = self.because_from_training(&extended_set, &poi, log, &extended);
+        let view = training.view;
+        let extended_training = prepare_encoded_training_in(log, view, &extended, &self.config)?;
+        let extended_bridge = self.encode_bridge(&extended_training, &extended);
+        let because = self.generate_clause_from_bridge(&extended_bridge, true, self.config.width);
         Ok((Explanation::new(extension, because), extended))
     }
 
-    /// Generates the because clause from an already-prepared training set.
+    /// Generates the because clause from an already-materialised training
+    /// set (the map-based path; the engine's own entry points encode from
+    /// the columnar view instead).
     pub fn because_from_training(
         &self,
         set: &TrainingSet,
@@ -119,7 +157,7 @@ impl PerfXplain {
         self.generate_clause(set, poi, log, query, true, self.config.width)
     }
 
-    /// Generates a despite-clause extension from an already-prepared
+    /// Generates a despite-clause extension from an already-materialised
     /// training set.
     pub fn despite_from_training(
         &self,
@@ -131,10 +169,8 @@ impl PerfXplain {
         self.generate_clause(set, poi, log, query, false, self.config.despite_width)
     }
 
-    /// The greedy clause-growing loop shared by because and despite
-    /// generation.  `target_observed` selects the class whose probability
-    /// the clause maximises: `true` for the because clause (precision),
-    /// `false` for the despite clause (relevance).
+    /// Map-based clause generation: encodes the training set through
+    /// [`DatasetBridge::build`] and runs the shared greedy loop.
     fn generate_clause(
         &self,
         set: &TrainingSet,
@@ -150,7 +186,24 @@ impl PerfXplain {
         let catalog = self.pair_catalog(log, query);
         let excluded = crate::query::excluded_raw_features(query, &self.config);
         let bridge = DatasetBridge::build(set, poi, &catalog, &excluded);
+        self.generate_clause_from_bridge(&bridge, target_observed, width)
+    }
+
+    /// The greedy clause-growing loop shared by because and despite
+    /// generation (lines 5–17 of Algorithm 1).  `target_observed` selects
+    /// the class whose probability the clause maximises: `true` for the
+    /// because clause (precision), `false` for the despite clause
+    /// (relevance).
+    fn generate_clause_from_bridge(
+        &self,
+        bridge: &DatasetBridge,
+        target_observed: bool,
+        width: usize,
+    ) -> Predicate {
         let dataset = bridge.dataset();
+        if dataset.is_empty() || width == 0 {
+            return Predicate::always_true();
+        }
 
         let mut atoms: Vec<Atom> = Vec::new();
         let mut current: Vec<usize> = (0..dataset.len()).collect();
@@ -167,18 +220,15 @@ impl PerfXplain {
                 if poi_value.is_missing() {
                     continue;
                 }
-                let already_used = atoms
-                    .iter()
-                    .any(|a| a.feature == bridge.attr_name(attr));
+                let already_used = atoms.iter().any(|a| a.feature == bridge.attr_name(attr));
                 if already_used {
                     continue;
                 }
-                if let Some(candidate) = best_split_for_attribute_filtered(
-                    dataset,
-                    &current,
-                    attr,
-                    |atom| atom.matches_value(poi_value),
-                ) {
+                if let Some(candidate) =
+                    best_split_for_attribute_filtered(dataset, &current, attr, |atom| {
+                        atom.matches_value(poi_value)
+                    })
+                {
                     candidates.push((attr, candidate));
                 }
             }
@@ -210,7 +260,10 @@ impl PerfXplain {
                 .map(|(_, c)| c.inside.total() as f64 / current.len() as f64)
                 .collect();
             let (precision_scores, generality_scores) = if self.config.normalize_scores {
-                (percentile_ranks(&precisions), percentile_ranks(&generalities))
+                (
+                    percentile_ranks(&precisions),
+                    percentile_ranks(&generalities),
+                )
             } else {
                 (precisions.clone(), generalities.clone())
             };
@@ -244,8 +297,10 @@ impl PerfXplain {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::metrics;
     use crate::query::BoundQuery;
     use crate::record::ExecutionRecord;
+    use crate::training::prepare_training_set;
     use pxql::{parse_query, Value};
 
     /// A synthetic log reproducing the motivating scenario: pairs where one
@@ -311,9 +366,7 @@ mod tests {
         // must never mention the duration itself.
         let mentioned: Vec<&str> = explanation.because.features();
         assert!(
-            mentioned
-                .iter()
-                .all(|f| !f.starts_with("duration")),
+            mentioned.iter().all(|f| !f.starts_with("duration")),
             "circular explanation: {mentioned:?}"
         );
         assert!(
@@ -360,8 +413,7 @@ mod tests {
         let set = prepare_training_set(&log, &query, &config).unwrap();
 
         // Precision of the empty explanation is the base rate P(obs | des).
-        let baseline =
-            metrics::precision(&set, &Explanation::default()).unwrap_or(0.0);
+        let baseline = metrics::precision(&set, &Explanation::default()).unwrap_or(0.0);
         for width in 1..=3 {
             let engine = PerfXplain::new(config.clone().with_width(width));
             let explanation = engine.explain(&log, &query).unwrap();

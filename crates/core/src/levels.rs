@@ -53,7 +53,11 @@ impl FeatureLevel {
 
     /// All levels, in increasing order of expressiveness.
     pub fn all() -> [FeatureLevel; 3] {
-        [FeatureLevel::Level1, FeatureLevel::Level2, FeatureLevel::Level3]
+        [
+            FeatureLevel::Level1,
+            FeatureLevel::Level2,
+            FeatureLevel::Level3,
+        ]
     }
 }
 

@@ -52,9 +52,60 @@
 //! assert!(explanation.width() >= 1);
 //! println!("{explanation}");
 //! ```
+//!
+//! # Performance
+//!
+//! Explanation generation is dominated by classifying O(n²) candidate pairs
+//! of executions.  The training pipeline is built around a **columnar,
+//! streaming, zero-re-encoding hot path** ([`columnar`], [`training`],
+//! [`bridge`]):
+//!
+//! 1. **Encode once.** [`ColumnarLog`](columnar::ColumnarLog) turns the
+//!    per-kind records of an [`ExecutionLog`] into per-feature columns:
+//!    numeric cells inline, nominal cells interned by canonical PXQL text
+//!    with the original [`pxql::Value`] retained per id.  Built once per
+//!    log; reused across queries (e.g. the despite-extension pass of
+//!    `explain_full` re-classifies on the same view).
+//! 2. **Compile the query.** [`CompiledQuery`](columnar::CompiledQuery)
+//!    resolves every clause atom to a `(column index, pair-feature group)`
+//!    pair and pre-analyses its constant (`compare` atoms become a 3-entry
+//!    truth table), so classifying one candidate pair is a handful of
+//!    integer/float comparisons — no allocation, no string hashing, no
+//!    `BTreeMap`.
+//! 3. **Stream the enumeration.** `collect_related_pairs` never
+//!    materialises the candidate space: blocking groups and the
+//!    deterministic cap (a stateless per-ordinal hash, so enumeration order
+//!    and parallelism cannot change the outcome) are applied while
+//!    streaming, and memory stays proportional to the *related* pairs.
+//!    The `parallel` crate feature fans the outer record loop out over
+//!    threads with bit-identical results.
+//! 4. **Encode the sample directly.**
+//!    [`DatasetBridge::encode_from_view`](bridge::DatasetBridge::encode_from_view)
+//!    derives the pair features of the sampled training pairs straight from
+//!    the columns into the split-search [`mlcore::Dataset`];
+//!    [`PairExample`] maps exist only at the API/narration boundary.
+//!
+//! **Invariants.** The columnar path produces the same related-pair set,
+//! labels, dataset and explanations as the map-based path
+//! (`compute_pair_features` + [`DatasetBridge::build`](bridge::DatasetBridge::build),
+//! both retained as the reference implementation); `tests/properties.rs`
+//! proves this on randomized logs and queries.  Nominal interning is keyed
+//! by canonical text, so two raw values that differ textually but compare
+//! equal under PXQL's cross-type rules (`Bool(true)` vs the string
+//! `"true"`) diverge — canonical log producers never mix value types within
+//! a feature.  When the candidate space exceeds `max_candidate_pairs` the
+//! subsample differs from the seed implementation's (hash-based vs
+//! sequential RNG), but is equally deterministic for a fixed seed.
+//!
+//! `cargo bench --bench pairs_pipeline` tracks pair-classification
+//! throughput and candidate memory at n ∈ {100, 1k, 10k} in
+//! `BENCH_pairs.json` (currently ≈25–35× the map-based throughput in a
+//! like-for-like uncapped comparison, with candidate state bounded by the
+//! cap instead of O(n²)).
 
 pub mod baselines;
 pub mod bridge;
+pub mod columnar;
 pub mod config;
 pub mod error;
 pub mod eval;
@@ -70,6 +121,7 @@ pub mod record;
 pub mod training;
 
 pub use baselines::{RuleOfThumb, SimButDiff};
+pub use columnar::{ColumnarLog, CompiledPredicate, CompiledQuery};
 pub use config::ExplainConfig;
 pub use error::{CoreError, Result};
 pub use eval::{
@@ -87,7 +139,10 @@ pub use pairs::{
 };
 pub use query::{BoundQuery, PairLabel};
 pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
-pub use training::{prepare_training_set, TrainingSet};
+pub use training::{
+    collect_related_pairs_in, prepare_encoded_training, prepare_encoded_training_in,
+    prepare_training_set, EncodedTraining, TrainingSet,
+};
 
 // Re-export the query language so that downstream users only need one
 // dependency.

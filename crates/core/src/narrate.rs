@@ -89,10 +89,9 @@ pub fn narrate_atom(atom: &Atom) -> String {
             };
             format!("the {feature} is {direction}")
         }
-        PairFeatureGroup::Diff => format!(
-            "the {feature} changed ({})",
-            humanize_value(&atom.constant)
-        ),
+        PairFeatureGroup::Diff => {
+            format!("the {feature} changed ({})", humanize_value(&atom.constant))
+        }
         PairFeatureGroup::Base => {
             let op_words = match atom.op {
                 Op::Eq => "is",
@@ -136,9 +135,18 @@ fn narrate_observation(query: &BoundQuery) -> String {
         if group == PairFeatureGroup::Compare {
             let metric = humanize_feature(raw);
             let phrase = match atom.constant.as_str() {
-                Some("GT") => format!("{subject} {} had a much larger {metric} than {subject} {}", query.left_id, query.right_id),
-                Some("LT") => format!("{subject} {} had a much smaller {metric} than {subject} {}", query.left_id, query.right_id),
-                Some("SIM") => format!("{subject}s {} and {} had a similar {metric}", query.left_id, query.right_id),
+                Some("GT") => format!(
+                    "{subject} {} had a much larger {metric} than {subject} {}",
+                    query.left_id, query.right_id
+                ),
+                Some("LT") => format!(
+                    "{subject} {} had a much smaller {metric} than {subject} {}",
+                    query.left_id, query.right_id
+                ),
+                Some("SIM") => format!(
+                    "{subject}s {} and {} had a similar {metric}",
+                    query.left_id, query.right_id
+                ),
                 _ => continue,
             };
             return phrase;

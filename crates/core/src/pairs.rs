@@ -21,7 +21,7 @@ use crate::features::{FeatureCatalog, FeatureDef, FeatureKind};
 use crate::record::ExecutionRecord;
 use pxql::{FeatureSource, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, HashSet};
 
 /// Default similarity band of the `compare` features (Section 3.1,
 /// footnote 1: "two values are considered to be similar if they are within
@@ -38,6 +38,9 @@ pub mod compare_values {
     /// Much greater than.
     pub const GT: &str = "GT";
 }
+
+/// The three `compare` outcomes, indexed by [`compare_index`].
+pub const COMPARE_VALUES: [&str; 3] = [compare_values::LT, compare_values::SIM, compare_values::GT];
 
 /// Which of the four groups of Table 1 a pair feature belongs to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -102,12 +105,25 @@ pub struct PairFeatureDef {
 }
 
 /// The catalog of pair features derived from a raw-feature catalog.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Lookup by name goes through a precomputed index, so [`PairCatalog::get`]
+/// is O(1) instead of a linear scan over 4·k definitions.
+#[derive(Debug, Clone, Default)]
 pub struct PairCatalog {
     defs: Vec<PairFeatureDef>,
+    index: HashMap<String, usize>,
 }
 
 impl PairCatalog {
+    fn from_defs(defs: Vec<PairFeatureDef>) -> Self {
+        let index = defs
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (d.name.clone(), i))
+            .collect();
+        PairCatalog { defs, index }
+    }
+
     /// Derives the 4·k pair features of a raw catalog with k features.
     pub fn from_raw(catalog: &FeatureCatalog) -> Self {
         let mut defs = Vec::with_capacity(catalog.len() * 4);
@@ -137,7 +153,7 @@ impl PairCatalog {
                 raw: name.clone(),
             });
         }
-        PairCatalog { defs }
+        PairCatalog::from_defs(defs)
     }
 
     /// The pair-feature definitions.
@@ -155,34 +171,110 @@ impl PairCatalog {
         self.defs.is_empty()
     }
 
-    /// Looks a pair feature up by name.
+    /// Looks a pair feature up by name (O(1)).
     pub fn get(&self, name: &str) -> Option<&PairFeatureDef> {
-        self.defs.iter().find(|d| d.name == name)
+        self.index.get(name).map(|&i| &self.defs[i])
     }
 
     /// Restricts the catalog to the given groups (used by the feature-level
     /// experiment of Section 6.8).
     pub fn restrict_to_groups(&self, groups: &[PairFeatureGroup]) -> PairCatalog {
-        PairCatalog {
-            defs: self
-                .defs
+        PairCatalog::from_defs(
+            self.defs
                 .iter()
                 .filter(|d| groups.contains(&d.group))
                 .cloned()
                 .collect(),
-        }
+        )
+    }
+}
+
+impl PartialEq for PairCatalog {
+    fn eq(&self, other: &Self) -> bool {
+        // The index is derived from the definitions.
+        self.defs == other.defs
+    }
+}
+
+impl Serialize for PairCatalog {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![("defs".to_string(), self.defs.serialize())])
+    }
+}
+
+impl Deserialize for PairCatalog {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map", "PairCatalog"))?;
+        let defs = Deserialize::deserialize(serde::Content::field(entries, "defs"))?;
+        Ok(PairCatalog::from_defs(defs))
+    }
+}
+
+/// Classifies the relationship between two numeric values as an index into
+/// [`COMPARE_VALUES`] (0 = LT, 1 = SIM, 2 = GT).  The index form lets the
+/// columnar hot path pre-evaluate predicates per outcome and skip the
+/// `&'static str` entirely.
+pub fn compare_index(left: f64, right: f64, sim_threshold: f64) -> usize {
+    let scale = left.abs().max(right.abs());
+    if scale == 0.0 || (left - right).abs() <= sim_threshold * scale {
+        1
+    } else if left < right {
+        0
+    } else {
+        2
     }
 }
 
 /// Classifies the relationship between two numeric values.
 fn compare_numbers(left: f64, right: f64, sim_threshold: f64) -> &'static str {
-    let scale = left.abs().max(right.abs());
-    if scale == 0.0 || (left - right).abs() <= sim_threshold * scale {
-        compare_values::SIM
-    } else if left < right {
-        compare_values::LT
+    COMPARE_VALUES[compare_index(left, right, sim_threshold)]
+}
+
+/// `isSame` value of one raw feature: defined whenever both sides are
+/// present.
+pub(crate) fn is_same_value(left: &Value, right: &Value) -> Value {
+    if left.is_null() || right.is_null() {
+        Value::Null
     } else {
-        compare_values::GT
+        Value::Bool(left.pxql_eq(right))
+    }
+}
+
+/// `compare` value of one raw feature: numeric features only.
+pub(crate) fn compare_value(
+    def: &FeatureDef,
+    left: &Value,
+    right: &Value,
+    sim_threshold: f64,
+) -> Value {
+    match (def.kind, left.as_num(), right.as_num()) {
+        (FeatureKind::Numeric, Some(l), Some(r)) => {
+            Value::str(compare_numbers(l, r, sim_threshold))
+        }
+        _ => Value::Null,
+    }
+}
+
+/// `diff` value of one raw feature: nominal features only, and only when
+/// the two values differ.
+pub(crate) fn diff_value(def: &FeatureDef, left: &Value, right: &Value) -> Value {
+    let missing = left.is_null() || right.is_null();
+    if def.kind == FeatureKind::Nominal && !missing && !left.pxql_eq(right) {
+        Value::pair(left.clone(), right.clone())
+    } else {
+        Value::Null
+    }
+}
+
+/// Base value of one raw feature: the shared value when the executions
+/// agree.
+pub(crate) fn base_value(left: &Value, right: &Value) -> Value {
+    if !left.is_null() && !right.is_null() && left.pxql_eq(right) {
+        left.clone()
+    } else {
+        Value::Null
     }
 }
 
@@ -195,40 +287,13 @@ fn pair_features_for(
     out: &mut BTreeMap<String, Value>,
 ) {
     let name = &def.name;
-    let missing = left.is_null() || right.is_null();
-
-    // isSame: defined whenever both sides are present.
-    let is_same_value = if missing {
-        Value::Null
-    } else {
-        Value::Bool(left.pxql_eq(right))
-    };
-    out.insert(is_same_name(name), is_same_value);
-
-    // compare: numeric features only.
-    let compare_value = match (def.kind, left.as_num(), right.as_num()) {
-        (FeatureKind::Numeric, Some(l), Some(r)) => {
-            Value::str(compare_numbers(l, r, sim_threshold))
-        }
-        _ => Value::Null,
-    };
-    out.insert(compare_name(name), compare_value);
-
-    // diff: nominal features only, and only when the two values differ.
-    let diff_value = if def.kind == FeatureKind::Nominal && !missing && !left.pxql_eq(right) {
-        Value::pair(left.clone(), right.clone())
-    } else {
-        Value::Null
-    };
-    out.insert(diff_name(name), diff_value);
-
-    // base: the shared value when the executions agree.
-    let base_value = if !missing && left.pxql_eq(right) {
-        left.clone()
-    } else {
-        Value::Null
-    };
-    out.insert(name.clone(), base_value);
+    out.insert(is_same_name(name), is_same_value(left, right));
+    out.insert(
+        compare_name(name),
+        compare_value(def, left, right, sim_threshold),
+    );
+    out.insert(diff_name(name), diff_value(def, left, right));
+    out.insert(name.clone(), base_value(left, right));
 }
 
 /// Computes the full pair-feature map of a pair of executions.
@@ -258,18 +323,30 @@ pub fn compute_selected_pair_features(
     sim_threshold: f64,
     needed: &[&str],
 ) -> BTreeMap<String, Value> {
-    let mut out = BTreeMap::new();
-    let mut raw_done: Vec<&str> = Vec::new();
+    // Deduplicate (raw feature, group) requests with a set, then compute
+    // only the derived groups that were actually asked for.
+    let mut requested: HashSet<(&str, PairFeatureGroup)> = HashSet::with_capacity(needed.len());
     for name in needed {
-        let (raw, _) = parse_pair_feature(name);
-        if raw_done.contains(&raw) {
-            continue;
-        }
-        raw_done.push(raw);
+        requested.insert(parse_pair_feature(name));
+    }
+    let mut out = BTreeMap::new();
+    for (raw, group) in requested {
         if let Some(def) = catalog.get(raw) {
             let l = left.feature(&def.name);
             let r = right.feature(&def.name);
-            pair_features_for(def, &l, &r, sim_threshold, &mut out);
+            let value = match group {
+                PairFeatureGroup::IsSame => is_same_value(&l, &r),
+                PairFeatureGroup::Compare => compare_value(def, &l, &r, sim_threshold),
+                PairFeatureGroup::Diff => diff_value(def, &l, &r),
+                PairFeatureGroup::Base => base_value(&l, &r),
+            };
+            let name = match group {
+                PairFeatureGroup::IsSame => is_same_name(raw),
+                PairFeatureGroup::Compare => compare_name(raw),
+                PairFeatureGroup::Diff => diff_name(raw),
+                PairFeatureGroup::Base => raw.to_string(),
+            };
+            out.insert(name, value);
         }
     }
     out
@@ -328,7 +405,13 @@ mod tests {
         ])
     }
 
-    fn job(id: &str, inputsize: f64, instances: f64, script: &str, duration: f64) -> ExecutionRecord {
+    fn job(
+        id: &str,
+        inputsize: f64,
+        instances: f64,
+        script: &str,
+        duration: f64,
+    ) -> ExecutionRecord {
         ExecutionRecord::job(id)
             .with_feature("inputsize", inputsize)
             .with_feature("numinstances", instances)
@@ -386,7 +469,10 @@ mod tests {
         assert!(pair.feature("pigscript_compare").is_null());
         assert_eq!(
             pair.feature("pigscript_diff"),
-            Value::pair(Value::str("simple-filter.pig"), Value::str("simple-groupby.pig"))
+            Value::pair(
+                Value::str("simple-filter.pig"),
+                Value::str("simple-groupby.pig")
+            )
         );
 
         assert_eq!(pair.feature("duration_compare"), Value::str("SIM"));
@@ -417,7 +503,10 @@ mod tests {
             DEFAULT_SIM_THRESHOLD,
             &["duration_compare", "numinstances_isSame"],
         );
-        assert_eq!(selected.get("duration_compare"), full.get("duration_compare"));
+        assert_eq!(
+            selected.get("duration_compare"),
+            full.get("duration_compare")
+        );
         assert_eq!(
             selected.get("numinstances_isSame"),
             full.get("numinstances_isSame")
@@ -440,7 +529,10 @@ mod tests {
             parse_pair_feature("pigscript_diff"),
             ("pigscript", PairFeatureGroup::Diff)
         );
-        assert_eq!(parse_pair_feature("blocksize"), ("blocksize", PairFeatureGroup::Base));
+        assert_eq!(
+            parse_pair_feature("blocksize"),
+            ("blocksize", PairFeatureGroup::Base)
+        );
     }
 
     #[test]
@@ -448,6 +540,9 @@ mod tests {
         let pair_catalog = PairCatalog::from_raw(&catalog());
         let level1 = pair_catalog.restrict_to_groups(&[PairFeatureGroup::IsSame]);
         assert_eq!(level1.len(), 4);
-        assert!(level1.defs().iter().all(|d| d.group == PairFeatureGroup::IsSame));
+        assert!(level1
+            .defs()
+            .iter()
+            .all(|d| d.group == PairFeatureGroup::IsSame));
     }
 }

@@ -55,12 +55,10 @@ impl BoundQuery {
     pub fn from_query(query: PxqlQuery) -> Result<Self> {
         let left = match &query.left_binding {
             PairBinding::Literal(id) => id.clone(),
-            PairBinding::Placeholder => {
-                return Err(CoreError::Pxql(
-                    "the first execution's identifier is a placeholder; supply it with BoundQuery::new"
-                        .to_string(),
-                ))
-            }
+            PairBinding::Placeholder => return Err(CoreError::Pxql(
+                "the first execution's identifier is a placeholder; supply it with BoundQuery::new"
+                    .to_string(),
+            )),
         };
         let right = match &query.right_binding {
             PairBinding::Literal(id) => id.clone(),
@@ -77,7 +75,11 @@ impl BoundQuery {
     /// The pair-feature names mentioned by the query's three clauses.
     pub fn mentioned_features(&self) -> Vec<&str> {
         let mut names = Vec::new();
-        for predicate in [&self.query.despite, &self.query.observed, &self.query.expected] {
+        for predicate in [
+            &self.query.despite,
+            &self.query.observed,
+            &self.query.expected,
+        ] {
             for name in predicate.features() {
                 if !names.contains(&name) {
                     names.push(name);
@@ -116,7 +118,11 @@ impl BoundQuery {
 
     /// Verifies the semantic preconditions of Definition 1: the pair of
     /// interest satisfies `des` and `obs` but not `exp`.
-    pub fn verify_preconditions(&self, log: &ExecutionLog, sim_threshold: f64) -> Result<PairExample> {
+    pub fn verify_preconditions(
+        &self,
+        log: &ExecutionLog,
+        sim_threshold: f64,
+    ) -> Result<PairExample> {
         let pair = self.pair_of_interest(log, sim_threshold)?;
         if !self.query.despite.eval(&pair) {
             return Err(CoreError::QueryPreconditionViolated(format!(
@@ -164,7 +170,10 @@ impl BoundQuery {
 /// for this query: the raw features behind the pair features mentioned in
 /// the OBSERVED/EXPECTED clauses (explaining the performance metric with
 /// itself would be circular) plus any exclusions configured by the caller.
-pub fn excluded_raw_features(query: &BoundQuery, config: &crate::config::ExplainConfig) -> Vec<String> {
+pub fn excluded_raw_features(
+    query: &BoundQuery,
+    config: &crate::config::ExplainConfig,
+) -> Vec<String> {
     let mut excluded = config.excluded_raw_features.clone();
     for predicate in [&query.query.observed, &query.query.expected] {
         for feature in predicate.features() {
@@ -215,7 +224,9 @@ mod tests {
     fn binding_and_preconditions() {
         let log = log();
         let bound = BoundQuery::new(query(), "job_big", "job_small");
-        let pair = bound.verify_preconditions(&log, DEFAULT_SIM_THRESHOLD).unwrap();
+        let pair = bound
+            .verify_preconditions(&log, DEFAULT_SIM_THRESHOLD)
+            .unwrap();
         assert_eq!(pair.left_id, "job_big");
 
         // Swapping the pair violates the despite clause.

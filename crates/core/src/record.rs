@@ -184,7 +184,9 @@ impl ExecutionLog {
 
     /// The task records.
     pub fn tasks(&self) -> impl Iterator<Item = &ExecutionRecord> {
-        self.records.iter().filter(|r| r.kind == ExecutionKind::Task)
+        self.records
+            .iter()
+            .filter(|r| r.kind == ExecutionKind::Task)
     }
 
     /// Records of the given kind.
@@ -193,10 +195,13 @@ impl ExecutionLog {
     }
 
     /// The tasks that belong to a given job.
-    pub fn tasks_of_job<'a>(&'a self, job_id: &'a str) -> impl Iterator<Item = &'a ExecutionRecord> {
-        self.records
-            .iter()
-            .filter(move |r| r.kind == ExecutionKind::Task && r.parent_job.as_deref() == Some(job_id))
+    pub fn tasks_of_job<'a>(
+        &'a self,
+        job_id: &'a str,
+    ) -> impl Iterator<Item = &'a ExecutionRecord> {
+        self.records.iter().filter(move |r| {
+            r.kind == ExecutionKind::Task && r.parent_job.as_deref() == Some(job_id)
+        })
     }
 
     /// Looks up a record by identifier.

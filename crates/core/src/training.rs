@@ -17,15 +17,25 @@
 //!   pairs within the same group can possibly be related, so only those are
 //!   enumerated.
 //! * **Capping** — if the candidate space is still larger than
-//!   `max_candidate_pairs`, a deterministic random subset is used.
+//!   `max_candidate_pairs`, a deterministic subset is kept, decided by a
+//!   stateless per-candidate hash so that enumeration order (and therefore
+//!   parallelism) cannot change the outcome.
+//!
+//! The enumeration itself is **streaming**: candidates are classified
+//! against a [`CompiledQuery`] as they are produced, so memory stays
+//! proportional to the *related* pairs (bounded by the cap), never to the
+//! O(n²) candidate space.  With the `parallel` feature enabled the outer
+//! record loop is fanned out over threads; results are identical to the
+//! serial enumeration.
 
+use crate::columnar::{ColumnarLog, CompiledQuery};
 use crate::config::ExplainConfig;
 use crate::error::{CoreError, Result};
 use crate::features::FeatureKind;
 use crate::pairs::{parse_pair_feature, PairExample, PairFeatureGroup};
 use crate::query::{BoundQuery, PairLabel};
 use crate::record::{ExecutionLog, ExecutionRecord};
-use mlcore::balanced_sample;
+use mlcore::{balanced_sample, AttrValue};
 use pxql::{Op, Value};
 use rand::rngs::StdRng;
 use rand::RngExt;
@@ -106,89 +116,248 @@ fn blocking_feature<'a>(query: &'a BoundQuery, log: &ExecutionLog) -> Option<&'a
     None
 }
 
+/// The candidate enumeration plan: either every ordered pair, or only the
+/// ordered pairs within blocking groups.
+enum CandidatePlan {
+    /// All `n·(n-1)` ordered pairs.
+    All { n: usize },
+    /// Ordered pairs within each group (blocking).
+    Blocked { groups: Vec<Vec<usize>> },
+}
+
+impl CandidatePlan {
+    /// Builds the plan for a query over a view, applying blocking when the
+    /// despite clause allows it.
+    fn build(view: &ColumnarLog<'_>, query: &BoundQuery, log: &ExecutionLog) -> CandidatePlan {
+        let n = view.num_rows();
+        let Some(block_feature) = blocking_feature(query, log) else {
+            return CandidatePlan::All { n };
+        };
+        let Some(col) = view.column_of(block_feature) else {
+            return CandidatePlan::All { n };
+        };
+        // Group rows by the blocking feature's canonical text, exactly as
+        // the map-based path grouped by `Value::to_string()`; rows with a
+        // missing value can never satisfy `f_isSame = T` and are dropped.
+        let mut key_cache: Vec<Option<String>> = Vec::new();
+        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for row in 0..n {
+            let key = match view.cell(row, col) {
+                AttrValue::Missing => continue,
+                AttrValue::Num(v) => Value::Num(v).to_string(),
+                AttrValue::Nom(id) => {
+                    let id = id as usize;
+                    if id >= key_cache.len() {
+                        key_cache.resize(id + 1, None);
+                    }
+                    key_cache[id]
+                        .get_or_insert_with(|| view.original(col, id as u32).to_string())
+                        .clone()
+                }
+            };
+            groups.entry(key).or_default().push(row);
+        }
+        CandidatePlan::Blocked {
+            groups: groups.into_values().collect(),
+        }
+    }
+
+    /// Total number of candidates the plan enumerates.
+    fn total(&self) -> u64 {
+        match self {
+            CandidatePlan::All { n } => (*n as u64) * (n.saturating_sub(1) as u64),
+            CandidatePlan::Blocked { groups } => groups
+                .iter()
+                .map(|g| (g.len() as u64) * (g.len().saturating_sub(1) as u64))
+                .sum(),
+        }
+    }
+
+    /// Flattens the plan into outer units: one unit per left-hand row, with
+    /// the ordinal of its first candidate.  Units are enumerated in the
+    /// exact order the eager path used.
+    fn units(&self) -> Vec<OuterUnit> {
+        let mut units = Vec::new();
+        let mut base = 0u64;
+        match self {
+            CandidatePlan::All { n } => {
+                for left in 0..*n {
+                    units.push(OuterUnit {
+                        left,
+                        group: None,
+                        base,
+                    });
+                    base += n.saturating_sub(1) as u64;
+                }
+            }
+            CandidatePlan::Blocked { groups } => {
+                for (g, members) in groups.iter().enumerate() {
+                    for (position, &left) in members.iter().enumerate() {
+                        units.push(OuterUnit {
+                            left,
+                            group: Some((g, position)),
+                            base,
+                        });
+                        base += members.len().saturating_sub(1) as u64;
+                    }
+                }
+            }
+        }
+        units
+    }
+}
+
+/// One outer-loop unit: a left-hand row plus the ordinal of its first
+/// candidate pair.
+struct OuterUnit {
+    left: usize,
+    /// `(group index, position of `left` within the group)` for blocked
+    /// plans.
+    group: Option<(usize, usize)>,
+    base: u64,
+}
+
+/// SplitMix64 finaliser: a stateless, well-mixed hash of a candidate
+/// ordinal, used for order-independent capping decisions.
+fn mix64(seed: u64) -> u64 {
+    let mut z = seed.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Maps a hash to a uniform f64 in [0, 1).
+fn unit_f64(hash: u64) -> f64 {
+    (hash >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Classifies the candidates of one outer unit, appending related pairs.
+fn scan_unit(
+    unit: &OuterUnit,
+    plan: &CandidatePlan,
+    view: &ColumnarLog<'_>,
+    compiled: &CompiledQuery,
+    keep: Option<(u64, f64)>,
+    out: &mut Vec<RelatedPair>,
+) {
+    let mut classify = |left: usize, right: usize, ordinal: u64| {
+        if let Some((seed_mix, probability)) = keep {
+            if unit_f64(mix64(seed_mix ^ ordinal)) >= probability {
+                return;
+            }
+        }
+        let label = compiled.classify(view, left, right);
+        if label.is_related() {
+            out.push(RelatedPair { left, right, label });
+        }
+    };
+    match (unit.group, plan) {
+        (None, _) => {
+            let n = view.num_rows();
+            for right in 0..n {
+                if right == unit.left {
+                    continue;
+                }
+                let offset = if right < unit.left { right } else { right - 1 };
+                classify(unit.left, right, unit.base + offset as u64);
+            }
+        }
+        (Some((g, position)), CandidatePlan::Blocked { groups }) => {
+            for (other, &right) in groups[g].iter().enumerate() {
+                if other == position {
+                    continue;
+                }
+                let offset = if other < position { other } else { other - 1 };
+                classify(unit.left, right, unit.base + offset as u64);
+            }
+        }
+        (Some(_), CandidatePlan::All { .. }) => unreachable!("blocked unit in an All plan"),
+    }
+}
+
+/// Enumerates and classifies the related pairs of an encoded view without
+/// materialising the candidate space: memory stays proportional to the
+/// related pairs (bounded by `max_candidate_pairs`), never O(n²).
+pub fn collect_related_pairs_in(
+    view: &ColumnarLog<'_>,
+    query: &BoundQuery,
+    log: &ExecutionLog,
+    config: &ExplainConfig,
+) -> Vec<RelatedPair> {
+    if view.num_rows() < 2 {
+        return Vec::new();
+    }
+    let compiled = CompiledQuery::compile(query, view, config.sim_threshold);
+    let plan = CandidatePlan::build(view, query, log);
+    let total = plan.total();
+    let keep = (total > config.max_candidate_pairs as u64).then(|| {
+        (
+            config.seed ^ 0xC0FFEE,
+            config.max_candidate_pairs as f64 / total as f64,
+        )
+    });
+    let units = plan.units();
+
+    #[cfg(feature = "parallel")]
+    {
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        // Fan out only when there is enough work to amortise thread setup.
+        if threads > 1 && total >= 1 << 14 {
+            let chunk_size = units.len().div_ceil(threads);
+            let mut chunks: Vec<Vec<RelatedPair>> = Vec::new();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = units
+                    .chunks(chunk_size)
+                    .map(|chunk| {
+                        let plan = &plan;
+                        let compiled = &compiled;
+                        scope.spawn(move || {
+                            let mut out = Vec::new();
+                            for unit in chunk {
+                                scan_unit(unit, plan, view, compiled, keep, &mut out);
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                chunks = handles
+                    .into_iter()
+                    .map(|h| h.join().expect("enumeration worker panicked"))
+                    .collect();
+            });
+            return chunks.concat();
+        }
+    }
+
+    let mut related = Vec::new();
+    for unit in &units {
+        scan_unit(unit, &plan, view, &compiled, keep, &mut related);
+    }
+    related
+}
+
 /// Enumerates and classifies the pairs of the log that are related to the
 /// query.  Returns the per-kind record list alongside the related pairs so
 /// that callers can materialise features later.
+///
+/// This encodes a fresh columnar view of the log; callers that already hold
+/// a [`ColumnarLog`] should use [`collect_related_pairs_in`] to avoid the
+/// re-encoding.
 pub fn collect_related_pairs<'a>(
     log: &'a ExecutionLog,
     query: &BoundQuery,
     config: &ExplainConfig,
 ) -> (Vec<&'a ExecutionRecord>, Vec<RelatedPair>) {
-    let records: Vec<&ExecutionRecord> = log.of_kind(query.kind).collect();
-    let n = records.len();
-    if n < 2 {
-        return (records, Vec::new());
-    }
-
-    // Candidate index pairs, possibly blocked by a shared nominal value.
-    let mut candidates: Vec<(usize, usize)> = Vec::new();
-    if let Some(block_feature) = blocking_feature(query, log) {
-        let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
-        for (i, record) in records.iter().enumerate() {
-            let key = record.feature(block_feature).to_string();
-            if key != "NULL" {
-                groups.entry(key).or_default().push(i);
-            }
-        }
-        for members in groups.values() {
-            for &i in members {
-                for &j in members {
-                    if i != j {
-                        candidates.push((i, j));
-                    }
-                }
-            }
-        }
-    } else {
-        candidates.reserve(n * (n - 1));
-        for i in 0..n {
-            for j in 0..n {
-                if i != j {
-                    candidates.push((i, j));
-                }
-            }
-        }
-    }
-
-    // Cap the candidate space deterministically.
-    if candidates.len() > config.max_candidate_pairs {
-        let mut rng = StdRng::seed_from_u64(config.seed ^ 0xC0FFEE);
-        let keep_probability = config.max_candidate_pairs as f64 / candidates.len() as f64;
-        candidates.retain(|_| rng.random::<f64>() < keep_probability);
-    }
-
-    let catalog = log.catalog(query.kind);
-    let needed = query.mentioned_features();
-    let mut related = Vec::new();
-    for (i, j) in candidates {
-        let features = crate::pairs::compute_selected_pair_features(
-            catalog,
-            records[i],
-            records[j],
-            config.sim_threshold,
-            &needed,
-        );
-        let label = query.classify(&features);
-        if label.is_related() {
-            related.push(RelatedPair {
-                left: i,
-                right: j,
-                label,
-            });
-        }
-    }
-    (records, related)
+    let view = ColumnarLog::build(log, query.kind);
+    let related = collect_related_pairs_in(&view, query, log, config);
+    (view.into_records(), related)
 }
 
-/// Draws the balanced sample of Section 4.3 and materialises the full pair
-/// features of the selected pairs.
-pub fn build_training_set(
-    log: &ExecutionLog,
-    query: &BoundQuery,
-    records: &[&ExecutionRecord],
-    related: &[RelatedPair],
-    config: &ExplainConfig,
-) -> Result<TrainingSet> {
+/// Draws the class-balanced (or ablation uniform) sample over the related
+/// pairs, returning the selected indices into `related`.
+fn sample_related(related: &[RelatedPair], config: &ExplainConfig) -> Result<Vec<usize>> {
     let observed = related
         .iter()
         .filter(|p| p.label == PairLabel::Observed)
@@ -198,7 +367,10 @@ pub fn build_training_set(
         return Err(CoreError::NotEnoughTrainingPairs { observed, expected });
     }
 
-    let labels: Vec<bool> = related.iter().map(|p| p.label == PairLabel::Observed).collect();
+    let labels: Vec<bool> = related
+        .iter()
+        .map(|p| p.label == PairLabel::Observed)
+        .collect();
     let selected: Vec<usize> = if config.balanced_sampling {
         balanced_sample(&labels, config.sample_size, config.seed).0
     } else {
@@ -210,7 +382,19 @@ pub fn build_training_set(
             .filter(|_| keep >= 1.0 || rng.random::<f64>() < keep)
             .collect()
     };
+    Ok(selected)
+}
 
+/// Draws the balanced sample of Section 4.3 and materialises the full pair
+/// features of the selected pairs.
+pub fn build_training_set(
+    log: &ExecutionLog,
+    query: &BoundQuery,
+    records: &[&ExecutionRecord],
+    related: &[RelatedPair],
+    config: &ExplainConfig,
+) -> Result<TrainingSet> {
+    let selected = sample_related(related, config)?;
     let catalog = log.catalog(query.kind);
     let mut set = TrainingSet::default();
     for index in selected {
@@ -240,6 +424,112 @@ pub fn prepare_training_set(
 ) -> Result<TrainingSet> {
     let (records, related) = collect_related_pairs(log, query, config);
     build_training_set(log, query, &records, &related, config)
+}
+
+/// A sampled training set kept in encoded (row index) form: the columnar
+/// view plus the sampled `(left row, right row)` pairs and their labels.
+/// The explanation engine consumes this directly — pair features of the
+/// sampled pairs are encoded straight into the split-search dataset, and
+/// [`PairExample`]s are only materialised at the API boundary.
+#[derive(Debug, Clone)]
+pub struct EncodedTraining<'a> {
+    log: &'a ExecutionLog,
+    /// The columnar encoded view the pairs index into.
+    pub view: ColumnarLog<'a>,
+    /// Sampled `(left, right)` row pairs, in selection order.
+    pub pairs: Vec<(usize, usize)>,
+    /// `true` for pairs that performed as observed.
+    pub labels: Vec<bool>,
+}
+
+impl<'a> EncodedTraining<'a> {
+    /// Number of sampled pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Number of pairs that performed as observed.
+    pub fn num_observed(&self) -> usize {
+        self.labels.iter().filter(|&&l| l).count()
+    }
+
+    /// Number of pairs that performed as expected.
+    pub fn num_expected(&self) -> usize {
+        self.len() - self.num_observed()
+    }
+
+    /// The log this training set was drawn from.
+    pub fn log(&self) -> &'a ExecutionLog {
+        self.log
+    }
+
+    /// Materialises the sampled pairs as [`PairExample`]s (the API /
+    /// narration boundary representation).
+    pub fn materialise(&self, sim_threshold: f64) -> TrainingSet {
+        let catalog = self.log.catalog(self.view.kind());
+        let records = self.view.records();
+        let mut set = TrainingSet::default();
+        for (&(left, right), &label) in self.pairs.iter().zip(&self.labels) {
+            set.examples.push(PairExample::build(
+                catalog,
+                records[left],
+                records[right],
+                sim_threshold,
+            ));
+            set.labels.push(label);
+        }
+        set
+    }
+}
+
+/// Enumerates, classifies and samples the related pairs of the log, keeping
+/// everything in encoded form.  One encoding pass over the log, no pair
+/// feature maps.
+pub fn prepare_encoded_training<'a>(
+    log: &'a ExecutionLog,
+    query: &BoundQuery,
+    config: &ExplainConfig,
+) -> Result<EncodedTraining<'a>> {
+    let view = ColumnarLog::build(log, query.kind);
+    prepare_encoded_training_in(log, view, query, config)
+}
+
+/// Like [`prepare_encoded_training`], but reuses an already-encoded view —
+/// the zero-re-encoding path for repeated queries over the same log (e.g.
+/// the despite-extension pass of `explain_full`).
+pub fn prepare_encoded_training_in<'a>(
+    log: &'a ExecutionLog,
+    view: ColumnarLog<'a>,
+    query: &BoundQuery,
+    config: &ExplainConfig,
+) -> Result<EncodedTraining<'a>> {
+    let related = collect_related_pairs_in(&view, query, log, config);
+    let selected = sample_related(&related, config)?;
+    let mut pairs = Vec::with_capacity(selected.len());
+    let mut labels = Vec::with_capacity(selected.len());
+    for index in selected {
+        let pair = &related[index];
+        pairs.push((pair.left, pair.right));
+        labels.push(pair.label == PairLabel::Observed);
+    }
+    let observed = labels.iter().filter(|&&l| l).count();
+    if observed == 0 || observed == labels.len() {
+        return Err(CoreError::NotEnoughTrainingPairs {
+            observed,
+            expected: labels.len() - observed,
+        });
+    }
+    Ok(EncodedTraining {
+        log,
+        view,
+        pairs,
+        labels,
+    })
 }
 
 #[cfg(test)]

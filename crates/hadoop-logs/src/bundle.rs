@@ -101,7 +101,10 @@ mod tests {
     }
 
     fn temp_dir(name: &str) -> std::path::PathBuf {
-        let dir = env::temp_dir().join(format!("perfxplain-bundle-test-{name}-{}", std::process::id()));
+        let dir = env::temp_dir().join(format!(
+            "perfxplain-bundle-test-{name}-{}",
+            std::process::id()
+        ));
         let _ = fs::remove_dir_all(&dir);
         fs::create_dir_all(&dir).unwrap();
         dir
@@ -112,7 +115,9 @@ mod tests {
         let bundle = JobLogBundle::from_trace(&trace(1));
         assert!(bundle.history.contains("JOB_STATUS=\"SUCCESS\""));
         assert!(bundle.conf_xml.contains("dfs.block.size"));
-        assert!(bundle.ganglia_csv.starts_with("timestamp,host,metric,value"));
+        assert!(bundle
+            .ganglia_csv
+            .starts_with("timestamp,host,metric,value"));
     }
 
     #[test]

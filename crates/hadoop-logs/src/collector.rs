@@ -359,9 +359,16 @@ mod tests {
             "avg_load_five",
             "duration",
         ] {
-            assert!(job_catalog.get(feature).is_some(), "missing job feature {feature}");
+            assert!(
+                job_catalog.get(feature).is_some(),
+                "missing job feature {feature}"
+            );
         }
-        assert!(job_catalog.len() >= 36, "only {} job features", job_catalog.len());
+        assert!(
+            job_catalog.len() >= 36,
+            "only {} job features",
+            job_catalog.len()
+        );
 
         // Task features.
         let task_catalog = log.task_catalog();
@@ -376,9 +383,16 @@ mod tests {
             "avg_bytes_in",
             "duration",
         ] {
-            assert!(task_catalog.get(feature).is_some(), "missing task feature {feature}");
+            assert!(
+                task_catalog.get(feature).is_some(),
+                "missing task feature {feature}"
+            );
         }
-        assert!(task_catalog.len() >= 40, "only {} task features", task_catalog.len());
+        assert!(
+            task_catalog.len() >= 40,
+            "only {} task features",
+            task_catalog.len()
+        );
     }
 
     #[test]

@@ -42,7 +42,9 @@ fn escape_xml(text: &str) -> String {
 }
 
 fn unescape_xml(text: &str) -> String {
-    text.replace("&lt;", "<").replace("&gt;", ">").replace("&amp;", "&")
+    text.replace("&lt;", "<")
+        .replace("&gt;", ">")
+        .replace("&amp;", "&")
 }
 
 /// Renders a configuration map as a `job.xml` document.
@@ -62,7 +64,10 @@ pub fn render_conf(properties: &BTreeMap<String, String>) -> String {
 /// Builds the configuration map of a simulated job and renders it.
 pub fn render_job_conf(trace: &JobTrace) -> String {
     let mut properties = BTreeMap::new();
-    properties.insert(keys::BLOCK_SIZE.to_string(), trace.spec.dfs_block_size.to_string());
+    properties.insert(
+        keys::BLOCK_SIZE.to_string(),
+        trace.spec.dfs_block_size.to_string(),
+    );
     properties.insert(
         keys::REDUCE_TASKS.to_string(),
         trace
@@ -87,7 +92,10 @@ pub fn render_job_conf(trace: &JobTrace) -> String {
         keys::REDUCE_TASKS_FACTOR.to_string(),
         trace.spec.reduce_tasks_factor.to_string(),
     );
-    properties.insert(keys::INPUT_BYTES.to_string(), trace.spec.input_bytes.to_string());
+    properties.insert(
+        keys::INPUT_BYTES.to_string(),
+        trace.spec.input_bytes.to_string(),
+    );
     properties.insert(
         keys::INPUT_RECORDS.to_string(),
         trace.spec.input_records.to_string(),
@@ -151,7 +159,10 @@ mod tests {
             parsed.get(keys::BLOCK_SIZE).map(String::as_str),
             Some(trace.spec.dfs_block_size.to_string().as_str())
         );
-        assert_eq!(parsed.get(keys::NUM_INSTANCES).map(String::as_str), Some("4"));
+        assert_eq!(
+            parsed.get(keys::NUM_INSTANCES).map(String::as_str),
+            Some("4")
+        );
         assert_eq!(
             parsed.get(keys::PIG_SCRIPT).map(String::as_str),
             Some("simple-filter.pig")

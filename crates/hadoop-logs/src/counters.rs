@@ -128,7 +128,8 @@ pub fn parse_counters(text: &str) -> BTreeMap<String, u64> {
                 let inner: Vec<char> = body.chars().collect();
                 // [(KEY)(Display)(value)]
                 if let Some((key, after_key)) = delimited(&inner, 0, '(', ')') {
-                    if let Some((_display, after_display)) = delimited(&inner, after_key, '(', ')') {
+                    if let Some((_display, after_display)) = delimited(&inner, after_key, '(', ')')
+                    {
                         if let Some((value, _)) = delimited(&inner, after_display, '(', ')') {
                             if let Ok(parsed) = unescape(&value).trim().parse::<u64>() {
                                 counters.insert(unescape(&key), parsed);

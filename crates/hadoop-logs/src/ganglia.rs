@@ -149,7 +149,11 @@ mod tests {
         let (metric, value) = first.metrics.iter().next().unwrap();
         let row = rows
             .iter()
-            .find(|r| r.host == first.hostname && (r.time - first.time).abs() < 0.05 && &r.metric == metric)
+            .find(|r| {
+                r.host == first.hostname
+                    && (r.time - first.time).abs() < 0.05
+                    && &r.metric == metric
+            })
             .unwrap();
         assert!((row.value - value).abs() < 1e-9 * value.abs().max(1.0));
     }
@@ -166,10 +170,30 @@ mod tests {
     #[test]
     fn windowed_average_selects_host_and_window() {
         let rows = vec![
-            MetricRow { time: 0.0, host: "a".into(), metric: "cpu_user".into(), value: 10.0 },
-            MetricRow { time: 5.0, host: "a".into(), metric: "cpu_user".into(), value: 30.0 },
-            MetricRow { time: 10.0, host: "a".into(), metric: "cpu_user".into(), value: 90.0 },
-            MetricRow { time: 5.0, host: "b".into(), metric: "cpu_user".into(), value: 1.0 },
+            MetricRow {
+                time: 0.0,
+                host: "a".into(),
+                metric: "cpu_user".into(),
+                value: 10.0,
+            },
+            MetricRow {
+                time: 5.0,
+                host: "a".into(),
+                metric: "cpu_user".into(),
+                value: 30.0,
+            },
+            MetricRow {
+                time: 10.0,
+                host: "a".into(),
+                metric: "cpu_user".into(),
+                value: 90.0,
+            },
+            MetricRow {
+                time: 5.0,
+                host: "b".into(),
+                metric: "cpu_user".into(),
+                value: 1.0,
+            },
         ];
         let avg = windowed_average(&rows, "a", 0.0, 5.0);
         assert!((avg["cpu_user"] - 20.0).abs() < 1e-9);
@@ -179,8 +203,18 @@ mod tests {
     #[test]
     fn nearest_fallback_for_short_windows() {
         let rows = vec![
-            MetricRow { time: 0.0, host: "a".into(), metric: "load_one".into(), value: 1.0 },
-            MetricRow { time: 5.0, host: "a".into(), metric: "load_one".into(), value: 2.0 },
+            MetricRow {
+                time: 0.0,
+                host: "a".into(),
+                metric: "load_one".into(),
+                value: 1.0,
+            },
+            MetricRow {
+                time: 5.0,
+                host: "a".into(),
+                metric: "load_one".into(),
+                value: 2.0,
+            },
         ];
         // Window (1.2, 2.8) contains no sample; the closest is t=0 to the
         // midpoint 2.0? No: |0-2| = 2, |5-2| = 3, so t=0 wins.

@@ -198,7 +198,11 @@ mod tests {
     #[test]
     fn values_with_quotes_are_escaped() {
         let mut out = String::new();
-        write_record(&mut out, "Test", &[("KEY", "a \"quoted\" value".to_string())]);
+        write_record(
+            &mut out,
+            "Test",
+            &[("KEY", "a \"quoted\" value".to_string())],
+        );
         assert!(out.contains("KEY=\"a \\\"quoted\\\" value\""));
     }
 }

@@ -32,7 +32,7 @@ pub mod parser;
 
 pub use bundle::JobLogBundle;
 pub use collector::{collect_bundles, collect_traces, LogCollector};
-pub use conf::{render_job_conf, parse_job_conf};
+pub use conf::{parse_job_conf, render_job_conf};
 pub use ganglia::{parse_ganglia_csv, render_ganglia_csv, windowed_average};
 pub use history::render_job_history;
 pub use parser::{parse_job_history, HistoryEvent, ParsedJob, ParsedTaskAttempt};

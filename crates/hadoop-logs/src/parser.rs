@@ -27,7 +27,10 @@ impl HistoryEvent {
 
     /// Attribute parsed as a millisecond timestamp converted to seconds.
     pub fn get_time_secs(&self, key: &str) -> Option<f64> {
-        self.get(key)?.parse::<u64>().ok().map(|ms| ms as f64 / 1000.0)
+        self.get(key)?
+            .parse::<u64>()
+            .ok()
+            .map(|ms| ms as f64 / 1000.0)
     }
 
     /// Attribute parsed as an unsigned integer.

@@ -1,0 +1,147 @@
+//! Column-major storage for encoded feature columns.
+//!
+//! The PerfXplain hot path classifies *pairs* of rows, so the natural data
+//! layout is one contiguous column per raw feature: each cell is an
+//! [`AttrValue`] (numeric, interned nominal, or missing) and each nominal
+//! column carries the interning dictionary of its
+//! [`Attribute`](crate::dataset::Attribute).  A [`ColumnStore`] is built
+//! once per log and then read millions of times without further allocation;
+//! the dataset the split search consumes is encoded straight from these
+//! columns.
+
+use crate::dataset::{AttrValue, Attribute};
+use std::collections::HashMap;
+
+/// An immutable column-major table of encoded feature values.
+#[derive(Debug, Clone, Default)]
+pub struct ColumnStore {
+    attributes: Vec<Attribute>,
+    columns: Vec<Vec<AttrValue>>,
+    index: HashMap<String, usize>,
+    rows: usize,
+}
+
+impl ColumnStore {
+    /// Builds a store from per-attribute columns.
+    ///
+    /// # Panics
+    /// Panics when the number of columns does not match the number of
+    /// attributes or when the columns are ragged.
+    pub fn from_columns(attributes: Vec<Attribute>, columns: Vec<Vec<AttrValue>>) -> Self {
+        assert_eq!(
+            attributes.len(),
+            columns.len(),
+            "attribute/column count mismatch"
+        );
+        let rows = columns.first().map(Vec::len).unwrap_or(0);
+        for (attribute, column) in attributes.iter().zip(&columns) {
+            assert_eq!(
+                column.len(),
+                rows,
+                "ragged column {} ({} rows, expected {rows})",
+                attribute.name,
+                column.len()
+            );
+        }
+        let index = attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), i))
+            .collect();
+        ColumnStore {
+            attributes,
+            columns,
+            index,
+            rows,
+        }
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// The schema.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// The attribute of column `col`.
+    pub fn attribute(&self, col: usize) -> &Attribute {
+        &self.attributes[col]
+    }
+
+    /// Index of the column named `name`.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The cells of column `col`.
+    pub fn column(&self, col: usize) -> &[AttrValue] {
+        &self.columns[col]
+    }
+
+    /// The cell at (`row`, `col`).
+    #[inline]
+    pub fn value(&self, row: usize, col: usize) -> AttrValue {
+        self.columns[col][row]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::AttrKind;
+
+    fn store() -> ColumnStore {
+        let mut script = Attribute::nominal("script");
+        let filter = script.dictionary.intern("filter.pig");
+        let group = script.dictionary.intern("group.pig");
+        ColumnStore::from_columns(
+            vec![Attribute::numeric("size"), script],
+            vec![
+                vec![AttrValue::Num(1.0), AttrValue::Missing, AttrValue::Num(3.0)],
+                vec![
+                    AttrValue::Nom(filter),
+                    AttrValue::Nom(group),
+                    AttrValue::Nom(filter),
+                ],
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors_expose_cells_and_schema() {
+        let store = store();
+        assert_eq!(store.num_rows(), 3);
+        assert_eq!(store.num_columns(), 2);
+        assert_eq!(store.column_index("script"), Some(1));
+        assert_eq!(store.column_index("nope"), None);
+        assert_eq!(store.value(0, 0), AttrValue::Num(1.0));
+        assert!(store.value(1, 0).is_missing());
+        assert_eq!(store.attribute(1).kind, AttrKind::Nominal);
+        assert_eq!(store.attribute(1).dictionary.resolve(0), Some("filter.pig"));
+        assert_eq!(store.column(0).len(), 3);
+    }
+
+    #[test]
+    fn empty_store_is_fine() {
+        let store = ColumnStore::from_columns(vec![], vec![]);
+        assert_eq!(store.num_rows(), 0);
+        assert_eq!(store.num_columns(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged column")]
+    fn ragged_columns_are_rejected() {
+        ColumnStore::from_columns(
+            vec![Attribute::numeric("a"), Attribute::numeric("b")],
+            vec![vec![AttrValue::Num(1.0)], vec![]],
+        );
+    }
+}

@@ -150,21 +150,29 @@ impl Attribute {
 /// A labeled dataset with a fixed schema.
 ///
 /// Rows are instances; `labels[i]` is `true` for positive instances (in
-/// PerfXplain: pairs that performed *as observed*).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+/// PerfXplain: pairs that performed *as observed*).  Attribute lookup by
+/// name goes through a precomputed index.
+#[derive(Debug, Clone, Default)]
 pub struct Dataset {
     attributes: Vec<Attribute>,
     rows: Vec<Vec<AttrValue>>,
     labels: Vec<bool>,
+    name_index: HashMap<String, usize>,
 }
 
 impl Dataset {
     /// Creates an empty dataset with the given schema.
     pub fn new(attributes: Vec<Attribute>) -> Self {
+        let name_index = attributes
+            .iter()
+            .enumerate()
+            .map(|(i, a)| (a.name.clone(), i))
+            .collect();
         Dataset {
             attributes,
             rows: Vec::new(),
             labels: Vec::new(),
+            name_index,
         }
     }
 
@@ -179,9 +187,9 @@ impl Dataset {
         &mut self.attributes[index]
     }
 
-    /// Index of the attribute named `name`, if present.
+    /// Index of the attribute named `name`, if present (O(1)).
     pub fn attribute_index(&self, name: &str) -> Option<usize> {
-        self.attributes.iter().position(|a| a.name == name)
+        self.name_index.get(name).copied()
     }
 
     /// Number of attributes.
@@ -298,15 +306,36 @@ impl Dataset {
     }
 }
 
+impl Serialize for Dataset {
+    fn serialize(&self) -> serde::Content {
+        serde::Content::Map(vec![
+            ("attributes".to_string(), self.attributes.serialize()),
+            ("rows".to_string(), self.rows.serialize()),
+            ("labels".to_string(), self.labels.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for Dataset {
+    fn deserialize(content: &serde::Content) -> Result<Self, serde::DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map", "Dataset"))?;
+        let attributes: Vec<Attribute> =
+            Deserialize::deserialize(serde::Content::field(entries, "attributes"))?;
+        let mut dataset = Dataset::new(attributes);
+        dataset.rows = Deserialize::deserialize(serde::Content::field(entries, "rows"))?;
+        dataset.labels = Deserialize::deserialize(serde::Content::field(entries, "labels"))?;
+        Ok(dataset)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn toy() -> Dataset {
-        let mut ds = Dataset::new(vec![
-            Attribute::numeric("x"),
-            Attribute::nominal("color"),
-        ]);
+        let mut ds = Dataset::new(vec![Attribute::numeric("x"), Attribute::nominal("color")]);
         let red = ds.attribute_mut(1).dictionary.intern("red");
         let blue = ds.attribute_mut(1).dictionary.intern("blue");
         ds.push(vec![AttrValue::Num(1.0), AttrValue::Nom(red)], true);

@@ -90,10 +90,7 @@ impl DecisionTree {
         let Some(split) = best_split(data, indices) else {
             return Self::leaf(data, indices);
         };
-        if split.gain < config.min_gain
-            || split.inside.total() == 0
-            || split.outside.total() == 0
-        {
+        if split.gain < config.min_gain || split.inside.total() == 0 || split.outside.total() == 0 {
             return Self::leaf(data, indices);
         }
         let (inside, outside): (Vec<usize>, Vec<usize>) = indices

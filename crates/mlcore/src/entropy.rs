@@ -108,15 +108,27 @@ mod tests {
         // Predicate A separates perfectly except one mixed side: grey side
         // holds all 6 positives and 0 negatives, white side 0/4 => gain = H.
         let gain_perfect = information_gain(
-            CellCounts { positive: 6, negative: 0 },
-            CellCounts { positive: 0, negative: 4 },
+            CellCounts {
+                positive: 6,
+                negative: 0,
+            },
+            CellCounts {
+                positive: 0,
+                negative: 4,
+            },
         );
         assert!((gain_perfect - h).abs() < 1e-9);
 
         // Predicate B splits without changing the class mixture => gain 0.
         let gain_useless = information_gain(
-            CellCounts { positive: 3, negative: 2 },
-            CellCounts { positive: 3, negative: 2 },
+            CellCounts {
+                positive: 3,
+                negative: 2,
+            },
+            CellCounts {
+                positive: 3,
+                negative: 2,
+            },
         );
         assert!(gain_useless.abs() < 1e-9);
     }
@@ -132,9 +144,36 @@ mod tests {
     #[test]
     fn gain_is_never_negative() {
         let combos = [
-            (CellCounts { positive: 1, negative: 5 }, CellCounts { positive: 5, negative: 1 }),
-            (CellCounts { positive: 2, negative: 2 }, CellCounts { positive: 2, negative: 2 }),
-            (CellCounts { positive: 0, negative: 7 }, CellCounts { positive: 7, negative: 0 }),
+            (
+                CellCounts {
+                    positive: 1,
+                    negative: 5,
+                },
+                CellCounts {
+                    positive: 5,
+                    negative: 1,
+                },
+            ),
+            (
+                CellCounts {
+                    positive: 2,
+                    negative: 2,
+                },
+                CellCounts {
+                    positive: 2,
+                    negative: 2,
+                },
+            ),
+            (
+                CellCounts {
+                    positive: 0,
+                    negative: 7,
+                },
+                CellCounts {
+                    positive: 7,
+                    negative: 0,
+                },
+            ),
         ];
         for (a, b) in combos {
             assert!(information_gain(a, b) >= 0.0);

@@ -28,6 +28,7 @@
 //! * [`stats`] — means, standard deviations and the percentile-rank
 //!   normalisation used by `normalizeScore` in Algorithm 1.
 
+pub mod columnar;
 pub mod dataset;
 pub mod dtree;
 pub mod entropy;
@@ -36,6 +37,7 @@ pub mod sample;
 pub mod split;
 pub mod stats;
 
+pub use columnar::ColumnStore;
 pub use dataset::{AttrKind, AttrValue, Attribute, Dataset, NominalDictionary};
 pub use dtree::{DecisionTree, TreeConfig};
 pub use entropy::{binary_entropy, entropy_of_counts, information_gain};

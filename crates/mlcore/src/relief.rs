@@ -37,12 +37,7 @@ impl Default for ReliefConfig {
 }
 
 /// Per-attribute difference in `[0, 1]`.
-fn diff(
-    kind: AttrKind,
-    a: AttrValue,
-    b: AttrValue,
-    range: Option<(f64, f64)>,
-) -> f64 {
+fn diff(kind: AttrKind, a: AttrValue, b: AttrValue, range: Option<(f64, f64)>) -> f64 {
     match (a, b) {
         (AttrValue::Missing, _) | (_, AttrValue::Missing) => 0.5,
         (AttrValue::Num(x), AttrValue::Num(y)) => match kind {
@@ -71,12 +66,7 @@ fn diff(
     }
 }
 
-fn distance(
-    data: &Dataset,
-    ranges: &[Option<(f64, f64)>],
-    i: usize,
-    j: usize,
-) -> f64 {
+fn distance(data: &Dataset, ranges: &[Option<(f64, f64)>], i: usize, j: usize) -> f64 {
     let mut total = 0.0;
     for (a, attr) in data.attributes().iter().enumerate() {
         total += diff(attr.kind, data.value(i, a), data.value(j, a), ranges[a]);
@@ -195,7 +185,10 @@ mod tests {
 
     #[test]
     fn nominal_signal_is_detected() {
-        let mut ds = Dataset::new(vec![Attribute::nominal("script"), Attribute::nominal("junk")]);
+        let mut ds = Dataset::new(vec![
+            Attribute::nominal("script"),
+            Attribute::nominal("junk"),
+        ]);
         let filter = ds.attribute_mut(0).dictionary.intern("filter.pig");
         let group = ds.attribute_mut(0).dictionary.intern("groupby.pig");
         let junk_a = ds.attribute_mut(1).dictionary.intern("a");
@@ -203,7 +196,10 @@ mod tests {
         for i in 0..60 {
             let script = if i % 2 == 0 { filter } else { group };
             let junk = if i % 3 == 0 { junk_a } else { junk_b };
-            ds.push(vec![AttrValue::Nom(script), AttrValue::Nom(junk)], script == filter);
+            ds.push(
+                vec![AttrValue::Nom(script), AttrValue::Nom(junk)],
+                script == filter,
+            );
         }
         let weights = relief_weights(&ds, ReliefConfig::default());
         assert!(weights[0] > weights[1], "weights: {weights:?}");
@@ -215,7 +211,10 @@ mod tests {
         for i in 0..5 {
             single_class.push(vec![AttrValue::Num(i as f64)], true);
         }
-        assert_eq!(relief_weights(&single_class, ReliefConfig::default()), vec![0.0]);
+        assert_eq!(
+            relief_weights(&single_class, ReliefConfig::default()),
+            vec![0.0]
+        );
 
         let tiny = Dataset::new(vec![Attribute::numeric("x")]);
         assert_eq!(relief_weights(&tiny, ReliefConfig::default()), vec![0.0]);
@@ -224,8 +223,20 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let ds = informative_dataset(11);
-        let a = relief_weights(&ds, ReliefConfig { iterations: 60, seed: 3 });
-        let b = relief_weights(&ds, ReliefConfig { iterations: 60, seed: 3 });
+        let a = relief_weights(
+            &ds,
+            ReliefConfig {
+                iterations: 60,
+                seed: 3,
+            },
+        );
+        let b = relief_weights(
+            &ds,
+            ReliefConfig {
+                iterations: 60,
+                seed: 3,
+            },
+        );
         assert_eq!(a, b);
     }
 

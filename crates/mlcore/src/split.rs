@@ -67,7 +67,9 @@ impl TestAtom {
     pub fn matches_value(&self, value: AttrValue) -> bool {
         match (self.op, self.constant, value) {
             (_, _, AttrValue::Missing) => false,
-            (TestOp::Eq, TestConstant::Num(c), AttrValue::Num(v)) => (v - c).abs() <= f64::EPSILON * c.abs().max(1.0),
+            (TestOp::Eq, TestConstant::Num(c), AttrValue::Num(v)) => {
+                (v - c).abs() <= f64::EPSILON * c.abs().max(1.0)
+            }
             (TestOp::Le, TestConstant::Num(c), AttrValue::Num(v)) => v <= c,
             (TestOp::Gt, TestConstant::Num(c), AttrValue::Num(v)) => v > c,
             (TestOp::Eq, TestConstant::Nom(c), AttrValue::Nom(v)) => v == c,
@@ -391,9 +393,8 @@ mod tests {
         let ds = numeric_dataset();
         let idx = all_indices(&ds);
         // Only allow equality tests; the perfect threshold split is excluded.
-        let split =
-            best_split_for_attribute_filtered(&ds, &idx, 0, |atom| atom.op == TestOp::Eq)
-                .expect("split");
+        let split = best_split_for_attribute_filtered(&ds, &idx, 0, |atom| atom.op == TestOp::Eq)
+            .expect("split");
         assert_eq!(split.atom.op, TestOp::Eq);
         let unrestricted = best_split_for_attribute(&ds, &idx, 0).unwrap();
         assert!(unrestricted.gain >= split.gain);

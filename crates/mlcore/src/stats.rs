@@ -55,7 +55,10 @@ pub fn percentile_ranks(values: &[f64]) -> Vec<f64> {
         .iter()
         .map(|&v| {
             let below = values.iter().filter(|&&o| o < v).count() as f64;
-            let equal = values.iter().filter(|&&o| (o - v).abs() <= f64::EPSILON).count() as f64;
+            let equal = values
+                .iter()
+                .filter(|&&o| (o - v).abs() <= f64::EPSILON)
+                .count() as f64;
             // Mid-rank for ties, scaled to [0, 1].
             (below + 0.5 * equal) / n as f64
         })

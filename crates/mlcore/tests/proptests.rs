@@ -1,10 +1,10 @@
 //! Property-based tests for the ML primitives.
 
-use mlcore::{
-    balanced_sample, best_split_for_attribute, binary_entropy, entropy_of_counts,
-    information_gain, percentile_ranks, AttrValue, Attribute, Dataset,
-};
 use mlcore::entropy::CellCounts;
+use mlcore::{
+    balanced_sample, best_split_for_attribute, binary_entropy, entropy_of_counts, information_gain,
+    percentile_ranks, AttrValue, Attribute, Dataset,
+};
 use proptest::prelude::*;
 
 proptest! {

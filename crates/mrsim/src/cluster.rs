@@ -169,7 +169,10 @@ impl Cluster {
             task_counters.insert(counters::MAP_INPUT_BYTES.to_string(), block_bytes);
             task_counters.insert(counters::MAP_INPUT_RECORDS.to_string(), block_records);
             task_counters.insert(counters::MAP_OUTPUT_BYTES.to_string(), cost.output_bytes);
-            task_counters.insert(counters::MAP_OUTPUT_RECORDS.to_string(), cost.output_records);
+            task_counters.insert(
+                counters::MAP_OUTPUT_RECORDS.to_string(),
+                cost.output_records,
+            );
             task_counters.insert(counters::FILE_BYTES_WRITTEN.to_string(), cost.output_bytes);
             task_counters.insert(counters::SPILLED_RECORDS.to_string(), cost.output_records);
             task_counters.insert(counters::COMBINE_INPUT_RECORDS.to_string(), 0);

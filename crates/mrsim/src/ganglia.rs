@@ -159,7 +159,8 @@ pub fn sample_cluster(
 
             let task_mem = 0.11 * spec.memory_bytes as f64;
             let mem_used = 0.22 * spec.memory_bytes as f64 + n_running * task_mem;
-            let mem_free = (spec.memory_bytes as f64 - mem_used).max(0.05 * spec.memory_bytes as f64);
+            let mem_free =
+                (spec.memory_bytes as f64 - mem_used).max(0.05 * spec.memory_bytes as f64);
 
             let mut metrics = BTreeMap::new();
             metrics.insert("boottime".to_string(), instance.boot_time);
@@ -297,7 +298,10 @@ mod tests {
         );
         let busy_cpu = average_metric(&samples, 0, "cpu_user", 100.0, 300.0).unwrap();
         let idle_cpu = average_metric(&samples, 1, "cpu_user", 100.0, 300.0).unwrap();
-        assert!(busy_cpu > idle_cpu + 20.0, "busy {busy_cpu} idle {idle_cpu}");
+        assert!(
+            busy_cpu > idle_cpu + 20.0,
+            "busy {busy_cpu} idle {idle_cpu}"
+        );
         let busy_load = average_metric(&samples, 0, "load_five", 100.0, 300.0).unwrap();
         let idle_load = average_metric(&samples, 1, "load_five", 100.0, 300.0).unwrap();
         assert!(busy_load > idle_load + 0.5);
@@ -361,10 +365,19 @@ mod tests {
     #[test]
     fn empty_window_or_fleet_yields_no_samples() {
         let (spec, instances, mut rng) = setup();
-        assert!(sample_cluster(&spec, &instances, &[], 10.0, 10.0, &NoiseModel::none(), &mut rng)
-            .is_empty());
-        assert!(sample_cluster(&spec, &[], &[], 0.0, 100.0, &NoiseModel::none(), &mut rng)
-            .is_empty());
+        assert!(sample_cluster(
+            &spec,
+            &instances,
+            &[],
+            10.0,
+            10.0,
+            &NoiseModel::none(),
+            &mut rng
+        )
+        .is_empty());
+        assert!(
+            sample_cluster(&spec, &[], &[], 0.0, 100.0, &NoiseModel::none(), &mut rng).is_empty()
+        );
         assert_eq!(average_metric(&[], 0, "cpu_user", 0.0, 10.0), None);
     }
 }

@@ -27,9 +27,7 @@ impl Instance {
         let b = (cluster_seed & 0xff) as u8;
         let hostname = format!(
             "domU-12-31-39-{:02X}-{:02X}-{:02X}.compute-1.internal",
-            a,
-            b,
-            index as u8
+            a, b, index as u8
         );
         let tracker_name = format!("tracker_{hostname}:localhost/127.0.0.1:{}", 40000 + index);
         // Instances booted a few hours before the experiment started.

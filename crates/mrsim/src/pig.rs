@@ -143,20 +143,38 @@ mod tests {
 
     #[test]
     fn short_names_parse() {
-        assert_eq!("filter".parse::<PigScript>().unwrap(), PigScript::SimpleFilter);
-        assert_eq!("groupby".parse::<PigScript>().unwrap(), PigScript::SimpleGroupBy);
+        assert_eq!(
+            "filter".parse::<PigScript>().unwrap(),
+            PigScript::SimpleFilter
+        );
+        assert_eq!(
+            "groupby".parse::<PigScript>().unwrap(),
+            PigScript::SimpleGroupBy
+        );
     }
 
     #[test]
     fn groupby_shuffles_more_but_outputs_less() {
-        assert!(PigScript::SimpleGroupBy.map_output_ratio() > PigScript::SimpleFilter.map_output_ratio());
-        assert!(PigScript::SimpleGroupBy.reduce_output_ratio() < PigScript::SimpleFilter.reduce_output_ratio());
+        assert!(
+            PigScript::SimpleGroupBy.map_output_ratio()
+                > PigScript::SimpleFilter.map_output_ratio()
+        );
+        assert!(
+            PigScript::SimpleGroupBy.reduce_output_ratio()
+                < PigScript::SimpleFilter.reduce_output_ratio()
+        );
     }
 
     #[test]
     fn groupby_is_heavier_on_cpu() {
-        assert!(PigScript::SimpleGroupBy.map_cpu_sec_per_mb() > PigScript::SimpleFilter.map_cpu_sec_per_mb());
-        assert!(PigScript::SimpleGroupBy.reduce_cpu_sec_per_mb() > PigScript::SimpleFilter.reduce_cpu_sec_per_mb());
+        assert!(
+            PigScript::SimpleGroupBy.map_cpu_sec_per_mb()
+                > PigScript::SimpleFilter.map_cpu_sec_per_mb()
+        );
+        assert!(
+            PigScript::SimpleGroupBy.reduce_cpu_sec_per_mb()
+                > PigScript::SimpleFilter.reduce_cpu_sec_per_mb()
+        );
         assert!(PigScript::SimpleGroupBy.shuffle_heavy());
         assert!(!PigScript::SimpleFilter.shuffle_heavy());
     }

@@ -186,16 +186,20 @@ mod tests {
 
     #[test]
     fn empty_observed_is_rejected() {
-        let err =
-            PxqlQuery::new(SubjectKind::Jobs, Predicate::always_true(), Predicate::always_true(), exp())
-                .unwrap_err();
+        let err = PxqlQuery::new(
+            SubjectKind::Jobs,
+            Predicate::always_true(),
+            Predicate::always_true(),
+            exp(),
+        )
+        .unwrap_err();
         assert!(matches!(err, PxqlError::Invalid(_)));
     }
 
     #[test]
     fn identical_observed_and_expected_rejected() {
-        let err = PxqlQuery::new(SubjectKind::Tasks, Predicate::always_true(), obs(), obs())
-            .unwrap_err();
+        let err =
+            PxqlQuery::new(SubjectKind::Tasks, Predicate::always_true(), obs(), obs()).unwrap_err();
         assert!(matches!(err, PxqlError::Invalid(_)));
     }
 

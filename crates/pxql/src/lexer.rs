@@ -122,48 +122,81 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                 i += 1;
             }
             '∧' => {
-                tokens.push(SpannedToken { token: Token::And, offset });
+                tokens.push(SpannedToken {
+                    token: Token::And,
+                    offset,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(SpannedToken { token: Token::Comma, offset });
+                tokens.push(SpannedToken {
+                    token: Token::Comma,
+                    offset,
+                });
                 i += 1;
             }
             '.' => {
-                tokens.push(SpannedToken { token: Token::Dot, offset });
+                tokens.push(SpannedToken {
+                    token: Token::Dot,
+                    offset,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(SpannedToken { token: Token::LParen, offset });
+                tokens.push(SpannedToken {
+                    token: Token::LParen,
+                    offset,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(SpannedToken { token: Token::RParen, offset });
+                tokens.push(SpannedToken {
+                    token: Token::RParen,
+                    offset,
+                });
                 i += 1;
             }
             '?' => {
-                tokens.push(SpannedToken { token: Token::Placeholder, offset });
+                tokens.push(SpannedToken {
+                    token: Token::Placeholder,
+                    offset,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(SpannedToken { token: Token::Eq, offset });
+                tokens.push(SpannedToken {
+                    token: Token::Eq,
+                    offset,
+                });
                 i += 1;
             }
             '≠' => {
-                tokens.push(SpannedToken { token: Token::Ne, offset });
+                tokens.push(SpannedToken {
+                    token: Token::Ne,
+                    offset,
+                });
                 i += 1;
             }
             '≤' => {
-                tokens.push(SpannedToken { token: Token::Le, offset });
+                tokens.push(SpannedToken {
+                    token: Token::Le,
+                    offset,
+                });
                 i += 1;
             }
             '≥' => {
-                tokens.push(SpannedToken { token: Token::Ge, offset });
+                tokens.push(SpannedToken {
+                    token: Token::Ge,
+                    offset,
+                });
                 i += 1;
             }
             '!' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(SpannedToken { token: Token::Ne, offset });
+                    tokens.push(SpannedToken {
+                        token: Token::Ne,
+                        offset,
+                    });
                     i += 2;
                 } else {
                     return Err(ParseError::new("expected '=' after '!'", offset));
@@ -171,22 +204,37 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
             }
             '<' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(SpannedToken { token: Token::Le, offset });
+                    tokens.push(SpannedToken {
+                        token: Token::Le,
+                        offset,
+                    });
                     i += 2;
                 } else if bytes.get(i + 1) == Some(&'>') {
-                    tokens.push(SpannedToken { token: Token::Ne, offset });
+                    tokens.push(SpannedToken {
+                        token: Token::Ne,
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Lt, offset });
+                    tokens.push(SpannedToken {
+                        token: Token::Lt,
+                        offset,
+                    });
                     i += 1;
                 }
             }
             '>' => {
                 if bytes.get(i + 1) == Some(&'=') {
-                    tokens.push(SpannedToken { token: Token::Ge, offset });
+                    tokens.push(SpannedToken {
+                        token: Token::Ge,
+                        offset,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(SpannedToken { token: Token::Gt, offset });
+                    tokens.push(SpannedToken {
+                        token: Token::Gt,
+                        offset,
+                    });
                     i += 1;
                 }
             }
@@ -235,7 +283,10 @@ pub fn tokenize(input: &str) -> Result<Vec<SpannedToken>, ParseError> {
                     if d.is_ascii_digit() {
                         num.push(d);
                         j += 1;
-                    } else if d == '.' && !seen_dot && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit()) {
+                    } else if d == '.'
+                        && !seen_dot
+                        && bytes.get(j + 1).is_some_and(|n| n.is_ascii_digit())
+                    {
                         seen_dot = true;
                         num.push(d);
                         j += 1;
@@ -295,7 +346,11 @@ mod tests {
     use super::*;
 
     fn kinds(input: &str) -> Vec<Token> {
-        tokenize(input).unwrap().into_iter().map(|t| t.token).collect()
+        tokenize(input)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.token)
+            .collect()
     }
 
     #[test]
@@ -314,7 +369,10 @@ mod tests {
 
     #[test]
     fn keywords_are_case_insensitive() {
-        assert_eq!(kinds("observed And eXpEcTeD"), vec![Token::Observed, Token::And, Token::Expected]);
+        assert_eq!(
+            kinds("observed And eXpEcTeD"),
+            vec![Token::Observed, Token::And, Token::Expected]
+        );
     }
 
     #[test]
@@ -355,7 +413,10 @@ mod tests {
     #[test]
     fn size_suffixes_scale_numbers() {
         assert_eq!(kinds("128MB"), vec![Token::Number(128.0 * 1024.0 * 1024.0)]);
-        assert_eq!(kinds("1.5GB"), vec![Token::Number(1.5 * 1024.0 * 1024.0 * 1024.0)]);
+        assert_eq!(
+            kinds("1.5GB"),
+            vec![Token::Number(1.5 * 1024.0 * 1024.0 * 1024.0)]
+        );
         assert_eq!(kinds("30min"), vec![Token::Number(1800.0)]);
         assert!(tokenize("12parsecs").is_err());
     }
@@ -373,10 +434,7 @@ mod tests {
             kinds("'simple-filter.pig'"),
             vec![Token::StringLit("simple-filter.pig".to_string())]
         );
-        assert_eq!(
-            kinds("'it''s'"),
-            vec![Token::StringLit("it's".to_string())]
-        );
+        assert_eq!(kinds("'it''s'"), vec![Token::StringLit("it's".to_string())]);
         assert!(tokenize("'oops").is_err());
     }
 

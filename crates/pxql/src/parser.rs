@@ -109,7 +109,11 @@ impl Parser {
         let feature = self.expect_ident("a feature name")?;
         let op = self.parse_op()?;
         let constant = self.parse_constant()?;
-        Ok(Atom { feature, op, constant })
+        Ok(Atom {
+            feature,
+            op,
+            constant,
+        })
     }
 
     fn parse_predicate(&mut self) -> Result<Predicate, ParseError> {
@@ -270,10 +274,8 @@ mod tests {
     #[test]
     fn parses_paper_query_1() {
         // Figure 1, query 1: unconstrained "why same duration".
-        let q = parse_query(
-            "OBSERVED duration_compare = SIM\nEXPECTED duration_compare = GT",
-        )
-        .unwrap();
+        let q =
+            parse_query("OBSERVED duration_compare = SIM\nEXPECTED duration_compare = GT").unwrap();
         assert_eq!(q.subject, SubjectKind::Jobs);
         assert!(q.despite.is_trivial());
         assert_eq!(q.observed.to_string(), "duration_compare = SIM");
@@ -352,19 +354,16 @@ mod tests {
 
     #[test]
     fn identical_clauses_are_invalid() {
-        let err = parse_query(
-            "OBSERVED duration_compare = SIM EXPECTED duration_compare = SIM",
-        )
-        .unwrap_err();
+        let err = parse_query("OBSERVED duration_compare = SIM EXPECTED duration_compare = SIM")
+            .unwrap_err();
         assert!(matches!(err, PxqlError::Invalid(_)));
     }
 
     #[test]
     fn trailing_garbage_is_an_error() {
-        let err = parse_query(
-            "OBSERVED duration_compare = SIM EXPECTED duration_compare = GT banana",
-        )
-        .unwrap_err();
+        let err =
+            parse_query("OBSERVED duration_compare = SIM EXPECTED duration_compare = GT banana")
+                .unwrap_err();
         assert!(matches!(err, PxqlError::Parse(_)));
     }
 
@@ -392,10 +391,12 @@ mod tests {
         .unwrap();
         assert_eq!(despite.width(), 1);
         assert_eq!(because.width(), 2);
-        assert_eq!(because.atoms()[0].constant, Value::Num(128.0 * 1024.0 * 1024.0));
+        assert_eq!(
+            because.atoms()[0].constant,
+            Value::Num(128.0 * 1024.0 * 1024.0)
+        );
 
-        let (despite, because) =
-            parse_explanation_str("BECAUSE avg_cpu_user_isSame = F").unwrap();
+        let (despite, because) = parse_explanation_str("BECAUSE avg_cpu_user_isSame = F").unwrap();
         assert!(despite.is_trivial());
         assert_eq!(because.width(), 1);
 

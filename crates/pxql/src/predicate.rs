@@ -39,7 +39,10 @@ impl Op {
                 feature.pxql_cmp(constant),
                 Some(std::cmp::Ordering::Less) | Some(std::cmp::Ordering::Equal)
             ),
-            Op::Gt => matches!(feature.pxql_cmp(constant), Some(std::cmp::Ordering::Greater)),
+            Op::Gt => matches!(
+                feature.pxql_cmp(constant),
+                Some(std::cmp::Ordering::Greater)
+            ),
             Op::Ge => matches!(
                 feature.pxql_cmp(constant),
                 Some(std::cmp::Ordering::Greater) | Some(std::cmp::Ordering::Equal)
@@ -330,10 +333,7 @@ mod tests {
             Atom::eq("inputsize_compare", "GT"),
             Atom::new("blocksize", Op::Ge, 128i64),
         ]);
-        assert_eq!(
-            p.to_string(),
-            "inputsize_compare = GT AND blocksize >= 128"
-        );
+        assert_eq!(p.to_string(), "inputsize_compare = GT AND blocksize >= 128");
         assert_eq!(Predicate::always_true().to_string(), "true");
     }
 }

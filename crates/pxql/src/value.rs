@@ -153,8 +153,15 @@ impl fmt::Display for Value {
             Value::Str(s) => {
                 let is_keyword = matches!(
                     s.to_ascii_uppercase().as_str(),
-                    "FOR" | "WHERE" | "DESPITE" | "OBSERVED" | "EXPECTED" | "BECAUSE" | "AND"
-                        | "TRUE" | "NULL"
+                    "FOR"
+                        | "WHERE"
+                        | "DESPITE"
+                        | "OBSERVED"
+                        | "EXPECTED"
+                        | "BECAUSE"
+                        | "AND"
+                        | "TRUE"
+                        | "NULL"
                 );
                 // Dots are excluded because bare identifiers cannot contain
                 // them (they would collide with the `J1.JobID` syntax);
@@ -162,7 +169,9 @@ impl fmt::Display for Value {
                 // rendered quoted and re-parse losslessly.
                 let bare_safe = !s.is_empty()
                     && !is_keyword
-                    && s.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_')
+                    && s.chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphabetic() || c == '_')
                     && s.chars()
                         .all(|c| c.is_alphanumeric() || c == '_' || c == '-');
                 if bare_safe {

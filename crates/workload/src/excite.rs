@@ -61,16 +61,57 @@ pub struct ExciteLog {
 }
 
 const QUERY_TERMS: &[&str] = &[
-    "yellowstone", "weather", "maps", "hotel", "cheap", "flights", "recipe", "chicken",
-    "football", "scores", "lyrics", "java", "tutorial", "movies", "showtimes", "stock",
-    "quotes", "news", "election", "travel", "insurance", "university", "rankings",
-    "pictures", "wallpaper", "games", "download", "music", "mp3", "history", "war",
-    "health", "symptoms", "diet", "jobs", "salary", "cars", "used", "review", "camera",
+    "yellowstone",
+    "weather",
+    "maps",
+    "hotel",
+    "cheap",
+    "flights",
+    "recipe",
+    "chicken",
+    "football",
+    "scores",
+    "lyrics",
+    "java",
+    "tutorial",
+    "movies",
+    "showtimes",
+    "stock",
+    "quotes",
+    "news",
+    "election",
+    "travel",
+    "insurance",
+    "university",
+    "rankings",
+    "pictures",
+    "wallpaper",
+    "games",
+    "download",
+    "music",
+    "mp3",
+    "history",
+    "war",
+    "health",
+    "symptoms",
+    "diet",
+    "jobs",
+    "salary",
+    "cars",
+    "used",
+    "review",
+    "camera",
 ];
 
 const URL_HOSTS: &[&str] = &[
-    "www.excite.com", "www.yahoo.com", "www.geocities.com", "www.altavista.com",
-    "members.aol.com", "www.angelfire.com", "www.hotmail.com", "www.lycos.com",
+    "www.excite.com",
+    "www.yahoo.com",
+    "www.geocities.com",
+    "www.altavista.com",
+    "members.aol.com",
+    "www.angelfire.com",
+    "www.hotmail.com",
+    "www.lycos.com",
 ];
 
 fn zipf_rank(rng: &mut StdRng, n: usize, exponent: f64) -> usize {
@@ -118,7 +159,11 @@ impl ExciteSpec {
             };
             seen_users[user_rank] = true;
             // Excite anonymised cookies look like hex blobs.
-            let cookie = format!("{:08X}{:04X}", user_rank as u64 * 2_654_435_761 % 0xFFFF_FFFF, user_rank);
+            let cookie = format!(
+                "{:08X}{:04X}",
+                user_rank as u64 * 2_654_435_761 % 0xFFFF_FFFF,
+                user_rank
+            );
             let timestamp = 971_000_000 + (i as u64 * 7) % 86_400;
 
             let is_url = rng.random_range(0.0f64..1.0) < self.url_fraction;
@@ -204,7 +249,11 @@ mod tests {
             ..ExciteSpec::default()
         }
         .generate();
-        assert!((log.url_fraction - 0.2).abs() < 0.02, "{}", log.url_fraction);
+        assert!(
+            (log.url_fraction - 0.2).abs() < 0.02,
+            "{}",
+            log.url_fraction
+        );
         assert!((log.filter_selectivity() - 0.8).abs() < 0.02);
         let urls = log.text.lines().filter(|l| l.contains("http://")).count();
         assert_eq!(urls as f64 / 10_000.0, log.url_fraction);

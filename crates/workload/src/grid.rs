@@ -17,12 +17,11 @@
 //! configuration is a separate EC2 cluster + job submission).
 
 use crate::excite::{ExciteLog, ExciteSpec};
-use crossbeam::channel;
 use hadoop_logs::collect_traces;
 use mrsim::{Cluster, ClusterSpec, JobSpec, JobTrace, PigScript, GB, MB};
-use parking_lot::Mutex;
 use perfxplain_core::ExecutionLog;
 use serde::{Deserialize, Serialize};
+use std::sync::Mutex;
 
 /// The paper's base input: 30 copies of the Excite sample ≈ 1.3 GB.
 pub const BYTES_PER_30_COPIES: u64 = (1.3 * GB as f64) as u64;
@@ -228,7 +227,12 @@ impl SweepResult {
     }
 }
 
-fn run_configuration(config: &JobConfiguration, index: usize, options: &SweepOptions, excite: &ExciteLog) -> JobTrace {
+fn run_configuration(
+    config: &JobConfiguration,
+    index: usize,
+    options: &SweepOptions,
+    excite: &ExciteLog,
+) -> JobTrace {
     let spec = ClusterSpec::with_instances(config.instances);
     // Every configuration gets its own cluster and deterministic sub-seed.
     let seed = options
@@ -257,29 +261,27 @@ pub fn run_sweep(grid: &GridSpec, options: &SweepOptions) -> SweepResult {
     } else {
         // Fan the configurations out over a small worker pool; results are
         // collected by index so the output order is deterministic.
-        let (task_tx, task_rx) = channel::unbounded::<(usize, JobConfiguration)>();
-        for item in configurations.iter().cloned().enumerate() {
-            task_tx.send(item).expect("channel open");
-        }
-        drop(task_tx);
-
-        let results: Mutex<Vec<Option<JobTrace>>> =
-            Mutex::new(vec![None; configurations.len()]);
+        let next = std::sync::atomic::AtomicUsize::new(0);
+        let results: Mutex<Vec<Option<JobTrace>>> = Mutex::new(vec![None; configurations.len()]);
         std::thread::scope(|scope| {
             for _ in 0..options.parallelism.min(configurations.len()) {
-                let task_rx = task_rx.clone();
+                let next = &next;
                 let results = &results;
                 let excite = &excite;
-                scope.spawn(move || {
-                    while let Ok((index, config)) = task_rx.recv() {
-                        let trace = run_configuration(&config, index, options, excite);
-                        results.lock()[index] = Some(trace);
+                let configurations = &configurations;
+                scope.spawn(move || loop {
+                    let index = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if index >= configurations.len() {
+                        break;
                     }
+                    let trace = run_configuration(&configurations[index], index, options, excite);
+                    results.lock().expect("worker poisoned the results")[index] = Some(trace);
                 });
             }
         });
         results
             .into_inner()
+            .expect("worker poisoned the results")
             .into_iter()
             .map(|t| t.expect("every configuration produced a trace"))
             .collect()
@@ -352,8 +354,14 @@ mod tests {
     #[test]
     fn sweep_is_deterministic_and_parallelism_invariant() {
         let grid = GridSpec::reduced();
-        let serial = run_sweep(&grid, &SweepOptions::default().with_stride(16).with_parallelism(1));
-        let parallel = run_sweep(&grid, &SweepOptions::default().with_stride(16).with_parallelism(4));
+        let serial = run_sweep(
+            &grid,
+            &SweepOptions::default().with_stride(16).with_parallelism(1),
+        );
+        let parallel = run_sweep(
+            &grid,
+            &SweepOptions::default().with_stride(16).with_parallelism(4),
+        );
         assert_eq!(serial.configurations, parallel.configurations);
         let serial_durations: Vec<f64> = serial.traces.iter().map(|t| t.duration()).collect();
         let parallel_durations: Vec<f64> = parallel.traces.iter().map(|t| t.duration()).collect();
@@ -364,7 +372,10 @@ mod tests {
     fn stride_reduces_the_number_of_runs() {
         let grid = GridSpec::reduced();
         let all = grid.configurations().len();
-        let strided = run_sweep(&grid, &SweepOptions::default().with_stride(10).with_parallelism(1));
+        let strided = run_sweep(
+            &grid,
+            &SweepOptions::default().with_stride(10).with_parallelism(1),
+        );
         assert_eq!(strided.traces.len(), all.div_ceil(10));
     }
 }

@@ -87,9 +87,8 @@ mod tests {
     fn different_seeds_give_different_runtimes() {
         let a = build_execution_log(LogPreset::Tiny, 1);
         let b = build_execution_log(LogPreset::Tiny, 2);
-        let d = |log: &ExecutionLog| -> f64 {
-            log.jobs().filter_map(|j| j.duration()).sum::<f64>()
-        };
+        let d =
+            |log: &ExecutionLog| -> f64 { log.jobs().filter_map(|j| j.duration()).sum::<f64>() };
         assert_ne!(d(&a), d(&b));
     }
 }

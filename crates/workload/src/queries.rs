@@ -134,14 +134,16 @@ pub fn why_slower_despite_same_num_instances(log: &ExecutionLog) -> Option<Query
             if slow.id == fast.id {
                 continue;
             }
-            let (Some(inst_a), Some(inst_b)) = (num(slow, "numinstances"), num(fast, "numinstances"))
+            let (Some(inst_a), Some(inst_b)) =
+                (num(slow, "numinstances"), num(fast, "numinstances"))
             else {
                 continue;
             };
             if inst_a != inst_b {
                 continue;
             }
-            let (Some(script_a), Some(script_b)) = (text(slow, "pigscript"), text(fast, "pigscript"))
+            let (Some(script_a), Some(script_b)) =
+                (text(slow, "pigscript"), text(fast, "pigscript"))
             else {
                 continue;
             };
@@ -191,8 +193,7 @@ mod tests {
     #[test]
     fn job_query_finds_a_valid_pair_of_interest() {
         let log = tiny_log();
-        let binding =
-            why_slower_despite_same_num_instances(&log).expect("a slower job exists");
+        let binding = why_slower_despite_same_num_instances(&log).expect("a slower job exists");
         assert_eq!(binding.name, "WhySlowerDespiteSameNumInstances");
         let pair = binding
             .bound

@@ -19,10 +19,10 @@
 //!
 //! Run with `cargo run --release --example debug_slow_job`.
 
+use mrsim::{GB, MB};
 use perfxplain::prelude::*;
 use perfxplain::BoundQuery;
 use perfxplain::{assess, prepare_training_set};
-use mrsim::{GB, MB};
 
 fn main() {
     // ------------------------------------------------------------------
@@ -56,11 +56,19 @@ fn main() {
     // recommended 128 MB block size, on the 150-instance cluster.
     let slow_big = traces
         .iter()
-        .find(|t| t.spec.input_bytes == 32 * GB && t.spec.dfs_block_size == 128 * MB && t.cluster.num_instances == 150)
+        .find(|t| {
+            t.spec.input_bytes == 32 * GB
+                && t.spec.dfs_block_size == 128 * MB
+                && t.cluster.num_instances == 150
+        })
         .unwrap();
     let same_small = traces
         .iter()
-        .find(|t| t.spec.input_bytes == GB && t.spec.dfs_block_size == 128 * MB && t.cluster.num_instances == 150)
+        .find(|t| {
+            t.spec.input_bytes == GB
+                && t.spec.dfs_block_size == 128 * MB
+                && t.cluster.num_instances == 150
+        })
         .unwrap();
     println!(
         "  32 GB job took {:.0} s, 1 GB job took {:.0} s — the user expected a big speed-up!\n",

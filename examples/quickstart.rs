@@ -47,12 +47,14 @@ fn main() {
         .explain(&log, &binding.bound)
         .expect("explanation generation succeeds");
     println!("explanation:\n{explanation}\n");
-    println!("in plain English: {}\n", narrate(&binding.bound, &explanation));
+    println!(
+        "in plain English: {}\n",
+        narrate(&binding.bound, &explanation)
+    );
 
     // 4. How good is it?  Relevance / precision / generality over the
     //    related pairs of the log (Definitions 4-6 of the paper).
-    let related = prepare_training_set(&log, &binding.bound, &config)
-        .expect("related pairs exist");
+    let related = prepare_training_set(&log, &binding.bound, &config).expect("related pairs exist");
     let quality = assess(&related, &explanation);
     println!(
         "quality on {} related pairs: precision {:.2}, generality {:.2}, relevance {:.2}",

@@ -11,7 +11,7 @@
 //! Run with `cargo run --release --example task_skew_investigation`.
 
 use perfxplain::prelude::*;
-use perfxplain::{relevance, prepare_training_set, BoundQuery};
+use perfxplain::{prepare_training_set, relevance, BoundQuery};
 use pxql::Predicate;
 
 fn main() {

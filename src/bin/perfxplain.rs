@@ -51,7 +51,14 @@ impl Args {
             if let Some(name) = arg.strip_prefix("--") {
                 let takes_value = matches!(
                     name,
-                    "preset" | "seed" | "out" | "log" | "query" | "query-text" | "left" | "right"
+                    "preset"
+                        | "seed"
+                        | "out"
+                        | "log"
+                        | "query"
+                        | "query-text"
+                        | "left"
+                        | "right"
                         | "width"
                 );
                 if takes_value {
@@ -84,8 +91,8 @@ fn load_log(args: &Args) -> ExecutionLog {
     let path = args
         .get("log")
         .unwrap_or_else(|| fail("--log <file.json> is required"));
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
     ExecutionLog::from_json(&text).unwrap_or_else(|e| fail(&format!("cannot parse {path}: {e}")))
 }
 
@@ -94,13 +101,18 @@ fn preset_from(args: &Args) -> LogPreset {
         "tiny" => LogPreset::Tiny,
         "small" => LogPreset::Small,
         "paper" => LogPreset::PaperGrid,
-        other => fail(&format!("unknown preset '{other}' (expected tiny|small|paper)")),
+        other => fail(&format!(
+            "unknown preset '{other}' (expected tiny|small|paper)"
+        )),
     }
 }
 
 fn seed_from(args: &Args) -> u64 {
     args.get("seed")
-        .map(|s| s.parse().unwrap_or_else(|_| fail("--seed expects a number")))
+        .map(|s| {
+            s.parse()
+                .unwrap_or_else(|_| fail("--seed expects a number"))
+        })
         .unwrap_or(42)
 }
 
@@ -149,11 +161,27 @@ fn cmd_inspect(args: &Args) {
 fn cmd_queries(args: &Args) {
     let log = load_log(args);
     match why_slower_despite_same_num_instances(&log) {
-        Some(binding) => println!("{}:\n{}\n", binding.name, binding.bound.query.clone().with_pair(binding.bound.left_id.clone(), binding.bound.right_id.clone())),
-        None => println!("WhySlowerDespiteSameNumInstances: no suitable pair of jobs in this log\n"),
+        Some(binding) => println!(
+            "{}:\n{}\n",
+            binding.name,
+            binding.bound.query.clone().with_pair(
+                binding.bound.left_id.clone(),
+                binding.bound.right_id.clone()
+            )
+        ),
+        None => {
+            println!("WhySlowerDespiteSameNumInstances: no suitable pair of jobs in this log\n")
+        }
     }
     match why_last_task_faster(&log) {
-        Some(binding) => println!("{}:\n{}", binding.name, binding.bound.query.clone().with_pair(binding.bound.left_id.clone(), binding.bound.right_id.clone())),
+        Some(binding) => println!(
+            "{}:\n{}",
+            binding.name,
+            binding.bound.query.clone().with_pair(
+                binding.bound.left_id.clone(),
+                binding.bound.right_id.clone()
+            )
+        ),
         None => println!("WhyLastTaskFaster: no suitable pair of tasks in this log"),
     }
 }
@@ -178,7 +206,9 @@ fn cmd_explain(args: &Args) {
 
     let mut config = ExplainConfig::default();
     if let Some(width) = args.get("width") {
-        config.width = width.parse().unwrap_or_else(|_| fail("--width expects a number"));
+        config.width = width
+            .parse()
+            .unwrap_or_else(|_| fail("--width expects a number"));
     }
     let engine = PerfXplain::new(config.clone());
 
@@ -188,7 +218,9 @@ fn cmd_explain(args: &Args) {
             .unwrap_or_else(|e| fail(&e.to_string()))
     } else {
         (
-            engine.explain(&log, &bound).unwrap_or_else(|e| fail(&e.to_string())),
+            engine
+                .explain(&log, &bound)
+                .unwrap_or_else(|e| fail(&e.to_string())),
             bound.clone(),
         )
     };

@@ -34,12 +34,11 @@
 
 pub use perfxplain_core::{
     assess, compute_pair_features, evaluate_on_log, generality, generate_explanation, narrate,
-    precision, prepare_training_set, relevance, split_log, train_test_round, Aggregate,
-    BoundQuery, CoreError, EvaluationResult,
-    ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig, Explanation, ExplanationQuality,
-    FeatureCatalog, FeatureDef, FeatureKind, FeatureLevel, MetricEstimate, PairCatalog,
-    PairExample, PairFeatureGroup, PairLabel, PerfXplain, RuleOfThumb, SimButDiff, Technique,
-    TrainingSet, DEFAULT_SIM_THRESHOLD, DURATION_FEATURE,
+    precision, prepare_training_set, relevance, split_log, train_test_round, Aggregate, BoundQuery,
+    CoreError, EvaluationResult, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig,
+    Explanation, ExplanationQuality, FeatureCatalog, FeatureDef, FeatureKind, FeatureLevel,
+    MetricEstimate, PairCatalog, PairExample, PairFeatureGroup, PairLabel, PerfXplain, RuleOfThumb,
+    SimButDiff, Technique, TrainingSet, DEFAULT_SIM_THRESHOLD, DURATION_FEATURE,
 };
 
 pub use hadoop_logs;
@@ -58,8 +57,8 @@ pub mod prelude {
     pub use mrsim::{Cluster, ClusterSpec, JobSpec, PigScript};
     pub use pxql::{parse_predicate, parse_query, Predicate, Value};
     pub use workload::{
-        build_execution_log, why_last_task_faster, why_slower_despite_same_num_instances,
-        GridSpec, LogPreset, SweepOptions,
+        build_execution_log, why_last_task_faster, why_slower_despite_same_num_instances, GridSpec,
+        LogPreset, SweepOptions,
     };
 }
 

@@ -65,9 +65,10 @@ fn task_query_end_to_end() {
     // concurrency (Ganglia metrics) or placement — not about identifiers.
     let features = explanation.because.features();
     assert!(
-        features
-            .iter()
-            .any(|f| f.starts_with("avg_") || f.contains("load") || f.contains("cpu") || f.contains("proc")),
+        features.iter().any(|f| f.starts_with("avg_")
+            || f.contains("load")
+            || f.contains("cpu")
+            || f.contains("proc")),
         "unexpected task explanation: {}",
         explanation.because
     );
@@ -120,10 +121,7 @@ fn generated_despite_clause_improves_relevance_of_underspecified_query() {
 
     // Strip the despite clause.
     let underspecified = perfxplain::BoundQuery::new(
-        parse_query(
-            "OBSERVED duration_compare = GT\nEXPECTED duration_compare = SIM",
-        )
-        .unwrap(),
+        parse_query("OBSERVED duration_compare = GT\nEXPECTED duration_compare = SIM").unwrap(),
         &binding.bound.left_id,
         &binding.bound.right_id,
     );
@@ -170,8 +168,12 @@ fn explanations_are_deterministic_for_a_fixed_seed() {
     let log = tiny_log();
     let binding = why_last_task_faster(&log).expect("pair of interest");
     let config = ExplainConfig::default().with_seed(77);
-    let a = PerfXplain::new(config.clone()).explain(&log, &binding.bound).unwrap();
-    let b = PerfXplain::new(config).explain(&log, &binding.bound).unwrap();
+    let a = PerfXplain::new(config.clone())
+        .explain(&log, &binding.bound)
+        .unwrap();
+    let b = PerfXplain::new(config)
+        .explain(&log, &binding.bound)
+        .unwrap();
     assert_eq!(a, b);
 }
 
@@ -180,7 +182,9 @@ fn feature_levels_restrict_explanation_vocabulary_end_to_end() {
     let log = tiny_log();
     let binding = why_slower_despite_same_num_instances(&log).expect("pair of interest");
     let config = ExplainConfig::default().with_feature_level(FeatureLevel::Level1);
-    let explanation = PerfXplain::new(config).explain(&log, &binding.bound).unwrap();
+    let explanation = PerfXplain::new(config)
+        .explain(&log, &binding.bound)
+        .unwrap();
     for atom in explanation.because.atoms() {
         assert!(
             atom.feature.ends_with("_isSame"),

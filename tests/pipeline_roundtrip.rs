@@ -49,10 +49,7 @@ fn filesystem_round_trip_produces_identical_execution_logs() {
     let bundles: Vec<JobLogBundle> = traces.iter().map(JobLogBundle::from_trace).collect();
 
     // Write all bundles to a temporary directory, read them back, collect.
-    let root = std::env::temp_dir().join(format!(
-        "perfxplain-pipeline-it-{}",
-        std::process::id()
-    ));
+    let root = std::env::temp_dir().join(format!("perfxplain-pipeline-it-{}", std::process::id()));
     let _ = fs::remove_dir_all(&root);
     fs::create_dir_all(&root).unwrap();
     for bundle in &bundles {
@@ -66,8 +63,14 @@ fn filesystem_round_trip_produces_identical_execution_logs() {
     assert_eq!(direct.jobs().count(), via_disk.jobs().count());
     assert_eq!(direct.tasks().count(), via_disk.tasks().count());
     for job in direct.jobs() {
-        let other = via_disk.get(&job.id).expect("job present after disk round trip");
-        assert_eq!(job.features, other.features, "features differ for {}", job.id);
+        let other = via_disk
+            .get(&job.id)
+            .expect("job present after disk round trip");
+        assert_eq!(
+            job.features, other.features,
+            "features differ for {}",
+            job.id
+        );
     }
 }
 
@@ -95,7 +98,10 @@ fn collected_features_reflect_simulated_configuration_and_load() {
             .map_tasks()
             .map(|t| t.counter("MAP_INPUT_BYTES"))
             .sum();
-        assert_eq!(job.feature("map_input_bytes"), Value::Num(expected_input as f64));
+        assert_eq!(
+            job.feature("map_input_bytes"),
+            Value::Num(expected_input as f64)
+        );
     }
 
     // Task records carry monitoring averages consistent with contention:

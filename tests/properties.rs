@@ -1,7 +1,8 @@
 //! Property-based tests (proptest) on the core invariants of the data model
-//! and the query language.
+//! and the query language, plus old/new equivalence properties of the
+//! streaming columnar training pipeline.
 
-use perfxplain::pxql::{parse_predicate, Atom, Op, Predicate, Value};
+use perfxplain::pxql::{parse_predicate, parse_query, Atom, Op, Predicate, Value};
 use perfxplain::{
     compute_pair_features, BoundQuery, ExecutionLog, ExecutionRecord, ExplainConfig,
     FeatureCatalog, FeatureDef, PairExample, PairLabel,
@@ -140,7 +141,11 @@ fn arb_atom() -> impl Strategy<Value = Atom> {
             "[A-Za-z][A-Za-z0-9_.-]{0,8}".prop_map(Value::Str),
         ],
     )
-        .prop_map(|(feature, op, constant)| Atom { feature, op, constant })
+        .prop_map(|(feature, op, constant)| Atom {
+            feature,
+            op,
+            constant,
+        })
 }
 
 proptest! {
@@ -224,6 +229,227 @@ proptest! {
                     prop_assert!((0.0..=1.0).contains(&v));
                 }
             }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming columnar pipeline ≡ map-based pipeline
+// ---------------------------------------------------------------------------
+
+/// A deterministic pseudo-random log: numeric and nominal features, missing
+/// values, and duration regimes that give both observed and expected pairs.
+fn random_log(seed: u64) -> ExecutionLog {
+    fn mix(mut z: u64) -> u64 {
+        z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+    let mut log = ExecutionLog::new();
+    let n = 10 + (mix(seed) % 8) as usize;
+    for i in 0..n {
+        let h = mix(seed.wrapping_mul(31).wrapping_add(i as u64));
+        let input = [1.0e9, 4.0e9, 32.0e9][(h % 3) as usize];
+        let blocks = [64.0, 256.0, 1024.0][((h >> 8) % 3) as usize];
+        let script = ["a.pig", "b.pig", "c.pig"][((h >> 16) % 3) as usize];
+        let fast = (h >> 24).is_multiple_of(2);
+        let duration = if fast {
+            600.0
+        } else {
+            input / 5.0e7 + (h % 7) as f64
+        };
+        let mut record = ExecutionRecord::job(format!("job_{i}"))
+            .with_feature("inputsize", input)
+            .with_feature("blocksize", blocks)
+            .with_feature("duration", duration);
+        // Sprinkle in missing and nominal features.
+        if !(h >> 32).is_multiple_of(4) {
+            record.set_feature("pigscript", script);
+        }
+        if !(h >> 34).is_multiple_of(3) {
+            record.set_feature("iosortfactor", 10.0 + ((h >> 36) % 3) as f64);
+        }
+        log.push(record);
+    }
+    log.rebuild_catalogs();
+    log
+}
+
+/// A pool of structurally different queries: compare / isSame-blocking /
+/// no-despite / base-feature atoms.
+fn query_pool() -> Vec<perfxplain::pxql::PxqlQuery> {
+    let mut queries = vec![
+        parse_query(
+            "DESPITE inputsize_compare = GT\n\
+             OBSERVED duration_compare = SIM\n\
+             EXPECTED duration_compare = GT",
+        )
+        .unwrap(),
+        parse_query(
+            "DESPITE pigscript_isSame = T\n\
+             OBSERVED duration_compare = GT\n\
+             EXPECTED duration_compare = SIM",
+        )
+        .unwrap(),
+        parse_query(
+            "OBSERVED duration_compare = SIM\n\
+             EXPECTED duration_compare = GT",
+        )
+        .unwrap(),
+    ];
+    // A despite clause over a base feature and an isSame feature together.
+    let base = parse_query("OBSERVED duration_compare = SIM\nEXPECTED duration_compare = GT")
+        .unwrap()
+        .with_despite(Predicate::from_atoms(vec![
+            Atom::new("blocksize", Op::Ge, 256i64),
+            Atom::eq("inputsize_isSame", false),
+        ]));
+    queries.push(base);
+    queries
+}
+
+/// The eager, map-based reference: classify every ordered pair through
+/// `compute_selected_pair_features` (exactly what the seed implementation
+/// did, minus blocking/capping, which only prune pairs that classify as
+/// unrelated anyway).
+fn reference_related_pairs(
+    log: &ExecutionLog,
+    query: &BoundQuery,
+    config: &ExplainConfig,
+) -> Vec<(usize, usize, PairLabel)> {
+    let records: Vec<&ExecutionRecord> = log.jobs().collect();
+    let mut related = Vec::new();
+    for i in 0..records.len() {
+        for j in 0..records.len() {
+            if i == j {
+                continue;
+            }
+            let label = query.classify_records(log, records[i], records[j], config.sim_threshold);
+            if label.is_related() {
+                related.push((i, j, label));
+            }
+        }
+    }
+    related
+}
+
+/// An uncapped configuration, so streaming and eager candidate selection
+/// are comparable as sets.
+fn uncapped_config() -> ExplainConfig {
+    let mut config = ExplainConfig::default().with_sample_size(400);
+    config.max_candidate_pairs = usize::MAX;
+    config
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The streaming enumerator yields exactly the related pairs (and
+    /// labels) of the eager map-based path.
+    #[test]
+    fn streaming_related_pairs_match_the_map_based_path(seed in 0u64..500) {
+        let log = random_log(seed);
+        let config = uncapped_config();
+        for query in query_pool() {
+            let bound = BoundQuery::new(query, "job_0", "job_1");
+            let (_, related) = perfxplain_core::training::collect_related_pairs(
+                &log, &bound, &config,
+            );
+            let mut streaming: Vec<(usize, usize, PairLabel)> = related
+                .iter()
+                .map(|p| (p.left, p.right, p.label))
+                .collect();
+            streaming.sort_unstable_by_key(|&(l, r, _)| (l, r));
+            let mut reference = reference_related_pairs(&log, &bound, &config);
+            reference.sort_unstable_by_key(|&(l, r, _)| (l, r));
+            prop_assert_eq!(streaming, reference);
+        }
+    }
+
+    /// The one-pass columnar dataset encoding produces a dataset identical
+    /// to the PairExample-map bridge: same schema, same pair-of-interest
+    /// row, same cells and labels — and therefore the same induced decision
+    /// tree.
+    #[test]
+    fn encoded_dataset_and_induced_tree_match_the_bridge(seed in 0u64..200) {
+        use perfxplain_core::bridge::DatasetBridge;
+        use perfxplain_core::pairs::PairCatalog;
+        use perfxplain::mlcore::{DecisionTree, TreeConfig};
+
+        let log = random_log(seed);
+        let config = uncapped_config();
+        for query in query_pool() {
+            let bound = BoundQuery::new(query, "job_0", "job_1");
+            let Ok(poi) = bound.verify_preconditions(&log, config.sim_threshold) else {
+                continue;
+            };
+            let Ok(encoded) =
+                perfxplain_core::training::prepare_encoded_training(&log, &bound, &config)
+            else {
+                continue;
+            };
+            let set = perfxplain::prepare_training_set(&log, &bound, &config).unwrap();
+            let catalog = PairCatalog::from_raw(log.job_catalog())
+                .restrict_to_groups(config.feature_level.allowed_groups());
+            let excluded = perfxplain_core::query::excluded_raw_features(&bound, &config);
+
+            let by_maps = DatasetBridge::build(&set, &poi, &catalog, &excluded);
+            let poi_rows = (
+                encoded.view.row_of(&bound.left_id).unwrap(),
+                encoded.view.row_of(&bound.right_id).unwrap(),
+            );
+            let by_view = DatasetBridge::encode_from_view(
+                &encoded, poi_rows, &catalog, &excluded, config.sim_threshold,
+            );
+
+            prop_assert_eq!(by_maps.num_attributes(), by_view.num_attributes());
+            for attr in 0..by_maps.num_attributes() {
+                prop_assert_eq!(by_maps.attr_name(attr), by_view.attr_name(attr));
+                prop_assert_eq!(
+                    by_maps.poi_value(attr), by_view.poi_value(attr),
+                    "poi diverges on {} (seed {})", by_maps.attr_name(attr), seed
+                );
+            }
+            let (a, b) = (by_maps.dataset(), by_view.dataset());
+            prop_assert_eq!(a.len(), b.len());
+            prop_assert_eq!(a.labels(), b.labels());
+            prop_assert_eq!(a.attributes(), b.attributes());
+            for row in 0..a.len() {
+                prop_assert_eq!(a.row(row), b.row(row), "row {} diverges", row);
+            }
+
+            // Identical datasets induce identical decision trees.
+            let tree_a = DecisionTree::fit(a, TreeConfig::default());
+            let tree_b = DecisionTree::fit(b, TreeConfig::default());
+            prop_assert_eq!(tree_a.root(), tree_b.root());
+        }
+    }
+
+    /// The encoded end-to-end engine produces explanations identical to the
+    /// legacy map-based clause generation.
+    #[test]
+    fn encoded_explanations_match_the_map_based_path(seed in 0u64..200) {
+        let log = random_log(seed);
+        let config = uncapped_config();
+        let engine = perfxplain::PerfXplain::new(config.clone());
+        for query in query_pool() {
+            let bound = BoundQuery::new(query, "job_0", "job_1");
+            let Ok(poi) = bound.verify_preconditions(&log, config.sim_threshold) else {
+                continue;
+            };
+            let Ok(set) = perfxplain::prepare_training_set(&log, &bound, &config) else {
+                continue;
+            };
+            let new_path = engine.explain(&log, &bound).unwrap();
+            let legacy = engine.because_from_training(&set, &poi, &log, &bound);
+            prop_assert_eq!(
+                new_path.because, legacy,
+                "because clause diverges for seed {}", seed
+            );
+            let new_despite = engine.generate_despite(&log, &bound).unwrap();
+            let legacy_despite = engine.despite_from_training(&set, &poi, &log, &bound);
+            prop_assert_eq!(new_despite, legacy_despite);
         }
     }
 }

@@ -1,0 +1,596 @@
+//! Offline shim of `proptest`.
+//!
+//! Implements the slice of the proptest API this repository's property
+//! tests use: the [`Strategy`] trait with `prop_map`, range and tuple
+//! strategies, regex-subset string strategies, [`collection::vec`],
+//! [`Just`], `prop_oneof!`, `any::<T>()`, `ProptestConfig::with_cases` and
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` macros.  Cases are
+//! generated from a deterministic per-case seed; there is no shrinking —
+//! failures report the case number so the exact inputs can be regenerated.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Builds the deterministic RNG of one test case.
+pub fn test_rng(case: u64) -> TestRng {
+    StdRng::seed_from_u64(0xA5A5_5A5A_D00D_F00Du64.wrapping_add(case.wrapping_mul(0x9E37_79B9)))
+}
+
+/// A failed property check.
+#[derive(Debug, Clone)]
+pub struct TestCaseError {
+    message: String,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `func`.
+    fn prop_map<O, F>(self, func: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map {
+            strategy: self,
+            func,
+        }
+    }
+
+    /// Boxes the strategy for heterogeneous unions.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Helper used by `prop_oneof!` to unify strategy types.
+pub fn boxed_strategy<S: Strategy + 'static>(strategy: S) -> BoxedStrategy<S::Value> {
+    Box::new(strategy)
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    strategy: S,
+    func: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.func)(self.strategy.generate(rng))
+    }
+}
+
+/// Uniform choice between boxed strategies (built by `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics on an empty option list.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let index = rng.random_range(0..self.options.len());
+        self.options[index].generate(rng)
+    }
+}
+
+// --- numeric ranges --------------------------------------------------------
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for RangeInclusive<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        // Occasionally emit the exact endpoints, which closed ranges are
+        // typically used to probe.
+        match rng.random_range(0..20usize) {
+            0 => start,
+            1 => end,
+            _ => rng.random_range(start..end.max(start + f64::MIN_POSITIVE)),
+        }
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(usize, u64, u32);
+
+// --- tuples ----------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// --- any::<T>() ------------------------------------------------------------
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    /// Generates an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.random::<bool>()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut TestRng) -> u64 {
+        rng.random::<u64>()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut TestRng) -> u32 {
+        rng.random::<u64>() as u32
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut TestRng) -> usize {
+        rng.random::<u64>() as usize
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Mix of magnitudes, signs and special-ish values.
+        match rng.random_range(0..8usize) {
+            0 => 0.0,
+            1 => -rng.random::<f64>(),
+            2 => rng.random::<f64>() * 1.0e9,
+            3 => -rng.random::<f64>() * 1.0e9,
+            _ => rng.random::<f64>(),
+        }
+    }
+}
+
+/// The strategy behind [`any`].
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// An arbitrary value of type `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+// --- regex-subset string strategies ---------------------------------------
+
+enum PatternItem {
+    /// `.` — any printable character (plus a sprinkle of non-ASCII).
+    Dot,
+    /// A literal character.
+    Literal(char),
+    /// A character class `[...]`.
+    Class(Vec<char>),
+}
+
+struct PatternPart {
+    item: PatternItem,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>) -> Vec<char> {
+    let mut pool = Vec::new();
+    let mut pending: Option<char> = None;
+    loop {
+        let ch = chars.next().expect("unterminated character class");
+        match ch {
+            ']' => {
+                if let Some(p) = pending {
+                    pool.push(p);
+                }
+                return pool;
+            }
+            '-' => {
+                // A range if something is pending and an end follows;
+                // otherwise a literal dash.
+                match (pending.take(), chars.peek().copied()) {
+                    (Some(start), Some(end)) if end != ']' => {
+                        chars.next();
+                        for c in start..=end {
+                            pool.push(c);
+                        }
+                    }
+                    (start, _) => {
+                        if let Some(s) = start {
+                            pool.push(s);
+                        }
+                        pool.push('-');
+                    }
+                }
+            }
+            '\\' => {
+                if let Some(p) = pending.replace(chars.next().expect("dangling escape")) {
+                    pool.push(p);
+                }
+            }
+            other => {
+                if let Some(p) = pending.replace(other) {
+                    pool.push(p);
+                }
+            }
+        }
+    }
+}
+
+fn parse_quantifier(chars: &mut std::iter::Peekable<std::str::Chars>) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let mut spec = String::new();
+            for ch in chars.by_ref() {
+                if ch == '}' {
+                    break;
+                }
+                spec.push(ch);
+            }
+            match spec.split_once(',') {
+                Some((min, max)) => (
+                    min.trim().parse().expect("bad quantifier"),
+                    max.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse_pattern(pattern: &str) -> Vec<PatternPart> {
+    let mut chars = pattern.chars().peekable();
+    let mut parts = Vec::new();
+    while let Some(ch) = chars.next() {
+        let item = match ch {
+            '.' => PatternItem::Dot,
+            '[' => PatternItem::Class(parse_class(&mut chars)),
+            '\\' => PatternItem::Literal(chars.next().expect("dangling escape")),
+            other => PatternItem::Literal(other),
+        };
+        let (min, max) = parse_quantifier(&mut chars);
+        parts.push(PatternPart { item, min, max });
+    }
+    parts
+}
+
+/// Characters `.` draws from: printable ASCII plus a few multi-byte ones to
+/// exercise UTF-8 handling.
+const DOT_EXTRAS: [char; 6] = ['é', 'λ', '→', '☃', '中', '\u{00a0}'];
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let parts = parse_pattern(self);
+        let mut out = String::new();
+        for part in &parts {
+            let count = rng.random_range(part.min..=part.max);
+            for _ in 0..count {
+                match &part.item {
+                    PatternItem::Dot => {
+                        if rng.random_range(0..12usize) == 0 {
+                            out.push(DOT_EXTRAS[rng.random_range(0..DOT_EXTRAS.len())]);
+                        } else {
+                            out.push(char::from(rng.random_range(0x20u32..0x7f) as u8));
+                        }
+                    }
+                    PatternItem::Literal(c) => out.push(*c),
+                    PatternItem::Class(pool) => {
+                        out.push(pool[rng.random_range(0..pool.len())]);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+// --- collections -----------------------------------------------------------
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::RngExt;
+    use std::ops::Range;
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `size` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+// --- macros ----------------------------------------------------------------
+
+/// Defines property tests; see the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $($arg:ident in $strategy:expr),* $(,)? ) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases as u64 {
+                    let mut rng = $crate::test_rng(case);
+                    $(
+                        let $arg = $crate::Strategy::generate(&($strategy), &mut rng);
+                    )*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(error) = outcome {
+                        panic!("property failed at case {case}: {error}");
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {:?} != {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(left == right, $($fmt)*);
+    }};
+}
+
+/// Uniform choice between strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed_strategy($strategy)),+])
+    };
+}
+
+/// The usual glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_subset_generates_matching_strings() {
+        let mut rng = super::test_rng(1);
+        for _ in 0..200 {
+            let s = Strategy::generate(&"f_[a-z_]{0,10}", &mut rng);
+            assert!(s.starts_with("f_"));
+            assert!(s.len() <= 12);
+            assert!(s[2..].chars().all(|c| c.is_ascii_lowercase() || c == '_'));
+
+            let t = Strategy::generate(&"[A-Za-z][A-Za-z0-9_.-]{0,8}", &mut rng);
+            assert!(t.chars().next().unwrap().is_ascii_alphabetic());
+            assert!(t
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)));
+
+            let u = Strategy::generate(&"[ -~]{0,16}", &mut rng);
+            assert!(u.chars().all(|c| (' '..='~').contains(&c)));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in -5.0..5.0f64, n in 3usize..9) {
+            prop_assert!((-5.0..5.0).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn oneof_and_map_work(v in prop_oneof![Just(1usize), 5usize..7]) {
+            prop_assert!(v == 1 || v == 5 || v == 6, "v = {v}");
+        }
+
+        #[test]
+        fn vectors_respect_size(items in crate::collection::vec(any::<bool>(), 2..6)) {
+            prop_assert!((2..6).contains(&items.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+        #[test]
+        fn config_form_parses(seed in 0u64..100) {
+            prop_assert!(seed < 100);
+        }
+    }
+}

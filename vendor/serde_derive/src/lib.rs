@@ -1,0 +1,331 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! shapes this repository actually uses — non-generic structs with named
+//! fields and enums whose variants are units or tuples — by hand-parsing the
+//! item's token stream (no `syn`/`quote` available offline) and emitting the
+//! impl as formatted source text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the deriving item.
+enum Item {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn is_punct(token: &TokenTree, ch: char) -> bool {
+    matches!(token, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skips `#[...]` / `#![...]` attribute groups starting at `i`.
+fn skip_attributes(tokens: &[TokenTree], mut i: usize) -> usize {
+    while i < tokens.len() && is_punct(&tokens[i], '#') {
+        i += 1;
+        if i < tokens.len() && is_punct(&tokens[i], '!') {
+            i += 1;
+        }
+        if matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Bracket) {
+            i += 1;
+        } else {
+            panic!("serde shim: malformed attribute");
+        }
+    }
+    i
+}
+
+/// Skips `pub`, `pub(crate)` and friends starting at `i`.
+fn skip_visibility(tokens: &[TokenTree], mut i: usize) -> usize {
+    if matches!(&tokens[i], TokenTree::Ident(id) if id.to_string() == "pub") {
+        i += 1;
+        if i < tokens.len()
+            && matches!(&tokens[i], TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Parses the field names of a named-field body `{ a: T, b: U }`.
+fn parse_named_fields(group_tokens: &[TokenTree]) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < group_tokens.len() {
+        i = skip_attributes(group_tokens, i);
+        if i >= group_tokens.len() {
+            break;
+        }
+        i = skip_visibility(group_tokens, i);
+        let name = match &group_tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected field name, found {other}"),
+        };
+        i += 1;
+        if !is_punct(&group_tokens[i], ':') {
+            panic!("serde shim: expected ':' after field {name}");
+        }
+        i += 1;
+        // Consume the type: everything up to the next comma at angle-bracket
+        // depth zero (parens/brackets arrive as opaque groups already).
+        let mut depth = 0i32;
+        while i < group_tokens.len() {
+            if is_punct(&group_tokens[i], '<') {
+                depth += 1;
+            } else if is_punct(&group_tokens[i], '>') {
+                depth -= 1;
+            } else if depth == 0 && is_punct(&group_tokens[i], ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        fields.push(name);
+    }
+    fields
+}
+
+/// Parses enum variants as `(name, tuple_arity)`; unit variants have arity 0.
+fn parse_variants(group_tokens: &[TokenTree]) -> Vec<(String, usize)> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < group_tokens.len() {
+        i = skip_attributes(group_tokens, i);
+        if i >= group_tokens.len() {
+            break;
+        }
+        let name = match &group_tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let mut arity = 0usize;
+        if i < group_tokens.len() {
+            if let TokenTree::Group(g) = &group_tokens[i] {
+                match g.delimiter() {
+                    Delimiter::Parenthesis => {
+                        arity = tuple_arity(&g.stream().into_iter().collect::<Vec<_>>());
+                        i += 1;
+                    }
+                    Delimiter::Brace => {
+                        panic!("serde shim: struct variants are not supported ({name})")
+                    }
+                    _ => {}
+                }
+            }
+        }
+        if i < group_tokens.len() && is_punct(&group_tokens[i], ',') {
+            i += 1;
+        }
+        variants.push((name, arity));
+    }
+    variants
+}
+
+/// Number of fields in a tuple-variant payload (top-level comma count).
+fn tuple_arity(tokens: &[TokenTree]) -> usize {
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut arity = 1;
+    let mut depth = 0i32;
+    for (index, token) in tokens.iter().enumerate() {
+        if is_punct(token, '<') {
+            depth += 1;
+        } else if is_punct(token, '>') {
+            depth -= 1;
+        } else if depth == 0 && is_punct(token, ',') && index + 1 < tokens.len() {
+            arity += 1;
+        }
+    }
+    arity
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attributes(&tokens, 0);
+    i = skip_visibility(&tokens, i);
+    let keyword = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected item name, found {other}"),
+    };
+    i += 1;
+    if i < tokens.len() && is_punct(&tokens[i], '<') {
+        panic!("serde shim: generic types are not supported ({name})");
+    }
+    let body = tokens[i..]
+        .iter()
+        .find_map(|t| match t {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                Some(g.stream().into_iter().collect::<Vec<_>>())
+            }
+            _ => None,
+        })
+        .unwrap_or_else(|| {
+            panic!("serde shim: {name} has no braced body (tuple/unit structs are unsupported)")
+        });
+    match keyword.as_str() {
+        "struct" => Item::Struct {
+            name,
+            fields: parse_named_fields(&body),
+        },
+        "enum" => Item::Enum {
+            name,
+            variants: parse_variants(&body),
+        },
+        other => panic!("serde shim: cannot derive for {other}"),
+    }
+}
+
+/// Derives the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let source = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::serialize(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(variant, arity)| match arity {
+                    0 => format!(
+                        "{name}::{variant} => ::serde::Content::Str(\"{variant}\".to_string()),"
+                    ),
+                    1 => format!(
+                        "{name}::{variant}(f0) => ::serde::Content::Map(vec![\
+                             (\"{variant}\".to_string(), ::serde::Serialize::serialize(f0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let items: String = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::serialize({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{variant}({}) => ::serde::Content::Map(vec![\
+                                 (\"{variant}\".to_string(), ::serde::Content::Seq(vec![{items}]))]),",
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    source.parse().expect("serde shim: generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let source = match parse_item(input) {
+        Item::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                             ::serde::Content::field(entries, \"{f}\"))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(content: &::serde::Content) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         let entries = content.as_map().ok_or_else(|| \
+                             ::serde::DeError::expected(\"map\", \"{name}\"))?;\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(variant, _)| format!("\"{variant}\" => Ok({name}::{variant}),"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(variant, arity)| match arity {
+                    1 => format!(
+                        "\"{variant}\" => Ok({name}::{variant}(\
+                             ::serde::Deserialize::deserialize(payload)?)),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                        let reads: String = binds
+                            .iter()
+                            .map(|b| format!("let {b} = ::serde::Deserialize::deserialize({b})?;"))
+                            .collect();
+                        format!(
+                            "\"{variant}\" => match payload.as_seq() {{\n\
+                                 Some([{}]) => {{ {reads} Ok({name}::{variant}({})) }}\n\
+                                 _ => Err(::serde::DeError::expected(\
+                                     \"{n}-element array\", \"{name}::{variant}\")),\n\
+                             }},",
+                            binds.join(", "),
+                            binds.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn deserialize(content: &::serde::Content) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(tag) => match tag.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::DeError::new(format!(\n\
+                                     \"unknown variant {{other}} of {name}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 let _ = payload;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::DeError::new(format!(\n\
+                                         \"unknown variant {{other}} of {name}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::DeError::expected(\"variant\", \"{name}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    source.parse().expect("serde shim: generated impl parses")
+}
