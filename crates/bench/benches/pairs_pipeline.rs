@@ -1,14 +1,18 @@
 //! Pair-classification throughput benchmark and perf-trajectory emitter.
 //!
 //! Measures the streaming columnar training pipeline against the legacy
-//! map-based pair classification at log sizes n ∈ {100, 1k, 10k} and writes
-//! `BENCH_pairs.json` (pairs/sec, candidate-memory footprint, speedup) so
-//! future PRs can track the trend.  Run with
-//! `cargo bench --bench pairs_pipeline`.
+//! map-based pair classification at log sizes n ∈ {100, 1k, 10k}, plus the
+//! `service_reuse` scenario (k queries against one cached [`XplainService`]
+//! view vs k cold `explain` calls), and writes `BENCH_pairs.json`
+//! (pairs/sec, candidate-memory footprint, speedups) so future PRs can
+//! track the trend.  Run with `cargo bench --bench pairs_pipeline`.
 
 use perfxplain_core::columnar::{ColumnarLog, CompiledQuery};
 use perfxplain_core::training::collect_related_pairs_in;
-use perfxplain_core::{BoundQuery, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig};
+use perfxplain_core::{
+    BoundQuery, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig, PerfXplain,
+    QueryRequest, XplainService,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -44,10 +48,33 @@ struct PairsBenchPoint {
     eager_candidate_bytes: u64,
 }
 
+/// The `service_reuse` scenario: answering k queries against one cached
+/// [`XplainService`] view vs k cold `PerfXplain::explain` calls (each of
+/// which re-encodes the log).
+#[derive(Debug, Serialize)]
+struct ServiceReusePoint {
+    /// Number of log records.
+    n: usize,
+    /// Raw features per record.
+    features: usize,
+    /// Queries answered (distinct pairs of interest).
+    k: usize,
+    /// Mean per-query wall time of the cold path (fresh view per call), ms.
+    cold_ms_per_query: f64,
+    /// Wall time of the service's first query (cache miss: builds the
+    /// view), ms.
+    service_first_query_ms: f64,
+    /// Mean per-query wall time of queries 2..k on the warm service, ms.
+    warm_ms_per_query: f64,
+    /// cold ÷ warm: the payoff of reusing the cached view.
+    speedup: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct PairsBenchReport {
     description: String,
     points: Vec<PairsBenchPoint>,
+    service_reuse: ServiceReusePoint,
 }
 
 /// A synthetic log shaped like the paper's workload: two duration regimes
@@ -155,6 +182,101 @@ fn measure(n: usize, measure_legacy: bool) -> PairsBenchPoint {
     }
 }
 
+/// A log shaped like an interactive debugging session's: wide records (many
+/// counter/Ganglia-style numeric features) and a nominal `pigscript` that
+/// the canonical queries block on, giving small per-script candidate
+/// groups.  Within each script group, big-block jobs plateau at ~600 s
+/// (observed pairs) while small-block jobs scale with their input
+/// (expected pairs).
+fn service_log(n: usize, extra_features: usize, group_size: usize) -> ExecutionLog {
+    let mut log = ExecutionLog::new();
+    for i in 0..n {
+        let position = i % group_size;
+        let big_blocks = position.is_multiple_of(2);
+        let input = (1 + position) as f64 * 1.0e9;
+        let duration = if big_blocks {
+            600.0 + (i % 7) as f64
+        } else {
+            input / 5.0e7 + (i % 5) as f64
+        };
+        let mut record = ExecutionRecord::job(format!("job_{i}"))
+            .with_feature("pigscript", format!("script_{}.pig", i / group_size))
+            .with_feature("inputsize", input)
+            .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+            .with_feature("duration", duration);
+        for w in 0..extra_features {
+            record.set_feature(format!("metric_{w:02}"), ((i * 31 + w * 7) % 997) as f64);
+        }
+        log.push(record);
+    }
+    log.rebuild_catalogs();
+    log
+}
+
+/// k distinct bound queries over `service_log`: same query shape, a
+/// different pair of interest (and script group) each time.
+fn service_queries(k: usize, group_size: usize) -> Vec<BoundQuery> {
+    (0..k)
+        .map(|q| {
+            let query = pxql::parse_query(
+                "DESPITE pigscript_isSame = T AND inputsize_compare = GT\n\
+                 OBSERVED duration_compare = SIM\n\
+                 EXPECTED duration_compare = GT",
+            )
+            .unwrap();
+            // Members 0 and 2 of each group are big-block jobs: larger
+            // input, plateaued (similar) duration — a valid pair of
+            // interest.
+            let base = q * group_size;
+            BoundQuery::new(query, format!("job_{}", base + 2), format!("job_{base}"))
+        })
+        .collect()
+}
+
+fn measure_service_reuse(n: usize, extra_features: usize, k: usize) -> ServiceReusePoint {
+    let group_size = 10;
+    let log = service_log(n, extra_features, group_size);
+    let features = log.job_catalog().len();
+    let config = ExplainConfig::default().with_sample_size(200);
+    let queries = service_queries(k, group_size);
+
+    // Cold path: the stateless API re-encodes the log on every call.
+    let engine = PerfXplain::new(config.clone());
+    let cold_start = Instant::now();
+    for bound in &queries {
+        engine.explain(&log, bound).expect("cold explain succeeds");
+    }
+    let cold_ms_per_query = cold_start.elapsed().as_secs_f64() * 1e3 / k as f64;
+
+    // Warm path: one service, k queries; the first builds the cached view,
+    // the rest reuse it.
+    let service = XplainService::with_config(log, config);
+    let first_start = Instant::now();
+    let first = service
+        .explain(&QueryRequest::bound(queries[0].clone()))
+        .expect("service explain succeeds");
+    let service_first_query_ms = first_start.elapsed().as_secs_f64() * 1e3;
+    assert!(!first.view_reused);
+    let warm_start = Instant::now();
+    for bound in &queries[1..] {
+        let outcome = service
+            .explain(&QueryRequest::bound(bound.clone()))
+            .expect("service explain succeeds");
+        assert!(outcome.view_reused, "warm query missed the view cache");
+    }
+    let warm_ms_per_query = warm_start.elapsed().as_secs_f64() * 1e3 / (k - 1) as f64;
+
+    ServiceReusePoint {
+        n,
+        features,
+        k,
+        cold_ms_per_query,
+        service_first_query_ms,
+        warm_ms_per_query,
+        speedup: cold_ms_per_query / warm_ms_per_query,
+    }
+}
+
 fn main() {
     let mut points = Vec::new();
     for &(n, measure_legacy) in &[(100usize, true), (1_000, true), (10_000, false)] {
@@ -172,15 +294,32 @@ fn main() {
         );
         points.push(point);
     }
+
+    let service_reuse = measure_service_reuse(20_000, 30, 8);
+    println!(
+        "service_reuse: n = {}, {} features, k = {}: cold {:.2} ms/query, first service \
+         query {:.2} ms, warm {:.2} ms/query — {:.1}x from view reuse",
+        service_reuse.n,
+        service_reuse.features,
+        service_reuse.k,
+        service_reuse.cold_ms_per_query,
+        service_reuse.service_first_query_ms,
+        service_reuse.warm_ms_per_query,
+        service_reuse.speedup,
+    );
+
     let report = PairsBenchReport {
         description: "Pair-classification throughput of the streaming columnar pipeline vs \
                       the legacy map-based path (uncapped points are like-for-like: both \
                       paths classify every enumerated pair; the capped point measures \
                       streaming enumeration under the production cap).  Candidate memory is \
                       the state held during enumeration — streaming holds only related \
-                      pairs."
+                      pairs.  service_reuse answers k blocked queries through one \
+                      XplainService (cached columnar view) vs k cold explain calls that \
+                      re-encode the log each time."
             .to_string(),
         points,
+        service_reuse,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     // Write to the workspace root (identified by ROADMAP.md) whether run

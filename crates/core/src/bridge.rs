@@ -215,7 +215,7 @@ impl DatasetBridge {
 /// for the materialised value.
 #[allow(clippy::too_many_arguments)]
 fn encode_pair_cell(
-    view: &ColumnarLog<'_>,
+    view: &ColumnarLog,
     def: &PairFeatureDef,
     col: Option<usize>,
     left: usize,

@@ -35,25 +35,33 @@ use pxql::{Op, Predicate, Value};
 use std::collections::HashMap;
 
 /// The columnar encoded view of the records of one execution kind.
+///
+/// The view is **self-contained**: it owns a snapshot of the records it
+/// encodes, so it can outlive (and be shared independently of) the
+/// [`ExecutionLog`] it was built from.  That is what allows
+/// [`XplainService`](crate::service::XplainService) to cache views behind an
+/// `Arc` and serve many concurrent queries against one encoding while the
+/// log keeps mutating — a cached view is immutable and internally
+/// consistent by construction.
 #[derive(Debug, Clone)]
-pub struct ColumnarLog<'a> {
+pub struct ColumnarLog {
     kind: ExecutionKind,
-    records: Vec<&'a ExecutionRecord>,
+    records: Vec<ExecutionRecord>,
     store: ColumnStore,
     /// Per column: the original `Value` behind each interned nominal id.
     originals: Vec<Vec<Value>>,
     /// Catalog kind per column.
     kinds: Vec<FeatureKind>,
     /// Record id → row index.
-    row_index: HashMap<&'a str, usize>,
+    row_index: HashMap<String, usize>,
 }
 
-impl<'a> ColumnarLog<'a> {
+impl ColumnarLog {
     /// Encodes the records of `kind` once.  Cells are stored by *value*
     /// type: numeric values inline, everything else interned by canonical
     /// text, so mixed-type features keep the exact comparison semantics of
     /// the map-based path.
-    pub fn build(log: &'a ExecutionLog, kind: ExecutionKind) -> Self {
+    pub fn build(log: &ExecutionLog, kind: ExecutionKind) -> Self {
         let catalog = log.catalog(kind);
         let records: Vec<&ExecutionRecord> = log.of_kind(kind).collect();
         let mut attributes = Vec::with_capacity(catalog.len());
@@ -91,11 +99,11 @@ impl<'a> ColumnarLog<'a> {
         let row_index = records
             .iter()
             .enumerate()
-            .map(|(i, r)| (r.id.as_str(), i))
+            .map(|(i, r)| (r.id.clone(), i))
             .collect();
         ColumnarLog {
             kind,
-            records,
+            records: records.into_iter().cloned().collect(),
             store: ColumnStore::from_columns(attributes, columns),
             originals,
             kinds,
@@ -108,14 +116,9 @@ impl<'a> ColumnarLog<'a> {
         self.kind
     }
 
-    /// The encoded records, in row order.
-    pub fn records(&self) -> &[&'a ExecutionRecord] {
+    /// The encoded records (the view's own snapshot), in row order.
+    pub fn records(&self) -> &[ExecutionRecord] {
         &self.records
-    }
-
-    /// Consumes the view, returning the record list.
-    pub fn into_records(self) -> Vec<&'a ExecutionRecord> {
-        self.records
     }
 
     /// Number of rows (records of the view's kind).
@@ -203,7 +206,7 @@ enum CompiledAtom {
 }
 
 impl CompiledAtom {
-    fn compile(feature: &str, op: Op, constant: &Value, view: &ColumnarLog<'_>, sim: f64) -> Self {
+    fn compile(feature: &str, op: Op, constant: &Value, view: &ColumnarLog, sim: f64) -> Self {
         let (raw, group) = parse_pair_feature(feature);
         let Some(col) = view.column_of(raw) else {
             return CompiledAtom::Never;
@@ -247,7 +250,7 @@ impl CompiledAtom {
 
     /// Evaluates the atom for the ordered pair of rows (`left`, `right`).
     #[inline]
-    fn eval(&self, view: &ColumnarLog<'_>, left: usize, right: usize, sim: f64) -> bool {
+    fn eval(&self, view: &ColumnarLog, left: usize, right: usize, sim: f64) -> bool {
         match self {
             CompiledAtom::Never => false,
             CompiledAtom::IsSame { col, op, constant } => {
@@ -308,7 +311,7 @@ pub struct CompiledPredicate {
 
 impl CompiledPredicate {
     /// Compiles a predicate against a view.
-    pub fn compile(predicate: &Predicate, view: &ColumnarLog<'_>, sim: f64) -> Self {
+    pub fn compile(predicate: &Predicate, view: &ColumnarLog, sim: f64) -> Self {
         CompiledPredicate {
             atoms: predicate
                 .atoms()
@@ -320,7 +323,7 @@ impl CompiledPredicate {
 
     /// Evaluates the conjunction for the ordered pair (`left`, `right`).
     #[inline]
-    pub fn eval(&self, view: &ColumnarLog<'_>, left: usize, right: usize, sim: f64) -> bool {
+    pub fn eval(&self, view: &ColumnarLog, left: usize, right: usize, sim: f64) -> bool {
         self.atoms
             .iter()
             .all(|atom| atom.eval(view, left, right, sim))
@@ -339,7 +342,7 @@ pub struct CompiledQuery {
 
 impl CompiledQuery {
     /// Compiles the query's three clauses.
-    pub fn compile(query: &BoundQuery, view: &ColumnarLog<'_>, sim_threshold: f64) -> Self {
+    pub fn compile(query: &BoundQuery, view: &ColumnarLog, sim_threshold: f64) -> Self {
         CompiledQuery {
             despite: CompiledPredicate::compile(&query.query.despite, view, sim_threshold),
             observed: CompiledPredicate::compile(&query.query.observed, view, sim_threshold),
@@ -351,7 +354,7 @@ impl CompiledQuery {
     /// Classifies the ordered pair (`left`, `right`), mirroring
     /// [`BoundQuery::classify`] (expected takes precedence over observed).
     #[inline]
-    pub fn classify(&self, view: &ColumnarLog<'_>, left: usize, right: usize) -> PairLabel {
+    pub fn classify(&self, view: &ColumnarLog, left: usize, right: usize) -> PairLabel {
         let sim = self.sim_threshold;
         if !self.despite.eval(view, left, right, sim) {
             return PairLabel::Unrelated;
@@ -431,7 +434,7 @@ mod tests {
                     continue;
                 }
                 let expected =
-                    query.classify_records(&log, records[i], records[j], config.sim_threshold);
+                    query.classify_records(&log, &records[i], &records[j], config.sim_threshold);
                 assert_eq!(
                     compiled.classify(&view, i, j),
                     expected,
@@ -458,7 +461,7 @@ mod tests {
                     continue;
                 }
                 let features =
-                    compute_pair_features(catalog, records[i], records[j], config.sim_threshold);
+                    compute_pair_features(catalog, &records[i], &records[j], config.sim_threshold);
                 for (name, value) in &features {
                     let atom = pxql::Atom::new(name.clone(), Op::Eq, value.clone());
                     let by_map = atom.eval(&features);

@@ -16,17 +16,18 @@
 //!    (maximising relevance instead of precision).
 
 use crate::bridge::DatasetBridge;
+use crate::columnar::ColumnarLog;
 use crate::config::ExplainConfig;
 use crate::error::Result;
 use crate::explanation::Explanation;
 use crate::pairs::{PairCatalog, PairExample};
 use crate::query::BoundQuery;
 use crate::record::ExecutionLog;
-use crate::training::{
-    prepare_encoded_training, prepare_encoded_training_in, EncodedTraining, TrainingSet,
-};
+use crate::service::XplainService;
+use crate::training::{prepare_encoded_training_in, EncodedTraining, TrainingSet};
 use mlcore::{best_split_for_attribute_filtered, percentile_ranks, SplitCandidate};
 use pxql::{Atom, Predicate};
+use std::sync::Arc;
 
 /// The PerfXplain explanation generator.
 #[derive(Debug, Clone, Default)]
@@ -81,23 +82,95 @@ impl PerfXplain {
     /// Generates an explanation for the query: a because clause of the
     /// configured width, in the context of the user's own despite clause.
     ///
-    /// The entire pipeline is columnar: the log is encoded once, candidate
-    /// pairs are classified by a compiled query without allocation, and the
-    /// sampled pairs feed the split search directly.
+    /// This is the stateless convenience API: it answers through a
+    /// single-shot [`XplainService`], so the service and this method share
+    /// exactly one code path ([`PerfXplain::explain_in`]).  Applications
+    /// posing repeated queries against the same log should hold a
+    /// long-lived [`XplainService`] instead, which caches the columnar
+    /// encoding across calls.
     pub fn explain(&self, log: &ExecutionLog, query: &BoundQuery) -> Result<Explanation> {
+        XplainService::answer_once(self, log, query, false).map(|outcome| outcome.explanation)
+    }
+
+    /// Like [`PerfXplain::explain`], but against an already-encoded columnar
+    /// view of the log — the zero-re-encoding path every cached
+    /// [`XplainService`] query goes through.
+    pub fn explain_in(
+        &self,
+        log: &ExecutionLog,
+        view: Arc<ColumnarLog>,
+        query: &BoundQuery,
+    ) -> Result<Explanation> {
+        self.explain_with_training(log, view, query, false)
+            .map(|(explanation, _, _)| explanation)
+    }
+
+    /// The shared explanation pipeline: verify, train, grow the because
+    /// clause (optionally extending the despite clause first), and hand the
+    /// final training set back so callers (assessment, despite metrics) can
+    /// reuse it instead of re-enumerating the pairs.
+    pub(crate) fn explain_with_training<'a>(
+        &self,
+        log: &'a ExecutionLog,
+        view: Arc<ColumnarLog>,
+        query: &BoundQuery,
+        extend_despite: bool,
+    ) -> Result<(Explanation, BoundQuery, EncodedTraining<'a>)> {
         query.verify_preconditions(log, self.config.sim_threshold)?;
-        let training = prepare_encoded_training(log, query, &self.config)?;
+        let training = prepare_encoded_training_in(log, view.clone(), query, &self.config)?;
+
+        if extend_despite {
+            // Relevance of the empty extension over the sample: the fraction
+            // of pairs that performed as expected.  Below the threshold the
+            // despite clause is extended and the training set regenerated in
+            // the narrower context — on the same view, which only changes
+            // the compiled predicates, not the encoding.
+            let base_relevance = training.num_expected() as f64 / training.len().max(1) as f64;
+            if base_relevance < self.config.relevance_threshold {
+                let bridge = self.encode_bridge(&training, query);
+                let extension =
+                    self.generate_clause_from_bridge(&bridge, false, self.config.despite_width);
+                let mut extended = query.clone();
+                extended.query = extended
+                    .query
+                    .clone()
+                    .with_despite(query.query.despite.conjoin(&extension));
+                let extended_training =
+                    prepare_encoded_training_in(log, view, &extended, &self.config)?;
+                let extended_bridge = self.encode_bridge(&extended_training, &extended);
+                let because =
+                    self.generate_clause_from_bridge(&extended_bridge, true, self.config.width);
+                return Ok((
+                    Explanation::new(extension, because),
+                    extended,
+                    extended_training,
+                ));
+            }
+        }
+
         let bridge = self.encode_bridge(&training, query);
         let because = self.generate_clause_from_bridge(&bridge, true, self.config.width);
-        Ok(Explanation::because_only(because))
+        Ok((Explanation::because_only(because), query.clone(), training))
     }
 
     /// Generates a despite-clause extension `des'` for the query using the
     /// same algorithm with relevance as the target (Section 4.2, "Generating
     /// the des' clause").
     pub fn generate_despite(&self, log: &ExecutionLog, query: &BoundQuery) -> Result<Predicate> {
+        let view = Arc::new(ColumnarLog::build(log, query.kind));
+        self.generate_despite_in(log, view, query)
+    }
+
+    /// Like [`PerfXplain::generate_despite`], but against an
+    /// already-encoded columnar view.
+    pub fn generate_despite_in(
+        &self,
+        log: &ExecutionLog,
+        view: Arc<ColumnarLog>,
+        query: &BoundQuery,
+    ) -> Result<Predicate> {
         query.verify_preconditions(log, self.config.sim_threshold)?;
-        let training = prepare_encoded_training(log, query, &self.config)?;
+        let training = prepare_encoded_training_in(log, view, query, &self.config)?;
         let bridge = self.encode_bridge(&training, query);
         Ok(self.generate_clause_from_bridge(&bridge, false, self.config.despite_width))
     }
@@ -108,40 +181,27 @@ impl PerfXplain {
     /// the extended clause.
     ///
     /// Returns the explanation together with the (possibly extended) query
-    /// that was ultimately explained.
+    /// that was ultimately explained.  Like [`PerfXplain::explain`], this is
+    /// a single-shot [`XplainService`] call under the hood.
     pub fn explain_full(
         &self,
         log: &ExecutionLog,
         query: &BoundQuery,
     ) -> Result<(Explanation, BoundQuery)> {
-        query.verify_preconditions(log, self.config.sim_threshold)?;
-        let training = prepare_encoded_training(log, query, &self.config)?;
+        XplainService::answer_once(self, log, query, true)
+            .map(|outcome| (outcome.explanation, outcome.query))
+    }
 
-        // Relevance of the empty extension over the sample: the fraction of
-        // pairs that performed as expected.
-        let base_relevance = training.num_expected() as f64 / training.len().max(1) as f64;
-        if base_relevance >= self.config.relevance_threshold {
-            let bridge = self.encode_bridge(&training, query);
-            let because = self.generate_clause_from_bridge(&bridge, true, self.config.width);
-            return Ok((Explanation::because_only(because), query.clone()));
-        }
-
-        // Extend the despite clause, fold it into the query and regenerate
-        // the training set in the narrower context.  The columnar view is
-        // moved into the second pass — the extended query only changes the
-        // compiled predicates, not the encoding.
-        let bridge = self.encode_bridge(&training, query);
-        let extension = self.generate_clause_from_bridge(&bridge, false, self.config.despite_width);
-        let mut extended = query.clone();
-        extended.query = extended
-            .query
-            .clone()
-            .with_despite(query.query.despite.conjoin(&extension));
-        let view = training.view;
-        let extended_training = prepare_encoded_training_in(log, view, &extended, &self.config)?;
-        let extended_bridge = self.encode_bridge(&extended_training, &extended);
-        let because = self.generate_clause_from_bridge(&extended_bridge, true, self.config.width);
-        Ok((Explanation::new(extension, because), extended))
+    /// Like [`PerfXplain::explain_full`], but against an already-encoded
+    /// columnar view of the log.
+    pub fn explain_full_in(
+        &self,
+        log: &ExecutionLog,
+        view: Arc<ColumnarLog>,
+        query: &BoundQuery,
+    ) -> Result<(Explanation, BoundQuery)> {
+        self.explain_with_training(log, view, query, true)
+            .map(|(explanation, effective, _)| (explanation, effective))
     }
 
     /// Generates the because clause from an already-materialised training

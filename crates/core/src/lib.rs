@@ -17,10 +17,14 @@
 //!
 //! # Quick example
 //!
+//! An investigation is a *session*: many PXQL queries against one log.  The
+//! [`XplainService`] is the entry point built for that — it owns the log,
+//! caches its columnar encoding per `(generation, kind)`, and answers each
+//! [`QueryRequest`] (parse + bind + explain + narrate + assess) in one
+//! call, concurrently if asked ([`XplainService::par_explain_batch`]):
+//!
 //! ```
-//! use perfxplain_core::{
-//!     BoundQuery, ExecutionLog, ExecutionRecord, ExplainConfig, PerfXplain,
-//! };
+//! use perfxplain_core::{ExecutionLog, ExecutionRecord, QueryRequest, XplainService};
 //!
 //! // A miniature execution log: jobs with big blocks finish in ~600 s
 //! // regardless of their input size.
@@ -39,19 +43,28 @@
 //! log.rebuild_catalogs();
 //!
 //! // "Despite reading much more data, job_0 was not slower than job_2. Why?"
-//! let query = pxql::parse_query(
+//! let service = XplainService::new(log);
+//! let request = QueryRequest::text(
 //!     "DESPITE inputsize_compare = GT\n\
 //!      OBSERVED duration_compare = SIM\n\
 //!      EXPECTED duration_compare = GT",
 //! )
-//! .unwrap();
-//! let bound = BoundQuery::new(query, "job_0", "job_2");
+//! .with_pair("job_0", "job_2");
 //!
-//! let engine = PerfXplain::new(ExplainConfig::default().with_width(2));
-//! let explanation = engine.explain(&log, &bound).unwrap();
-//! assert!(explanation.width() >= 1);
-//! println!("{explanation}");
+//! let outcome = service.explain(&request).unwrap();
+//! assert!(outcome.explanation.width() >= 1);
+//! println!("{}", outcome.explanation);
+//!
+//! // Repeats (any pair, any query of the same kind) reuse the cached
+//! // encoding; mutations bump the log's generation and invalidate it.
+//! assert!(service.explain(&request).unwrap().view_reused);
+//! service.with_log_mut(|log| log.rebuild_catalogs());
+//! assert!(!service.explain(&request).unwrap().view_reused);
 //! ```
+//!
+//! For one-off questions the stateless [`PerfXplain`] engine
+//! (`engine.explain(&log, &bound)`) remains available; it is a thin wrapper
+//! over a single-shot pass through the same [`service`] code path.
 //!
 //! # Performance
 //!
@@ -63,9 +76,12 @@
 //! 1. **Encode once.** [`ColumnarLog`](columnar::ColumnarLog) turns the
 //!    per-kind records of an [`ExecutionLog`] into per-feature columns:
 //!    numeric cells inline, nominal cells interned by canonical PXQL text
-//!    with the original [`pxql::Value`] retained per id.  Built once per
-//!    log; reused across queries (e.g. the despite-extension pass of
-//!    `explain_full` re-classifies on the same view).
+//!    with the original [`pxql::Value`] retained per id.  The view is
+//!    self-contained (it snapshots the records it encodes) and shared via
+//!    `Arc`: [`XplainService`](service::XplainService) caches it per
+//!    `(log generation, kind)` and serves every query — including the
+//!    despite-extension pass of `explain_full` and whole concurrent
+//!    batches — with zero re-encoding.
 //! 2. **Compile the query.** [`CompiledQuery`](columnar::CompiledQuery)
 //!    resolves every clause atom to a `(column index, pair-feature group)`
 //!    pair and pre-analyses its constant (`compare` atoms become a 3-entry
@@ -118,6 +134,7 @@ pub mod narrate;
 pub mod pairs;
 pub mod query;
 pub mod record;
+pub mod service;
 pub mod training;
 
 pub use baselines::{RuleOfThumb, SimButDiff};
@@ -139,6 +156,7 @@ pub use pairs::{
 };
 pub use query::{BoundQuery, PairLabel};
 pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
+pub use service::{QueryInput, QueryOutcome, QueryRequest, XplainService};
 pub use training::{
     collect_related_pairs_in, prepare_encoded_training, prepare_encoded_training_in,
     prepare_training_set, EncodedTraining, TrainingSet,

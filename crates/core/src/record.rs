@@ -103,11 +103,57 @@ impl FeatureSource for ExecutionRecord {
 }
 
 /// A log of past executions: jobs, their tasks and the raw feature catalog.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// Every mutation bumps a monotonically increasing **generation counter**
+/// ([`ExecutionLog::generation`]).  Long-lived consumers that cache derived
+/// views of the log — most notably
+/// [`XplainService`](crate::service::XplainService)'s columnar views — key
+/// their caches by the generation, so a mutated log can never be observed
+/// through a stale view.  The counter is bookkeeping, not content: two logs
+/// with identical records compare equal regardless of their generations, and
+/// the counter is not serialized (a freshly loaded log starts counting
+/// anew).
+#[derive(Debug, Clone, Default)]
 pub struct ExecutionLog {
     job_catalog: FeatureCatalog,
     task_catalog: FeatureCatalog,
     records: Vec<ExecutionRecord>,
+    generation: u64,
+}
+
+impl PartialEq for ExecutionLog {
+    fn eq(&self, other: &Self) -> bool {
+        // The generation is mutation bookkeeping, not log content.
+        self.job_catalog == other.job_catalog
+            && self.task_catalog == other.task_catalog
+            && self.records == other.records
+    }
+}
+
+impl Serialize for ExecutionLog {
+    fn serialize(&self) -> serde::Content {
+        // The generation counter is in-memory bookkeeping and stays out of
+        // the JSON representation.
+        serde::Content::Map(vec![
+            ("job_catalog".to_string(), self.job_catalog.serialize()),
+            ("task_catalog".to_string(), self.task_catalog.serialize()),
+            ("records".to_string(), self.records.serialize()),
+        ])
+    }
+}
+
+impl Deserialize for ExecutionLog {
+    fn deserialize(content: &serde::Content) -> std::result::Result<Self, serde::DeError> {
+        let entries = content
+            .as_map()
+            .ok_or_else(|| serde::DeError::expected("map", "ExecutionLog"))?;
+        Ok(ExecutionLog {
+            job_catalog: Deserialize::deserialize(serde::Content::field(entries, "job_catalog"))?,
+            task_catalog: Deserialize::deserialize(serde::Content::field(entries, "task_catalog"))?,
+            records: Deserialize::deserialize(serde::Content::field(entries, "records"))?,
+            generation: 0,
+        })
+    }
 }
 
 impl ExecutionLog {
@@ -116,9 +162,17 @@ impl ExecutionLog {
         ExecutionLog::default()
     }
 
+    /// The log's generation: a counter bumped by every mutation (`push`,
+    /// `extend`, `rebuild_catalogs`, …).  Cache keys derived from a log must
+    /// include the generation so that stale derived state is never served.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Adds a record.
     pub fn push(&mut self, record: ExecutionRecord) {
         self.records.push(record);
+        self.generation += 1;
     }
 
     /// Adds every record of `other` to this log.
@@ -130,6 +184,7 @@ impl ExecutionLog {
     /// Recomputes the job and task feature catalogs from the stored records.
     /// Call after bulk loading records.
     pub fn rebuild_catalogs(&mut self) {
+        self.generation += 1;
         self.job_catalog = FeatureCatalog::infer(
             self.records
                 .iter()
@@ -345,6 +400,35 @@ mod tests {
         let back = ExecutionLog::from_json(&json).unwrap();
         assert_eq!(log, back);
         assert!(ExecutionLog::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut log = ExecutionLog::new();
+        assert_eq!(log.generation(), 0);
+        log.push(ExecutionRecord::job("job_1").with_feature("inputsize", 1i64));
+        let after_push = log.generation();
+        assert!(after_push > 0);
+        log.rebuild_catalogs();
+        let after_rebuild = log.generation();
+        assert!(after_rebuild > after_push);
+        let mut other = ExecutionLog::new();
+        other.push(ExecutionRecord::job("job_2"));
+        log.extend(other);
+        assert!(log.generation() > after_rebuild);
+    }
+
+    #[test]
+    fn equality_and_serialization_ignore_the_generation() {
+        let log = sample_log();
+        let mut touched = log.clone();
+        touched.rebuild_catalogs();
+        assert_ne!(log.generation(), touched.generation());
+        assert_eq!(log, touched);
+
+        // The counter is not part of the JSON representation.
+        let json = log.to_json().unwrap();
+        assert!(!json.contains("generation"));
     }
 
     #[test]

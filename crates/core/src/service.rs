@@ -1,0 +1,639 @@
+//! Long-lived query service: encode the log once, serve many PXQL queries.
+//!
+//! PerfXplain is an *interactive* debugging tool — a user investigating one
+//! slow job poses many PXQL queries against the same execution log.  The
+//! stateless [`PerfXplain`] API re-encodes the log's columnar view on every
+//! call; [`XplainService`] is the long-lived alternative that caches the
+//! [`ColumnarLog`] encoding and reuses it across queries and across
+//! threads:
+//!
+//! * The service owns the [`ExecutionLog`] behind an `RwLock`.  Mutations go
+//!   through [`XplainService::with_log_mut`] and bump the log's
+//!   **generation counter**; queries run under the read lock against a view
+//!   cached by `(generation, ExecutionKind)`, so a stale view can never be
+//!   observed — any mutation changes the key and the next query lazily
+//!   rebuilds (and evicts the superseded entries).
+//! * One [`QueryRequest`] carries everything a query needs — the PXQL text
+//!   (or an already-parsed/bound query), the pair of interest, per-query
+//!   config overrides, and the despite-extension / narration / assessment
+//!   flags — and one [`QueryOutcome`] carries everything back, replacing
+//!   the old parse → bind → explain → assess → narrate choreography.
+//! * The service is `Sync`: [`XplainService::par_explain_batch`] answers a
+//!   slice of requests across `std::thread::scope` threads, all sharing the
+//!   same cached `Arc<ColumnarLog>` view.
+//!
+//! The stateless [`PerfXplain::explain`] / [`PerfXplain::explain_full`] are
+//! thin wrappers over a single-shot pass through this module
+//! ([`XplainService::answer_once`]), so there is exactly one code path.
+
+use crate::columnar::ColumnarLog;
+use crate::config::ExplainConfig;
+use crate::error::Result;
+use crate::explain::PerfXplain;
+use crate::explanation::Explanation;
+use crate::metrics::{assess, ExplanationQuality};
+use crate::narrate::narrate;
+use crate::query::BoundQuery;
+use crate::record::{ExecutionKind, ExecutionLog};
+use pxql::PxqlQuery;
+use std::collections::HashMap;
+use std::sync::{Arc, RwLock};
+
+/// The query of a [`QueryRequest`]: PXQL text, a parsed AST, or an
+/// already-bound query.
+#[derive(Debug, Clone)]
+pub enum QueryInput {
+    /// PXQL text, parsed by the service.
+    Text(String),
+    /// An already-parsed query; the pair of interest comes from its `WHERE`
+    /// bindings or from [`QueryRequest::pair`].
+    Parsed(PxqlQuery),
+    /// A fully bound query.
+    Bound(BoundQuery),
+}
+
+/// One self-contained query against an [`XplainService`].
+#[derive(Debug, Clone)]
+pub struct QueryRequest {
+    /// The PXQL query (text, parsed, or bound).
+    pub query: QueryInput,
+    /// The pair of interest; overrides the query's own `WHERE` bindings.
+    pub pair: Option<(String, String)>,
+    /// Per-query configuration override (the service's config otherwise).
+    pub config: Option<ExplainConfig>,
+    /// Extend an irrelevant despite clause automatically (Section 6.4)
+    /// before generating the because clause.
+    pub extend_despite: bool,
+    /// Render the explanation in plain English into
+    /// [`QueryOutcome::narration`].
+    pub narrate: bool,
+    /// Score the explanation over the related pairs into
+    /// [`QueryOutcome::quality`].
+    pub assess: bool,
+}
+
+impl QueryRequest {
+    /// A request from PXQL text.
+    pub fn text(query: impl Into<String>) -> Self {
+        QueryRequest::from_input(QueryInput::Text(query.into()))
+    }
+
+    /// A request from a parsed query.
+    pub fn parsed(query: PxqlQuery) -> Self {
+        QueryRequest::from_input(QueryInput::Parsed(query))
+    }
+
+    /// A request from a bound query.
+    pub fn bound(query: BoundQuery) -> Self {
+        QueryRequest::from_input(QueryInput::Bound(query))
+    }
+
+    fn from_input(query: QueryInput) -> Self {
+        QueryRequest {
+            query,
+            pair: None,
+            config: None,
+            extend_despite: false,
+            narrate: false,
+            assess: false,
+        }
+    }
+
+    /// Sets the pair of interest.
+    pub fn with_pair(mut self, left: impl Into<String>, right: impl Into<String>) -> Self {
+        self.pair = Some((left.into(), right.into()));
+        self
+    }
+
+    /// Overrides the service configuration for this query.
+    pub fn with_config(mut self, config: ExplainConfig) -> Self {
+        self.config = Some(config);
+        self
+    }
+
+    /// Requests automatic despite-clause extension.
+    pub fn with_despite_extension(mut self) -> Self {
+        self.extend_despite = true;
+        self
+    }
+
+    /// Requests a plain-English narration of the explanation.
+    pub fn with_narration(mut self) -> Self {
+        self.narrate = true;
+        self
+    }
+
+    /// Requests precision / generality / relevance scores.
+    pub fn with_assessment(mut self) -> Self {
+        self.assess = true;
+        self
+    }
+
+    /// Resolves the request into a bound query.
+    fn resolve(&self) -> Result<BoundQuery> {
+        let parsed = match &self.query {
+            QueryInput::Text(text) => pxql::parse_query(text)?,
+            QueryInput::Parsed(query) => query.clone(),
+            QueryInput::Bound(bound) => {
+                let mut bound = bound.clone();
+                if let Some((left, right)) = &self.pair {
+                    bound.left_id = left.clone();
+                    bound.right_id = right.clone();
+                }
+                return Ok(bound);
+            }
+        };
+        match &self.pair {
+            Some((left, right)) => Ok(BoundQuery::new(parsed, left.clone(), right.clone())),
+            None => BoundQuery::from_query(parsed),
+        }
+    }
+}
+
+/// Everything one service call produces.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// The generated explanation (despite extension + because clause).
+    pub explanation: Explanation,
+    /// The query that was ultimately explained (despite clause possibly
+    /// extended).
+    pub query: BoundQuery,
+    /// Plain-English rendering, when requested.
+    pub narration: Option<String>,
+    /// Metric estimates over the related pairs, when requested.
+    pub quality: Option<ExplanationQuality>,
+    /// Log generation the answer was computed against.
+    pub generation: u64,
+    /// Whether the columnar view came from the service cache (`false` for
+    /// the call that built it).
+    pub view_reused: bool,
+}
+
+/// A long-lived, thread-safe PerfXplain query service.
+///
+/// ```
+/// use perfxplain_core::{
+///     ExecutionLog, ExecutionRecord, QueryRequest, XplainService,
+/// };
+///
+/// let mut log = ExecutionLog::new();
+/// for i in 0..30 {
+///     let big_blocks = i % 2 == 0;
+///     let input: f64 = if i % 4 < 2 { 32.0e9 } else { 1.0e9 };
+///     let duration = if big_blocks { 600.0 } else { input / 5.0e7 };
+///     log.push(
+///         ExecutionRecord::job(format!("job_{i}"))
+///             .with_feature("inputsize", input)
+///             .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+///             .with_feature("duration", duration),
+///     );
+/// }
+/// log.rebuild_catalogs();
+///
+/// let service = XplainService::new(log);
+/// let request = QueryRequest::text(
+///     "DESPITE inputsize_compare = GT\n\
+///      OBSERVED duration_compare = SIM\n\
+///      EXPECTED duration_compare = GT",
+/// )
+/// .with_pair("job_0", "job_2");
+///
+/// // The first query encodes the log; repeats reuse the cached view.
+/// let first = service.explain(&request).unwrap();
+/// let second = service.explain(&request).unwrap();
+/// assert!(!first.view_reused);
+/// assert!(second.view_reused);
+/// assert_eq!(first.explanation, second.explanation);
+/// ```
+#[derive(Debug)]
+pub struct XplainService {
+    log: RwLock<ExecutionLog>,
+    /// Columnar views keyed by `(log generation, execution kind)`.
+    views: RwLock<HashMap<(u64, ExecutionKind), Arc<ColumnarLog>>>,
+    engine: PerfXplain,
+}
+
+impl XplainService {
+    /// Creates a service over the log with the default configuration.
+    pub fn new(log: ExecutionLog) -> Self {
+        XplainService::with_config(log, ExplainConfig::default())
+    }
+
+    /// Creates a service over the log with an explicit configuration.
+    pub fn with_config(log: ExecutionLog, config: ExplainConfig) -> Self {
+        XplainService {
+            log: RwLock::new(log),
+            views: RwLock::new(HashMap::new()),
+            engine: PerfXplain::new(config),
+        }
+    }
+
+    /// The service-wide configuration (requests can override per query).
+    pub fn config(&self) -> &ExplainConfig {
+        self.engine.config()
+    }
+
+    /// The current generation of the served log.
+    pub fn generation(&self) -> u64 {
+        self.read_log().generation()
+    }
+
+    /// A clone of the served log.
+    pub fn snapshot(&self) -> ExecutionLog {
+        self.read_log().clone()
+    }
+
+    /// Runs `f` against the served log under the read lock.
+    pub fn with_log<R>(&self, f: impl FnOnce(&ExecutionLog) -> R) -> R {
+        f(&self.read_log())
+    }
+
+    /// Mutates the served log under the write lock.  Any mutation bumps the
+    /// log's generation, so cached views of the previous state are evicted
+    /// and the next query re-encodes.
+    ///
+    /// Use [`XplainService::with_log`] for read-only access: this method
+    /// drops the whole view cache unconditionally.  Cached views always
+    /// belong to generations at or below the pre-closure one, so nothing
+    /// can survive an ordinary mutation — and a closure that swaps in a
+    /// *different* log whose counter happens to collide with a cached key
+    /// must not resurrect a stale view either.
+    pub fn with_log_mut<R>(&self, f: impl FnOnce(&mut ExecutionLog) -> R) -> R {
+        let mut log = self.log.write().expect("log lock poisoned");
+        let result = f(&mut log);
+        self.views
+            .write()
+            .expect("view cache lock poisoned")
+            .clear();
+        result
+    }
+
+    /// Replaces the served log wholesale, dropping every cached view (the
+    /// new log's generation counter is unrelated to the old one's).
+    pub fn replace_log(&self, log: ExecutionLog) {
+        let mut guard = self.log.write().expect("log lock poisoned");
+        *guard = log;
+        self.views
+            .write()
+            .expect("view cache lock poisoned")
+            .clear();
+    }
+
+    /// Number of cached columnar views (at most one per execution kind once
+    /// the cache is warm).
+    pub fn cached_view_count(&self) -> usize {
+        self.views.read().expect("view cache lock poisoned").len()
+    }
+
+    /// Answers one query.  The columnar view for the log's current
+    /// generation is fetched from the cache or lazily built; everything
+    /// else — binding, training, clause generation, optional despite
+    /// extension, narration and assessment — happens through the same code
+    /// path as the stateless API.
+    pub fn explain(&self, request: &QueryRequest) -> Result<QueryOutcome> {
+        let bound = request.resolve()?;
+        self.explain_resolved(request, &bound)
+    }
+
+    /// [`XplainService::explain`] with the query already resolved (the
+    /// batch path resolves once up front).
+    fn explain_resolved(&self, request: &QueryRequest, bound: &BoundQuery) -> Result<QueryOutcome> {
+        let log = self.read_log();
+        let (view, view_reused) = self.view_for(&log, bound.kind);
+        let engine;
+        let engine = match &request.config {
+            Some(config) => {
+                engine = PerfXplain::new(config.clone());
+                &engine
+            }
+            None => &self.engine,
+        };
+        answer(engine, &log, view, view_reused, bound, request)
+    }
+
+    /// Answers a slice of requests concurrently over `std::thread::scope`,
+    /// all threads sharing the cached view of the current log generation.
+    /// Results come back in request order; each is exactly what
+    /// [`XplainService::explain`] would have produced serially.
+    pub fn par_explain_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryOutcome>> {
+        if requests.len() <= 1 {
+            return requests.iter().map(|r| self.explain(r)).collect();
+        }
+        // Resolve every request once, and warm the view cache per distinct
+        // kind up front so the workers share one encoding instead of racing
+        // to build it.
+        let resolved: Vec<Result<BoundQuery>> = requests.iter().map(|r| r.resolve()).collect();
+        {
+            let log = self.read_log();
+            let mut warmed = Vec::new();
+            for bound in resolved.iter().flatten() {
+                if !warmed.contains(&bound.kind) {
+                    self.view_for(&log, bound.kind);
+                    warmed.push(bound.kind);
+                }
+            }
+        }
+        let threads = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+            .min(requests.len());
+        let jobs: Vec<(&QueryRequest, &Result<BoundQuery>)> =
+            requests.iter().zip(&resolved).collect();
+        let chunk_size = jobs.len().div_ceil(threads);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk_size)
+                .map(|chunk| {
+                    scope.spawn(move || -> Vec<Result<QueryOutcome>> {
+                        chunk
+                            .iter()
+                            .map(|(request, bound)| match bound {
+                                Ok(bound) => self.explain_resolved(request, bound),
+                                Err(err) => Err(err.clone()),
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|handle| handle.join().expect("query worker panicked"))
+                .collect()
+        })
+    }
+
+    /// The single-shot pass behind the stateless [`PerfXplain`] API: build
+    /// a fresh view for this one query, then answer through the exact same
+    /// code path as a cached service query.  Preconditions are checked
+    /// before the view is built, so invalid queries fail without paying for
+    /// an encoding.
+    pub(crate) fn answer_once(
+        engine: &PerfXplain,
+        log: &ExecutionLog,
+        query: &BoundQuery,
+        extend_despite: bool,
+    ) -> Result<QueryOutcome> {
+        query.verify_preconditions(log, engine.config().sim_threshold)?;
+        let view = Arc::new(ColumnarLog::build(log, query.kind));
+        let request = QueryRequest {
+            query: QueryInput::Bound(query.clone()),
+            pair: None,
+            config: None,
+            extend_despite,
+            narrate: false,
+            assess: false,
+        };
+        answer(engine, log, view, false, query, &request)
+    }
+
+    fn read_log(&self) -> std::sync::RwLockReadGuard<'_, ExecutionLog> {
+        self.log.read().expect("log lock poisoned")
+    }
+
+    /// Fetches (or lazily builds) the columnar view for the log's current
+    /// generation, evicting entries of superseded generations.
+    fn view_for(&self, log: &ExecutionLog, kind: ExecutionKind) -> (Arc<ColumnarLog>, bool) {
+        let key = (log.generation(), kind);
+        if let Some(view) = self
+            .views
+            .read()
+            .expect("view cache lock poisoned")
+            .get(&key)
+        {
+            return (view.clone(), true);
+        }
+        let built = Arc::new(ColumnarLog::build(log, kind));
+        let mut cache = self.views.write().expect("view cache lock poisoned");
+        cache.retain(|(generation, _), _| *generation == log.generation());
+        // A racing query may have inserted the same view already; both
+        // encodings are identical, keep the first.
+        let entry = cache.entry(key).or_insert(built);
+        (entry.clone(), false)
+    }
+}
+
+/// The one code path every query goes through: explain (optionally with the
+/// automatic despite extension) against a shared view, then narrate and
+/// assess on demand.
+fn answer(
+    engine: &PerfXplain,
+    log: &ExecutionLog,
+    view: Arc<ColumnarLog>,
+    view_reused: bool,
+    bound: &BoundQuery,
+    request: &QueryRequest,
+) -> Result<QueryOutcome> {
+    let (explanation, effective, training) =
+        engine.explain_with_training(log, view, bound, request.extend_despite)?;
+    let narration = request.narrate.then(|| narrate(bound, &explanation));
+    // Assessment reuses the training set the clause was grown from (the
+    // seeded sample over the effective query) instead of re-enumerating.
+    let quality = request.assess.then(|| {
+        assess(
+            &training.materialise(engine.config().sim_threshold),
+            &explanation,
+        )
+    });
+    Ok(QueryOutcome {
+        explanation,
+        query: effective,
+        narration,
+        quality,
+        generation: log.generation(),
+        view_reused,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ExecutionRecord;
+
+    /// The block-size log of the engine tests: pairs with larger input have
+    /// similar durations exactly when blocks are large and the cluster big.
+    fn block_size_log(n: usize) -> ExecutionLog {
+        let mut log = ExecutionLog::new();
+        for i in 0..n {
+            let big_blocks = i % 2 == 0;
+            let big_cluster = i % 3 != 0;
+            let input: f64 = if i % 4 < 2 { 32.0e9 } else { 1.0e9 };
+            let duration = if big_blocks && big_cluster {
+                600.0
+            } else {
+                input / (if big_cluster { 150.0 } else { 4.0 } * 2.0e7)
+            };
+            log.push(
+                ExecutionRecord::job(format!("job_{i}"))
+                    .with_feature("inputsize", input)
+                    .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+                    .with_feature("numinstances", if big_cluster { 150.0 } else { 4.0 })
+                    .with_feature("duration", duration),
+            );
+        }
+        log.rebuild_catalogs();
+        log
+    }
+
+    const QUERY: &str = "DESPITE inputsize_compare = GT\n\
+                         OBSERVED duration_compare = SIM\n\
+                         EXPECTED duration_compare = GT";
+
+    fn request() -> QueryRequest {
+        QueryRequest::text(QUERY).with_pair("job_4", "job_2")
+    }
+
+    #[test]
+    fn service_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<XplainService>();
+        assert_send_sync::<QueryRequest>();
+        assert_send_sync::<QueryOutcome>();
+    }
+
+    #[test]
+    fn repeated_queries_reuse_the_cached_view() {
+        let service = XplainService::new(block_size_log(40));
+        let first = service.explain(&request()).unwrap();
+        let second = service.explain(&request()).unwrap();
+        assert!(!first.view_reused);
+        assert!(second.view_reused);
+        assert_eq!(first.generation, second.generation);
+        assert_eq!(first.explanation, second.explanation);
+        assert_eq!(service.cached_view_count(), 1);
+    }
+
+    #[test]
+    fn service_matches_the_stateless_api() {
+        let log = block_size_log(40);
+        let service = XplainService::new(log.clone());
+        let outcome = service.explain(&request()).unwrap();
+        let bound = outcome.query.clone();
+        let stateless = PerfXplain::with_defaults().explain(&log, &bound).unwrap();
+        assert_eq!(outcome.explanation, stateless);
+    }
+
+    #[test]
+    fn mutations_bump_the_generation_and_evict_stale_views() {
+        let service = XplainService::new(block_size_log(40));
+        let before = service.explain(&request()).unwrap();
+        assert_eq!(service.cached_view_count(), 1);
+
+        // Mutate the log: push a record and rebuild the catalogs.
+        service.with_log_mut(|log| {
+            log.push(
+                ExecutionRecord::job("job_extra")
+                    .with_feature("inputsize", 64.0e9)
+                    .with_feature("blocksize", 1024.0)
+                    .with_feature("numinstances", 150.0)
+                    .with_feature("duration", 600.0),
+            );
+            log.rebuild_catalogs();
+        });
+        // The stale view is gone immediately, not lazily.
+        assert_eq!(service.cached_view_count(), 0);
+
+        let after = service.explain(&request()).unwrap();
+        assert!(after.generation > before.generation);
+        assert!(!after.view_reused);
+
+        // The answer matches a fresh engine over the mutated log: the stale
+        // view was provably not served.
+        let fresh = PerfXplain::with_defaults()
+            .explain(&service.snapshot(), &after.query)
+            .unwrap();
+        assert_eq!(after.explanation, fresh);
+    }
+
+    #[test]
+    fn wholesale_replacement_with_a_colliding_generation_is_not_served_stale() {
+        // Two different logs can share a generation counter value; swapping
+        // one in through `with_log_mut` must still drop the cached views.
+        let log_a = block_size_log(40);
+        let mut log_b = block_size_log(24);
+        while log_b.generation() < log_a.generation() {
+            log_b.rebuild_catalogs();
+        }
+        let log_b = log_b; // same generation as log_a, different contents
+
+        let service = XplainService::new(log_a.clone());
+        service.explain(&request()).unwrap();
+        assert_eq!(service.cached_view_count(), 1);
+
+        assert_eq!(log_b.generation(), log_a.generation());
+        service.with_log_mut(|log| *log = log_b.clone());
+        assert_eq!(service.cached_view_count(), 0);
+        let outcome = service.explain(&request()).unwrap();
+        assert!(!outcome.view_reused);
+        let fresh = PerfXplain::with_defaults()
+            .explain(&log_b, &outcome.query)
+            .unwrap();
+        assert_eq!(outcome.explanation, fresh);
+    }
+
+    #[test]
+    fn replace_log_drops_every_cached_view() {
+        let service = XplainService::new(block_size_log(40));
+        service.explain(&request()).unwrap();
+        assert_eq!(service.cached_view_count(), 1);
+        service.replace_log(block_size_log(24));
+        assert_eq!(service.cached_view_count(), 0);
+        let outcome = service.explain(&request()).unwrap();
+        assert!(!outcome.view_reused);
+        assert_eq!(service.with_log(|log| log.jobs().count()), 24);
+    }
+
+    #[test]
+    fn requests_carry_narration_assessment_and_overrides() {
+        let service = XplainService::new(block_size_log(40));
+        let outcome = service
+            .explain(
+                &request()
+                    .with_config(ExplainConfig::default().with_width(2))
+                    .with_narration()
+                    .with_assessment(),
+            )
+            .unwrap();
+        assert!(outcome.explanation.width() <= 2);
+        assert!(outcome.narration.is_some());
+        let quality = outcome.quality.expect("assessment requested");
+        assert!(quality.precision.unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn invalid_requests_surface_descriptive_errors() {
+        let service = XplainService::new(block_size_log(24));
+        // Unparseable PXQL.
+        assert!(service.explain(&QueryRequest::text("NONSENSE")).is_err());
+        // Placeholder bindings without a pair of interest.
+        assert!(service.explain(&QueryRequest::text(QUERY)).is_err());
+        // Unknown executions.
+        assert!(service
+            .explain(&QueryRequest::text(QUERY).with_pair("job_4", "nope"))
+            .is_err());
+    }
+
+    #[test]
+    fn par_explain_batch_matches_the_serial_path() {
+        let service = XplainService::new(block_size_log(40));
+        let requests: Vec<QueryRequest> = (0..8)
+            .map(|i| {
+                let (left, right) = if i % 2 == 0 {
+                    ("job_4", "job_2")
+                } else {
+                    ("job_16", "job_2")
+                };
+                QueryRequest::text(QUERY).with_pair(left, right)
+            })
+            .collect();
+        let serial: Vec<_> = requests.iter().map(|r| service.explain(r)).collect();
+        let parallel = service.par_explain_batch(&requests);
+        assert_eq!(parallel.len(), serial.len());
+        for (s, p) in serial.iter().zip(&parallel) {
+            let (s, p) = (s.as_ref().unwrap(), p.as_ref().unwrap());
+            assert_eq!(s.explanation, p.explanation);
+            assert_eq!(s.query, p.query);
+        }
+        // One job view serves the whole batch.
+        assert_eq!(service.cached_view_count(), 1);
+    }
+}

@@ -41,6 +41,7 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 use rand::SeedableRng;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A class-balanced, fully materialised set of training pairs.
 #[derive(Debug, Clone, Default)]
@@ -128,7 +129,7 @@ enum CandidatePlan {
 impl CandidatePlan {
     /// Builds the plan for a query over a view, applying blocking when the
     /// despite clause allows it.
-    fn build(view: &ColumnarLog<'_>, query: &BoundQuery, log: &ExecutionLog) -> CandidatePlan {
+    fn build(view: &ColumnarLog, query: &BoundQuery, log: &ExecutionLog) -> CandidatePlan {
         let n = view.num_rows();
         let Some(block_feature) = blocking_feature(query, log) else {
             return CandidatePlan::All { n };
@@ -235,7 +236,7 @@ fn unit_f64(hash: u64) -> f64 {
 fn scan_unit(
     unit: &OuterUnit,
     plan: &CandidatePlan,
-    view: &ColumnarLog<'_>,
+    view: &ColumnarLog,
     compiled: &CompiledQuery,
     keep: Option<(u64, f64)>,
     out: &mut Vec<RelatedPair>,
@@ -279,7 +280,7 @@ fn scan_unit(
 /// materialising the candidate space: memory stays proportional to the
 /// related pairs (bounded by `max_candidate_pairs`), never O(n²).
 pub fn collect_related_pairs_in(
-    view: &ColumnarLog<'_>,
+    view: &ColumnarLog,
     query: &BoundQuery,
     log: &ExecutionLog,
     config: &ExplainConfig,
@@ -352,7 +353,9 @@ pub fn collect_related_pairs<'a>(
 ) -> (Vec<&'a ExecutionRecord>, Vec<RelatedPair>) {
     let view = ColumnarLog::build(log, query.kind);
     let related = collect_related_pairs_in(&view, query, log, config);
-    (view.into_records(), related)
+    // The view encodes `of_kind` records in iteration order, so the borrowed
+    // record list aligns with the pair indices.
+    (log.of_kind(query.kind).collect(), related)
 }
 
 /// Draws the class-balanced (or ablation uniform) sample over the related
@@ -431,11 +434,16 @@ pub fn prepare_training_set(
 /// The explanation engine consumes this directly — pair features of the
 /// sampled pairs are encoded straight into the split-search dataset, and
 /// [`PairExample`]s are only materialised at the API boundary.
+///
+/// The view is held behind an [`Arc`] so that a cached encoding (e.g. one
+/// owned by [`XplainService`](crate::service::XplainService)) can feed many
+/// training sets — across repeated queries and across threads — without
+/// ever being rebuilt or copied.
 #[derive(Debug, Clone)]
 pub struct EncodedTraining<'a> {
     log: &'a ExecutionLog,
     /// The columnar encoded view the pairs index into.
-    pub view: ColumnarLog<'a>,
+    pub view: Arc<ColumnarLog>,
     /// Sampled `(left, right)` row pairs, in selection order.
     pub pairs: Vec<(usize, usize)>,
     /// `true` for pairs that performed as observed.
@@ -477,8 +485,8 @@ impl<'a> EncodedTraining<'a> {
         for (&(left, right), &label) in self.pairs.iter().zip(&self.labels) {
             set.examples.push(PairExample::build(
                 catalog,
-                records[left],
-                records[right],
+                &records[left],
+                &records[right],
                 sim_threshold,
             ));
             set.labels.push(label);
@@ -495,16 +503,17 @@ pub fn prepare_encoded_training<'a>(
     query: &BoundQuery,
     config: &ExplainConfig,
 ) -> Result<EncodedTraining<'a>> {
-    let view = ColumnarLog::build(log, query.kind);
+    let view = Arc::new(ColumnarLog::build(log, query.kind));
     prepare_encoded_training_in(log, view, query, config)
 }
 
 /// Like [`prepare_encoded_training`], but reuses an already-encoded view —
-/// the zero-re-encoding path for repeated queries over the same log (e.g.
-/// the despite-extension pass of `explain_full`).
+/// the zero-re-encoding path for repeated queries over the same log (the
+/// despite-extension pass of `explain_full`, and every query answered by a
+/// [`XplainService`](crate::service::XplainService) cache hit).
 pub fn prepare_encoded_training_in<'a>(
     log: &'a ExecutionLog,
-    view: ColumnarLog<'a>,
+    view: Arc<ColumnarLog>,
     query: &BoundQuery,
     config: &ExplainConfig,
 ) -> Result<EncodedTraining<'a>> {

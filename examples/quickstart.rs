@@ -1,5 +1,5 @@
-//! Quickstart: build an execution log, ask a PXQL query, print the
-//! explanation.
+//! Quickstart: build an execution log, stand up the query service, ask
+//! PXQL queries, print the explanations.
 //!
 //! Run with:
 //! ```text
@@ -7,7 +7,7 @@
 //! ```
 
 use perfxplain::prelude::*;
-use perfxplain::{assess, narrate, prepare_training_set};
+use std::time::Instant;
 
 fn main() {
     // 1. A log of past executions.  In a real deployment this comes from the
@@ -40,27 +40,41 @@ fn main() {
         fast.duration().unwrap_or(0.0)
     );
 
-    // 3. Ask PerfXplain.
-    let config = ExplainConfig::default();
-    let engine = PerfXplain::new(config.clone());
-    let explanation = engine
-        .explain(&log, &binding.bound)
-        .expect("explanation generation succeeds");
-    println!("explanation:\n{explanation}\n");
+    // 3. Stand up the query service and ask.  One call parses/binds the
+    //    query, generates the explanation, narrates it in plain English and
+    //    scores it over the related pairs (Definitions 4-6 of the paper).
+    let service = XplainService::new(log);
+    let request = QueryRequest::bound(binding.bound.clone())
+        .with_narration()
+        .with_assessment();
+    let started = Instant::now();
+    let outcome = service.explain(&request).expect("explanation succeeds");
+    let first_query = started.elapsed();
+    println!("explanation:\n{}\n", outcome.explanation);
     println!(
         "in plain English: {}\n",
-        narrate(&binding.bound, &explanation)
+        outcome.narration.as_deref().unwrap_or_default()
     );
-
-    // 4. How good is it?  Relevance / precision / generality over the
-    //    related pairs of the log (Definitions 4-6 of the paper).
-    let related = prepare_training_set(&log, &binding.bound, &config).expect("related pairs exist");
-    let quality = assess(&related, &explanation);
+    let quality = outcome.quality.expect("assessment was requested");
     println!(
-        "quality on {} related pairs: precision {:.2}, generality {:.2}, relevance {:.2}",
-        related.len(),
+        "quality over the related pairs: precision {:.2}, generality {:.2}, relevance {:.2}",
         quality.precision.unwrap_or(f64::NAN),
         quality.generality.unwrap_or(f64::NAN),
         quality.relevance.unwrap_or(f64::NAN),
+    );
+
+    // 4. The session continues: follow-up queries reuse the cached columnar
+    //    view of the log instead of re-encoding it (on logs of real size
+    //    that is the dominant cost — see the service_reuse scenario in
+    //    BENCH_pairs.json).
+    let started = Instant::now();
+    let repeat = service.explain(&request).expect("explanation succeeds");
+    let second_query = started.elapsed();
+    assert!(repeat.view_reused);
+    assert_eq!(repeat.explanation, outcome.explanation);
+    println!(
+        "\nfirst query (encodes the log): {:.1} ms; follow-up (cached view): {:.1} ms",
+        first_query.as_secs_f64() * 1e3,
+        second_query.as_secs_f64() * 1e3,
     );
 }

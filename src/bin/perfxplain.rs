@@ -18,6 +18,14 @@
 //!     Answer a PXQL query: generate an explanation (optionally extending
 //!     the despite clause automatically), print it, score it, and optionally
 //!     narrate it in plain English or compare against the baselines.
+//!
+//! perfxplain batch --log log.json --queries queries.pxqlb
+//!                  [--width N] [--auto-despite] [--narrate] [--par]
+//!     Answer a whole file of PXQL queries (one per line, `#` comments and
+//!     blank lines ignored; each line needs literal WHERE bindings) through
+//!     one long-lived XplainService, printing per-query timing so the
+//!     columnar-view reuse is visible.  `--par` answers the batch across
+//!     threads instead of serially.
 //! ```
 //!
 //! The query file contains a PXQL query; if its `WHERE` clause uses `?`
@@ -25,10 +33,12 @@
 
 use perfxplain::prelude::*;
 use perfxplain::{
-    assess, generate_explanation, narrate, prepare_training_set, BoundQuery, ExecutionLog,
+    assess, generate_explanation, prepare_training_set, BoundQuery, ExecutionLog, QueryRequest,
+    XplainService,
 };
 use std::collections::BTreeMap;
 use std::process::exit;
+use std::time::Instant;
 
 fn fail(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -57,6 +67,7 @@ impl Args {
                         | "log"
                         | "query"
                         | "query-text"
+                        | "queries"
                         | "left"
                         | "right"
                         | "width"
@@ -186,6 +197,16 @@ fn cmd_queries(args: &Args) {
     }
 }
 
+fn config_from(args: &Args) -> ExplainConfig {
+    let mut config = ExplainConfig::default();
+    if let Some(width) = args.get("width") {
+        config.width = width
+            .parse()
+            .unwrap_or_else(|_| fail("--width expects a number"));
+    }
+    config
+}
+
 fn cmd_explain(args: &Args) {
     let log = load_log(args);
     let query_text = if let Some(path) = args.get("query") {
@@ -196,66 +217,169 @@ fn cmd_explain(args: &Args) {
     } else {
         fail("--query <file> or --query-text \"...\" is required");
     };
+
+    // The query is parsed here only so that `--compare` can rebuild the
+    // user's *original* bound query later; the service call itself replaces
+    // the old parse → bind → explain → assess → narrate choreography.
     let parsed = parse_query(&query_text).unwrap_or_else(|e| fail(&format!("invalid PXQL: {e}")));
-
-    let bound = match (args.get("left"), args.get("right")) {
-        (Some(left), Some(right)) => BoundQuery::new(parsed, left, right),
-        _ => BoundQuery::from_query(parsed)
-            .unwrap_or_else(|_| fail("the query uses '?' placeholders; pass --left and --right")),
-    };
-
-    let mut config = ExplainConfig::default();
-    if let Some(width) = args.get("width") {
-        config.width = width
-            .parse()
-            .unwrap_or_else(|_| fail("--width expects a number"));
+    let config = config_from(args);
+    let mut request = QueryRequest::parsed(parsed.clone()).with_assessment();
+    if let (Some(left), Some(right)) = (args.get("left"), args.get("right")) {
+        request = request.with_pair(left, right);
+    } else if matches!(parsed.left_binding, pxql::PairBinding::Placeholder)
+        || matches!(parsed.right_binding, pxql::PairBinding::Placeholder)
+    {
+        fail("the query uses '?' placeholders; pass --left and --right");
     }
-    let engine = PerfXplain::new(config.clone());
-
-    let (explanation, effective_query) = if args.has("auto-despite") {
-        engine
-            .explain_full(&log, &bound)
-            .unwrap_or_else(|e| fail(&e.to_string()))
-    } else {
-        (
-            engine
-                .explain(&log, &bound)
-                .unwrap_or_else(|e| fail(&e.to_string())),
-            bound.clone(),
-        )
-    };
-
-    println!("{explanation}\n");
+    if args.has("auto-despite") {
+        request = request.with_despite_extension();
+    }
     if args.has("narrate") {
-        println!("{}\n", narrate(&bound, &explanation));
+        request = request.with_narration();
     }
 
-    let related = prepare_training_set(&log, &effective_query, &config)
+    let service = XplainService::with_config(log, config.clone());
+    let outcome = service
+        .explain(&request)
         .unwrap_or_else(|e| fail(&e.to_string()));
-    let quality = assess(&related, &explanation);
+
+    println!("{}\n", outcome.explanation);
+    if let Some(narration) = &outcome.narration {
+        println!("{narration}\n");
+    }
+    let quality = outcome.quality.expect("assessment was requested");
     println!(
-        "quality over {} related pairs: precision {:.2}, generality {:.2}, relevance {:.2}",
-        related.len(),
+        "quality over the related pairs: precision {:.2}, generality {:.2}, relevance {:.2}",
         quality.precision.unwrap_or(f64::NAN),
         quality.generality.unwrap_or(f64::NAN),
         quality.relevance.unwrap_or(f64::NAN)
     );
 
     if args.has("compare") {
-        println!("\nbaselines:");
-        for technique in [Technique::RuleOfThumb, Technique::SimButDiff] {
-            match generate_explanation(technique, &log, &bound, &config) {
-                Ok(explanation) => {
-                    let quality = assess(&related, &explanation);
-                    println!(
-                        "  {technique:<12} precision {:.2}, generality {:.2}  ({})",
-                        quality.precision.unwrap_or(f64::NAN),
-                        quality.generality.unwrap_or(f64::NAN),
-                        explanation.because
-                    );
+        // Baselines answer the user's original query (not the
+        // despite-extended one), scored over its related pairs; the pair of
+        // interest is the one the service resolved.
+        let bound = BoundQuery::new(
+            parsed,
+            outcome.query.left_id.clone(),
+            outcome.query.right_id.clone(),
+        );
+        service.with_log(|log| {
+            let related =
+                prepare_training_set(log, &bound, &config).unwrap_or_else(|e| fail(&e.to_string()));
+            println!("\nbaselines:");
+            for technique in [Technique::RuleOfThumb, Technique::SimButDiff] {
+                match generate_explanation(technique, log, &bound, &config) {
+                    Ok(explanation) => {
+                        let quality = assess(&related, &explanation);
+                        println!(
+                            "  {technique:<12} precision {:.2}, generality {:.2}  ({})",
+                            quality.precision.unwrap_or(f64::NAN),
+                            quality.generality.unwrap_or(f64::NAN),
+                            explanation.because
+                        );
+                    }
+                    Err(err) => println!("  {technique:<12} failed: {err}"),
                 }
-                Err(err) => println!("  {technique:<12} failed: {err}"),
             }
+        });
+    }
+}
+
+/// Answers a file of PXQL queries through one long-lived service, printing
+/// per-query timing so the columnar-view reuse is visible.
+fn cmd_batch(args: &Args) {
+    let log = load_log(args);
+    let path = args
+        .get("queries")
+        .unwrap_or_else(|| fail("--queries <file.pxqlb> is required"));
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read query file {path}: {e}")));
+
+    let mut requests: Vec<(usize, QueryRequest)> = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut request = QueryRequest::text(line);
+        if args.has("auto-despite") {
+            request = request.with_despite_extension();
+        }
+        if args.has("narrate") {
+            request = request.with_narration();
+        }
+        requests.push((lineno + 1, request));
+    }
+    if requests.is_empty() {
+        fail(&format!("{path} contains no queries"));
+    }
+
+    let service = XplainService::with_config(log, config_from(args));
+    println!(
+        "answering {} queries over {} executions...\n",
+        requests.len(),
+        service.with_log(|log| log.len())
+    );
+
+    let mut reused = 0usize;
+    let started = Instant::now();
+    if args.has("par") {
+        let batch: Vec<QueryRequest> = requests.iter().map(|(_, r)| r.clone()).collect();
+        let outcomes = service.par_explain_batch(&batch);
+        let elapsed = started.elapsed();
+        for ((lineno, _), outcome) in requests.iter().zip(outcomes) {
+            reused += print_batch_outcome(*lineno, &outcome, None);
+        }
+        println!(
+            "\n{} queries in {:.1} ms across threads ({} answered from the cached view)",
+            requests.len(),
+            elapsed.as_secs_f64() * 1e3,
+            reused
+        );
+    } else {
+        for (lineno, request) in &requests {
+            let query_started = Instant::now();
+            let outcome = service.explain(request);
+            reused += print_batch_outcome(*lineno, &outcome, Some(query_started.elapsed()));
+        }
+        println!(
+            "\n{} queries in {:.1} ms ({} answered from the cached view)",
+            requests.len(),
+            started.elapsed().as_secs_f64() * 1e3,
+            reused
+        );
+    }
+}
+
+/// Prints one batch result line; returns 1 when the cached view was reused.
+fn print_batch_outcome(
+    lineno: usize,
+    outcome: &Result<perfxplain::QueryOutcome, perfxplain::CoreError>,
+    elapsed: Option<std::time::Duration>,
+) -> usize {
+    let timing = elapsed
+        .map(|e| format!("{:>8.2} ms  ", e.as_secs_f64() * 1e3))
+        .unwrap_or_default();
+    match outcome {
+        Ok(outcome) => {
+            let origin = if outcome.view_reused {
+                "cached view"
+            } else {
+                "view built"
+            };
+            println!(
+                "line {lineno:>4}: {timing}[{origin}] {} vs {}: {}",
+                outcome.query.left_id, outcome.query.right_id, outcome.explanation.because
+            );
+            if let Some(narration) = &outcome.narration {
+                println!("            {narration}");
+            }
+            usize::from(outcome.view_reused)
+        }
+        Err(err) => {
+            println!("line {lineno:>4}: {timing}failed: {err}");
+            0
         }
     }
 }
@@ -263,7 +387,7 @@ fn cmd_explain(args: &Args) {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
-        eprintln!("usage: perfxplain <simulate|inspect|queries|explain> [options]");
+        eprintln!("usage: perfxplain <simulate|inspect|queries|explain|batch> [options]");
         eprintln!("       see the module documentation at the top of src/bin/perfxplain.rs");
         exit(2);
     };
@@ -273,8 +397,9 @@ fn main() {
         "inspect" => cmd_inspect(&args),
         "queries" => cmd_queries(&args),
         "explain" => cmd_explain(&args),
+        "batch" => cmd_batch(&args),
         "--help" | "-h" | "help" => {
-            println!("usage: perfxplain <simulate|inspect|queries|explain> [options]");
+            println!("usage: perfxplain <simulate|inspect|queries|explain|batch> [options]");
         }
         other => fail(&format!("unknown command '{other}'")),
     }

@@ -16,6 +16,12 @@
 //!
 //! # Quickstart
 //!
+//! Debugging sessions are interactive: a user poses *many* PXQL queries
+//! against the *same* execution log.  The [`XplainService`] is the
+//! long-lived entry point for that — it caches the log's columnar encoding
+//! per (generation, kind) and serves every query (concurrently, if you
+//! like) from the cached view:
+//!
 //! ```no_run
 //! use perfxplain::prelude::*;
 //!
@@ -26,19 +32,33 @@
 //! // 2. Pose a PXQL query about a pair of executions.
 //! let binding = why_slower_despite_same_num_instances(&log).expect("pair of interest");
 //!
-//! // 3. Ask PerfXplain for an explanation.
-//! let engine = PerfXplain::new(ExplainConfig::default());
-//! let explanation = engine.explain(&log, &binding.bound).unwrap();
-//! println!("{explanation}");
+//! // 3. Stand up the query service and ask.  One call parses, binds,
+//! //    explains, narrates and scores; repeated queries reuse the cached
+//! //    columnar view instead of re-encoding the log.
+//! let service = XplainService::new(log);
+//! let outcome = service
+//!     .explain(&QueryRequest::bound(binding.bound).with_narration())
+//!     .unwrap();
+//! println!("{}", outcome.explanation);
+//! println!("{}", outcome.narration.unwrap());
+//!
+//! // Mutating the log through the service bumps its generation counter and
+//! // invalidates the cached views — stale answers are impossible.
+//! service.with_log_mut(|log| log.rebuild_catalogs());
 //! ```
+//!
+//! For one-off questions the stateless [`PerfXplain`] engine is still
+//! available (`engine.explain(&log, &bound)`); it is a thin wrapper over a
+//! single-shot service pass, so both APIs share one code path.
 
 pub use perfxplain_core::{
     assess, compute_pair_features, evaluate_on_log, generality, generate_explanation, narrate,
     precision, prepare_training_set, relevance, split_log, train_test_round, Aggregate, BoundQuery,
     CoreError, EvaluationResult, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig,
     Explanation, ExplanationQuality, FeatureCatalog, FeatureDef, FeatureKind, FeatureLevel,
-    MetricEstimate, PairCatalog, PairExample, PairFeatureGroup, PairLabel, PerfXplain, RuleOfThumb,
-    SimButDiff, Technique, TrainingSet, DEFAULT_SIM_THRESHOLD, DURATION_FEATURE,
+    MetricEstimate, PairCatalog, PairExample, PairFeatureGroup, PairLabel, PerfXplain, QueryInput,
+    QueryOutcome, QueryRequest, RuleOfThumb, SimButDiff, Technique, TrainingSet, XplainService,
+    DEFAULT_SIM_THRESHOLD, DURATION_FEATURE,
 };
 
 pub use hadoop_logs;
@@ -51,7 +71,8 @@ pub use workload;
 pub mod prelude {
     pub use crate::{
         BoundQuery, ExecutionLog, ExecutionRecord, ExplainConfig, Explanation, FeatureLevel,
-        PairLabel, PerfXplain, RuleOfThumb, SimButDiff, Technique,
+        PairLabel, PerfXplain, QueryOutcome, QueryRequest, RuleOfThumb, SimButDiff, Technique,
+        XplainService,
     };
     pub use hadoop_logs::{collect_traces, JobLogBundle, LogCollector};
     pub use mrsim::{Cluster, ClusterSpec, JobSpec, PigScript};

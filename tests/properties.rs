@@ -426,6 +426,61 @@ proptest! {
         }
     }
 
+    /// An [`perfxplain::XplainService`] never serves a stale view: under any
+    /// interleaving of `push` / `rebuild_catalogs` mutations and queries,
+    /// every query's answer is identical to a stateless engine running
+    /// against a freshly encoded snapshot of the log at that moment.
+    #[test]
+    fn service_answers_match_a_fresh_view_under_any_interleaving(
+        seed in 0u64..120,
+        ops in proptest::collection::vec(0u32..4, 1usize..12),
+    ) {
+        use perfxplain::{PerfXplain, QueryRequest, XplainService};
+
+        let config = uncapped_config();
+        let service = XplainService::with_config(random_log(seed), config.clone());
+        let engine = PerfXplain::new(config.clone());
+        let queries = query_pool();
+
+        let mut extra = 0usize;
+        for (step, op) in ops.iter().enumerate() {
+            match op {
+                // Mutate: push a record (catalogs intentionally left stale
+                // until the next rebuild, as after any bulk load).
+                0 => service.with_log_mut(|log| {
+                    extra += 1;
+                    let h = seed.wrapping_mul(131).wrapping_add(step as u64);
+                    log.push(
+                        ExecutionRecord::job(format!("extra_{extra}"))
+                            .with_feature("inputsize", [1.0e9, 4.0e9, 32.0e9][(h % 3) as usize])
+                            .with_feature("blocksize", 256.0)
+                            .with_feature("duration", 400.0 + (h % 300) as f64),
+                    );
+                }),
+                // Mutate: recompute the catalogs.
+                1 => service.with_log_mut(|log| log.rebuild_catalogs()),
+                // Query: the service (cached view) must agree with a fresh
+                // engine over a snapshot of the current log.
+                _ => {
+                    let query = queries[(seed as usize + step) % queries.len()].clone();
+                    let bound = BoundQuery::new(query, "job_0", "job_1");
+                    let served = service.explain(&QueryRequest::bound(bound.clone()));
+                    let snapshot = service.snapshot();
+                    let fresh = engine.explain(&snapshot, &bound);
+                    prop_assert_eq!(service.generation(), snapshot.generation());
+                    match (&served, &fresh) {
+                        (Ok(outcome), Ok(explanation)) => {
+                            prop_assert_eq!(&outcome.explanation, explanation);
+                            prop_assert_eq!(outcome.generation, snapshot.generation());
+                        }
+                        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                        other => prop_assert!(false, "service/fresh divergence: {:?}", other),
+                    }
+                }
+            }
+        }
+    }
+
     /// The encoded end-to-end engine produces explanations identical to the
     /// legacy map-based clause generation.
     #[test]

@@ -1,0 +1,93 @@
+//! Concurrency tests of the [`XplainService`]: many threads, one cached
+//! columnar view per execution kind, bit-identical answers.
+//!
+//! Run in CI both with default features and with `--features parallel`
+//! (which additionally fans the inner pair enumeration of every query out
+//! over threads).
+
+use perfxplain::prelude::*;
+use perfxplain::QueryInput;
+
+/// The paper's two canonical queries over a simulated Tiny sweep, repeated
+/// so the batch exercises both the job view and the task view.
+fn canonical_requests(log: &ExecutionLog, repeats: usize) -> Vec<QueryRequest> {
+    let job_query = why_slower_despite_same_num_instances(log)
+        .expect("the sweep contains the slower-despite-same-instances pattern");
+    let task_query =
+        why_last_task_faster(log).expect("the sweep contains the last-task-faster pattern");
+    let mut requests = Vec::new();
+    for _ in 0..repeats {
+        requests.push(QueryRequest::bound(job_query.bound.clone()).with_narration());
+        requests.push(QueryRequest::bound(task_query.bound.clone()).with_narration());
+    }
+    requests
+}
+
+#[test]
+fn par_explain_batch_is_bit_identical_to_the_serial_path() {
+    let log = build_execution_log(LogPreset::Tiny, 42);
+    let service = XplainService::new(log.clone());
+    // 8 requests alternating between the two canonical queries: with ≥4
+    // cores this drives ≥4 worker threads over the two shared views.
+    let requests = canonical_requests(&log, 4);
+
+    let serial: Vec<QueryOutcome> = requests
+        .iter()
+        .map(|request| service.explain(request).expect("serial query succeeds"))
+        .collect();
+    let parallel = service.par_explain_batch(&requests);
+
+    assert_eq!(parallel.len(), serial.len());
+    for (serial, parallel) in serial.iter().zip(&parallel) {
+        let parallel = parallel.as_ref().expect("parallel query succeeds");
+        assert_eq!(serial.explanation, parallel.explanation);
+        assert_eq!(serial.query, parallel.query);
+        assert_eq!(serial.narration, parallel.narration);
+        assert_eq!(serial.generation, parallel.generation);
+    }
+    // One cached view per kind serves the whole batch.
+    assert_eq!(service.cached_view_count(), 2);
+
+    // The serial service answers also match the stateless engine, so the
+    // whole stack (engine == serial service == parallel service) agrees.
+    let engine = PerfXplain::with_defaults();
+    for (request, outcome) in requests.iter().zip(&serial) {
+        let QueryInput::Bound(bound) = &request.query else {
+            panic!("requests are bound");
+        };
+        assert_eq!(engine.explain(&log, bound).unwrap(), outcome.explanation);
+    }
+}
+
+#[test]
+fn external_threads_share_one_service_and_agree() {
+    let log = build_execution_log(LogPreset::Tiny, 7);
+    let service = XplainService::new(log);
+    let requests = canonical_requests(&service.snapshot(), 1);
+    let expected: Vec<Explanation> = requests
+        .iter()
+        .map(|r| service.explain(r).expect("query succeeds").explanation)
+        .collect();
+
+    // ≥4 OS threads hammer the same service; every answer must be
+    // bit-identical to the serial one.
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let (service, requests, expected) = (&service, &requests, &expected);
+            scope.spawn(move || {
+                for _ in 0..3 {
+                    let outcomes = service.par_explain_batch(requests);
+                    for (outcome, expected) in outcomes.iter().zip(expected) {
+                        let outcome = outcome.as_ref().expect("batch query succeeds");
+                        assert_eq!(
+                            &outcome.explanation, expected,
+                            "worker {worker} diverged from the serial answer"
+                        );
+                        assert!(outcome.view_reused, "warm queries must hit the view cache");
+                    }
+                }
+            });
+        }
+    });
+    assert_eq!(service.cached_view_count(), 2);
+}
