@@ -1,14 +1,17 @@
 //! Pair-classification throughput benchmark and perf-trajectory emitter.
 //!
 //! Measures the streaming columnar training pipeline against the legacy
-//! map-based pair classification at log sizes n ∈ {100, 1k, 10k}, plus the
+//! map-based pair classification at log sizes n ∈ {100, 1k, 10k}, the
 //! `service_reuse` scenario (k queries against one cached [`XplainService`]
-//! view vs k cold `explain` calls), and writes `BENCH_pairs.json`
-//! (pairs/sec, candidate-memory footprint, speedups) so future PRs can
-//! track the trend.  Run with `cargo bench --bench pairs_pipeline`.
+//! view vs k cold `explain` calls), the sharded ingest+encode scenarios at
+//! n ∈ {100k, 1M} (sharded vs single-shot wall time, shards ∈ {1, 2, 4, 8})
+//! and the blocked-enumeration scenario at n = 100k, and writes
+//! `BENCH_pairs.json` (pairs/sec, candidate-memory footprint, speedups,
+//! the parallel-enumeration threshold) so future PRs can track the trend.
+//! Run with `cargo bench --bench pairs_pipeline`.
 
 use perfxplain_core::columnar::{ColumnarLog, CompiledQuery};
-use perfxplain_core::training::collect_related_pairs_in;
+use perfxplain_core::training::{collect_related_pairs_in, PARALLEL_ENUMERATION_THRESHOLD};
 use perfxplain_core::{
     BoundQuery, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig, PerfXplain,
     QueryRequest, XplainService,
@@ -70,11 +73,58 @@ struct ServiceReusePoint {
     speedup: f64,
 }
 
+/// One sharded ingest+encode measurement: a synthetic n-record log ingested
+/// (`extend_parallel` over `shards` record batches) and encoded
+/// (`ColumnarLog::build_sharded` with `shards` segments).  `shards = 1` is
+/// the single-shot baseline the speedups are relative to.
+#[derive(Debug, Serialize)]
+struct ShardedEncodePoint {
+    /// Number of log records.
+    n: usize,
+    /// Raw features per record.
+    features: usize,
+    /// Shard count (1 = single-shot baseline).
+    shards: usize,
+    /// Wall time of the sharded ingest (record batches → catalogs), ms.
+    ingest_ms: f64,
+    /// Wall time of the sharded columnar encode, ms.
+    encode_ms: f64,
+    /// Single-shot encode time ÷ this encode time.
+    encode_speedup_vs_single: f64,
+}
+
+/// The blocked-enumeration scenario: a despite clause with
+/// `pigscript_isSame = T` restricts candidates to within-script groups, so
+/// a 100k-record log enumerates ~n·(group-1) pairs instead of n².
+#[derive(Debug, Serialize)]
+struct BlockedEnumerationPoint {
+    /// Number of log records.
+    n: usize,
+    /// Records per blocking group.
+    group_size: usize,
+    /// Candidates actually enumerated (within groups).
+    enumerated: u64,
+    /// The full n·(n-1) space blocking avoided.
+    unblocked_space: u64,
+    /// Related pairs found.
+    related: usize,
+    /// Enumeration + classification wall time, ms.
+    elapsed_ms: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct PairsBenchReport {
     description: String,
+    /// Hardware threads the sharded/parallel numbers were measured with —
+    /// on a single-core machine every sharded speedup degenerates to ~1x.
+    hardware_threads: usize,
+    /// Record count above which pair enumeration fans out by default (the
+    /// `parallel`/`serial` features force-override this).
+    parallel_enumeration_threshold: usize,
     points: Vec<PairsBenchPoint>,
     service_reuse: ServiceReusePoint,
+    sharded_encode: Vec<ShardedEncodePoint>,
+    blocked_enumeration: BlockedEnumerationPoint,
 }
 
 /// A synthetic log shaped like the paper's workload: two duration regimes
@@ -182,48 +232,12 @@ fn measure(n: usize, measure_legacy: bool) -> PairsBenchPoint {
     }
 }
 
-/// A log shaped like an interactive debugging session's: wide records (many
-/// counter/Ganglia-style numeric features) and a nominal `pigscript` that
-/// the canonical queries block on, giving small per-script candidate
-/// groups.  Within each script group, big-block jobs plateau at ~600 s
-/// (observed pairs) while small-block jobs scale with their input
-/// (expected pairs).
-fn service_log(n: usize, extra_features: usize, group_size: usize) -> ExecutionLog {
-    let mut log = ExecutionLog::new();
-    for i in 0..n {
-        let position = i % group_size;
-        let big_blocks = position.is_multiple_of(2);
-        let input = (1 + position) as f64 * 1.0e9;
-        let duration = if big_blocks {
-            600.0 + (i % 7) as f64
-        } else {
-            input / 5.0e7 + (i % 5) as f64
-        };
-        let mut record = ExecutionRecord::job(format!("job_{i}"))
-            .with_feature("pigscript", format!("script_{}.pig", i / group_size))
-            .with_feature("inputsize", input)
-            .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
-            .with_feature("duration", duration);
-        for w in 0..extra_features {
-            record.set_feature(format!("metric_{w:02}"), ((i * 31 + w * 7) % 997) as f64);
-        }
-        log.push(record);
-    }
-    log.rebuild_catalogs();
-    log
-}
-
-/// k distinct bound queries over `service_log`: same query shape, a
-/// different pair of interest (and script group) each time.
+/// k distinct bound queries over [`perfxplain_bench::blocked_log`]: same
+/// query shape, a different pair of interest (and script group) each time.
 fn service_queries(k: usize, group_size: usize) -> Vec<BoundQuery> {
     (0..k)
         .map(|q| {
-            let query = pxql::parse_query(
-                "DESPITE pigscript_isSame = T AND inputsize_compare = GT\n\
-                 OBSERVED duration_compare = SIM\n\
-                 EXPECTED duration_compare = GT",
-            )
-            .unwrap();
+            let query = pxql::parse_query(perfxplain_bench::BLOCKED_QUERY).unwrap();
             // Members 0 and 2 of each group are big-block jobs: larger
             // input, plateaued (similar) duration — a valid pair of
             // interest.
@@ -235,7 +249,7 @@ fn service_queries(k: usize, group_size: usize) -> Vec<BoundQuery> {
 
 fn measure_service_reuse(n: usize, extra_features: usize, k: usize) -> ServiceReusePoint {
     let group_size = 10;
-    let log = service_log(n, extra_features, group_size);
+    let log = perfxplain_bench::blocked_log(n, group_size, extra_features);
     let features = log.job_catalog().len();
     let config = ExplainConfig::default().with_sample_size(200);
     let queries = service_queries(k, group_size);
@@ -277,6 +291,101 @@ fn measure_service_reuse(n: usize, extra_features: usize, k: usize) -> ServiceRe
     }
 }
 
+/// The record batch behind one `synthetic_log(n)` record index, without the
+/// log wrapper (so ingest scenarios can shard the batches freely).
+fn synthetic_records(n: usize) -> Vec<ExecutionRecord> {
+    synthetic_log(n).records().to_vec()
+}
+
+/// Measures sharded ingest+encode at one (n, shards) point.  `shards = 1`
+/// ingests serially (push + rebuild) and encodes single-shot — that is the
+/// baseline the sharded points are compared against.
+fn measure_sharded_encode(
+    records: &[ExecutionRecord],
+    shards: usize,
+    single_encode_ms: Option<f64>,
+) -> ShardedEncodePoint {
+    let n = records.len();
+
+    let ingest_started = Instant::now();
+    let log = if shards <= 1 {
+        let mut log = ExecutionLog::new();
+        for record in records {
+            log.push(record.clone());
+        }
+        log.rebuild_catalogs();
+        log
+    } else {
+        let chunk_size = n.div_ceil(shards).max(1);
+        let batches: Vec<Vec<ExecutionRecord>> =
+            records.chunks(chunk_size).map(<[_]>::to_vec).collect();
+        let mut log = ExecutionLog::new();
+        log.extend_parallel(batches);
+        log
+    };
+    let ingest_ms = ingest_started.elapsed().as_secs_f64() * 1e3;
+
+    let encode_started = Instant::now();
+    let view = ColumnarLog::build_sharded(&log, ExecutionKind::Job, shards);
+    let encode_ms = encode_started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(view.num_rows(), n);
+
+    ShardedEncodePoint {
+        n,
+        features: log.job_catalog().len(),
+        shards,
+        ingest_ms,
+        encode_ms,
+        encode_speedup_vs_single: single_encode_ms.unwrap_or(encode_ms) / encode_ms,
+    }
+}
+
+/// Sweeps shards ∈ {1, 2, 4, 8} at one log size.
+fn measure_sharded_encode_sweep(n: usize, points: &mut Vec<ShardedEncodePoint>) {
+    let records = synthetic_records(n);
+    // One untimed pass first: the very first ingest+encode at a new size
+    // pays page faults and allocator growth that later passes reuse, which
+    // would otherwise inflate every sharded point against the single-shot
+    // baseline measured first.
+    let _ = measure_sharded_encode(&records, 1, None);
+    let mut single_encode_ms = None;
+    for shards in [1usize, 2, 4, 8] {
+        let point = measure_sharded_encode(&records, shards, single_encode_ms);
+        println!(
+            "encode n = {:>8}, {} shard(s): ingest {:>8.1} ms, encode {:>8.1} ms ({:.2}x vs single-shot)",
+            point.n, point.shards, point.ingest_ms, point.encode_ms, point.encode_speedup_vs_single,
+        );
+        if shards == 1 {
+            single_encode_ms = Some(point.encode_ms);
+        }
+        points.push(point);
+    }
+}
+
+/// The blocked-enumeration scenario at n = 100k: candidates restricted to
+/// within-pigscript groups by the despite clause.
+fn measure_blocked_enumeration(n: usize, group_size: usize) -> BlockedEnumerationPoint {
+    let log = perfxplain_bench::blocked_log(n, group_size, 4);
+    let bound = service_queries(1, group_size).remove(0);
+    let config = ExplainConfig::default();
+    let view = ColumnarLog::build_auto(&log, ExecutionKind::Job);
+    let groups = n.div_ceil(group_size) as u64;
+    let enumerated = groups * (group_size as u64) * (group_size as u64 - 1);
+
+    let started = Instant::now();
+    let related = collect_related_pairs_in(&view, &bound, &log, &config);
+    let elapsed_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    BlockedEnumerationPoint {
+        n,
+        group_size,
+        enumerated,
+        unblocked_space: (n as u64) * (n as u64 - 1),
+        related: related.len(),
+        elapsed_ms,
+    }
+}
+
 fn main() {
     let mut points = Vec::new();
     for &(n, measure_legacy) in &[(100usize, true), (1_000, true), (10_000, false)] {
@@ -308,6 +417,23 @@ fn main() {
         service_reuse.speedup,
     );
 
+    let mut sharded_encode = Vec::new();
+    for n in [100_000usize, 1_000_000] {
+        measure_sharded_encode_sweep(n, &mut sharded_encode);
+    }
+
+    let blocked_enumeration = measure_blocked_enumeration(100_000, 10);
+    println!(
+        "blocked enumeration: n = {}, groups of {}: {} candidates (vs {} unblocked) in \
+         {:.1} ms, {} related",
+        blocked_enumeration.n,
+        blocked_enumeration.group_size,
+        blocked_enumeration.enumerated,
+        blocked_enumeration.unblocked_space,
+        blocked_enumeration.elapsed_ms,
+        blocked_enumeration.related,
+    );
+
     let report = PairsBenchReport {
         description: "Pair-classification throughput of the streaming columnar pipeline vs \
                       the legacy map-based path (uncapped points are like-for-like: both \
@@ -316,10 +442,22 @@ fn main() {
                       the state held during enumeration — streaming holds only related \
                       pairs.  service_reuse answers k blocked queries through one \
                       XplainService (cached columnar view) vs k cold explain calls that \
-                      re-encode the log each time."
+                      re-encode the log each time.  sharded_encode ingests and encodes \
+                      n-record logs as independent shards merged by dictionary remapping \
+                      (bit-identical to the single-shot build); speedups scale with \
+                      hardware_threads and degenerate to ~1x on one core.  \
+                      blocked_enumeration classifies a despite-blocked query over 100k \
+                      records.  Pair enumeration fans out over threads by default above \
+                      parallel_enumeration_threshold records."
             .to_string(),
+        hardware_threads: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        parallel_enumeration_threshold: PARALLEL_ENUMERATION_THRESHOLD,
         points,
         service_reuse,
+        sharded_encode,
+        blocked_enumeration,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     // Write to the workspace root (identified by ROADMAP.md) whether run

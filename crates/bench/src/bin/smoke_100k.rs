@@ -1,0 +1,85 @@
+//! Release-mode smoke test of the sharded ingestion pipeline.
+//!
+//! Ingests a synthetic 100k-record log through the sharded path
+//! (`ExecutionLog::extend_parallel` → `ColumnarLog::build_sharded`), answers
+//! one blocked PXQL query through an [`XplainService`], and fails (non-zero
+//! exit) if the whole round trip exceeds a wall-clock ceiling — so an
+//! accidental O(n²) (or otherwise pathological) regression on the encode
+//! path fails CI instead of silently slowing every large-log user down.
+//!
+//! Run with `cargo run --release -p perfxplain-bench --bin smoke_100k`.
+
+use perfxplain_bench::{blocked_log, BLOCKED_QUERY};
+use perfxplain_core::columnar::ColumnarLog;
+use perfxplain_core::{ExecutionKind, ExecutionLog, ExecutionRecord, QueryRequest, XplainService};
+use std::time::Instant;
+
+/// Log size of the smoke run.
+const N: usize = 100_000;
+/// Records per pigscript blocking group.
+const GROUP_SIZE: usize = 10;
+/// Wall-clock ceiling for ingest + encode + one answered query.  The
+/// measured time on one core is well under 3 s; the ceiling leaves headroom
+/// for slow CI machines while still catching quadratic regressions (which
+/// overshoot it by orders of magnitude at n = 100k).
+const CEILING_SECS: f64 = 30.0;
+
+/// The shared blocked workload, split into per-shard record batches.
+fn synthetic_batches(n: usize, batches: usize) -> Vec<Vec<ExecutionRecord>> {
+    let records = blocked_log(n, GROUP_SIZE, 1).records().to_vec();
+    let chunk_size = n.div_ceil(batches).max(1);
+    records.chunks(chunk_size).map(<[_]>::to_vec).collect()
+}
+
+fn main() {
+    // At least 4 shards even on narrow machines, so the merge path is
+    // always exercised.
+    let shards = perfxplain_core::shard::hardware_threads().max(4);
+    let batches = synthetic_batches(N, shards);
+
+    let started = Instant::now();
+
+    // 1. Sharded ingest: per-batch catalogs inferred on concurrent threads.
+    let mut log = ExecutionLog::new();
+    log.extend_parallel(batches);
+    let ingested = started.elapsed();
+    assert_eq!(log.len(), N, "ingest lost records");
+
+    // 2. Sharded encode, checked bit-identical to the single-shot build.
+    let sharded = ColumnarLog::build_sharded(&log, ExecutionKind::Job, shards);
+    let encoded = started.elapsed();
+    assert_eq!(sharded.num_rows(), N);
+    assert_eq!(
+        sharded,
+        ColumnarLog::build_sharded(&log, ExecutionKind::Job, 1),
+        "sharded encode diverged from the single-shot build"
+    );
+
+    // 3. One blocked query answered through the service (whose cached view
+    //    is built through the same auto-sharded path).
+    let service = XplainService::new(log);
+    let outcome = service
+        .explain(&QueryRequest::text(BLOCKED_QUERY).with_pair("job_2", "job_0"))
+        .expect("the smoke query must be answerable");
+    assert!(
+        outcome.explanation.width() >= 1,
+        "the smoke query produced an empty explanation"
+    );
+
+    let total = started.elapsed();
+    println!(
+        "smoke_100k: {} records, {} shard(s): ingest {:.0} ms, encode {:.0} ms, \
+         query answered at {:.0} ms (because: {})",
+        N,
+        shards,
+        ingested.as_secs_f64() * 1e3,
+        (encoded - ingested).as_secs_f64() * 1e3,
+        total.as_secs_f64() * 1e3,
+        outcome.explanation.because,
+    );
+    assert!(
+        total.as_secs_f64() < CEILING_SECS,
+        "sharded ingest smoke took {:.1} s (ceiling {CEILING_SECS} s): the encode path regressed",
+        total.as_secs_f64()
+    );
+}

@@ -26,6 +26,7 @@
 
 pub mod context;
 pub mod experiments;
+pub mod synthetic;
 pub mod table;
 
 pub use context::ExperimentContext;
@@ -33,4 +34,5 @@ pub use experiments::{
     AblationResult, DespiteRelevance, LevelSeries, LogSizeSeries, RelevancePoint, TechniqueSeries,
     WidthPoint,
 };
+pub use synthetic::{blocked_log, BLOCKED_QUERY};
 pub use table::{fmt_aggregate, render_table};

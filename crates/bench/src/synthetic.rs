@@ -1,0 +1,66 @@
+//! Shared synthetic workloads.
+//!
+//! The blocked debugging-session log is used by the `pairs_pipeline` bench
+//! (view-reuse and blocked-enumeration scenarios), the `smoke_100k` CI
+//! binary and the sharded-encode concurrency test — one generator, so the
+//! three consumers can never drift apart.
+
+use perfxplain_core::{ExecutionLog, ExecutionRecord};
+
+/// A log shaped like an interactive debugging session's: a nominal
+/// `pigscript` that the canonical queries block on (one script per
+/// `group_size` consecutive jobs, giving small per-script candidate
+/// groups), plus `extra_features` counter/Ganglia-style numeric columns to
+/// widen the records.  Within each script group, big-block jobs plateau at
+/// ~600 s (observed pairs) while small-block jobs scale with their input
+/// (expected pairs), so the canonical despite-blocked query is answerable
+/// for every group.
+pub fn blocked_log(n: usize, group_size: usize, extra_features: usize) -> ExecutionLog {
+    let mut log = ExecutionLog::new();
+    for i in 0..n {
+        let position = i % group_size;
+        let big_blocks = position.is_multiple_of(2);
+        let input = (1 + position) as f64 * 1.0e9;
+        let duration = if big_blocks {
+            600.0 + (i % 7) as f64
+        } else {
+            input / 5.0e7 + (i % 5) as f64
+        };
+        let mut record = ExecutionRecord::job(format!("job_{i}"))
+            .with_feature("pigscript", format!("script_{}.pig", i / group_size))
+            .with_feature("inputsize", input)
+            .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+            .with_feature("duration", duration);
+        for w in 0..extra_features {
+            record.set_feature(format!("metric_{w:02}"), ((i * 31 + w * 7) % 997) as f64);
+        }
+        log.push(record);
+    }
+    log.rebuild_catalogs();
+    log
+}
+
+/// The canonical despite-blocked PXQL query text over [`blocked_log`]
+/// (pair of interest supplied separately: members 0 and 2 of any group are
+/// big-block jobs — larger input, plateaued duration).
+pub const BLOCKED_QUERY: &str = "DESPITE pigscript_isSame = T AND inputsize_compare = GT\n\
+                                 OBSERVED duration_compare = SIM\n\
+                                 EXPECTED duration_compare = GT";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocked_log_groups_and_widens_as_asked() {
+        let log = blocked_log(25, 5, 3);
+        assert_eq!(log.jobs().count(), 25);
+        // 4 base features + 3 metrics.
+        assert_eq!(log.job_catalog().len(), 7);
+        let first = log.get("job_0").unwrap();
+        let grouped = log.get("job_4").unwrap();
+        let next_group = log.get("job_5").unwrap();
+        assert_eq!(first.feature("pigscript"), grouped.feature("pigscript"));
+        assert_ne!(first.feature("pigscript"), next_group.feature("pigscript"));
+    }
+}

@@ -26,13 +26,18 @@
 //! the forms the paper's queries use — share their canonical text with the
 //! booleans they denote.
 
-use crate::features::FeatureKind;
+use crate::features::{FeatureCatalog, FeatureKind};
 use crate::pairs::{compare_index, parse_pair_feature, PairFeatureGroup, COMPARE_VALUES};
 use crate::query::{BoundQuery, PairLabel};
 use crate::record::{ExecutionKind, ExecutionLog, ExecutionRecord};
-use mlcore::{AttrValue, Attribute, ColumnStore};
+use mlcore::{AttrValue, Attribute, ColumnStore, FxHashMap};
 use pxql::{Op, Predicate, Value};
-use std::collections::HashMap;
+
+/// Row count at or above which [`ColumnarLog::build_auto`] switches from the
+/// single-shot encode to the sharded parallel encode.  Encoding costs a few
+/// microseconds per record-feature, so below ~8k records the whole encode
+/// finishes in the time it takes to set a thread scope up.
+pub const SHARDED_BUILD_THRESHOLD: usize = 8192;
 
 /// The columnar encoded view of the records of one execution kind.
 ///
@@ -43,6 +48,12 @@ use std::collections::HashMap;
 /// `Arc` and serve many concurrent queries against one encoding while the
 /// log keeps mutating — a cached view is immutable and internally
 /// consistent by construction.
+///
+/// Large logs are encoded **sharded** ([`ColumnarLog::build_sharded`]): the
+/// row space is split into contiguous segments, each segment is encoded
+/// independently (local dictionaries) on its own thread, and the segments
+/// are merged by dictionary remapping ([`ColumnStore::merge_segments`]) into
+/// a view bit-identical to the single-shot encode.
 #[derive(Debug, Clone)]
 pub struct ColumnarLog {
     kind: ExecutionKind,
@@ -53,49 +64,144 @@ pub struct ColumnarLog {
     /// Catalog kind per column.
     kinds: Vec<FeatureKind>,
     /// Record id → row index.
-    row_index: HashMap<String, usize>,
+    row_index: FxHashMap<String, usize>,
+}
+
+impl PartialEq for ColumnarLog {
+    fn eq(&self, other: &Self) -> bool {
+        // The row index is derived from the records.
+        self.kind == other.kind
+            && self.records == other.records
+            && self.store == other.store
+            && self.originals == other.originals
+            && self.kinds == other.kinds
+    }
+}
+
+/// One independently encoded shard: a local [`ColumnStore`] (own
+/// dictionaries) plus the original `Value` behind each local nominal id.
+struct EncodedSegment {
+    store: ColumnStore,
+    originals: Vec<Vec<Value>>,
+}
+
+/// Encodes one contiguous run of records against the shared catalog.  Cells
+/// are stored by *value* type: numeric values inline, everything else
+/// interned by canonical text, so mixed-type features keep the exact
+/// comparison semantics of the map-based path.
+fn encode_segment(catalog: &FeatureCatalog, records: &[&ExecutionRecord]) -> EncodedSegment {
+    use std::fmt::Write as _;
+    let mut attributes = Vec::with_capacity(catalog.len());
+    let mut columns = Vec::with_capacity(catalog.len());
+    let mut originals = Vec::with_capacity(catalog.len());
+    // Canonical-text scratch buffer, reused across cells: interning must not
+    // cost one heap allocation per record.
+    let mut text = String::new();
+    for def in catalog.defs() {
+        let mut attribute = match def.kind {
+            FeatureKind::Numeric => Attribute::numeric(def.name.clone()),
+            FeatureKind::Nominal => Attribute::nominal(def.name.clone()),
+        };
+        let mut column = Vec::with_capacity(records.len());
+        let mut column_originals: Vec<Value> = Vec::new();
+        for record in records {
+            let cell = match record.features.get(&def.name) {
+                None | Some(Value::Null) => AttrValue::Missing,
+                Some(Value::Num(v)) => AttrValue::Num(*v),
+                Some(value) => {
+                    text.clear();
+                    write!(text, "{value}").expect("formatting into a String cannot fail");
+                    let id = attribute.dictionary.intern(&text);
+                    if id as usize == column_originals.len() {
+                        column_originals.push(value.clone());
+                    }
+                    AttrValue::Nom(id)
+                }
+            };
+            column.push(cell);
+        }
+        attributes.push(attribute);
+        columns.push(column);
+        originals.push(column_originals);
+    }
+    EncodedSegment {
+        store: ColumnStore::from_columns(attributes, columns),
+        originals,
+    }
+}
+
+/// Merges independently encoded segments into the global store + originals.
+/// The merged dictionaries assign ids in first-occurrence order over the
+/// concatenated rows, so the result is bit-identical to a single-pass
+/// encode; the original `Value` kept per global id is the one seen at that
+/// first occurrence, exactly as the single-pass encode keeps it.
+fn merge_segments(segments: Vec<EncodedSegment>) -> (ColumnStore, Vec<Vec<Value>>) {
+    let mut segment_originals = Vec::with_capacity(segments.len());
+    let mut stores = Vec::with_capacity(segments.len());
+    for segment in segments {
+        stores.push(segment.store);
+        segment_originals.push(segment.originals);
+    }
+    let merged = ColumnStore::merge_segments(stores);
+    let mut originals: Vec<Vec<Value>> = vec![Vec::new(); merged.store.num_columns()];
+    for (locals, remap) in segment_originals.into_iter().zip(&merged.remaps) {
+        for (col, column_locals) in locals.into_iter().enumerate() {
+            // Local ids were assigned in intern order, so the global ids a
+            // segment introduces appear in ascending order here: a value is
+            // new globally exactly when its global id equals the current
+            // originals length.
+            for (local, value) in column_locals.into_iter().enumerate() {
+                let global = remap[col][local] as usize;
+                if global == originals[col].len() {
+                    originals[col].push(value);
+                }
+            }
+        }
+    }
+    (merged.store, originals)
 }
 
 impl ColumnarLog {
-    /// Encodes the records of `kind` once.  Cells are stored by *value*
-    /// type: numeric values inline, everything else interned by canonical
-    /// text, so mixed-type features keep the exact comparison semantics of
-    /// the map-based path.
+    /// Encodes the records of `kind` in one pass (equivalent to
+    /// [`ColumnarLog::build_sharded`] with one shard).
     pub fn build(log: &ExecutionLog, kind: ExecutionKind) -> Self {
+        ColumnarLog::build_sharded(log, kind, 1)
+    }
+
+    /// Encodes the records of `kind`, picking the shard count from the log
+    /// size and the machine: single-shot below
+    /// [`SHARDED_BUILD_THRESHOLD`] rows, one shard per available core at or
+    /// above it.  The produced view is always bit-identical to
+    /// [`ColumnarLog::build`].
+    pub fn build_auto(log: &ExecutionLog, kind: ExecutionKind) -> Self {
+        let rows = log.of_kind(kind).count();
+        let shards = if rows >= SHARDED_BUILD_THRESHOLD {
+            crate::shard::hardware_threads()
+        } else {
+            1
+        };
+        ColumnarLog::build_sharded(log, kind, shards)
+    }
+
+    /// Encodes the records of `kind` as `num_shards` contiguous segments
+    /// fanned out over `std::thread::scope` threads, then merges the
+    /// segments by dictionary remapping.  Bit-identical to
+    /// [`ColumnarLog::build`] for every shard count (a shard count above the
+    /// row count simply yields fewer, smaller segments).
+    pub fn build_sharded(log: &ExecutionLog, kind: ExecutionKind, num_shards: usize) -> Self {
         let catalog = log.catalog(kind);
         let records: Vec<&ExecutionRecord> = log.of_kind(kind).collect();
-        let mut attributes = Vec::with_capacity(catalog.len());
-        let mut columns = Vec::with_capacity(catalog.len());
-        let mut originals = Vec::with_capacity(catalog.len());
-        let mut kinds = Vec::with_capacity(catalog.len());
 
-        for def in catalog.defs() {
-            let mut attribute = match def.kind {
-                FeatureKind::Numeric => Attribute::numeric(def.name.clone()),
-                FeatureKind::Nominal => Attribute::nominal(def.name.clone()),
-            };
-            let mut column = Vec::with_capacity(records.len());
-            let mut column_originals: Vec<Value> = Vec::new();
-            for record in &records {
-                let cell = match record.features.get(&def.name) {
-                    None | Some(Value::Null) => AttrValue::Missing,
-                    Some(Value::Num(v)) => AttrValue::Num(*v),
-                    Some(value) => {
-                        let id = attribute.dictionary.intern(&value.to_string());
-                        if id as usize == column_originals.len() {
-                            column_originals.push(value.clone());
-                        }
-                        AttrValue::Nom(id)
-                    }
-                };
-                column.push(cell);
-            }
-            attributes.push(attribute);
-            columns.push(column);
-            originals.push(column_originals);
-            kinds.push(def.kind);
-        }
+        let (store, originals) = if num_shards <= 1 || records.len() <= 1 {
+            let segment = encode_segment(catalog, &records);
+            (segment.store, segment.originals)
+        } else {
+            merge_segments(crate::shard::map_chunks(&records, num_shards, |chunk| {
+                encode_segment(catalog, chunk)
+            }))
+        };
 
+        let kinds = catalog.defs().iter().map(|def| def.kind).collect();
         let row_index = records
             .iter()
             .enumerate()
@@ -104,7 +210,7 @@ impl ColumnarLog {
         ColumnarLog {
             kind,
             records: records.into_iter().cloned().collect(),
-            store: ColumnStore::from_columns(attributes, columns),
+            store,
             originals,
             kinds,
             row_index,
@@ -487,5 +593,52 @@ mod tests {
         let predicate = Predicate::from_atoms(vec![pxql::Atom::eq("ghost_compare", "GT")]);
         let compiled = CompiledPredicate::compile(&predicate, &view, 0.1);
         assert!(!compiled.eval(&view, 0, 1, 0.1));
+    }
+
+    #[test]
+    fn sharded_build_is_bit_identical_for_every_shard_count() {
+        let log = log();
+        let single = ColumnarLog::build(&log, ExecutionKind::Job);
+        for shards in [1, 2, 3, 4, 5, 64] {
+            let sharded = ColumnarLog::build_sharded(&log, ExecutionKind::Job, shards);
+            assert_eq!(sharded, single, "{shards} shards diverge");
+            assert_eq!(sharded.row_of("job_c"), single.row_of("job_c"));
+        }
+        assert_eq!(ColumnarLog::build_auto(&log, ExecutionKind::Job), single);
+    }
+
+    #[test]
+    fn sharded_build_handles_empty_and_tiny_logs() {
+        let empty = ExecutionLog::new();
+        let view = ColumnarLog::build_sharded(&empty, ExecutionKind::Job, 8);
+        assert_eq!(view.num_rows(), 0);
+
+        let mut one = ExecutionLog::new();
+        one.push(ExecutionRecord::job("solo").with_feature("duration", 1.0));
+        one.rebuild_catalogs();
+        let sharded = ColumnarLog::build_sharded(&one, ExecutionKind::Job, 8);
+        assert_eq!(sharded, ColumnarLog::build(&one, ExecutionKind::Job));
+    }
+
+    /// Shards whose nominal dictionaries are disjoint (every script name is
+    /// unique to its shard) still merge into the single-shot id assignment.
+    #[test]
+    fn sharded_build_merges_disjoint_dictionaries() {
+        let mut log = ExecutionLog::new();
+        for i in 0..20 {
+            log.push(
+                ExecutionRecord::job(format!("job_{i}"))
+                    .with_feature("pigscript", format!("script_{i}.pig"))
+                    .with_feature("duration", 10.0 * i as f64),
+            );
+        }
+        log.rebuild_catalogs();
+        let single = ColumnarLog::build(&log, ExecutionKind::Job);
+        for shards in [2, 4, 7, 20] {
+            assert_eq!(
+                ColumnarLog::build_sharded(&log, ExecutionKind::Job, shards),
+                single
+            );
+        }
     }
 }

@@ -101,22 +101,30 @@ impl PerfXplain {
         view: Arc<ColumnarLog>,
         query: &BoundQuery,
     ) -> Result<Explanation> {
-        self.explain_with_training(log, view, query, false)
+        self.explain_with_training(log, view, query, false, false)
             .map(|(explanation, _, _)| explanation)
     }
 
     /// The shared explanation pipeline: verify, train, grow the because
     /// clause (optionally extending the despite clause first), and hand the
     /// final training set back so callers (assessment, despite metrics) can
-    /// reuse it instead of re-enumerating the pairs.
+    /// reuse it instead of re-enumerating the pairs.  Callers that already
+    /// verified the query's preconditions (the single-shot service pass
+    /// checks them *before* paying for an encoding) pass
+    /// `preconditions_verified = true` to skip the re-check — precondition
+    /// verification derives the full pair-feature map of the pair of
+    /// interest, which is not free.
     pub(crate) fn explain_with_training<'a>(
         &self,
         log: &'a ExecutionLog,
         view: Arc<ColumnarLog>,
         query: &BoundQuery,
         extend_despite: bool,
+        preconditions_verified: bool,
     ) -> Result<(Explanation, BoundQuery, EncodedTraining<'a>)> {
-        query.verify_preconditions(log, self.config.sim_threshold)?;
+        if !preconditions_verified {
+            query.verify_preconditions(log, self.config.sim_threshold)?;
+        }
         let training = prepare_encoded_training_in(log, view.clone(), query, &self.config)?;
 
         if extend_despite {
@@ -157,7 +165,7 @@ impl PerfXplain {
     /// same algorithm with relevance as the target (Section 4.2, "Generating
     /// the des' clause").
     pub fn generate_despite(&self, log: &ExecutionLog, query: &BoundQuery) -> Result<Predicate> {
-        let view = Arc::new(ColumnarLog::build(log, query.kind));
+        let view = Arc::new(ColumnarLog::build_auto(log, query.kind));
         self.generate_despite_in(log, view, query)
     }
 
@@ -200,7 +208,7 @@ impl PerfXplain {
         view: Arc<ColumnarLog>,
         query: &BoundQuery,
     ) -> Result<(Explanation, BoundQuery)> {
-        self.explain_with_training(log, view, query, true)
+        self.explain_with_training(log, view, query, true, false)
             .map(|(explanation, effective, _)| (explanation, effective))
     }
 

@@ -119,6 +119,32 @@ impl FeatureCatalog {
         self.defs.iter().map(|d| d.name.as_str())
     }
 
+    /// Merges `other` into this catalog such that merging per-shard
+    /// [`FeatureCatalog::infer`] results equals one joint `infer` over all
+    /// shards: the union of the features, numeric winning over nominal
+    /// (a feature is numeric as soon as *any* shard saw a numeric value),
+    /// re-sorted by name (the order `infer` produces).
+    pub fn merge(&mut self, other: &FeatureCatalog) {
+        let mut kinds: BTreeMap<&str, FeatureKind> = BTreeMap::new();
+        for def in self.defs.iter().chain(&other.defs) {
+            kinds
+                .entry(&def.name)
+                .and_modify(|kind| {
+                    if def.kind == FeatureKind::Numeric {
+                        *kind = FeatureKind::Numeric;
+                    }
+                })
+                .or_insert(def.kind);
+        }
+        self.defs = kinds
+            .into_iter()
+            .map(|(name, kind)| FeatureDef {
+                name: name.to_string(),
+                kind,
+            })
+            .collect();
+    }
+
     /// Infers a catalog from a set of feature maps: a feature observed with
     /// any numeric value is numeric, otherwise nominal.  Features seen only
     /// as `Null` default to nominal.
@@ -176,6 +202,26 @@ mod tests {
         ]);
         let names: Vec<&str> = catalog.names().collect();
         assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn merged_shard_catalogs_equal_a_joint_inference() {
+        let mut m1 = BTreeMap::new();
+        m1.insert("zeta".to_string(), Value::str("z"));
+        m1.insert("size".to_string(), Value::Null);
+        let mut m2 = BTreeMap::new();
+        m2.insert("size".to_string(), Value::Num(4.0));
+        m2.insert("alpha".to_string(), Value::Bool(true));
+
+        let joint = FeatureCatalog::infer([&m1, &m2]);
+        let mut merged = FeatureCatalog::infer([&m1]);
+        merged.merge(&FeatureCatalog::infer([&m2]));
+        assert_eq!(merged, joint);
+        // Numeric wins regardless of merge direction.
+        let mut reversed = FeatureCatalog::infer([&m2]);
+        reversed.merge(&FeatureCatalog::infer([&m1]));
+        assert_eq!(reversed, joint);
+        assert_eq!(merged.kind("size"), Some(FeatureKind::Numeric));
     }
 
     #[test]

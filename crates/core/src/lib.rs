@@ -68,34 +68,57 @@
 //!
 //! # Performance
 //!
-//! Explanation generation is dominated by classifying O(n²) candidate pairs
-//! of executions.  The training pipeline is built around a **columnar,
-//! streaming, zero-re-encoding hot path** ([`columnar`], [`training`],
-//! [`bridge`]):
+//! Explanation generation is dominated by two costs: encoding the log into
+//! its columnar view, and classifying O(n²) candidate pairs against the
+//! query.  The pipeline attacks both with a **sharded, columnar, streaming,
+//! zero-re-encoding hot path** ([`columnar`], [`training`], [`bridge`],
+//! [`record`]):
 //!
-//! 1. **Encode once.** [`ColumnarLog`](columnar::ColumnarLog) turns the
-//!    per-kind records of an [`ExecutionLog`] into per-feature columns:
-//!    numeric cells inline, nominal cells interned by canonical PXQL text
-//!    with the original [`pxql::Value`] retained per id.  The view is
-//!    self-contained (it snapshots the records it encodes) and shared via
-//!    `Arc`: [`XplainService`](service::XplainService) caches it per
-//!    `(log generation, kind)` and serves every query — including the
-//!    despite-extension pass of `explain_full` and whole concurrent
-//!    batches — with zero re-encoding.
-//! 2. **Compile the query.** [`CompiledQuery`](columnar::CompiledQuery)
+//! 1. **Ingest sharded.** [`ExecutionLog::extend_parallel`] ingests record
+//!    batches on concurrent threads (per-batch catalogs inferred in
+//!    parallel, merged by [`FeatureCatalog::merge`]), and
+//!    [`ExecutionLog::from_shards`] assembles independently collected shard
+//!    logs without re-scanning them — `hadoop_logs::collect_bundles_sharded`
+//!    parses history/conf/Ganglia bundles this way.  Both are exactly
+//!    equivalent to the serial push-and-rebuild path.
+//! 2. **Encode sharded, once.** [`ColumnarLog`](columnar::ColumnarLog)
+//!    turns the per-kind records into per-feature columns: numeric cells
+//!    inline, nominal cells interned by canonical PXQL text (formatted into
+//!    a reused scratch buffer — no per-cell allocation) with the original
+//!    [`pxql::Value`] retained per id.
+//!    [`build_sharded`](columnar::ColumnarLog::build_sharded) splits the
+//!    row space into contiguous segments, encodes each with a **local**
+//!    dictionary on its own `std::thread::scope` thread, and merges the
+//!    segments by dictionary remapping
+//!    ([`mlcore::ColumnStore::merge_segments`]) into a view **bit-identical**
+//!    to the single-shot build;
+//!    [`build_auto`](columnar::ColumnarLog::build_auto) picks the shard
+//!    count (one per core at ≥ [`SHARDED_BUILD_THRESHOLD`] rows), and the
+//!    [`XplainService`](service::XplainService) builds its cached
+//!    per-`(generation, kind)` views through it automatically.  The view is
+//!    self-contained and `Arc`-shared, so every query — including the
+//!    despite-extension pass and whole concurrent batches — runs with zero
+//!    re-encoding.  Hot lookup maps (dictionary interning, `row_of`,
+//!    `PairCatalog`) use a vendored deterministic [`mlcore::FxHashMap`]
+//!    instead of SipHash.
+//! 3. **Compile the query.** [`CompiledQuery`](columnar::CompiledQuery)
 //!    resolves every clause atom to a `(column index, pair-feature group)`
 //!    pair and pre-analyses its constant (`compare` atoms become a 3-entry
 //!    truth table), so classifying one candidate pair is a handful of
 //!    integer/float comparisons — no allocation, no string hashing, no
 //!    `BTreeMap`.
-//! 3. **Stream the enumeration.** `collect_related_pairs` never
-//!    materialises the candidate space: blocking groups and the
-//!    deterministic cap (a stateless per-ordinal hash, so enumeration order
-//!    and parallelism cannot change the outcome) are applied while
-//!    streaming, and memory stays proportional to the *related* pairs.
-//!    The `parallel` crate feature fans the outer record loop out over
-//!    threads with bit-identical results.
-//! 4. **Encode the sample directly.**
+//! 4. **Stream the enumeration, parallel by default.**
+//!    `collect_related_pairs` never materialises the candidate space:
+//!    blocking groups and the deterministic cap (a stateless per-ordinal
+//!    hash, so enumeration order and parallelism cannot change the outcome)
+//!    are applied while streaming, and memory stays proportional to the
+//!    *related* pairs.  On multi-core machines the outer record loop fans
+//!    out over `std::thread::scope` threads automatically once the plan
+//!    enumerates at least as many candidates as an unblocked
+//!    [`PARALLEL_ENUMERATION_THRESHOLD`]-record log; the `parallel` feature
+//!    forces the fan-out on, the `serial` feature forces it off, and
+//!    results are bit-identical in every mode.
+//! 5. **Encode the sample directly.**
 //!    [`DatasetBridge::encode_from_view`](bridge::DatasetBridge::encode_from_view)
 //!    derives the pair features of the sampled training pairs straight from
 //!    the columns into the split-search [`mlcore::Dataset`];
@@ -104,20 +127,27 @@
 //! **Invariants.** The columnar path produces the same related-pair set,
 //! labels, dataset and explanations as the map-based path
 //! (`compute_pair_features` + [`DatasetBridge::build`](bridge::DatasetBridge::build),
-//! both retained as the reference implementation); `tests/properties.rs`
-//! proves this on randomized logs and queries.  Nominal interning is keyed
-//! by canonical text, so two raw values that differ textually but compare
-//! equal under PXQL's cross-type rules (`Bool(true)` vs the string
-//! `"true"`) diverge — canonical log producers never mix value types within
-//! a feature.  When the candidate space exceeds `max_candidate_pairs` the
-//! subsample differs from the seed implementation's (hash-based vs
-//! sequential RNG), but is equally deterministic for a fixed seed.
+//! both retained as the reference implementation), and the sharded
+//! ingest/encode paths produce logs and views bit-identical to their
+//! single-shot counterparts for every shard count; `tests/properties.rs`
+//! proves both on randomized logs, queries and shard counts.  Nominal
+//! interning is keyed by canonical text, so two raw values that differ
+//! textually but compare equal under PXQL's cross-type rules (`Bool(true)`
+//! vs the string `"true"`) diverge — canonical log producers never mix
+//! value types within a feature.  When the candidate space exceeds
+//! `max_candidate_pairs` the subsample differs from the seed
+//! implementation's (hash-based vs sequential RNG), but is equally
+//! deterministic for a fixed seed.
 //!
 //! `cargo bench --bench pairs_pipeline` tracks pair-classification
-//! throughput and candidate memory at n ∈ {100, 1k, 10k} in
-//! `BENCH_pairs.json` (currently ≈25–35× the map-based throughput in a
-//! like-for-like uncapped comparison, with candidate state bounded by the
-//! cap instead of O(n²)).
+//! throughput and candidate memory at n ∈ {100, 1k, 10k}, cached-view reuse
+//! at n = 20k, sharded ingest+encode wall time at n ∈ {100k, 1M} for
+//! shards ∈ {1, 2, 4, 8}, and a despite-blocked enumeration over 100k
+//! records, all in `BENCH_pairs.json` (alongside the machine's hardware
+//! thread count — sharded speedups are real parallelism, so they track the
+//! core count and degenerate to ~1x on a single core).  CI additionally
+//! runs a release-mode smoke that ingests 100k records through the sharded
+//! path and answers a query under a wall-clock ceiling.
 
 pub mod baselines;
 pub mod bridge;
@@ -135,10 +165,11 @@ pub mod pairs;
 pub mod query;
 pub mod record;
 pub mod service;
+pub mod shard;
 pub mod training;
 
 pub use baselines::{RuleOfThumb, SimButDiff};
-pub use columnar::{ColumnarLog, CompiledPredicate, CompiledQuery};
+pub use columnar::{ColumnarLog, CompiledPredicate, CompiledQuery, SHARDED_BUILD_THRESHOLD};
 pub use config::ExplainConfig;
 pub use error::{CoreError, Result};
 pub use eval::{
@@ -159,7 +190,7 @@ pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
 pub use service::{QueryInput, QueryOutcome, QueryRequest, XplainService};
 pub use training::{
     collect_related_pairs_in, prepare_encoded_training, prepare_encoded_training_in,
-    prepare_training_set, EncodedTraining, TrainingSet,
+    prepare_training_set, EncodedTraining, TrainingSet, PARALLEL_ENUMERATION_THRESHOLD,
 };
 
 // Re-export the query language so that downstream users only need one

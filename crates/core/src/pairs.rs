@@ -19,9 +19,10 @@
 
 use crate::features::{FeatureCatalog, FeatureDef, FeatureKind};
 use crate::record::ExecutionRecord;
+use mlcore::{FxHashMap, FxHashSet};
 use pxql::{FeatureSource, Value};
 use serde::{Deserialize, Serialize};
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::BTreeMap;
 
 /// Default similarity band of the `compare` features (Section 3.1,
 /// footnote 1: "two values are considered to be similar if they are within
@@ -111,7 +112,7 @@ pub struct PairFeatureDef {
 #[derive(Debug, Clone, Default)]
 pub struct PairCatalog {
     defs: Vec<PairFeatureDef>,
-    index: HashMap<String, usize>,
+    index: FxHashMap<String, usize>,
 }
 
 impl PairCatalog {
@@ -325,7 +326,8 @@ pub fn compute_selected_pair_features(
 ) -> BTreeMap<String, Value> {
     // Deduplicate (raw feature, group) requests with a set, then compute
     // only the derived groups that were actually asked for.
-    let mut requested: HashSet<(&str, PairFeatureGroup)> = HashSet::with_capacity(needed.len());
+    let mut requested: FxHashSet<(&str, PairFeatureGroup)> =
+        FxHashSet::with_capacity_and_hasher(needed.len(), Default::default());
     for name in needed {
         requested.insert(parse_pair_feature(name));
     }

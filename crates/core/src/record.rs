@@ -181,6 +181,95 @@ impl ExecutionLog {
         self.rebuild_catalogs();
     }
 
+    /// Assembles one log from independently ingested shards: records are
+    /// concatenated in shard order and the per-shard catalogs are merged
+    /// ([`FeatureCatalog::merge`]), so the result equals pushing every
+    /// record serially and calling [`ExecutionLog::rebuild_catalogs`] —
+    /// without re-scanning any shard.
+    ///
+    /// Each shard's catalogs must reflect its records (as produced by
+    /// `rebuild_catalogs` or any collector); stale shard catalogs propagate
+    /// into the merged log.
+    pub fn from_shards(shards: Vec<ExecutionLog>) -> ExecutionLog {
+        let mut out = ExecutionLog::new();
+        out.records
+            .reserve(shards.iter().map(|shard| shard.records.len()).sum());
+        for shard in shards {
+            out.job_catalog.merge(&shard.job_catalog);
+            out.task_catalog.merge(&shard.task_catalog);
+            out.records.extend(shard.records);
+        }
+        out.generation = 1;
+        out
+    }
+
+    /// Ingests record batches in parallel: the batches are grouped into at
+    /// most one shard per hardware thread, each shard's catalogs are
+    /// inferred on its own `std::thread::scope` thread (this log's own
+    /// records are re-inferred concurrently as well), and the shards are
+    /// merged in batch order.  Equivalent to extending with the
+    /// concatenated batches and rebuilding the catalogs.
+    pub fn extend_parallel(&mut self, batches: Vec<Vec<ExecutionRecord>>) {
+        // Group the batches into bounded worker loads up front: batch
+        // counts are caller data (e.g. one batch per ingested bundle), so
+        // one thread per batch would be unbounded.
+        let workers = crate::shard::hardware_threads().min(batches.len()).max(1);
+        let group_size = batches.len().div_ceil(workers).max(1);
+        let mut groups: Vec<Vec<Vec<ExecutionRecord>>> = Vec::with_capacity(workers);
+        let mut batches = batches.into_iter();
+        loop {
+            let group: Vec<Vec<ExecutionRecord>> = batches.by_ref().take(group_size).collect();
+            if group.is_empty() {
+                break;
+            }
+            groups.push(group);
+        }
+
+        let (own_job, own_task, shards) = std::thread::scope(|scope| {
+            let own = scope.spawn(|| {
+                (
+                    FeatureCatalog::infer(
+                        self.records
+                            .iter()
+                            .filter(|r| r.kind == ExecutionKind::Job)
+                            .map(|r| &r.features),
+                    ),
+                    FeatureCatalog::infer(
+                        self.records
+                            .iter()
+                            .filter(|r| r.kind == ExecutionKind::Task)
+                            .map(|r| &r.features),
+                    ),
+                )
+            });
+            let handles: Vec<_> = groups
+                .into_iter()
+                .map(|group| {
+                    scope.spawn(move || {
+                        let mut shard = ExecutionLog::new();
+                        shard.records = group.into_iter().flatten().collect();
+                        shard.rebuild_catalogs();
+                        shard
+                    })
+                })
+                .collect();
+            let shards: Vec<ExecutionLog> = handles
+                .into_iter()
+                .map(|handle| handle.join().expect("shard ingest worker panicked"))
+                .collect();
+            let (own_job, own_task) = own.join().expect("catalog inference panicked");
+            (own_job, own_task, shards)
+        });
+        self.job_catalog = own_job;
+        self.task_catalog = own_task;
+        for shard in shards {
+            self.job_catalog.merge(&shard.job_catalog);
+            self.task_catalog.merge(&shard.task_catalog);
+            self.records.extend(shard.records);
+        }
+        self.generation += 1;
+    }
+
     /// Recomputes the job and task feature catalogs from the stored records.
     /// Call after bulk loading records.
     pub fn rebuild_catalogs(&mut self) {
@@ -320,6 +409,7 @@ impl ExecutionLog {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::features::FeatureKind;
 
     fn sample_log() -> ExecutionLog {
         let mut log = ExecutionLog::new();
@@ -439,5 +529,76 @@ mod tests {
         log.extend(other);
         assert_eq!(log.jobs().count(), 3);
         assert!(log.job_catalog().get("newfeature").is_some());
+    }
+
+    /// Batches of records spread over shards, with shard-local features and
+    /// a feature whose kind only resolves to numeric in a later shard.
+    fn shard_batches() -> Vec<Vec<ExecutionRecord>> {
+        vec![
+            vec![
+                ExecutionRecord::job("job_a")
+                    .with_feature("inputsize", 1.0e9)
+                    .with_feature("mixed", Value::Null)
+                    .with_feature(DURATION_FEATURE, 100.0),
+                ExecutionRecord::task("task_a_m_0", "job_a").with_feature("tasktype", "MAP"),
+            ],
+            vec![ExecutionRecord::job("job_b")
+                .with_feature("inputsize", 2.0e9)
+                .with_feature("mixed", 7.0)
+                .with_feature("only_b", "nominal")],
+            vec![ExecutionRecord::job("job_c").with_feature(DURATION_FEATURE, 50.0)],
+        ]
+    }
+
+    #[test]
+    fn from_shards_equals_the_serial_ingest() {
+        let batches = shard_batches();
+        let mut serial = ExecutionLog::new();
+        for record in batches.iter().flatten() {
+            serial.push(record.clone());
+        }
+        serial.rebuild_catalogs();
+
+        let shards: Vec<ExecutionLog> = batches
+            .into_iter()
+            .map(|batch| {
+                let mut shard = ExecutionLog::new();
+                for record in batch {
+                    shard.push(record);
+                }
+                shard.rebuild_catalogs();
+                shard
+            })
+            .collect();
+        let merged = ExecutionLog::from_shards(shards);
+        assert_eq!(merged, serial);
+        assert_eq!(
+            merged.job_catalog().kind("mixed"),
+            Some(FeatureKind::Numeric)
+        );
+        assert!(merged.generation() > 0);
+    }
+
+    #[test]
+    fn extend_parallel_equals_extend() {
+        let batches = shard_batches();
+        let mut serial = sample_log();
+        let mut bulk = ExecutionLog::new();
+        for record in batches.iter().flatten() {
+            bulk.push(record.clone());
+        }
+        serial.extend(bulk);
+
+        let mut parallel = sample_log();
+        let generation_before = parallel.generation();
+        parallel.extend_parallel(batches);
+        assert_eq!(parallel, serial);
+        assert!(parallel.generation() > generation_before);
+
+        // Empty batch lists are a no-op on the records but still recompute
+        // the catalogs (mirroring `extend` with an empty log).
+        let before = parallel.clone();
+        parallel.extend_parallel(Vec::new());
+        assert_eq!(parallel, before);
     }
 }

@@ -308,7 +308,7 @@ impl XplainService {
             }
             None => &self.engine,
         };
-        answer(engine, &log, view, view_reused, bound, request)
+        answer(engine, &log, view, view_reused, bound, request, false)
     }
 
     /// Answers a slice of requests concurrently over `std::thread::scope`,
@@ -333,33 +333,18 @@ impl XplainService {
                 }
             }
         }
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1)
-            .min(requests.len());
         let jobs: Vec<(&QueryRequest, &Result<BoundQuery>)> =
             requests.iter().zip(&resolved).collect();
-        let chunk_size = jobs.len().div_ceil(threads);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = jobs
-                .chunks(chunk_size)
-                .map(|chunk| {
-                    scope.spawn(move || -> Vec<Result<QueryOutcome>> {
-                        chunk
-                            .iter()
-                            .map(|(request, bound)| match bound {
-                                Ok(bound) => self.explain_resolved(request, bound),
-                                Err(err) => Err(err.clone()),
-                            })
-                            .collect()
-                    })
+        crate::shard::map_chunks(&jobs, crate::shard::hardware_threads(), |chunk| {
+            chunk
+                .iter()
+                .map(|(request, bound)| match bound {
+                    Ok(bound) => self.explain_resolved(request, bound),
+                    Err(err) => Err(err.clone()),
                 })
-                .collect();
-            handles
-                .into_iter()
-                .flat_map(|handle| handle.join().expect("query worker panicked"))
-                .collect()
+                .collect::<Vec<Result<QueryOutcome>>>()
         })
+        .concat()
     }
 
     /// The single-shot pass behind the stateless [`PerfXplain`] API: build
@@ -374,7 +359,7 @@ impl XplainService {
         extend_despite: bool,
     ) -> Result<QueryOutcome> {
         query.verify_preconditions(log, engine.config().sim_threshold)?;
-        let view = Arc::new(ColumnarLog::build(log, query.kind));
+        let view = Arc::new(ColumnarLog::build_auto(log, query.kind));
         let request = QueryRequest {
             query: QueryInput::Bound(query.clone()),
             pair: None,
@@ -383,7 +368,7 @@ impl XplainService {
             narrate: false,
             assess: false,
         };
-        answer(engine, log, view, false, query, &request)
+        answer(engine, log, view, false, query, &request, true)
     }
 
     fn read_log(&self) -> std::sync::RwLockReadGuard<'_, ExecutionLog> {
@@ -391,7 +376,10 @@ impl XplainService {
     }
 
     /// Fetches (or lazily builds) the columnar view for the log's current
-    /// generation, evicting entries of superseded generations.
+    /// generation, evicting entries of superseded generations.  Builds go
+    /// through [`ColumnarLog::build_auto`], so a large log is encoded as
+    /// parallel shards (bit-identical to the single-shot encode) without the
+    /// caller opting in.
     fn view_for(&self, log: &ExecutionLog, kind: ExecutionKind) -> (Arc<ColumnarLog>, bool) {
         let key = (log.generation(), kind);
         if let Some(view) = self
@@ -402,7 +390,7 @@ impl XplainService {
         {
             return (view.clone(), true);
         }
-        let built = Arc::new(ColumnarLog::build(log, kind));
+        let built = Arc::new(ColumnarLog::build_auto(log, kind));
         let mut cache = self.views.write().expect("view cache lock poisoned");
         cache.retain(|(generation, _), _| *generation == log.generation());
         // A racing query may have inserted the same view already; both
@@ -414,7 +402,9 @@ impl XplainService {
 
 /// The one code path every query goes through: explain (optionally with the
 /// automatic despite extension) against a shared view, then narrate and
-/// assess on demand.
+/// assess on demand.  `preconditions_verified` is `true` only on the
+/// single-shot path, which checks preconditions *before* paying for an
+/// encoding and must not pay for the check twice.
 fn answer(
     engine: &PerfXplain,
     log: &ExecutionLog,
@@ -422,9 +412,15 @@ fn answer(
     view_reused: bool,
     bound: &BoundQuery,
     request: &QueryRequest,
+    preconditions_verified: bool,
 ) -> Result<QueryOutcome> {
-    let (explanation, effective, training) =
-        engine.explain_with_training(log, view, bound, request.extend_despite)?;
+    let (explanation, effective, training) = engine.explain_with_training(
+        log,
+        view,
+        bound,
+        request.extend_despite,
+        preconditions_verified,
+    )?;
     let narration = request.narrate.then(|| narrate(bound, &explanation));
     // Assessment reuses the training set the clause was grown from (the
     // seeded sample over the effective query) instead of re-enumerating.

@@ -24,9 +24,14 @@
 //! The enumeration itself is **streaming**: candidates are classified
 //! against a [`CompiledQuery`] as they are produced, so memory stays
 //! proportional to the *related* pairs (bounded by the cap), never to the
-//! O(n²) candidate space.  With the `parallel` feature enabled the outer
-//! record loop is fanned out over threads; results are identical to the
-//! serial enumeration.
+//! O(n²) candidate space.  On multi-core machines the outer record loop is
+//! fanned out over `std::thread::scope` threads **by default** once the
+//! plan enumerates at least as many candidates as an unblocked
+//! [`PARALLEL_ENUMERATION_THRESHOLD`]-record log (below that — including
+//! blocked queries whose groups shrink the candidate space — thread setup
+//! costs more than the whole scan); the `parallel` feature forces the
+//! fan-out on regardless of size and the `serial` feature forces it off.
+//! Results are bit-identical either way.
 
 use crate::columnar::{ColumnarLog, CompiledQuery};
 use crate::config::ExplainConfig;
@@ -218,6 +223,38 @@ struct OuterUnit {
     base: u64,
 }
 
+/// Record count at or above which the streaming enumeration of an
+/// *unblocked* query fans its outer loop out over threads by default.  At
+/// 256 records the candidate space is ~65k pairs (≈1 ms of
+/// classification), comfortably above the ~100 µs a `std::thread::scope`
+/// setup costs, so the fan-out pays for itself; below it the serial scan
+/// wins.  `cargo bench --bench pairs_pipeline` records this choice in
+/// `BENCH_pairs.json`.
+pub const PARALLEL_ENUMERATION_THRESHOLD: usize = 256;
+
+/// The candidate-count form of [`PARALLEL_ENUMERATION_THRESHOLD`]: the
+/// number of ordered pairs a threshold-sized unblocked log enumerates.
+/// The auto gate compares against the *actual* plan total, so a blocked
+/// query whose groups shrink the candidate space (however many records the
+/// log holds) stays serial instead of paying thread setup for microseconds
+/// of work.
+const PARALLEL_ENUMERATION_MIN_CANDIDATES: u64 =
+    (PARALLEL_ENUMERATION_THRESHOLD as u64) * (PARALLEL_ENUMERATION_THRESHOLD as u64 - 1);
+
+/// Whether the outer enumeration loop should fan out for a plan enumerating
+/// `total_candidates` pairs: the `serial` feature forces it off, the
+/// `parallel` feature forces it on, and the default auto mode enables it at
+/// [`PARALLEL_ENUMERATION_MIN_CANDIDATES`] candidates.
+fn fan_out_enabled(total_candidates: u64) -> bool {
+    if cfg!(feature = "serial") {
+        false
+    } else if cfg!(feature = "parallel") {
+        true
+    } else {
+        total_candidates >= PARALLEL_ENUMERATION_MIN_CANDIDATES
+    }
+}
+
 /// SplitMix64 finaliser: a stateless, well-mixed hash of a candidate
 /// ordinal, used for order-independent capping decisions.
 fn mix64(seed: u64) -> u64 {
@@ -299,37 +336,16 @@ pub fn collect_related_pairs_in(
     });
     let units = plan.units();
 
-    #[cfg(feature = "parallel")]
-    {
-        let threads = std::thread::available_parallelism()
-            .map(std::num::NonZeroUsize::get)
-            .unwrap_or(1);
-        // Fan out only when there is enough work to amortise thread setup.
-        if threads > 1 && total >= 1 << 14 {
-            let chunk_size = units.len().div_ceil(threads);
-            let mut chunks: Vec<Vec<RelatedPair>> = Vec::new();
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = units
-                    .chunks(chunk_size)
-                    .map(|chunk| {
-                        let plan = &plan;
-                        let compiled = &compiled;
-                        scope.spawn(move || {
-                            let mut out = Vec::new();
-                            for unit in chunk {
-                                scan_unit(unit, plan, view, compiled, keep, &mut out);
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                chunks = handles
-                    .into_iter()
-                    .map(|h| h.join().expect("enumeration worker panicked"))
-                    .collect();
-            });
-            return chunks.concat();
-        }
+    let threads = crate::shard::hardware_threads();
+    if threads > 1 && !units.is_empty() && fan_out_enabled(total) {
+        let chunks = crate::shard::map_chunks(&units, threads, |chunk| {
+            let mut out = Vec::new();
+            for unit in chunk {
+                scan_unit(unit, &plan, view, &compiled, keep, &mut out);
+            }
+            out
+        });
+        return chunks.concat();
     }
 
     let mut related = Vec::new();
@@ -351,7 +367,7 @@ pub fn collect_related_pairs<'a>(
     query: &BoundQuery,
     config: &ExplainConfig,
 ) -> (Vec<&'a ExecutionRecord>, Vec<RelatedPair>) {
-    let view = ColumnarLog::build(log, query.kind);
+    let view = ColumnarLog::build_auto(log, query.kind);
     let related = collect_related_pairs_in(&view, query, log, config);
     // The view encodes `of_kind` records in iteration order, so the borrowed
     // record list aligns with the pair indices.
@@ -503,7 +519,7 @@ pub fn prepare_encoded_training<'a>(
     query: &BoundQuery,
     config: &ExplainConfig,
 ) -> Result<EncodedTraining<'a>> {
-    let view = Arc::new(ColumnarLog::build(log, query.kind));
+    let view = Arc::new(ColumnarLog::build_auto(log, query.kind));
     prepare_encoded_training_in(log, view, query, config)
 }
 

@@ -300,12 +300,65 @@ pub fn collect_bundles(bundles: &[JobLogBundle]) -> Result<ExecutionLog, History
     Ok(log)
 }
 
+/// Collects a set of bundles by splitting them into `num_shards` contiguous
+/// batches parsed concurrently (history + configuration + Ganglia parsing is
+/// CPU-bound), each batch becoming an [`ExecutionLog`] shard merged via
+/// [`ExecutionLog::from_shards`].  The resulting log — record order,
+/// catalogs and all — equals [`collect_bundles`] over the same bundles; any
+/// parse error is surfaced, the earliest-shard one first.
+pub fn collect_bundles_sharded(
+    bundles: &[JobLogBundle],
+    num_shards: usize,
+) -> Result<ExecutionLog, HistoryParseError> {
+    if num_shards <= 1 || bundles.len() <= 1 {
+        return collect_bundles(bundles);
+    }
+    let shards: Result<Vec<ExecutionLog>, HistoryParseError> =
+        perfxplain_core::shard::map_chunks(bundles, num_shards, |chunk| {
+            let collector = LogCollector::new();
+            let mut shard = ExecutionLog::new();
+            for bundle in chunk {
+                collector.collect_bundle(bundle, &mut shard)?;
+            }
+            shard.rebuild_catalogs();
+            Ok(shard)
+        })
+        .into_iter()
+        .collect();
+    Ok(ExecutionLog::from_shards(shards?))
+}
+
 /// Renders simulated traces to their textual log bundles and collects them.
 /// This is the honest end-to-end path: everything PerfXplain sees has gone
 /// through the Hadoop log text formats and back.
 pub fn collect_traces(traces: &[JobTrace]) -> Result<ExecutionLog, HistoryParseError> {
     let bundles: Vec<JobLogBundle> = traces.iter().map(JobLogBundle::from_trace).collect();
     collect_bundles(&bundles)
+}
+
+/// Sharded [`collect_traces`]: rendering *and* parsing both fan out, one
+/// thread per shard of traces.  Produces the same log as [`collect_traces`].
+pub fn collect_traces_sharded(
+    traces: &[JobTrace],
+    num_shards: usize,
+) -> Result<ExecutionLog, HistoryParseError> {
+    if num_shards <= 1 || traces.len() <= 1 {
+        return collect_traces(traces);
+    }
+    let shards: Result<Vec<ExecutionLog>, HistoryParseError> =
+        perfxplain_core::shard::map_chunks(traces, num_shards, |chunk| {
+            let collector = LogCollector::new();
+            let mut shard = ExecutionLog::new();
+            for trace in chunk {
+                let bundle = JobLogBundle::from_trace(trace);
+                collector.collect_bundle(&bundle, &mut shard)?;
+            }
+            shard.rebuild_catalogs();
+            Ok(shard)
+        })
+        .into_iter()
+        .collect();
+    Ok(ExecutionLog::from_shards(shards?))
 }
 
 #[cfg(test)]
@@ -451,5 +504,28 @@ mod tests {
         let mut bundle = JobLogBundle::from_trace(&traces[0]);
         bundle.history = "Job KEY=unquoted .".to_string();
         assert!(collect_bundles(&[bundle]).is_err());
+    }
+
+    #[test]
+    fn sharded_collection_equals_the_serial_path() {
+        let traces = traces();
+        let bundles: Vec<JobLogBundle> = traces.iter().map(JobLogBundle::from_trace).collect();
+        let serial = collect_bundles(&bundles).unwrap();
+        for shards in [1, 2, 3, 8] {
+            assert_eq!(
+                collect_bundles_sharded(&bundles, shards).unwrap(),
+                serial,
+                "{shards} shards diverge"
+            );
+            assert_eq!(collect_traces_sharded(&traces, shards).unwrap(), serial);
+        }
+    }
+
+    #[test]
+    fn sharded_collection_surfaces_parse_errors() {
+        let traces = traces();
+        let mut bundles: Vec<JobLogBundle> = traces.iter().map(JobLogBundle::from_trace).collect();
+        bundles[2].history = "Job KEY=unquoted .".to_string();
+        assert!(collect_bundles_sharded(&bundles, 3).is_err());
     }
 }

@@ -8,17 +8,47 @@
 //! once per log and then read millions of times without further allocation;
 //! the dataset the split search consumes is encoded straight from these
 //! columns.
+//!
+//! # Segments
+//!
+//! Large logs are encoded as **segments**: each shard of the row space is
+//! encoded independently into its own `ColumnStore` — same schema, but a
+//! *local* dictionary per attribute — and [`ColumnStore::merge_segments`]
+//! stitches the shards back into one global store by remapping every local
+//! dictionary id onto a merged global dictionary.  Because each local
+//! dictionary interns values in first-occurrence order and segments are
+//! merged in row order, the merged store is **bit-identical** to encoding
+//! all rows in one pass: same ids, same cells, same dictionary order.
 
 use crate::dataset::{AttrValue, Attribute};
-use std::collections::HashMap;
+use crate::hash::FxHashMap;
 
 /// An immutable column-major table of encoded feature values.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnStore {
     attributes: Vec<Attribute>,
     columns: Vec<Vec<AttrValue>>,
-    index: HashMap<String, usize>,
+    index: FxHashMap<String, usize>,
     rows: usize,
+}
+
+impl PartialEq for ColumnStore {
+    fn eq(&self, other: &Self) -> bool {
+        // The name index and row count are derived from the columns.
+        self.attributes == other.attributes && self.columns == other.columns
+    }
+}
+
+/// The result of merging per-shard segment stores: the global store plus the
+/// per-segment, per-column dictionary remap tables
+/// (`remaps[segment][column][local_id]` = global id) so callers can remap
+/// any side data they keyed by local ids.
+#[derive(Debug, Clone)]
+pub struct MergedStore {
+    /// The merged global store.
+    pub store: ColumnStore,
+    /// `remaps[segment][column][local_id]` = global dictionary id.
+    pub remaps: Vec<Vec<Vec<u32>>>,
 }
 
 impl ColumnStore {
@@ -91,6 +121,84 @@ impl ColumnStore {
     pub fn value(&self, row: usize, col: usize) -> AttrValue {
         self.columns[col][row]
     }
+
+    /// Merges independently encoded segment stores into one global store.
+    ///
+    /// Every segment must share the schema of the first (same attribute
+    /// names and kinds, in the same order); dictionaries are local to each
+    /// segment.  The merged store concatenates the segments' rows in order
+    /// and rebuilds one global dictionary per attribute by interning each
+    /// segment's dictionary values in segment order — which is exactly
+    /// first-occurrence order over the concatenated rows, so the result is
+    /// bit-identical to a single-pass encoding.
+    ///
+    /// # Panics
+    /// Panics when `segments` is empty or the schemas disagree.
+    pub fn merge_segments(segments: Vec<ColumnStore>) -> MergedStore {
+        assert!(!segments.is_empty(), "merge_segments needs >= 1 segment");
+        let num_columns = segments[0].num_columns();
+        for segment in &segments[1..] {
+            assert_eq!(
+                segment.num_columns(),
+                num_columns,
+                "segment schema width mismatch"
+            );
+            for (first, this) in segments[0].attributes.iter().zip(&segment.attributes) {
+                assert_eq!(first.name, this.name, "segment attribute name mismatch");
+                assert_eq!(
+                    first.kind, this.kind,
+                    "segment attribute kind mismatch on {}",
+                    first.name
+                );
+            }
+        }
+
+        // Global attributes: the shared schema with fresh dictionaries.
+        // Note that even numeric attributes can carry dictionary entries
+        // (mixed-type columns intern their non-numeric cells), so every
+        // attribute's dictionary is merged, not just the nominal ones.
+        let mut attributes: Vec<Attribute> = segments[0]
+            .attributes
+            .iter()
+            .map(|a| Attribute {
+                name: a.name.clone(),
+                kind: a.kind,
+                dictionary: Default::default(),
+            })
+            .collect();
+        let mut remaps: Vec<Vec<Vec<u32>>> = Vec::with_capacity(segments.len());
+        for segment in &segments {
+            let mut segment_remap = Vec::with_capacity(num_columns);
+            for (col, attribute) in segment.attributes.iter().enumerate() {
+                let global = &mut attributes[col].dictionary;
+                let remap: Vec<u32> = attribute
+                    .dictionary
+                    .iter()
+                    .map(|(_, value)| global.intern(value))
+                    .collect();
+                segment_remap.push(remap);
+            }
+            remaps.push(segment_remap);
+        }
+
+        let rows: usize = segments.iter().map(|s| s.rows).sum();
+        let mut columns: Vec<Vec<AttrValue>> =
+            (0..num_columns).map(|_| Vec::with_capacity(rows)).collect();
+        for (segment, segment_remap) in segments.iter().zip(&remaps) {
+            for (col, column) in segment.columns.iter().enumerate() {
+                let remap = &segment_remap[col];
+                columns[col].extend(column.iter().map(|cell| match cell {
+                    AttrValue::Nom(id) => AttrValue::Nom(remap[*id as usize]),
+                    other => *other,
+                }));
+            }
+        }
+
+        MergedStore {
+            store: ColumnStore::from_columns(attributes, columns),
+            remaps,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -143,5 +251,63 @@ mod tests {
             vec![Attribute::numeric("a"), Attribute::numeric("b")],
             vec![vec![AttrValue::Num(1.0)], vec![]],
         );
+    }
+
+    /// Encodes `values` into a one-column store with a local dictionary.
+    fn nominal_segment(values: &[&str]) -> ColumnStore {
+        let mut attribute = Attribute::nominal("script");
+        let column = values
+            .iter()
+            .map(|v| AttrValue::Nom(attribute.dictionary.intern(v)))
+            .collect();
+        ColumnStore::from_columns(vec![attribute], vec![column])
+    }
+
+    #[test]
+    fn merged_segments_are_bit_identical_to_a_single_pass() {
+        // Shards with overlapping and disjoint dictionary entries, in
+        // orders that differ from the global first-occurrence order.
+        let all = ["b", "a", "b", "c", "a", "d", "e", "c"];
+        let single = nominal_segment(&all);
+        for split in 1..all.len() {
+            let merged = ColumnStore::merge_segments(vec![
+                nominal_segment(&all[..split]),
+                nominal_segment(&all[split..]),
+            ]);
+            assert_eq!(merged.store, single, "split at {split} diverges");
+            assert_eq!(merged.remaps.len(), 2);
+        }
+    }
+
+    #[test]
+    fn merge_remaps_local_ids_onto_the_global_dictionary() {
+        let merged = ColumnStore::merge_segments(vec![
+            nominal_segment(&["x", "y"]),
+            nominal_segment(&["y", "z"]),
+        ]);
+        let dictionary = &merged.store.attribute(0).dictionary;
+        assert_eq!(dictionary.resolve(0), Some("x"));
+        assert_eq!(dictionary.resolve(1), Some("y"));
+        assert_eq!(dictionary.resolve(2), Some("z"));
+        // Segment 1's local ids 0 ("y") and 1 ("z") map to global 1 and 2.
+        assert_eq!(merged.remaps[1][0], vec![1, 2]);
+        assert_eq!(merged.store.value(2, 0), AttrValue::Nom(1));
+        assert_eq!(merged.store.value(3, 0), AttrValue::Nom(2));
+    }
+
+    #[test]
+    fn merging_one_segment_is_the_identity() {
+        let store = store();
+        let merged = ColumnStore::merge_segments(vec![store.clone()]);
+        assert_eq!(merged.store, store);
+    }
+
+    #[test]
+    #[should_panic(expected = "segment attribute name mismatch")]
+    fn merge_rejects_mismatched_schemas() {
+        ColumnStore::merge_segments(vec![
+            ColumnStore::from_columns(vec![Attribute::numeric("a")], vec![vec![]]),
+            ColumnStore::from_columns(vec![Attribute::numeric("b")], vec![vec![]]),
+        ]);
     }
 }

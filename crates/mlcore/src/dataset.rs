@@ -6,8 +6,8 @@
 //! or *as expected* (negative).  This module provides that representation in
 //! a form the split search, the decision-tree learner and Relief can share.
 
+use crate::hash::FxHashMap;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 use std::fmt;
 
 /// The kind of an attribute (column).
@@ -63,11 +63,12 @@ impl AttrValue {
     }
 }
 
-/// Per-attribute dictionary interning nominal string values.
+/// Per-attribute dictionary interning nominal string values.  Lookups go
+/// through an [`FxHashMap`]: interning is on the log-encoding hot path.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NominalDictionary {
     values: Vec<String>,
-    index: HashMap<String, u32>,
+    index: FxHashMap<String, u32>,
 }
 
 impl NominalDictionary {
@@ -157,7 +158,7 @@ pub struct Dataset {
     attributes: Vec<Attribute>,
     rows: Vec<Vec<AttrValue>>,
     labels: Vec<bool>,
-    name_index: HashMap<String, usize>,
+    name_index: FxHashMap<String, usize>,
 }
 
 impl Dataset {

@@ -13,6 +13,9 @@
 //!
 //! * [`dataset`] — a small columnar dataset abstraction over mixed
 //!   numeric/nominal attributes with missing values and binary labels.
+//! * [`hash`] — a vendored FxHash-style hasher ([`FxHashMap`]) for the hot
+//!   lookup maps (dictionary interning, column/row indexes); deterministic
+//!   and several times cheaper per short-key lookup than std's SipHash.
 //! * [`entropy`] — binary entropy, entropy of count vectors and information
 //!   gain of a boolean partition.
 //! * [`split`] — C4.5-style best-split search per attribute (threshold
@@ -32,15 +35,17 @@ pub mod columnar;
 pub mod dataset;
 pub mod dtree;
 pub mod entropy;
+pub mod hash;
 pub mod relief;
 pub mod sample;
 pub mod split;
 pub mod stats;
 
-pub use columnar::ColumnStore;
+pub use columnar::{ColumnStore, MergedStore};
 pub use dataset::{AttrKind, AttrValue, Attribute, Dataset, NominalDictionary};
 pub use dtree::{DecisionTree, TreeConfig};
 pub use entropy::{binary_entropy, entropy_of_counts, information_gain};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use relief::{relief_weights, ReliefConfig};
 pub use sample::{balanced_sample, BalanceStats};
 pub use split::{

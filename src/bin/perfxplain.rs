@@ -5,6 +5,13 @@
 //!     Run the Table-2 workload sweep on the simulated cluster, collect the
 //!     Hadoop/Ganglia logs and store the resulting execution log as JSON.
 //!
+//! perfxplain ingest --bundles <dir> --out log.json [--shards N]
+//!     Ingest a directory of on-disk job log bundles (one directory per job
+//!     containing job_history.log, job.xml, ganglia.csv) into an execution
+//!     log.  Bundles are split into shards parsed on concurrent threads
+//!     (default: one shard per core) and merged into a log identical to a
+//!     serial ingest.
+//!
 //! perfxplain inspect --log log.json
 //!     Summarise an execution log: jobs, tasks, features, durations.
 //!
@@ -71,6 +78,8 @@ impl Args {
                         | "left"
                         | "right"
                         | "width"
+                        | "bundles"
+                        | "shards"
                 );
                 if takes_value {
                     let value = raw.get(i + 1).unwrap_or_else(|| {
@@ -139,6 +148,43 @@ fn cmd_simulate(args: &Args) {
         "wrote {} jobs and {} tasks to {out}",
         log.jobs().count(),
         log.tasks().count()
+    );
+}
+
+fn cmd_ingest(args: &Args) {
+    let root = args
+        .get("bundles")
+        .unwrap_or_else(|| fail("--bundles <dir> is required"));
+    let out = args.get("out").unwrap_or("perfxplain-log.json");
+    let shards = match args.get("shards") {
+        Some(raw) => raw
+            .parse::<usize>()
+            .ok()
+            .filter(|&s| s >= 1)
+            .unwrap_or_else(|| fail("--shards expects a positive number")),
+        None => perfxplain::shard::hardware_threads(),
+    };
+
+    let bundles = JobLogBundle::read_all(std::path::Path::new(root))
+        .unwrap_or_else(|e| fail(&format!("cannot read bundles under {root}: {e}")));
+    if bundles.is_empty() {
+        fail(&format!("{root} contains no job log bundles"));
+    }
+    eprintln!(
+        "ingesting {} bundles across {shards} shard(s)...",
+        bundles.len()
+    );
+    let started = Instant::now();
+    let log = collect_bundles_sharded(&bundles, shards)
+        .unwrap_or_else(|e| fail(&format!("cannot parse bundles: {e}")));
+    let elapsed = started.elapsed();
+    let json = log.to_json().unwrap_or_else(|e| fail(&e.to_string()));
+    std::fs::write(out, json).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    println!(
+        "wrote {} jobs and {} tasks to {out} ({:.1} ms sharded parse)",
+        log.jobs().count(),
+        log.tasks().count(),
+        elapsed.as_secs_f64() * 1e3
     );
 }
 
@@ -387,19 +433,20 @@ fn print_batch_outcome(
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let Some((command, rest)) = raw.split_first() else {
-        eprintln!("usage: perfxplain <simulate|inspect|queries|explain|batch> [options]");
+        eprintln!("usage: perfxplain <simulate|ingest|inspect|queries|explain|batch> [options]");
         eprintln!("       see the module documentation at the top of src/bin/perfxplain.rs");
         exit(2);
     };
     let args = Args::parse(rest);
     match command.as_str() {
         "simulate" => cmd_simulate(&args),
+        "ingest" => cmd_ingest(&args),
         "inspect" => cmd_inspect(&args),
         "queries" => cmd_queries(&args),
         "explain" => cmd_explain(&args),
         "batch" => cmd_batch(&args),
         "--help" | "-h" | "help" => {
-            println!("usage: perfxplain <simulate|inspect|queries|explain|batch> [options]");
+            println!("usage: perfxplain <simulate|ingest|inspect|queries|explain|batch> [options]");
         }
         other => fail(&format!("unknown command '{other}'")),
     }

@@ -50,6 +50,27 @@
 //! For one-off questions the stateless [`PerfXplain`] engine is still
 //! available (`engine.explain(&log, &bound)`); it is a thin wrapper over a
 //! single-shot service pass, so both APIs share one code path.
+//!
+//! # Scaling to large logs
+//!
+//! Million-record logs load and encode as **shards**, end to end:
+//!
+//! * `hadoop_logs::collect_bundles_sharded(&bundles, shards)` parses job
+//!   log bundles on concurrent threads and merges the per-shard logs
+//!   ([`ExecutionLog::from_shards`] /
+//!   [`ExecutionLog::extend_parallel`](perfxplain_core::ExecutionLog::extend_parallel))
+//!   into a log identical to a serial ingest — the CLI exposes this as
+//!   `perfxplain ingest --bundles <dir> [--shards N]`.
+//! * The columnar view encodes per shard with local dictionaries and merges
+//!   by dictionary remapping
+//!   ([`ColumnarLog::build_sharded`](perfxplain_core::ColumnarLog::build_sharded)),
+//!   bit-identical to the single-shot build; the [`XplainService`] switches
+//!   to the sharded encode automatically above
+//!   [`SHARDED_BUILD_THRESHOLD`](perfxplain_core::SHARDED_BUILD_THRESHOLD)
+//!   rows.
+//! * Pair enumeration fans out over threads by default on large views (the
+//!   `parallel` / `serial` crate features force it on / off), with
+//!   bit-identical results either way.
 
 pub use perfxplain_core::{
     assess, compute_pair_features, evaluate_on_log, generality, generate_explanation, narrate,
@@ -60,6 +81,8 @@ pub use perfxplain_core::{
     QueryOutcome, QueryRequest, RuleOfThumb, SimButDiff, Technique, TrainingSet, XplainService,
     DEFAULT_SIM_THRESHOLD, DURATION_FEATURE,
 };
+
+pub use perfxplain_core::shard;
 
 pub use hadoop_logs;
 pub use mlcore;
@@ -74,7 +97,10 @@ pub mod prelude {
         PairLabel, PerfXplain, QueryOutcome, QueryRequest, RuleOfThumb, SimButDiff, Technique,
         XplainService,
     };
-    pub use hadoop_logs::{collect_traces, JobLogBundle, LogCollector};
+    pub use hadoop_logs::{
+        collect_bundles, collect_bundles_sharded, collect_traces, collect_traces_sharded,
+        JobLogBundle, LogCollector,
+    };
     pub use mrsim::{Cluster, ClusterSpec, JobSpec, PigScript};
     pub use pxql::{parse_predicate, parse_query, Predicate, Value};
     pub use workload::{

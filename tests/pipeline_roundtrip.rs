@@ -1,7 +1,10 @@
 //! Integration tests of the substrate pipeline: simulator traces → textual
-//! Hadoop/Ganglia artefacts → (filesystem) → parser → collector.
+//! Hadoop/Ganglia artefacts → (filesystem) → parser → collector — serial,
+//! sharded, and through the CLI `ingest` command.
 
-use perfxplain::hadoop_logs::{collect_bundles, collect_traces, parse_job_history, JobLogBundle};
+use perfxplain::hadoop_logs::{
+    collect_bundles, collect_bundles_sharded, collect_traces, parse_job_history, JobLogBundle,
+};
 use perfxplain::mrsim::{Cluster, ClusterSpec, JobSpec, JobTrace, PigScript, GB, MB};
 use perfxplain::pxql::Value;
 use std::fs;
@@ -72,6 +75,45 @@ fn filesystem_round_trip_produces_identical_execution_logs() {
             job.id
         );
     }
+}
+
+/// The CLI `ingest` command (and the sharded collector underneath it)
+/// produces, from on-disk bundles, exactly the log a serial collection
+/// builds in memory.
+#[test]
+fn cli_ingest_matches_the_serial_collection() {
+    let traces = sample_traces();
+    let bundles: Vec<JobLogBundle> = traces.iter().map(JobLogBundle::from_trace).collect();
+    let serial = collect_bundles(&bundles).unwrap();
+    assert_eq!(collect_bundles_sharded(&bundles, 3).unwrap(), serial);
+
+    let root = std::env::temp_dir().join(format!("perfxplain-ingest-it-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&root);
+    fs::create_dir_all(&root).unwrap();
+    for bundle in &bundles {
+        bundle.write_to_dir(&root).unwrap();
+    }
+    let out = root.join("ingested.json");
+
+    let status = std::process::Command::new(env!("CARGO_BIN_EXE_perfxplain"))
+        .args([
+            "ingest",
+            "--bundles",
+            root.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+            "--shards",
+            "3",
+        ])
+        .status()
+        .expect("the perfxplain binary runs");
+    assert!(status.success(), "ingest exited with {status}");
+
+    let ingested = perfxplain::ExecutionLog::from_json(&fs::read_to_string(&out).unwrap()).unwrap();
+    let _ = fs::remove_dir_all(&root);
+    // JSON round-tripping is lossless for logs, so the CLI output must load
+    // back equal to the serial in-memory collection.
+    assert_eq!(ingested, serial);
 }
 
 #[test]

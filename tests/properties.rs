@@ -481,6 +481,74 @@ proptest! {
         }
     }
 
+    /// The sharded parallel encode produces a view bit-identical to the
+    /// single-shot build for arbitrary logs and shard counts — including
+    /// s = 1, s > n, and logs whose shards have disjoint dictionaries.
+    #[test]
+    fn sharded_build_is_bit_identical_to_the_single_shot_build(
+        seed in 0u64..300,
+        shards in 1usize..24,
+    ) {
+        use perfxplain_core::columnar::ColumnarLog;
+        use perfxplain::ExecutionKind;
+
+        let log = random_log(seed);
+        let single = ColumnarLog::build(&log, ExecutionKind::Job);
+        let sharded = ColumnarLog::build_sharded(&log, ExecutionKind::Job, shards);
+        prop_assert_eq!(&sharded, &single);
+        prop_assert_eq!(
+            ColumnarLog::build_auto(&log, ExecutionKind::Job),
+            single
+        );
+
+        // A log where every record carries a shard-unique nominal value:
+        // every pair of shards has disjoint dictionary entries to merge.
+        let mut disjoint = log.clone();
+        let mut tagged = ExecutionLog::new();
+        for (i, record) in disjoint.records().iter().enumerate() {
+            let mut record = record.clone();
+            record.set_feature("jobtag", format!("tag_{i}"));
+            tagged.push(record);
+        }
+        disjoint = tagged;
+        disjoint.rebuild_catalogs();
+        prop_assert_eq!(
+            ColumnarLog::build_sharded(&disjoint, ExecutionKind::Job, shards),
+            ColumnarLog::build(&disjoint, ExecutionKind::Job)
+        );
+    }
+
+    /// Sharded ingestion (`from_shards` over per-batch logs) equals pushing
+    /// every record serially and rebuilding the catalogs.
+    #[test]
+    fn sharded_ingestion_equals_the_serial_ingest(
+        seed in 0u64..300,
+        shards in 1usize..10,
+    ) {
+        let log = random_log(seed);
+        let records: Vec<ExecutionRecord> = log.records().to_vec();
+        let chunk_size = records.len().div_ceil(shards).max(1);
+
+        let shard_logs: Vec<ExecutionLog> = records
+            .chunks(chunk_size)
+            .map(|chunk| {
+                let mut shard = ExecutionLog::new();
+                for record in chunk {
+                    shard.push(record.clone());
+                }
+                shard.rebuild_catalogs();
+                shard
+            })
+            .collect();
+        prop_assert_eq!(&ExecutionLog::from_shards(shard_logs), &log);
+
+        let mut parallel = ExecutionLog::new();
+        parallel.extend_parallel(
+            records.chunks(chunk_size).map(<[ExecutionRecord]>::to_vec).collect(),
+        );
+        prop_assert_eq!(&parallel, &log);
+    }
+
     /// The encoded end-to-end engine produces explanations identical to the
     /// legacy map-based clause generation.
     #[test]

@@ -59,6 +59,58 @@ fn par_explain_batch_is_bit_identical_to_the_serial_path() {
     }
 }
 
+/// Above `SHARDED_BUILD_THRESHOLD` records the service encodes its cached
+/// views through the sharded parallel path.  The encode must stay
+/// bit-identical to the single-shot build, and a parallel batch answered
+/// from the sharded view must match the serial answers.
+#[test]
+fn sharded_encode_under_par_explain_batch_is_bit_identical() {
+    use perfxplain::ExecutionKind;
+    use perfxplain_core::columnar::ColumnarLog;
+    use perfxplain_core::SHARDED_BUILD_THRESHOLD;
+
+    // A blocked log just past the auto-shard threshold: small per-script
+    // groups keep the candidate space tractable while the row count forces
+    // the sharded encode.
+    let n = SHARDED_BUILD_THRESHOLD + 128;
+    let group_size = 8;
+    let log = perfxplain_bench::blocked_log(n, group_size, 0);
+
+    // The explicitly sharded encode is bit-identical to the single-shot
+    // encode (and to whatever build_auto picked for this machine).
+    let single = ColumnarLog::build_sharded(&log, ExecutionKind::Job, 1);
+    for shards in [2, 4, 8] {
+        assert_eq!(
+            ColumnarLog::build_sharded(&log, ExecutionKind::Job, shards),
+            single,
+            "{shards} shards diverge"
+        );
+    }
+    assert_eq!(ColumnarLog::build_auto(&log, ExecutionKind::Job), single);
+
+    // Batch answers off the (auto-sharded) cached view match the serial
+    // path answer for answer.
+    let service = XplainService::new(log);
+    let requests: Vec<QueryRequest> = (0..6)
+        .map(|q| {
+            let base = q * group_size;
+            QueryRequest::text(perfxplain_bench::BLOCKED_QUERY)
+                .with_pair(format!("job_{}", base + 2), format!("job_{base}"))
+        })
+        .collect();
+    let serial: Vec<QueryOutcome> = requests
+        .iter()
+        .map(|request| service.explain(request).expect("serial query succeeds"))
+        .collect();
+    let parallel = service.par_explain_batch(&requests);
+    for (serial, parallel) in serial.iter().zip(&parallel) {
+        let parallel = parallel.as_ref().expect("parallel query succeeds");
+        assert_eq!(serial.explanation, parallel.explanation);
+        assert_eq!(serial.query, parallel.query);
+    }
+    assert_eq!(service.cached_view_count(), 1);
+}
+
 #[test]
 fn external_threads_share_one_service_and_agree() {
     let log = build_execution_log(LogPreset::Tiny, 7);

@@ -307,7 +307,7 @@ impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
     }
 }
 
-impl<V: Serialize> Serialize for HashMap<String, V> {
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
     fn serialize(&self) -> Content {
         // Deterministic output: sort keys so equal maps serialize equally.
         let mut entries: Vec<(String, Content)> = self
@@ -319,7 +319,7 @@ impl<V: Serialize> Serialize for HashMap<String, V> {
     }
 }
 
-impl<V: Deserialize> Deserialize for HashMap<String, V> {
+impl<V: Deserialize, S: std::hash::BuildHasher + Default> Deserialize for HashMap<String, V, S> {
     fn deserialize(content: &Content) -> Result<Self, DeError> {
         match content {
             Content::Map(entries) => entries
