@@ -93,6 +93,33 @@ struct ShardedEncodePoint {
     encode_speedup_vs_single: f64,
 }
 
+/// The `cold_start` scenario: time-to-first-queryable-view from a JSON log
+/// (parse + re-encode, what every start paid before the snapshot store)
+/// vs from a segmented binary snapshot (open + assemble stored columns).
+#[derive(Debug, Serialize)]
+struct ColdStartPoint {
+    /// Number of log records.
+    n: usize,
+    /// Raw features per record.
+    features: usize,
+    /// Segments the snapshot was written with.
+    shards: usize,
+    /// Size of the JSON representation, bytes.
+    json_bytes: u64,
+    /// Total size of the snapshot directory (segments + manifest), bytes.
+    snapshot_bytes: u64,
+    /// JSON path: `ExecutionLog::from_json` + `ColumnarLog::build_auto`
+    /// (parse, catalog rebuild, full re-encode), ms.
+    json_parse_ms: f64,
+    /// Snapshot path: `snapshot::open` (read + fingerprint-verify +
+    /// decode) + `to_log` + `ColumnarLog::build_from_snapshot` (assemble,
+    /// no re-encode), ms.
+    snapshot_open_ms: f64,
+    /// json ÷ snapshot: the payoff of opening binary columns instead of
+    /// re-parsing JSON.
+    speedup: f64,
+}
+
 /// The blocked-enumeration scenario: a despite clause with
 /// `pigscript_isSame = T` restricts candidates to within-script groups, so
 /// a 100k-record log enumerates ~n·(group-1) pairs instead of n².
@@ -124,6 +151,7 @@ struct PairsBenchReport {
     points: Vec<PairsBenchPoint>,
     service_reuse: ServiceReusePoint,
     sharded_encode: Vec<ShardedEncodePoint>,
+    cold_start: Vec<ColdStartPoint>,
     blocked_enumeration: BlockedEnumerationPoint,
 }
 
@@ -362,6 +390,55 @@ fn measure_sharded_encode_sweep(n: usize, points: &mut Vec<ShardedEncodePoint>) 
     }
 }
 
+/// Measures the `cold_start` scenario at one log size: JSON re-parse vs
+/// snapshot open, both driven to the same end state (a log + a queryable
+/// job view).
+fn measure_cold_start(n: usize) -> ColdStartPoint {
+    use perfxplain_core::snapshot;
+
+    let log = synthetic_log(n);
+    let features = log.job_catalog().len();
+    let json = log.to_json().expect("log serializes");
+    let shards = perfxplain_core::shard::hardware_threads();
+    let dir = std::env::temp_dir().join(format!("pxbench_cold_{}_{n}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    snapshot::persist(&log, &dir, shards).expect("snapshot persists");
+    let snapshot_bytes: u64 = std::fs::read_dir(&dir)
+        .expect("snapshot dir lists")
+        .map(|e| e.expect("entry").metadata().expect("metadata").len())
+        .sum();
+    drop(log);
+
+    // Tier 1: cold JSON ingest — parse, rebuild catalogs, re-encode.
+    let started = Instant::now();
+    let parsed = ExecutionLog::from_json(&json).expect("JSON parses");
+    let json_view = ColumnarLog::build_auto(&parsed, ExecutionKind::Job);
+    let json_parse_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(json_view.num_rows(), n);
+    drop((parsed, json_view));
+
+    // Tier 2: snapshot open — read + verify + decode columns, no re-encode.
+    let started = Instant::now();
+    let snap = snapshot::open(&dir).expect("snapshot opens");
+    let reopened = snap.to_log();
+    let snap_view = ColumnarLog::build_from_snapshot(&snap, ExecutionKind::Job);
+    let snapshot_open_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(snap_view.num_rows(), n);
+    assert_eq!(reopened.len(), n);
+
+    std::fs::remove_dir_all(&dir).expect("snapshot dir cleans up");
+    ColdStartPoint {
+        n,
+        features,
+        shards,
+        json_bytes: json.len() as u64,
+        snapshot_bytes,
+        json_parse_ms,
+        snapshot_open_ms,
+        speedup: json_parse_ms / snapshot_open_ms.max(1e-9),
+    }
+}
+
 /// The blocked-enumeration scenario at n = 100k: candidates restricted to
 /// within-pigscript groups by the despite clause.
 fn measure_blocked_enumeration(n: usize, group_size: usize) -> BlockedEnumerationPoint {
@@ -422,6 +499,22 @@ fn main() {
         measure_sharded_encode_sweep(n, &mut sharded_encode);
     }
 
+    let mut cold_start = Vec::new();
+    for n in [100_000usize, 1_000_000] {
+        let point = measure_cold_start(n);
+        println!(
+            "cold_start n = {:>8}: JSON re-parse {:>8.1} ms ({} B) vs snapshot open \
+             {:>8.1} ms ({} B) — {:.1}x",
+            point.n,
+            point.json_parse_ms,
+            point.json_bytes,
+            point.snapshot_open_ms,
+            point.snapshot_bytes,
+            point.speedup,
+        );
+        cold_start.push(point);
+    }
+
     let blocked_enumeration = measure_blocked_enumeration(100_000, 10);
     println!(
         "blocked enumeration: n = {}, groups of {}: {} candidates (vs {} unblocked) in \
@@ -445,10 +538,13 @@ fn main() {
                       re-encode the log each time.  sharded_encode ingests and encodes \
                       n-record logs as independent shards merged by dictionary remapping \
                       (bit-identical to the single-shot build); speedups scale with \
-                      hardware_threads and degenerate to ~1x on one core.  \
-                      blocked_enumeration classifies a despite-blocked query over 100k \
-                      records.  Pair enumeration fans out over threads by default above \
-                      parallel_enumeration_threshold records."
+                      hardware_threads and degenerate to ~1x on one core.  cold_start \
+                      compares time-to-first-queryable-view from JSON (parse + catalog \
+                      rebuild + full re-encode) against opening a segmented binary \
+                      snapshot (read + fingerprint-verify + decode stored columns, no \
+                      re-encode).  blocked_enumeration classifies a despite-blocked query \
+                      over 100k records.  Pair enumeration fans out over threads by \
+                      default above parallel_enumeration_threshold records."
             .to_string(),
         hardware_threads: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -457,6 +553,7 @@ fn main() {
         points,
         service_reuse,
         sharded_encode,
+        cold_start,
         blocked_enumeration,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

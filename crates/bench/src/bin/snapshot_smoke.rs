@@ -1,0 +1,88 @@
+//! Release-mode smoke test of the persistent snapshot store.
+//!
+//! Ingests a synthetic 100k-record log, persists it as a segmented binary
+//! snapshot, reopens it through [`XplainService::open_snapshot`] (warm
+//! rehydration: views assembled from stored columns, no JSON, no
+//! re-encode), answers one blocked PXQL query, and asserts the outcome
+//! equals the in-memory service's answer — failing (non-zero exit) if the
+//! whole round trip exceeds a wall-clock ceiling, so a complexity
+//! regression on the persist/open path fails CI instead of silently
+//! slowing every cold start down.
+//!
+//! Run with `cargo run --release -p perfxplain-bench --bin snapshot_smoke`.
+
+use perfxplain_bench::{blocked_log, BLOCKED_QUERY};
+use perfxplain_core::{snapshot, QueryRequest, XplainService};
+use std::time::Instant;
+
+/// Log size of the smoke run.
+const N: usize = 100_000;
+/// Records per pigscript blocking group.
+const GROUP_SIZE: usize = 10;
+/// Wall-clock ceiling for persist + reopen + one answered query (the log
+/// build itself is untimed).  Measured well under 5 s on one core; the
+/// ceiling leaves headroom for slow CI machines while still catching
+/// pathological regressions.
+const CEILING_SECS: f64 = 30.0;
+
+fn main() {
+    let log = blocked_log(N, GROUP_SIZE, 1);
+    let request = QueryRequest::text(BLOCKED_QUERY).with_pair("job_2", "job_0");
+
+    // The in-memory reference answer (also warms nothing the snapshot
+    // path could reuse — it is a separate service).
+    let in_memory = XplainService::new(log.clone());
+    let expected = in_memory
+        .explain(&request)
+        .expect("the smoke query must be answerable in memory");
+
+    let dir = std::env::temp_dir().join(format!("pxsnap_smoke_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let shards = perfxplain_core::shard::hardware_threads().max(4);
+
+    let started = Instant::now();
+
+    // 1. Persist: per-shard binary segments + fingerprinted manifest.
+    let report = snapshot::persist(&log, &dir, shards).expect("snapshot persists");
+    let persisted = started.elapsed();
+    assert_eq!(report.rows, N, "persist lost records");
+
+    // 2. Reopen as a warm service: fingerprints verified, views assembled
+    //    from the stored columns.
+    let reopened = XplainService::open_snapshot(&dir).expect("snapshot opens");
+    let opened = started.elapsed();
+
+    // 3. The first query is served from the pre-warmed cache and matches
+    //    the in-memory answer exactly.
+    let outcome = reopened
+        .explain(&request)
+        .expect("the smoke query must be answerable from the snapshot");
+    assert!(
+        outcome.view_reused,
+        "the rehydrated service should serve its first query from the snapshot-built view"
+    );
+    assert_eq!(
+        outcome.explanation, expected.explanation,
+        "snapshot-served explanation diverged from the in-memory path"
+    );
+    assert_eq!(outcome.query, expected.query);
+
+    let total = started.elapsed();
+    std::fs::remove_dir_all(&dir).expect("snapshot dir cleans up");
+    println!(
+        "snapshot_smoke: {N} records, {} shard(s): persist {:.0} ms (encode {:.0} ms, \
+         write {:.0} ms), reopen {:.0} ms, query answered at {:.0} ms (because: {})",
+        report.manifest.shards.len(),
+        persisted.as_secs_f64() * 1e3,
+        report.encode_seconds * 1e3,
+        report.write_seconds * 1e3,
+        (opened - persisted).as_secs_f64() * 1e3,
+        total.as_secs_f64() * 1e3,
+        outcome.explanation.because,
+    );
+    assert!(
+        total.as_secs_f64() < CEILING_SECS,
+        "snapshot round trip took {:.1} s (ceiling {CEILING_SECS} s): the store regressed",
+        total.as_secs_f64()
+    );
+}

@@ -80,16 +80,22 @@ impl PartialEq for ColumnarLog {
 
 /// One independently encoded shard: a local [`ColumnStore`] (own
 /// dictionaries) plus the original `Value` behind each local nominal id.
-struct EncodedSegment {
-    store: ColumnStore,
-    originals: Vec<Vec<Value>>,
+/// Also the unit the snapshot store persists per shard and per kind
+/// ([`crate::snapshot`]), which is why it is crate-visible.
+#[derive(Debug, Clone)]
+pub(crate) struct EncodedSegment {
+    pub(crate) store: ColumnStore,
+    pub(crate) originals: Vec<Vec<Value>>,
 }
 
 /// Encodes one contiguous run of records against the shared catalog.  Cells
 /// are stored by *value* type: numeric values inline, everything else
 /// interned by canonical text, so mixed-type features keep the exact
 /// comparison semantics of the map-based path.
-fn encode_segment(catalog: &FeatureCatalog, records: &[&ExecutionRecord]) -> EncodedSegment {
+pub(crate) fn encode_segment(
+    catalog: &FeatureCatalog,
+    records: &[&ExecutionRecord],
+) -> EncodedSegment {
     use std::fmt::Write as _;
     let mut attributes = Vec::with_capacity(catalog.len());
     let mut columns = Vec::with_capacity(catalog.len());
@@ -210,6 +216,56 @@ impl ColumnarLog {
         ColumnarLog {
             kind,
             records: records.into_iter().cloned().collect(),
+            store,
+            originals,
+            kinds,
+            row_index,
+        }
+    }
+
+    /// Assembles the view of `kind` from a loaded snapshot, without
+    /// re-encoding a single cell: the per-shard binary column segments are
+    /// pulled out of the snapshot across `std::thread::scope` threads
+    /// ([`crate::shard::map_chunks`]) and stitched together by the same
+    /// dictionary-remapping merge as [`ColumnarLog::build_sharded`] — so the
+    /// result is **bit-identical** to encoding the snapshot's log from
+    /// scratch, for any shard count the snapshot was written with
+    /// (proptested in `tests/properties.rs`).
+    ///
+    /// This is the warm half of the cold-start story: a service rehydrated
+    /// via [`XplainService::open_snapshot`](crate::service::XplainService::open_snapshot)
+    /// serves its first query from these columns instead of re-parsing JSON
+    /// and re-encoding the log.
+    pub fn build_from_snapshot(snapshot: &crate::snapshot::Snapshot, kind: ExecutionKind) -> Self {
+        let catalog = snapshot.catalog(kind);
+        let shards = snapshot.shards();
+        let segments: Vec<EncodedSegment> = crate::shard::map_chunks(
+            shards,
+            crate::shard::hardware_threads().min(shards.len()),
+            |chunk| {
+                chunk
+                    .iter()
+                    .map(|shard| shard.segment(kind).clone())
+                    .collect::<Vec<EncodedSegment>>()
+            },
+        )
+        .into_iter()
+        .flatten()
+        .collect();
+        let (store, originals) = merge_segments(segments);
+        let records: Vec<ExecutionRecord> = shards
+            .iter()
+            .flat_map(|shard| shard.records().iter().filter(|r| r.kind == kind).cloned())
+            .collect();
+        let kinds = catalog.defs().iter().map(|def| def.kind).collect();
+        let row_index = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (r.id.clone(), i))
+            .collect();
+        ColumnarLog {
+            kind,
+            records,
             store,
             originals,
             kinds,

@@ -31,6 +31,32 @@ pub enum CoreError {
     Pxql(String),
     /// An execution log could not be serialized or deserialized.
     Serialization(String),
+    /// A snapshot store operation failed at the filesystem level (missing
+    /// directory, unreadable or unwritable file).
+    SnapshotIo {
+        /// The path the operation touched.
+        path: String,
+        /// The underlying I/O error.
+        message: String,
+    },
+    /// A snapshot file is corrupt: bad magic, truncated content, an
+    /// undecodable segment, or a fingerprint that does not match the
+    /// manifest.  Corruption is always a typed error, never a panic; the
+    /// caller's recovery path is a full re-ingest into the same directory.
+    SnapshotCorrupt {
+        /// The offending file.
+        path: String,
+        /// What failed to decode or verify.
+        message: String,
+    },
+    /// The snapshot was written by an incompatible version of the store
+    /// format.  Recovery: re-ingest from the original source.
+    SnapshotVersionSkew {
+        /// The version recorded in the snapshot.
+        found: u32,
+        /// The version this build reads and writes.
+        supported: u32,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -51,6 +77,17 @@ impl fmt::Display for CoreError {
             ),
             CoreError::Pxql(msg) => write!(f, "PXQL error: {msg}"),
             CoreError::Serialization(msg) => write!(f, "serialization error: {msg}"),
+            CoreError::SnapshotIo { path, message } => {
+                write!(f, "snapshot I/O error on {path}: {message}")
+            }
+            CoreError::SnapshotCorrupt { path, message } => {
+                write!(f, "snapshot file {path} is corrupt: {message}")
+            }
+            CoreError::SnapshotVersionSkew { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported \
+                 (this build reads version {supported}); re-ingest from the source"
+            ),
         }
     }
 }
@@ -81,5 +118,21 @@ mod tests {
         assert!(err.to_string().contains("1 observed"));
         let err: CoreError = pxql::PxqlError::Invalid("nope".to_string()).into();
         assert!(matches!(err, CoreError::Pxql(_)));
+        let err = CoreError::SnapshotCorrupt {
+            path: "snap/segment-0001.bin".to_string(),
+            message: "fingerprint mismatch".to_string(),
+        };
+        assert!(err.to_string().contains("segment-0001.bin"));
+        assert!(err.to_string().contains("fingerprint mismatch"));
+        let err = CoreError::SnapshotVersionSkew {
+            found: 9,
+            supported: 1,
+        };
+        assert!(err.to_string().contains("version 9"));
+        let err = CoreError::SnapshotIo {
+            path: "snap".to_string(),
+            message: "permission denied".to_string(),
+        };
+        assert!(err.to_string().contains("permission denied"));
     }
 }

@@ -72,7 +72,18 @@
 //! its columnar view, and classifying O(n²) candidate pairs against the
 //! query.  The pipeline attacks both with a **sharded, columnar, streaming,
 //! zero-re-encoding hot path** ([`columnar`], [`training`], [`bridge`],
-//! [`record`]):
+//! [`record`]), and getting *to* that hot path is a **three-tier story**:
+//!
+//! | tier | start state | cost |
+//! |---|---|---|
+//! | cold JSON ingest | raw bundles or a JSON log | parse + catalog inference + full columnar encode |
+//! | snapshot open | a [`snapshot`] directory | read + fingerprint-verify + decode binary columns; **no parsing, no re-encode** |
+//! | warm service cache | a running [`XplainService`] | `Arc` clone of the cached view; zero work |
+//!
+//! A deployment pays tier 1 once per *source* change (and, with
+//! incremental [`snapshot::sync`], only for the shards whose source
+//! actually changed), tier 2 once per process start, and tier 3 on every
+//! query.
 //!
 //! 1. **Ingest sharded.** [`ExecutionLog::extend_parallel`] ingests record
 //!    batches on concurrent threads (per-batch catalogs inferred in
@@ -123,14 +134,35 @@
 //!    derives the pair features of the sampled training pairs straight from
 //!    the columns into the split-search [`mlcore::Dataset`];
 //!    [`PairExample`] maps exist only at the API/narration boundary.
+//! 6. **Persist the encoded form.** The [`snapshot`] store writes each
+//!    shard — records plus its encoded column segments (local
+//!    dictionaries) — as a length-prefixed binary segment file
+//!    ([`mlcore::ColumnStore::encode_binary`]) under a manifest of FxHash
+//!    content fingerprints and per-shard catalogs.  A cold start
+//!    ([`snapshot::open`] → [`ColumnarLog::build_from_snapshot`](columnar::ColumnarLog::build_from_snapshot),
+//!    or [`XplainService::open_snapshot`](service::XplainService::open_snapshot)
+//!    for a pre-warmed service) loads segments on concurrent threads and
+//!    stitches them with the same dictionary-remapping merge as the
+//!    sharded encode — bit-identical to encoding from scratch, at the cost
+//!    of a disk read.  Incremental re-ingest ([`snapshot::sync`])
+//!    fingerprints each shard's source and re-encodes only the dirty
+//!    shards; a changed global catalog re-encodes everything from on-disk
+//!    records, still never re-parsing the source.
 //!
 //! **Invariants.** The columnar path produces the same related-pair set,
 //! labels, dataset and explanations as the map-based path
 //! (`compute_pair_features` + [`DatasetBridge::build`](bridge::DatasetBridge::build),
-//! both retained as the reference implementation), and the sharded
+//! both retained as the reference implementation); the sharded
 //! ingest/encode paths produce logs and views bit-identical to their
-//! single-shot counterparts for every shard count; `tests/properties.rs`
-//! proves both on randomized logs, queries and shard counts.  Nominal
+//! single-shot counterparts for every shard count; and a persisted
+//! snapshot reopens to the same log and bit-identical views
+//! (`build_from_snapshot(persist(log)) ≡ build_sharded(log, ..)`), with
+//! one-dirty-shard syncs re-encoding exactly one segment;
+//! `tests/properties.rs` proves all three on randomized logs, queries and
+//! shard counts, and `tests/snapshot_store.rs` pins the corruption
+//! taxonomy (truncation, fingerprint mismatch, version skew → typed
+//! [`CoreError`]s, recovery by full re-ingest) and manifest-order
+//! authority.  Nominal
 //! interning is keyed by canonical text, so two raw values that differ
 //! textually but compare equal under PXQL's cross-type rules (`Bool(true)`
 //! vs the string `"true"`) diverge — canonical log producers never mix
@@ -142,12 +174,15 @@
 //! `cargo bench --bench pairs_pipeline` tracks pair-classification
 //! throughput and candidate memory at n ∈ {100, 1k, 10k}, cached-view reuse
 //! at n = 20k, sharded ingest+encode wall time at n ∈ {100k, 1M} for
-//! shards ∈ {1, 2, 4, 8}, and a despite-blocked enumeration over 100k
-//! records, all in `BENCH_pairs.json` (alongside the machine's hardware
-//! thread count — sharded speedups are real parallelism, so they track the
-//! core count and degenerate to ~1x on a single core).  CI additionally
-//! runs a release-mode smoke that ingests 100k records through the sharded
-//! path and answers a query under a wall-clock ceiling.
+//! shards ∈ {1, 2, 4, 8}, the cold-start comparison (JSON re-parse vs
+//! snapshot open) at n ∈ {100k, 1M}, and a despite-blocked enumeration
+//! over 100k records, all in `BENCH_pairs.json` (alongside the machine's
+//! hardware thread count — sharded speedups are real parallelism, so they
+//! track the core count and degenerate to ~1x on a single core).  CI
+//! additionally runs two release-mode smokes under wall-clock ceilings:
+//! the sharded 100k ingest+query round trip, and the snapshot
+//! persist → reopen → query round trip checked outcome-equal to the
+//! in-memory path.
 
 pub mod baselines;
 pub mod bridge;
@@ -166,6 +201,7 @@ pub mod query;
 pub mod record;
 pub mod service;
 pub mod shard;
+pub mod snapshot;
 pub mod training;
 
 pub use baselines::{RuleOfThumb, SimButDiff};
@@ -188,6 +224,10 @@ pub use pairs::{
 pub use query::{BoundQuery, PairLabel};
 pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
 pub use service::{QueryInput, QueryOutcome, QueryRequest, XplainService};
+pub use snapshot::{
+    RecordShard, ShardEntry, ShardInput, Snapshot, SnapshotManifest, SnapshotShard, SyncReport,
+    SNAPSHOT_VERSION,
+};
 pub use training::{
     collect_related_pairs_in, prepare_encoded_training, prepare_encoded_training_in,
     prepare_training_set, EncodedTraining, TrainingSet, PARALLEL_ENUMERATION_THRESHOLD,

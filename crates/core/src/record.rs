@@ -181,6 +181,23 @@ impl ExecutionLog {
         self.rebuild_catalogs();
     }
 
+    /// Crate-internal: assembles a shard log from parts whose catalogs are
+    /// already known (the snapshot store persists per-shard catalogs, so
+    /// reopening a shard must not pay a re-inference scan).  The caller
+    /// guarantees the catalogs reflect the records.
+    pub(crate) fn from_parts(
+        records: Vec<ExecutionRecord>,
+        job_catalog: FeatureCatalog,
+        task_catalog: FeatureCatalog,
+    ) -> ExecutionLog {
+        ExecutionLog {
+            job_catalog,
+            task_catalog,
+            records,
+            generation: 1,
+        }
+    }
+
     /// Assembles one log from independently ingested shards: records are
     /// concatenated in shard order and the per-shard catalogs are merged
     /// ([`FeatureCatalog::merge`]), so the result equals pushing every

@@ -228,6 +228,48 @@ impl XplainService {
         }
     }
 
+    /// Rehydrates a service from a snapshot directory with the default
+    /// configuration (see
+    /// [`XplainService::open_snapshot_with_config`]).
+    pub fn open_snapshot(dir: &std::path::Path) -> Result<Self> {
+        XplainService::open_snapshot_with_config(dir, ExplainConfig::default())
+    }
+
+    /// Rehydrates a service from a snapshot directory
+    /// ([`crate::snapshot::open`]): the log is reassembled from the stored
+    /// shards and the columnar view of every populated execution kind is
+    /// built straight from the stored binary column segments
+    /// ([`ColumnarLog::build_from_snapshot`]) — the service starts **warm**,
+    /// its first query hits the cache instead of paying a JSON parse and a
+    /// full re-encode.
+    pub fn open_snapshot_with_config(dir: &std::path::Path, config: ExplainConfig) -> Result<Self> {
+        let snapshot = crate::snapshot::open(dir)?;
+        let log = snapshot.to_log();
+        let mut views = HashMap::new();
+        for kind in [ExecutionKind::Job, ExecutionKind::Task] {
+            if log.of_kind(kind).next().is_some() {
+                views.insert(
+                    (log.generation(), kind),
+                    Arc::new(ColumnarLog::build_from_snapshot(&snapshot, kind)),
+                );
+            }
+        }
+        Ok(XplainService {
+            log: RwLock::new(log),
+            views: RwLock::new(views),
+            engine: PerfXplain::new(config),
+        })
+    }
+
+    /// Persists the served log as a segmented snapshot
+    /// ([`crate::snapshot::persist`]), one segment per hardware thread, so
+    /// the next cold start can [`XplainService::open_snapshot`] instead of
+    /// re-parsing JSON.  Runs under the read lock; concurrent queries keep
+    /// being served.
+    pub fn persist(&self, dir: &std::path::Path) -> Result<crate::snapshot::SyncReport> {
+        self.with_log(|log| crate::snapshot::persist(log, dir, crate::shard::hardware_threads()))
+    }
+
     /// The service-wide configuration (requests can override per query).
     pub fn config(&self) -> &ExplainConfig {
         self.engine.config()

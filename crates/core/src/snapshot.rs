@@ -1,0 +1,1443 @@
+//! Persistent segmented snapshot store for execution logs.
+//!
+//! A PerfXplain deployment ingests logs rarely and queries them constantly,
+//! but until this module existed every cold start re-parsed the full JSON
+//! log and re-encoded every columnar segment from scratch.  The snapshot
+//! store turns that around: the *encoded* form — per-shard binary column
+//! segments plus the records that produced them — is what lives on disk,
+//! and a cold start reads it straight back into the sharded pipeline:
+//!
+//! * [`persist`] / [`persist_shards`] write one **segment file** per shard
+//!   (length-prefixed binary: the shard's records, its encoded job and task
+//!   column segments with local dictionaries, via
+//!   [`mlcore::ColumnStore::encode_binary`]) and a JSON **manifest** tying
+//!   the shards together: per-shard content fingerprints (FxHash, reusing
+//!   [`mlcore::hash`]), per-shard feature catalogs, the merged global
+//!   catalogs and the source log's generation.
+//! * [`open`] loads the segment files across `std::thread::scope` threads
+//!   ([`crate::shard::map_chunks`]), verifies every fingerprint and every
+//!   schema against the manifest, and hands back a [`Snapshot`] from which
+//!   [`ColumnarLog::build_from_snapshot`] assembles views **bit-identical**
+//!   to [`ColumnarLog::build_sharded`] over the original log — without
+//!   re-encoding a single cell — and [`Snapshot::to_log`] reassembles the
+//!   [`ExecutionLog`] itself ([`ExecutionLog::from_shards`] over the stored
+//!   shard catalogs, **in manifest order** regardless of how the files are
+//!   laid out on disk).
+//! * [`sync`] is the incremental re-ingest primitive: the caller fingerprints
+//!   each shard's *source* (e.g. the raw bundle bytes), and shards whose
+//!   source fingerprint still matches the manifest are reused verbatim —
+//!   content-fingerprint-verified but never decoded, re-parsed or
+//!   re-encoded — while only the dirty shards are re-encoded.  When the merged feature catalog changes (a new shard
+//!   introduced a new feature, or a feature's kind flipped), every segment's
+//!   schema is stale and the store transparently re-encodes all shards from
+//!   their on-disk records — still without touching the original source.
+//!
+//! Corruption — truncated files, flipped bytes, edited manifests, version
+//! skew — surfaces as typed [`CoreError`]s ([`CoreError::SnapshotCorrupt`],
+//! [`CoreError::SnapshotVersionSkew`], [`CoreError::SnapshotIo`]), never a
+//! panic; the recovery path is a full re-ingest into the same directory
+//! ([`persist_shards`] overwrites whatever was there).
+
+use crate::columnar::{encode_segment, ColumnarLog, EncodedSegment};
+use crate::error::{CoreError, Result};
+use crate::features::{FeatureCatalog, FeatureKind};
+use crate::record::{ExecutionKind, ExecutionLog, ExecutionRecord};
+use mlcore::{ByteReader, ByteWriter, CodecError, ColumnStore, FxHasher};
+use pxql::Value;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::hash::Hasher;
+use std::path::Path;
+use std::time::Instant;
+
+/// Version of the snapshot format this build reads and writes.
+pub const SNAPSHOT_VERSION: u32 = 1;
+
+/// File name of the manifest inside a snapshot directory.
+pub const MANIFEST_FILE: &str = "manifest.json";
+
+/// Magic prefix of every segment file.
+const SEGMENT_MAGIC: &[u8; 8] = b"PXSNPSG\0";
+
+/// Nesting bound for decoded [`Value::Pair`]s: real pair features nest one
+/// level; a corrupt file must not recurse the decoder off the stack.
+const MAX_VALUE_DEPTH: u32 = 32;
+
+// ---------------------------------------------------------------------------
+// Fingerprints
+// ---------------------------------------------------------------------------
+
+/// Content fingerprint of a byte slice (deterministic FxHash-64).
+pub fn fingerprint_bytes(bytes: &[u8]) -> u64 {
+    let mut hasher = FxHasher::default();
+    hasher.write(bytes);
+    hasher.finish()
+}
+
+/// Fingerprint of a sequence of text parts (e.g. the files of a job log
+/// bundle).  Each part's length is mixed in before its bytes, so part
+/// boundaries matter: `["ab", "c"]` and `["a", "bc"]` differ.
+pub fn fingerprint_texts<'a>(parts: impl IntoIterator<Item = &'a str>) -> u64 {
+    let mut hasher = FxHasher::default();
+    for part in parts {
+        hasher.write_u64(part.len() as u64);
+        hasher.write(part.as_bytes());
+    }
+    hasher.finish()
+}
+
+/// Combines per-item fingerprints (e.g. one per bundle) into one shard
+/// fingerprint, order-sensitively.
+pub fn combine_fingerprints(parts: impl IntoIterator<Item = u64>) -> u64 {
+    let mut hasher = FxHasher::default();
+    for part in parts {
+        hasher.write_u64(part);
+    }
+    hasher.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Manifest
+// ---------------------------------------------------------------------------
+
+/// One shard of the snapshot, as recorded in the manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardEntry {
+    /// Segment file name, relative to the snapshot directory.
+    pub file: String,
+    /// Records stored in the shard (jobs + tasks).
+    pub rows: u64,
+    /// FxHash-64 over the segment file's bytes; verified on every open.
+    pub fingerprint: u64,
+    /// Fingerprint of the shard's *source* (e.g. raw bundle bytes), set by
+    /// ingest so a later incremental [`sync`] can skip unchanged shards
+    /// without reading anything.  `None` when the snapshot was persisted
+    /// from an in-memory log.
+    pub source_fingerprint: Option<u64>,
+    /// The shard's own job-feature catalog (what
+    /// [`FeatureCatalog::infer`] saw in this shard alone); merged in
+    /// manifest order to rebuild the global catalog.
+    pub job_catalog: FeatureCatalog,
+    /// The shard's own task-feature catalog.
+    pub task_catalog: FeatureCatalog,
+}
+
+/// The manifest tying a snapshot directory together.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotManifest {
+    /// Snapshot format version ([`SNAPSHOT_VERSION`]).
+    pub version: u32,
+    /// Generation of the source log at persist time (provenance only; a
+    /// reopened log starts counting anew, like the JSON path).
+    pub generation: u64,
+    /// The merged global job catalog every job segment is encoded against.
+    pub job_catalog: FeatureCatalog,
+    /// The merged global task catalog every task segment is encoded against.
+    pub task_catalog: FeatureCatalog,
+    /// The shards, in ingest order.  **This order is authoritative**: open
+    /// assembles records, catalogs and column segments in manifest order,
+    /// whatever order the files come off the directory in.
+    pub shards: Vec<ShardEntry>,
+}
+
+/// Probe used to read the version field before the full manifest parse, so
+/// a future-format manifest reports version skew instead of a parse error.
+#[derive(Debug, Serialize, Deserialize)]
+struct ManifestVersionProbe {
+    version: u64,
+}
+
+impl SnapshotManifest {
+    /// The global catalog for one execution kind.
+    pub fn catalog(&self, kind: ExecutionKind) -> &FeatureCatalog {
+        match kind {
+            ExecutionKind::Job => &self.job_catalog,
+            ExecutionKind::Task => &self.task_catalog,
+        }
+    }
+
+    /// Total records across all shards.
+    pub fn rows(&self) -> usize {
+        self.shards.iter().map(|s| s.rows as usize).sum()
+    }
+
+    /// Loads and validates the manifest of a snapshot directory.
+    pub fn load(dir: &Path) -> Result<SnapshotManifest> {
+        let path = dir.join(MANIFEST_FILE);
+        let text = std::fs::read_to_string(&path).map_err(|e| CoreError::SnapshotIo {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        let corrupt = |message: String| CoreError::SnapshotCorrupt {
+            path: path.display().to_string(),
+            message,
+        };
+        let probe: ManifestVersionProbe = serde_json::from_str(&text)
+            .map_err(|e| corrupt(format!("manifest is not valid JSON: {e}")))?;
+        if probe.version != u64::from(SNAPSHOT_VERSION) {
+            return Err(CoreError::SnapshotVersionSkew {
+                found: probe.version.min(u64::from(u32::MAX)) as u32,
+                supported: SNAPSHOT_VERSION,
+            });
+        }
+        let manifest: SnapshotManifest = serde_json::from_str(&text)
+            .map_err(|e| corrupt(format!("manifest does not parse: {e}")))?;
+        if manifest.shards.is_empty() {
+            return Err(corrupt("manifest lists no shards".to_string()));
+        }
+        for entry in &manifest.shards {
+            // Segment files live flat inside the snapshot directory; a
+            // manifest must not be able to point reads elsewhere.
+            if entry.file.contains('/') || entry.file.contains('\\') || entry.file.contains("..") {
+                return Err(corrupt(format!(
+                    "segment file name '{}' escapes the snapshot directory",
+                    entry.file
+                )));
+            }
+        }
+        Ok(manifest)
+    }
+
+    /// Writes the manifest into `dir` (write-then-rename, so a crash never
+    /// leaves a half-written manifest behind).
+    fn save(&self, dir: &Path) -> Result<()> {
+        let json = serde_json::to_string_pretty(self)
+            .map_err(|e| CoreError::Serialization(e.to_string()))?;
+        let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+        let path = dir.join(MANIFEST_FILE);
+        let io_err = |p: &Path, e: std::io::Error| CoreError::SnapshotIo {
+            path: p.display().to_string(),
+            message: e.to_string(),
+        };
+        std::fs::write(&tmp, json).map_err(|e| io_err(&tmp, e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Value / record / catalog codecs
+// ---------------------------------------------------------------------------
+
+fn encode_value(writer: &mut ByteWriter, value: &Value) {
+    match value {
+        Value::Null => writer.put_u8(0),
+        Value::Bool(b) => {
+            writer.put_u8(1);
+            writer.put_u8(u8::from(*b));
+        }
+        Value::Num(v) => {
+            writer.put_u8(2);
+            writer.put_f64(*v);
+        }
+        Value::Str(s) => {
+            writer.put_u8(3);
+            writer.put_str(s);
+        }
+        Value::Pair(a, b) => {
+            writer.put_u8(4);
+            encode_value(writer, a);
+            encode_value(writer, b);
+        }
+    }
+}
+
+fn decode_value(reader: &mut ByteReader<'_>, depth: u32) -> std::result::Result<Value, CodecError> {
+    if depth > MAX_VALUE_DEPTH {
+        return Err(CodecError::Invalid(format!(
+            "value nesting exceeds {MAX_VALUE_DEPTH}"
+        )));
+    }
+    Ok(match reader.get_u8()? {
+        0 => Value::Null,
+        1 => Value::Bool(reader.get_u8()? != 0),
+        2 => Value::Num(reader.get_f64()?),
+        3 => Value::Str(reader.get_str()?.to_string()),
+        4 => {
+            let a = decode_value(reader, depth + 1)?;
+            let b = decode_value(reader, depth + 1)?;
+            Value::pair(a, b)
+        }
+        tag => return Err(CodecError::Invalid(format!("unknown value tag {tag}"))),
+    })
+}
+
+fn encode_record(writer: &mut ByteWriter, record: &ExecutionRecord) {
+    writer.put_str(&record.id);
+    writer.put_u8(match record.kind {
+        ExecutionKind::Job => 0,
+        ExecutionKind::Task => 1,
+    });
+    match &record.parent_job {
+        None => writer.put_u8(0),
+        Some(parent) => {
+            writer.put_u8(1);
+            writer.put_str(parent);
+        }
+    }
+    writer.put_u32(record.features.len() as u32);
+    for (name, value) in &record.features {
+        writer.put_str(name);
+        encode_value(writer, value);
+    }
+}
+
+fn decode_record(reader: &mut ByteReader<'_>) -> std::result::Result<ExecutionRecord, CodecError> {
+    let id = reader.get_str()?.to_string();
+    let kind = match reader.get_u8()? {
+        0 => ExecutionKind::Job,
+        1 => ExecutionKind::Task,
+        tag => {
+            return Err(CodecError::Invalid(format!(
+                "unknown record kind tag {tag} on '{id}'"
+            )))
+        }
+    };
+    let parent_job = match reader.get_u8()? {
+        0 => None,
+        1 => Some(reader.get_str()?.to_string()),
+        tag => {
+            return Err(CodecError::Invalid(format!(
+                "unknown parent tag {tag} on '{id}'"
+            )))
+        }
+    };
+    let count = reader.get_u32()? as usize;
+    let mut features = BTreeMap::new();
+    for _ in 0..count {
+        let name = reader.get_str()?.to_string();
+        let value = decode_value(reader, 0)?;
+        features.insert(name, value);
+    }
+    Ok(ExecutionRecord {
+        id,
+        kind,
+        parent_job,
+        features,
+    })
+}
+
+fn encode_columns(writer: &mut ByteWriter, segment: &EncodedSegment) {
+    segment.store.encode_binary(writer);
+    for column in &segment.originals {
+        writer.put_u32(column.len() as u32);
+        for value in column {
+            encode_value(writer, value);
+        }
+    }
+}
+
+fn decode_columns(reader: &mut ByteReader<'_>) -> std::result::Result<EncodedSegment, CodecError> {
+    let store = ColumnStore::decode_binary(reader)?;
+    let mut originals = Vec::with_capacity(store.num_columns());
+    for col in 0..store.num_columns() {
+        let count = reader.get_u32()? as usize;
+        // `cell_eq_const` and `decode` index the originals by dictionary
+        // id, so the two must line up exactly or lookups would panic.
+        if count != store.attribute(col).dictionary.len() {
+            return Err(CodecError::Invalid(format!(
+                "column '{}' stores {count} original value(s) for {} dictionary entries",
+                store.attribute(col).name,
+                store.attribute(col).dictionary.len()
+            )));
+        }
+        let mut column = Vec::with_capacity(count.min(reader.remaining()));
+        for _ in 0..count {
+            column.push(decode_value(reader, 0)?);
+        }
+        originals.push(column);
+    }
+    Ok(EncodedSegment { store, originals })
+}
+
+// ---------------------------------------------------------------------------
+// Segment files
+// ---------------------------------------------------------------------------
+
+/// One fully loaded shard of a snapshot: the records plus the encoded
+/// column segments (local dictionaries) of both execution kinds.
+#[derive(Debug, Clone)]
+pub struct SnapshotShard {
+    records: Vec<ExecutionRecord>,
+    job: EncodedSegment,
+    task: EncodedSegment,
+    job_catalog: FeatureCatalog,
+    task_catalog: FeatureCatalog,
+}
+
+impl SnapshotShard {
+    /// The shard's records, in ingest order.
+    pub fn records(&self) -> &[ExecutionRecord] {
+        &self.records
+    }
+
+    /// The shard-local catalog of one kind.
+    pub fn catalog(&self, kind: ExecutionKind) -> &FeatureCatalog {
+        match kind {
+            ExecutionKind::Job => &self.job_catalog,
+            ExecutionKind::Task => &self.task_catalog,
+        }
+    }
+
+    /// The encoded column segment of one kind.
+    pub(crate) fn segment(&self, kind: ExecutionKind) -> &EncodedSegment {
+        match kind {
+            ExecutionKind::Job => &self.job,
+            ExecutionKind::Task => &self.task,
+        }
+    }
+
+    /// Builds the shard's [`ExecutionLog`] (records + stored catalogs, no
+    /// re-inference).
+    fn to_shard_log(&self) -> ExecutionLog {
+        ExecutionLog::from_parts(
+            self.records.clone(),
+            self.job_catalog.clone(),
+            self.task_catalog.clone(),
+        )
+    }
+}
+
+/// Encodes one shard into its segment file bytes.
+fn encode_shard_file(
+    records: &[ExecutionRecord],
+    job_catalog: &FeatureCatalog,
+    task_catalog: &FeatureCatalog,
+) -> Vec<u8> {
+    let jobs: Vec<&ExecutionRecord> = records
+        .iter()
+        .filter(|r| r.kind == ExecutionKind::Job)
+        .collect();
+    let tasks: Vec<&ExecutionRecord> = records
+        .iter()
+        .filter(|r| r.kind == ExecutionKind::Task)
+        .collect();
+    let job_segment = encode_segment(job_catalog, &jobs);
+    let task_segment = encode_segment(task_catalog, &tasks);
+
+    let mut writer = ByteWriter::with_capacity(records.len() * 64 + 1024);
+    writer.put_raw(SEGMENT_MAGIC);
+    writer.put_u32(SNAPSHOT_VERSION);
+    writer.put_block(|w| {
+        w.put_u64(records.len() as u64);
+        for record in records {
+            encode_record(w, record);
+        }
+    });
+    writer.put_block(|w| encode_columns(w, &job_segment));
+    writer.put_block(|w| encode_columns(w, &task_segment));
+    writer.into_bytes()
+}
+
+/// Decodes a segment file (everything after fingerprint verification).
+fn decode_shard_file(bytes: &[u8]) -> std::result::Result<ShardPayload, CodecError> {
+    let mut reader = ByteReader::new(bytes);
+    let magic = reader.take(SEGMENT_MAGIC.len())?;
+    if magic != SEGMENT_MAGIC {
+        return Err(CodecError::Invalid(
+            "not a snapshot segment file (bad magic)".to_string(),
+        ));
+    }
+    let version = reader.get_u32()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(CodecError::Invalid(format!(
+            "segment format version {version} (supported: {SNAPSHOT_VERSION})"
+        )));
+    }
+    let mut records_block = reader.get_block()?;
+    let count = records_block.get_count()?;
+    let mut records = Vec::with_capacity(count.min(records_block.remaining()));
+    for _ in 0..count {
+        records.push(decode_record(&mut records_block)?);
+    }
+    let job = decode_columns(&mut reader.get_block()?)?;
+    let task = decode_columns(&mut reader.get_block()?)?;
+    Ok(ShardPayload { records, job, task })
+}
+
+/// The decoded body of a segment file (catalogs live in the manifest).
+struct ShardPayload {
+    records: Vec<ExecutionRecord>,
+    job: EncodedSegment,
+    task: EncodedSegment,
+}
+
+/// Loads and verifies one shard: read, fingerprint-check, decode,
+/// consistency-check against its manifest entry and the global catalogs.
+fn load_shard(
+    dir: &Path,
+    entry: &ShardEntry,
+    job_catalog: &FeatureCatalog,
+    task_catalog: &FeatureCatalog,
+) -> Result<SnapshotShard> {
+    let path = dir.join(&entry.file);
+    let display = path.display().to_string();
+    let bytes = std::fs::read(&path).map_err(|e| CoreError::SnapshotIo {
+        path: display.clone(),
+        message: e.to_string(),
+    })?;
+    let corrupt = |message: String| CoreError::SnapshotCorrupt {
+        path: display.clone(),
+        message,
+    };
+    let found = fingerprint_bytes(&bytes);
+    if found != entry.fingerprint {
+        return Err(corrupt(format!(
+            "fingerprint mismatch: manifest records {:016x}, file hashes to {found:016x}",
+            entry.fingerprint
+        )));
+    }
+    let payload = decode_shard_file(&bytes).map_err(|e| corrupt(e.to_string()))?;
+    if payload.records.len() as u64 != entry.rows {
+        return Err(corrupt(format!(
+            "manifest records {} row(s), segment holds {}",
+            entry.rows,
+            payload.records.len()
+        )));
+    }
+    for (kind, segment) in [
+        (ExecutionKind::Job, &payload.job),
+        (ExecutionKind::Task, &payload.task),
+    ] {
+        let catalog = match kind {
+            ExecutionKind::Job => job_catalog,
+            ExecutionKind::Task => task_catalog,
+        };
+        verify_segment_schema(segment, catalog, kind).map_err(corrupt)?;
+        let expected = payload.records.iter().filter(|r| r.kind == kind).count();
+        // A zero-column store (empty catalog: the records of this kind
+        // carry no features at all) cannot know its row count —
+        // `ColumnStore::from_columns` derives rows from the first column —
+        // so the cross-check is only meaningful when columns exist.  The
+        // in-memory encode produces exactly the same zero-row store for
+        // such logs, so views still assemble bit-identically.
+        if !catalog.is_empty() && segment.store.num_rows() != expected {
+            return Err(CoreError::SnapshotCorrupt {
+                path: display.clone(),
+                message: format!(
+                    "{} segment encodes {} row(s) for {expected} {} record(s)",
+                    kind.as_str(),
+                    segment.store.num_rows(),
+                    kind.as_str()
+                ),
+            });
+        }
+    }
+    Ok(SnapshotShard {
+        records: payload.records,
+        job: payload.job,
+        task: payload.task,
+        job_catalog: entry.job_catalog.clone(),
+        task_catalog: entry.task_catalog.clone(),
+    })
+}
+
+/// A stored segment's schema must match the manifest's global catalog
+/// column for column — this is what catches a manifest whose catalogs were
+/// edited out from under the segment files.
+fn verify_segment_schema(
+    segment: &EncodedSegment,
+    catalog: &FeatureCatalog,
+    kind: ExecutionKind,
+) -> std::result::Result<(), String> {
+    let attributes = segment.store.attributes();
+    if attributes.len() != catalog.len() {
+        return Err(format!(
+            "{} segment has {} column(s), the manifest catalog {}",
+            kind.as_str(),
+            attributes.len(),
+            catalog.len()
+        ));
+    }
+    for (attribute, def) in attributes.iter().zip(catalog.defs()) {
+        let kinds_match = match def.kind {
+            FeatureKind::Numeric => attribute.kind == mlcore::AttrKind::Numeric,
+            FeatureKind::Nominal => attribute.kind == mlcore::AttrKind::Nominal,
+        };
+        if attribute.name != def.name || !kinds_match {
+            return Err(format!(
+                "{} segment column '{}' does not match manifest feature '{}' ({})",
+                kind.as_str(),
+                attribute.name,
+                def.name,
+                def.kind
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot (the loaded store)
+// ---------------------------------------------------------------------------
+
+/// A fully loaded, fingerprint-verified snapshot.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    manifest: SnapshotManifest,
+    shards: Vec<SnapshotShard>,
+}
+
+impl Snapshot {
+    /// The manifest the snapshot was opened with.
+    pub fn manifest(&self) -> &SnapshotManifest {
+        &self.manifest
+    }
+
+    /// The loaded shards, in manifest order.
+    pub fn shards(&self) -> &[SnapshotShard] {
+        &self.shards
+    }
+
+    /// The merged global catalog of one kind.
+    pub fn catalog(&self, kind: ExecutionKind) -> &FeatureCatalog {
+        self.manifest.catalog(kind)
+    }
+
+    /// Total records across all shards.
+    pub fn num_rows(&self) -> usize {
+        self.shards.iter().map(|s| s.records.len()).sum()
+    }
+
+    /// Reassembles the [`ExecutionLog`]: records concatenated and shard
+    /// catalogs merged **in manifest order** ([`ExecutionLog::from_shards`]),
+    /// which equals a serial ingest of the same records.
+    pub fn to_log(&self) -> ExecutionLog {
+        ExecutionLog::from_shards(
+            self.shards
+                .iter()
+                .map(SnapshotShard::to_shard_log)
+                .collect(),
+        )
+    }
+
+    /// Assembles the columnar view of one kind without re-encoding
+    /// (see [`ColumnarLog::build_from_snapshot`]).
+    pub fn view(&self, kind: ExecutionKind) -> ColumnarLog {
+        ColumnarLog::build_from_snapshot(self, kind)
+    }
+}
+
+/// Opens a snapshot directory: manifest first, then every segment file
+/// loaded and fingerprint-verified across `std::thread::scope` threads
+/// ([`crate::shard::map_chunks`]), assembled in manifest order.
+pub fn open(dir: &Path) -> Result<Snapshot> {
+    let manifest = SnapshotManifest::load(dir)?;
+    let loaded: Result<Vec<Vec<SnapshotShard>>> = crate::shard::map_chunks(
+        &manifest.shards,
+        crate::shard::hardware_threads().min(manifest.shards.len()),
+        |chunk| {
+            chunk
+                .iter()
+                .map(|entry| load_shard(dir, entry, &manifest.job_catalog, &manifest.task_catalog))
+                .collect::<Result<Vec<SnapshotShard>>>()
+        },
+    )
+    .into_iter()
+    .collect();
+    let shards: Vec<SnapshotShard> = loaded?.into_iter().flatten().collect();
+
+    // The manifest's global catalogs must be exactly the merge of the
+    // per-shard catalogs — otherwise `to_log` and the stored segments
+    // would disagree about the schema.
+    let mut job_catalog = FeatureCatalog::new();
+    let mut task_catalog = FeatureCatalog::new();
+    for shard in &shards {
+        job_catalog.merge(&shard.job_catalog);
+        task_catalog.merge(&shard.task_catalog);
+    }
+    if job_catalog != manifest.job_catalog || task_catalog != manifest.task_catalog {
+        return Err(CoreError::SnapshotCorrupt {
+            path: dir.join(MANIFEST_FILE).display().to_string(),
+            message: "global catalogs are not the merge of the per-shard catalogs".to_string(),
+        });
+    }
+    Ok(Snapshot { manifest, shards })
+}
+
+// ---------------------------------------------------------------------------
+// Persist
+// ---------------------------------------------------------------------------
+
+/// One shard of records headed for a snapshot, with the fingerprint of the
+/// source it was parsed from (when there is one).
+#[derive(Debug, Clone)]
+pub struct RecordShard {
+    /// The shard's records, in ingest order.
+    pub records: Vec<ExecutionRecord>,
+    /// Fingerprint of the raw source behind these records (e.g. bundle
+    /// file bytes), recorded in the manifest so a later [`sync`] can skip
+    /// the shard when the source has not changed.
+    pub source_fingerprint: Option<u64>,
+}
+
+/// What a [`persist`] / [`persist_shards`] / [`sync`] call did.
+#[derive(Debug, Clone)]
+pub struct SyncReport {
+    /// The manifest that now describes the snapshot directory.
+    pub manifest: SnapshotManifest,
+    /// Total records across all shards.
+    pub rows: usize,
+    /// Shards whose segments were (re-)encoded and written.
+    pub shards_encoded: usize,
+    /// Shards served from disk untouched (source fingerprint matched and
+    /// the global catalog was stable).
+    pub shards_reused: usize,
+    /// Whether the merged global catalog changed, forcing every segment to
+    /// re-encode from its on-disk records ([`sync`] only).
+    pub catalog_changed: bool,
+    /// Wall-clock seconds spent encoding segments (CPU).
+    pub encode_seconds: f64,
+    /// Wall-clock seconds spent writing files and the manifest (I/O).
+    pub write_seconds: f64,
+}
+
+/// Persists a log as `num_shards` contiguous segments (at least one, even
+/// for an empty log).  Overwrites whatever snapshot was in `dir`.
+pub fn persist(log: &ExecutionLog, dir: &Path, num_shards: usize) -> Result<SyncReport> {
+    let records = log.records();
+    let chunk_size = records.len().div_ceil(num_shards.max(1)).max(1);
+    let mut shards: Vec<RecordShard> = records
+        .chunks(chunk_size)
+        .map(|chunk| RecordShard {
+            records: chunk.to_vec(),
+            source_fingerprint: None,
+        })
+        .collect();
+    if shards.is_empty() {
+        shards.push(RecordShard {
+            records: Vec::new(),
+            source_fingerprint: None,
+        });
+    }
+    persist_impl(dir, shards, log.generation())
+}
+
+/// Persists explicit record shards (e.g. one per bundle batch, so the shard
+/// boundaries — and therefore the source fingerprints — are stable across
+/// re-ingests).  Overwrites whatever snapshot was in `dir`; this is also
+/// the recovery path when [`open`] or [`sync`] report corruption.
+pub fn persist_shards(dir: &Path, shards: Vec<RecordShard>) -> Result<SyncReport> {
+    persist_impl(dir, shards, 1)
+}
+
+fn persist_impl(dir: &Path, mut shards: Vec<RecordShard>, generation: u64) -> Result<SyncReport> {
+    if shards.is_empty() {
+        shards.push(RecordShard {
+            records: Vec::new(),
+            source_fingerprint: None,
+        });
+    }
+    // Shard-local catalogs in parallel, then the global merge in order.
+    let local_catalogs: Vec<(FeatureCatalog, FeatureCatalog)> = crate::shard::map_chunks(
+        &shards,
+        crate::shard::hardware_threads().min(shards.len()),
+        |chunk| {
+            chunk
+                .iter()
+                .map(|shard| infer_catalogs(&shard.records))
+                .collect::<Vec<_>>()
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut job_catalog = FeatureCatalog::new();
+    let mut task_catalog = FeatureCatalog::new();
+    for (job, task) in &local_catalogs {
+        job_catalog.merge(job);
+        task_catalog.merge(task);
+    }
+
+    let encode_started = Instant::now();
+    let files: Vec<Vec<u8>> = crate::shard::map_chunks(
+        &shards,
+        crate::shard::hardware_threads().min(shards.len()),
+        |chunk| {
+            chunk
+                .iter()
+                .map(|shard| encode_shard_file(&shard.records, &job_catalog, &task_catalog))
+                .collect::<Vec<_>>()
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
+    let encode_seconds = encode_started.elapsed().as_secs_f64();
+
+    let write_started = Instant::now();
+    std::fs::create_dir_all(dir).map_err(|e| CoreError::SnapshotIo {
+        path: dir.display().to_string(),
+        message: e.to_string(),
+    })?;
+    let mut entries = Vec::with_capacity(shards.len());
+    for (i, ((shard, bytes), (job_local, task_local))) in
+        shards.iter().zip(&files).zip(local_catalogs).enumerate()
+    {
+        let fingerprint = fingerprint_bytes(bytes);
+        let file = segment_file_name(i, fingerprint);
+        let path = dir.join(&file);
+        std::fs::write(&path, bytes).map_err(|e| CoreError::SnapshotIo {
+            path: path.display().to_string(),
+            message: e.to_string(),
+        })?;
+        entries.push(ShardEntry {
+            file,
+            rows: shard.records.len() as u64,
+            fingerprint,
+            source_fingerprint: shard.source_fingerprint,
+            job_catalog: job_local,
+            task_catalog: task_local,
+        });
+    }
+    let manifest = SnapshotManifest {
+        version: SNAPSHOT_VERSION,
+        generation,
+        job_catalog,
+        task_catalog,
+        shards: entries,
+    };
+    manifest.save(dir)?;
+    remove_orphan_segments(dir, &manifest);
+    let write_seconds = write_started.elapsed().as_secs_f64();
+
+    Ok(SyncReport {
+        rows: manifest.rows(),
+        shards_encoded: shards.len(),
+        shards_reused: 0,
+        catalog_changed: false,
+        encode_seconds,
+        write_seconds,
+        manifest,
+    })
+}
+
+/// Segment file names embed the content fingerprint, so a re-encoded shard
+/// gets a *new* file and the previously committed one is never overwritten
+/// in place: a crash between segment writes and the manifest's atomic
+/// write-then-rename leaves — at worst — unreferenced new files behind,
+/// never a manifest pointing at bytes it does not describe.
+fn segment_file_name(index: usize, fingerprint: u64) -> String {
+    format!("segment-{index:04}-{fingerprint:016x}.bin")
+}
+
+/// Best-effort removal of `segment-*.bin` files the committed manifest no
+/// longer references: superseded versions of re-encoded shards, shards
+/// dropped by a shrinking re-ingest, and leftovers of crashed writes.
+/// Failures are ignored — an orphan costs disk, never correctness.
+fn remove_orphan_segments(dir: &Path, manifest: &SnapshotManifest) {
+    let referenced: std::collections::BTreeSet<&str> =
+        manifest.shards.iter().map(|s| s.file.as_str()).collect();
+    let Ok(listing) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in listing.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name.starts_with("segment-") && name.ends_with(".bin") && !referenced.contains(name) {
+            let _ = std::fs::remove_file(entry.path());
+        }
+    }
+}
+
+fn infer_catalogs(records: &[ExecutionRecord]) -> (FeatureCatalog, FeatureCatalog) {
+    (
+        FeatureCatalog::infer(
+            records
+                .iter()
+                .filter(|r| r.kind == ExecutionKind::Job)
+                .map(|r| &r.features),
+        ),
+        FeatureCatalog::infer(
+            records
+                .iter()
+                .filter(|r| r.kind == ExecutionKind::Task)
+                .map(|r| &r.features),
+        ),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Incremental sync
+// ---------------------------------------------------------------------------
+
+/// One shard of input to an incremental [`sync`].
+#[derive(Debug, Clone)]
+pub enum ShardInput {
+    /// The shard's source still fingerprints to this value (matching the
+    /// manifest): reuse the stored segment without re-parsing or
+    /// re-encoding anything.
+    Unchanged {
+        /// Fingerprint of the (unchanged) source; must equal the
+        /// manifest's recorded `source_fingerprint` for this position.
+        source_fingerprint: u64,
+    },
+    /// The shard's source changed (or is new): these are its freshly
+    /// parsed records.
+    Fresh(RecordShard),
+}
+
+/// Incrementally re-ingests into an existing snapshot: shards marked
+/// [`ShardInput::Unchanged`] keep their on-disk segments (verified by
+/// fingerprint bookkeeping — the reused entries carry their recorded
+/// content fingerprints forward, and the files are not rewritten), while
+/// fresh shards are encoded and written.  If the merged feature catalog
+/// changes, every stored segment's schema is stale and all shards re-encode
+/// from their on-disk records — the original source is still not touched.
+///
+/// Fails with a typed error when `dir` holds no (or a corrupt or
+/// version-skewed) snapshot, or when an `Unchanged` shard's fingerprint
+/// does not match the manifest; the recovery path is a full
+/// [`persist_shards`] with every shard fresh.
+pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
+    let old = SnapshotManifest::load(dir)?;
+    let manifest_path = dir.join(MANIFEST_FILE).display().to_string();
+
+    // An emptied source is a full rewrite down to one empty shard — a
+    // zero-shard manifest would be unreadable (`load` rejects it).
+    if inputs.is_empty() {
+        return persist_shards(dir, Vec::new());
+    }
+
+    // Validate every reuse claim against the manifest before doing work.
+    for (i, input) in inputs.iter().enumerate() {
+        if let ShardInput::Unchanged { source_fingerprint } = input {
+            let recorded = old.shards.get(i).and_then(|e| e.source_fingerprint);
+            if recorded != Some(*source_fingerprint) {
+                return Err(CoreError::SnapshotCorrupt {
+                    path: manifest_path.clone(),
+                    message: format!(
+                        "shard {i} cannot be reused: manifest records source fingerprint \
+                         {recorded:?}, caller observed {source_fingerprint:016x}"
+                    ),
+                });
+            }
+        }
+    }
+
+    // Per-shard catalogs: stored entries for unchanged shards, inference
+    // for fresh ones; then the global merge in input order.
+    let local_catalogs: Vec<(FeatureCatalog, FeatureCatalog)> = crate::shard::map_chunks(
+        &inputs,
+        crate::shard::hardware_threads().min(inputs.len().max(1)),
+        |chunk| {
+            chunk
+                .iter()
+                .map(|input| match input {
+                    ShardInput::Fresh(shard) => infer_catalogs(&shard.records),
+                    ShardInput::Unchanged { .. } => Default::default(),
+                })
+                .collect::<Vec<_>>()
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
+    let mut job_catalog = FeatureCatalog::new();
+    let mut task_catalog = FeatureCatalog::new();
+    let mut entry_catalogs = Vec::with_capacity(inputs.len());
+    for (i, input) in inputs.iter().enumerate() {
+        let (job, task) = match input {
+            ShardInput::Fresh(_) => local_catalogs[i].clone(),
+            ShardInput::Unchanged { .. } => {
+                let entry = &old.shards[i];
+                (entry.job_catalog.clone(), entry.task_catalog.clone())
+            }
+        };
+        job_catalog.merge(&job);
+        task_catalog.merge(&task);
+        entry_catalogs.push((job, task));
+    }
+    let catalog_changed = job_catalog != old.job_catalog || task_catalog != old.task_catalog;
+
+    // When the schema moved, the reused shards' records must come off disk
+    // so their segments can re-encode against the new catalog.
+    let reloaded: Vec<Option<Vec<ExecutionRecord>>> = if catalog_changed {
+        let job_old = &old.job_catalog;
+        let task_old = &old.task_catalog;
+        crate::shard::map_chunks(
+            &inputs.iter().enumerate().collect::<Vec<_>>(),
+            crate::shard::hardware_threads().min(inputs.len().max(1)),
+            |chunk| {
+                chunk
+                    .iter()
+                    .map(|(i, input)| match input {
+                        ShardInput::Unchanged { .. } => {
+                            load_shard(dir, &old.shards[*i], job_old, task_old)
+                                .map(|shard| Some(shard.records))
+                        }
+                        ShardInput::Fresh(_) => Ok(None),
+                    })
+                    .collect::<Result<Vec<_>>>()
+            },
+        )
+        .into_iter()
+        .collect::<Result<Vec<_>>>()?
+        .into_iter()
+        .flatten()
+        .collect()
+    } else {
+        // Reused segments are still *served from disk* afterwards, so their
+        // content must be good: verify each one's fingerprint (a cheap byte
+        // hash — no decode, no re-encode) so a corrupted store fails this
+        // sync with a typed error instead of surfacing at the next open.
+        let unchanged: Vec<usize> = inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, input)| matches!(input, ShardInput::Unchanged { .. }))
+            .map(|(i, _)| i)
+            .collect();
+        let verified: Result<Vec<()>> = crate::shard::map_chunks(
+            &unchanged,
+            crate::shard::hardware_threads().min(unchanged.len().max(1)),
+            |chunk| {
+                chunk
+                    .iter()
+                    .map(|&i| {
+                        let entry = &old.shards[i];
+                        let path = dir.join(&entry.file);
+                        let bytes = std::fs::read(&path).map_err(|e| CoreError::SnapshotIo {
+                            path: path.display().to_string(),
+                            message: e.to_string(),
+                        })?;
+                        let found = fingerprint_bytes(&bytes);
+                        if found != entry.fingerprint {
+                            return Err(CoreError::SnapshotCorrupt {
+                                path: path.display().to_string(),
+                                message: format!(
+                                    "fingerprint mismatch: manifest records {:016x}, \
+                                     file hashes to {found:016x}",
+                                    entry.fingerprint
+                                ),
+                            });
+                        }
+                        Ok(())
+                    })
+                    .collect::<Result<Vec<()>>>()
+            },
+        )
+        .into_iter()
+        .collect::<Result<Vec<_>>>()
+        .map(|chunks| chunks.into_iter().flatten().collect());
+        verified?;
+        vec![None; inputs.len()]
+    };
+
+    // Encode what needs encoding.
+    let encode_started = Instant::now();
+    struct Job<'a> {
+        index: usize,
+        records: &'a [ExecutionRecord],
+    }
+    let mut jobs = Vec::new();
+    for (i, input) in inputs.iter().enumerate() {
+        match input {
+            ShardInput::Fresh(shard) => jobs.push(Job {
+                index: i,
+                records: &shard.records,
+            }),
+            ShardInput::Unchanged { .. } if catalog_changed => jobs.push(Job {
+                index: i,
+                records: reloaded[i].as_deref().expect("reloaded above"),
+            }),
+            ShardInput::Unchanged { .. } => {}
+        }
+    }
+    let encoded: Vec<(usize, Vec<u8>)> = crate::shard::map_chunks(
+        &jobs,
+        crate::shard::hardware_threads().min(jobs.len().max(1)),
+        |chunk| {
+            chunk
+                .iter()
+                .map(|job| {
+                    (
+                        job.index,
+                        encode_shard_file(job.records, &job_catalog, &task_catalog),
+                    )
+                })
+                .collect::<Vec<_>>()
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
+    let encode_seconds = encode_started.elapsed().as_secs_f64();
+
+    // Write the fresh files and assemble the new manifest.
+    let write_started = Instant::now();
+    let mut fresh_files: BTreeMap<usize, Vec<u8>> = encoded.into_iter().collect();
+    let mut entries = Vec::with_capacity(inputs.len());
+    let mut shards_encoded = 0usize;
+    let mut shards_reused = 0usize;
+    for (i, input) in inputs.iter().enumerate() {
+        let (job_local, task_local) = entry_catalogs[i].clone();
+        let entry = match (input, fresh_files.remove(&i)) {
+            (ShardInput::Unchanged { source_fingerprint }, None) => {
+                shards_reused += 1;
+                let old_entry = &old.shards[i];
+                ShardEntry {
+                    file: old_entry.file.clone(),
+                    rows: old_entry.rows,
+                    fingerprint: old_entry.fingerprint,
+                    source_fingerprint: Some(*source_fingerprint),
+                    job_catalog: job_local,
+                    task_catalog: task_local,
+                }
+            }
+            (input, Some(bytes)) => {
+                shards_encoded += 1;
+                let rows = match input {
+                    ShardInput::Fresh(shard) => shard.records.len(),
+                    ShardInput::Unchanged { .. } => {
+                        reloaded[i].as_ref().expect("reloaded above").len()
+                    }
+                };
+                let source_fingerprint = match input {
+                    ShardInput::Fresh(shard) => shard.source_fingerprint,
+                    ShardInput::Unchanged { source_fingerprint } => Some(*source_fingerprint),
+                };
+                let fingerprint = fingerprint_bytes(&bytes);
+                let file = segment_file_name(i, fingerprint);
+                let path = dir.join(&file);
+                std::fs::write(&path, &bytes).map_err(|e| CoreError::SnapshotIo {
+                    path: path.display().to_string(),
+                    message: e.to_string(),
+                })?;
+                ShardEntry {
+                    file,
+                    rows: rows as u64,
+                    fingerprint,
+                    source_fingerprint,
+                    job_catalog: job_local,
+                    task_catalog: task_local,
+                }
+            }
+            (ShardInput::Fresh(_), None) => unreachable!("fresh shards are always encoded"),
+        };
+        entries.push(entry);
+    }
+    let manifest = SnapshotManifest {
+        version: SNAPSHOT_VERSION,
+        generation: 1,
+        job_catalog,
+        task_catalog,
+        shards: entries,
+    };
+    manifest.save(dir)?;
+    remove_orphan_segments(dir, &manifest);
+    let write_seconds = write_started.elapsed().as_secs_f64();
+
+    Ok(SyncReport {
+        rows: manifest.rows(),
+        shards_encoded,
+        shards_reused,
+        catalog_changed,
+        encode_seconds,
+        write_seconds,
+        manifest,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::ExecutionRecord;
+
+    fn test_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pxsnap_unit_{}_{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_log() -> ExecutionLog {
+        let mut log = ExecutionLog::new();
+        for i in 0..10 {
+            log.push(
+                ExecutionRecord::job(format!("job_{i}"))
+                    .with_feature("inputsize", (i as f64) * 1.0e9)
+                    .with_feature("pigscript", format!("script_{}.pig", i % 3))
+                    .with_feature("duration", 100.0 + i as f64),
+            );
+            log.push(
+                ExecutionRecord::task(format!("task_{i}"), format!("job_{i}"))
+                    .with_feature("tasktype", if i % 2 == 0 { "MAP" } else { "REDUCE" })
+                    .with_feature("duration", 10.0 + i as f64),
+            );
+        }
+        log.rebuild_catalogs();
+        log
+    }
+
+    #[test]
+    fn fingerprints_are_deterministic_and_part_sensitive() {
+        assert_eq!(fingerprint_bytes(b"abc"), fingerprint_bytes(b"abc"));
+        assert_ne!(fingerprint_bytes(b"abc"), fingerprint_bytes(b"abd"));
+        assert_ne!(
+            fingerprint_texts(["ab", "c"]),
+            fingerprint_texts(["a", "bc"])
+        );
+        assert_eq!(
+            fingerprint_texts(["history", "conf"]),
+            fingerprint_texts(["history", "conf"])
+        );
+    }
+
+    #[test]
+    fn persist_open_round_trips_log_and_views() {
+        let log = sample_log();
+        let dir = test_dir("roundtrip");
+        for shards in [1usize, 3, 7, 64] {
+            let report = persist(&log, &dir, shards).unwrap();
+            assert_eq!(report.rows, log.len());
+            assert_eq!(report.shards_reused, 0);
+            assert!(report.manifest.shards.len() <= shards.max(1));
+
+            let snapshot = open(&dir).unwrap();
+            assert_eq!(snapshot.num_rows(), log.len());
+            assert_eq!(snapshot.to_log(), log);
+            for kind in [ExecutionKind::Job, ExecutionKind::Task] {
+                assert_eq!(snapshot.view(kind), ColumnarLog::build(&log, kind));
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_logs_snapshot_cleanly() {
+        let dir = test_dir("empty");
+        let log = ExecutionLog::new();
+        persist(&log, &dir, 4).unwrap();
+        let snapshot = open(&dir).unwrap();
+        assert_eq!(snapshot.num_rows(), 0);
+        assert_eq!(snapshot.to_log(), log);
+        assert_eq!(snapshot.view(ExecutionKind::Job).num_rows(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_reuses_clean_shards_and_reencodes_dirty_ones() {
+        let log = sample_log();
+        let records = log.records();
+        let shards: Vec<RecordShard> = records
+            .chunks(4)
+            .enumerate()
+            .map(|(i, chunk)| RecordShard {
+                records: chunk.to_vec(),
+                source_fingerprint: Some(1000 + i as u64),
+            })
+            .collect();
+        let count = shards.len();
+        let dir = test_dir("sync");
+        persist_shards(&dir, shards.clone()).unwrap();
+        let before = SnapshotManifest::load(&dir).unwrap();
+
+        // Dirty exactly shard 1: a numeric feature value changes (catalog
+        // stays stable).
+        let mut dirty = shards[1].clone();
+        dirty.records[0].set_feature("duration", 9999.0);
+        dirty.source_fingerprint = Some(777);
+        let inputs: Vec<ShardInput> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                if i == 1 {
+                    ShardInput::Fresh(dirty.clone())
+                } else {
+                    ShardInput::Unchanged {
+                        source_fingerprint: shard.source_fingerprint.unwrap(),
+                    }
+                }
+            })
+            .collect();
+        let report = sync(&dir, inputs).unwrap();
+        assert_eq!(report.shards_encoded, 1);
+        assert_eq!(report.shards_reused, count - 1);
+        assert!(!report.catalog_changed);
+        // Fingerprint bookkeeping: every clean shard's entry is carried
+        // forward bit-for-bit; the dirty shard's fingerprint moved.
+        for (i, (old_entry, new_entry)) in before
+            .shards
+            .iter()
+            .zip(&report.manifest.shards)
+            .enumerate()
+        {
+            if i == 1 {
+                assert_ne!(old_entry.fingerprint, new_entry.fingerprint);
+                assert_eq!(new_entry.source_fingerprint, Some(777));
+            } else {
+                assert_eq!(old_entry.fingerprint, new_entry.fingerprint);
+            }
+        }
+
+        // The synced snapshot equals a from-scratch ingest of the same
+        // records.
+        let mut expected = ExecutionLog::new();
+        for (i, shard) in shards.iter().enumerate() {
+            let source = if i == 1 { &dirty } else { shard };
+            for record in &source.records {
+                expected.push(record.clone());
+            }
+        }
+        expected.rebuild_catalogs();
+        let snapshot = open(&dir).unwrap();
+        assert_eq!(snapshot.to_log(), expected);
+        assert_eq!(
+            snapshot.view(ExecutionKind::Job),
+            ColumnarLog::build(&expected, ExecutionKind::Job)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_reencodes_everything_when_the_catalog_moves() {
+        let log = sample_log();
+        let shards: Vec<RecordShard> = log
+            .records()
+            .chunks(5)
+            .enumerate()
+            .map(|(i, chunk)| RecordShard {
+                records: chunk.to_vec(),
+                source_fingerprint: Some(i as u64),
+            })
+            .collect();
+        let count = shards.len();
+        let dir = test_dir("catalog_move");
+        persist_shards(&dir, shards.clone()).unwrap();
+
+        // The dirty shard introduces a brand-new feature: every segment's
+        // schema is stale now.
+        let mut dirty = shards[0].clone();
+        dirty.records[0].set_feature("brand_new_metric", 42.0);
+        dirty.source_fingerprint = Some(555);
+        let mut inputs: Vec<ShardInput> = vec![ShardInput::Fresh(dirty.clone())];
+        for shard in &shards[1..] {
+            inputs.push(ShardInput::Unchanged {
+                source_fingerprint: shard.source_fingerprint.unwrap(),
+            });
+        }
+        let report = sync(&dir, inputs).unwrap();
+        assert!(report.catalog_changed);
+        assert_eq!(report.shards_encoded, count);
+        assert_eq!(report.shards_reused, 0);
+
+        let mut expected = ExecutionLog::new();
+        for record in dirty
+            .records
+            .iter()
+            .chain(shards[1..].iter().flat_map(|s| s.records.iter()))
+        {
+            expected.push(record.clone());
+        }
+        expected.rebuild_catalogs();
+        let snapshot = open(&dir).unwrap();
+        assert_eq!(snapshot.to_log(), expected);
+        assert!(snapshot
+            .catalog(ExecutionKind::Job)
+            .get("brand_new_metric")
+            .is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_rejects_stale_reuse_claims() {
+        let dir = test_dir("stale_claim");
+        persist_shards(
+            &dir,
+            vec![RecordShard {
+                records: sample_log().records().to_vec(),
+                source_fingerprint: Some(1),
+            }],
+        )
+        .unwrap();
+        let err = sync(
+            &dir,
+            vec![ShardInput::Unchanged {
+                source_fingerprint: 2,
+            }],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::SnapshotCorrupt { .. }), "{err}");
+        // And a reuse claim past the manifest's shard count.
+        let err = sync(
+            &dir,
+            vec![
+                ShardInput::Unchanged {
+                    source_fingerprint: 1,
+                },
+                ShardInput::Unchanged {
+                    source_fingerprint: 1,
+                },
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::SnapshotCorrupt { .. }), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Records of one kind with no features at all yield an empty catalog
+    /// and therefore a zero-column (row-count-less) store; a snapshot of
+    /// such a log must still round-trip — this was a live bug where the
+    /// row-count cross-check misreported healthy files as corrupt.
+    #[test]
+    fn featureless_records_round_trip() {
+        let mut log = ExecutionLog::new();
+        log.push(ExecutionRecord::job("job_0").with_feature("duration", 1.0));
+        log.push(ExecutionRecord::task("task_0", "job_0"));
+        log.push(ExecutionRecord::task("task_1", "job_0"));
+        log.rebuild_catalogs();
+        let dir = test_dir("featureless");
+        persist(&log, &dir, 2).unwrap();
+        let snap = open(&dir).unwrap();
+        assert_eq!(snap.to_log(), log);
+        assert_eq!(snap.view(ExecutionKind::Task).num_rows(), 2);
+        assert_eq!(
+            snap.view(ExecutionKind::Task),
+            ColumnarLog::build(&log, ExecutionKind::Task)
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn shrinking_reingests_leave_no_orphan_segments() {
+        let log = sample_log();
+        let dir = test_dir("shrink");
+        persist(&log, &dir, 8).unwrap();
+        let wide = SnapshotManifest::load(&dir).unwrap().shards.len();
+        assert!(wide > 2);
+        let report = persist(&log, &dir, 2).unwrap();
+        let on_disk: Vec<String> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.unwrap().file_name().into_string().ok())
+            .filter(|name| name.starts_with("segment-"))
+            .collect();
+        // Only the committed manifest's segments remain; every wide-layout
+        // file was cleaned up after the manifest rename.
+        assert_eq!(on_disk.len(), report.manifest.shards.len());
+        for entry in &report.manifest.shards {
+            assert!(on_disk.contains(&entry.file), "missing {}", entry.file);
+        }
+        assert_eq!(open(&dir).unwrap().to_log(), log);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn syncing_an_emptied_source_yields_an_openable_empty_snapshot() {
+        let dir = test_dir("empty_sync");
+        persist(&sample_log(), &dir, 3).unwrap();
+        let report = sync(&dir, Vec::new()).unwrap();
+        assert_eq!(report.rows, 0);
+        // One padded empty shard, never a zero-shard manifest `load`
+        // would reject.
+        assert_eq!(report.manifest.shards.len(), 1);
+        let snap = open(&dir).unwrap();
+        assert_eq!(snap.num_rows(), 0);
+        assert_eq!(snap.to_log(), ExecutionLog::new());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn opening_nothing_is_an_io_error() {
+        let dir = test_dir("missing");
+        assert!(matches!(open(&dir), Err(CoreError::SnapshotIo { .. })));
+    }
+}

@@ -73,6 +73,19 @@ impl JobLogBundle {
         })
     }
 
+    /// Content fingerprint of the bundle (job id + all three files,
+    /// deterministic FxHash-64).  Incremental snapshot re-ingest compares
+    /// these against the manifest to skip shards whose bundles have not
+    /// changed — without parsing them.
+    pub fn fingerprint(&self) -> u64 {
+        perfxplain_core::snapshot::fingerprint_texts([
+            self.job_id.as_str(),
+            &self.history,
+            &self.conf_xml,
+            &self.ganglia_csv,
+        ])
+    }
+
     /// Reads every bundle directory under `root`, sorted by job id.
     pub fn read_all(root: &Path) -> io::Result<Vec<Self>> {
         let mut bundles = Vec::new();

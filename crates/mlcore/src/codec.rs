@@ -1,0 +1,313 @@
+//! Length-prefixed binary encoding primitives.
+//!
+//! The persistent snapshot store serializes encoded column segments as
+//! binary files: parsing JSON back into a million records costs orders of
+//! magnitude more than memcpy-ing columns off disk, and the hot cold-start
+//! path must never pay serde's text round trip.  This module provides the
+//! two halves of that format:
+//!
+//! * [`ByteWriter`] — an append-only buffer with fixed-width little-endian
+//!   primitives and length-prefixed strings/blocks.
+//! * [`ByteReader`] — the matching cursor whose every read is checked:
+//!   malformed or truncated input surfaces a typed [`CodecError`], never a
+//!   panic and never an out-of-bounds slice.
+//!
+//! All multi-byte values are little-endian.  Strings and blocks are
+//! prefixed with their byte length (`u32` for strings, `u64` for blocks),
+//! so a reader can skip a block it does not understand and a truncated
+//! file is detected at the first read past the end.
+
+use std::fmt;
+
+/// Decoding failure: the input is shorter than a read requires, or a read
+/// value is structurally invalid (bad tag, bad UTF-8, id out of range).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodecError {
+    /// The input ended before a read completed.
+    Truncated {
+        /// Bytes the read needed.
+        needed: usize,
+        /// Bytes that were left.
+        available: usize,
+    },
+    /// A read completed but the value is invalid for its context.
+    Invalid(String),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::Truncated { needed, available } => write!(
+                f,
+                "truncated input: needed {needed} more byte(s), {available} available"
+            ),
+            CodecError::Invalid(message) => write!(f, "invalid encoding: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+/// Convenience result alias for decoding.
+pub type CodecResult<T> = Result<T, CodecError>;
+
+/// An append-only binary buffer (all primitives little-endian).
+#[derive(Debug, Clone, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// Creates an empty writer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        ByteWriter {
+            buf: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// The bytes written so far.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    /// Consumes the writer, returning its buffer.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Number of bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends raw bytes verbatim (no length prefix).
+    pub fn put_raw(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Appends one byte.
+    pub fn put_u8(&mut self, value: u8) {
+        self.buf.push(value);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, value: u16) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (little-endian).
+    pub fn put_f64(&mut self, value: f64) {
+        self.buf.extend_from_slice(&value.to_bits().to_le_bytes());
+    }
+
+    /// Appends a `u32`-length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, value: &str) {
+        self.put_u32(value.len() as u32);
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+
+    /// Appends a `u64`-length-prefixed block produced by `fill`.
+    ///
+    /// The block length is patched in after `fill` runs, so the caller
+    /// writes the block body with the ordinary `put_*` methods.
+    pub fn put_block(&mut self, fill: impl FnOnce(&mut ByteWriter)) {
+        let prefix_at = self.buf.len();
+        self.put_u64(0);
+        let body_at = self.buf.len();
+        fill(self);
+        let body_len = (self.buf.len() - body_at) as u64;
+        self.buf[prefix_at..body_at].copy_from_slice(&body_len.to_le_bytes());
+    }
+}
+
+/// A checked cursor over a byte slice (the counterpart of [`ByteWriter`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Creates a reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Consumes `len` raw bytes.
+    pub fn take(&mut self, len: usize) -> CodecResult<&'a [u8]> {
+        if self.remaining() < len {
+            return Err(CodecError::Truncated {
+                needed: len,
+                available: self.remaining(),
+            });
+        }
+        let slice = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> CodecResult<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> CodecResult<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> CodecResult<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> CodecResult<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads a `u64` and checks it fits a `usize` count of at least
+    /// one-byte items in the remaining input — a cheap sanity bound that
+    /// turns a corrupt length into [`CodecError::Invalid`] instead of an
+    /// attempted multi-exabyte allocation.
+    pub fn get_count(&mut self) -> CodecResult<usize> {
+        let raw = self.get_u64()?;
+        if raw > self.remaining() as u64 {
+            return Err(CodecError::Invalid(format!(
+                "count {raw} exceeds the {} remaining byte(s)",
+                self.remaining()
+            )));
+        }
+        Ok(raw as usize)
+    }
+
+    /// Reads an `f64` from its IEEE-754 bit pattern.
+    pub fn get_f64(&mut self) -> CodecResult<f64> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    /// Reads a `u32`-length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> CodecResult<&'a str> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|e| CodecError::Invalid(format!("string is not UTF-8: {e}")))
+    }
+
+    /// Reads a `u64`-length-prefixed block, returning a reader over exactly
+    /// the block body (the outer cursor advances past it).
+    pub fn get_block(&mut self) -> CodecResult<ByteReader<'a>> {
+        let len = self.get_count()?;
+        Ok(ByteReader::new(self.take(len)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut w = ByteWriter::new();
+        w.put_u8(7);
+        w.put_u16(300);
+        w.put_u32(70_000);
+        w.put_u64(u64::MAX - 1);
+        w.put_f64(-1.5e300);
+        w.put_str("héllo");
+        w.put_str("");
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.get_u8().unwrap(), 7);
+        assert_eq!(r.get_u16().unwrap(), 300);
+        assert_eq!(r.get_u32().unwrap(), 70_000);
+        assert_eq!(r.get_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.get_f64().unwrap(), -1.5e300);
+        assert_eq!(r.get_str().unwrap(), "héllo");
+        assert_eq!(r.get_str().unwrap(), "");
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn blocks_are_length_prefixed_and_skippable() {
+        let mut w = ByteWriter::new();
+        w.put_block(|w| {
+            w.put_str("inner");
+            w.put_u32(9);
+        });
+        w.put_u8(42);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        let mut block = r.get_block().unwrap();
+        assert_eq!(block.get_str().unwrap(), "inner");
+        assert_eq!(block.get_u32().unwrap(), 9);
+        assert!(block.is_exhausted());
+        // The outer cursor is already past the block.
+        assert_eq!(r.get_u8().unwrap(), 42);
+        assert!(r.is_exhausted());
+    }
+
+    #[test]
+    fn truncation_is_an_error_never_a_panic() {
+        let mut w = ByteWriter::new();
+        w.put_str("abcdef");
+        let bytes = w.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(matches!(
+                r.get_str(),
+                Err(CodecError::Truncated { .. }) | Err(CodecError::Invalid(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn corrupt_lengths_do_not_allocate() {
+        // A count claiming more items than there are bytes left must be
+        // rejected before any allocation sized by it.
+        let mut w = ByteWriter::new();
+        w.put_u64(u64::MAX);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_count(), Err(CodecError::Invalid(_))));
+
+        // Bad UTF-8 is Invalid, not a panic.
+        let mut w = ByteWriter::new();
+        w.put_u32(2);
+        w.put_raw(&[0xff, 0xfe]);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(matches!(r.get_str(), Err(CodecError::Invalid(_))));
+    }
+}

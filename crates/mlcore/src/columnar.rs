@@ -20,8 +20,14 @@
 //! merged in row order, the merged store is **bit-identical** to encoding
 //! all rows in one pass: same ids, same cells, same dictionary order.
 
-use crate::dataset::{AttrValue, Attribute};
+use crate::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+use crate::dataset::{AttrKind, AttrValue, Attribute};
 use crate::hash::FxHashMap;
+
+/// Cell tags of the binary column encoding.
+const CELL_MISSING: u8 = 0;
+const CELL_NUM: u8 = 1;
+const CELL_NOM: u8 = 2;
 
 /// An immutable column-major table of encoded feature values.
 #[derive(Debug, Clone, Default)]
@@ -199,6 +205,135 @@ impl ColumnStore {
             remaps,
         }
     }
+
+    /// Appends the store's binary encoding to `writer`.
+    ///
+    /// The format is column-major and self-delimiting: schema first (per
+    /// attribute: name, kind, dictionary values in intern order), then one
+    /// cell stream per column (tag byte + payload).  No text formatting and
+    /// no per-cell allocation on either side — this is the on-disk form the
+    /// snapshot store serves cold starts from, bypassing serde-JSON
+    /// entirely.  Decode with [`ColumnStore::decode_binary`].
+    pub fn encode_binary(&self, writer: &mut ByteWriter) {
+        writer.put_u32(self.attributes.len() as u32);
+        writer.put_u64(self.rows as u64);
+        for attribute in &self.attributes {
+            writer.put_str(&attribute.name);
+            writer.put_u8(match attribute.kind {
+                AttrKind::Numeric => 0,
+                AttrKind::Nominal => 1,
+            });
+            writer.put_u32(attribute.dictionary.len() as u32);
+            for (_, value) in attribute.dictionary.iter() {
+                writer.put_str(value);
+            }
+        }
+        for column in &self.columns {
+            for cell in column {
+                match cell {
+                    AttrValue::Missing => writer.put_u8(CELL_MISSING),
+                    AttrValue::Num(v) => {
+                        writer.put_u8(CELL_NUM);
+                        writer.put_f64(*v);
+                    }
+                    AttrValue::Nom(id) => {
+                        writer.put_u8(CELL_NOM);
+                        writer.put_u32(*id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Decodes a store previously written by [`ColumnStore::encode_binary`].
+    ///
+    /// Every read is checked: truncated input, invalid kind/cell tags,
+    /// duplicate dictionary entries and out-of-range nominal ids all return
+    /// a typed [`CodecError`] — corrupt snapshot files must never panic the
+    /// process that opens them.  The decoded store is bit-identical to the
+    /// encoded one (dictionary ids are re-interned in stored order).
+    pub fn decode_binary(reader: &mut ByteReader<'_>) -> CodecResult<ColumnStore> {
+        let num_columns = reader.get_u32()? as usize;
+        let rows = reader.get_u64()? as usize;
+        // Corrupt counts must fail at the first checked read, not via an
+        // attempted count-sized allocation: every column needs at least one
+        // byte of schema and every cell at least its tag byte.
+        if num_columns > reader.remaining() {
+            return Err(CodecError::Invalid(format!(
+                "column count {num_columns} exceeds the {} remaining byte(s)",
+                reader.remaining()
+            )));
+        }
+        if num_columns > 0 && rows > reader.remaining() {
+            return Err(CodecError::Invalid(format!(
+                "row count {rows} exceeds the {} remaining byte(s)",
+                reader.remaining()
+            )));
+        }
+        let mut attributes = Vec::with_capacity(num_columns);
+        for _ in 0..num_columns {
+            let name = reader.get_str()?.to_string();
+            let kind = match reader.get_u8()? {
+                0 => AttrKind::Numeric,
+                1 => AttrKind::Nominal,
+                tag => {
+                    return Err(CodecError::Invalid(format!(
+                        "unknown attribute kind tag {tag} on column '{name}'"
+                    )))
+                }
+            };
+            let mut attribute = match kind {
+                AttrKind::Numeric => Attribute::numeric(name),
+                AttrKind::Nominal => Attribute::nominal(name),
+            };
+            let dict_len = reader.get_u32()? as usize;
+            for expected in 0..dict_len {
+                let value = reader.get_str()?;
+                let id = attribute.dictionary.intern(value) as usize;
+                if id != expected {
+                    return Err(CodecError::Invalid(format!(
+                        "duplicate dictionary entry '{value}' on column '{}'",
+                        attribute.name
+                    )));
+                }
+            }
+            attributes.push(attribute);
+        }
+        let mut columns = Vec::with_capacity(num_columns);
+        for attribute in &attributes {
+            // Capacity is clamped by the bytes actually left (each cell
+            // costs at least its tag byte): a corrupt row count must fail
+            // at a checked read, not by provoking a huge allocation first.
+            let mut column = Vec::with_capacity(rows.min(reader.remaining()));
+            for _ in 0..rows {
+                let cell = match reader.get_u8()? {
+                    CELL_MISSING => AttrValue::Missing,
+                    CELL_NUM => AttrValue::Num(reader.get_f64()?),
+                    CELL_NOM => {
+                        let id = reader.get_u32()?;
+                        if id as usize >= attribute.dictionary.len() {
+                            return Err(CodecError::Invalid(format!(
+                                "nominal id {id} out of range on column '{}' \
+                                 (dictionary has {} entries)",
+                                attribute.name,
+                                attribute.dictionary.len()
+                            )));
+                        }
+                        AttrValue::Nom(id)
+                    }
+                    tag => {
+                        return Err(CodecError::Invalid(format!(
+                            "unknown cell tag {tag} on column '{}'",
+                            attribute.name
+                        )))
+                    }
+                };
+                column.push(cell);
+            }
+            columns.push(column);
+        }
+        Ok(ColumnStore::from_columns(attributes, columns))
+    }
 }
 
 #[cfg(test)]
@@ -309,5 +444,76 @@ mod tests {
             ColumnStore::from_columns(vec![Attribute::numeric("a")], vec![vec![]]),
             ColumnStore::from_columns(vec![Attribute::numeric("b")], vec![vec![]]),
         ]);
+    }
+
+    #[test]
+    fn binary_codec_round_trips_bit_identically() {
+        for store in [store(), ColumnStore::from_columns(vec![], vec![])] {
+            let mut writer = ByteWriter::new();
+            store.encode_binary(&mut writer);
+            let bytes = writer.into_bytes();
+            let mut reader = ByteReader::new(&bytes);
+            let decoded = ColumnStore::decode_binary(&mut reader).unwrap();
+            assert!(reader.is_exhausted());
+            assert_eq!(decoded, store);
+            // The derived state is rebuilt too, not just the PartialEq
+            // surface.
+            assert_eq!(decoded.num_rows(), store.num_rows());
+            for (col, attribute) in store.attributes().iter().enumerate() {
+                assert_eq!(decoded.column_index(&attribute.name), Some(col));
+            }
+        }
+    }
+
+    #[test]
+    fn binary_decode_rejects_any_truncation() {
+        let mut writer = ByteWriter::new();
+        store().encode_binary(&mut writer);
+        let bytes = writer.into_bytes();
+        for cut in 0..bytes.len() {
+            let mut reader = ByteReader::new(&bytes[..cut]);
+            assert!(
+                ColumnStore::decode_binary(&mut reader).is_err(),
+                "truncation at byte {cut} was not detected"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_decode_rejects_structural_corruption() {
+        let mut writer = ByteWriter::new();
+        store().encode_binary(&mut writer);
+        let bytes = writer.into_bytes();
+
+        // An out-of-range nominal id: patch the last cell (a Nom tag +
+        // u32 id) to reference a dictionary entry that does not exist.
+        let mut corrupt = bytes.clone();
+        let len = corrupt.len();
+        corrupt[len - 4..].copy_from_slice(&99u32.to_le_bytes());
+        let mut reader = ByteReader::new(&corrupt);
+        assert!(matches!(
+            ColumnStore::decode_binary(&mut reader),
+            Err(CodecError::Invalid(_))
+        ));
+
+        // A bogus attribute-kind tag right after the first column name.
+        let mut corrupt = bytes.clone();
+        // Header: u32 columns + u64 rows + u32 name len + "size".
+        let kind_at = 4 + 8 + 4 + 4;
+        corrupt[kind_at] = 7;
+        let mut reader = ByteReader::new(&corrupt);
+        assert!(matches!(
+            ColumnStore::decode_binary(&mut reader),
+            Err(CodecError::Invalid(_))
+        ));
+
+        // An absurd row count fails fast instead of allocating.
+        let mut corrupt = bytes;
+        corrupt[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
+        let mut reader = ByteReader::new(&corrupt);
+        assert!(matches!(
+            ColumnStore::decode_binary(&mut reader),
+            Err(CodecError::Invalid(_))
+        ));
     }
 }

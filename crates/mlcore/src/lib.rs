@@ -16,6 +16,10 @@
 //! * [`hash`] — a vendored FxHash-style hasher ([`FxHashMap`]) for the hot
 //!   lookup maps (dictionary interning, column/row indexes); deterministic
 //!   and several times cheaper per short-key lookup than std's SipHash.
+//! * [`codec`] — length-prefixed little-endian binary encoding primitives
+//!   ([`ByteWriter`] / [`ByteReader`]); [`ColumnStore::encode_binary`] and
+//!   [`ColumnStore::decode_binary`] persist encoded column segments in this
+//!   form so the snapshot store's cold start never touches serde-JSON.
 //! * [`entropy`] — binary entropy, entropy of count vectors and information
 //!   gain of a boolean partition.
 //! * [`split`] — C4.5-style best-split search per attribute (threshold
@@ -31,6 +35,7 @@
 //! * [`stats`] — means, standard deviations and the percentile-rank
 //!   normalisation used by `normalizeScore` in Algorithm 1.
 
+pub mod codec;
 pub mod columnar;
 pub mod dataset;
 pub mod dtree;
@@ -41,6 +46,7 @@ pub mod sample;
 pub mod split;
 pub mod stats;
 
+pub use codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 pub use columnar::{ColumnStore, MergedStore};
 pub use dataset::{AttrKind, AttrValue, Attribute, Dataset, NominalDictionary};
 pub use dtree::{DecisionTree, TreeConfig};

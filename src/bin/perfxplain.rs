@@ -5,12 +5,28 @@
 //!     Run the Table-2 workload sweep on the simulated cluster, collect the
 //!     Hadoop/Ganglia logs and store the resulting execution log as JSON.
 //!
-//! perfxplain ingest --bundles <dir> --out log.json [--shards N]
+//! perfxplain ingest --bundles <dir> [--out log.json] [--shards N]
+//!                   [--snapshot <dir>]
 //!     Ingest a directory of on-disk job log bundles (one directory per job
 //!     containing job_history.log, job.xml, ganglia.csv) into an execution
 //!     log.  Bundles are split into shards parsed on concurrent threads
 //!     (default: one shard per core) and merged into a log identical to a
-//!     serial ingest.
+//!     serial ingest.  With --snapshot the result is persisted as a
+//!     segmented binary snapshot, **incrementally**: each shard's bundles
+//!     are fingerprinted and shards whose fingerprint still matches the
+//!     snapshot's manifest are neither re-parsed nor re-encoded — only the
+//!     dirty shards are.  Reports rows ingested, shards parsed vs skipped,
+//!     and wall-clock per phase (parse / encode / persist).
+//!
+//! perfxplain snapshot save --log log.json --snapshot <dir> [--shards N]
+//!     Convert a JSON execution log into a segmented binary snapshot
+//!     (per-shard column segments + fingerprinted manifest).
+//!
+//! perfxplain snapshot open --snapshot <dir> [--out log.json]
+//!     Open a snapshot: verify every shard fingerprint, reassemble the log
+//!     and both columnar views from the stored binary columns (no JSON, no
+//!     re-encode), print per-phase timings; optionally write the log back
+//!     out as JSON.
 //!
 //! perfxplain inspect --log log.json
 //!     Summarise an execution log: jobs, tasks, features, durations.
@@ -80,6 +96,7 @@ impl Args {
                         | "width"
                         | "bundles"
                         | "shards"
+                        | "snapshot"
                 );
                 if takes_value {
                     let value = raw.get(i + 1).unwrap_or_else(|| {
@@ -151,41 +168,286 @@ fn cmd_simulate(args: &Args) {
     );
 }
 
+/// Formats a duration in milliseconds for the per-phase ingest report.
+fn ms(seconds: f64) -> String {
+    format!("{:.1} ms", seconds * 1e3)
+}
+
+fn shards_from(args: &Args) -> Option<usize> {
+    args.get("shards").map(|raw| {
+        raw.parse::<usize>()
+            .ok()
+            .filter(|&s| s >= 1)
+            .unwrap_or_else(|| fail("--shards expects a positive number"))
+    })
+}
+
 fn cmd_ingest(args: &Args) {
     let root = args
         .get("bundles")
         .unwrap_or_else(|| fail("--bundles <dir> is required"));
-    let out = args.get("out").unwrap_or("perfxplain-log.json");
-    let shards = match args.get("shards") {
-        Some(raw) => raw
-            .parse::<usize>()
-            .ok()
-            .filter(|&s| s >= 1)
-            .unwrap_or_else(|| fail("--shards expects a positive number")),
-        None => perfxplain::shard::hardware_threads(),
-    };
-
     let bundles = JobLogBundle::read_all(std::path::Path::new(root))
         .unwrap_or_else(|e| fail(&format!("cannot read bundles under {root}: {e}")));
     if bundles.is_empty() {
         fail(&format!("{root} contains no job log bundles"));
     }
+    match args.get("snapshot") {
+        Some(dir) => ingest_into_snapshot(args, &bundles, std::path::Path::new(dir)),
+        None => ingest_to_json(args, &bundles),
+    }
+}
+
+/// The legacy path: parse every bundle (sharded) and write the log as JSON.
+fn ingest_to_json(args: &Args, bundles: &[JobLogBundle]) {
+    let out = args.get("out").unwrap_or("perfxplain-log.json");
+    let shards = shards_from(args).unwrap_or_else(perfxplain::shard::hardware_threads);
     eprintln!(
         "ingesting {} bundles across {shards} shard(s)...",
         bundles.len()
     );
-    let started = Instant::now();
-    let log = collect_bundles_sharded(&bundles, shards)
+    let parse_started = Instant::now();
+    let log = collect_bundles_sharded(bundles, shards)
         .unwrap_or_else(|e| fail(&format!("cannot parse bundles: {e}")));
-    let elapsed = started.elapsed();
+    let parse_secs = parse_started.elapsed().as_secs_f64();
+
+    let persist_started = Instant::now();
     let json = log.to_json().unwrap_or_else(|e| fail(&e.to_string()));
     std::fs::write(out, json).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+    let persist_secs = persist_started.elapsed().as_secs_f64();
+
     println!(
-        "wrote {} jobs and {} tasks to {out} ({:.1} ms sharded parse)",
-        log.jobs().count(),
-        log.tasks().count(),
-        elapsed.as_secs_f64() * 1e3
+        "  parse   : {:>10}  ({shards} shard(s) parsed)",
+        ms(parse_secs)
     );
+    println!("  persist : {:>10}  (JSON {out})", ms(persist_secs));
+    println!(
+        "ingested {} rows ({} jobs, {} tasks) into {out}",
+        log.len(),
+        log.jobs().count(),
+        log.tasks().count()
+    );
+}
+
+/// The snapshot path: fingerprint each shard of bundles, parse only the
+/// shards the snapshot does not already hold, and re-encode only those.
+fn ingest_into_snapshot(args: &Args, bundles: &[JobLogBundle], dir: &std::path::Path) {
+    use perfxplain::snapshot::{self, RecordShard, ShardInput, SnapshotManifest, SyncReport};
+
+    // Shard count: an explicit --shards wins; otherwise stick to the
+    // existing snapshot's layout so fingerprints stay comparable; a fresh
+    // directory defaults to one shard per core.
+    let existing = SnapshotManifest::load(dir).ok();
+    let shards = shards_from(args)
+        .or_else(|| existing.as_ref().map(|m| m.shards.len()))
+        .unwrap_or_else(perfxplain::shard::hardware_threads)
+        .max(1);
+    let chunk_size = bundles.len().div_ceil(shards).max(1);
+    let chunks: Vec<&[JobLogBundle]> = bundles.chunks(chunk_size).collect();
+    let fingerprints: Vec<u64> = chunks
+        .iter()
+        .map(|chunk| snapshot::combine_fingerprints(chunk.iter().map(JobLogBundle::fingerprint)))
+        .collect();
+
+    // Decide per shard: reuse or parse.  A usable manifest must match the
+    // chunk layout; otherwise everything is parsed fresh.
+    let reusable = existing
+        .as_ref()
+        .map(|m| m.shards.len() == chunks.len())
+        .unwrap_or(false);
+    eprintln!(
+        "ingesting {} bundles across {} shard(s) into snapshot {}...",
+        bundles.len(),
+        chunks.len(),
+        dir.display()
+    );
+
+    let parse_started = Instant::now();
+    // Parses the dirty shards across threads (one chunk per worker, like
+    // `collect_bundles_sharded`) and interleaves the results with the
+    // clean shards' reuse claims.
+    let build_inputs = |parse_all: bool| -> Result<(Vec<ShardInput>, usize), String> {
+        let dirty: Vec<usize> = (0..chunks.len())
+            .filter(|&i| {
+                parse_all
+                    || !reusable
+                    || existing.as_ref().unwrap().shards[i].source_fingerprint
+                        != Some(fingerprints[i])
+            })
+            .collect();
+        type ParsedShard = (usize, Vec<perfxplain::ExecutionRecord>);
+        let parsed: Result<Vec<Vec<ParsedShard>>, String> = perfxplain::shard::map_chunks(
+            &dirty,
+            perfxplain::shard::hardware_threads().min(dirty.len().max(1)),
+            |group| {
+                group
+                    .iter()
+                    .map(|&i| {
+                        perfxplain::prelude::collect_bundles(chunks[i])
+                            .map(|log| (i, log.records().to_vec()))
+                            .map_err(|e| e.to_string())
+                    })
+                    .collect()
+            },
+        )
+        .into_iter()
+        .collect();
+        let mut parsed: BTreeMap<usize, Vec<perfxplain::ExecutionRecord>> =
+            parsed?.into_iter().flatten().collect();
+        let inputs = (0..chunks.len())
+            .map(|i| match parsed.remove(&i) {
+                Some(records) => ShardInput::Fresh(RecordShard {
+                    records,
+                    source_fingerprint: Some(fingerprints[i]),
+                }),
+                None => ShardInput::Unchanged {
+                    source_fingerprint: fingerprints[i],
+                },
+            })
+            .collect();
+        Ok((inputs, dirty.len()))
+    };
+
+    // Full (non-incremental) write: every input is Fresh by construction.
+    let persist_all = |inputs: Vec<ShardInput>| -> SyncReport {
+        let shards: Vec<RecordShard> = inputs
+            .into_iter()
+            .map(|input| match input {
+                ShardInput::Fresh(shard) => shard,
+                ShardInput::Unchanged { .. } => unreachable!("full parse is all fresh"),
+            })
+            .collect();
+        snapshot::persist_shards(dir, shards).unwrap_or_else(|e| fail(&e.to_string()))
+    };
+
+    let (inputs, mut shards_parsed) =
+        build_inputs(!reusable).unwrap_or_else(|e| fail(&format!("cannot parse bundles: {e}")));
+    let mut parse_secs = parse_started.elapsed().as_secs_f64();
+
+    let report: SyncReport = if reusable {
+        match snapshot::sync(dir, inputs) {
+            Ok(report) => report,
+            Err(err) => {
+                // Recovery path: the stored snapshot is unusable (corrupt
+                // segment, fingerprint drift, version skew) — fall back to
+                // a full re-ingest over the same directory.
+                eprintln!("warning: incremental sync failed ({err}); re-ingesting everything");
+                let reparse_started = Instant::now();
+                let (inputs, parsed) = build_inputs(true)
+                    .unwrap_or_else(|e| fail(&format!("cannot parse bundles: {e}")));
+                shards_parsed = parsed;
+                parse_secs += reparse_started.elapsed().as_secs_f64();
+                persist_all(inputs)
+            }
+        }
+    } else {
+        persist_all(inputs)
+    };
+
+    println!(
+        "  parse   : {:>10}  ({shards_parsed} shard(s) parsed, {} clean skipped)",
+        ms(parse_secs),
+        chunks.len() - shards_parsed
+    );
+    println!(
+        "  encode  : {:>10}  ({} segment(s) re-encoded{})",
+        ms(report.encode_seconds),
+        report.shards_encoded,
+        if report.catalog_changed {
+            ", catalog changed"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "  persist : {:>10}  (snapshot {}, {} shard(s))",
+        ms(report.write_seconds),
+        dir.display(),
+        report.manifest.shards.len()
+    );
+    println!(
+        "ingested {} rows: {} shard(s) re-encoded, {} served from disk",
+        report.rows, report.shards_encoded, report.shards_reused
+    );
+
+    // An explicit --out alongside --snapshot also writes the JSON form.
+    if let Some(out) = args.get("out") {
+        let log = snapshot::open(dir)
+            .unwrap_or_else(|e| fail(&e.to_string()))
+            .to_log();
+        let json = log.to_json().unwrap_or_else(|e| fail(&e.to_string()));
+        std::fs::write(out, json).unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+        println!("also wrote the JSON form to {out}");
+    }
+}
+
+/// `snapshot save` / `snapshot open`.
+fn cmd_snapshot(action: &str, args: &Args) {
+    use perfxplain::snapshot;
+
+    let dir = args
+        .get("snapshot")
+        .map(std::path::Path::new)
+        .unwrap_or_else(|| fail("--snapshot <dir> is required"));
+    match action {
+        "save" => {
+            let log = load_log(args);
+            let shards = shards_from(args).unwrap_or_else(perfxplain::shard::hardware_threads);
+            let report =
+                snapshot::persist(&log, dir, shards).unwrap_or_else(|e| fail(&e.to_string()));
+            println!(
+                "  encode  : {:>10}  ({} segment(s))",
+                ms(report.encode_seconds),
+                report.shards_encoded
+            );
+            println!(
+                "  persist : {:>10}  (snapshot {})",
+                ms(report.write_seconds),
+                dir.display()
+            );
+            println!(
+                "saved {} rows as {} shard(s) under {}",
+                report.rows,
+                report.manifest.shards.len(),
+                dir.display()
+            );
+        }
+        "open" => {
+            let open_started = Instant::now();
+            let snap = snapshot::open(dir).unwrap_or_else(|e| fail(&e.to_string()));
+            let open_secs = open_started.elapsed().as_secs_f64();
+
+            let assemble_started = Instant::now();
+            let log = snap.to_log();
+            let job_view = snap.view(perfxplain::ExecutionKind::Job);
+            let task_view = snap.view(perfxplain::ExecutionKind::Task);
+            let assemble_secs = assemble_started.elapsed().as_secs_f64();
+
+            println!(
+                "  open    : {:>10}  ({} shard(s), fingerprints verified)",
+                ms(open_secs),
+                snap.shards().len()
+            );
+            println!(
+                "  views   : {:>10}  (assembled from stored columns, no re-encode)",
+                ms(assemble_secs)
+            );
+            println!(
+                "opened {} rows ({} jobs / {} job features, {} tasks / {} task features)",
+                log.len(),
+                job_view.num_rows(),
+                log.job_catalog().len(),
+                task_view.num_rows(),
+                log.task_catalog().len()
+            );
+            if let Some(out) = args.get("out") {
+                let json = log.to_json().unwrap_or_else(|e| fail(&e.to_string()));
+                std::fs::write(out, json)
+                    .unwrap_or_else(|e| fail(&format!("cannot write {out}: {e}")));
+                println!("wrote the JSON form to {out}");
+            }
+        }
+        other => fail(&format!("unknown snapshot action '{other}' (save|open)")),
+    }
 }
 
 fn cmd_inspect(args: &Args) {
@@ -432,21 +694,28 @@ fn print_batch_outcome(
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    const USAGE: &str =
+        "usage: perfxplain <simulate|ingest|snapshot|inspect|queries|explain|batch> [options]";
     let Some((command, rest)) = raw.split_first() else {
-        eprintln!("usage: perfxplain <simulate|ingest|inspect|queries|explain|batch> [options]");
+        eprintln!("{USAGE}");
         eprintln!("       see the module documentation at the top of src/bin/perfxplain.rs");
         exit(2);
     };
-    let args = Args::parse(rest);
     match command.as_str() {
-        "simulate" => cmd_simulate(&args),
-        "ingest" => cmd_ingest(&args),
-        "inspect" => cmd_inspect(&args),
-        "queries" => cmd_queries(&args),
-        "explain" => cmd_explain(&args),
-        "batch" => cmd_batch(&args),
+        "simulate" => cmd_simulate(&Args::parse(rest)),
+        "ingest" => cmd_ingest(&Args::parse(rest)),
+        "snapshot" => {
+            let Some((action, rest)) = rest.split_first() else {
+                fail("usage: perfxplain snapshot <save|open> [options]");
+            };
+            cmd_snapshot(action, &Args::parse(rest));
+        }
+        "inspect" => cmd_inspect(&Args::parse(rest)),
+        "queries" => cmd_queries(&Args::parse(rest)),
+        "explain" => cmd_explain(&Args::parse(rest)),
+        "batch" => cmd_batch(&Args::parse(rest)),
         "--help" | "-h" | "help" => {
-            println!("usage: perfxplain <simulate|ingest|inspect|queries|explain|batch> [options]");
+            println!("{USAGE}");
         }
         other => fail(&format!("unknown command '{other}'")),
     }

@@ -53,24 +53,36 @@
 //!
 //! # Scaling to large logs
 //!
-//! Million-record logs load and encode as **shards**, end to end:
+//! Million-record logs load and encode as **shards**, end to end, and the
+//! encoded form **persists**: how much a start costs depends on which of
+//! three tiers it begins from.
 //!
-//! * `hadoop_logs::collect_bundles_sharded(&bundles, shards)` parses job
-//!   log bundles on concurrent threads and merges the per-shard logs
-//!   ([`ExecutionLog::from_shards`] /
+//! * **Cold JSON/bundle ingest** — the expensive tier, paid once per
+//!   source change.  `hadoop_logs::collect_bundles_sharded(&bundles,
+//!   shards)` parses job log bundles on concurrent threads and merges the
+//!   per-shard logs ([`ExecutionLog::from_shards`] /
 //!   [`ExecutionLog::extend_parallel`](perfxplain_core::ExecutionLog::extend_parallel))
-//!   into a log identical to a serial ingest — the CLI exposes this as
-//!   `perfxplain ingest --bundles <dir> [--shards N]`.
-//! * The columnar view encodes per shard with local dictionaries and merges
-//!   by dictionary remapping
+//!   into a log identical to a serial ingest; the columnar view encodes
+//!   per shard with local dictionaries and merges by dictionary remapping
 //!   ([`ColumnarLog::build_sharded`](perfxplain_core::ColumnarLog::build_sharded)),
-//!   bit-identical to the single-shot build; the [`XplainService`] switches
-//!   to the sharded encode automatically above
+//!   bit-identical to the single-shot build, auto-enabled by the
+//!   [`XplainService`] above
 //!   [`SHARDED_BUILD_THRESHOLD`](perfxplain_core::SHARDED_BUILD_THRESHOLD)
 //!   rows.
-//! * Pair enumeration fans out over threads by default on large views (the
-//!   `parallel` / `serial` crate features force it on / off), with
-//!   bit-identical results either way.
+//! * **Snapshot open** — the normal cold start.  [`snapshot::persist`]
+//!   (or [`XplainService::persist`]) writes each shard's records *and its
+//!   encoded column segments* as fingerprinted binary segment files;
+//!   [`XplainService::open_snapshot`] rehydrates a **warm** service from
+//!   them — fingerprints verified, views assembled by the same
+//!   dictionary-remapping merge, no JSON, no re-encoding — so the first
+//!   query hits a cached view.  Re-ingest is **incremental**
+//!   ([`snapshot::sync`], CLI `perfxplain ingest --bundles <dir>
+//!   --snapshot <dir>`): shards whose source fingerprint still matches the
+//!   manifest are neither re-parsed nor re-encoded.
+//! * **Warm service cache** — every later query `Arc`-shares the cached
+//!   view per (log generation, kind); pair enumeration fans out over
+//!   threads by default on large views (the `parallel` / `serial` crate
+//!   features force it on / off), with bit-identical results either way.
 
 pub use perfxplain_core::{
     assess, compute_pair_features, evaluate_on_log, generality, generate_explanation, narrate,
@@ -78,11 +90,13 @@ pub use perfxplain_core::{
     CoreError, EvaluationResult, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig,
     Explanation, ExplanationQuality, FeatureCatalog, FeatureDef, FeatureKind, FeatureLevel,
     MetricEstimate, PairCatalog, PairExample, PairFeatureGroup, PairLabel, PerfXplain, QueryInput,
-    QueryOutcome, QueryRequest, RuleOfThumb, SimButDiff, Technique, TrainingSet, XplainService,
-    DEFAULT_SIM_THRESHOLD, DURATION_FEATURE,
+    QueryOutcome, QueryRequest, RecordShard, RuleOfThumb, ShardEntry, ShardInput, SimButDiff,
+    Snapshot, SnapshotManifest, SnapshotShard, SyncReport, Technique, TrainingSet, XplainService,
+    DEFAULT_SIM_THRESHOLD, DURATION_FEATURE, SNAPSHOT_VERSION,
 };
 
 pub use perfxplain_core::shard;
+pub use perfxplain_core::snapshot;
 
 pub use hadoop_logs;
 pub use mlcore;

@@ -576,3 +576,145 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot-store equivalence properties
+// ---------------------------------------------------------------------------
+
+/// [`random_log`] plus task records, so both execution kinds exercise the
+/// snapshot round trip.
+fn random_mixed_log(seed: u64) -> ExecutionLog {
+    let mut log = random_log(seed);
+    let jobs: Vec<String> = log.jobs().map(|j| j.id.clone()).collect();
+    for (i, job_id) in jobs.iter().enumerate() {
+        if i % 3 == 0 {
+            log.push(
+                ExecutionRecord::task(format!("task_{i}"), job_id.clone())
+                    .with_feature("tasktype", if i % 2 == 0 { "MAP" } else { "REDUCE" })
+                    .with_feature("duration", 5.0 + i as f64),
+            );
+        }
+    }
+    log.rebuild_catalogs();
+    log
+}
+
+/// A per-case scratch directory under the system temp dir.
+fn snapshot_dir(tag: &str, a: u64, b: usize) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("pxsnap_prop_{}_{tag}_{a}_{b}", std::process::id()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// `ColumnarLog::build_from_snapshot(persist(log))` is bit-identical to
+    /// `ColumnarLog::build_sharded(log, ..)` for arbitrary logs and shard
+    /// counts, for both execution kinds, and the reopened log equals the
+    /// original.
+    #[test]
+    fn snapshot_views_are_bit_identical_to_the_sharded_build(
+        seed in 0u64..150,
+        shards in 1usize..12,
+    ) {
+        use perfxplain::snapshot;
+        use perfxplain::ExecutionKind;
+        use perfxplain_core::columnar::ColumnarLog;
+
+        let log = random_mixed_log(seed);
+        let dir = snapshot_dir("views", seed, shards);
+        snapshot::persist(&log, &dir, shards).unwrap();
+        let snap = snapshot::open(&dir).unwrap();
+
+        prop_assert_eq!(&snap.to_log(), &log);
+        for kind in [ExecutionKind::Job, ExecutionKind::Task] {
+            let from_snapshot = ColumnarLog::build_from_snapshot(&snap, kind);
+            prop_assert_eq!(&from_snapshot, &ColumnarLog::build_sharded(&log, kind, shards));
+            prop_assert_eq!(&from_snapshot, &ColumnarLog::build(&log, kind));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Incremental re-ingest with one dirty shard re-encodes exactly one
+    /// segment; every other shard is served from disk, with its manifest
+    /// entry — content fingerprint included — carried forward bit-for-bit.
+    /// The synced snapshot equals a from-scratch serial ingest of the
+    /// mutated records.
+    #[test]
+    fn incremental_sync_reencodes_exactly_the_dirty_shard(
+        seed in 0u64..100,
+        shard_count in 2usize..6,
+        dirty_pick in 0usize..64,
+    ) {
+        use perfxplain::snapshot::{self, RecordShard, ShardInput};
+        use perfxplain::ExecutionKind;
+        use perfxplain_core::columnar::ColumnarLog;
+
+        let log = random_mixed_log(seed);
+        let records = log.records().to_vec();
+        let chunk_size = records.len().div_ceil(shard_count).max(1);
+        let chunks: Vec<Vec<ExecutionRecord>> =
+            records.chunks(chunk_size).map(<[_]>::to_vec).collect();
+        let dirty = dirty_pick % chunks.len();
+
+        let dir = snapshot_dir("sync", seed, shard_count * 100 + dirty);
+        let shards: Vec<RecordShard> = chunks
+            .iter()
+            .enumerate()
+            .map(|(i, records)| RecordShard {
+                records: records.clone(),
+                source_fingerprint: Some(10_000 + i as u64),
+            })
+            .collect();
+        snapshot::persist_shards(&dir, shards).unwrap();
+        let before = perfxplain::SnapshotManifest::load(&dir).unwrap();
+
+        // Mutate one numeric feature in the dirty shard: the catalogs stay
+        // stable, so nothing else may re-encode.
+        let mut mutated = chunks.clone();
+        mutated[dirty][0].set_feature("duration", 123_456.0);
+        let inputs: Vec<ShardInput> = mutated
+            .iter()
+            .enumerate()
+            .map(|(i, records)| {
+                if i == dirty {
+                    ShardInput::Fresh(RecordShard {
+                        records: records.clone(),
+                        source_fingerprint: Some(777),
+                    })
+                } else {
+                    ShardInput::Unchanged { source_fingerprint: 10_000 + i as u64 }
+                }
+            })
+            .collect();
+        let report = snapshot::sync(&dir, inputs).unwrap();
+        prop_assert_eq!(report.shards_encoded, 1);
+        prop_assert_eq!(report.shards_reused, chunks.len() - 1);
+        prop_assert!(!report.catalog_changed);
+        for (i, (old_entry, new_entry)) in
+            before.shards.iter().zip(&report.manifest.shards).enumerate()
+        {
+            if i != dirty {
+                prop_assert_eq!(old_entry, new_entry, "clean shard {} was touched", i);
+            } else {
+                prop_assert_eq!(new_entry.source_fingerprint, Some(777));
+            }
+        }
+
+        // Equivalence with a from-scratch serial ingest of the mutated
+        // records.
+        let mut expected = ExecutionLog::new();
+        for record in mutated.iter().flatten() {
+            expected.push(record.clone());
+        }
+        expected.rebuild_catalogs();
+        let snap = snapshot::open(&dir).unwrap();
+        prop_assert_eq!(&snap.to_log(), &expected);
+        for kind in [ExecutionKind::Job, ExecutionKind::Task] {
+            prop_assert_eq!(
+                ColumnarLog::build_from_snapshot(&snap, kind),
+                ColumnarLog::build(&expected, kind)
+            );
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
