@@ -4,11 +4,13 @@
 //! map-based pair classification at log sizes n ∈ {100, 1k, 10k}, the
 //! `service_reuse` scenario (k queries against one cached [`XplainService`]
 //! view vs k cold `explain` calls), the sharded ingest+encode scenarios at
-//! n ∈ {100k, 1M} (sharded vs single-shot wall time, shards ∈ {1, 2, 4, 8})
-//! and the blocked-enumeration scenario at n = 100k, and writes
-//! `BENCH_pairs.json` (pairs/sec, candidate-memory footprint, speedups,
-//! the parallel-enumeration threshold) so future PRs can track the trend.
-//! Run with `cargo bench --bench pairs_pipeline`.
+//! n ∈ {100k, 1M} (sharded vs single-shot wall time, shards ∈ {1, 2, 4, 8}),
+//! the blocked-enumeration scenario at n = 100k and the `explain_latency`
+//! scenario (per-query phase breakdown plus the retained naive trainer vs
+//! the sweep trainer on the identical training dataset, n ∈ {20k, 100k}),
+//! and writes `BENCH_pairs.json` (pairs/sec, candidate-memory footprint,
+//! speedups, the parallel-enumeration threshold) so future PRs can track
+//! the trend.  Run with `cargo bench --bench pairs_pipeline`.
 
 use perfxplain_core::columnar::{ColumnarLog, CompiledQuery};
 use perfxplain_core::training::{collect_related_pairs_in, PARALLEL_ENUMERATION_THRESHOLD};
@@ -120,6 +122,42 @@ struct ColdStartPoint {
     speedup: f64,
 }
 
+/// The `explain_latency` scenario: phase breakdown of one warm blocked
+/// query on a trainer-heavy log (numeric group-level metrics give the
+/// split-search dataset high-cardinality continuous base features), plus
+/// the old-vs-new trainer comparison on the exact same training dataset —
+/// the naive evaluator rescans all rows per candidate (O(d·n) per
+/// attribute), the sweep sorts once (O(n log n)).
+#[derive(Debug, Serialize)]
+struct ExplainLatencyPoint {
+    /// Number of log records.
+    n: usize,
+    /// Raw features per record.
+    features: usize,
+    /// Rows of the split-search dataset (the balanced training sample).
+    training_rows: usize,
+    /// Attributes of the split-search dataset (derived pair features).
+    training_attrs: usize,
+    /// Enumerate + classify + sample the related pairs, ms.
+    enumerate_ms: f64,
+    /// Encode the sampled pairs into the split-search dataset, ms.
+    featurize_ms: f64,
+    /// Columnar Relief over the training dataset, ms.
+    relief_ms: f64,
+    /// Sweep-trained reference decision tree over the training dataset, ms.
+    tree_ms: f64,
+    /// The retained naive Relief on the same dataset, ms.
+    naive_relief_ms: f64,
+    /// The retained naive-split tree fit on the same dataset, ms.
+    naive_tree_ms: f64,
+    /// (naive relief + naive tree) ÷ (columnar relief + sweep tree): the
+    /// old-vs-new trainer ratio.
+    trainer_speedup: f64,
+    /// One full warm `explain` (verify + train + greedy clause growth)
+    /// against the cached view, ms.
+    explain_ms: f64,
+}
+
 /// The blocked-enumeration scenario: a despite clause with
 /// `pigscript_isSame = T` restricts candidates to within-script groups, so
 /// a 100k-record log enumerates ~n·(group-1) pairs instead of n².
@@ -153,6 +191,7 @@ struct PairsBenchReport {
     sharded_encode: Vec<ShardedEncodePoint>,
     cold_start: Vec<ColdStartPoint>,
     blocked_enumeration: BlockedEnumerationPoint,
+    explain_latency: Vec<ExplainLatencyPoint>,
 }
 
 /// A synthetic log shaped like the paper's workload: two duration regimes
@@ -439,6 +478,96 @@ fn measure_cold_start(n: usize) -> ColdStartPoint {
     }
 }
 
+/// Measures the `explain_latency` scenario at one log size: phase breakdown
+/// of one warm blocked query, plus old-vs-new trainer wall time on the
+/// identical training dataset — with the outputs cross-checked (Relief
+/// weights bit-identical, tree shapes equal), so the speedup recorded here
+/// is between two implementations proven to agree.
+fn measure_explain_latency(n: usize) -> ExplainLatencyPoint {
+    use mlcore::{relief_weights, DecisionTree, ReliefConfig, TreeConfig};
+    use perfxplain_core::bridge::DatasetBridge;
+    use perfxplain_core::pairs::PairCatalog;
+    use perfxplain_core::training::prepare_encoded_training_in;
+    use std::sync::Arc;
+
+    let group_size = 10;
+    // Three numeric group-level metrics: within-group pairs agree on them,
+    // so the training dataset carries continuous base features with one
+    // distinct value per sampled group — the candidate-heavy regime.
+    let log = perfxplain_bench::blocked_log_with_group_metrics(n, group_size, 1, 3);
+    let features = log.job_catalog().len();
+    let config = ExplainConfig::default();
+    let bound = service_queries(1, group_size).remove(0);
+    let view = Arc::new(ColumnarLog::build_auto(&log, ExecutionKind::Job));
+
+    // One full warm explain: what a cached service pays per query.
+    let engine = PerfXplain::new(config.clone());
+    let started = Instant::now();
+    engine
+        .explain_in(&log, view.clone(), &bound)
+        .expect("warm explain succeeds");
+    let explain_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    // Phase breakdown on the same view.
+    let started = Instant::now();
+    let encoded =
+        prepare_encoded_training_in(&log, view, &bound, &config).expect("training prepares");
+    let enumerate_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let catalog = PairCatalog::from_raw(log.job_catalog())
+        .restrict_to_groups(config.feature_level.allowed_groups());
+    let excluded = perfxplain_core::query::excluded_raw_features(&bound, &config);
+    let poi = encoded.poi_rows(&bound).expect("poi rows exist");
+    let started = Instant::now();
+    let bridge =
+        DatasetBridge::encode_from_view(&encoded, poi, &catalog, &excluded, config.sim_threshold);
+    let featurize_ms = started.elapsed().as_secs_f64() * 1e3;
+    let dataset = bridge.dataset();
+
+    let relief_config = ReliefConfig {
+        iterations: config.relief_iterations,
+        seed: config.seed,
+    };
+    let started = Instant::now();
+    let weights = relief_weights(dataset, relief_config);
+    let relief_ms = started.elapsed().as_secs_f64() * 1e3;
+    let started = Instant::now();
+    let tree = DecisionTree::fit(dataset, TreeConfig::default());
+    let tree_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    let started = Instant::now();
+    let naive_weights = mlcore::oracle::relief_weights(dataset, relief_config);
+    let naive_relief_ms = started.elapsed().as_secs_f64() * 1e3;
+    let started = Instant::now();
+    let naive_tree = mlcore::oracle::fit(dataset, TreeConfig::default());
+    let naive_tree_ms = started.elapsed().as_secs_f64() * 1e3;
+
+    assert_eq!(
+        weights, naive_weights,
+        "columnar Relief diverged from the oracle"
+    );
+    assert_eq!(
+        tree.root(),
+        naive_tree.root(),
+        "sweep-trained tree diverged from the oracle"
+    );
+
+    ExplainLatencyPoint {
+        n,
+        features,
+        training_rows: dataset.len(),
+        training_attrs: dataset.num_attributes(),
+        enumerate_ms,
+        featurize_ms,
+        relief_ms,
+        tree_ms,
+        naive_relief_ms,
+        naive_tree_ms,
+        trainer_speedup: (naive_relief_ms + naive_tree_ms) / (relief_ms + tree_ms).max(1e-9),
+        explain_ms,
+    }
+}
+
 /// The blocked-enumeration scenario at n = 100k: candidates restricted to
 /// within-pigscript groups by the despite clause.
 fn measure_blocked_enumeration(n: usize, group_size: usize) -> BlockedEnumerationPoint {
@@ -515,6 +644,28 @@ fn main() {
         cold_start.push(point);
     }
 
+    let mut explain_latency = Vec::new();
+    for n in [20_000usize, 100_000] {
+        let point = measure_explain_latency(n);
+        println!(
+            "explain_latency n = {:>7} ({} rows × {} attrs): enumerate {:.1} ms, featurize \
+             {:.1} ms, relief {:.1} ms (naive {:.1} ms), tree {:.1} ms (naive {:.1} ms) — \
+             trainer {:.1}x, warm explain {:.1} ms",
+            point.n,
+            point.training_rows,
+            point.training_attrs,
+            point.enumerate_ms,
+            point.featurize_ms,
+            point.relief_ms,
+            point.naive_relief_ms,
+            point.tree_ms,
+            point.naive_tree_ms,
+            point.trainer_speedup,
+            point.explain_ms,
+        );
+        explain_latency.push(point);
+    }
+
     let blocked_enumeration = measure_blocked_enumeration(100_000, 10);
     println!(
         "blocked enumeration: n = {}, groups of {}: {} candidates (vs {} unblocked) in \
@@ -543,7 +694,14 @@ fn main() {
                       rebuild + full re-encode) against opening a segmented binary \
                       snapshot (read + fingerprint-verify + decode stored columns, no \
                       re-encode).  blocked_enumeration classifies a despite-blocked query \
-                      over 100k records.  Pair enumeration fans out over threads by \
+                      over 100k records.  explain_latency breaks one warm blocked query \
+                      into phases (enumerate+sample / featurize / relief / tree) on a \
+                      trainer-heavy log (numeric group-level metrics give the training \
+                      dataset high-cardinality continuous base features) and times the \
+                      retained naive trainer (O(d·n) candidate rescans, row-at-a-time \
+                      Relief) against the sweep trainer (single-sort O(n log n) splits, \
+                      columnar Relief) on the identical dataset, outputs cross-checked \
+                      equal.  Pair enumeration fans out over threads by \
                       default above parallel_enumeration_threshold records."
             .to_string(),
         hardware_threads: std::thread::available_parallelism()
@@ -555,6 +713,7 @@ fn main() {
         sharded_encode,
         cold_start,
         blocked_enumeration,
+        explain_latency,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     // Write to the workspace root (identified by ROADMAP.md) whether run

@@ -16,9 +16,27 @@ use perfxplain_core::{ExecutionLog, ExecutionRecord};
 /// (expected pairs), so the canonical despite-blocked query is answerable
 /// for every group.
 pub fn blocked_log(n: usize, group_size: usize, extra_features: usize) -> ExecutionLog {
+    blocked_log_with_group_metrics(n, group_size, extra_features, 0)
+}
+
+/// [`blocked_log`] plus `group_metrics` **numeric group-level** features:
+/// continuous values constant within a blocking group and distinct across
+/// groups.  Within-group training pairs agree on them, so the split-search
+/// dataset gains high-cardinality numeric *base* features — one distinct
+/// value per sampled group — which is exactly the regime where candidate
+/// threshold search dominates per-query explanation latency (O(d·n) for the
+/// naive evaluator, O(n log n) for the sweep).  The `explain_latency` bench
+/// scenario and the `explain_smoke` CI binary both drive this shape.
+pub fn blocked_log_with_group_metrics(
+    n: usize,
+    group_size: usize,
+    extra_features: usize,
+    group_metrics: usize,
+) -> ExecutionLog {
     let mut log = ExecutionLog::new();
     for i in 0..n {
         let position = i % group_size;
+        let group = i / group_size;
         let big_blocks = position.is_multiple_of(2);
         let input = (1 + position) as f64 * 1.0e9;
         let duration = if big_blocks {
@@ -27,12 +45,18 @@ pub fn blocked_log(n: usize, group_size: usize, extra_features: usize) -> Execut
             input / 5.0e7 + (i % 5) as f64
         };
         let mut record = ExecutionRecord::job(format!("job_{i}"))
-            .with_feature("pigscript", format!("script_{}.pig", i / group_size))
+            .with_feature("pigscript", format!("script_{group}.pig"))
             .with_feature("inputsize", input)
             .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
             .with_feature("duration", duration);
         for w in 0..extra_features {
             record.set_feature(format!("metric_{w:02}"), ((i * 31 + w * 7) % 997) as f64);
+        }
+        for g in 0..group_metrics {
+            record.set_feature(
+                format!("groupmetric_{g:02}"),
+                (group * 31 + g * 7) as f64 * 0.37,
+            );
         }
         log.push(record);
     }
@@ -62,5 +86,18 @@ mod tests {
         let next_group = log.get("job_5").unwrap();
         assert_eq!(first.feature("pigscript"), grouped.feature("pigscript"));
         assert_ne!(first.feature("pigscript"), next_group.feature("pigscript"));
+    }
+
+    #[test]
+    fn group_metrics_are_constant_within_and_distinct_across_groups() {
+        let log = blocked_log_with_group_metrics(20, 5, 0, 2);
+        assert_eq!(log.job_catalog().len(), 6);
+        let first = log.get("job_0").unwrap();
+        let grouped = log.get("job_4").unwrap();
+        let next_group = log.get("job_5").unwrap();
+        for g in ["groupmetric_00", "groupmetric_01"] {
+            assert_eq!(first.feature(g), grouped.feature(g));
+            assert_ne!(first.feature(g), next_group.feature(g));
+        }
     }
 }

@@ -56,9 +56,15 @@ impl RuleOfThumb {
             return Vec::new();
         }
 
-        // Median duration defines the binary label.
-        let mut durations: Vec<f64> = records.iter().filter_map(|r| r.duration()).collect();
-        durations.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        // Median duration defines the binary label.  NaN durations are
+        // treated as missing (they would otherwise poison the sort and the
+        // median), matching the trainers' NaN-as-missing rule.
+        let mut durations: Vec<f64> = records
+            .iter()
+            .filter_map(|r| r.duration())
+            .filter(|d| !d.is_nan())
+            .collect();
+        durations.sort_by(|a, b| a.partial_cmp(b).expect("NaN durations were filtered"));
         if durations.is_empty() {
             return Vec::new();
         }

@@ -25,7 +25,9 @@ use crate::query::BoundQuery;
 use crate::record::ExecutionLog;
 use crate::service::XplainService;
 use crate::training::{prepare_encoded_training_in, EncodedTraining, TrainingSet};
-use mlcore::{best_split_for_attribute_filtered, percentile_ranks, SplitCandidate};
+use mlcore::{
+    best_split_for_attribute_filtered, percentile_ranks, SplitCandidate, PARALLEL_SPLIT_MIN_CELLS,
+};
 use pxql::{Atom, Predicate};
 use std::sync::Arc;
 
@@ -62,17 +64,12 @@ impl PerfXplain {
     fn encode_bridge(&self, training: &EncodedTraining<'_>, query: &BoundQuery) -> DatasetBridge {
         let catalog = self.pair_catalog(training.log(), query);
         let excluded = crate::query::excluded_raw_features(query, &self.config);
-        let left = training
-            .view
-            .row_of(&query.left_id)
-            .expect("pair-of-interest row exists after verify_preconditions");
-        let right = training
-            .view
-            .row_of(&query.right_id)
-            .expect("pair-of-interest row exists after verify_preconditions");
+        let poi = training
+            .poi_rows(query)
+            .expect("pair-of-interest rows exist after verify_preconditions");
         DatasetBridge::encode_from_view(
             training,
-            (left, right),
+            poi,
             &catalog,
             &excluded,
             self.config.sim_threshold,
@@ -281,25 +278,33 @@ impl PerfXplain {
                 break;
             }
             // Line 5 of Algorithm 1: the best (applicable) predicate for
-            // every feature.
-            let mut candidates: Vec<(usize, SplitCandidate)> = Vec::new();
-            for attr in 0..bridge.num_attributes() {
+            // every feature.  Each attribute's search is an independent
+            // single-sort sweep with the applicability filter threaded
+            // through it, so on large nodes the per-attribute searches fan
+            // out over scoped threads; results are collected in attribute
+            // order either way, keeping the scored candidate list (and
+            // therefore the percentile normalisation below) bit-identical
+            // to the serial loop.
+            let attrs: Vec<usize> = (0..bridge.num_attributes())
+                .filter(|&attr| {
+                    !bridge.poi_value(attr).is_missing()
+                        && !atoms.iter().any(|a| a.feature == bridge.attr_name(attr))
+                })
+                .collect();
+            let search = |attr: usize| {
                 let poi_value = bridge.poi_value(attr);
-                if poi_value.is_missing() {
-                    continue;
-                }
-                let already_used = atoms.iter().any(|a| a.feature == bridge.attr_name(attr));
-                if already_used {
-                    continue;
-                }
-                if let Some(candidate) =
-                    best_split_for_attribute_filtered(dataset, &current, attr, |atom| {
-                        atom.matches_value(poi_value)
-                    })
-                {
-                    candidates.push((attr, candidate));
-                }
-            }
+                best_split_for_attribute_filtered(dataset, &current, attr, |atom| {
+                    atom.matches_value(poi_value)
+                })
+                .map(|candidate| (attr, candidate))
+            };
+            let per_attr: Vec<Option<(usize, SplitCandidate)>> = crate::shard::map_chunks_gated(
+                &attrs,
+                current.len().saturating_mul(attrs.len()),
+                PARALLEL_SPLIT_MIN_CELLS,
+                |chunk| chunk.iter().map(|&attr| search(attr)).collect(),
+            );
+            let candidates: Vec<(usize, SplitCandidate)> = per_attr.into_iter().flatten().collect();
             if candidates.is_empty() {
                 break;
             }

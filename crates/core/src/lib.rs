@@ -134,7 +134,22 @@
 //!    derives the pair features of the sampled training pairs straight from
 //!    the columns into the split-search [`mlcore::Dataset`];
 //!    [`PairExample`] maps exist only at the API/narration boundary.
-//! 6. **Persist the encoded form.** The [`snapshot`] store writes each
+//! 6. **Train in O(n log n).**  The per-feature predicate search of
+//!    Algorithm 1 ([`mlcore::best_split_for_attribute_filtered`]) is a
+//!    single-sort sweep: values sorted once per (node, attribute), every
+//!    candidate threshold/equality scored in O(1) from running prefix
+//!    counts — the naive evaluator rescanned all rows per candidate,
+//!    O(d·n), quadratic on continuous features.  The applicability filter
+//!    (the pair of interest must satisfy every emitted predicate) is
+//!    threaded through the sweep itself, the per-attribute searches of the
+//!    greedy clause loop ([`PerfXplain`]) and of [`mlcore::best_split`] fan
+//!    out over `shard::map_chunks` threads on large nodes, and Relief
+//!    ([`mlcore::relief_weights`], behind the RuleOfThumb baseline) scans
+//!    attribute-major over typed contiguous columns with its sampled
+//!    instances fanned out the same way.  The pre-sweep trainer is retained
+//!    as `mlcore::oracle` (tests/benches only) and the winners are
+//!    proptest-proven bit-identical to it.
+//! 7. **Persist the encoded form.** The [`snapshot`] store writes each
 //!    shard — records plus its encoded column segments (local
 //!    dictionaries) — as a length-prefixed binary segment file
 //!    ([`mlcore::ColumnStore::encode_binary`]) under a manifest of FxHash
@@ -175,14 +190,18 @@
 //! throughput and candidate memory at n ∈ {100, 1k, 10k}, cached-view reuse
 //! at n = 20k, sharded ingest+encode wall time at n ∈ {100k, 1M} for
 //! shards ∈ {1, 2, 4, 8}, the cold-start comparison (JSON re-parse vs
-//! snapshot open) at n ∈ {100k, 1M}, and a despite-blocked enumeration
-//! over 100k records, all in `BENCH_pairs.json` (alongside the machine's
-//! hardware thread count — sharded speedups are real parallelism, so they
-//! track the core count and degenerate to ~1x on a single core).  CI
-//! additionally runs two release-mode smokes under wall-clock ceilings:
-//! the sharded 100k ingest+query round trip, and the snapshot
-//! persist → reopen → query round trip checked outcome-equal to the
-//! in-memory path.
+//! snapshot open) at n ∈ {100k, 1M}, a despite-blocked enumeration over
+//! 100k records, and the `explain_latency` phase breakdown (enumerate /
+//! featurize / relief / tree at n ∈ {20k, 100k}, with the retained naive
+//! trainer timed against the sweep trainer on the identical dataset and
+//! cross-checked equal), all in `BENCH_pairs.json` (alongside the
+//! machine's hardware thread count — sharded speedups are real
+//! parallelism, so they track the core count and degenerate to ~1x on a
+//! single core).  CI additionally runs three release-mode smokes under
+//! wall-clock ceilings: the sharded 100k ingest+query round trip, the
+//! snapshot persist → reopen → query round trip checked outcome-equal to
+//! the in-memory path, and the blocked 100k explain (cold + warm) on a
+//! trainer-heavy log.
 
 pub mod baselines;
 pub mod bridge;
@@ -200,9 +219,13 @@ pub mod pairs;
 pub mod query;
 pub mod record;
 pub mod service;
-pub mod shard;
 pub mod snapshot;
 pub mod training;
+
+// The scoped-thread fan-out primitive now lives in `mlcore` (so the split
+// search and Relief can fan out too); re-export it under its historical
+// path — `perfxplain_core::shard::map_chunks` keeps working unchanged.
+pub use mlcore::shard;
 
 pub use baselines::{RuleOfThumb, SimButDiff};
 pub use columnar::{ColumnarLog, CompiledPredicate, CompiledQuery, SHARDED_BUILD_THRESHOLD};

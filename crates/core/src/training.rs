@@ -492,6 +492,17 @@ impl<'a> EncodedTraining<'a> {
         self.log
     }
 
+    /// Rows of the query's pair of interest in the encoded view, or `None`
+    /// when either execution id is absent from the view.  Always `Some` for
+    /// a query that passed `verify_preconditions` against the same log
+    /// generation.
+    pub fn poi_rows(&self, query: &BoundQuery) -> Option<(usize, usize)> {
+        Some((
+            self.view.row_of(&query.left_id)?,
+            self.view.row_of(&query.right_id)?,
+        ))
+    }
+
     /// Materialises the sampled pairs as [`PairExample`]s (the API /
     /// narration boundary representation).
     pub fn materialise(&self, sim_threshold: f64) -> TrainingSet {

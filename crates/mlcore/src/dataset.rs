@@ -292,11 +292,16 @@ impl Dataset {
     }
 
     /// Per-attribute observed numeric range `(min, max)`, ignoring missing
-    /// values. Returns `None` when no numeric value was observed.
+    /// values and NaN (which the trainers treat as missing — a single NaN
+    /// cell must not poison the range every Relief `diff` normalises by).
+    /// Returns `None` when no numeric value was observed.
     pub fn numeric_range(&self, attr: usize) -> Option<(f64, f64)> {
         let mut range: Option<(f64, f64)> = None;
         for row in &self.rows {
             if let AttrValue::Num(v) = row[attr] {
+                if v.is_nan() {
+                    continue;
+                }
                 range = Some(match range {
                     None => (v, v),
                     Some((lo, hi)) => (lo.min(v), hi.max(v)),
@@ -305,6 +310,70 @@ impl Dataset {
         }
         range
     }
+
+    /// Materialises attribute `attr` as a contiguous, typed column — the
+    /// attribute-major form the columnar Relief scans without per-cell enum
+    /// dispatch.  Rows are stored row-major, so this is one O(n) gather per
+    /// attribute, paid once per training run.
+    pub fn column_cells(&self, attr: usize) -> ColumnCells {
+        let mut has_num = false;
+        let mut has_nom = false;
+        for row in &self.rows {
+            match row[attr] {
+                // NaN is treated as missing throughout the trainers.
+                AttrValue::Num(v) => has_num |= !v.is_nan(),
+                // An interned id colliding with the missing sentinel would
+                // corrupt the nominal encoding; fall back to raw cells.
+                AttrValue::Nom(id) => {
+                    if id == NO_NOMINAL {
+                        return ColumnCells::Mixed(self.rows.iter().map(|r| r[attr]).collect());
+                    }
+                    has_nom = true;
+                }
+                AttrValue::Missing => {}
+            }
+        }
+        match (has_num, has_nom) {
+            (true, true) => ColumnCells::Mixed(self.rows.iter().map(|r| r[attr]).collect()),
+            (false, true) => ColumnCells::Nominal(
+                self.rows
+                    .iter()
+                    .map(|r| r[attr].as_nom().unwrap_or(NO_NOMINAL))
+                    .collect(),
+            ),
+            // A column with no nominal cells (numeric, all-missing or
+            // empty) packs densest as f64 with NaN for missing.
+            _ => ColumnCells::Numeric(
+                self.rows
+                    .iter()
+                    .map(|r| r[attr].as_num().unwrap_or(f64::NAN))
+                    .collect(),
+            ),
+        }
+    }
+}
+
+/// Sentinel id marking a missing cell in [`ColumnCells::Nominal`].
+pub const NO_NOMINAL: u32 = u32::MAX;
+
+/// A contiguous, typed snapshot of one attribute's cells
+/// ([`Dataset::column_cells`]).
+///
+/// Homogeneous columns — the overwhelmingly common case — come back as flat
+/// `f64`/`u32` vectors so per-cell consumers (the Relief distance kernels)
+/// can run tight, dispatch-free loops; a column mixing numeric and nominal
+/// cells (schema drift, e.g. a catalog-numeric feature that some record
+/// carries as a string) falls back to the raw cells.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnCells {
+    /// Every non-missing cell is numeric; missing (and NaN, which the
+    /// trainers treat as missing) is encoded as NaN.
+    Numeric(Vec<f64>),
+    /// Every non-missing cell is nominal; missing is encoded as
+    /// [`NO_NOMINAL`].
+    Nominal(Vec<u32>),
+    /// Mixed numeric/nominal cells, kept as-is.
+    Mixed(Vec<AttrValue>),
 }
 
 impl Serialize for Dataset {
@@ -388,6 +457,49 @@ mod tests {
         let ds = toy();
         assert_eq!(ds.numeric_range(0), Some((1.0, 2.0)));
         assert_eq!(ds.numeric_range(1), None);
+    }
+
+    #[test]
+    fn numeric_range_skips_nan() {
+        let mut ds = Dataset::new(vec![Attribute::numeric("x")]);
+        ds.push(vec![AttrValue::Num(f64::NAN)], true);
+        ds.push(vec![AttrValue::Num(3.0)], false);
+        ds.push(vec![AttrValue::Num(7.0)], true);
+        assert_eq!(ds.numeric_range(0), Some((3.0, 7.0)));
+
+        let mut all_nan = Dataset::new(vec![Attribute::numeric("x")]);
+        all_nan.push(vec![AttrValue::Num(f64::NAN)], true);
+        assert_eq!(all_nan.numeric_range(0), None);
+    }
+
+    #[test]
+    fn column_cells_pick_typed_representations() {
+        let ds = toy();
+        // Numeric column: missing encoded as NaN.
+        match ds.column_cells(0) {
+            ColumnCells::Numeric(cells) => {
+                assert_eq!(cells.len(), 3);
+                assert_eq!(cells[0], 1.0);
+                assert!(cells[2].is_nan());
+            }
+            other => panic!("expected a numeric column, got {other:?}"),
+        }
+        // Nominal column: ids verbatim.
+        match ds.column_cells(1) {
+            ColumnCells::Nominal(cells) => assert_eq!(cells, vec![0, 1, 0]),
+            other => panic!("expected a nominal column, got {other:?}"),
+        }
+        // A NaN cell does not force a numeric column to Mixed.
+        let mut with_nan = Dataset::new(vec![Attribute::numeric("x")]);
+        with_nan.push(vec![AttrValue::Num(f64::NAN)], true);
+        with_nan.push(vec![AttrValue::Num(2.0)], false);
+        assert!(matches!(with_nan.column_cells(0), ColumnCells::Numeric(_)));
+        // Mixed numeric/nominal cells fall back to raw cells.
+        let mut mixed = Dataset::new(vec![Attribute::nominal("x")]);
+        let id = mixed.attribute_mut(0).dictionary.intern("a");
+        mixed.push(vec![AttrValue::Nom(id)], true);
+        mixed.push(vec![AttrValue::Num(2.0)], false);
+        assert!(matches!(mixed.column_cells(0), ColumnCells::Mixed(_)));
     }
 
     #[test]

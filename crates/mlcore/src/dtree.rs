@@ -63,8 +63,21 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// Trains a tree on every instance of `data`.
     pub fn fit(data: &Dataset, config: TreeConfig) -> Self {
+        Self::fit_with(data, config, &best_split)
+    }
+
+    /// Trains a tree with an arbitrary per-node split finder.  The public
+    /// [`DecisionTree::fit`] passes the production sweep-backed
+    /// [`best_split`]; the retained naive oracle passes its own, so the two
+    /// trainers share these stopping rules and this partitioning verbatim
+    /// and can only differ in the splits themselves.
+    pub(crate) fn fit_with(
+        data: &Dataset,
+        config: TreeConfig,
+        split: &dyn Fn(&Dataset, &[usize]) -> Option<crate::split::SplitCandidate>,
+    ) -> Self {
         let indices: Vec<usize> = (0..data.len()).collect();
-        let root = Self::build(data, &indices, config, 0);
+        let root = Self::build(data, &indices, config, 0, split);
         DecisionTree { root, config }
     }
 
@@ -81,25 +94,34 @@ impl DecisionTree {
         }
     }
 
-    fn build(data: &Dataset, indices: &[usize], config: TreeConfig, depth: usize) -> TreeNode {
+    fn build(
+        data: &Dataset,
+        indices: &[usize],
+        config: TreeConfig,
+        depth: usize,
+        split: &dyn Fn(&Dataset, &[usize]) -> Option<crate::split::SplitCandidate>,
+    ) -> TreeNode {
         let positive = indices.iter().filter(|&&i| data.label(i)).count();
         let pure = positive == 0 || positive == indices.len();
         if pure || depth >= config.max_depth || indices.len() < config.min_split {
             return Self::leaf(data, indices);
         }
-        let Some(split) = best_split(data, indices) else {
+        let Some(chosen) = split(data, indices) else {
             return Self::leaf(data, indices);
         };
-        if split.gain < config.min_gain || split.inside.total() == 0 || split.outside.total() == 0 {
+        if chosen.gain < config.min_gain
+            || chosen.inside.total() == 0
+            || chosen.outside.total() == 0
+        {
             return Self::leaf(data, indices);
         }
         let (inside, outside): (Vec<usize>, Vec<usize>) = indices
             .iter()
-            .partition(|&&i| split.atom.matches_row(data, i));
+            .partition(|&&i| chosen.atom.matches_row(data, i));
         TreeNode::Split {
-            atom: split.atom,
-            then_branch: Box::new(Self::build(data, &inside, config, depth + 1)),
-            else_branch: Box::new(Self::build(data, &outside, config, depth + 1)),
+            atom: chosen.atom,
+            then_branch: Box::new(Self::build(data, &inside, config, depth + 1, split)),
+            else_branch: Box::new(Self::build(data, &outside, config, depth + 1, split)),
         }
     }
 

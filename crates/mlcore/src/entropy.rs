@@ -48,6 +48,32 @@ impl CellCounts {
     pub fn entropy(&self) -> f64 {
         entropy_of_counts(self.positive, self.negative)
     }
+
+    /// Counts one instance with the given label.
+    pub fn record(&mut self, label: bool) {
+        if label {
+            self.positive += 1;
+        } else {
+            self.negative += 1;
+        }
+    }
+
+    /// Element-wise sum — running prefix counts in the split sweep.
+    pub fn plus(self, other: CellCounts) -> CellCounts {
+        CellCounts {
+            positive: self.positive + other.positive,
+            negative: self.negative + other.negative,
+        }
+    }
+
+    /// Element-wise difference; `other` must be a sub-cell of `self` (the
+    /// sweep only ever subtracts a prefix from its own total).
+    pub fn minus(self, other: CellCounts) -> CellCounts {
+        CellCounts {
+            positive: self.positive - other.positive,
+            negative: self.negative - other.negative,
+        }
+    }
 }
 
 /// Information gain of splitting a set into the two cells `inside` (instances

@@ -11,11 +11,14 @@
 //! This crate provides exactly those primitives, with no external ML
 //! dependencies:
 //!
-//! * [`dataset`] — a small columnar dataset abstraction over mixed
-//!   numeric/nominal attributes with missing values and binary labels.
+//! * [`dataset`] — a small dataset abstraction over mixed numeric/nominal
+//!   attributes with missing values and binary labels, with typed
+//!   contiguous column snapshots ([`Dataset::column_cells`]) for
+//!   attribute-major consumers.
 //! * [`hash`] — a vendored FxHash-style hasher ([`FxHashMap`]) for the hot
-//!   lookup maps (dictionary interning, column/row indexes); deterministic
-//!   and several times cheaper per short-key lookup than std's SipHash.
+//!   lookup maps (dictionary interning, column/row indexes, the nominal
+//!   candidate dedup of the split search); deterministic and several times
+//!   cheaper per short-key lookup than std's SipHash.
 //! * [`codec`] — length-prefixed little-endian binary encoding primitives
 //!   ([`ByteWriter`] / [`ByteReader`]); [`ColumnStore::encode_binary`] and
 //!   [`ColumnStore::decode_binary`] persist encoded column segments in this
@@ -32,8 +35,49 @@
 //!   (Robnik-Šikonja & Kononenko) adapted for mixed attributes and missing
 //!   values, used by the RuleOfThumb baseline.
 //! * [`sample`] — the balanced sampling procedure of Section 4.3.
+//! * [`shard`] — the scoped-thread fan-out primitive ([`shard::map_chunks`])
+//!   shared by every parallel path of the workspace (`perfxplain-core`
+//!   re-exports it as `perfxplain_core::shard`).
 //! * [`stats`] — means, standard deviations and the percentile-rank
 //!   normalisation used by `normalizeScore` in Algorithm 1.
+//! * [`oracle`] (tests only) — the retained naive split finder, tree fit
+//!   and Relief, the equivalence oracles for everything below.
+//!
+//! # Performance
+//!
+//! The trainer is **O(n log n) per (node, attribute)** end to end:
+//!
+//! * **Split search is a single-sort sweep** ([`split`]).  Per attribute the
+//!   present values are sorted once; every `<=`/`>` mid-point threshold and
+//!   every `=` candidate is then scored in O(1) from running prefix
+//!   [`entropy::CellCounts`] (`<=` partitions are prefixes of the sorted
+//!   order, `>` their complements, `=` the tolerance band around one
+//!   value).  The naive evaluator rescanned all n instances for each of the
+//!   ~3·distinct candidates — O(d·n), quadratic on continuous features such
+//!   as runtimes.  The sweep visits candidates in the identical order under
+//!   the identical comparison, so the winning [`SplitCandidate`] is
+//!   bit-identical (proptested against [`oracle`]); the applicability
+//!   filter of PerfXplain's greedy loop is threaded through the sweep, so
+//!   the filtered search is exactly as fast as the unfiltered one.
+//!   Nominal candidates dedup through an [`FxHashMap`] (first-seen order
+//!   preserved) instead of a linear scan, and equality candidates that
+//!   duplicate an adjacent mid-point's partition are suppressed outright.
+//! * **[`best_split`] fans out across attributes** over
+//!   [`shard::map_chunks`] threads on nodes of at least
+//!   [`PARALLEL_SPLIT_MIN_CELLS`] cells, folding the per-attribute winners
+//!   in attribute order — the result is independent of the fan-out.
+//! * **Relief is columnar and parallel** ([`relief`]).  Distance scans run
+//!   attribute-major over typed contiguous columns
+//!   ([`dataset::ColumnCells`]) with the kind and normalisation span
+//!   resolved once per column — no per-cell enum dispatch — and the `m`
+//!   sampled instances fan out over scoped threads above
+//!   [`RELIEF_PARALLEL_MIN_CELLS`] cells, with weight updates applied in
+//!   sample order so the weights are bit-identical to the row-at-a-time
+//!   scan (also proptested against [`oracle`]).
+//! * **NaN is missing.**  A NaN feature cell used to panic the split
+//!   search's sort (and with it the whole query service); NaN now behaves
+//!   exactly like [`AttrValue::Missing`] in candidate generation, the
+//!   sweep, [`Dataset::numeric_range`] and the Relief `diff`.
 
 pub mod codec;
 pub mod columnar;
@@ -41,21 +85,26 @@ pub mod dataset;
 pub mod dtree;
 pub mod entropy;
 pub mod hash;
+#[cfg(any(test, feature = "oracle"))]
+pub mod oracle;
 pub mod relief;
 pub mod sample;
+pub mod shard;
 pub mod split;
 pub mod stats;
 
 pub use codec::{ByteReader, ByteWriter, CodecError, CodecResult};
 pub use columnar::{ColumnStore, MergedStore};
-pub use dataset::{AttrKind, AttrValue, Attribute, Dataset, NominalDictionary};
+pub use dataset::{
+    AttrKind, AttrValue, Attribute, ColumnCells, Dataset, NominalDictionary, NO_NOMINAL,
+};
 pub use dtree::{DecisionTree, TreeConfig};
 pub use entropy::{binary_entropy, entropy_of_counts, information_gain};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use relief::{relief_weights, ReliefConfig};
+pub use relief::{relief_weights, ReliefConfig, RELIEF_PARALLEL_MIN_CELLS};
 pub use sample::{balanced_sample, BalanceStats};
 pub use split::{
     best_split, best_split_for_attribute, best_split_for_attribute_filtered, SplitCandidate,
-    TestAtom, TestConstant, TestOp,
+    TestAtom, TestConstant, TestOp, PARALLEL_SPLIT_MIN_CELLS,
 };
 pub use stats::{mean, percentile_ranks, stddev};

@@ -9,10 +9,24 @@
 //! find the nearest *hit* (same class) and nearest *miss* (other class) and
 //! update each attribute weight by `diff(a, x, miss)/m - diff(a, x, hit)/m`,
 //! where `diff` is the per-attribute distance contribution.  Missing values
-//! are handled by assigning a neutral difference of `0.5`, a common
-//! simplification of Kononenko's probabilistic treatment.
+//! — including NaN cells, which the trainers treat as missing — are handled
+//! by assigning a neutral difference of `0.5`, a common simplification of
+//! Kononenko's probabilistic treatment.
+//!
+//! # Columnar, parallel scan
+//!
+//! The distance scans run **attribute-major** over contiguous typed column
+//! slices ([`Dataset::column_cells`]): per attribute the kernel is a flat
+//! `f64`/`u32` loop with the attribute kind and normalisation span resolved
+//! once — no per-cell enum dispatch — and the per-instance distances
+//! accumulate in attribute order, so every sum is bit-identical to the
+//! row-at-a-time scan it replaced ([`crate::oracle::relief_weights`], the
+//! retained test oracle).  The `m` sampled instances are independent, so on
+//! multi-core machines they fan out over [`crate::shard::map_chunks`]
+//! threads; weight updates are applied serially in sample order afterwards,
+//! keeping the result independent of the fan-out.
 
-use crate::dataset::{AttrKind, AttrValue, Dataset};
+use crate::dataset::{AttrKind, AttrValue, ColumnCells, Dataset, NO_NOMINAL};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -36,9 +50,24 @@ impl Default for ReliefConfig {
     }
 }
 
-/// Per-attribute difference in `[0, 1]`.
-fn diff(kind: AttrKind, a: AttrValue, b: AttrValue, range: Option<(f64, f64)>) -> f64 {
-    match (a, b) {
+/// Number of (sample × instance × attribute) distance cells below which the
+/// sampled-instance scan stays serial — small Relief runs finish in well
+/// under the cost of a `std::thread::scope` setup.
+pub const RELIEF_PARALLEL_MIN_CELLS: usize = 1 << 16;
+
+/// NaN cells are missing values to the trainers.
+fn normalize(value: AttrValue) -> AttrValue {
+    match value {
+        AttrValue::Num(x) if x.is_nan() => AttrValue::Missing,
+        other => other,
+    }
+}
+
+/// Per-attribute difference in `[0, 1]`.  Shared by the mixed-column
+/// fallback here and by the naive oracle, so the two implementations can
+/// only diverge in structure, never in cell arithmetic.
+pub(crate) fn diff(kind: AttrKind, a: AttrValue, b: AttrValue, range: Option<(f64, f64)>) -> f64 {
+    match (normalize(a), normalize(b)) {
         (AttrValue::Missing, _) | (_, AttrValue::Missing) => 0.5,
         (AttrValue::Num(x), AttrValue::Num(y)) => match kind {
             AttrKind::Numeric => {
@@ -66,12 +95,158 @@ fn diff(kind: AttrKind, a: AttrValue, b: AttrValue, range: Option<(f64, f64)>) -
     }
 }
 
-fn distance(data: &Dataset, ranges: &[Option<(f64, f64)>], i: usize, j: usize) -> f64 {
-    let mut total = 0.0;
-    for (a, attr) in data.attributes().iter().enumerate() {
-        total += diff(attr.kind, data.value(i, a), data.value(j, a), ranges[a]);
+/// Adds attribute `a`'s contribution against instance `i` to every entry of
+/// `dist` — the tight, dispatch-free inner loop of the columnar scan.  The
+/// arithmetic mirrors [`diff`] arm for arm.
+fn accumulate_column(
+    dist: &mut [f64],
+    column: &ColumnCells,
+    kind: AttrKind,
+    span: f64,
+    range: Option<(f64, f64)>,
+    i: usize,
+) {
+    match column {
+        ColumnCells::Numeric(cells) => {
+            let vi = cells[i];
+            if vi.is_nan() {
+                for d in dist.iter_mut() {
+                    *d += 0.5;
+                }
+                return;
+            }
+            match kind {
+                AttrKind::Numeric if span <= f64::EPSILON => {
+                    for (d, &vj) in dist.iter_mut().zip(cells) {
+                        *d += if vj.is_nan() { 0.5 } else { 0.0 };
+                    }
+                }
+                AttrKind::Numeric => {
+                    for (d, &vj) in dist.iter_mut().zip(cells) {
+                        *d += if vj.is_nan() {
+                            0.5
+                        } else {
+                            ((vi - vj).abs() / span).min(1.0)
+                        };
+                    }
+                }
+                AttrKind::Nominal => {
+                    for (d, &vj) in dist.iter_mut().zip(cells) {
+                        *d += if vj.is_nan() {
+                            0.5
+                        } else if (vi - vj).abs() <= f64::EPSILON {
+                            0.0
+                        } else {
+                            1.0
+                        };
+                    }
+                }
+            }
+        }
+        ColumnCells::Nominal(cells) => {
+            let ci = cells[i];
+            if ci == NO_NOMINAL {
+                for d in dist.iter_mut() {
+                    *d += 0.5;
+                }
+                return;
+            }
+            for (d, &cj) in dist.iter_mut().zip(cells) {
+                *d += if cj == NO_NOMINAL {
+                    0.5
+                } else if cj == ci {
+                    0.0
+                } else {
+                    1.0
+                };
+            }
+        }
+        ColumnCells::Mixed(cells) => {
+            let vi = cells[i];
+            for (d, &vj) in dist.iter_mut().zip(cells) {
+                *d += diff(kind, vi, vj, range);
+            }
+        }
     }
-    total
+}
+
+/// The scalar form of [`accumulate_column`], used for the weight updates of
+/// the selected neighbours.
+fn column_diff(
+    column: &ColumnCells,
+    kind: AttrKind,
+    range: Option<(f64, f64)>,
+    i: usize,
+    j: usize,
+) -> f64 {
+    match column {
+        ColumnCells::Numeric(cells) => diff(kind, num_cell(cells[i]), num_cell(cells[j]), range),
+        ColumnCells::Nominal(cells) => diff(kind, nom_cell(cells[i]), nom_cell(cells[j]), range),
+        ColumnCells::Mixed(cells) => diff(kind, cells[i], cells[j], range),
+    }
+}
+
+fn num_cell(v: f64) -> AttrValue {
+    if v.is_nan() {
+        AttrValue::Missing
+    } else {
+        AttrValue::Num(v)
+    }
+}
+
+fn nom_cell(id: u32) -> AttrValue {
+    if id == NO_NOMINAL {
+        AttrValue::Missing
+    } else {
+        AttrValue::Nom(id)
+    }
+}
+
+/// Finds the nearest hit and miss of instance `i` over the typed columns.
+/// `dist` is the caller's scratch buffer, reused across instances.
+/// Distances accumulate attribute-major in schema order, so every per-pair
+/// sum is bit-identical to the row-at-a-time scan; the selection keeps the
+/// first strict minimum per class, also exactly as before.
+#[allow(clippy::too_many_arguments)]
+fn nearest_hit_miss(
+    columns: &[ColumnCells],
+    kinds: &[AttrKind],
+    spans: &[f64],
+    ranges: &[Option<(f64, f64)>],
+    labels: &[bool],
+    dist: &mut Vec<f64>,
+    i: usize,
+) -> Option<(usize, usize)> {
+    let n = labels.len();
+    dist.clear();
+    dist.resize(n, 0.0);
+    for (a, column) in columns.iter().enumerate() {
+        accumulate_column(dist, column, kinds[a], spans[a], ranges[a], i);
+    }
+
+    let mut nearest_hit: Option<(usize, f64)> = None;
+    let mut nearest_miss: Option<(usize, f64)> = None;
+    for (j, (&d, &label)) in dist.iter().zip(labels).enumerate() {
+        if j == i {
+            continue;
+        }
+        let slot = if label == labels[i] {
+            &mut nearest_hit
+        } else {
+            &mut nearest_miss
+        };
+        let closer = match slot {
+            None => true,
+            Some((_, best)) => d < *best,
+        };
+        if closer {
+            *slot = Some((j, d));
+        }
+    }
+    match (nearest_hit, nearest_miss) {
+        (Some((hit, _)), Some((miss, _))) => Some((hit, miss)),
+        _ => None,
+    }
 }
 
 /// Runs Relief and returns one weight per attribute (same order as the
@@ -91,41 +266,49 @@ pub fn relief_weights(data: &Dataset, config: ReliefConfig) -> Vec<f64> {
         return weights;
     }
 
+    // Resolved once per run: ranges/spans, attribute kinds, and the typed
+    // contiguous columns the kernels scan.
     let ranges: Vec<Option<(f64, f64)>> = (0..k).map(|a| data.numeric_range(a)).collect();
+    let spans: Vec<f64> = ranges
+        .iter()
+        .map(|r| r.map_or(0.0, |(lo, hi)| hi - lo))
+        .collect();
+    let kinds: Vec<AttrKind> = data.attributes().iter().map(|a| a.kind).collect();
+    let columns: Vec<ColumnCells> = (0..k).map(|a| data.column_cells(a)).collect();
+    let labels = data.labels();
 
     let mut order: Vec<usize> = (0..n).collect();
     let mut rng = StdRng::seed_from_u64(config.seed);
     order.shuffle(&mut rng);
     let m = config.iterations.clamp(1, n);
+    let sampled = &order[..m];
 
-    for &i in order.iter().take(m) {
-        let mut nearest_hit: Option<(usize, f64)> = None;
-        let mut nearest_miss: Option<(usize, f64)> = None;
-        for j in 0..n {
-            if j == i {
-                continue;
-            }
-            let d = distance(data, &ranges, i, j);
-            let slot = if data.label(j) == data.label(i) {
-                &mut nearest_hit
-            } else {
-                &mut nearest_miss
-            };
-            let closer = match slot {
-                None => true,
-                Some((_, best)) => d < *best,
-            };
-            if closer {
-                *slot = Some((j, d));
-            }
-        }
-        let (Some((hit, _)), Some((miss, _))) = (nearest_hit, nearest_miss) else {
+    // The O(m·n·attrs) part: nearest hit/miss per sampled instance,
+    // independent across instances, fanned out on large runs.
+    let scan_chunk = |chunk: &[usize]| -> Vec<Option<(usize, usize)>> {
+        let mut dist: Vec<f64> = Vec::new();
+        chunk
+            .iter()
+            .map(|&i| nearest_hit_miss(&columns, &kinds, &spans, &ranges, labels, &mut dist, i))
+            .collect()
+    };
+    let neighbours: Vec<Option<(usize, usize)>> = crate::shard::map_chunks_gated(
+        sampled,
+        m.saturating_mul(n).saturating_mul(k.max(1)),
+        RELIEF_PARALLEL_MIN_CELLS,
+        scan_chunk,
+    );
+
+    // Weight updates in sample order: bit-identical to the serial loop no
+    // matter how the scan above was chunked.
+    for (&i, neighbour) in sampled.iter().zip(&neighbours) {
+        let Some((hit, miss)) = *neighbour else {
             continue;
         };
-        for (a, attr) in data.attributes().iter().enumerate() {
-            let d_hit = diff(attr.kind, data.value(i, a), data.value(hit, a), ranges[a]);
-            let d_miss = diff(attr.kind, data.value(i, a), data.value(miss, a), ranges[a]);
-            weights[a] += (d_miss - d_hit) / m as f64;
+        for (a, weight) in weights.iter_mut().enumerate() {
+            let d_hit = column_diff(&columns[a], kinds[a], ranges[a], i, hit);
+            let d_miss = column_diff(&columns[a], kinds[a], ranges[a], i, miss);
+            *weight += (d_miss - d_hit) / m as f64;
         }
     }
     weights
@@ -254,5 +437,76 @@ mod tests {
         let weights = relief_weights(&ds, ReliefConfig::default());
         assert_eq!(weights.len(), 2);
         assert!(weights.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn nan_cells_behave_exactly_like_missing() {
+        let make = |nan: bool| {
+            let mut ds = Dataset::new(vec![Attribute::numeric("x"), Attribute::numeric("y")]);
+            for i in 0..40 {
+                let x = if i % 5 == 0 {
+                    if nan {
+                        AttrValue::Num(f64::NAN)
+                    } else {
+                        AttrValue::Missing
+                    }
+                } else {
+                    AttrValue::Num(i as f64)
+                };
+                ds.push(vec![x, AttrValue::Num((i % 3) as f64)], i % 2 == 0);
+            }
+            ds
+        };
+        let with_nan = relief_weights(&make(true), ReliefConfig::default());
+        let with_missing = relief_weights(&make(false), ReliefConfig::default());
+        assert_eq!(with_nan, with_missing);
+        assert!(with_nan.iter().all(|w| w.is_finite()));
+    }
+
+    #[test]
+    fn columnar_weights_match_the_naive_oracle() {
+        // Numeric-only, nominal-only and mixed datasets, with missing
+        // cells: the columnar attribute-major scan must be bit-identical
+        // to the retained row-at-a-time oracle.
+        let mut mixed = Dataset::new(vec![
+            Attribute::numeric("size"),
+            Attribute::nominal("script"),
+            Attribute::numeric("noise"),
+        ]);
+        let a = mixed.attribute_mut(1).dictionary.intern("a.pig");
+        let b = mixed.attribute_mut(1).dictionary.intern("b.pig");
+        for i in 0..50 {
+            let size = if i % 7 == 0 {
+                AttrValue::Missing
+            } else {
+                AttrValue::Num((i % 11) as f64)
+            };
+            let script = if i % 2 == 0 {
+                AttrValue::Nom(a)
+            } else {
+                AttrValue::Nom(b)
+            };
+            mixed.push(
+                vec![size, script, AttrValue::Num((i % 5) as f64)],
+                i % 3 == 0,
+            );
+        }
+        for config in [
+            ReliefConfig::default(),
+            ReliefConfig {
+                iterations: 7,
+                seed: 99,
+            },
+        ] {
+            assert_eq!(
+                relief_weights(&mixed, config),
+                crate::oracle::relief_weights(&mixed, config),
+            );
+        }
+        let informative = informative_dataset(23);
+        assert_eq!(
+            relief_weights(&informative, ReliefConfig::default()),
+            crate::oracle::relief_weights(&informative, ReliefConfig::default()),
+        );
     }
 }

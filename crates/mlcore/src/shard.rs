@@ -1,11 +1,15 @@
 //! The scoped-thread fan-out primitive behind every sharded path.
 //!
-//! Sharded encoding ([`ColumnarLog::build_sharded`](crate::columnar::ColumnarLog::build_sharded)),
-//! parallel pair enumeration, parallel log ingestion and the
-//! `hadoop-logs` bundle collectors all share one shape: split a slice into
-//! contiguous chunks, run the same function over each chunk on its own
-//! `std::thread::scope` thread, and collect the per-chunk results in chunk
-//! order.  [`map_chunks`] is that shape, written once.
+//! Sharded encoding, parallel pair enumeration, parallel log ingestion, the
+//! `hadoop-logs` bundle collectors, the per-attribute split search
+//! ([`best_split`](crate::split::best_split)) and the Relief sampled-instance
+//! scan ([`relief_weights`](crate::relief::relief_weights)) all share one
+//! shape: split a slice into contiguous chunks, run the same function over
+//! each chunk on its own `std::thread::scope` thread, and collect the
+//! per-chunk results in chunk order.  [`map_chunks`] is that shape, written
+//! once.  It lives in `mlcore` — the lowest crate of the workspace — so both
+//! the ML trainer and the `perfxplain-core` pipeline (which re-exports this
+//! module as `perfxplain_core::shard`) can fan out through it.
 
 /// Hard ceiling on concurrent worker threads, regardless of the requested
 /// chunk count.  Chunk counts reach this function from user input (the CLI's
@@ -48,6 +52,35 @@ pub fn hardware_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// The work-gated form of [`map_chunks`]: fans `f` over one chunk per
+/// hardware thread when the estimated `work` (a cell count) reaches
+/// `min_work` and the machine has more than one core, and runs `f` inline
+/// over the whole slice otherwise — below the threshold the job finishes in
+/// well under the ~100 µs a `std::thread::scope` setup costs.  `f` returns
+/// the per-chunk results as a `Vec` (so it can keep chunk-local scratch
+/// state); the concatenation is in item order either way, keeping gated
+/// callers bit-identical to their serial form.
+pub fn map_chunks_gated<T, R>(
+    items: &[T],
+    work: usize,
+    min_work: usize,
+    f: impl Fn(&[T]) -> Vec<R> + Sync,
+) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+{
+    let threads = hardware_threads();
+    if threads > 1 && work >= min_work {
+        map_chunks(items, threads, &f)
+            .into_iter()
+            .flatten()
+            .collect()
+    } else {
+        f(items)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -71,6 +104,16 @@ mod tests {
         assert_eq!(map_chunks(&empty, 8, <[usize]>::len), vec![0]);
         assert_eq!(map_chunks(&[42usize], 8, <[usize]>::len), vec![1]);
         assert!(hardware_threads() >= 1);
+    }
+
+    #[test]
+    fn gated_fanout_is_order_preserving_on_both_sides_of_the_gate() {
+        let items: Vec<usize> = (0..500).collect();
+        let double = |chunk: &[usize]| chunk.iter().map(|&x| x * 2).collect::<Vec<_>>();
+        let expected: Vec<usize> = items.iter().map(|&x| x * 2).collect();
+        // Below the threshold: inline; above it: fanned out.  Same result.
+        assert_eq!(map_chunks_gated(&items, 0, usize::MAX, double), expected);
+        assert_eq!(map_chunks_gated(&items, usize::MAX, 1, double), expected);
     }
 
     #[test]

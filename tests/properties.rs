@@ -578,6 +578,333 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Sweep split finder ≡ naive oracle, and trainer-rewrite invariance
+// ---------------------------------------------------------------------------
+
+use perfxplain::mlcore::{
+    best_split, best_split_for_attribute, best_split_for_attribute_filtered, percentile_ranks,
+    relief_weights, AttrValue, Attribute, Dataset, ReliefConfig, SplitCandidate,
+};
+use perfxplain_core::bridge::DatasetBridge;
+
+/// SplitMix64 — the deterministic cell/label derivation behind the random
+/// datasets below.
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// An adversarial dataset for the split search: numeric/nominal mix, missing
+/// cells, NaN, ±infinity, schema-drift cells, heavy value ties, and values
+/// within the equality tolerance of each other (negative zero, adjacent
+/// representable doubles, sub-epsilon magnitudes) — everything that makes
+/// the sweep's prefix/band bookkeeping earn its keep.  Returns the dataset
+/// plus a derived pair-of-interest row for applicability filters.
+fn build_split_dataset(
+    schema_seed: u64,
+    num_attrs: usize,
+    row_seeds: &[u64],
+    poi_seed: u64,
+) -> (Dataset, Vec<AttrValue>) {
+    let pool = [
+        0.0,
+        -0.0,
+        1.0,
+        1.0 + f64::EPSILON,
+        1.5,
+        -2.0,
+        1.0e9,
+        1.0e-17,
+        2.0e-17,
+        -1.0e-17,
+        600.0,
+        5.0,
+    ];
+    let numeric = |a: usize| (schema_seed >> a) & 1 == 0;
+    let attributes = (0..num_attrs)
+        .map(|a| {
+            if numeric(a) {
+                Attribute::numeric(format!("n{a}"))
+            } else {
+                Attribute::nominal(format!("c{a}"))
+            }
+        })
+        .collect();
+    let mut dataset = Dataset::new(attributes);
+    for a in 0..num_attrs {
+        if !numeric(a) {
+            for v in 0..4 {
+                dataset.attribute_mut(a).dictionary.intern(&format!("v{v}"));
+            }
+        }
+    }
+    let cell = |h: u64, numeric: bool| -> AttrValue {
+        if numeric {
+            match h % 16 {
+                0 | 1 => AttrValue::Missing,
+                2 => AttrValue::Num(f64::NAN),
+                3 => AttrValue::Num(f64::INFINITY),
+                4 => AttrValue::Num(f64::NEG_INFINITY),
+                5 => AttrValue::Nom(0), // schema drift: nominal cell in a numeric column
+                _ => AttrValue::Num(pool[(h >> 8) as usize % pool.len()]),
+            }
+        } else {
+            match h % 8 {
+                0 => AttrValue::Missing,
+                1 => AttrValue::Num(2.5), // schema drift: numeric cell in a nominal column
+                _ => AttrValue::Nom((h >> 8) as u32 % 4),
+            }
+        }
+    };
+    for &seed in row_seeds {
+        let row: Vec<AttrValue> = (0..num_attrs)
+            .map(|a| cell(splitmix(seed.wrapping_add(a as u64)), numeric(a)))
+            .collect();
+        dataset.push(row, splitmix(seed ^ 0xAB) & 1 == 0);
+    }
+    let poi: Vec<AttrValue> = (0..num_attrs)
+        .map(|a| cell(splitmix(poi_seed.wrapping_add(a as u64)), numeric(a)))
+        .collect();
+    (dataset, poi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The sweep-based split finder returns a `SplitCandidate` identical —
+    /// atom, gain, inside/outside counts, tie-breaks included — to the
+    /// retained naive oracle, unfiltered and under the applicability
+    /// filter, over full and subset index lists; the parallel
+    /// all-attributes search matches the oracle's serial fold.
+    #[test]
+    fn sweep_split_finder_matches_the_naive_oracle(
+        schema_seed in any::<u64>(),
+        num_attrs in 1usize..4,
+        row_seeds in proptest::collection::vec(any::<u64>(), 2..60),
+        poi_seed in any::<u64>(),
+    ) {
+        let (dataset, poi) =
+            build_split_dataset(schema_seed, num_attrs, &row_seeds, poi_seed);
+        let all: Vec<usize> = (0..dataset.len()).collect();
+        let subset: Vec<usize> = all
+            .iter()
+            .copied()
+            .filter(|&i| !splitmix(poi_seed ^ (i as u64)).is_multiple_of(3))
+            .collect();
+        for indices in [&all, &subset] {
+            for (attribute, &poi_value) in poi.iter().enumerate() {
+                prop_assert_eq!(
+                    best_split_for_attribute(&dataset, indices, attribute),
+                    mlcore::oracle::best_split_for_attribute(&dataset, indices, attribute),
+                    "unfiltered attribute {} diverged", attribute
+                );
+                let sweep = best_split_for_attribute_filtered(
+                    &dataset, indices, attribute,
+                    |atom| atom.matches_value(poi_value),
+                );
+                let naive = mlcore::oracle::best_split_for_attribute_filtered(
+                    &dataset, indices, attribute,
+                    |atom| atom.matches_value(poi_value),
+                );
+                prop_assert_eq!(sweep, naive, "filtered attribute {} diverged", attribute);
+            }
+            prop_assert_eq!(
+                best_split(&dataset, indices),
+                mlcore::oracle::best_split(&dataset, indices),
+            );
+        }
+    }
+
+    /// The columnar, fanned-out Relief returns weights bit-identical to the
+    /// retained row-at-a-time oracle on the same adversarial datasets.
+    #[test]
+    fn columnar_relief_matches_the_naive_oracle(
+        schema_seed in any::<u64>(),
+        num_attrs in 1usize..4,
+        row_seeds in proptest::collection::vec(any::<u64>(), 2..60),
+        iterations in 1usize..40,
+    ) {
+        let (dataset, _) = build_split_dataset(schema_seed, num_attrs, &row_seeds, 7);
+        let config = ReliefConfig { iterations, seed: schema_seed };
+        prop_assert_eq!(
+            relief_weights(&dataset, config),
+            mlcore::oracle::relief_weights(&dataset, config),
+        );
+    }
+}
+
+/// The greedy clause loop of Algorithm 1, reimplemented against the *naive*
+/// split oracle: what `PerfXplain` produced before the sweep rewrite.
+fn oracle_because_clause(
+    bridge: &DatasetBridge,
+    config: &ExplainConfig,
+    width: usize,
+) -> Predicate {
+    let dataset = bridge.dataset();
+    if dataset.is_empty() || width == 0 {
+        return Predicate::always_true();
+    }
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut current: Vec<usize> = (0..dataset.len()).collect();
+    for _ in 0..width {
+        if current.is_empty() {
+            break;
+        }
+        let mut candidates: Vec<(usize, SplitCandidate)> = Vec::new();
+        for attr in 0..bridge.num_attributes() {
+            let poi_value = bridge.poi_value(attr);
+            if poi_value.is_missing() || atoms.iter().any(|a| a.feature == bridge.attr_name(attr)) {
+                continue;
+            }
+            if let Some(candidate) =
+                mlcore::oracle::best_split_for_attribute_filtered(dataset, &current, attr, |atom| {
+                    atom.matches_value(poi_value)
+                })
+            {
+                candidates.push((attr, candidate));
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        let precisions: Vec<f64> = candidates
+            .iter()
+            .map(|(_, c)| {
+                let total = c.inside.total() as f64;
+                if total == 0.0 {
+                    0.0
+                } else {
+                    c.inside.positive as f64 / total
+                }
+            })
+            .collect();
+        let generalities: Vec<f64> = candidates
+            .iter()
+            .map(|(_, c)| c.inside.total() as f64 / current.len() as f64)
+            .collect();
+        let (precision_scores, generality_scores) = if config.normalize_scores {
+            (
+                percentile_ranks(&precisions),
+                percentile_ranks(&generalities),
+            )
+        } else {
+            (precisions.clone(), generalities.clone())
+        };
+        let w = config.precision_weight;
+        let mut best_index = 0usize;
+        let mut best_score = f64::MIN;
+        for i in 0..candidates.len() {
+            let score = w * precision_scores[i] + (1.0 - w) * generality_scores[i];
+            let better = score > best_score + 1e-12
+                || ((score - best_score).abs() <= 1e-12 && precisions[i] > precisions[best_index]);
+            if better {
+                best_score = score;
+                best_index = i;
+            }
+        }
+        let (_, winner) = &candidates[best_index];
+        let atom = bridge.atom_to_pxql(&winner.atom);
+        current.retain(|&row| winner.atom.matches_row(dataset, row));
+        atoms.push(atom);
+    }
+    Predicate::from_atoms(atoms)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// End to end: `PerfXplain::explain` over random logs and structurally
+    /// different queries produces exactly the explanation the pre-sweep
+    /// trainer produced (the greedy loop re-run against the naive oracle).
+    #[test]
+    fn explain_output_is_unchanged_by_the_sweep_trainer(seed in 0u64..200) {
+        use perfxplain_core::pairs::PairCatalog;
+
+        let log = random_log(seed);
+        let config = uncapped_config();
+        let engine = perfxplain::PerfXplain::new(config.clone());
+        for query in query_pool() {
+            let bound = BoundQuery::new(query, "job_0", "job_1");
+            if bound.verify_preconditions(&log, config.sim_threshold).is_err() {
+                continue;
+            }
+            let Ok(encoded) =
+                perfxplain_core::training::prepare_encoded_training(&log, &bound, &config)
+            else {
+                continue;
+            };
+            let catalog = PairCatalog::from_raw(log.job_catalog())
+                .restrict_to_groups(config.feature_level.allowed_groups());
+            let excluded = perfxplain_core::query::excluded_raw_features(&bound, &config);
+            let poi_rows = encoded.poi_rows(&bound).expect("poi rows exist");
+            let bridge = DatasetBridge::encode_from_view(
+                &encoded, poi_rows, &catalog, &excluded, config.sim_threshold,
+            );
+            let expected = perfxplain::Explanation::because_only(
+                oracle_because_clause(&bridge, &config, config.width),
+            );
+            let actual = engine.explain(&log, &bound).unwrap();
+            prop_assert_eq!(actual, expected, "explanation diverged for seed {}", seed);
+        }
+    }
+}
+
+/// Regression: a single NaN feature cell used to panic the split search
+/// (`sort_by(..).expect("NaN feature value")`) and therefore the whole
+/// service.  NaN now behaves exactly like a missing value everywhere in the
+/// trainers.
+#[test]
+fn nan_feature_values_do_not_panic_the_pipeline() {
+    let clean = random_log(3);
+    let mut log = ExecutionLog::new();
+    for (i, record) in clean.records().iter().enumerate() {
+        let mut record = record.clone();
+        if i % 3 == 0 {
+            record.set_feature("iosortfactor", f64::NAN);
+        }
+        if i % 4 == 0 {
+            record.set_feature("duration", f64::NAN);
+        }
+        log.push(record);
+    }
+    log.rebuild_catalogs();
+
+    let config = uncapped_config();
+    let engine = perfxplain::PerfXplain::new(config.clone());
+    for query in query_pool() {
+        let bound = BoundQuery::new(query, "job_1", "job_2");
+        // Ok or a typed error — never a panic.
+        let _ = engine.explain(&log, &bound);
+        let _ = perfxplain::RuleOfThumb::new(config.clone()).explain(&log, &bound);
+    }
+
+    // The mlcore trainers treat the NaN cells exactly like Missing ones.
+    let mut with_nan = Dataset::new(vec![Attribute::numeric("x")]);
+    let mut with_missing = Dataset::new(vec![Attribute::numeric("x")]);
+    for i in 0..20 {
+        let label = i % 2 == 0;
+        if i % 5 == 0 {
+            with_nan.push(vec![AttrValue::Num(f64::NAN)], label);
+            with_missing.push(vec![AttrValue::Missing], label);
+        } else {
+            with_nan.push(vec![AttrValue::Num(i as f64)], label);
+            with_missing.push(vec![AttrValue::Num(i as f64)], label);
+        }
+    }
+    let indices: Vec<usize> = (0..with_nan.len()).collect();
+    assert_eq!(
+        best_split_for_attribute(&with_nan, &indices, 0),
+        best_split_for_attribute(&with_missing, &indices, 0),
+    );
+    assert_eq!(
+        relief_weights(&with_nan, ReliefConfig::default()),
+        relief_weights(&with_missing, ReliefConfig::default()),
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Snapshot-store equivalence properties
 // ---------------------------------------------------------------------------
 
