@@ -114,12 +114,22 @@ struct ColdStartPoint {
     /// (parse, catalog rebuild, full re-encode), ms.
     json_parse_ms: f64,
     /// Snapshot path: `snapshot::open` (read + fingerprint-verify +
-    /// decode) + `to_log` + `ColumnarLog::build_from_snapshot` (assemble,
-    /// no re-encode), ms.
+    /// decode) + `Snapshot::into_views` (adopt the decoded columns,
+    /// no re-encode, no copy), ms.
     snapshot_open_ms: f64,
     /// json ÷ snapshot: the payoff of opening binary columns instead of
     /// re-parsing JSON.
     speedup: f64,
+    /// Peak additional resident bytes during the snapshot open: the VmHWM
+    /// delta of a freshly spawned probe process that does nothing but open
+    /// the snapshot and adopt the views (0 when spawning or /proc is
+    /// unavailable).
+    peak_open_bytes: u64,
+    /// Resident bytes the probe retains once the views are assembled (VmRSS
+    /// delta over its pre-open baseline; 0 when unavailable).  Peak ≈
+    /// resident means the open allocates no transient copies beyond the
+    /// final views.
+    open_resident_bytes: u64,
 }
 
 /// The `explain_latency` scenario: phase breakdown of one warm blocked
@@ -456,14 +466,30 @@ fn measure_cold_start(n: usize) -> ColdStartPoint {
     assert_eq!(json_view.num_rows(), n);
     drop((parsed, json_view));
 
-    // Tier 2: snapshot open — read + verify + decode columns, no re-encode.
+    // Peak open memory is the VmHWM delta inside a freshly spawned probe
+    // process: this process's high-water mark (and its allocator's
+    // retained pages) were already raised by tier 1, so an in-process
+    // delta would read 0 no matter what the open allocated.  Only the
+    // memory numbers come from the probe — its wall clock also pays the
+    // page faults of a virgin address space, which the tier-1 timing
+    // above did not, so timing is measured in-process below, like-for-like.
+    let (peak_open_bytes, open_resident_bytes) = match spawn_open_probe(&dir) {
+        Some((_, peak, resident, rows)) => {
+            assert_eq!(rows, n, "the open probe saw a different row count");
+            (peak, resident)
+        }
+        None => (0, 0),
+    };
+
+    // Tier 2: snapshot open — read + verify + decode columns, then adopt
+    // them into the views (no re-encode, no copy).
     let started = Instant::now();
     let snap = snapshot::open(&dir).expect("snapshot opens");
-    let reopened = snap.to_log();
-    let snap_view = ColumnarLog::build_from_snapshot(&snap, ExecutionKind::Job);
+    let views = snap.into_views();
     let snapshot_open_ms = started.elapsed().as_secs_f64() * 1e3;
-    assert_eq!(snap_view.num_rows(), n);
-    assert_eq!(reopened.len(), n);
+    assert_eq!(views.job.num_rows(), n);
+    assert_eq!(views.log.len(), n);
+    drop(views);
 
     std::fs::remove_dir_all(&dir).expect("snapshot dir cleans up");
     ColdStartPoint {
@@ -475,7 +501,86 @@ fn measure_cold_start(n: usize) -> ColdStartPoint {
         json_parse_ms,
         snapshot_open_ms,
         speedup: json_parse_ms / snapshot_open_ms.max(1e-9),
+        peak_open_bytes,
+        open_resident_bytes,
     }
+}
+
+/// Environment variable that switches the bench binary into the
+/// cold-start open probe: its value is the snapshot directory to open.
+const OPEN_PROBE_ENV: &str = "PXBENCH_OPEN_PROBE";
+
+/// Re-runs this binary as an open probe against `dir` and parses its
+/// report.  Returns `(open_ms, peak_bytes, resident_bytes, rows)`, or
+/// `None` where spawning or /proc is unavailable.
+fn spawn_open_probe(dir: &std::path::Path) -> Option<(f64, u64, u64, usize)> {
+    let exe = std::env::current_exe().ok()?;
+    let output = std::process::Command::new(exe)
+        .env(OPEN_PROBE_ENV, dir)
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let text = String::from_utf8_lossy(&output.stdout);
+    let mut fields = text.split_whitespace();
+    let open_ms = fields.next()?.parse().ok()?;
+    let peak = fields.next()?.parse().ok()?;
+    let resident = fields.next()?.parse().ok()?;
+    let rows = fields.next()?.parse().ok()?;
+    if peak == 0 {
+        return None;
+    }
+    Some((open_ms, peak, resident, rows))
+}
+
+/// The child half of [`spawn_open_probe`]: opens the snapshot, adopts the
+/// views, and prints `open_ms peak_bytes resident_bytes rows` — measured
+/// from a fresh address space, so the VmHWM delta is the open's own peak.
+fn run_open_probe(dir: &std::path::Path) {
+    use perfxplain_core::snapshot;
+
+    reset_peak_rss();
+    let baseline_rss = vm_rss_bytes();
+    let started = Instant::now();
+    let snap = snapshot::open(dir).expect("snapshot opens");
+    let views = snap.into_views();
+    let open_ms = started.elapsed().as_secs_f64() * 1e3;
+    let peak = vm_hwm_bytes().saturating_sub(baseline_rss);
+    let resident = vm_rss_bytes().saturating_sub(baseline_rss);
+    println!("{open_ms} {peak} {resident} {}", views.log.len());
+    drop(views);
+}
+
+/// Resets the kernel's peak-RSS watermark (VmHWM) to the current RSS so a
+/// subsequent [`vm_hwm_bytes`] reads the peak of just the measured region.
+/// Best-effort: a no-op where /proc/self/clear_refs is unavailable.
+fn reset_peak_rss() {
+    let _ = std::fs::write("/proc/self/clear_refs", "5");
+}
+
+/// Current resident set size in bytes (0 where /proc is unavailable).
+fn vm_rss_bytes() -> u64 {
+    proc_status_bytes("VmRSS:")
+}
+
+/// Peak resident set size in bytes since the last [`reset_peak_rss`]
+/// (0 where /proc is unavailable).
+fn vm_hwm_bytes() -> u64 {
+    proc_status_bytes("VmHWM:")
+}
+
+fn proc_status_bytes(field: &str) -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find(|line| line.starts_with(field))
+        .and_then(|line| line.split_whitespace().nth(1))
+        .and_then(|kb| kb.parse::<u64>().ok())
+        .map(|kb| kb * 1024)
+        .unwrap_or(0)
 }
 
 /// Measures the `explain_latency` scenario at one log size: phase breakdown
@@ -593,6 +698,11 @@ fn measure_blocked_enumeration(n: usize, group_size: usize) -> BlockedEnumeratio
 }
 
 fn main() {
+    if let Ok(dir) = std::env::var(OPEN_PROBE_ENV) {
+        run_open_probe(std::path::Path::new(&dir));
+        return;
+    }
+
     let mut points = Vec::new();
     for &(n, measure_legacy) in &[(100usize, true), (1_000, true), (10_000, false)] {
         let point = measure(n, measure_legacy);
@@ -633,13 +743,15 @@ fn main() {
         let point = measure_cold_start(n);
         println!(
             "cold_start n = {:>8}: JSON re-parse {:>8.1} ms ({} B) vs snapshot open \
-             {:>8.1} ms ({} B) — {:.1}x",
+             {:>8.1} ms ({} B) — {:.1}x; open peak {} B, resident {} B",
             point.n,
             point.json_parse_ms,
             point.json_bytes,
             point.snapshot_open_ms,
             point.snapshot_bytes,
             point.speedup,
+            point.peak_open_bytes,
+            point.open_resident_bytes,
         );
         cold_start.push(point);
     }

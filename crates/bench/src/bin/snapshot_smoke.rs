@@ -42,10 +42,20 @@ fn main() {
 
     let started = Instant::now();
 
-    // 1. Persist: per-shard binary segments + fingerprinted manifest.
+    // 1. Persist: per-shard compressed binary segments + fingerprinted
+    //    manifest.  The v2 format must stay at or under 60% of the raw
+    //    fixed-width (v1) encoding of the same data — the compression is
+    //    the point of the format, so a regression fails CI.
     let report = snapshot::persist(&log, &dir, shards).expect("snapshot persists");
     let persisted = started.elapsed();
     assert_eq!(report.rows, N, "persist lost records");
+    let usage = report.manifest.usage();
+    assert!(
+        usage.total_bytes * 10 <= usage.raw_bytes * 6,
+        "snapshot is {} bytes, over 60% of the {}-byte raw equivalent",
+        usage.total_bytes,
+        usage.raw_bytes
+    );
 
     // 2. Reopen as a warm service: fingerprints verified, views assembled
     //    from the stored columns.
@@ -70,9 +80,12 @@ fn main() {
     let total = started.elapsed();
     std::fs::remove_dir_all(&dir).expect("snapshot dir cleans up");
     println!(
-        "snapshot_smoke: {N} records, {} shard(s): persist {:.0} ms (encode {:.0} ms, \
-         write {:.0} ms), reopen {:.0} ms, query answered at {:.0} ms (because: {})",
+        "snapshot_smoke: {N} records, {} shard(s), {} bytes ({:.2}x vs raw): persist {:.0} ms \
+         (encode {:.0} ms, write {:.0} ms), reopen {:.0} ms, query answered at {:.0} ms \
+         (because: {})",
         report.manifest.shards.len(),
+        usage.total_bytes,
+        usage.compression_ratio(),
         persisted.as_secs_f64() * 1e3,
         report.encode_seconds * 1e3,
         report.write_seconds * 1e3,

@@ -237,26 +237,34 @@ impl ColumnarLog {
     /// serves its first query from these columns instead of re-parsing JSON
     /// and re-encoding the log.
     pub fn build_from_snapshot(snapshot: &crate::snapshot::Snapshot, kind: ExecutionKind) -> Self {
-        let catalog = snapshot.catalog(kind);
         let shards = snapshot.shards();
-        let segments: Vec<EncodedSegment> = crate::shard::map_chunks(
-            shards,
-            crate::shard::hardware_threads().min(shards.len()),
-            |chunk| {
-                chunk
-                    .iter()
-                    .map(|shard| shard.segment(kind).clone())
-                    .collect::<Vec<EncodedSegment>>()
-            },
-        )
-        .into_iter()
-        .flatten()
-        .collect();
-        let (store, originals) = merge_segments(segments);
+        // Segment clones are shallow now that columns are `Arc`-backed
+        // (`ColumnData`): only dictionaries and originals are duplicated,
+        // so no thread fan-out is worth its setup here.
+        let segments: Vec<EncodedSegment> = shards
+            .iter()
+            .map(|shard| shard.segment(kind).clone())
+            .collect();
         let records: Vec<ExecutionRecord> = shards
             .iter()
             .flat_map(|shard| shard.records().iter().filter(|r| r.kind == kind).cloned())
             .collect();
+        ColumnarLog::assemble(kind, snapshot.catalog(kind), records, segments)
+    }
+
+    /// Stitches already-decoded segments and their records into a view:
+    /// the same dictionary-remapping merge as [`ColumnarLog::build_sharded`]
+    /// (bit-identical result), but with the column buffers adopted from the
+    /// segments — a single segment's `Arc` columns are moved, not copied.
+    /// This is the zero-copy tail of [`Snapshot::into_views`]
+    /// (`crate::snapshot::Snapshot::into_views`).
+    pub(crate) fn assemble(
+        kind: ExecutionKind,
+        catalog: &FeatureCatalog,
+        records: Vec<ExecutionRecord>,
+        segments: Vec<EncodedSegment>,
+    ) -> Self {
+        let (store, originals) = merge_segments(segments);
         let kinds = catalog.defs().iter().map(|def| def.kind).collect();
         let row_index = records
             .iter()

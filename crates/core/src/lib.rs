@@ -149,20 +149,42 @@
 //!    instances fanned out the same way.  The pre-sweep trainer is retained
 //!    as `mlcore::oracle` (tests/benches only) and the winners are
 //!    proptest-proven bit-identical to it.
-//! 7. **Persist the encoded form.** The [`snapshot`] store writes each
-//!    shard — records plus its encoded column segments (local
-//!    dictionaries) — as a length-prefixed binary segment file
-//!    ([`mlcore::ColumnStore::encode_binary`]) under a manifest of FxHash
-//!    content fingerprints and per-shard catalogs.  A cold start
-//!    ([`snapshot::open`] → [`ColumnarLog::build_from_snapshot`](columnar::ColumnarLog::build_from_snapshot),
-//!    or [`XplainService::open_snapshot`](service::XplainService::open_snapshot)
-//!    for a pre-warmed service) loads segments on concurrent threads and
+//! 7. **Persist the encoded form, compressed.** The [`snapshot`] store
+//!    writes each shard as a length-prefixed binary segment file (format
+//!    v2) under a manifest of FxHash content fingerprints, per-shard
+//!    catalogs and per-shard byte accounting
+//!    ([`SnapshotManifest::usage`](snapshot::SnapshotManifest::usage)):
+//!
+//!    ```text
+//!    magic ─ version ─┬─ records block: id, kind, parent, exceptions
+//!                     ├─ job columns:  schema + per-column compressed cells
+//!                     └─ task columns: presence bitmap ─ kind tag
+//!                                      ─ bit-packed dictionary ids
+//!                                      ─ FoR/delta/raw numeric stream
+//!    ```
+//!
+//!    Columns compress via [`mlcore::ColumnStore::encode_binary`]
+//!    (dictionary ids at ⌈log₂(dict len)⌉ bits, integral numerics
+//!    frame-of-reference/delta coded, a raw fallback that keeps NaN/±inf/
+//!    −0.0 bit-exact), and the records block stores **only** the features
+//!    the columns cannot reproduce bit-exactly (`Null` values,
+//!    canonical-text collisions) — everything else is rebuilt from the
+//!    columns on open, which is where the ≥2× on-disk shrink comes from.
+//!    A cold start ([`snapshot::open`] →
+//!    [`Snapshot::into_views`](snapshot::Snapshot::into_views), or
+//!    [`XplainService::open_snapshot`](service::XplainService::open_snapshot)
+//!    for a pre-warmed service) loads segments on concurrent threads,
 //!    stitches them with the same dictionary-remapping merge as the
-//!    sharded encode — bit-identical to encoding from scratch, at the cost
-//!    of a disk read.  Incremental re-ingest ([`snapshot::sync`])
-//!    fingerprints each shard's source and re-encodes only the dirty
-//!    shards; a changed global catalog re-encodes everything from on-disk
-//!    records, still never re-parsing the source.
+//!    sharded encode — bit-identical to encoding from scratch — and
+//!    **moves** the decoded `Arc`-backed column buffers into the views
+//!    (adopting them outright for single-segment snapshots), so peak open
+//!    memory is approximately the final views, not a multiple of them.
+//!    Incremental re-ingest ([`snapshot::sync`]) fingerprints each shard's
+//!    source and re-encodes only the dirty shards; a changed global
+//!    catalog re-encodes everything from on-disk records, still never
+//!    re-parsing the source.  A v1 store reports
+//!    [`CoreError::SnapshotVersionSkew`] naming a full re-ingest as the
+//!    recovery path.
 //!
 //! **Invariants.** The columnar path produces the same related-pair set,
 //! labels, dataset and explanations as the map-based path
@@ -248,8 +270,8 @@ pub use query::{BoundQuery, PairLabel};
 pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
 pub use service::{QueryInput, QueryOutcome, QueryRequest, XplainService};
 pub use snapshot::{
-    RecordShard, ShardEntry, ShardInput, Snapshot, SnapshotManifest, SnapshotShard, SyncReport,
-    SNAPSHOT_VERSION,
+    RecordShard, ShardEntry, ShardInput, Snapshot, SnapshotManifest, SnapshotShard, SnapshotUsage,
+    SnapshotViews, SyncReport, SNAPSHOT_VERSION,
 };
 pub use training::{
     collect_related_pairs_in, prepare_encoded_training, prepare_encoded_training_in,

@@ -236,22 +236,20 @@ impl XplainService {
     }
 
     /// Rehydrates a service from a snapshot directory
-    /// ([`crate::snapshot::open`]): the log is reassembled from the stored
-    /// shards and the columnar view of every populated execution kind is
-    /// built straight from the stored binary column segments
-    /// ([`ColumnarLog::build_from_snapshot`]) — the service starts **warm**,
-    /// its first query hits the cache instead of paying a JSON parse and a
-    /// full re-encode.
+    /// ([`crate::snapshot::open`]): the snapshot is consumed into the log
+    /// plus both columnar views in one pass
+    /// ([`Snapshot::into_views`](crate::snapshot::Snapshot::into_views)),
+    /// moving the decoded `Arc`-backed column buffers into the view cache
+    /// instead of cloning them — the service starts **warm** at a peak
+    /// memory of roughly the final views, and its first query hits the
+    /// cache instead of paying a JSON parse and a full re-encode.
     pub fn open_snapshot_with_config(dir: &std::path::Path, config: ExplainConfig) -> Result<Self> {
         let snapshot = crate::snapshot::open(dir)?;
-        let log = snapshot.to_log();
+        let crate::snapshot::SnapshotViews { log, job, task } = snapshot.into_views();
         let mut views = HashMap::new();
-        for kind in [ExecutionKind::Job, ExecutionKind::Task] {
-            if log.of_kind(kind).next().is_some() {
-                views.insert(
-                    (log.generation(), kind),
-                    Arc::new(ColumnarLog::build_from_snapshot(&snapshot, kind)),
-                );
+        for view in [job, task] {
+            if view.num_rows() > 0 {
+                views.insert((log.generation(), view.kind()), Arc::new(view));
             }
         }
         Ok(XplainService {

@@ -8,21 +8,29 @@
 //! and a cold start reads it straight back into the sharded pipeline:
 //!
 //! * [`persist`] / [`persist_shards`] write one **segment file** per shard
-//!   (length-prefixed binary: the shard's records, its encoded job and task
-//!   column segments with local dictionaries, via
+//!   (length-prefixed binary, format v2: the shard's records slimmed down
+//!   to id/kind/parent plus *exception* features, and its compressed job
+//!   and task column segments with local dictionaries, via
 //!   [`mlcore::ColumnStore::encode_binary`]) and a JSON **manifest** tying
 //!   the shards together: per-shard content fingerprints (FxHash, reusing
-//!   [`mlcore::hash`]), per-shard feature catalogs, the merged global
-//!   catalogs and the source log's generation.
+//!   [`mlcore::hash`]), per-shard feature catalogs, per-shard byte
+//!   accounting ([`SnapshotManifest::usage`]), the merged global catalogs
+//!   and the source log's generation.  Feature values are **not** written
+//!   twice: a record's feature map is rebuilt on open from the column
+//!   segments, and only the cells the columns cannot reproduce bit-exactly
+//!   (a `Null` value, a canonical-text collision) ride along as explicit
+//!   exceptions.
 //! * [`open`] loads the segment files across `std::thread::scope` threads
 //!   ([`crate::shard::map_chunks`]), verifies every fingerprint and every
-//!   schema against the manifest, and hands back a [`Snapshot`] from which
-//!   [`ColumnarLog::build_from_snapshot`] assembles views **bit-identical**
-//!   to [`ColumnarLog::build_sharded`] over the original log — without
-//!   re-encoding a single cell — and [`Snapshot::to_log`] reassembles the
-//!   [`ExecutionLog`] itself ([`ExecutionLog::from_shards`] over the stored
-//!   shard catalogs, **in manifest order** regardless of how the files are
-//!   laid out on disk).
+//!   schema against the manifest, and hands back a [`Snapshot`].
+//!   [`Snapshot::into_views`] consumes it into a [`SnapshotViews`] — the
+//!   reassembled [`ExecutionLog`] plus both [`ColumnarLog`] views — with
+//!   the decoded `Arc`-backed column buffers **moved, not copied**, into
+//!   the views (single-segment snapshots adopt them outright); the views
+//!   are **bit-identical** to [`ColumnarLog::build_sharded`] over the
+//!   original log, and the log equals [`ExecutionLog::from_shards`] over
+//!   the stored shard catalogs, **in manifest order** regardless of how
+//!   the files are laid out on disk.
 //! * [`sync`] is the incremental re-ingest primitive: the caller fingerprints
 //!   each shard's *source* (e.g. the raw bundle bytes), and shards whose
 //!   source fingerprint still matches the manifest are reused verbatim —
@@ -42,7 +50,7 @@ use crate::columnar::{encode_segment, ColumnarLog, EncodedSegment};
 use crate::error::{CoreError, Result};
 use crate::features::{FeatureCatalog, FeatureKind};
 use crate::record::{ExecutionKind, ExecutionLog, ExecutionRecord};
-use mlcore::{ByteReader, ByteWriter, CodecError, ColumnStore, FxHasher};
+use mlcore::{AttrValue, ByteReader, ByteWriter, CodecError, ColumnStore, FxHashMap, FxHasher};
 use pxql::Value;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -51,7 +59,13 @@ use std::path::Path;
 use std::time::Instant;
 
 /// Version of the snapshot format this build reads and writes.
-pub const SNAPSHOT_VERSION: u32 = 1;
+///
+/// Version 2 compresses column segments (bit-packed dictionary ids,
+/// frame-of-reference/delta numerics, presence bitmaps) and slims the
+/// records block down to exceptions.  Opening a v1 store reports
+/// [`CoreError::SnapshotVersionSkew`] naming a full re-ingest as the
+/// recovery path — v1 is not read.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// File name of the manifest inside a snapshot directory.
 pub const MANIFEST_FILE: &str = "manifest.json";
@@ -114,6 +128,17 @@ pub struct ShardEntry {
     /// without reading anything.  `None` when the snapshot was persisted
     /// from an in-memory log.
     pub source_fingerprint: Option<u64>,
+    /// Total bytes of the segment file on disk.
+    pub bytes: u64,
+    /// Bytes of the compressed job columns block (length prefix included).
+    pub job_bytes: u64,
+    /// Bytes of the compressed task columns block (length prefix included).
+    pub task_bytes: u64,
+    /// Bytes an equivalent v1 segment file (uncompressed fixed-width cells,
+    /// full per-record feature maps) would occupy — the denominator of
+    /// [`SnapshotUsage::compression_ratio`], computed arithmetically at
+    /// encode time, never written.
+    pub raw_bytes: u64,
     /// The shard's own job-feature catalog (what
     /// [`FeatureCatalog::infer`] saw in this shard alone); merged in
     /// manifest order to rebuild the global catalog.
@@ -140,6 +165,35 @@ pub struct SnapshotManifest {
     pub shards: Vec<ShardEntry>,
 }
 
+/// On-disk byte accounting of a snapshot, summed over its shards
+/// ([`SnapshotManifest::usage`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SnapshotUsage {
+    /// Total segment-file bytes (manifest excluded).
+    pub total_bytes: u64,
+    /// Bytes of the records blocks (ids, parents, exception features) plus
+    /// the fixed per-file header.
+    pub records_bytes: u64,
+    /// Bytes of the compressed job columns blocks.
+    pub job_bytes: u64,
+    /// Bytes of the compressed task columns blocks.
+    pub task_bytes: u64,
+    /// Bytes the same data would occupy in the v1 raw fixed-width format.
+    pub raw_bytes: u64,
+}
+
+impl SnapshotUsage {
+    /// How many raw fixed-width bytes each stored byte stands for
+    /// (`raw_bytes / total_bytes`; 1.0 for an empty store).
+    pub fn compression_ratio(&self) -> f64 {
+        if self.total_bytes == 0 {
+            1.0
+        } else {
+            self.raw_bytes as f64 / self.total_bytes as f64
+        }
+    }
+}
+
 /// Probe used to read the version field before the full manifest parse, so
 /// a future-format manifest reports version skew instead of a parse error.
 #[derive(Debug, Serialize, Deserialize)]
@@ -159,6 +213,21 @@ impl SnapshotManifest {
     /// Total records across all shards.
     pub fn rows(&self) -> usize {
         self.shards.iter().map(|s| s.rows as usize).sum()
+    }
+
+    /// On-disk byte accounting summed across all shards.
+    pub fn usage(&self) -> SnapshotUsage {
+        let mut usage = SnapshotUsage::default();
+        for shard in &self.shards {
+            usage.total_bytes += shard.bytes;
+            usage.job_bytes += shard.job_bytes;
+            usage.task_bytes += shard.task_bytes;
+            usage.raw_bytes += shard.raw_bytes;
+        }
+        usage.records_bytes = usage
+            .total_bytes
+            .saturating_sub(usage.job_bytes + usage.task_bytes);
+        usage
     }
 
     /// Loads and validates the manifest of a snapshot directory.
@@ -262,7 +331,52 @@ fn decode_value(reader: &mut ByteReader<'_>, depth: u32) -> std::result::Result<
     })
 }
 
-fn encode_record(writer: &mut ByteWriter, record: &ExecutionRecord) {
+/// `true` iff two values are indistinguishable down to the bit level
+/// (numbers compare by `to_bits`, so NaN payloads and `-0.0` count).  This
+/// is the test for whether a feature can be *omitted* from the records
+/// block and rebuilt from the column segments on open.
+fn values_identical(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Num(x), Value::Num(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        (Value::Pair(a1, b1), Value::Pair(a2, b2)) => {
+            values_identical(a1, a2) && values_identical(b1, b2)
+        }
+        _ => false,
+    }
+}
+
+/// What the column segment at `(row, col)` would rebuild for a feature,
+/// compared against the record's actual `value` — without cloning the
+/// original.  `None` column (not in the catalog) and `Missing` cells
+/// rebuild nothing.
+fn column_reconstructs(
+    segment: &EncodedSegment,
+    row: usize,
+    col: Option<usize>,
+    value: &Value,
+) -> bool {
+    let Some(col) = col else { return false };
+    match segment.store.value(row, col) {
+        AttrValue::Missing => false,
+        AttrValue::Num(v) => matches!(value, Value::Num(o) if o.to_bits() == v.to_bits()),
+        AttrValue::Nom(id) => values_identical(&segment.originals[col][id as usize], value),
+    }
+}
+
+/// Writes one record slimmed down to identity plus exceptions: features the
+/// column segment reproduces bit-exactly are *not* written — they are
+/// rebuilt from the columns on open.  `row` is the record's row within its
+/// kind's segment.
+fn encode_record_slim(
+    writer: &mut ByteWriter,
+    record: &ExecutionRecord,
+    segment: &EncodedSegment,
+    columns_by_name: &FxHashMap<&str, usize>,
+    row: usize,
+) {
     writer.put_str(&record.id);
     writer.put_u8(match record.kind {
         ExecutionKind::Job => 0,
@@ -275,14 +389,31 @@ fn encode_record(writer: &mut ByteWriter, record: &ExecutionRecord) {
             writer.put_str(parent);
         }
     }
-    writer.put_u32(record.features.len() as u32);
-    for (name, value) in &record.features {
+    let exceptions: Vec<(&String, &Value)> = record
+        .features
+        .iter()
+        .filter(|(name, value)| {
+            let col = columns_by_name.get(name.as_str()).copied();
+            !column_reconstructs(segment, row, col, value)
+        })
+        .collect();
+    writer.put_u32(exceptions.len() as u32);
+    for (name, value) in exceptions {
         writer.put_str(name);
         encode_value(writer, value);
     }
 }
 
-fn decode_record(reader: &mut ByteReader<'_>) -> std::result::Result<ExecutionRecord, CodecError> {
+/// One record's identity and exception features, before the feature map is
+/// rebuilt from the column segments.
+struct RecordMeta {
+    id: String,
+    kind: ExecutionKind,
+    parent_job: Option<String>,
+    exceptions: Vec<(String, Value)>,
+}
+
+fn decode_record_meta(reader: &mut ByteReader<'_>) -> std::result::Result<RecordMeta, CodecError> {
     let id = reader.get_str()?.to_string();
     let kind = match reader.get_u8()? {
         0 => ExecutionKind::Job,
@@ -303,18 +434,41 @@ fn decode_record(reader: &mut ByteReader<'_>) -> std::result::Result<ExecutionRe
         }
     };
     let count = reader.get_u32()? as usize;
-    let mut features = BTreeMap::new();
+    let mut exceptions = Vec::with_capacity(count.min(reader.remaining()));
     for _ in 0..count {
         let name = reader.get_str()?.to_string();
         let value = decode_value(reader, 0)?;
-        features.insert(name, value);
+        exceptions.push((name, value));
     }
-    Ok(ExecutionRecord {
+    Ok(RecordMeta {
         id,
         kind,
         parent_job,
-        features,
+        exceptions,
     })
+}
+
+/// Rebuilds one record's feature map: every present cell of its segment row
+/// contributes its feature, then the stored exceptions overwrite or extend.
+fn rebuild_record(meta: RecordMeta, segment: &EncodedSegment, row: usize) -> ExecutionRecord {
+    let mut features = BTreeMap::new();
+    for col in 0..segment.store.num_columns() {
+        let value = match segment.store.value(row, col) {
+            AttrValue::Missing => continue,
+            AttrValue::Num(v) => Value::Num(v),
+            AttrValue::Nom(id) => segment.originals[col][id as usize].clone(),
+        };
+        features.insert(segment.store.attribute(col).name.clone(), value);
+    }
+    for (name, value) in meta.exceptions {
+        features.insert(name, value);
+    }
+    ExecutionRecord {
+        id: meta.id,
+        kind: meta.kind,
+        parent_job: meta.parent_job,
+        features,
+    }
 }
 
 fn encode_columns(writer: &mut ByteWriter, segment: &EncodedSegment) {
@@ -398,12 +552,93 @@ impl SnapshotShard {
     }
 }
 
-/// Encodes one shard into its segment file bytes.
+/// Per-block byte accounting of one encoded shard file (block length
+/// prefixes included), plus the arithmetic size of its v1 equivalent.
+struct ShardSizes {
+    total: u64,
+    job: u64,
+    task: u64,
+    raw: u64,
+}
+
+/// Byte cost of one value in the v1 encoding ([`encode_value`] is
+/// unchanged since v1, so this mirrors it exactly).
+fn v1_value_bytes(value: &Value) -> u64 {
+    match value {
+        Value::Null => 1,
+        Value::Bool(_) => 2,
+        Value::Num(_) => 9,
+        Value::Str(s) => 5 + s.len() as u64,
+        Value::Pair(a, b) => 1 + v1_value_bytes(a) + v1_value_bytes(b),
+    }
+}
+
+/// Exact size of the segment file v1 would have written for the same shard:
+/// full per-record feature maps and one tag byte (+ fixed-width payload)
+/// per cell.  Computed arithmetically — nothing is encoded.
+fn v1_equivalent_bytes(
+    records: &[ExecutionRecord],
+    job: &EncodedSegment,
+    task: &EncodedSegment,
+) -> u64 {
+    // Magic + version + three block length prefixes + the record count.
+    let mut total = (SEGMENT_MAGIC.len() + 4 + 3 * 8 + 8) as u64;
+    for record in records {
+        total += 4 + record.id.len() as u64 + 1;
+        total += match &record.parent_job {
+            None => 1,
+            Some(parent) => 5 + parent.len() as u64,
+        };
+        total += 4;
+        for (name, value) in &record.features {
+            total += 4 + name.len() as u64 + v1_value_bytes(value);
+        }
+    }
+    for segment in [job, task] {
+        let store = &segment.store;
+        total += 4 + 8;
+        for attribute in store.attributes() {
+            total += 4 + attribute.name.len() as u64 + 1 + 4;
+            for (_, value) in attribute.dictionary.iter() {
+                total += 4 + value.len() as u64;
+            }
+        }
+        for col in 0..store.num_columns() {
+            for cell in store.column(col) {
+                total += match cell {
+                    AttrValue::Missing => 1,
+                    AttrValue::Num(_) => 9,
+                    AttrValue::Nom(_) => 5,
+                };
+            }
+        }
+        for column in &segment.originals {
+            total += 4;
+            for value in column {
+                total += v1_value_bytes(value);
+            }
+        }
+    }
+    total
+}
+
+/// Column index per feature name, in the order [`encode_segment`] lays
+/// columns out (catalog order).
+fn columns_by_name(catalog: &FeatureCatalog) -> FxHashMap<&str, usize> {
+    catalog
+        .defs()
+        .iter()
+        .enumerate()
+        .map(|(col, def)| (def.name.as_str(), col))
+        .collect()
+}
+
+/// Encodes one shard into its segment file bytes, with byte accounting.
 fn encode_shard_file(
     records: &[ExecutionRecord],
     job_catalog: &FeatureCatalog,
     task_catalog: &FeatureCatalog,
-) -> Vec<u8> {
+) -> (Vec<u8>, ShardSizes) {
     let jobs: Vec<&ExecutionRecord> = records
         .iter()
         .filter(|r| r.kind == ExecutionKind::Job)
@@ -414,19 +649,38 @@ fn encode_shard_file(
         .collect();
     let job_segment = encode_segment(job_catalog, &jobs);
     let task_segment = encode_segment(task_catalog, &tasks);
+    let job_columns = columns_by_name(job_catalog);
+    let task_columns = columns_by_name(task_catalog);
 
-    let mut writer = ByteWriter::with_capacity(records.len() * 64 + 1024);
+    let mut writer = ByteWriter::with_capacity(records.len() * 16 + 1024);
     writer.put_raw(SEGMENT_MAGIC);
     writer.put_u32(SNAPSHOT_VERSION);
     writer.put_block(|w| {
         w.put_u64(records.len() as u64);
+        let mut job_at = 0usize;
+        let mut task_at = 0usize;
         for record in records {
-            encode_record(w, record);
+            let (segment, columns, at) = match record.kind {
+                ExecutionKind::Job => (&job_segment, &job_columns, &mut job_at),
+                ExecutionKind::Task => (&task_segment, &task_columns, &mut task_at),
+            };
+            let row = *at;
+            *at += 1;
+            encode_record_slim(w, record, segment, columns, row);
         }
     });
+    let job_start = writer.len() as u64;
     writer.put_block(|w| encode_columns(w, &job_segment));
+    let task_start = writer.len() as u64;
     writer.put_block(|w| encode_columns(w, &task_segment));
-    writer.into_bytes()
+    let total = writer.len() as u64;
+    let sizes = ShardSizes {
+        total,
+        job: task_start - job_start,
+        task: total - task_start,
+        raw: v1_equivalent_bytes(records, &job_segment, &task_segment),
+    };
+    (writer.into_bytes(), sizes)
 }
 
 /// Decodes a segment file (everything after fingerprint verification).
@@ -446,12 +700,42 @@ fn decode_shard_file(bytes: &[u8]) -> std::result::Result<ShardPayload, CodecErr
     }
     let mut records_block = reader.get_block()?;
     let count = records_block.get_count()?;
-    let mut records = Vec::with_capacity(count.min(records_block.remaining()));
+    let mut metas = Vec::with_capacity(count.min(records_block.remaining()));
     for _ in 0..count {
-        records.push(decode_record(&mut records_block)?);
+        metas.push(decode_record_meta(&mut records_block)?);
     }
     let job = decode_columns(&mut reader.get_block()?)?;
     let task = decode_columns(&mut reader.get_block()?)?;
+
+    // The feature maps are rebuilt by walking each record's segment row, so
+    // the row counts must line up *before* any cell access (a zero-column
+    // store cannot know its row count and contributes nothing — see
+    // `load_shard`).
+    for (kind, segment) in [(ExecutionKind::Job, &job), (ExecutionKind::Task, &task)] {
+        let expected = metas.iter().filter(|m| m.kind == kind).count();
+        if segment.store.num_columns() > 0 && segment.store.num_rows() != expected {
+            return Err(CodecError::Invalid(format!(
+                "{} segment encodes {} row(s) for {expected} {} record(s)",
+                kind.as_str(),
+                segment.store.num_rows(),
+                kind.as_str()
+            )));
+        }
+    }
+    let mut job_at = 0usize;
+    let mut task_at = 0usize;
+    let records = metas
+        .into_iter()
+        .map(|meta| {
+            let (segment, at) = match meta.kind {
+                ExecutionKind::Job => (&job, &mut job_at),
+                ExecutionKind::Task => (&task, &mut task_at),
+            };
+            let row = *at;
+            *at += 1;
+            rebuild_record(meta, segment, row)
+        })
+        .collect();
     Ok(ShardPayload { records, job, task })
 }
 
@@ -616,6 +900,68 @@ impl Snapshot {
     pub fn view(&self, kind: ExecutionKind) -> ColumnarLog {
         ColumnarLog::build_from_snapshot(self, kind)
     }
+
+    /// Consumes the snapshot into the reassembled log plus both columnar
+    /// views, moving the decoded segments instead of cloning them: the
+    /// `Arc`-backed column buffers decoded off disk are the ones the views
+    /// end up holding (adopted outright for single-segment snapshots), so
+    /// peak memory during a cold open is approximately the final views
+    /// plus the log — not 2–3× it, as the clone-per-view path costs.
+    ///
+    /// The results are bit-identical to [`Snapshot::to_log`] and
+    /// [`Snapshot::view`] on the same snapshot.
+    pub fn into_views(self) -> SnapshotViews {
+        let Snapshot { manifest, shards } = self;
+        let mut shard_logs = Vec::with_capacity(shards.len());
+        let mut job_segments = Vec::with_capacity(shards.len());
+        let mut task_segments = Vec::with_capacity(shards.len());
+        let mut job_records = Vec::new();
+        let mut task_records = Vec::new();
+        for shard in shards {
+            // The one unavoidable record clone: both the log and the views
+            // own their records.  Segments are moved.
+            shard_logs.push(ExecutionLog::from_parts(
+                shard.records.clone(),
+                shard.job_catalog,
+                shard.task_catalog,
+            ));
+            job_segments.push(shard.job);
+            task_segments.push(shard.task);
+            for record in shard.records {
+                match record.kind {
+                    ExecutionKind::Job => job_records.push(record),
+                    ExecutionKind::Task => task_records.push(record),
+                }
+            }
+        }
+        let log = ExecutionLog::from_shards(shard_logs);
+        let job = ColumnarLog::assemble(
+            ExecutionKind::Job,
+            &manifest.job_catalog,
+            job_records,
+            job_segments,
+        );
+        let task = ColumnarLog::assemble(
+            ExecutionKind::Task,
+            &manifest.task_catalog,
+            task_records,
+            task_segments,
+        );
+        SnapshotViews { log, job, task }
+    }
+}
+
+/// A snapshot consumed into its queryable parts ([`Snapshot::into_views`]):
+/// the reassembled log and the two columnar views, sharing no redundant
+/// copies of the column data.
+#[derive(Debug, Clone)]
+pub struct SnapshotViews {
+    /// The reassembled execution log (records + merged catalogs).
+    pub log: ExecutionLog,
+    /// The job view, bit-identical to `ColumnarLog::build` over `log`.
+    pub job: ColumnarLog,
+    /// The task view, bit-identical to `ColumnarLog::build` over `log`.
+    pub task: ColumnarLog,
 }
 
 /// Opens a snapshot directory: manifest first, then every segment file
@@ -750,7 +1096,7 @@ fn persist_impl(dir: &Path, mut shards: Vec<RecordShard>, generation: u64) -> Re
     }
 
     let encode_started = Instant::now();
-    let files: Vec<Vec<u8>> = crate::shard::map_chunks(
+    let files: Vec<(Vec<u8>, ShardSizes)> = crate::shard::map_chunks(
         &shards,
         crate::shard::hardware_threads().min(shards.len()),
         |chunk| {
@@ -771,7 +1117,7 @@ fn persist_impl(dir: &Path, mut shards: Vec<RecordShard>, generation: u64) -> Re
         message: e.to_string(),
     })?;
     let mut entries = Vec::with_capacity(shards.len());
-    for (i, ((shard, bytes), (job_local, task_local))) in
+    for (i, ((shard, (bytes, sizes)), (job_local, task_local))) in
         shards.iter().zip(&files).zip(local_catalogs).enumerate()
     {
         let fingerprint = fingerprint_bytes(bytes);
@@ -786,6 +1132,10 @@ fn persist_impl(dir: &Path, mut shards: Vec<RecordShard>, generation: u64) -> Re
             rows: shard.records.len() as u64,
             fingerprint,
             source_fingerprint: shard.source_fingerprint,
+            bytes: sizes.total,
+            job_bytes: sizes.job,
+            task_bytes: sizes.task,
+            raw_bytes: sizes.raw,
             job_catalog: job_local,
             task_catalog: task_local,
         });
@@ -1043,7 +1393,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
             ShardInput::Unchanged { .. } => {}
         }
     }
-    let encoded: Vec<(usize, Vec<u8>)> = crate::shard::map_chunks(
+    let encoded: Vec<(usize, (Vec<u8>, ShardSizes))> = crate::shard::map_chunks(
         &jobs,
         crate::shard::hardware_threads().min(jobs.len().max(1)),
         |chunk| {
@@ -1065,7 +1415,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
 
     // Write the fresh files and assemble the new manifest.
     let write_started = Instant::now();
-    let mut fresh_files: BTreeMap<usize, Vec<u8>> = encoded.into_iter().collect();
+    let mut fresh_files: BTreeMap<usize, (Vec<u8>, ShardSizes)> = encoded.into_iter().collect();
     let mut entries = Vec::with_capacity(inputs.len());
     let mut shards_encoded = 0usize;
     let mut shards_reused = 0usize;
@@ -1080,11 +1430,15 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                     rows: old_entry.rows,
                     fingerprint: old_entry.fingerprint,
                     source_fingerprint: Some(*source_fingerprint),
+                    bytes: old_entry.bytes,
+                    job_bytes: old_entry.job_bytes,
+                    task_bytes: old_entry.task_bytes,
+                    raw_bytes: old_entry.raw_bytes,
                     job_catalog: job_local,
                     task_catalog: task_local,
                 }
             }
-            (input, Some(bytes)) => {
+            (input, Some((bytes, sizes))) => {
                 shards_encoded += 1;
                 let rows = match input {
                     ShardInput::Fresh(shard) => shard.records.len(),
@@ -1108,6 +1462,10 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                     rows: rows as u64,
                     fingerprint,
                     source_fingerprint,
+                    bytes: sizes.total,
+                    job_bytes: sizes.job,
+                    task_bytes: sizes.task,
+                    raw_bytes: sizes.raw,
                     job_catalog: job_local,
                     task_catalog: task_local,
                 }
@@ -1439,5 +1797,104 @@ mod tests {
     fn opening_nothing_is_an_io_error() {
         let dir = test_dir("missing");
         assert!(matches!(open(&dir), Err(CoreError::SnapshotIo { .. })));
+    }
+
+    #[test]
+    fn into_views_equals_the_borrowing_paths() {
+        let log = sample_log();
+        let dir = test_dir("into_views");
+        for shards in [1usize, 3] {
+            persist(&log, &dir, shards).unwrap();
+            let snapshot = open(&dir).unwrap();
+            let expected_log = snapshot.to_log();
+            let expected_job = snapshot.view(ExecutionKind::Job);
+            let expected_task = snapshot.view(ExecutionKind::Task);
+            let views = snapshot.into_views();
+            assert_eq!(views.log, expected_log);
+            assert_eq!(views.job, expected_job);
+            assert_eq!(views.task, expected_task);
+            assert_eq!(views.job, ColumnarLog::build(&log, ExecutionKind::Job));
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn usage_accounts_for_every_on_disk_byte() {
+        let log = sample_log();
+        let dir = test_dir("usage");
+        let report = persist(&log, &dir, 3).unwrap();
+        let usage = report.manifest.usage();
+        let on_disk: u64 = report
+            .manifest
+            .shards
+            .iter()
+            .map(|entry| std::fs::metadata(dir.join(&entry.file)).unwrap().len())
+            .sum();
+        assert_eq!(usage.total_bytes, on_disk);
+        assert_eq!(
+            usage.total_bytes,
+            usage.records_bytes + usage.job_bytes + usage.task_bytes
+        );
+        // The v1 equivalent is strictly larger: the whole point of v2.
+        assert!(
+            usage.raw_bytes > usage.total_bytes,
+            "raw {} vs stored {}",
+            usage.raw_bytes,
+            usage.total_bytes
+        );
+        assert!(usage.compression_ratio() > 1.0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Null features and NaN numerics are exactly what the columns cannot
+    /// reproduce — they must ride the exception path and come back
+    /// bit-identical.
+    #[test]
+    fn exceptional_values_round_trip_bit_exactly() {
+        let mut log = ExecutionLog::new();
+        log.push(
+            ExecutionRecord::job("job_0")
+                .with_feature("duration", f64::NAN)
+                .with_feature("inputsize", -0.0)
+                .with_feature("reducers", Value::Null),
+        );
+        log.push(
+            ExecutionRecord::job("job_1")
+                .with_feature("duration", 2.0)
+                .with_feature("inputsize", f64::NEG_INFINITY),
+        );
+        log.rebuild_catalogs();
+        let dir = test_dir("exceptions");
+        persist(&log, &dir, 1).unwrap();
+        let reopened = open(&dir).unwrap().to_log();
+        for (original, decoded) in log.records().iter().zip(reopened.records()) {
+            assert_eq!(original.id, decoded.id);
+            assert_eq!(original.features.len(), decoded.features.len());
+            for (name, value) in &original.features {
+                let got = decoded.features.get(name).unwrap();
+                assert!(
+                    values_identical(value, got),
+                    "feature '{name}': {value:?} vs {got:?}"
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_manifests_report_version_skew_naming_reingest() {
+        let dir = test_dir("v1_skew");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version": 1}"#).unwrap();
+        let err = open(&dir).unwrap_err();
+        match &err {
+            CoreError::SnapshotVersionSkew { found, supported } => {
+                assert_eq!(*found, 1);
+                assert_eq!(*supported, SNAPSHOT_VERSION);
+            }
+            other => panic!("expected version skew, got {other:?}"),
+        }
+        assert!(err.to_string().contains("re-ingest"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -20,20 +20,56 @@
 //! merged in row order, the merged store is **bit-identical** to encoding
 //! all rows in one pass: same ids, same cells, same dictionary order.
 
-use crate::codec::{ByteReader, ByteWriter, CodecError, CodecResult};
+use crate::codec::{
+    bits_needed, decode_f64_stream, encode_f64_stream, ByteReader, ByteWriter, CodecError,
+    CodecResult,
+};
 use crate::dataset::{AttrKind, AttrValue, Attribute};
 use crate::hash::FxHashMap;
+use std::ops::Deref;
+use std::sync::Arc;
 
-/// Cell tags of the binary column encoding.
-const CELL_MISSING: u8 = 0;
-const CELL_NUM: u8 = 1;
-const CELL_NOM: u8 = 2;
+/// Kind tags describing the present cells of one encoded column.
+const KINDS_NUM: u8 = 0;
+const KINDS_NOM: u8 = 1;
+const KINDS_MIXED: u8 = 2;
+
+/// One immutable, reference-counted column of cells.
+///
+/// Cloning a `ColumnData` — and therefore a [`ColumnStore`] — shares the
+/// underlying buffer instead of copying it.  This is what lets the snapshot
+/// open path hand freshly decoded columns to a view without a memcpy: the
+/// decoder builds each column once, and every later consumer adopts the
+/// same `Arc`-backed buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnData(Arc<[AttrValue]>);
+
+impl ColumnData {
+    /// The cells, as a slice.
+    pub fn as_slice(&self) -> &[AttrValue] {
+        &self.0
+    }
+}
+
+impl Deref for ColumnData {
+    type Target = [AttrValue];
+
+    fn deref(&self) -> &[AttrValue] {
+        &self.0
+    }
+}
+
+impl From<Vec<AttrValue>> for ColumnData {
+    fn from(cells: Vec<AttrValue>) -> Self {
+        ColumnData(cells.into())
+    }
+}
 
 /// An immutable column-major table of encoded feature values.
 #[derive(Debug, Clone, Default)]
 pub struct ColumnStore {
     attributes: Vec<Attribute>,
-    columns: Vec<Vec<AttrValue>>,
+    columns: Vec<ColumnData>,
     index: FxHashMap<String, usize>,
     rows: usize,
 }
@@ -64,12 +100,22 @@ impl ColumnStore {
     /// Panics when the number of columns does not match the number of
     /// attributes or when the columns are ragged.
     pub fn from_columns(attributes: Vec<Attribute>, columns: Vec<Vec<AttrValue>>) -> Self {
+        ColumnStore::from_column_data(attributes, columns.into_iter().map(Into::into).collect())
+    }
+
+    /// Builds a store from already-shared columns, adopting the `Arc`
+    /// buffers without copying any cells.
+    ///
+    /// # Panics
+    /// Panics when the number of columns does not match the number of
+    /// attributes or when the columns are ragged.
+    pub fn from_column_data(attributes: Vec<Attribute>, columns: Vec<ColumnData>) -> Self {
         assert_eq!(
             attributes.len(),
             columns.len(),
             "attribute/column count mismatch"
         );
-        let rows = columns.first().map(Vec::len).unwrap_or(0);
+        let rows = columns.first().map(|c| c.len()).unwrap_or(0);
         for (attribute, column) in attributes.iter().zip(&columns) {
             assert_eq!(
                 column.len(),
@@ -122,6 +168,11 @@ impl ColumnStore {
         &self.columns[col]
     }
 
+    /// The shared buffer behind column `col` (an `Arc` clone, no cell copy).
+    pub fn column_data(&self, col: usize) -> ColumnData {
+        self.columns[col].clone()
+    }
+
     /// The cell at (`row`, `col`).
     #[inline]
     pub fn value(&self, row: usize, col: usize) -> AttrValue {
@@ -140,8 +191,24 @@ impl ColumnStore {
     ///
     /// # Panics
     /// Panics when `segments` is empty or the schemas disagree.
-    pub fn merge_segments(segments: Vec<ColumnStore>) -> MergedStore {
+    pub fn merge_segments(mut segments: Vec<ColumnStore>) -> MergedStore {
         assert!(!segments.is_empty(), "merge_segments needs >= 1 segment");
+
+        // A single segment already *is* the merged store: adopt its
+        // `Arc`-shared columns and dictionaries outright (the remap is the
+        // identity) instead of copying every cell.  This is the zero-copy
+        // fast path of the snapshot open: a snapshot persisted as one shard
+        // per kind hands its decoded buffers straight to the view.
+        if segments.len() == 1 {
+            let store = segments.pop().expect("length checked above");
+            let remaps = vec![store
+                .attributes
+                .iter()
+                .map(|a| (0..a.dictionary.len() as u32).collect())
+                .collect()];
+            return MergedStore { store, remaps };
+        }
+
         let num_columns = segments[0].num_columns();
         for segment in &segments[1..] {
             assert_eq!(
@@ -187,10 +254,13 @@ impl ColumnStore {
             remaps.push(segment_remap);
         }
 
+        // Concatenate cells, consuming segments one at a time so each
+        // segment's buffers are freed as soon as its rows are copied: peak
+        // memory is the merged columns plus one segment, not 2× the total.
         let rows: usize = segments.iter().map(|s| s.rows).sum();
         let mut columns: Vec<Vec<AttrValue>> =
             (0..num_columns).map(|_| Vec::with_capacity(rows)).collect();
-        for (segment, segment_remap) in segments.iter().zip(&remaps) {
+        for (segment, segment_remap) in segments.into_iter().zip(&remaps) {
             for (col, column) in segment.columns.iter().enumerate() {
                 let remap = &segment_remap[col];
                 columns[col].extend(column.iter().map(|cell| match cell {
@@ -206,12 +276,26 @@ impl ColumnStore {
         }
     }
 
-    /// Appends the store's binary encoding to `writer`.
+    /// Appends the store's binary encoding (the compressed v2 column
+    /// format) to `writer`.
     ///
     /// The format is column-major and self-delimiting: schema first (per
     /// attribute: name, kind, dictionary values in intern order), then one
-    /// cell stream per column (tag byte + payload).  No text formatting and
-    /// no per-cell allocation on either side — this is the on-disk form the
+    /// compressed cell stream per column:
+    ///
+    /// ```text
+    /// presence bitmap   ⌈rows/8⌉ bytes, bit r set = row r has a value
+    /// kind tag          1 byte: all-numeric / all-nominal / mixed
+    /// [kind bitmap]     mixed only: ⌈present/8⌉ bytes, bit = nominal
+    /// [nominal ids]     if any: width byte (⌈log₂ dict len⌉) + packed ids
+    /// [numeric stream]  if any: FoR / delta / raw, whichever is smallest
+    /// ```
+    ///
+    /// Missing cells cost one bitmap bit; dictionary ids cost
+    /// ⌈log₂(dict len)⌉ bits; integral numerics cost their
+    /// frame-of-reference (or delta) width; incompressible numerics fall
+    /// back to their raw 8-byte bit patterns.  No text formatting and no
+    /// per-cell allocation on either side — this is the on-disk form the
     /// snapshot store serves cold starts from, bypassing serde-JSON
     /// entirely.  Decode with [`ColumnStore::decode_binary`].
     pub fn encode_binary(&self, writer: &mut ByteWriter) {
@@ -228,43 +312,36 @@ impl ColumnStore {
                 writer.put_str(value);
             }
         }
-        for column in &self.columns {
-            for cell in column {
-                match cell {
-                    AttrValue::Missing => writer.put_u8(CELL_MISSING),
-                    AttrValue::Num(v) => {
-                        writer.put_u8(CELL_NUM);
-                        writer.put_f64(*v);
-                    }
-                    AttrValue::Nom(id) => {
-                        writer.put_u8(CELL_NOM);
-                        writer.put_u32(*id);
-                    }
-                }
-            }
+        for (attribute, column) in self.attributes.iter().zip(&self.columns) {
+            encode_column(writer, attribute, column);
         }
     }
 
     /// Decodes a store previously written by [`ColumnStore::encode_binary`].
     ///
-    /// Every read is checked: truncated input, invalid kind/cell tags,
-    /// duplicate dictionary entries and out-of-range nominal ids all return
-    /// a typed [`CodecError`] — corrupt snapshot files must never panic the
-    /// process that opens them.  The decoded store is bit-identical to the
-    /// encoded one (dictionary ids are re-interned in stored order).
+    /// Every read is checked: truncated input (including a presence bitmap
+    /// shorter than the row count), invalid kind tags, impossible bit
+    /// widths, duplicate dictionary entries and out-of-range nominal ids
+    /// all return a typed [`CodecError`] — corrupt snapshot files must
+    /// never panic the process that opens them, and no allocation is sized
+    /// by an unverified count.  The decoded store is bit-identical to the
+    /// encoded one (dictionary ids are re-interned in stored order, NaN
+    /// and `-0.0` cells keep their exact bit patterns), and its columns
+    /// land directly in fresh [`ColumnData`] buffers ready for zero-copy
+    /// sharing.
     pub fn decode_binary(reader: &mut ByteReader<'_>) -> CodecResult<ColumnStore> {
         let num_columns = reader.get_u32()? as usize;
         let rows = reader.get_u64()? as usize;
         // Corrupt counts must fail at the first checked read, not via an
         // attempted count-sized allocation: every column needs at least one
-        // byte of schema and every cell at least its tag byte.
+        // byte of schema and one presence bitmap bit per cell.
         if num_columns > reader.remaining() {
             return Err(CodecError::Invalid(format!(
                 "column count {num_columns} exceeds the {} remaining byte(s)",
                 reader.remaining()
             )));
         }
-        if num_columns > 0 && rows > reader.remaining() {
+        if num_columns > 0 && rows.div_ceil(8) > reader.remaining() {
             return Err(CodecError::Invalid(format!(
                 "row count {rows} exceeds the {} remaining byte(s)",
                 reader.remaining()
@@ -301,39 +378,154 @@ impl ColumnStore {
         }
         let mut columns = Vec::with_capacity(num_columns);
         for attribute in &attributes {
-            // Capacity is clamped by the bytes actually left (each cell
-            // costs at least its tag byte): a corrupt row count must fail
-            // at a checked read, not by provoking a huge allocation first.
-            let mut column = Vec::with_capacity(rows.min(reader.remaining()));
-            for _ in 0..rows {
-                let cell = match reader.get_u8()? {
-                    CELL_MISSING => AttrValue::Missing,
-                    CELL_NUM => AttrValue::Num(reader.get_f64()?),
-                    CELL_NOM => {
-                        let id = reader.get_u32()?;
-                        if id as usize >= attribute.dictionary.len() {
-                            return Err(CodecError::Invalid(format!(
-                                "nominal id {id} out of range on column '{}' \
-                                 (dictionary has {} entries)",
-                                attribute.name,
-                                attribute.dictionary.len()
-                            )));
-                        }
-                        AttrValue::Nom(id)
-                    }
-                    tag => {
-                        return Err(CodecError::Invalid(format!(
-                            "unknown cell tag {tag} on column '{}'",
-                            attribute.name
-                        )))
-                    }
-                };
-                column.push(cell);
-            }
-            columns.push(column);
+            columns.push(decode_column(reader, attribute, rows)?.into());
         }
-        Ok(ColumnStore::from_columns(attributes, columns))
+        Ok(ColumnStore::from_column_data(attributes, columns))
     }
+}
+
+/// Encodes one column as presence bitmap + kind split + packed sub-streams
+/// (see [`ColumnStore::encode_binary`] for the layout).
+fn encode_column(writer: &mut ByteWriter, attribute: &Attribute, cells: &[AttrValue]) {
+    let presence: Vec<bool> = cells.iter().map(|cell| !cell.is_missing()).collect();
+    writer.put_bitmap(&presence);
+
+    // Split the present cells into the nominal-id and numeric sub-streams,
+    // remembering which was which for mixed columns.
+    let mut ids: Vec<u64> = Vec::new();
+    let mut nums: Vec<f64> = Vec::new();
+    let mut kinds: Vec<bool> = Vec::new();
+    for cell in cells {
+        match cell {
+            AttrValue::Missing => {}
+            AttrValue::Num(v) => {
+                nums.push(*v);
+                kinds.push(false);
+            }
+            AttrValue::Nom(id) => {
+                ids.push(*id as u64);
+                kinds.push(true);
+            }
+        }
+    }
+    let kind_tag = if ids.is_empty() {
+        KINDS_NUM
+    } else if nums.is_empty() {
+        KINDS_NOM
+    } else {
+        KINDS_MIXED
+    };
+    writer.put_u8(kind_tag);
+    if kind_tag == KINDS_MIXED {
+        writer.put_bitmap(&kinds);
+    }
+    if !ids.is_empty() {
+        // Ids are packed at the dictionary's canonical width; the width
+        // byte is redundant with the dictionary length, which is exactly
+        // what lets the decoder reject a tampered width outright.
+        let width = bits_needed(attribute.dictionary.len().saturating_sub(1) as u64);
+        writer.put_u8(width as u8);
+        writer.put_packed(&ids, width);
+    }
+    if !nums.is_empty() {
+        encode_f64_stream(writer, &nums);
+    }
+}
+
+/// Decodes one column written by [`encode_column`].  The `rows` bound was
+/// validated against the input length by the caller, and every allocation
+/// below happens only after the bytes backing it were actually consumed.
+fn decode_column(
+    reader: &mut ByteReader<'_>,
+    attribute: &Attribute,
+    rows: usize,
+) -> CodecResult<Vec<AttrValue>> {
+    let presence = reader.get_bitmap(rows)?;
+    let present = presence.iter().filter(|&&bit| bit).count();
+    let kind_tag = reader.get_u8()?;
+    let kinds: Option<Vec<bool>> = match kind_tag {
+        KINDS_NUM | KINDS_NOM => None,
+        KINDS_MIXED => Some(reader.get_bitmap(present)?),
+        tag => {
+            return Err(CodecError::Invalid(format!(
+                "unknown column kind tag {tag} on column '{}'",
+                attribute.name
+            )))
+        }
+    };
+    let nom_count = match kind_tag {
+        KINDS_NUM => 0,
+        KINDS_NOM => present,
+        _ => kinds
+            .as_ref()
+            .map(|k| k.iter().filter(|&&bit| bit).count())
+            .unwrap_or(0),
+    };
+    let num_count = present - nom_count;
+
+    let ids = if nom_count > 0 {
+        let dict_len = attribute.dictionary.len();
+        if dict_len == 0 {
+            return Err(CodecError::Invalid(format!(
+                "nominal cells with an empty dictionary on column '{}'",
+                attribute.name
+            )));
+        }
+        let expected = bits_needed((dict_len - 1) as u64);
+        let width = reader.get_u8()? as u32;
+        if width != expected {
+            return Err(CodecError::Invalid(format!(
+                "impossible bit width {width} on column '{}' \
+                 ({dict_len} dictionary entries pack at {expected} bit(s))",
+                attribute.name
+            )));
+        }
+        let ids = reader.get_packed(nom_count, width)?;
+        for &id in &ids {
+            if id as usize >= dict_len {
+                return Err(CodecError::Invalid(format!(
+                    "nominal id {id} out of range on column '{}' \
+                     (dictionary has {dict_len} entries)",
+                    attribute.name
+                )));
+            }
+        }
+        ids
+    } else {
+        Vec::new()
+    };
+    let nums = if num_count > 0 {
+        decode_f64_stream(reader, num_count)?
+    } else {
+        Vec::new()
+    };
+
+    // Reassemble the cells by walking the bitmaps and pulling from the two
+    // sub-streams in order.
+    let mut cells = Vec::with_capacity(rows);
+    let mut nom_at = 0usize;
+    let mut num_at = 0usize;
+    let mut present_at = 0usize;
+    for &bit in &presence {
+        if !bit {
+            cells.push(AttrValue::Missing);
+            continue;
+        }
+        let is_nominal = match kind_tag {
+            KINDS_NUM => false,
+            KINDS_NOM => true,
+            _ => kinds.as_ref().expect("mixed columns carry a kind bitmap")[present_at],
+        };
+        present_at += 1;
+        if is_nominal {
+            cells.push(AttrValue::Nom(ids[nom_at] as u32));
+            nom_at += 1;
+        } else {
+            cells.push(AttrValue::Num(nums[num_at]));
+            num_at += 1;
+        }
+    }
+    Ok(cells)
 }
 
 #[cfg(test)]
@@ -485,17 +677,6 @@ mod tests {
         store().encode_binary(&mut writer);
         let bytes = writer.into_bytes();
 
-        // An out-of-range nominal id: patch the last cell (a Nom tag +
-        // u32 id) to reference a dictionary entry that does not exist.
-        let mut corrupt = bytes.clone();
-        let len = corrupt.len();
-        corrupt[len - 4..].copy_from_slice(&99u32.to_le_bytes());
-        let mut reader = ByteReader::new(&corrupt);
-        assert!(matches!(
-            ColumnStore::decode_binary(&mut reader),
-            Err(CodecError::Invalid(_))
-        ));
-
         // A bogus attribute-kind tag right after the first column name.
         let mut corrupt = bytes.clone();
         // Header: u32 columns + u64 rows + u32 name len + "size".
@@ -507,7 +688,22 @@ mod tests {
             Err(CodecError::Invalid(_))
         ));
 
-        // An absurd row count fails fast instead of allocating.
+        // An impossible bit width: the last column ("script", 2-entry
+        // dictionary) ends with width byte + one packed byte, so the width
+        // sits at len-2.  Its only legal value is 1.
+        let mut corrupt = bytes.clone();
+        let len = corrupt.len();
+        corrupt[len - 2] = 63;
+        let mut reader = ByteReader::new(&corrupt);
+        match ColumnStore::decode_binary(&mut reader) {
+            Err(CodecError::Invalid(message)) => {
+                assert!(message.contains("impossible bit width"), "{message}")
+            }
+            other => panic!("expected an invalid-width error, got {other:?}"),
+        }
+
+        // An absurd row count fails fast instead of allocating: every
+        // column carries at least a ceil(rows/8)-byte presence bitmap.
         let mut corrupt = bytes;
         corrupt[4..12].copy_from_slice(&u64::MAX.to_le_bytes());
         let mut reader = ByteReader::new(&corrupt);
@@ -515,5 +711,125 @@ mod tests {
             ColumnStore::decode_binary(&mut reader),
             Err(CodecError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn binary_decode_rejects_out_of_range_packed_ids() {
+        // Four 2-bit ids over a 3-entry dictionary pack into one byte
+        // (the last byte of the encoding); forcing it to 0xFF yields ids
+        // of 3, one past the dictionary.
+        let store = nominal_segment(&["a", "b", "c", "a"]);
+        let mut writer = ByteWriter::new();
+        store.encode_binary(&mut writer);
+        let mut corrupt = writer.into_bytes();
+        let len = corrupt.len();
+        assert_eq!(corrupt[len - 1], 0b0010_0100);
+        corrupt[len - 1] = 0xFF;
+        let mut reader = ByteReader::new(&corrupt);
+        match ColumnStore::decode_binary(&mut reader) {
+            Err(CodecError::Invalid(message)) => {
+                assert!(message.contains("out of range"), "{message}")
+            }
+            other => panic!("expected an out-of-range error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_decode_rejects_short_presence_bitmap() {
+        // 20 all-missing rows need a 3-byte presence bitmap; cutting into
+        // it must surface as truncation, not a bad reassembly.
+        let store = ColumnStore::from_columns(
+            vec![Attribute::numeric("size")],
+            vec![vec![AttrValue::Missing; 20]],
+        );
+        let mut writer = ByteWriter::new();
+        store.encode_binary(&mut writer);
+        let bytes = writer.into_bytes();
+        let mut reader = ByteReader::new(&bytes[..bytes.len() - 2]);
+        assert!(matches!(
+            ColumnStore::decode_binary(&mut reader),
+            Err(CodecError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn binary_codec_round_trips_adversarial_cells_bit_exactly() {
+        // NaN, infinities, -0.0 and extreme magnitudes must survive with
+        // their exact bit patterns (PartialEq treats NaN as unequal, so
+        // compare via to_bits).  The mixed column also forces the
+        // kind-bitmap path, and the constant nominal column a zero-bit
+        // dictionary width.
+        let mut constant = Attribute::nominal("constant");
+        let only = constant.dictionary.intern("only");
+        let mut mixed = Attribute::nominal("mixed");
+        let tag = mixed.dictionary.intern("tag");
+        let store = ColumnStore::from_columns(
+            vec![Attribute::numeric("value"), constant, mixed],
+            vec![
+                vec![
+                    AttrValue::Num(f64::NAN),
+                    AttrValue::Num(f64::INFINITY),
+                    AttrValue::Num(f64::NEG_INFINITY),
+                    AttrValue::Num(-0.0),
+                    AttrValue::Num(f64::MAX),
+                    AttrValue::Num(f64::MIN_POSITIVE),
+                ],
+                vec![AttrValue::Nom(only); 6],
+                vec![
+                    AttrValue::Nom(tag),
+                    AttrValue::Num(2.5),
+                    AttrValue::Missing,
+                    AttrValue::Nom(tag),
+                    AttrValue::Num(-7.0),
+                    AttrValue::Missing,
+                ],
+            ],
+        );
+        let mut writer = ByteWriter::new();
+        store.encode_binary(&mut writer);
+        let bytes = writer.into_bytes();
+        let mut reader = ByteReader::new(&bytes);
+        let decoded = ColumnStore::decode_binary(&mut reader).unwrap();
+        assert!(reader.is_exhausted());
+        for col in 0..store.num_columns() {
+            for row in 0..store.num_rows() {
+                match (store.value(row, col), decoded.value(row, col)) {
+                    (AttrValue::Num(a), AttrValue::Num(b)) => {
+                        assert_eq!(a.to_bits(), b.to_bits(), "cell ({row}, {col})")
+                    }
+                    (a, b) => assert_eq!(a, b, "cell ({row}, {col})"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_codec_round_trips_all_missing_and_empty_columns() {
+        for store in [
+            ColumnStore::from_columns(
+                vec![Attribute::numeric("a"), Attribute::nominal("b")],
+                vec![vec![AttrValue::Missing; 9], vec![AttrValue::Missing; 9]],
+            ),
+            ColumnStore::from_columns(
+                vec![Attribute::numeric("a"), Attribute::nominal("b")],
+                vec![vec![], vec![]],
+            ),
+        ] {
+            let mut writer = ByteWriter::new();
+            store.encode_binary(&mut writer);
+            let bytes = writer.into_bytes();
+            let mut reader = ByteReader::new(&bytes);
+            let decoded = ColumnStore::decode_binary(&mut reader).unwrap();
+            assert!(reader.is_exhausted());
+            assert_eq!(decoded, store);
+        }
+    }
+
+    #[test]
+    fn decoded_columns_share_their_buffers_without_copying() {
+        let store = store();
+        let shared = store.column_data(1);
+        // The accessor hands out the same allocation, not a copy.
+        assert!(std::ptr::eq(shared.as_slice(), store.column(1)));
     }
 }

@@ -20,9 +20,12 @@
 //!   candidate dedup of the split search); deterministic and several times
 //!   cheaper per short-key lookup than std's SipHash.
 //! * [`codec`] — length-prefixed little-endian binary encoding primitives
-//!   ([`ByteWriter`] / [`ByteReader`]); [`ColumnStore::encode_binary`] and
-//!   [`ColumnStore::decode_binary`] persist encoded column segments in this
-//!   form so the snapshot store's cold start never touches serde-JSON.
+//!   ([`ByteWriter`] / [`ByteReader`]) plus the bit-level compression
+//!   layer: LSB-first bit-packing ([`ByteWriter::put_packed`]), presence
+//!   bitmaps and the frame-of-reference / delta / raw numeric stream codec
+//!   ([`codec::encode_f64_stream`]).  [`ColumnStore::encode_binary`] and
+//!   [`ColumnStore::decode_binary`] persist compressed column segments in
+//!   this form so the snapshot store's cold start never touches serde-JSON.
 //! * [`entropy`] — binary entropy, entropy of count vectors and information
 //!   gain of a boolean partition.
 //! * [`split`] — C4.5-style best-split search per attribute (threshold
@@ -78,6 +81,29 @@
 //!   search's sort (and with it the whole query service); NaN now behaves
 //!   exactly like [`AttrValue::Missing`] in candidate generation, the
 //!   sweep, [`Dataset::numeric_range`] and the Relief `diff`.
+//! * **Column segments compress on disk and share in memory.**  The v2
+//!   segment format written by [`ColumnStore::encode_binary`] lays each
+//!   column out as
+//!
+//!   ```text
+//!   ┌──────────────────┬──────────┬───────────────┬─────────────────────┐
+//!   │ presence bitmap  │ kind tag │ [kind bitmap] │ packed sub-streams  │
+//!   │ ⌈rows/8⌉ bytes   │ 1 byte   │ (mixed only)  │ nominal ids + nums  │
+//!   └──────────────────┴──────────┴───────────────┴─────────────────────┘
+//!   ```
+//!
+//!   Dictionary ids bit-pack at ⌈log₂(dict len)⌉ bits (a constant column
+//!   costs zero bits per cell); numerics whose values are exactly
+//!   representable integers take frame-of-reference or delta coding at the
+//!   offset width, whichever is smaller; everything else — NaN, ±inf,
+//!   −0.0, fractions, full-range magnitudes — falls back to raw 8-byte
+//!   bit patterns, so decoding is bit-exact by construction and the
+//!   fallback never costs more than the old fixed-width form.  Missing
+//!   cells cost one presence bit instead of a tag byte.  Decoded columns
+//!   land in [`columnar::ColumnData`] (`Arc<[AttrValue]>`) buffers, which
+//!   `ColumnStore::merge_segments` adopts without copying when a single
+//!   segment is merged — the snapshot open path hands the decoded buffers
+//!   straight to the query views.
 
 pub mod codec;
 pub mod columnar;
@@ -93,8 +119,11 @@ pub mod shard;
 pub mod split;
 pub mod stats;
 
-pub use codec::{ByteReader, ByteWriter, CodecError, CodecResult};
-pub use columnar::{ColumnStore, MergedStore};
+pub use codec::{
+    bits_needed, decode_f64_stream, encode_f64_stream, ByteReader, ByteWriter, CodecError,
+    CodecResult,
+};
+pub use columnar::{ColumnData, ColumnStore, MergedStore};
 pub use dataset::{
     AttrKind, AttrValue, Attribute, ColumnCells, Dataset, NominalDictionary, NO_NOMINAL,
 };

@@ -173,6 +173,37 @@ fn ms(seconds: f64) -> String {
     format!("{:.1} ms", seconds * 1e3)
 }
 
+/// Formats a byte count with a binary-prefix unit for the size report.
+fn size(bytes: u64) -> String {
+    const UNITS: [&str; 4] = ["B", "KiB", "MiB", "GiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.1} {}", UNITS[unit])
+    }
+}
+
+/// Prints the on-disk byte accounting of a snapshot: bytes per block kind
+/// and the overall compression ratio against the raw fixed-width (v1)
+/// encoding of the same data.
+fn report_snapshot_size(manifest: &perfxplain::SnapshotManifest) {
+    let usage = manifest.usage();
+    println!(
+        "  size    : {:>10}  (records {}, job columns {}, task columns {}; {:.2}x vs raw)",
+        size(usage.total_bytes),
+        size(usage.records_bytes),
+        size(usage.job_bytes),
+        size(usage.task_bytes),
+        usage.compression_ratio()
+    );
+}
+
 fn shards_from(args: &Args) -> Option<usize> {
     args.get("shards").map(|raw| {
         raw.parse::<usize>()
@@ -236,7 +267,18 @@ fn ingest_into_snapshot(args: &Args, bundles: &[JobLogBundle], dir: &std::path::
     // Shard count: an explicit --shards wins; otherwise stick to the
     // existing snapshot's layout so fingerprints stay comparable; a fresh
     // directory defaults to one shard per core.
-    let existing = SnapshotManifest::load(dir).ok();
+    let existing = match SnapshotManifest::load(dir) {
+        Ok(manifest) => Some(manifest),
+        // No manifest at all — a fresh directory, nothing to warn about.
+        Err(perfxplain::CoreError::SnapshotIo { .. }) => None,
+        // Version skew or corruption: the store exists but cannot be
+        // reused incrementally.  Warn and fall back to a full re-ingest
+        // over the same directory instead of dying.
+        Err(err) => {
+            eprintln!("warning: existing snapshot is unusable ({err}); re-ingesting everything");
+            None
+        }
+    };
     let shards = shards_from(args)
         .or_else(|| existing.as_ref().map(|m| m.shards.len()))
         .unwrap_or_else(perfxplain::shard::hardware_threads)
@@ -364,6 +406,7 @@ fn ingest_into_snapshot(args: &Args, bundles: &[JobLogBundle], dir: &std::path::
         dir.display(),
         report.manifest.shards.len()
     );
+    report_snapshot_size(&report.manifest);
     println!(
         "ingested {} rows: {} shard(s) re-encoded, {} served from disk",
         report.rows, report.shards_encoded, report.shards_reused
@@ -404,6 +447,7 @@ fn cmd_snapshot(action: &str, args: &Args) {
                 ms(report.write_seconds),
                 dir.display()
             );
+            report_snapshot_size(&report.manifest);
             println!(
                 "saved {} rows as {} shard(s) under {}",
                 report.rows,
@@ -415,22 +459,27 @@ fn cmd_snapshot(action: &str, args: &Args) {
             let open_started = Instant::now();
             let snap = snapshot::open(dir).unwrap_or_else(|e| fail(&e.to_string()));
             let open_secs = open_started.elapsed().as_secs_f64();
+            let shard_count = snap.shards().len();
+            let usage_manifest = snap.manifest().clone();
 
             let assemble_started = Instant::now();
-            let log = snap.to_log();
-            let job_view = snap.view(perfxplain::ExecutionKind::Job);
-            let task_view = snap.view(perfxplain::ExecutionKind::Task);
+            let perfxplain::SnapshotViews {
+                log,
+                job: job_view,
+                task: task_view,
+            } = snap.into_views();
             let assemble_secs = assemble_started.elapsed().as_secs_f64();
 
             println!(
                 "  open    : {:>10}  ({} shard(s), fingerprints verified)",
                 ms(open_secs),
-                snap.shards().len()
+                shard_count
             );
             println!(
-                "  views   : {:>10}  (assembled from stored columns, no re-encode)",
+                "  views   : {:>10}  (columns adopted from the decoded segments, no copy)",
                 ms(assemble_secs)
             );
+            report_snapshot_size(&usage_manifest);
             println!(
                 "opened {} rows ({} jobs / {} job features, {} tasks / {} task features)",
                 log.len(),

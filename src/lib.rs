@@ -91,8 +91,8 @@ pub use perfxplain_core::{
     Explanation, ExplanationQuality, FeatureCatalog, FeatureDef, FeatureKind, FeatureLevel,
     MetricEstimate, PairCatalog, PairExample, PairFeatureGroup, PairLabel, PerfXplain, QueryInput,
     QueryOutcome, QueryRequest, RecordShard, RuleOfThumb, ShardEntry, ShardInput, SimButDiff,
-    Snapshot, SnapshotManifest, SnapshotShard, SyncReport, Technique, TrainingSet, XplainService,
-    DEFAULT_SIM_THRESHOLD, DURATION_FEATURE, SNAPSHOT_VERSION,
+    Snapshot, SnapshotManifest, SnapshotShard, SnapshotUsage, SnapshotViews, SyncReport, Technique,
+    TrainingSet, XplainService, DEFAULT_SIM_THRESHOLD, DURATION_FEATURE, SNAPSHOT_VERSION,
 };
 
 pub use perfxplain_core::shard;

@@ -958,6 +958,14 @@ proptest! {
             prop_assert_eq!(&from_snapshot, &ColumnarLog::build_sharded(&log, kind, shards));
             prop_assert_eq!(&from_snapshot, &ColumnarLog::build(&log, kind));
         }
+
+        // The consuming zero-copy path (columns adopted straight from the
+        // decoded segments) produces the same log and the same views as the
+        // borrowing rebuild above.
+        let views = snapshot::open(&dir).unwrap().into_views();
+        prop_assert_eq!(&views.log, &log);
+        prop_assert_eq!(&views.job, &ColumnarLog::build(&log, ExecutionKind::Job));
+        prop_assert_eq!(&views.task, &ColumnarLog::build(&log, ExecutionKind::Task));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -1043,5 +1051,159 @@ proptest! {
             );
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Segment codec round trips (bit-exact)
+// ---------------------------------------------------------------------------
+
+/// Adversarial numeric payloads for the v2 stream codec: non-finite values
+/// and signed zero (must force the raw fallback), extreme magnitudes (must
+/// not overflow the frame-of-reference / delta arithmetic), small integral
+/// values (eligible for bit-packing) and arbitrary doubles.
+fn arb_adversarial_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        Just(f64::NAN),
+        Just(f64::INFINITY),
+        Just(f64::NEG_INFINITY),
+        Just(-0.0f64),
+        Just(0.0f64),
+        Just(f64::MAX),
+        Just(f64::MIN),
+        Just(f64::MIN_POSITIVE),
+        Just(42.0f64),
+        any::<f64>(),
+        any::<u32>().prop_map(|v| f64::from(v) - f64::from(u32::MAX / 2)),
+    ]
+}
+
+/// One adversarial cell for a column whose nominal dictionary has
+/// `dict_len` entries (`dict_len == 0` means the column is purely numeric).
+fn arb_adversarial_cell(dict_len: u32) -> BoxedStrategy<perfxplain::mlcore::AttrValue> {
+    use perfxplain::mlcore::AttrValue;
+    if dict_len == 0 {
+        prop_oneof![
+            Just(AttrValue::Missing),
+            arb_adversarial_f64().prop_map(AttrValue::Num),
+        ]
+        .boxed()
+    } else {
+        prop_oneof![
+            Just(AttrValue::Missing),
+            arb_adversarial_f64().prop_map(AttrValue::Num),
+            (0u32..dict_len).prop_map(AttrValue::Nom),
+        ]
+        .boxed()
+    }
+}
+
+/// Bitwise equality for cells: `Num` payloads compare by their IEEE-754
+/// representation, so NaN == NaN and -0.0 != +0.0.
+fn cells_bit_equal(a: &perfxplain::mlcore::AttrValue, b: &perfxplain::mlcore::AttrValue) -> bool {
+    use perfxplain::mlcore::AttrValue;
+    match (a, b) {
+        (AttrValue::Missing, AttrValue::Missing) => true,
+        (AttrValue::Num(x), AttrValue::Num(y)) => x.to_bits() == y.to_bits(),
+        (AttrValue::Nom(x), AttrValue::Nom(y)) => x == y,
+        _ => false,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bit-packing at every width (0..=64) is the identity on values that
+    /// fit the width — including the empty slice and a single value.
+    #[test]
+    fn packed_bits_round_trip_at_every_width(
+        width in 0u32..65,
+        raw in proptest::collection::vec(any::<u64>(), 0..50),
+    ) {
+        use perfxplain::mlcore::{ByteReader, ByteWriter};
+
+        let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+        let values: Vec<u64> = raw.iter().map(|v| v & mask).collect();
+        let mut writer = ByteWriter::new();
+        writer.put_packed(&values, width);
+        let mut reader = ByteReader::new(writer.as_bytes());
+        let decoded = reader.get_packed(values.len(), width).unwrap();
+        prop_assert_eq!(decoded, values);
+        prop_assert!(reader.is_exhausted());
+    }
+
+    /// The numeric stream codec (raw / frame-of-reference / delta, chosen
+    /// per stream) is bit-exact over adversarial inputs: NaN payloads,
+    /// infinities, signed zero and extreme magnitudes all survive.
+    #[test]
+    fn f64_stream_round_trips_bit_exactly(
+        values in proptest::collection::vec(arb_adversarial_f64(), 0..60),
+    ) {
+        use perfxplain::mlcore::{decode_f64_stream, encode_f64_stream, ByteReader, ByteWriter};
+
+        let mut writer = ByteWriter::new();
+        encode_f64_stream(&mut writer, &values);
+        let mut reader = ByteReader::new(writer.as_bytes());
+        let decoded = decode_f64_stream(&mut reader, values.len()).unwrap();
+        prop_assert_eq!(decoded.len(), values.len());
+        for (got, want) in decoded.iter().zip(&values) {
+            prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+        prop_assert!(reader.is_exhausted());
+    }
+
+    /// The whole v2 column-segment format is the identity on adversarial
+    /// stores: dictionary-of-1 nominals (zero-bit packing), mixed
+    /// numeric/nominal columns, all-missing columns, zero-row stores, and
+    /// every pathological double.
+    #[test]
+    fn column_segments_round_trip_bit_exactly(
+        dict_len in 1u32..4,
+        rows in 0usize..40,
+        cell_seed in any::<u64>(),
+    ) {
+        use perfxplain::mlcore::{Attribute, ByteReader, ByteWriter, ColumnStore};
+
+        let mut nominal = Attribute::nominal("script");
+        for i in 0..dict_len {
+            nominal.dictionary.intern(&format!("script_{i}.pig"));
+        }
+        let attributes = vec![
+            Attribute::numeric("metric"),
+            nominal,
+            Attribute::numeric("all_missing"),
+        ];
+
+        // Deterministically sample one cell strategy per (column, row) from
+        // the seed, so the store is reproducible from the proptest case.
+        let mut rng = proptest::test_rng(cell_seed);
+        let numeric_cells = arb_adversarial_cell(0);
+        let nominal_cells = arb_adversarial_cell(dict_len);
+        let columns: Vec<Vec<perfxplain::mlcore::AttrValue>> = vec![
+            (0..rows).map(|_| numeric_cells.generate(&mut rng)).collect(),
+            (0..rows).map(|_| nominal_cells.generate(&mut rng)).collect(),
+            vec![perfxplain::mlcore::AttrValue::Missing; rows],
+        ];
+        let store = ColumnStore::from_columns(attributes, columns);
+
+        let mut writer = ByteWriter::new();
+        store.encode_binary(&mut writer);
+        let mut reader = ByteReader::new(writer.as_bytes());
+        let decoded = ColumnStore::decode_binary(&mut reader).unwrap();
+        prop_assert!(reader.is_exhausted());
+
+        prop_assert_eq!(decoded.num_rows(), store.num_rows());
+        prop_assert_eq!(decoded.num_columns(), store.num_columns());
+        prop_assert_eq!(decoded.attributes(), store.attributes());
+        for col in 0..store.num_columns() {
+            for row in 0..store.num_rows() {
+                let (want, got) = (store.value(row, col), decoded.value(row, col));
+                prop_assert!(
+                    cells_bit_equal(&want, &got),
+                    "cell ({}, {}) decoded as {:?}, expected {:?}",
+                    row, col, got, want
+                );
+            }
+        }
     }
 }

@@ -144,6 +144,91 @@ fn version_skew_is_a_typed_error() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// A v1 snapshot (fixed-width segments, fat records block) is not readable
+/// by the v2 decoder: `open` reports the skew as a typed error whose
+/// message names the recovery path — a full re-ingest from the source.
+#[test]
+fn v1_manifests_report_version_skew_naming_reingest() {
+    let dir = test_dir("v1_manifest");
+    snapshot::persist(&block_size_log(10), &dir, 1).unwrap();
+    let mut manifest = SnapshotManifest::load(&dir).unwrap();
+    manifest.version = 1;
+    std::fs::write(
+        dir.join(snapshot::MANIFEST_FILE),
+        serde_json::to_string_pretty(&manifest).unwrap(),
+    )
+    .unwrap();
+
+    let err = snapshot::open(&dir).unwrap_err();
+    let message = err.to_string();
+    match err {
+        CoreError::SnapshotVersionSkew { found, supported } => {
+            assert_eq!(found, 1);
+            assert_eq!(supported, snapshot::SNAPSHOT_VERSION);
+        }
+        other => panic!("expected SnapshotVersionSkew, got {other:?}"),
+    }
+    assert!(message.contains("re-ingest"), "{message}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Bit flips inside the compressed segment bitstreams (fingerprints
+/// re-recorded, so the *decoder* sees the damage, not the checksum) and
+/// truncations at every interesting boundary either decode to something or
+/// fail with a typed `SnapshotCorrupt` — never a panic, and never an
+/// attacker-sized allocation (the wall clock would explode long before the
+/// sweep finished if counts were trusted before the bytes backing them).
+#[test]
+fn corrupt_segment_bitstreams_fail_typed_never_panic() {
+    let dir = test_dir("flip_sweep");
+    snapshot::persist(&block_size_log(24), &dir, 1).unwrap();
+    let mut manifest = SnapshotManifest::load(&dir).unwrap();
+    let path = dir.join(&manifest.shards[0].file);
+    let pristine = std::fs::read(&path).unwrap();
+
+    let mut check = |bytes: &[u8], what: &str| {
+        std::fs::write(&path, bytes).unwrap();
+        manifest.shards[0].fingerprint = snapshot::fingerprint_bytes(bytes);
+        std::fs::write(
+            dir.join(snapshot::MANIFEST_FILE),
+            serde_json::to_string_pretty(&manifest).unwrap(),
+        )
+        .unwrap();
+        match snapshot::open(&dir) {
+            Ok(_) | Err(CoreError::SnapshotCorrupt { .. }) => {}
+            other => panic!("{what}: expected Ok or SnapshotCorrupt, got {other:?}"),
+        }
+    };
+
+    // Flip bytes across the whole file — header, record block, presence
+    // bitmaps, packed ids, numeric streams — with three different masks.
+    let step = (pristine.len() / 97).max(1);
+    for at in (0..pristine.len()).step_by(step) {
+        for mask in [0xffu8, 0x01, 0x80] {
+            let mut bytes = pristine.clone();
+            bytes[at] ^= mask;
+            check(&bytes, &format!("flip {mask:#x} at byte {at}"));
+        }
+    }
+
+    // Truncate at structural boundaries (empty file, mid-magic, mid-header,
+    // quarter / half / all-but-one).
+    for keep in [
+        0,
+        1,
+        7,
+        8,
+        11,
+        12,
+        pristine.len() / 4,
+        pristine.len() / 2,
+        pristine.len() - 1,
+    ] {
+        check(&pristine[..keep], &format!("truncate to {keep} bytes"));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 #[test]
 fn missing_segments_are_an_io_error_and_full_reingest_recovers() {
     let dir = test_dir("recovery");
@@ -286,6 +371,58 @@ fn run_cli(args: &[&str]) -> (String, String) {
         "CLI failed: {args:?}\nstdout:\n{stdout}\nstderr:\n{stderr}"
     );
     (stdout, stderr)
+}
+
+/// `ingest --snapshot` pointed at a v1-era snapshot does not fail: it warns
+/// on stderr that the existing snapshot is unusable and falls back to a
+/// full re-ingest, leaving a healthy v2 snapshot behind.
+#[test]
+fn cli_ingest_falls_back_on_version_skew() {
+    let dir = test_dir("cli_v1_fallback");
+    let bundles = dir.join("bundles");
+    std::fs::create_dir_all(&bundles).unwrap();
+    write_bundles(&bundles, &[11, 12]);
+    let snap = dir.join("snap");
+    let bundles_arg = bundles.display().to_string();
+    let snap_arg = snap.display().to_string();
+    let base = [
+        "ingest",
+        "--bundles",
+        bundles_arg.as_str(),
+        "--snapshot",
+        snap_arg.as_str(),
+        "--shards",
+        "1",
+    ];
+    run_cli(&base);
+
+    // Rewrite the manifest as a v1 ancestor would have left it.
+    let mut manifest = SnapshotManifest::load(&snap).unwrap();
+    manifest.version = 1;
+    std::fs::write(
+        snap.join(snapshot::MANIFEST_FILE),
+        serde_json::to_string_pretty(&manifest).unwrap(),
+    )
+    .unwrap();
+
+    let (stdout, stderr) = run_cli(&base);
+    assert!(
+        stderr.contains("re-ingesting everything"),
+        "fallback stderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("1 shard(s) re-encoded, 0 served from disk"),
+        "fallback stdout:\n{stdout}"
+    );
+    // The rebuilt snapshot is current-version and opens cleanly.
+    assert_eq!(
+        SnapshotManifest::load(&snap).unwrap().version,
+        snapshot::SNAPSHOT_VERSION
+    );
+    let reopened = snapshot::open(&snap).unwrap();
+    let direct = collect_bundles(&JobLogBundle::read_all(&bundles).unwrap()).unwrap();
+    assert_eq!(reopened.to_log(), direct);
+    std::fs::remove_dir_all(&dir).unwrap();
 }
 
 #[test]
