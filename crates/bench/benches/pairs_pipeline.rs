@@ -8,6 +8,9 @@
 //! the blocked-enumeration scenario at n = 100k and the `explain_latency`
 //! scenario (per-query phase breakdown plus the retained naive trainer vs
 //! the sweep trainer on the identical training dataset, n ∈ {20k, 100k}),
+//! the `serve_qps` scenario (an open-loop many-client drive against the
+//! in-process network front-end under a deliberately tight admission
+//! budget: qps, latency percentiles and shed counts),
 //! and writes `BENCH_pairs.json` (pairs/sec, candidate-memory footprint,
 //! speedups, the parallel-enumeration threshold) so future PRs can track
 //! the trend.  Run with `cargo bench --bench pairs_pipeline`.
@@ -187,6 +190,41 @@ struct BlockedEnumerationPoint {
     elapsed_ms: f64,
 }
 
+/// The `serve_qps` scenario: an open-loop many-client workload against the
+/// in-process network front-end.  Every connection issues requests back to
+/// back, so the server sees a constant `connections`-deep request stream;
+/// the admission budget is sized to roughly half that depth, so the run
+/// exercises queueing *and* load shedding, not just the happy path.
+#[derive(Debug, Serialize)]
+struct ServeQpsPoint {
+    /// Number of log records served.
+    n: usize,
+    /// Concurrent client connections.
+    connections: usize,
+    /// Back-to-back requests per connection.
+    requests_per_connection: usize,
+    /// Worker threads answering queries.
+    workers: usize,
+    /// Admission budget in cost units.
+    budget_units: u64,
+    /// Cost units one request is charged.
+    request_units: u64,
+    /// Requests sent.
+    sent: u64,
+    /// Success responses.
+    ok: u64,
+    /// Admission rejections (429).
+    shed: u64,
+    /// Deadline expirations (408).
+    deadline: u64,
+    /// Completed responses per second over the drive.
+    qps: f64,
+    /// Median latency of successful responses, ms.
+    p50_ms: f64,
+    /// 99th-percentile latency of successful responses, ms.
+    p99_ms: f64,
+}
+
 #[derive(Debug, Serialize)]
 struct PairsBenchReport {
     description: String,
@@ -202,6 +240,7 @@ struct PairsBenchReport {
     cold_start: Vec<ColdStartPoint>,
     blocked_enumeration: BlockedEnumerationPoint,
     explain_latency: Vec<ExplainLatencyPoint>,
+    serve_qps: ServeQpsPoint,
 }
 
 /// A synthetic log shaped like the paper's workload: two duration regimes
@@ -673,6 +712,74 @@ fn measure_explain_latency(n: usize) -> ExplainLatencyPoint {
     }
 }
 
+/// Measures the `serve_qps` scenario: spawns the network front-end over a
+/// `synthetic_log(n)` in-process, sizes the admission budget to admit
+/// roughly half the concurrent connections, and drives an open-loop
+/// workload through real loopback sockets.
+fn measure_serve_qps(
+    n: usize,
+    connections: usize,
+    requests_per_connection: usize,
+) -> ServeQpsPoint {
+    use perfxplain_server::{
+        default_request, run_load, spawn, QueryCost, SchedulerConfig, ServerConfig,
+    };
+    use std::sync::Arc;
+
+    let service = Arc::new(XplainService::new(synthetic_log(n)));
+    let request_units = QueryCost::from(
+        &service
+            .estimate_cost(
+                &QueryRequest::text(default_request("job_2", "job_0").query.unwrap())
+                    .with_pair("job_2", "job_0"),
+            )
+            .expect("the bench query is estimable"),
+    )
+    .units();
+    // Budget for half the connection depth, a queue for a quarter of it:
+    // the drive keeps every admission path busy (run, queue, shed).
+    let workers = perfxplain_core::shard::hardware_threads();
+    let budget_units = request_units * (connections as u64).div_ceil(2);
+    let config = ServerConfig {
+        workers,
+        scheduler: SchedulerConfig {
+            budget: QueryCost(budget_units),
+            queue_capacity: (connections / 4).max(1),
+            max_inflight_per_session: 2,
+            max_pending_per_session: 8,
+        },
+        ..ServerConfig::default()
+    };
+    let handle = spawn(service, config).expect("bench server binds");
+    let addr = handle.addr().to_string();
+
+    let report = run_load(&addr, connections, requests_per_connection, |c, s| {
+        let mut request = default_request("job_2", "job_0");
+        request.id = Some((c * requests_per_connection + s) as u64);
+        request
+    })
+    .expect("bench load drive completes");
+    assert_eq!(report.transport_errors, 0, "bench drive lost connections");
+    assert!(report.ok > 0, "bench drive answered nothing: {report:?}");
+    handle.shutdown();
+
+    ServeQpsPoint {
+        n,
+        connections,
+        requests_per_connection,
+        workers,
+        budget_units,
+        request_units,
+        sent: report.sent,
+        ok: report.ok,
+        shed: report.shed,
+        deadline: report.deadline,
+        qps: report.qps,
+        p50_ms: report.p50_ms,
+        p99_ms: report.p99_ms,
+    }
+}
+
 /// The blocked-enumeration scenario at n = 100k: candidates restricted to
 /// within-pigscript groups by the despite clause.
 fn measure_blocked_enumeration(n: usize, group_size: usize) -> BlockedEnumerationPoint {
@@ -778,6 +885,24 @@ fn main() {
         explain_latency.push(point);
     }
 
+    let serve_qps = measure_serve_qps(2_000, 8, 12);
+    println!(
+        "serve_qps: n = {}, {} connections x {} requests (budget {} units, request {} units): \
+         {} ok / {} shed / {} expired of {} sent — {:.1} qps, p50 {:.1} ms, p99 {:.1} ms",
+        serve_qps.n,
+        serve_qps.connections,
+        serve_qps.requests_per_connection,
+        serve_qps.budget_units,
+        serve_qps.request_units,
+        serve_qps.ok,
+        serve_qps.shed,
+        serve_qps.deadline,
+        serve_qps.sent,
+        serve_qps.qps,
+        serve_qps.p50_ms,
+        serve_qps.p99_ms,
+    );
+
     let blocked_enumeration = measure_blocked_enumeration(100_000, 10);
     println!(
         "blocked enumeration: n = {}, groups of {}: {} candidates (vs {} unblocked) in \
@@ -813,8 +938,12 @@ fn main() {
                       retained naive trainer (O(d·n) candidate rescans, row-at-a-time \
                       Relief) against the sweep trainer (single-sort O(n log n) splits, \
                       columnar Relief) on the identical dataset, outputs cross-checked \
-                      equal.  Pair enumeration fans out over threads by \
-                      default above parallel_enumeration_threshold records."
+                      equal.  serve_qps drives an open-loop many-client workload through \
+                      the network front-end over loopback sockets with the admission \
+                      budget sized to half the connection depth, so queueing and typed \
+                      load shedding are both on the measured path; latency percentiles \
+                      cover successful responses only.  Pair enumeration fans out over \
+                      threads by default above parallel_enumeration_threshold records."
             .to_string(),
         hardware_threads: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -826,6 +955,7 @@ fn main() {
         cold_start,
         blocked_enumeration,
         explain_latency,
+        serve_qps,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     // Write to the workspace root (identified by ROADMAP.md) whether run

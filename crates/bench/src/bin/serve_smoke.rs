@@ -1,0 +1,184 @@
+//! Release-mode smoke test of the network front-end.
+//!
+//! Spawns the PXQL server on a loopback port over a synthetic log, then
+//! checks the serving contract end to end under a hard wall-clock ceiling:
+//!
+//! * an open-loop many-client drive (several concurrent connections, each
+//!   issuing requests back to back) completes with every request answered
+//!   `ok` — the budget and queue are sized so none shed;
+//! * a request deliberately sized beyond the whole admission budget is shed
+//!   with a typed `429 cost_exceeds_budget` response, and the connection
+//!   survives to be answered again;
+//! * a malformed frame gets a typed `400 bad_frame` response;
+//! * the explanation served over the wire matches the in-process
+//!   [`XplainService`] answer for the identical request, atom for atom.
+//!
+//! Run with `cargo run --release -p perfxplain-bench --bin serve_smoke`.
+
+use perfxplain_core::{ExecutionLog, ExecutionRecord, QueryRequest, XplainService};
+use perfxplain_server::{
+    default_request, run_load, spawn, Client, QueryCost, SchedulerConfig, ServerConfig,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Log size: large enough that a query does real enumeration and training
+/// work, small enough to stay far under the ceiling on one core.
+const N: usize = 600;
+/// Concurrent client connections of the load drive.
+const CONNECTIONS: usize = 4;
+/// Back-to-back requests per connection.
+const REQUESTS_PER_CONNECTION: usize = 8;
+/// Wall-clock ceiling for the whole smoke run.
+const CEILING_SECS: u64 = 30;
+
+/// The same workload shape as the pairs benches: even-indexed jobs are
+/// big-block plateaued runs, so `job_2` reads far more input than `job_0`
+/// at a similar duration — the canonical pair of interest.
+fn synthetic_log(n: usize) -> ExecutionLog {
+    let mut log = ExecutionLog::new();
+    for i in 0..n {
+        let big_blocks = i % 2 == 0;
+        let input = [1.0e9, 4.0e9, 32.0e9][i % 3];
+        let duration = if big_blocks {
+            600.0 + (i % 13) as f64
+        } else {
+            input / 5.0e7 + (i % 7) as f64
+        };
+        log.push(
+            ExecutionRecord::job(format!("job_{i}"))
+                .with_feature("inputsize", input)
+                .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+                .with_feature("numinstances", [2.0, 8.0, 16.0][(i / 2) % 3])
+                .with_feature("pigscript", ["a.pig", "b.pig"][i % 2])
+                .with_feature("duration", duration),
+        );
+    }
+    log.rebuild_catalogs();
+    log
+}
+
+fn main() {
+    // The ceiling is enforced in-process so a hung event loop or a deadlock
+    // in the scheduler fails CI instead of hanging it.
+    std::thread::spawn(|| {
+        std::thread::sleep(Duration::from_secs(CEILING_SECS));
+        eprintln!("serve_smoke exceeded the {CEILING_SECS} s ceiling");
+        std::process::exit(1);
+    });
+
+    let service = Arc::new(XplainService::new(synthetic_log(N)));
+
+    // Size the budget from the same estimator the server charges with:
+    // three default-cost requests fit concurrently, so the drive below
+    // queues under load but never sheds, while a deliberately huge request
+    // can never be admitted.
+    let default_cost = QueryCost::from(
+        &service
+            .estimate_cost(
+                &QueryRequest::text(default_request("job_2", "job_0").query.unwrap())
+                    .with_pair("job_2", "job_0"),
+            )
+            .expect("the smoke query is estimable"),
+    );
+    let config = ServerConfig {
+        workers: 2,
+        scheduler: SchedulerConfig {
+            budget: default_cost + default_cost + default_cost,
+            queue_capacity: 64,
+            max_inflight_per_session: 2,
+            max_pending_per_session: 16,
+        },
+        ..ServerConfig::default()
+    };
+    let handle = spawn(Arc::clone(&service), config).expect("server binds on loopback");
+    let addr = handle.addr().to_string();
+    println!(
+        "serving {N} records on {addr} (budget {} units)",
+        (default_cost + default_cost + default_cost).units()
+    );
+
+    // The in-process ground truth for the identical request.
+    let expected = service
+        .explain(
+            &QueryRequest::text(default_request("job_2", "job_0").query.unwrap())
+                .with_pair("job_2", "job_0"),
+        )
+        .expect("the smoke query is answerable in-process");
+    let expected_atoms: Vec<String> = expected
+        .explanation
+        .because
+        .atoms()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+
+    // Contract 1: the networked answer matches the in-process one.
+    let mut client = Client::connect(&addr).expect("client connects");
+    let over_wire = client
+        .call(&default_request("job_2", "job_0"))
+        .expect("wire response");
+    assert!(over_wire.is_ok(), "wire request failed: {over_wire:?}");
+    assert_eq!(
+        over_wire.because.as_deref(),
+        Some(&expected_atoms[..]),
+        "the served explanation diverged from the in-process service"
+    );
+    println!(
+        "wire answer matches in-process: {}",
+        expected_atoms.join(" AND ")
+    );
+
+    // Contract 2: a request sized beyond the whole budget sheds, typed.
+    let mut huge = default_request("job_2", "job_0");
+    huge.sample_size = Some(1_000_000_000);
+    let shed = client.call(&huge).expect("shed response");
+    assert_eq!(shed.code, 429, "oversized request not shed: {shed:?}");
+    assert_eq!(shed.error.as_deref(), Some("cost_exceeds_budget"));
+    println!(
+        "oversized request shed: {}",
+        shed.message.as_deref().unwrap_or("")
+    );
+
+    // Contract 3: malformed frames get typed errors, the connection lives.
+    client.send_raw("definitely not json\n").expect("send raw");
+    let bad = client.recv().expect("bad-frame response");
+    assert_eq!(bad.code, 400);
+    assert_eq!(bad.error.as_deref(), Some("bad_frame"));
+    let again = client
+        .call(&default_request("job_2", "job_0"))
+        .expect("response after abuse");
+    assert!(
+        again.is_ok(),
+        "connection died after a bad frame: {again:?}"
+    );
+
+    // Contract 4: the concurrent open-loop drive completes all-ok.
+    let report = run_load(&addr, CONNECTIONS, REQUESTS_PER_CONNECTION, |c, s| {
+        let mut request = default_request("job_2", "job_0");
+        request.id = Some((c * REQUESTS_PER_CONNECTION + s) as u64);
+        request
+    })
+    .expect("load drive completes");
+    assert_eq!(
+        report.ok, report.sent,
+        "the sized-to-fit drive shed or failed requests: {report:?}"
+    );
+    assert_eq!(report.transport_errors, 0, "{report:?}");
+
+    let stats = handle.stats();
+    println!(
+        "drive: {} requests over {} connections, {:.1} qps, p50 {:.1} ms, p99 {:.1} ms",
+        report.sent, CONNECTIONS, report.qps, report.p50_ms, report.p99_ms
+    );
+    println!(
+        "server counters: {} sessions, {} requests, {} answered, {} shed, {} errors",
+        stats.sessions_accepted, stats.requests, stats.answered, stats.shed, stats.errors
+    );
+    assert!(
+        stats.shed >= 1,
+        "the oversized request should appear in shed counters"
+    );
+    assert!(stats.answered >= report.ok + 2);
+    println!("serve_smoke passed");
+}

@@ -57,6 +57,13 @@ pub enum CoreError {
         /// The version this build reads and writes.
         supported: u32,
     },
+    /// The request's [`CancelToken`](crate::cancel::CancelToken) was
+    /// cancelled before the pipeline finished; partial work was discarded.
+    Cancelled,
+    /// The request's deadline passed before the pipeline finished.  Distinct
+    /// from [`CoreError::Cancelled`] so network callers can map it to a
+    /// timeout status rather than a client-abort status.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for CoreError {
@@ -88,6 +95,10 @@ impl fmt::Display for CoreError {
                 "snapshot format version {found} is not supported \
                  (this build reads version {supported}); re-ingest from the source"
             ),
+            CoreError::Cancelled => write!(f, "query cancelled before completion"),
+            CoreError::DeadlineExceeded => {
+                write!(f, "query deadline passed before completion")
+            }
         }
     }
 }
@@ -134,5 +145,7 @@ mod tests {
             message: "permission denied".to_string(),
         };
         assert!(err.to_string().contains("permission denied"));
+        assert!(CoreError::Cancelled.to_string().contains("cancelled"));
+        assert!(CoreError::DeadlineExceeded.to_string().contains("deadline"));
     }
 }

@@ -16,6 +16,7 @@
 //!    (maximising relevance instead of precision).
 
 use crate::bridge::DatasetBridge;
+use crate::cancel::CancelToken;
 use crate::columnar::ColumnarLog;
 use crate::config::ExplainConfig;
 use crate::error::Result;
@@ -24,7 +25,9 @@ use crate::pairs::{PairCatalog, PairExample};
 use crate::query::BoundQuery;
 use crate::record::ExecutionLog;
 use crate::service::XplainService;
-use crate::training::{prepare_encoded_training_in, EncodedTraining, TrainingSet};
+use crate::training::{
+    prepare_encoded_training_cancellable, prepare_encoded_training_in, EncodedTraining, TrainingSet,
+};
 use mlcore::{
     best_split_for_attribute_filtered, percentile_ranks, SplitCandidate, PARALLEL_SPLIT_MIN_CELLS,
 };
@@ -98,7 +101,7 @@ impl PerfXplain {
         view: Arc<ColumnarLog>,
         query: &BoundQuery,
     ) -> Result<Explanation> {
-        self.explain_with_training(log, view, query, false, false)
+        self.explain_with_training(log, view, query, false, false, &CancelToken::never())
             .map(|(explanation, _, _)| explanation)
     }
 
@@ -111,6 +114,13 @@ impl PerfXplain {
     /// `preconditions_verified = true` to skip the re-check — precondition
     /// verification derives the full pair-feature map of the pair of
     /// interest, which is not free.
+    ///
+    /// `cancel` is checked cooperatively at the pipeline's phase boundaries
+    /// — before work starts, per batch of the pair enumeration, and per
+    /// clause-growing iteration — so a networked caller's deadline or abort
+    /// surfaces as [`CoreError::Cancelled`](crate::CoreError::Cancelled) /
+    /// [`CoreError::DeadlineExceeded`](crate::CoreError::DeadlineExceeded)
+    /// within one phase of firing.
     pub(crate) fn explain_with_training<'a>(
         &self,
         log: &'a ExecutionLog,
@@ -118,11 +128,14 @@ impl PerfXplain {
         query: &BoundQuery,
         extend_despite: bool,
         preconditions_verified: bool,
+        cancel: &CancelToken,
     ) -> Result<(Explanation, BoundQuery, EncodedTraining<'a>)> {
+        cancel.check()?;
         if !preconditions_verified {
             query.verify_preconditions(log, self.config.sim_threshold)?;
         }
-        let training = prepare_encoded_training_in(log, view.clone(), query, &self.config)?;
+        let training =
+            prepare_encoded_training_cancellable(log, view.clone(), query, &self.config, cancel)?;
 
         if extend_despite {
             // Relevance of the empty extension over the sample: the fraction
@@ -133,18 +146,31 @@ impl PerfXplain {
             let base_relevance = training.num_expected() as f64 / training.len().max(1) as f64;
             if base_relevance < self.config.relevance_threshold {
                 let bridge = self.encode_bridge(&training, query);
-                let extension =
-                    self.generate_clause_from_bridge(&bridge, false, self.config.despite_width);
+                let extension = self.generate_clause_cancellable(
+                    &bridge,
+                    false,
+                    self.config.despite_width,
+                    cancel,
+                )?;
                 let mut extended = query.clone();
                 extended.query = extended
                     .query
                     .clone()
                     .with_despite(query.query.despite.conjoin(&extension));
-                let extended_training =
-                    prepare_encoded_training_in(log, view, &extended, &self.config)?;
+                let extended_training = prepare_encoded_training_cancellable(
+                    log,
+                    view,
+                    &extended,
+                    &self.config,
+                    cancel,
+                )?;
                 let extended_bridge = self.encode_bridge(&extended_training, &extended);
-                let because =
-                    self.generate_clause_from_bridge(&extended_bridge, true, self.config.width);
+                let because = self.generate_clause_cancellable(
+                    &extended_bridge,
+                    true,
+                    self.config.width,
+                    cancel,
+                )?;
                 return Ok((
                     Explanation::new(extension, because),
                     extended,
@@ -154,7 +180,7 @@ impl PerfXplain {
         }
 
         let bridge = self.encode_bridge(&training, query);
-        let because = self.generate_clause_from_bridge(&bridge, true, self.config.width);
+        let because = self.generate_clause_cancellable(&bridge, true, self.config.width, cancel)?;
         Ok((Explanation::because_only(because), query.clone(), training))
     }
 
@@ -205,7 +231,7 @@ impl PerfXplain {
         view: Arc<ColumnarLog>,
         query: &BoundQuery,
     ) -> Result<(Explanation, BoundQuery)> {
-        self.explain_with_training(log, view, query, true, false)
+        self.explain_with_training(log, view, query, true, false, &CancelToken::never())
             .map(|(explanation, effective, _)| (explanation, effective))
     }
 
@@ -265,15 +291,30 @@ impl PerfXplain {
         target_observed: bool,
         width: usize,
     ) -> Predicate {
+        self.generate_clause_cancellable(bridge, target_observed, width, &CancelToken::never())
+            .expect("the never token cannot cancel clause generation")
+    }
+
+    /// [`PerfXplain::generate_clause_from_bridge`] with a cancellation
+    /// check per clause-growing iteration (each iteration sweeps every
+    /// attribute over the surviving pairs — the natural batch size).
+    fn generate_clause_cancellable(
+        &self,
+        bridge: &DatasetBridge,
+        target_observed: bool,
+        width: usize,
+        cancel: &CancelToken,
+    ) -> Result<Predicate> {
         let dataset = bridge.dataset();
         if dataset.is_empty() || width == 0 {
-            return Predicate::always_true();
+            return Ok(Predicate::always_true());
         }
 
         let mut atoms: Vec<Atom> = Vec::new();
         let mut current: Vec<usize> = (0..dataset.len()).collect();
 
         for _ in 0..width {
+            cancel.check()?;
             if current.is_empty() {
                 break;
             }
@@ -363,7 +404,7 @@ impl PerfXplain {
             atoms.push(atom);
         }
 
-        Predicate::from_atoms(atoms)
+        Ok(Predicate::from_atoms(atoms))
     }
 }
 

@@ -72,18 +72,25 @@
 //! its columnar view, and classifying O(n²) candidate pairs against the
 //! query.  The pipeline attacks both with a **sharded, columnar, streaming,
 //! zero-re-encoding hot path** ([`columnar`], [`training`], [`bridge`],
-//! [`record`]), and getting *to* that hot path is a **three-tier story**:
+//! [`record`]), and getting *to* that hot path is a **four-tier story**:
 //!
 //! | tier | start state | cost |
 //! |---|---|---|
 //! | cold JSON ingest | raw bundles or a JSON log | parse + catalog inference + full columnar encode |
 //! | snapshot open | a [`snapshot`] directory | read + fingerprint-verify + decode binary columns; **no parsing, no re-encode** |
 //! | warm service cache | a running [`XplainService`] | `Arc` clone of the cached view; zero work |
+//! | networked serving | a `perfxplain-server` front-end | one admission-time [`estimate_cost`](service::XplainService::estimate_cost) per request; queries share the warm cache |
 //!
 //! A deployment pays tier 1 once per *source* change (and, with
 //! incremental [`snapshot::sync`], only for the shards whose source
 //! actually changed), tier 2 once per process start, and tier 3 on every
-//! query.
+//! query; tier 4 wraps the warm service in a wire protocol so many remote
+//! debugging sessions share one log — each request is admitted against a
+//! concurrent cost budget computed from its compiled-plan statistics
+//! ([`CostEstimate`](service::CostEstimate), no view built, no features
+//! scanned) and carries a [`CancelToken`](cancel::CancelToken) deadline the
+//! enumeration and clause loops observe at phase boundaries, so a serving
+//! process stays bounded in both memory and per-request latency.
 //!
 //! 1. **Ingest sharded.** [`ExecutionLog::extend_parallel`] ingests record
 //!    batches on concurrent threads (per-batch catalogs inferred in
@@ -227,6 +234,7 @@
 
 pub mod baselines;
 pub mod bridge;
+pub mod cancel;
 pub mod columnar;
 pub mod config;
 pub mod error;
@@ -247,9 +255,13 @@ pub mod training;
 // The scoped-thread fan-out primitive now lives in `mlcore` (so the split
 // search and Relief can fan out too); re-export it under its historical
 // path — `perfxplain_core::shard::map_chunks` keeps working unchanged.
+// The bounded worker pool sits beside it: servers build their own, batch
+// APIs share `pool::shared()`.
+pub use mlcore::pool;
 pub use mlcore::shard;
 
 pub use baselines::{RuleOfThumb, SimButDiff};
+pub use cancel::CancelToken;
 pub use columnar::{ColumnarLog, CompiledPredicate, CompiledQuery, SHARDED_BUILD_THRESHOLD};
 pub use config::ExplainConfig;
 pub use error::{CoreError, Result};
@@ -268,7 +280,7 @@ pub use pairs::{
 };
 pub use query::{BoundQuery, PairLabel};
 pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
-pub use service::{QueryInput, QueryOutcome, QueryRequest, XplainService};
+pub use service::{CostEstimate, QueryInput, QueryOutcome, QueryRequest, XplainService};
 pub use snapshot::{
     RecordShard, ShardEntry, ShardInput, Snapshot, SnapshotManifest, SnapshotShard, SnapshotUsage,
     SnapshotViews, SyncReport, SNAPSHOT_VERSION,

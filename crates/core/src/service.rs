@@ -26,6 +26,7 @@
 //! thin wrappers over a single-shot pass through this module
 //! ([`XplainService::answer_once`]), so there is exactly one code path.
 
+use crate::cancel::CancelToken;
 use crate::columnar::ColumnarLog;
 use crate::config::ExplainConfig;
 use crate::error::Result;
@@ -70,6 +71,12 @@ pub struct QueryRequest {
     /// Score the explanation over the related pairs into
     /// [`QueryOutcome::quality`].
     pub assess: bool,
+    /// Cooperative cancellation handle: the pipeline checks it at phase
+    /// boundaries and aborts with
+    /// [`CoreError::Cancelled`](crate::CoreError::Cancelled) or
+    /// [`CoreError::DeadlineExceeded`](crate::CoreError::DeadlineExceeded).
+    /// Defaults to [`CancelToken::never`].
+    pub cancel: CancelToken,
 }
 
 impl QueryRequest {
@@ -96,6 +103,7 @@ impl QueryRequest {
             extend_despite: false,
             narrate: false,
             assess: false,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -127,6 +135,20 @@ impl QueryRequest {
     pub fn with_assessment(mut self) -> Self {
         self.assess = true;
         self
+    }
+
+    /// Attaches a cancellation token; the requester keeps a clone and can
+    /// abort the query while it runs.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Bounds the query by a deadline `timeout` from now (a shorthand for
+    /// [`QueryRequest::with_cancel`] over
+    /// [`CancelToken::with_timeout`]).
+    pub fn with_timeout(self, timeout: std::time::Duration) -> Self {
+        self.with_cancel(CancelToken::with_timeout(timeout))
     }
 
     /// Resolves the request into a bound query.
@@ -167,6 +189,38 @@ pub struct QueryOutcome {
     /// Whether the columnar view came from the service cache (`false` for
     /// the call that built it).
     pub view_reused: bool,
+}
+
+/// A pre-execution cost estimate of one query, derived from the compiled
+/// plan's statistics by [`XplainService::estimate_cost`].  Admission
+/// controllers charge [`CostEstimate::units`] against a concurrent-cost
+/// budget; the raw components are kept so callers can weigh them
+/// differently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostEstimate {
+    /// Records of the query's kind in the served log.
+    pub rows: u64,
+    /// Ordered candidate pairs the enumeration will classify (already
+    /// clamped by the plan's `max_candidate_pairs` cap).
+    pub scanned_pairs: u64,
+    /// Sampled training pairs × pair-feature width: the work of encoding
+    /// the split-search dataset and growing the clause.
+    pub training_cells: u64,
+}
+
+impl CostEstimate {
+    /// How many classified candidate pairs weigh as much as one cost unit.
+    /// 1024 pairs ≈ a few tens of microseconds of classification, so unit
+    /// counts stay small integers at interactive log sizes while still
+    /// separating cheap and expensive queries by orders of magnitude.
+    pub const PAIRS_PER_UNIT: u64 = 1024;
+
+    /// The scalar admission-control cost: total classified-plus-trained
+    /// work in [`CostEstimate::PAIRS_PER_UNIT`] chunks, never zero (every
+    /// admitted query holds at least one unit of the budget).
+    pub fn units(&self) -> u64 {
+        (self.scanned_pairs + self.training_cells) / Self::PAIRS_PER_UNIT + 1
+    }
 }
 
 /// A long-lived, thread-safe PerfXplain query service.
@@ -351,10 +405,13 @@ impl XplainService {
         answer(engine, &log, view, view_reused, bound, request, false)
     }
 
-    /// Answers a slice of requests concurrently over `std::thread::scope`,
-    /// all threads sharing the cached view of the current log generation.
-    /// Results come back in request order; each is exactly what
-    /// [`XplainService::explain`] would have produced serially.
+    /// Answers a slice of requests concurrently over the process-wide
+    /// bounded worker pool ([`crate::pool::shared`]) — the same fixed
+    /// threads that back every batch in the process, instead of a fresh
+    /// `std::thread::scope` fan-out per call — all workers sharing the
+    /// cached view of the current log generation.  Results come back in
+    /// request order; each is exactly what [`XplainService::explain`] would
+    /// have produced serially.
     pub fn par_explain_batch(&self, requests: &[QueryRequest]) -> Vec<Result<QueryOutcome>> {
         if requests.len() <= 1 {
             return requests.iter().map(|r| self.explain(r)).collect();
@@ -375,7 +432,8 @@ impl XplainService {
         }
         let jobs: Vec<(&QueryRequest, &Result<BoundQuery>)> =
             requests.iter().zip(&resolved).collect();
-        crate::shard::map_chunks(&jobs, crate::shard::hardware_threads(), |chunk| {
+        let pool = crate::pool::shared();
+        pool.map_chunks(&jobs, pool.threads(), |chunk| {
             chunk
                 .iter()
                 .map(|(request, bound)| match bound {
@@ -385,6 +443,33 @@ impl XplainService {
                 .collect::<Vec<Result<QueryOutcome>>>()
         })
         .concat()
+    }
+
+    /// Estimates what answering `request` will cost **without building a
+    /// view or scanning the log's features** — cheap enough to run at
+    /// admission time on every incoming request.  The estimate follows the
+    /// compiled plan's own statistics: the candidate space the enumeration
+    /// will classify (every ordered pair of the query's kind, clamped by
+    /// the `max_candidate_pairs` cap that bounds the real scan) plus the
+    /// training work over the sampled pairs (sample size × pair-feature
+    /// width derived from the kind's catalog).  Blocked plans scan fewer
+    /// pairs than this upper bound, so admission control over-charges them
+    /// — the conservative direction for a load-shedding gate.
+    pub fn estimate_cost(&self, request: &QueryRequest) -> Result<CostEstimate> {
+        let bound = request.resolve()?;
+        let config = request.config.as_ref().unwrap_or_else(|| self.config());
+        let log = self.read_log();
+        let rows = log.of_kind(bound.kind).count() as u64;
+        let scanned_pairs = (rows * rows.saturating_sub(1)).min(config.max_candidate_pairs as u64);
+        // Each raw feature fans out into a small constant number of pair
+        // features; the catalog length is the right scale factor.
+        let features = log.catalog(bound.kind).len().max(1) as u64;
+        let training_cells = (config.sample_size as u64).min(scanned_pairs) * features;
+        Ok(CostEstimate {
+            rows,
+            scanned_pairs,
+            training_cells,
+        })
     }
 
     /// The single-shot pass behind the stateless [`PerfXplain`] API: build
@@ -407,6 +492,7 @@ impl XplainService {
             extend_despite,
             narrate: false,
             assess: false,
+            cancel: CancelToken::never(),
         };
         answer(engine, log, view, false, query, &request, true)
     }
@@ -460,6 +546,7 @@ fn answer(
         bound,
         request.extend_despite,
         preconditions_verified,
+        &request.cancel,
     )?;
     let narration = request.narrate.then(|| narrate(bound, &explanation));
     // Assessment reuses the training set the clause was grown from (the
@@ -645,6 +732,62 @@ mod tests {
         // Unknown executions.
         assert!(service
             .explain(&QueryRequest::text(QUERY).with_pair("job_4", "nope"))
+            .is_err());
+    }
+
+    #[test]
+    fn cancelled_requests_abort_with_typed_errors() {
+        use crate::error::CoreError;
+        let service = XplainService::new(block_size_log(40));
+        // Fired before submission: the first cooperative check aborts.
+        let token = CancelToken::new();
+        token.cancel();
+        let err = service
+            .explain(&request().with_cancel(token))
+            .expect_err("cancelled request must not produce an outcome");
+        assert_eq!(err, CoreError::Cancelled);
+        // An already-expired deadline surfaces as the timeout error.
+        let err = service
+            .explain(&request().with_timeout(std::time::Duration::ZERO))
+            .expect_err("expired request must not produce an outcome");
+        assert_eq!(err, CoreError::DeadlineExceeded);
+        // A generous deadline leaves the answer untouched.
+        let outcome = service
+            .explain(&request().with_timeout(std::time::Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(
+            outcome.explanation,
+            service.explain(&request()).unwrap().explanation
+        );
+    }
+
+    #[test]
+    fn cost_estimates_follow_the_plan_statistics() {
+        let service = XplainService::new(block_size_log(40));
+        let estimate = service.estimate_cost(&request()).unwrap();
+        assert_eq!(estimate.rows, 40);
+        assert_eq!(estimate.scanned_pairs, 40 * 39);
+        assert!(estimate.training_cells > 0);
+        assert!(estimate.units() >= 1);
+        // No view is built by estimation.
+        assert_eq!(service.cached_view_count(), 0);
+
+        // A bigger log costs more; the candidate cap bounds the estimate
+        // exactly like it bounds the real scan.
+        let big = XplainService::new(block_size_log(2000));
+        let uncapped = big.estimate_cost(&request()).unwrap();
+        assert!(uncapped.units() > estimate.units());
+        let capped = big
+            .estimate_cost(&request().with_config(ExplainConfig {
+                max_candidate_pairs: 10_000,
+                ..ExplainConfig::default()
+            }))
+            .unwrap();
+        assert_eq!(capped.scanned_pairs, 10_000);
+        assert!(capped.units() < uncapped.units());
+        // Unresolvable queries fail at estimation, not at admission.
+        assert!(service
+            .estimate_cost(&QueryRequest::text("NONSENSE"))
             .is_err());
     }
 

@@ -33,6 +33,7 @@
 //! fan-out on regardless of size and the `serial` feature forces it off.
 //! Results are bit-identical either way.
 
+use crate::cancel::CancelToken;
 use crate::columnar::{ColumnarLog, CompiledQuery};
 use crate::config::ExplainConfig;
 use crate::error::{CoreError, Result};
@@ -313,6 +314,12 @@ fn scan_unit(
     }
 }
 
+/// Outer units scanned between two cancellation checks.  A unit classifies
+/// up to n candidates, so at 512 units the check amortises to well under a
+/// nanosecond per candidate while an expired deadline still stops a large
+/// enumeration within milliseconds.
+const CANCEL_CHECK_UNITS: usize = 512;
+
 /// Enumerates and classifies the related pairs of an encoded view without
 /// materialising the candidate space: memory stays proportional to the
 /// related pairs (bounded by `max_candidate_pairs`), never O(n²).
@@ -322,8 +329,24 @@ pub fn collect_related_pairs_in(
     log: &ExecutionLog,
     config: &ExplainConfig,
 ) -> Vec<RelatedPair> {
+    collect_related_pairs_cancellable(view, query, log, config, &CancelToken::never())
+        .expect("the never token cannot cancel the enumeration")
+}
+
+/// [`collect_related_pairs_in`] with a cooperative cancellation token,
+/// checked every [`CANCEL_CHECK_UNITS`] outer units (per fan-out thread when
+/// the scan is parallel).  On cancellation the partial result is discarded
+/// and the token's error comes back.
+pub fn collect_related_pairs_cancellable(
+    view: &ColumnarLog,
+    query: &BoundQuery,
+    log: &ExecutionLog,
+    config: &ExplainConfig,
+    cancel: &CancelToken,
+) -> Result<Vec<RelatedPair>> {
+    cancel.check()?;
     if view.num_rows() < 2 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let compiled = CompiledQuery::compile(query, view, config.sim_threshold);
     let plan = CandidatePlan::build(view, query, log);
@@ -336,23 +359,28 @@ pub fn collect_related_pairs_in(
     });
     let units = plan.units();
 
+    let scan_units = |chunk: &[OuterUnit]| -> Result<Vec<RelatedPair>> {
+        let mut out = Vec::new();
+        for (index, unit) in chunk.iter().enumerate() {
+            if index % CANCEL_CHECK_UNITS == 0 {
+                cancel.check()?;
+            }
+            scan_unit(unit, &plan, view, &compiled, keep, &mut out);
+        }
+        Ok(out)
+    };
+
     let threads = crate::shard::hardware_threads();
     if threads > 1 && !units.is_empty() && fan_out_enabled(total) {
-        let chunks = crate::shard::map_chunks(&units, threads, |chunk| {
-            let mut out = Vec::new();
-            for unit in chunk {
-                scan_unit(unit, &plan, view, &compiled, keep, &mut out);
-            }
-            out
-        });
-        return chunks.concat();
+        let chunks = crate::shard::map_chunks(&units, threads, scan_units);
+        let mut related = Vec::new();
+        for chunk in chunks {
+            related.extend(chunk?);
+        }
+        return Ok(related);
     }
 
-    let mut related = Vec::new();
-    for unit in &units {
-        scan_unit(unit, &plan, view, &compiled, keep, &mut related);
-    }
-    related
+    scan_units(&units)
 }
 
 /// Enumerates and classifies the pairs of the log that are related to the
@@ -544,7 +572,20 @@ pub fn prepare_encoded_training_in<'a>(
     query: &BoundQuery,
     config: &ExplainConfig,
 ) -> Result<EncodedTraining<'a>> {
-    let related = collect_related_pairs_in(&view, query, log, config);
+    prepare_encoded_training_cancellable(log, view, query, config, &CancelToken::never())
+}
+
+/// [`prepare_encoded_training_in`] with a cooperative cancellation token
+/// threaded into the pair enumeration (the dominant cost of training-set
+/// construction on large logs).
+pub fn prepare_encoded_training_cancellable<'a>(
+    log: &'a ExecutionLog,
+    view: Arc<ColumnarLog>,
+    query: &BoundQuery,
+    config: &ExplainConfig,
+    cancel: &CancelToken,
+) -> Result<EncodedTraining<'a>> {
+    let related = collect_related_pairs_cancellable(&view, query, log, config, cancel)?;
     let selected = sample_related(&related, config)?;
     let mut pairs = Vec::with_capacity(selected.len());
     let mut labels = Vec::with_capacity(selected.len());

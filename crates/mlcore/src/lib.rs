@@ -41,6 +41,11 @@
 //! * [`shard`] — the scoped-thread fan-out primitive ([`shard::map_chunks`])
 //!   shared by every parallel path of the workspace (`perfxplain-core`
 //!   re-exports it as `perfxplain_core::shard`).
+//! * [`pool`] — the bounded, long-lived [`WorkerPool`] behind the network
+//!   server and the batch APIs: a fixed set of worker threads over a shared
+//!   job queue, with a caller-helping scoped [`WorkerPool::map_chunks`]
+//!   counterpart of the one-shot `shard` fan-out and a process-wide
+//!   [`pool::shared`] instance sized to the hardware.
 //! * [`stats`] — means, standard deviations and the percentile-rank
 //!   normalisation used by `normalizeScore` in Algorithm 1.
 //! * [`oracle`] (tests only) — the retained naive split finder, tree fit
@@ -113,6 +118,7 @@ pub mod entropy;
 pub mod hash;
 #[cfg(any(test, feature = "oracle"))]
 pub mod oracle;
+pub mod pool;
 pub mod relief;
 pub mod sample;
 pub mod shard;
@@ -130,6 +136,7 @@ pub use dataset::{
 pub use dtree::{DecisionTree, TreeConfig};
 pub use entropy::{binary_entropy, entropy_of_counts, information_gain};
 pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use pool::WorkerPool;
 pub use relief::{relief_weights, ReliefConfig, RELIEF_PARALLEL_MIN_CELLS};
 pub use sample::{balanced_sample, BalanceStats};
 pub use split::{

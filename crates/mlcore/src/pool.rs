@@ -1,0 +1,415 @@
+//! A bounded worker pool: long-lived threads consuming queued jobs.
+//!
+//! [`shard::map_chunks`](crate::shard::map_chunks) spawns fresh
+//! `std::thread::scope` threads on every call, which is the right shape for
+//! one-shot sharded batch work but the wrong one for a *server*: a process
+//! answering a stream of requests wants a **fixed** number of worker threads
+//! (the concurrency bound the admission controller charges against) that
+//! outlive any individual request.  [`WorkerPool`] is that primitive:
+//!
+//! * [`WorkerPool::execute`] enqueues an owned (`'static`) job — the shape
+//!   network request handlers take, each job owning its `Arc`s.
+//! * [`WorkerPool::map_chunks`] is the scoped counterpart of
+//!   [`shard::map_chunks`](crate::shard::map_chunks): it fans a *borrowed*
+//!   slice out over the pool's existing threads and blocks until every
+//!   chunk is done, so batch callers reuse the pool instead of spawning
+//!   per-call threads.  While it waits, the calling thread **helps**: it
+//!   pulls queued jobs (its own chunks or anyone else's) and runs them
+//!   inline, so a saturated — or nested — pool can never deadlock a
+//!   `map_chunks` caller, and a pool of `t` threads gives batch work `t+1`
+//!   active lanes.
+//!
+//! A job that panics is caught at the worker (the pool survives; `execute`
+//! jobs are fire-and-forget, so their panics are swallowed after the catch),
+//! and `map_chunks` re-raises the first chunk panic in the caller once every
+//! chunk has settled — the same contract as `std::thread::scope`.
+//!
+//! The queue is intentionally unbounded: the pool's callers bound it.  The
+//! server charges every job against a concurrent-cost budget *before*
+//! submitting (its bounded admission queue is the real backpressure), and
+//! `map_chunks` enqueues at most one job per chunk of a slice the caller
+//! already holds.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// An enqueued job.  Jobs are type-erased closures; `map_chunks` erases the
+/// *lifetime* too (see the safety argument there).
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Shared pool state: the job queue plus the shutdown flag, under one lock
+/// so workers can wait on a single condvar.
+struct PoolState {
+    queue: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Signalled when a job is enqueued or shutdown begins.
+    work_ready: Condvar,
+}
+
+/// A fixed-size pool of worker threads consuming a shared job queue.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool")
+            .field("threads", &self.workers.len())
+            .field("queued", &self.queued())
+            .finish()
+    }
+}
+
+impl WorkerPool {
+    /// Creates a pool of `threads` workers (clamped to `1..=`
+    /// [`MAX_FANOUT`](crate::shard::MAX_FANOUT) — thread counts reach this
+    /// constructor from server configuration, i.e. user input).
+    pub fn new(threads: usize) -> WorkerPool {
+        let threads = threads.clamp(1, crate::shard::MAX_FANOUT);
+        let shared = Arc::new(PoolShared {
+            state: Mutex::new(PoolState {
+                queue: VecDeque::new(),
+                shutdown: false,
+            }),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..threads)
+            .map(|index| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("pxworker-{index}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("worker thread spawns")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Number of jobs currently queued (not yet picked up by a worker).
+    pub fn queued(&self) -> usize {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .queue
+            .len()
+    }
+
+    /// Enqueues an owned job.  Jobs run in FIFO order across the pool's
+    /// workers; a panicking job is caught at the worker and does not take
+    /// the pool down.
+    pub fn execute(&self, job: impl FnOnce() + Send + 'static) {
+        self.push(Box::new(job));
+    }
+
+    fn push(&self, job: Job) {
+        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        state.queue.push_back(job);
+        drop(state);
+        self.shared.work_ready.notify_one();
+    }
+
+    /// Pops one queued job without blocking (used by helping waiters).
+    fn try_pop(&self) -> Option<Job> {
+        self.shared
+            .state
+            .lock()
+            .expect("pool lock poisoned")
+            .queue
+            .pop_front()
+    }
+
+    /// Runs `f` over up to `chunks` contiguous chunks of `items` on the
+    /// pool's workers and returns the per-chunk results in chunk order —
+    /// the pool-backed counterpart of
+    /// [`shard::map_chunks`](crate::shard::map_chunks), for callers that
+    /// want a *bounded, reused* set of threads instead of a fresh
+    /// `std::thread::scope` fan-out per call.  With `chunks <= 1` or fewer
+    /// than two items, `f` runs inline on the caller.
+    ///
+    /// The calling thread helps while it waits (it executes queued jobs,
+    /// its own or others'), so calling this from inside a pool job — or on
+    /// a pool whose workers are all busy — makes progress instead of
+    /// deadlocking.  If any chunk panics, the panic is re-raised here after
+    /// all chunks have settled.
+    pub fn map_chunks<T, R>(
+        &self,
+        items: &[T],
+        chunks: usize,
+        f: impl Fn(&[T]) -> R + Sync,
+    ) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+    {
+        if chunks <= 1 || items.len() <= 1 {
+            return vec![f(items)];
+        }
+        let chunk_size = items
+            .len()
+            .div_ceil(chunks.min(crate::shard::MAX_FANOUT))
+            .max(1);
+        let chunk_slices: Vec<&[T]> = items.chunks(chunk_size).collect();
+        let slots: Vec<Mutex<Option<std::thread::Result<R>>>> =
+            chunk_slices.iter().map(|_| Mutex::new(None)).collect();
+        let latch = Latch::new(chunk_slices.len());
+
+        let f = &f;
+        for (slot, chunk) in slots.iter().zip(&chunk_slices) {
+            let latch = &latch;
+            let task = move || {
+                // The latch must count down even if `f` panics, or the
+                // caller below would wait forever; the payload is parked in
+                // the slot and re-raised by the caller.
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(chunk)));
+                *slot.lock().expect("chunk slot lock poisoned") = Some(outcome);
+                latch.count_down();
+            };
+            // SAFETY: `task` borrows `f`, `slots`, `chunk_slices` and
+            // `latch`, all of which outlive this function call, and the
+            // latch wait below does not return until every submitted task
+            // has run to completion (the count-down is unconditional, even
+            // on panic).  No borrowed task can therefore outlive its
+            // borrows; erasing the lifetime to enqueue it alongside owned
+            // jobs is sound — the exact argument scoped thread APIs make.
+            let erased: Job = unsafe {
+                std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(Box::new(task))
+            };
+            self.push(erased);
+        }
+
+        // Help while waiting: drain queued jobs (ours or anyone's) so a
+        // saturated or nested pool still makes progress.
+        while !latch.is_done() {
+            match self.try_pop() {
+                Some(job) => {
+                    // Panics here are either our own chunks (parked in
+                    // their slot by the wrapper) or another caller's
+                    // `execute` job (fire-and-forget); neither may abort
+                    // the wait, or borrowed tasks could outlive `f`.
+                    let _ = catch_unwind(AssertUnwindSafe(job));
+                }
+                None => latch.wait_a_moment(),
+            }
+        }
+
+        slots
+            .into_iter()
+            .map(|slot| {
+                let outcome = slot
+                    .into_inner()
+                    .expect("chunk slot lock poisoned")
+                    .expect("latch released with an empty chunk slot");
+                outcome.unwrap_or_else(|payload| resume_unwind(payload))
+            })
+            .collect()
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            state.shutdown = true;
+        }
+        self.shared.work_ready.notify_all();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let job = {
+            let mut state = shared.state.lock().expect("pool lock poisoned");
+            loop {
+                if let Some(job) = state.queue.pop_front() {
+                    break job;
+                }
+                if state.shutdown {
+                    return;
+                }
+                state = shared.work_ready.wait(state).expect("pool lock poisoned");
+            }
+        };
+        // A panicking job must not take the worker (and with it the whole
+        // pool's capacity) down.
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+/// A completion latch: `map_chunks` waits on it while the pool runs the
+/// chunks.
+struct Latch {
+    remaining: Mutex<usize>,
+    done: Condvar,
+}
+
+impl Latch {
+    fn new(count: usize) -> Latch {
+        Latch {
+            remaining: Mutex::new(count),
+            done: Condvar::new(),
+        }
+    }
+
+    fn count_down(&self) {
+        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        *remaining -= 1;
+        if *remaining == 0 {
+            self.done.notify_all();
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        *self.remaining.lock().expect("latch lock poisoned") == 0
+    }
+
+    /// Waits briefly for the latch; the caller re-checks the queue between
+    /// waits so it can keep helping.
+    fn wait_a_moment(&self) {
+        let remaining = self.remaining.lock().expect("latch lock poisoned");
+        if *remaining > 0 {
+            let _ = self
+                .done
+                .wait_timeout(remaining, Duration::from_millis(1))
+                .expect("latch lock poisoned");
+        }
+    }
+}
+
+/// The process-wide shared pool: one worker per hardware thread, created on
+/// first use.  Batch APIs ([`XplainService::par_explain_batch`] in
+/// `perfxplain-core`) fan out through this pool instead of spawning fresh
+/// threads per call; servers with an explicit concurrency bound create
+/// their own [`WorkerPool`] instead.
+pub fn shared() -> &'static WorkerPool {
+    static SHARED: OnceLock<WorkerPool> = OnceLock::new();
+    SHARED.get_or_init(|| WorkerPool::new(crate::shard::hardware_threads()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn executes_owned_jobs() {
+        let pool = WorkerPool::new(2);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..64 {
+            let counter = Arc::clone(&counter);
+            pool.execute(move || {
+                counter.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        drop(pool); // joins workers; all queued jobs ran first or were dropped?
+                    // Drop drains nothing: shutdown only stops workers once the queue is
+                    // empty (workers pop before checking the flag), so every job ran.
+        assert_eq!(counter.load(Ordering::SeqCst), 64);
+    }
+
+    #[test]
+    fn map_chunks_matches_the_scoped_fanout() {
+        let pool = WorkerPool::new(3);
+        let items: Vec<usize> = (0..1000).collect();
+        for chunks in [1, 2, 3, 7, 100] {
+            let pooled = pool.map_chunks(&items, chunks, |chunk| chunk.iter().sum::<usize>());
+            let scoped =
+                crate::shard::map_chunks(&items, chunks, |chunk| chunk.iter().sum::<usize>());
+            assert_eq!(pooled, scoped, "{chunks} chunks diverge");
+            let echoed: Vec<usize> = pool.map_chunks(&items, chunks, <[usize]>::to_vec).concat();
+            assert_eq!(echoed, items);
+        }
+    }
+
+    #[test]
+    fn map_chunks_runs_inline_on_degenerate_inputs() {
+        let pool = WorkerPool::new(2);
+        let empty: Vec<usize> = Vec::new();
+        assert_eq!(pool.map_chunks(&empty, 8, <[usize]>::len), vec![0]);
+        assert_eq!(pool.map_chunks(&[7usize], 8, <[usize]>::len), vec![1]);
+    }
+
+    #[test]
+    fn nested_map_chunks_does_not_deadlock() {
+        // Every chunk of the outer call runs another map_chunks on the SAME
+        // single-threaded pool: only caller-helping can make progress.
+        let pool = WorkerPool::new(1);
+        let items: Vec<usize> = (0..100).collect();
+        let total: usize = pool
+            .map_chunks(&items, 4, |chunk| {
+                pool.map_chunks(chunk, 2, |inner| inner.iter().sum::<usize>())
+                    .into_iter()
+                    .sum::<usize>()
+            })
+            .into_iter()
+            .sum();
+        assert_eq!(total, items.iter().sum::<usize>());
+    }
+
+    #[test]
+    fn map_chunks_propagates_chunk_panics_after_settling() {
+        let pool = WorkerPool::new(2);
+        let items: Vec<usize> = (0..10).collect();
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran_in = Arc::clone(&ran);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_chunks(&items, 5, |chunk| {
+                ran_in.fetch_add(1, Ordering::SeqCst);
+                if chunk[0] == 4 {
+                    panic!("chunk exploded");
+                }
+                chunk.len()
+            })
+        }));
+        assert!(outcome.is_err());
+        // Every chunk settled before the panic was re-raised.
+        assert_eq!(ran.load(Ordering::SeqCst), 5);
+        // The pool survives and keeps working.
+        assert_eq!(pool.map_chunks(&items, 2, <[usize]>::len), vec![5, 5]);
+    }
+
+    #[test]
+    fn panicking_execute_jobs_do_not_kill_workers() {
+        let pool = WorkerPool::new(1);
+        pool.execute(|| panic!("fire-and-forget panic"));
+        let counter = Arc::new(AtomicUsize::new(0));
+        let counter_in = Arc::clone(&counter);
+        pool.execute(move || {
+            counter_in.fetch_add(1, Ordering::SeqCst);
+        });
+        // The pool's single worker must still be alive to run the second
+        // job; map_chunks would also pass since the caller helps, so poll
+        // the counter instead.
+        for _ in 0..1000 {
+            if counter.load(Ordering::SeqCst) == 1 {
+                return;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        panic!("worker died after a panicking job");
+    }
+
+    #[test]
+    fn shared_pool_is_a_singleton() {
+        let a = shared() as *const WorkerPool;
+        let b = shared() as *const WorkerPool;
+        assert_eq!(a, b);
+        assert!(shared().threads() >= 1);
+    }
+}

@@ -1,0 +1,73 @@
+//! The admission-control cost unit.
+//!
+//! Following the mitsuha scheduler's `JobCost` idiom, cost is a plain
+//! additive scalar: every admitted query holds a [`QueryCost`] worth of the
+//! server's concurrent-cost budget for as long as it is in flight, and the
+//! budget is a [`QueryCost`] too.  The scalar comes from
+//! [`CostEstimate::units`] — the compiled plan's candidate-pair count plus
+//! the sampled training work, in 1024-pair chunks — so a query over a
+//! 100k-row log weighs ~orders of magnitude more than one over a 1k-row
+//! log, and the budget translates directly into "how much concurrent scan
+//! work this box tolerates".
+
+use perfxplain_core::CostEstimate;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+/// An additive admission-control cost (also the type of the budget).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub struct QueryCost(pub u64);
+
+impl QueryCost {
+    /// The raw unit count.
+    pub fn units(self) -> u64 {
+        self.0
+    }
+}
+
+impl From<&CostEstimate> for QueryCost {
+    fn from(estimate: &CostEstimate) -> Self {
+        QueryCost(estimate.units())
+    }
+}
+
+impl Add for QueryCost {
+    type Output = QueryCost;
+    fn add(self, rhs: QueryCost) -> QueryCost {
+        QueryCost(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for QueryCost {
+    fn add_assign(&mut self, rhs: QueryCost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for QueryCost {
+    type Output = QueryCost;
+    fn sub(self, rhs: QueryCost) -> QueryCost {
+        QueryCost(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for QueryCost {
+    fn sub_assign(&mut self, rhs: QueryCost) {
+        *self = *self - rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_arithmetic_saturates() {
+        let mut held = QueryCost(10);
+        held += QueryCost(5);
+        assert_eq!(held, QueryCost(15));
+        held -= QueryCost(20);
+        assert_eq!(held, QueryCost(0));
+        assert_eq!(QueryCost(u64::MAX) + QueryCost(1), QueryCost(u64::MAX));
+        assert!(QueryCost(3) < QueryCost(4));
+    }
+}

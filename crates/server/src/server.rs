@@ -1,0 +1,524 @@
+//! The non-blocking TCP event loop.
+//!
+//! One thread owns the listener and every connection, all in non-blocking
+//! mode: it accepts, reads frames, hands parsed requests to the
+//! [`Scheduler`], receives finished responses over an mpsc channel from
+//! the pool workers, and flushes write buffers — no thread per connection,
+//! no tokio.  Worker threads never touch sockets; the event loop never
+//! touches queries.  Per-connection memory is bounded in both directions:
+//! a line longer than [`ServerConfig::max_frame_bytes`] gets a typed error
+//! and the connection is dropped, and a client that stops reading while
+//! more than [`ServerConfig::max_write_buffer`] bytes of responses are
+//! pending is disconnected (slow-consumer shedding) rather than buffered
+//! without bound.
+
+use crate::protocol::{
+    self, WireRequest, WireResponse, ERR_BAD_FRAME, ERR_COST_EXCEEDS_BUDGET, ERR_DEADLINE,
+    ERR_SESSION_LIMIT, ERR_SHED_QUEUE_FULL,
+};
+use crate::scheduler::{Rejection, Scheduler, SchedulerConfig};
+use perfxplain_core::pool::WorkerPool;
+use perfxplain_core::{CancelToken, QueryRequest, XplainService};
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
+
+/// Server configuration: where to listen and how much concurrent work to
+/// accept.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (the bound address is on
+    /// the [`ServerHandle`]).
+    pub addr: String,
+    /// Worker threads answering queries (the pool bound).
+    pub workers: usize,
+    /// Admission-control limits (budget, queue, per-session caps).
+    pub scheduler: SchedulerConfig,
+    /// Deadline applied to requests that don't carry their own
+    /// `timeout_ms`; `None` means no default deadline.
+    pub default_timeout: Option<Duration>,
+    /// Maximum request-line length in bytes; longer frames get a typed
+    /// error and the connection is closed.
+    pub max_frame_bytes: usize,
+    /// Maximum buffered response bytes per connection before the client is
+    /// treated as a slow consumer and dropped.
+    pub max_write_buffer: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: perfxplain_core::shard::hardware_threads(),
+            scheduler: SchedulerConfig::default(),
+            default_timeout: Some(Duration::from_secs(30)),
+            max_frame_bytes: 1 << 20,
+            max_write_buffer: 4 << 20,
+        }
+    }
+}
+
+/// Monotonic counters kept by the event loop, readable from any thread.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Connections accepted.
+    pub sessions_accepted: AtomicU64,
+    /// Frames received (parseable or not).
+    pub requests: AtomicU64,
+    /// Success responses sent.
+    pub answered: AtomicU64,
+    /// Typed error responses other than admission rejections.
+    pub errors: AtomicU64,
+    /// Admission rejections (queue full / cost / session limit).
+    pub shed: AtomicU64,
+    /// Requests whose deadline passed while queued.
+    pub expired: AtomicU64,
+}
+
+/// A point-in-time copy of [`ServerStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Connections accepted.
+    pub sessions_accepted: u64,
+    /// Frames received.
+    pub requests: u64,
+    /// Success responses sent.
+    pub answered: u64,
+    /// Non-admission typed errors sent.
+    pub errors: u64,
+    /// Admission rejections sent.
+    pub shed: u64,
+    /// Queued-deadline expirations sent.
+    pub expired: u64,
+}
+
+impl ServerStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot {
+            sessions_accepted: self.sessions_accepted.load(Ordering::Relaxed),
+            requests: self.requests.load(Ordering::Relaxed),
+            answered: self.answered.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            expired: self.expired.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server: the bound address, live counters, and shutdown.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<ServerStats>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.stats.snapshot()
+    }
+
+    /// Stops the event loop and joins it.  In-flight queries finish on the
+    /// pool but their responses are not delivered.
+    pub fn shutdown(mut self) -> StatsSnapshot {
+        self.stop();
+        self.stats.snapshot()
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// One client connection's event-loop state.
+struct Session {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    /// Close after the write buffer drains (protocol violation already
+    /// answered with a typed error).
+    close_after_flush: bool,
+}
+
+/// Binds the listener and spawns the event-loop thread.  Returns as soon as
+/// the port is bound, so callers can connect immediately.
+pub fn spawn(service: Arc<XplainService>, config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    let loop_shutdown = Arc::clone(&shutdown);
+    let loop_stats = Arc::clone(&stats);
+    let join = std::thread::Builder::new()
+        .name("pxserve-loop".to_string())
+        .spawn(move || event_loop(listener, service, config, &loop_shutdown, &loop_stats))?;
+    Ok(ServerHandle {
+        addr,
+        shutdown,
+        stats,
+        join: Some(join),
+    })
+}
+
+fn event_loop(
+    listener: TcpListener,
+    service: Arc<XplainService>,
+    config: ServerConfig,
+    shutdown: &AtomicBool,
+    stats: &Arc<ServerStats>,
+) {
+    let pool = Arc::new(WorkerPool::new(config.workers));
+    let scheduler = Scheduler::new(pool, config.scheduler.clone());
+    // Pool workers send finished response lines here; only the event loop
+    // writes to sockets.
+    let (completions_tx, completions_rx) = mpsc::channel::<(u64, String)>();
+    let mut sessions: HashMap<u64, Session> = HashMap::new();
+    let mut next_session = 1u64;
+    let mut last_sweep = Instant::now();
+
+    while !shutdown.load(Ordering::Relaxed) {
+        let mut progressed = false;
+
+        // Accept every pending connection.
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    sessions.insert(
+                        next_session,
+                        Session {
+                            stream,
+                            read_buf: Vec::new(),
+                            write_buf: Vec::new(),
+                            close_after_flush: false,
+                        },
+                    );
+                    next_session += 1;
+                    stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // Read frames from every session.
+        let mut closed: Vec<u64> = Vec::new();
+        for (&id, session) in sessions.iter_mut() {
+            if session.close_after_flush {
+                continue;
+            }
+            match read_available(&mut session.stream, &mut session.read_buf) {
+                ReadOutcome::Closed => {
+                    closed.push(id);
+                    continue;
+                }
+                ReadOutcome::Progress => progressed = true,
+                ReadOutcome::Idle => {}
+            }
+            if session.read_buf.len() > config.max_frame_bytes && !session.read_buf.contains(&b'\n')
+            {
+                let response = WireResponse::error(
+                    None,
+                    400,
+                    ERR_BAD_FRAME,
+                    format!("request line exceeds {} bytes", config.max_frame_bytes),
+                );
+                session
+                    .write_buf
+                    .extend_from_slice(protocol::encode_response_line(&response).as_bytes());
+                session.close_after_flush = true;
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            while let Some(newline) = session.read_buf.iter().position(|&b| b == b'\n') {
+                let frame: Vec<u8> = session.read_buf.drain(..=newline).collect();
+                let frame = trim_frame(&frame);
+                if frame.is_empty() {
+                    continue;
+                }
+                progressed = true;
+                stats.requests.fetch_add(1, Ordering::Relaxed);
+                if let Some(immediate) = handle_frame(
+                    id,
+                    frame,
+                    &service,
+                    &scheduler,
+                    &completions_tx,
+                    stats,
+                    &config,
+                ) {
+                    session
+                        .write_buf
+                        .extend_from_slice(protocol::encode_response_line(&immediate).as_bytes());
+                }
+            }
+        }
+
+        // Collect finished responses from the workers.
+        while let Ok((session_id, line)) = completions_rx.try_recv() {
+            progressed = true;
+            if let Some(session) = sessions.get_mut(&session_id) {
+                session.write_buf.extend_from_slice(line.as_bytes());
+            }
+        }
+
+        // Flush write buffers; enforce the slow-consumer bound.
+        for (&id, session) in sessions.iter_mut() {
+            if session.write_buf.len() > config.max_write_buffer {
+                closed.push(id);
+                continue;
+            }
+            if session.write_buf.is_empty() {
+                continue;
+            }
+            match session.stream.write(&session.write_buf) {
+                Ok(0) => closed.push(id),
+                Ok(written) => {
+                    session.write_buf.drain(..written);
+                    progressed = true;
+                    if session.write_buf.is_empty() && session.close_after_flush {
+                        closed.push(id);
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {}
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => closed.push(id),
+            }
+        }
+
+        for id in closed {
+            if sessions.remove(&id).is_some() {
+                scheduler.session_closed(id);
+            }
+        }
+
+        // Time out queued requests even when no completion drains the
+        // queue.
+        if last_sweep.elapsed() >= Duration::from_millis(5) {
+            let swept = scheduler.sweep_expired();
+            if swept > 0 {
+                stats.expired.fetch_add(swept as u64, Ordering::Relaxed);
+                progressed = true;
+            }
+            last_sweep = Instant::now();
+        }
+
+        if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+}
+
+enum ReadOutcome {
+    Progress,
+    Idle,
+    Closed,
+}
+
+fn read_available(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
+    let mut chunk = [0u8; 16 * 1024];
+    let mut outcome = ReadOutcome::Idle;
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                outcome = ReadOutcome::Progress;
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => return outcome,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+}
+
+fn trim_frame(frame: &[u8]) -> &[u8] {
+    let mut frame = frame;
+    while let [rest @ .., last] = frame {
+        if *last == b'\n' || *last == b'\r' || last.is_ascii_whitespace() {
+            frame = rest;
+        } else {
+            break;
+        }
+    }
+    frame
+}
+
+/// Parses one frame and either submits it to the scheduler (response will
+/// arrive via the completion channel) or returns an immediate response
+/// (parse errors, admission rejections, estimation failures).
+fn handle_frame(
+    session_id: u64,
+    frame: &[u8],
+    service: &Arc<XplainService>,
+    scheduler: &Arc<Scheduler>,
+    completions: &mpsc::Sender<(u64, String)>,
+    stats: &Arc<ServerStats>,
+    config: &ServerConfig,
+) -> Option<WireResponse> {
+    let wire = match protocol::decode_request(frame) {
+        Ok(wire) => wire,
+        Err(e) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Some(WireResponse::error(
+                None,
+                400,
+                ERR_BAD_FRAME,
+                format!("unparseable request: {e}"),
+            ));
+        }
+    };
+    let id = wire.id;
+    let Some(query_text) = wire.query.clone() else {
+        stats.errors.fetch_add(1, Ordering::Relaxed);
+        return Some(WireResponse::error(
+            id,
+            400,
+            ERR_BAD_FRAME,
+            "request has no \"query\" field",
+        ));
+    };
+
+    let deadline = wire
+        .timeout_ms
+        .map(Duration::from_millis)
+        .or(config.default_timeout)
+        .map(|timeout| Instant::now() + timeout);
+    let request = build_query_request(&query_text, &wire, service, deadline);
+
+    // Admission-time cost estimate from the plan statistics: no view is
+    // built, no log features are scanned.
+    let estimate = match service.estimate_cost(&request) {
+        Ok(estimate) => estimate,
+        Err(e) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Some(WireResponse::from_core_error(id, &e));
+        }
+    };
+    let cost = crate::cost::QueryCost::from(&estimate);
+
+    let run = {
+        let service = Arc::clone(service);
+        let completions = completions.clone();
+        let stats = Arc::clone(stats);
+        let units = cost.units();
+        move || {
+            let response = match service.explain(&request) {
+                Ok(outcome) => {
+                    stats.answered.fetch_add(1, Ordering::Relaxed);
+                    WireResponse::ok(id, &outcome, units)
+                }
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    WireResponse::from_core_error(id, &e)
+                }
+            };
+            let _ = completions.send((session_id, protocol::encode_response_line(&response)));
+        }
+    };
+    let on_expire = {
+        let completions = completions.clone();
+        move || {
+            let response = WireResponse::error(
+                id,
+                408,
+                ERR_DEADLINE,
+                "deadline passed while the request was queued",
+            );
+            let _ = completions.send((session_id, protocol::encode_response_line(&response)));
+        }
+    };
+
+    match scheduler.submit(session_id, cost, deadline, run, on_expire) {
+        Ok(()) => None,
+        Err(rejection) => {
+            stats.shed.fetch_add(1, Ordering::Relaxed);
+            let response = match rejection {
+                Rejection::QueueFull { queued, capacity } => WireResponse::error(
+                    id,
+                    429,
+                    ERR_SHED_QUEUE_FULL,
+                    format!("admission queue full ({queued}/{capacity}); retry later"),
+                ),
+                Rejection::CostExceedsBudget { cost, budget } => WireResponse::error(
+                    id,
+                    429,
+                    ERR_COST_EXCEEDS_BUDGET,
+                    format!(
+                        "estimated cost {} exceeds the server budget {}",
+                        cost.units(),
+                        budget.units()
+                    ),
+                ),
+                Rejection::SessionLimit { pending, cap } => WireResponse::error(
+                    id,
+                    429,
+                    ERR_SESSION_LIMIT,
+                    format!("session has {pending}/{cap} requests pending"),
+                ),
+            };
+            Some(response)
+        }
+    }
+}
+
+/// Maps the wire request onto a [`QueryRequest`]: PXQL text, pair, config
+/// overrides, flags, and the deadline-bearing cancel token.
+fn build_query_request(
+    query_text: &str,
+    wire: &WireRequest,
+    service: &XplainService,
+    deadline: Option<Instant>,
+) -> QueryRequest {
+    let mut request = QueryRequest::text(query_text);
+    if let (Some(left), Some(right)) = (&wire.left, &wire.right) {
+        request = request.with_pair(left.clone(), right.clone());
+    }
+    if wire.width.is_some() || wire.sample_size.is_some() {
+        let mut config = service.config().clone();
+        if let Some(width) = wire.width {
+            config = config.with_width(width as usize);
+        }
+        if let Some(sample_size) = wire.sample_size {
+            config = config.with_sample_size(sample_size as usize);
+        }
+        request = request.with_config(config);
+    }
+    if wire.auto_despite.unwrap_or(false) {
+        request = request.with_despite_extension();
+    }
+    if wire.narrate.unwrap_or(false) {
+        request = request.with_narration();
+    }
+    if wire.assess.unwrap_or(false) {
+        request = request.with_assessment();
+    }
+    if let Some(deadline) = deadline {
+        request = request.with_cancel(CancelToken::with_deadline(deadline));
+    }
+    request
+}

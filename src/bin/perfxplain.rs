@@ -49,6 +49,24 @@
 //!     one long-lived XplainService, printing per-query timing so the
 //!     columnar-view reuse is visible.  `--par` answers the batch across
 //!     threads instead of serially.
+//!
+//! perfxplain serve --log log.json | --snapshot <dir>
+//!                  [--addr HOST:PORT] [--workers N] [--budget UNITS]
+//!                  [--queue N] [--session-inflight N] [--session-pending N]
+//!                  [--timeout-ms MS] [--width N]
+//!     Serve the log over the line-delimited JSON protocol: a non-blocking
+//!     TCP event loop in front of a bounded worker pool with cost-based
+//!     admission control (requests whose estimated cost does not fit the
+//!     concurrent budget queue in a bounded FIFO; beyond that, load is shed
+//!     with typed 429 responses).  `--timeout-ms 0` disables the default
+//!     per-request deadline.  Runs until killed.
+//!
+//! perfxplain load --addr HOST:PORT --left ID --right ID
+//!                 [--connections N] [--requests N] [--query FILE.pxql]
+//!                 [--query-text "..."] [--timeout-ms MS]
+//!     Drive an open-loop workload against a running server: N concurrent
+//!     connections each issuing back-to-back requests for the given pair,
+//!     reporting qps, p50/p99 latency and how much load was shed.
 //! ```
 //!
 //! The query file contains a PXQL query; if its `WHERE` clause uses `?`
@@ -97,6 +115,15 @@ impl Args {
                         | "bundles"
                         | "shards"
                         | "snapshot"
+                        | "addr"
+                        | "workers"
+                        | "budget"
+                        | "queue"
+                        | "session-inflight"
+                        | "session-pending"
+                        | "timeout-ms"
+                        | "connections"
+                        | "requests"
                 );
                 if takes_value {
                     let value = raw.get(i + 1).unwrap_or_else(|| {
@@ -741,10 +768,147 @@ fn print_batch_outcome(
     }
 }
 
+/// Parses a numeric flag, failing with a consistent message.
+fn numeric_flag<T: std::str::FromStr>(args: &Args, name: &str) -> Option<T> {
+    args.get(name).map(|raw| {
+        raw.parse::<T>()
+            .unwrap_or_else(|_| fail(&format!("--{name} expects a number")))
+    })
+}
+
+/// Serves the log over the network protocol until the process is killed.
+fn cmd_serve(args: &Args) {
+    use perfxplain::server::{spawn, QueryCost, SchedulerConfig, ServerConfig};
+    use std::sync::Arc;
+
+    let explain_config = config_from(args);
+    let service = match (args.get("snapshot"), args.get("log")) {
+        (Some(dir), _) => {
+            XplainService::open_snapshot_with_config(std::path::Path::new(dir), explain_config)
+                .unwrap_or_else(|e| fail(&format!("cannot open snapshot {dir}: {e}")))
+        }
+        (None, Some(_)) => XplainService::with_config(load_log(args), explain_config),
+        (None, None) => fail("--log <file.json> or --snapshot <dir> is required"),
+    };
+
+    let defaults = SchedulerConfig::default();
+    let scheduler = SchedulerConfig {
+        budget: numeric_flag(args, "budget")
+            .map(QueryCost)
+            .unwrap_or(defaults.budget),
+        queue_capacity: numeric_flag(args, "queue").unwrap_or(defaults.queue_capacity),
+        max_inflight_per_session: numeric_flag(args, "session-inflight")
+            .unwrap_or(defaults.max_inflight_per_session),
+        max_pending_per_session: numeric_flag(args, "session-pending")
+            .unwrap_or(defaults.max_pending_per_session),
+    };
+    let mut config = ServerConfig {
+        addr: args.get("addr").unwrap_or("127.0.0.1:7433").to_string(),
+        scheduler,
+        ..ServerConfig::default()
+    };
+    if let Some(workers) = numeric_flag::<usize>(args, "workers") {
+        config.workers = workers.max(1);
+    }
+    if let Some(timeout_ms) = numeric_flag::<u64>(args, "timeout-ms") {
+        config.default_timeout =
+            (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
+    }
+
+    let rows = service.with_log(|log| log.len());
+    let handle = spawn(Arc::new(service), config.clone()).unwrap_or_else(|e| fail(&e.to_string()));
+    println!(
+        "serving {rows} executions on {} ({} worker(s), budget {} unit(s), queue {}, \
+         per-session {} running / {} pending)",
+        handle.addr(),
+        config.workers,
+        config.scheduler.budget.units(),
+        config.scheduler.queue_capacity,
+        config.scheduler.max_inflight_per_session,
+        config.scheduler.max_pending_per_session,
+    );
+    // The handle owns the event loop; park this thread until the process is
+    // killed, reporting counters occasionally so operators see the shape of
+    // the load.
+    let mut last = handle.stats();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(10));
+        let stats = handle.stats();
+        if stats != last {
+            println!(
+                "sessions {}  requests {}  answered {}  shed {}  expired {}  errors {}",
+                stats.sessions_accepted,
+                stats.requests,
+                stats.answered,
+                stats.shed,
+                stats.expired,
+                stats.errors
+            );
+            last = stats;
+        }
+    }
+}
+
+/// Drives an open-loop many-client workload against a running server.
+fn cmd_load(args: &Args) {
+    use perfxplain::server::{run_load, WireRequest};
+
+    let addr = args
+        .get("addr")
+        .unwrap_or_else(|| fail("--addr HOST:PORT is required"));
+    let (left, right) = match (args.get("left"), args.get("right")) {
+        (Some(left), Some(right)) => (left.to_string(), right.to_string()),
+        _ => fail("--left and --right execution ids are required"),
+    };
+    let connections: usize = numeric_flag(args, "connections").unwrap_or(4);
+    let requests: usize = numeric_flag(args, "requests").unwrap_or(16);
+    let timeout_ms: Option<u64> = numeric_flag(args, "timeout-ms");
+    let query_text = if let Some(path) = args.get("query") {
+        Some(
+            std::fs::read_to_string(path)
+                .unwrap_or_else(|e| fail(&format!("cannot read query file {path}: {e}"))),
+        )
+    } else {
+        args.get("query-text").map(str::to_string)
+    };
+
+    println!(
+        "driving {connections} connection(s) x {requests} request(s) against {addr} \
+         for pair {left} vs {right}..."
+    );
+    let report = run_load(addr, connections, requests, |connection, sequence| {
+        let mut request: WireRequest = perfxplain::server::default_request(&left, &right);
+        if let Some(text) = &query_text {
+            request.query = Some(text.clone());
+        }
+        request.id = Some((connection * requests + sequence) as u64);
+        request.timeout_ms = timeout_ms;
+        request
+    })
+    .unwrap_or_else(|e| fail(&format!("load drive failed: {e}")));
+
+    println!(
+        "sent {}  ok {}  shed {}  deadline {}  errors {}  transport {}",
+        report.sent,
+        report.ok,
+        report.shed,
+        report.deadline,
+        report.errors,
+        report.transport_errors
+    );
+    println!(
+        "{:.1} qps over {:.1} ms; latency p50 {:.2} ms, p99 {:.2} ms",
+        report.qps,
+        report.elapsed.as_secs_f64() * 1e3,
+        report.p50_ms,
+        report.p99_ms
+    );
+}
+
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     const USAGE: &str =
-        "usage: perfxplain <simulate|ingest|snapshot|inspect|queries|explain|batch> [options]";
+        "usage: perfxplain <simulate|ingest|snapshot|inspect|queries|explain|batch|serve|load> [options]";
     let Some((command, rest)) = raw.split_first() else {
         eprintln!("{USAGE}");
         eprintln!("       see the module documentation at the top of src/bin/perfxplain.rs");
@@ -763,6 +927,8 @@ fn main() {
         "queries" => cmd_queries(&Args::parse(rest)),
         "explain" => cmd_explain(&Args::parse(rest)),
         "batch" => cmd_batch(&Args::parse(rest)),
+        "serve" => cmd_serve(&Args::parse(rest)),
+        "load" => cmd_load(&Args::parse(rest)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
         }

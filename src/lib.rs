@@ -13,6 +13,7 @@
 //! | cluster simulator | [`mrsim`] | discrete-event MapReduce cluster with a Ganglia-style monitor |
 //! | log substrate | [`hadoop_logs`] | Hadoop job-history / job.xml / Ganglia dump writer, parser and feature collector |
 //! | workloads | [`workload`] | Excite-like data generator, the Table-2 grid, sweep driver and the paper's two queries |
+//! | network front-end | [`server`] | non-blocking TCP event loop, line-delimited JSON protocol, cost-based admission control |
 //!
 //! # Quickstart
 //!
@@ -83,6 +84,15 @@
 //!   view per (log generation, kind); pair enumeration fans out over
 //!   threads by default on large views (the `parallel` / `serial` crate
 //!   features force it on / off), with bit-identical results either way.
+//! * **Networked serving** — [`server::spawn`] (CLI `perfxplain serve`)
+//!   puts a line-delimited JSON protocol in front of a warm service: a
+//!   single non-blocking event loop owns every connection while queries run
+//!   on a bounded worker pool behind **cost-based admission control** —
+//!   each request's cost is estimated from its compiled plan
+//!   ([`XplainService::estimate_cost`]), charged against a configurable
+//!   concurrent budget, queued FIFO (bounded) when the budget is held, and
+//!   shed with typed `429` responses beyond that, so many concurrent
+//!   debugging sessions share one log under bounded memory.
 
 pub use perfxplain_core::{
     assess, compute_pair_features, evaluate_on_log, generality, generate_explanation, narrate,
@@ -103,6 +113,8 @@ pub use mlcore;
 pub use mrsim;
 pub use pxql;
 pub use workload;
+
+pub use perfxplain_server as server;
 
 /// Everything most applications need, importable with a single `use`.
 pub mod prelude {

@@ -1,0 +1,346 @@
+//! Admission-control integration tests over real TCP connections.
+//!
+//! Every test spawns the network front-end ([`perfxplain::server::spawn`])
+//! on a loopback port with deliberately tight [`SchedulerConfig`] limits and
+//! drives it with raw protocol clients: queue-full shedding, per-session
+//! fairness under a hog connection, deadline expiry both mid-queue and
+//! mid-execution, and malformed-frame handling.  The server must answer
+//! every frame with a typed response — none of these scenarios may panic or
+//! kill a connection that behaved.
+
+use perfxplain::server::{
+    spawn, Client, QueryCost, SchedulerConfig, ServerConfig, ServerHandle, WireRequest,
+};
+use perfxplain::{ExecutionLog, ExecutionRecord, QueryRequest, XplainService};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The canonical query over [`synthetic_log`] pairs: job_2 reads far more
+/// input than job_0 yet takes about as long.
+const QUERY: &str = "DESPITE inputsize_compare = GT\n\
+                     OBSERVED duration_compare = SIM\n\
+                     EXPECTED duration_compare = GT";
+
+/// A log shaped like the paper's workload: even-indexed jobs are big-block
+/// plateaued runs (similar durations at very different input sizes), so the
+/// candidate space is rich in related pairs and training has real work.
+fn synthetic_log(n: usize) -> ExecutionLog {
+    let mut log = ExecutionLog::new();
+    for i in 0..n {
+        let big_blocks = i % 2 == 0;
+        let input = [1.0e9, 4.0e9, 32.0e9][i % 3];
+        let duration = if big_blocks {
+            600.0 + (i % 13) as f64
+        } else {
+            input / 5.0e7 + (i % 7) as f64
+        };
+        log.push(
+            ExecutionRecord::job(format!("job_{i}"))
+                .with_feature("inputsize", input)
+                .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+                .with_feature("numinstances", [2.0, 8.0, 16.0][(i / 2) % 3])
+                .with_feature("iosortfactor", 10.0 + (i % 3) as f64)
+                .with_feature("pigscript", ["a.pig", "b.pig"][i % 2])
+                .with_feature("duration", duration),
+        );
+    }
+    log.rebuild_catalogs();
+    log
+}
+
+/// A valid request for the pair of interest; `sample_size` scales how much
+/// training work (and therefore wall time and admission cost) it carries.
+fn request(id: u64, sample_size: u64) -> WireRequest {
+    WireRequest {
+        id: Some(id),
+        query: Some(QUERY.to_string()),
+        left: Some("job_2".to_string()),
+        right: Some("job_0".to_string()),
+        sample_size: Some(sample_size),
+        ..WireRequest::default()
+    }
+}
+
+/// The admission cost of [`request`] at `sample_size`, from the same
+/// estimator the server charges with.
+fn cost_of(service: &XplainService, sample_size: usize) -> QueryCost {
+    let probe = QueryRequest::text(QUERY)
+        .with_pair("job_2", "job_0")
+        .with_config(service.config().clone().with_sample_size(sample_size));
+    QueryCost::from(&service.estimate_cost(&probe).expect("estimable"))
+}
+
+/// Spawns a server over a fresh `n`-record log.
+fn serve(n: usize, scheduler: SchedulerConfig) -> (ServerHandle, Arc<XplainService>) {
+    let service = Arc::new(XplainService::new(synthetic_log(n)));
+    let config = ServerConfig {
+        scheduler,
+        workers: 2,
+        default_timeout: Some(Duration::from_secs(60)),
+        ..ServerConfig::default()
+    };
+    let handle = spawn(Arc::clone(&service), config).expect("server binds");
+    (handle, service)
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(&handle.addr().to_string()).expect("client connects")
+}
+
+/// A big-sample request is slow enough (hundreds of ms of enumeration and
+/// training on this log) to deterministically hold the budget while other
+/// connections arrive.
+const SLOW_SAMPLE: u64 = 20_000;
+const FAST_SAMPLE: u64 = 50;
+
+#[test]
+fn queue_full_sheds_with_typed_rejections() {
+    // Budget fits exactly one slow request and the queue holds one more;
+    // everything beyond that must shed with 429 shed_queue_full.
+    let service = XplainService::new(synthetic_log(1200));
+    let slow_cost = cost_of(&service, SLOW_SAMPLE as usize);
+    drop(service);
+    let (handle, _service) = serve(
+        1200,
+        SchedulerConfig {
+            budget: slow_cost,
+            queue_capacity: 1,
+            max_inflight_per_session: 4,
+            max_pending_per_session: 16,
+        },
+    );
+
+    // Hold the budget with a slow request on its own connection.
+    let mut holder = connect(&handle);
+    holder.send(&request(1, SLOW_SAMPLE)).expect("send");
+    std::thread::sleep(Duration::from_millis(100));
+
+    // Flood from distinct connections: one queues, the rest shed.
+    let mut shed = 0;
+    let mut queued_or_ok = 0;
+    let mut floods: Vec<Client> = (0..4).map(|_| connect(&handle)).collect();
+    for (i, client) in floods.iter_mut().enumerate() {
+        client
+            .send(&request(10 + i as u64, SLOW_SAMPLE))
+            .expect("send");
+    }
+    for client in &mut floods {
+        let response = client.recv().expect("response");
+        if response.is_shed() {
+            assert_eq!(response.error.as_deref(), Some("shed_queue_full"));
+            shed += 1;
+        } else {
+            queued_or_ok += 1;
+        }
+    }
+    assert!(
+        shed >= 3,
+        "expected at least 3 of 4 flood requests shed, got {shed} (answered {queued_or_ok})"
+    );
+    let held = holder.recv().expect("holder answered");
+    assert!(
+        held.is_ok(),
+        "the admitted request still succeeds: {held:?}"
+    );
+}
+
+#[test]
+fn oversized_cost_requests_are_rejected_outright() {
+    let service = XplainService::new(synthetic_log(600));
+    let normal_cost = cost_of(&service, FAST_SAMPLE as usize);
+    let huge_cost = cost_of(&service, 1_000_000);
+    assert!(huge_cost > normal_cost);
+    drop(service);
+    // Budget admits normal requests but can never admit the huge one.
+    let (handle, _service) = serve(
+        600,
+        SchedulerConfig {
+            budget: normal_cost + normal_cost,
+            ..SchedulerConfig::default()
+        },
+    );
+    let mut client = connect(&handle);
+
+    let shed = client.call(&request(1, 1_000_000)).expect("response");
+    assert_eq!(shed.code, 429);
+    assert_eq!(shed.error.as_deref(), Some("cost_exceeds_budget"));
+
+    // The same connection still gets normal requests answered.
+    let ok = client.call(&request(2, FAST_SAMPLE)).expect("response");
+    assert!(ok.is_ok(), "normal request after a shed: {ok:?}");
+    assert!(ok.cost_units.unwrap_or(0) > 0);
+}
+
+#[test]
+fn hog_connection_cannot_starve_other_sessions() {
+    // The hog pipelines a backlog of slow requests but may only run one at
+    // a time; the victim's single fast request must pass the backlog.
+    let (handle, _service) = serve(
+        1200,
+        SchedulerConfig {
+            budget: QueryCost(u64::MAX / 2),
+            queue_capacity: 64,
+            max_inflight_per_session: 1,
+            max_pending_per_session: 16,
+        },
+    );
+    let mut hog = connect(&handle);
+    const HOG_BACKLOG: u64 = 4;
+    for i in 0..HOG_BACKLOG {
+        hog.send(&request(i, SLOW_SAMPLE)).expect("send");
+    }
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut victim = connect(&handle);
+    let response = victim.call(&request(100, FAST_SAMPLE)).expect("response");
+    assert!(response.is_ok(), "victim starved: {response:?}");
+    // The victim finished while the hog's serialized backlog was still
+    // draining — the hog cannot have been answered in full yet.
+    let answered_now = handle.stats().answered;
+    assert!(
+        answered_now < 1 + HOG_BACKLOG,
+        "hog finished its whole backlog ({answered_now} answered) before the victim"
+    );
+
+    for _ in 0..HOG_BACKLOG {
+        let response = hog.recv().expect("hog response");
+        assert!(response.is_ok(), "hog request failed: {response:?}");
+    }
+}
+
+#[test]
+fn deadlines_expire_mid_queue_with_a_typed_timeout() {
+    // Budget fits one slow request; a queued request with a short deadline
+    // must be shed by the periodic sweep, not left to rot.
+    let service = XplainService::new(synthetic_log(1200));
+    let slow_cost = cost_of(&service, SLOW_SAMPLE as usize);
+    drop(service);
+    let (handle, _service) = serve(
+        1200,
+        SchedulerConfig {
+            budget: slow_cost,
+            queue_capacity: 8,
+            ..SchedulerConfig::default()
+        },
+    );
+    let mut holder = connect(&handle);
+    holder.send(&request(1, SLOW_SAMPLE)).expect("send");
+    std::thread::sleep(Duration::from_millis(100));
+
+    let mut waiter = connect(&handle);
+    let mut doomed = request(2, SLOW_SAMPLE);
+    doomed.timeout_ms = Some(30);
+    let started = Instant::now();
+    let response = waiter.call(&doomed).expect("response");
+    assert_eq!(
+        response.code, 408,
+        "expected a queued-deadline expiry: {response:?}"
+    );
+    assert_eq!(response.error.as_deref(), Some("deadline"));
+    assert!(
+        response.message.as_deref().unwrap_or("").contains("queued"),
+        "expiry should name the queue: {response:?}"
+    );
+    // The expiry came from the sweep while the budget was still held — long
+    // before the slow holder finished.
+    assert!(started.elapsed() < Duration::from_secs(5));
+    assert!(holder.recv().expect("holder answered").is_ok());
+    assert!(handle.stats().expired >= 1);
+}
+
+#[test]
+fn deadlines_expire_mid_execution_through_the_cancel_token() {
+    // Plenty of budget: the request is admitted and starts running, then
+    // the enumeration's cancellation checks trip its 1 ms deadline.
+    let (handle, _service) = serve(1200, SchedulerConfig::default());
+    let mut client = connect(&handle);
+    let mut doomed = request(1, SLOW_SAMPLE);
+    doomed.timeout_ms = Some(1);
+    let response = client.call(&doomed).expect("response");
+    assert_eq!(
+        response.code, 408,
+        "expected an in-flight expiry: {response:?}"
+    );
+    assert_eq!(response.error.as_deref(), Some("deadline"));
+    assert!(
+        !response.message.as_deref().unwrap_or("").contains("queued"),
+        "deadline tripped in-flight, not in the queue: {response:?}"
+    );
+
+    // The connection survives and a later, patient request succeeds.
+    let ok = client.call(&request(2, FAST_SAMPLE)).expect("response");
+    assert!(ok.is_ok(), "{ok:?}");
+}
+
+#[test]
+fn malformed_frames_get_typed_errors_without_killing_the_connection() {
+    let (handle, _service) = serve(200, SchedulerConfig::default());
+    let mut client = connect(&handle);
+
+    client.send_raw("this is not json\n").expect("send");
+    let response = client.recv().expect("response");
+    assert_eq!(response.code, 400);
+    assert_eq!(response.error.as_deref(), Some("bad_frame"));
+
+    client.send_raw("{\"id\": 7}\n").expect("send");
+    let response = client.recv().expect("response");
+    assert_eq!(response.code, 400);
+    assert_eq!(response.error.as_deref(), Some("bad_frame"));
+    assert_eq!(response.id, Some(7), "the id still echoes when parseable");
+
+    // Blank lines are ignored, not answered.
+    client.send_raw("\n\n").expect("send");
+
+    // Unknown executions and bad PXQL are typed, not fatal.
+    let mut unknown = request(8, FAST_SAMPLE);
+    unknown.left = Some("no_such_job".to_string());
+    let response = client.call(&unknown).expect("response");
+    assert_eq!(response.code, 404);
+    assert_eq!(response.error.as_deref(), Some("unknown_execution"));
+
+    let mut bad_query = request(9, FAST_SAMPLE);
+    bad_query.query = Some("OBSERVE duration ~~~".to_string());
+    let response = client.call(&bad_query).expect("response");
+    assert_eq!(response.code, 400);
+    assert_eq!(response.error.as_deref(), Some("pxql"));
+
+    // After all that abuse the connection still answers real queries.
+    let ok = client.call(&request(10, FAST_SAMPLE)).expect("response");
+    assert!(ok.is_ok(), "{ok:?}");
+    assert!(handle.stats().requests >= 5);
+}
+
+#[test]
+fn networked_answers_match_the_in_process_service() {
+    let (handle, service) = serve(600, SchedulerConfig::default());
+    let mut wire_request = request(1, FAST_SAMPLE);
+    wire_request.assess = Some(true);
+    let mut client = connect(&handle);
+    let over_wire = client.call(&wire_request).expect("response");
+    assert!(over_wire.is_ok(), "{over_wire:?}");
+
+    let in_process = service
+        .explain(
+            &QueryRequest::text(QUERY)
+                .with_pair("job_2", "job_0")
+                .with_config(
+                    service
+                        .config()
+                        .clone()
+                        .with_sample_size(FAST_SAMPLE as usize),
+                )
+                .with_assessment(),
+        )
+        .expect("in-process explain succeeds");
+    let atoms: Vec<String> = in_process
+        .explanation
+        .because
+        .atoms()
+        .iter()
+        .map(|a| a.to_string())
+        .collect();
+    assert_eq!(over_wire.because.as_deref(), Some(&atoms[..]));
+    assert_eq!(over_wire.generation, Some(in_process.generation));
+    let quality = in_process.quality.expect("assessment ran");
+    assert_eq!(over_wire.precision, quality.precision.value);
+}
