@@ -32,7 +32,10 @@ pub enum CoreError {
     /// An execution log could not be serialized or deserialized.
     Serialization(String),
     /// A snapshot store operation failed at the filesystem level (missing
-    /// directory, unreadable or unwritable file).
+    /// directory, unreadable or unwritable file).  Transient kinds
+    /// (interrupted, would-block, timed-out) have already been retried
+    /// with bounded backoff before this surfaces — see
+    /// [`SyncReport::io_retries`](crate::snapshot::SyncReport::io_retries).
     SnapshotIo {
         /// The path the operation touched.
         path: String,
@@ -41,8 +44,13 @@ pub enum CoreError {
     },
     /// A snapshot file is corrupt: bad magic, truncated content, an
     /// undecodable segment, or a fingerprint that does not match the
-    /// manifest.  Corruption is always a typed error, never a panic; the
-    /// caller's recovery path is a full re-ingest into the same directory.
+    /// manifest.  Corruption is always a typed error, never a panic, and
+    /// recovery is layered: a salvage open
+    /// ([`snapshot::open_salvage`](crate::snapshot::open_salvage))
+    /// quarantines the damaged segments and keeps serving the healthy
+    /// shards, a targeted [`snapshot::sync`](crate::snapshot::sync)
+    /// re-encodes only the quarantined shards from source, and a full
+    /// re-ingest into the same directory is the last resort.
     SnapshotCorrupt {
         /// The offending file.
         path: String,

@@ -189,9 +189,27 @@
 //!    Incremental re-ingest ([`snapshot::sync`]) fingerprints each shard's
 //!    source and re-encodes only the dirty shards; a changed global
 //!    catalog re-encodes everything from on-disk records, still never
-//!    re-parsing the source.  A v1 store reports
-//!    [`CoreError::SnapshotVersionSkew`] naming a full re-ingest as the
-//!    recovery path.
+//!    re-parsing the source.
+//! 8. **Recover in layers, cheapest remedy first.** Transient IO errors
+//!    (interrupted, would-block, timed-out) are absorbed *in place*: every
+//!    snapshot read, write and rename retries with bounded exponential
+//!    backoff before surfacing [`CoreError::SnapshotIo`], and
+//!    [`SyncReport::io_retries`](snapshot::SyncReport::io_retries) counts
+//!    what was absorbed.  A store the strict [`snapshot::open`] rejects as
+//!    corrupt is *salvaged* next ([`snapshot::open_salvage`],
+//!    [`XplainService::open_snapshot_salvage`](service::XplainService::open_snapshot_salvage)):
+//!    every shard fingerprint-verifies independently, damaged segments are
+//!    **quarantined** — renamed aside, never deleted — and the healthy
+//!    shards keep serving as a
+//!    [`PartialSnapshot`](snapshot::PartialSnapshot) while a targeted
+//!    [`snapshot::sync`] re-encodes *only* the quarantined shards from
+//!    source.  A full re-ingest is the **last resort**, reserved for
+//!    stores salvage cannot read at all: an unusable manifest, or a v1
+//!    store reporting [`CoreError::SnapshotVersionSkew`].
+//!    [`snapshot::verify`] audits every fingerprint read-only (CLI
+//!    `perfxplain snapshot verify`), and under `--features failpoints`
+//!    every one of these IO sites carries a named fault-injection point
+//!    the chaos suite drives.
 //!
 //! **Invariants.** The columnar path produces the same related-pair set,
 //! labels, dataset and explanations as the map-based path
@@ -205,8 +223,9 @@
 //! `tests/properties.rs` proves all three on randomized logs, queries and
 //! shard counts, and `tests/snapshot_store.rs` pins the corruption
 //! taxonomy (truncation, fingerprint mismatch, version skew → typed
-//! [`CoreError`]s, recovery by full re-ingest) and manifest-order
-//! authority.  Nominal
+//! [`CoreError`]s), that every corruption is salvageable (lenient open
+//! quarantines exactly the damaged shard and serves the rest) and
+//! manifest-order authority.  Nominal
 //! interning is keyed by canonical text, so two raw values that differ
 //! textually but compare equal under PXQL's cross-type rules (`Bool(true)`
 //! vs the string `"true"`) diverge — canonical log producers never mix
@@ -260,6 +279,11 @@ pub mod training;
 pub use mlcore::pool;
 pub use mlcore::shard;
 
+// The fault-injection registry (a no-op unless the `failpoints` feature is
+// on) is re-exported so the chaos suite and the server crate script the
+// same sites the snapshot store triggers.
+pub use mlcore::failpoints;
+
 pub use baselines::{RuleOfThumb, SimButDiff};
 pub use cancel::CancelToken;
 pub use columnar::{ColumnarLog, CompiledPredicate, CompiledQuery, SHARDED_BUILD_THRESHOLD};
@@ -282,8 +306,8 @@ pub use query::{BoundQuery, PairLabel};
 pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
 pub use service::{CostEstimate, QueryInput, QueryOutcome, QueryRequest, XplainService};
 pub use snapshot::{
-    RecordShard, ShardEntry, ShardInput, Snapshot, SnapshotManifest, SnapshotShard, SnapshotUsage,
-    SnapshotViews, SyncReport, SNAPSHOT_VERSION,
+    PartialSnapshot, RecordShard, ShardDamage, ShardEntry, ShardHealth, ShardInput, Snapshot,
+    SnapshotManifest, SnapshotShard, SnapshotUsage, SnapshotViews, SyncReport, SNAPSHOT_VERSION,
 };
 pub use training::{
     collect_related_pairs_in, prepare_encoded_training, prepare_encoded_training_in,

@@ -299,6 +299,53 @@ impl XplainService {
     /// cache instead of paying a JSON parse and a full re-encode.
     pub fn open_snapshot_with_config(dir: &std::path::Path, config: ExplainConfig) -> Result<Self> {
         let snapshot = crate::snapshot::open(dir)?;
+        Ok(Self::from_snapshot(snapshot, config))
+    }
+
+    /// Rehydrates a service from a snapshot directory **leniently**
+    /// ([`crate::snapshot::open_salvage`]): damaged segments are
+    /// quarantined (renamed aside, never deleted) and the service starts
+    /// warm over the healthy shards, returning the
+    /// [`ShardDamage`](crate::snapshot::ShardDamage) report so the caller
+    /// can schedule a targeted re-encode ([`crate::snapshot::sync`] with
+    /// only the damaged shards fresh) — or escalate to a full re-ingest if
+    /// the source is gone.  The report is empty when the store was fully
+    /// healthy, in which case the result equals
+    /// [`XplainService::open_snapshot_with_config`].
+    ///
+    /// Fails only when the manifest itself is unusable or *no* shard
+    /// survived — an all-damaged store has nothing to serve.
+    pub fn open_snapshot_salvage_with_config(
+        dir: &std::path::Path,
+        config: ExplainConfig,
+    ) -> Result<(Self, Vec<crate::snapshot::ShardDamage>)> {
+        let partial = crate::snapshot::open_salvage(dir)?;
+        let damage = partial.quarantined().to_vec();
+        if partial.healthy_shards() == 0 {
+            let first = damage
+                .first()
+                .map(|d| d.error.to_string())
+                .unwrap_or_else(|| "manifest lists no shards".to_string());
+            return Err(crate::error::CoreError::SnapshotCorrupt {
+                path: dir.display().to_string(),
+                message: format!("no healthy shards to salvage (first damage: {first})"),
+            });
+        }
+        let service = Self::from_snapshot(partial.into_snapshot(), config);
+        Ok((service, damage))
+    }
+
+    /// [`XplainService::open_snapshot_salvage_with_config`] with the
+    /// default configuration.
+    pub fn open_snapshot_salvage(
+        dir: &std::path::Path,
+    ) -> Result<(Self, Vec<crate::snapshot::ShardDamage>)> {
+        Self::open_snapshot_salvage_with_config(dir, ExplainConfig::default())
+    }
+
+    /// Builds a warm service from an already-loaded snapshot (strict or
+    /// salvaged): views pre-cached, decoded column buffers moved in.
+    fn from_snapshot(snapshot: crate::snapshot::Snapshot, config: ExplainConfig) -> Self {
         let crate::snapshot::SnapshotViews { log, job, task } = snapshot.into_views();
         let mut views = HashMap::new();
         for view in [job, task] {
@@ -306,11 +353,11 @@ impl XplainService {
                 views.insert((log.generation(), view.kind()), Arc::new(view));
             }
         }
-        Ok(XplainService {
+        XplainService {
             log: RwLock::new(log),
             views: RwLock::new(views),
             engine: PerfXplain::new(config),
-        })
+        }
     }
 
     /// Persists the served log as a segmented snapshot

@@ -43,8 +43,34 @@
 //! Corruption — truncated files, flipped bytes, edited manifests, version
 //! skew — surfaces as typed [`CoreError`]s ([`CoreError::SnapshotCorrupt`],
 //! [`CoreError::SnapshotVersionSkew`], [`CoreError::SnapshotIo`]), never a
-//! panic; the recovery path is a full re-ingest into the same directory
-//! ([`persist_shards`] overwrites whatever was there).
+//! panic.  Recovery is **layered, cheapest first**:
+//!
+//! 1. **Transient-IO retry.** Every file operation of the store classifies
+//!    its `io::ErrorKind`: `Interrupted` / `WouldBlock` / `TimedOut` retry
+//!    in place with bounded exponential backoff and deterministic jitter
+//!    (`NotFound`, `InvalidData` and every other deterministic outcome
+//!    never retry), and the retry count surfaces in
+//!    [`SyncReport::io_retries`] so operators can see a flaky disk.
+//! 2. **Salvage, then targeted re-encode.** [`open_salvage`] is the
+//!    lenient [`open`]: it fingerprint-verifies every shard
+//!    *independently*, renames damaged segment files aside
+//!    (`quarantine-…`, never deleted — forensics survive), and returns a
+//!    [`PartialSnapshot`] of the healthy shards plus a [`ShardDamage`]
+//!    report.  [`sync`] with the damaged shards as [`ShardInput::Fresh`]
+//!    and the rest [`ShardInput::Unchanged`] then re-encodes *only* what
+//!    was damaged — one flipped byte costs one shard re-encode, not a
+//!    full re-ingest.  [`verify`] is the read-only health check behind
+//!    `perfxplain snapshot verify`.
+//! 3. **Full re-ingest** ([`persist_shards`] overwrites whatever was
+//!    there) remains the last resort, needed only when the manifest
+//!    itself is unreadable or version-skewed, or the source no longer
+//!    matches the stored shard layout.
+//!
+//! Every IO site of the store is additionally a named
+//! [`mlcore::failpoints`] site (`snapshot.manifest.read`,
+//! `snapshot.segment.write`, `snapshot.segment.decode`, …), so the chaos
+//! suite (`tests/chaos.rs`, `--features failpoints`) can inject faults at
+//! any of them and prove the layering above actually holds.
 
 use crate::columnar::{encode_segment, ColumnarLog, EncodedSegment};
 use crate::error::{CoreError, Result};
@@ -56,6 +82,7 @@ use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::hash::Hasher;
 use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Version of the snapshot format this build reads and writes.
@@ -108,6 +135,121 @@ pub fn combine_fingerprints(parts: impl IntoIterator<Item = u64>) -> u64 {
         hasher.write_u64(part);
     }
     hasher.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Transient-IO retry
+// ---------------------------------------------------------------------------
+
+/// Attempts per file operation (the first try included).
+const IO_RETRY_ATTEMPTS: u32 = 4;
+
+/// Backoff before retry `k` is `IO_RETRY_BASE_DELAY_US << k` microseconds
+/// plus deterministic jitter of at most half that — worst case well under a
+/// millisecond across all attempts, so a genuinely stuck disk still fails
+/// fast with its typed error.
+const IO_RETRY_BASE_DELAY_US: u64 = 50;
+
+/// IO error kinds worth retrying: OS-level hiccups that routinely succeed
+/// on the next attempt.  `NotFound`, `InvalidData`, permission errors and
+/// every other deterministic outcome must surface immediately.
+fn transient_io(kind: std::io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        std::io::ErrorKind::Interrupted
+            | std::io::ErrorKind::WouldBlock
+            | std::io::ErrorKind::TimedOut
+    )
+}
+
+/// Runs `op`, retrying transient IO errors with bounded exponential backoff
+/// and deterministic jitter (derived from the running retry count — no
+/// clock, no RNG, so chaos runs replay exactly).  Each retry increments the
+/// shared counter that [`SyncReport::io_retries`] reports.
+fn with_io_retry<T>(
+    retries: &AtomicU64,
+    mut op: impl FnMut() -> std::io::Result<T>,
+) -> std::io::Result<T> {
+    let mut attempt = 0u32;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(err) if transient_io(err.kind()) && attempt + 1 < IO_RETRY_ATTEMPTS => {
+                let total = retries.fetch_add(1, Ordering::Relaxed);
+                let backoff = IO_RETRY_BASE_DELAY_US << attempt;
+                let jitter = total
+                    .wrapping_add(u64::from(attempt) + 1)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    >> 32;
+                let jitter = jitter % (backoff / 2 + 1);
+                std::thread::sleep(std::time::Duration::from_micros(backoff + jitter));
+                attempt += 1;
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+fn io_error(path: &Path, err: std::io::Error) -> CoreError {
+    CoreError::SnapshotIo {
+        path: path.display().to_string(),
+        message: err.to_string(),
+    }
+}
+
+/// `std::fs::read` with the failpoint for `site` and transient retry.
+fn read_file(path: &Path, site: &str, retries: &AtomicU64) -> Result<Vec<u8>> {
+    with_io_retry(retries, || {
+        if let Some(failure) = mlcore::failpoints::trigger(site) {
+            return Err(failure.into_io_error(site));
+        }
+        std::fs::read(path)
+    })
+    .map_err(|e| io_error(path, e))
+}
+
+/// `std::fs::read_to_string` with the failpoint for `site` and retry.
+fn read_file_to_string(path: &Path, site: &str, retries: &AtomicU64) -> Result<String> {
+    with_io_retry(retries, || {
+        if let Some(failure) = mlcore::failpoints::trigger(site) {
+            return Err(failure.into_io_error(site));
+        }
+        std::fs::read_to_string(path)
+    })
+    .map_err(|e| io_error(path, e))
+}
+
+/// `std::fs::write` with the failpoint for `site` and retry.
+fn write_file(path: &Path, site: &str, retries: &AtomicU64, bytes: &[u8]) -> Result<()> {
+    with_io_retry(retries, || {
+        if let Some(failure) = mlcore::failpoints::trigger(site) {
+            return Err(failure.into_io_error(site));
+        }
+        std::fs::write(path, bytes)
+    })
+    .map_err(|e| io_error(path, e))
+}
+
+/// `std::fs::rename` with the failpoint for `site` and retry.
+fn rename_file(from: &Path, to: &Path, site: &str, retries: &AtomicU64) -> Result<()> {
+    with_io_retry(retries, || {
+        if let Some(failure) = mlcore::failpoints::trigger(site) {
+            return Err(failure.into_io_error(site));
+        }
+        std::fs::rename(from, to)
+    })
+    .map_err(|e| io_error(to, e))
+}
+
+/// `std::fs::create_dir_all` with its failpoint and retry.
+fn create_dir(dir: &Path, retries: &AtomicU64) -> Result<()> {
+    with_io_retry(retries, || {
+        if let Some(failure) = mlcore::failpoints::trigger("snapshot.dir.create") {
+            return Err(failure.into_io_error("snapshot.dir.create"));
+        }
+        std::fs::create_dir_all(dir)
+    })
+    .map_err(|e| io_error(dir, e))
 }
 
 // ---------------------------------------------------------------------------
@@ -232,11 +374,14 @@ impl SnapshotManifest {
 
     /// Loads and validates the manifest of a snapshot directory.
     pub fn load(dir: &Path) -> Result<SnapshotManifest> {
+        Self::load_with_retries(dir, &AtomicU64::new(0))
+    }
+
+    /// [`SnapshotManifest::load`] with the caller's retry counter threaded
+    /// through the transient-IO retry wrapper.
+    fn load_with_retries(dir: &Path, retries: &AtomicU64) -> Result<SnapshotManifest> {
         let path = dir.join(MANIFEST_FILE);
-        let text = std::fs::read_to_string(&path).map_err(|e| CoreError::SnapshotIo {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
+        let text = read_file_to_string(&path, "snapshot.manifest.read", retries)?;
         let corrupt = |message: String| CoreError::SnapshotCorrupt {
             path: path.display().to_string(),
             message,
@@ -269,17 +414,13 @@ impl SnapshotManifest {
 
     /// Writes the manifest into `dir` (write-then-rename, so a crash never
     /// leaves a half-written manifest behind).
-    fn save(&self, dir: &Path) -> Result<()> {
+    fn save(&self, dir: &Path, retries: &AtomicU64) -> Result<()> {
         let json = serde_json::to_string_pretty(self)
             .map_err(|e| CoreError::Serialization(e.to_string()))?;
         let tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
         let path = dir.join(MANIFEST_FILE);
-        let io_err = |p: &Path, e: std::io::Error| CoreError::SnapshotIo {
-            path: p.display().to_string(),
-            message: e.to_string(),
-        };
-        std::fs::write(&tmp, json).map_err(|e| io_err(&tmp, e))?;
-        std::fs::rename(&tmp, &path).map_err(|e| io_err(&path, e))?;
+        write_file(&tmp, "snapshot.manifest.write", retries, json.as_bytes())?;
+        rename_file(&tmp, &path, "snapshot.manifest.rename", retries)?;
         Ok(())
     }
 }
@@ -753,13 +894,11 @@ fn load_shard(
     entry: &ShardEntry,
     job_catalog: &FeatureCatalog,
     task_catalog: &FeatureCatalog,
+    retries: &AtomicU64,
 ) -> Result<SnapshotShard> {
     let path = dir.join(&entry.file);
     let display = path.display().to_string();
-    let bytes = std::fs::read(&path).map_err(|e| CoreError::SnapshotIo {
-        path: display.clone(),
-        message: e.to_string(),
-    })?;
+    let bytes = read_file(&path, "snapshot.segment.read", retries)?;
     let corrupt = |message: String| CoreError::SnapshotCorrupt {
         path: display.clone(),
         message,
@@ -770,6 +909,11 @@ fn load_shard(
             "fingerprint mismatch: manifest records {:016x}, file hashes to {found:016x}",
             entry.fingerprint
         )));
+    }
+    if let Some(failure) = mlcore::failpoints::trigger("snapshot.segment.decode") {
+        return Err(corrupt(
+            failure.into_io_error("snapshot.segment.decode").to_string(),
+        ));
     }
     let payload = decode_shard_file(&bytes).map_err(|e| corrupt(e.to_string()))?;
     if payload.records.len() as u64 != entry.rows {
@@ -968,14 +1112,23 @@ pub struct SnapshotViews {
 /// loaded and fingerprint-verified across `std::thread::scope` threads
 /// ([`crate::shard::map_chunks`]), assembled in manifest order.
 pub fn open(dir: &Path) -> Result<Snapshot> {
-    let manifest = SnapshotManifest::load(dir)?;
+    let retries = AtomicU64::new(0);
+    let manifest = SnapshotManifest::load_with_retries(dir, &retries)?;
     let loaded: Result<Vec<Vec<SnapshotShard>>> = crate::shard::map_chunks(
         &manifest.shards,
         crate::shard::hardware_threads().min(manifest.shards.len()),
         |chunk| {
             chunk
                 .iter()
-                .map(|entry| load_shard(dir, entry, &manifest.job_catalog, &manifest.task_catalog))
+                .map(|entry| {
+                    load_shard(
+                        dir,
+                        entry,
+                        &manifest.job_catalog,
+                        &manifest.task_catalog,
+                        &retries,
+                    )
+                })
                 .collect::<Result<Vec<SnapshotShard>>>()
         },
     )
@@ -999,6 +1152,264 @@ pub fn open(dir: &Path) -> Result<Snapshot> {
         });
     }
     Ok(Snapshot { manifest, shards })
+}
+
+// ---------------------------------------------------------------------------
+// Salvage opens and health checks
+// ---------------------------------------------------------------------------
+
+/// What happened to one shard that failed verification during
+/// [`open_salvage`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardDamage {
+    /// The shard's position in the manifest.
+    pub index: usize,
+    /// The segment file the manifest references.
+    pub file: String,
+    /// Where the damaged file was renamed to (`quarantine-…`, same
+    /// directory), or `None` when the file was missing or the rename
+    /// itself failed — it is never deleted either way.
+    pub quarantined_as: Option<String>,
+    /// Why the shard failed verification.
+    pub error: CoreError,
+    /// The shard's recorded source fingerprint, so the caller can map the
+    /// damage back to the source it must re-parse.
+    pub source_fingerprint: Option<u64>,
+    /// Rows the manifest records for the shard.
+    pub rows: u64,
+}
+
+/// The result of a lenient [`open_salvage`]: every shard that verified,
+/// plus a damage report for every shard that did not.
+///
+/// The healthy side behaves like a pruned [`Snapshot`]
+/// ([`PartialSnapshot::into_snapshot`]); the damaged side is exactly what a
+/// targeted [`sync`] needs to re-encode — each [`ShardDamage`] carries the
+/// manifest index and source fingerprint, so the caller re-parses *only*
+/// those sources and passes everything else as [`ShardInput::Unchanged`].
+#[derive(Debug, Clone)]
+pub struct PartialSnapshot {
+    manifest: SnapshotManifest,
+    healthy: Vec<(usize, SnapshotShard)>,
+    quarantined: Vec<ShardDamage>,
+    io_retries: u64,
+}
+
+impl PartialSnapshot {
+    /// The full on-disk manifest, damaged entries included.
+    pub fn manifest(&self) -> &SnapshotManifest {
+        &self.manifest
+    }
+
+    /// Damage reports, in manifest order.
+    pub fn quarantined(&self) -> &[ShardDamage] {
+        &self.quarantined
+    }
+
+    /// Manifest indices of the damaged shards, ascending.
+    pub fn damaged_indices(&self) -> Vec<usize> {
+        self.quarantined.iter().map(|d| d.index).collect()
+    }
+
+    /// How many shards verified clean.
+    pub fn healthy_shards(&self) -> usize {
+        self.healthy.len()
+    }
+
+    /// `true` when every shard verified — the salvage open found nothing
+    /// to quarantine and equals a strict [`open`].
+    pub fn is_complete(&self) -> bool {
+        self.quarantined.is_empty()
+    }
+
+    /// Rows across the healthy shards only.
+    pub fn num_rows(&self) -> usize {
+        self.healthy
+            .iter()
+            .map(|(_, shard)| shard.records.len())
+            .sum()
+    }
+
+    /// Transient-IO retries performed during the salvage open.
+    pub fn io_retries(&self) -> u64 {
+        self.io_retries
+    }
+
+    /// Consumes the partial snapshot into a [`Snapshot`] over the healthy
+    /// shards only (manifest pruned to their entries, in manifest order).
+    /// The global catalogs are kept as stored — the segments were encoded
+    /// and verified against them — so a feature that only ever appeared in
+    /// a damaged shard still names a (now empty) column in the views.
+    pub fn into_snapshot(self) -> Snapshot {
+        let PartialSnapshot {
+            mut manifest,
+            healthy,
+            ..
+        } = self;
+        let keep: std::collections::BTreeSet<usize> =
+            healthy.iter().map(|(index, _)| *index).collect();
+        manifest.shards = manifest
+            .shards
+            .into_iter()
+            .enumerate()
+            .filter(|(index, _)| keep.contains(index))
+            .map(|(_, entry)| entry)
+            .collect();
+        Snapshot {
+            manifest,
+            shards: healthy.into_iter().map(|(_, shard)| shard).collect(),
+        }
+    }
+}
+
+/// Lenient [`open`]: verifies every shard independently instead of failing
+/// on the first bad one, renames damaged segment files aside
+/// (`quarantine-<original name>`, never deleted) and reports them in a
+/// [`PartialSnapshot`] next to the healthy shards.
+///
+/// The manifest itself must still load cleanly — a store whose *manifest*
+/// is unreadable, corrupt or version-skewed has nothing to salvage shards
+/// against, and the error says so; the recovery path for that case remains
+/// a full re-ingest.
+pub fn open_salvage(dir: &Path) -> Result<PartialSnapshot> {
+    let retries = AtomicU64::new(0);
+    let manifest = SnapshotManifest::load_with_retries(dir, &retries)?;
+    let indexed: Vec<(usize, &ShardEntry)> = manifest.shards.iter().enumerate().collect();
+    let loaded: Vec<(usize, Result<SnapshotShard>)> = crate::shard::map_chunks(
+        &indexed,
+        crate::shard::hardware_threads().min(indexed.len()),
+        |chunk| {
+            chunk
+                .iter()
+                .map(|(index, entry)| {
+                    (
+                        *index,
+                        load_shard(
+                            dir,
+                            entry,
+                            &manifest.job_catalog,
+                            &manifest.task_catalog,
+                            &retries,
+                        ),
+                    )
+                })
+                .collect::<Vec<_>>()
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
+
+    let mut healthy = Vec::with_capacity(loaded.len());
+    let mut quarantined = Vec::new();
+    for (index, result) in loaded {
+        let entry = &manifest.shards[index];
+        match result {
+            Ok(shard) => healthy.push((index, shard)),
+            Err(error) => {
+                let from = dir.join(&entry.file);
+                let quarantine_name = format!("quarantine-{}", entry.file);
+                let to = dir.join(&quarantine_name);
+                // Best-effort: the damage report stands even if the rename
+                // fails (e.g. the file is simply missing).
+                let quarantined_as = if from.exists() {
+                    rename_file(&from, &to, "snapshot.segment.quarantine", &retries)
+                        .ok()
+                        .map(|()| quarantine_name)
+                } else {
+                    None
+                };
+                quarantined.push(ShardDamage {
+                    index,
+                    file: entry.file.clone(),
+                    quarantined_as,
+                    error,
+                    source_fingerprint: entry.source_fingerprint,
+                    rows: entry.rows,
+                });
+            }
+        }
+    }
+    quarantined.sort_by_key(|damage| damage.index);
+    Ok(PartialSnapshot {
+        manifest,
+        healthy,
+        quarantined,
+        io_retries: retries.load(Ordering::Relaxed),
+    })
+}
+
+/// One shard's health as reported by [`verify`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardHealth {
+    /// The shard's position in the manifest.
+    pub index: usize,
+    /// The segment file the manifest references.
+    pub file: String,
+    /// Rows the manifest records for the shard.
+    pub rows: u64,
+    /// `None` when the segment's bytes fingerprint-match the manifest;
+    /// otherwise why they do not.
+    pub error: Option<CoreError>,
+}
+
+impl ShardHealth {
+    /// Whether the shard verified clean.
+    pub fn is_healthy(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// Read-only health check: fingerprint-verifies every segment file against
+/// the manifest without decoding anything or building views, and without
+/// touching the store (no quarantine, no rewrite).  Returns one
+/// [`ShardHealth`] per shard in manifest order; fails outright only when
+/// the manifest itself is unusable.
+pub fn verify(dir: &Path) -> Result<Vec<ShardHealth>> {
+    let retries = AtomicU64::new(0);
+    let manifest = SnapshotManifest::load_with_retries(dir, &retries)?;
+    let indexed: Vec<(usize, &ShardEntry)> = manifest.shards.iter().enumerate().collect();
+    let mut checked: Vec<ShardHealth> = crate::shard::map_chunks(
+        &indexed,
+        crate::shard::hardware_threads().min(indexed.len()),
+        |chunk| {
+            chunk
+                .iter()
+                .map(|(index, entry)| {
+                    let path = dir.join(&entry.file);
+                    let error = match read_file(&path, "snapshot.segment.read", &retries) {
+                        Err(err) => Some(err),
+                        Ok(bytes) => {
+                            let found = fingerprint_bytes(&bytes);
+                            if found == entry.fingerprint {
+                                None
+                            } else {
+                                Some(CoreError::SnapshotCorrupt {
+                                    path: path.display().to_string(),
+                                    message: format!(
+                                        "fingerprint mismatch: manifest records {:016x}, \
+                                         file hashes to {found:016x}",
+                                        entry.fingerprint
+                                    ),
+                                })
+                            }
+                        }
+                    };
+                    ShardHealth {
+                        index: *index,
+                        file: entry.file.clone(),
+                        rows: entry.rows,
+                        error,
+                    }
+                })
+                .collect::<Vec<_>>()
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect();
+    checked.sort_by_key(|health| health.index);
+    Ok(checked)
 }
 
 // ---------------------------------------------------------------------------
@@ -1036,6 +1447,11 @@ pub struct SyncReport {
     pub encode_seconds: f64,
     /// Wall-clock seconds spent writing files and the manifest (I/O).
     pub write_seconds: f64,
+    /// Transient IO errors (`Interrupted` / `WouldBlock` / `TimedOut`)
+    /// absorbed by in-place retry during this operation.  Persistently
+    /// non-zero numbers mean the storage under the snapshot directory is
+    /// flaky even though the operation succeeded.
+    pub io_retries: u64,
 }
 
 /// Persists a log as `num_shards` contiguous segments (at least one, even
@@ -1112,10 +1528,8 @@ fn persist_impl(dir: &Path, mut shards: Vec<RecordShard>, generation: u64) -> Re
     let encode_seconds = encode_started.elapsed().as_secs_f64();
 
     let write_started = Instant::now();
-    std::fs::create_dir_all(dir).map_err(|e| CoreError::SnapshotIo {
-        path: dir.display().to_string(),
-        message: e.to_string(),
-    })?;
+    let retries = AtomicU64::new(0);
+    create_dir(dir, &retries)?;
     let mut entries = Vec::with_capacity(shards.len());
     for (i, ((shard, (bytes, sizes)), (job_local, task_local))) in
         shards.iter().zip(&files).zip(local_catalogs).enumerate()
@@ -1123,10 +1537,7 @@ fn persist_impl(dir: &Path, mut shards: Vec<RecordShard>, generation: u64) -> Re
         let fingerprint = fingerprint_bytes(bytes);
         let file = segment_file_name(i, fingerprint);
         let path = dir.join(&file);
-        std::fs::write(&path, bytes).map_err(|e| CoreError::SnapshotIo {
-            path: path.display().to_string(),
-            message: e.to_string(),
-        })?;
+        write_file(&path, "snapshot.segment.write", &retries, bytes)?;
         entries.push(ShardEntry {
             file,
             rows: shard.records.len() as u64,
@@ -1147,7 +1558,7 @@ fn persist_impl(dir: &Path, mut shards: Vec<RecordShard>, generation: u64) -> Re
         task_catalog,
         shards: entries,
     };
-    manifest.save(dir)?;
+    manifest.save(dir, &retries)?;
     remove_orphan_segments(dir, &manifest);
     let write_seconds = write_started.elapsed().as_secs_f64();
 
@@ -1158,6 +1569,7 @@ fn persist_impl(dir: &Path, mut shards: Vec<RecordShard>, generation: u64) -> Re
         catalog_changed: false,
         encode_seconds,
         write_seconds,
+        io_retries: retries.load(Ordering::Relaxed),
         manifest,
     })
 }
@@ -1240,7 +1652,8 @@ pub enum ShardInput {
 /// does not match the manifest; the recovery path is a full
 /// [`persist_shards`] with every shard fresh.
 pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
-    let old = SnapshotManifest::load(dir)?;
+    let retries = AtomicU64::new(0);
+    let old = SnapshotManifest::load_with_retries(dir, &retries)?;
     let manifest_path = dir.join(MANIFEST_FILE).display().to_string();
 
     // An emptied source is a full rewrite down to one empty shard — a
@@ -1313,7 +1726,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                     .iter()
                     .map(|(i, input)| match input {
                         ShardInput::Unchanged { .. } => {
-                            load_shard(dir, &old.shards[*i], job_old, task_old)
+                            load_shard(dir, &old.shards[*i], job_old, task_old, &retries)
                                 .map(|shard| Some(shard.records))
                         }
                         ShardInput::Fresh(_) => Ok(None),
@@ -1346,10 +1759,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                     .map(|&i| {
                         let entry = &old.shards[i];
                         let path = dir.join(&entry.file);
-                        let bytes = std::fs::read(&path).map_err(|e| CoreError::SnapshotIo {
-                            path: path.display().to_string(),
-                            message: e.to_string(),
-                        })?;
+                        let bytes = read_file(&path, "snapshot.segment.read", &retries)?;
                         let found = fingerprint_bytes(&bytes);
                         if found != entry.fingerprint {
                             return Err(CoreError::SnapshotCorrupt {
@@ -1453,10 +1863,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                 let fingerprint = fingerprint_bytes(&bytes);
                 let file = segment_file_name(i, fingerprint);
                 let path = dir.join(&file);
-                std::fs::write(&path, &bytes).map_err(|e| CoreError::SnapshotIo {
-                    path: path.display().to_string(),
-                    message: e.to_string(),
-                })?;
+                write_file(&path, "snapshot.segment.write", &retries, &bytes)?;
                 ShardEntry {
                     file,
                     rows: rows as u64,
@@ -1481,7 +1888,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
         task_catalog,
         shards: entries,
     };
-    manifest.save(dir)?;
+    manifest.save(dir, &retries)?;
     remove_orphan_segments(dir, &manifest);
     let write_seconds = write_started.elapsed().as_secs_f64();
 
@@ -1492,6 +1899,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
         catalog_changed,
         encode_seconds,
         write_seconds,
+        io_retries: retries.load(Ordering::Relaxed),
         manifest,
     })
 }
@@ -1879,6 +2287,208 @@ mod tests {
             }
         }
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Shards of `sample_log`, four records each, with stable source
+    /// fingerprints — the layout the salvage tests damage and repair.
+    fn fingerprinted_shards() -> Vec<RecordShard> {
+        sample_log()
+            .records()
+            .chunks(4)
+            .enumerate()
+            .map(|(i, chunk)| RecordShard {
+                records: chunk.to_vec(),
+                source_fingerprint: Some(2000 + i as u64),
+            })
+            .collect()
+    }
+
+    fn flip_byte(path: &std::path::Path, offset: usize) {
+        let mut bytes = std::fs::read(path).unwrap();
+        bytes[offset] ^= 0xff;
+        std::fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn salvage_quarantines_damage_and_keeps_healthy_shards() {
+        let shards = fingerprinted_shards();
+        let dir = test_dir("salvage");
+        let report = persist_shards(&dir, shards.clone()).unwrap();
+        assert!(report.manifest.shards.len() >= 3);
+        let victim = report.manifest.shards[1].file.clone();
+        flip_byte(&dir.join(&victim), 12);
+
+        // Strict open refuses; salvage returns everything else.
+        assert!(matches!(open(&dir), Err(CoreError::SnapshotCorrupt { .. })));
+        let partial = open_salvage(&dir).unwrap();
+        assert!(!partial.is_complete());
+        assert_eq!(partial.healthy_shards(), report.manifest.shards.len() - 1);
+        assert_eq!(partial.damaged_indices(), vec![1]);
+        let damage = &partial.quarantined()[0];
+        assert_eq!(damage.file, victim);
+        assert_eq!(damage.source_fingerprint, Some(2001));
+        assert!(matches!(damage.error, CoreError::SnapshotCorrupt { .. }));
+        // The damaged file is renamed aside, never deleted.
+        let quarantine_name = damage.quarantined_as.clone().unwrap();
+        assert_eq!(quarantine_name, format!("quarantine-{victim}"));
+        assert!(dir.join(&quarantine_name).exists());
+        assert!(!dir.join(&victim).exists());
+
+        // The healthy side carries exactly the undamaged records.
+        let healthy_log = partial.into_snapshot().to_log();
+        let expected: Vec<&ExecutionRecord> = shards
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .flat_map(|(_, shard)| shard.records.iter())
+            .collect();
+        assert_eq!(healthy_log.records().len(), expected.len());
+        for (got, want) in healthy_log.records().iter().zip(expected) {
+            assert_eq!(got.id, want.id);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_then_targeted_sync_reencodes_only_the_damaged_shard() {
+        let shards = fingerprinted_shards();
+        let count = shards.len();
+        let dir = test_dir("salvage_sync");
+        let report = persist_shards(&dir, shards.clone()).unwrap();
+        let victim = report.manifest.shards[2].file.clone();
+        flip_byte(&dir.join(&victim), 20);
+
+        let partial = open_salvage(&dir).unwrap();
+        assert_eq!(partial.damaged_indices(), vec![2]);
+
+        // Re-parse only the damaged shard "from source"; everything else is
+        // an unchanged claim.
+        let damaged: std::collections::BTreeSet<usize> =
+            partial.damaged_indices().into_iter().collect();
+        let inputs: Vec<ShardInput> = shards
+            .iter()
+            .enumerate()
+            .map(|(i, shard)| {
+                if damaged.contains(&i) {
+                    ShardInput::Fresh(shard.clone())
+                } else {
+                    ShardInput::Unchanged {
+                        source_fingerprint: shard.source_fingerprint.unwrap(),
+                    }
+                }
+            })
+            .collect();
+        let repaired = sync(&dir, inputs).unwrap();
+        assert_eq!(repaired.shards_encoded, 1, "only the damaged shard");
+        assert_eq!(repaired.shards_reused, count - 1);
+        assert!(!repaired.catalog_changed);
+
+        // The repaired store equals a clean full ingest, bit for bit.
+        let clean_dir = test_dir("salvage_sync_clean");
+        let clean = persist_shards(&clean_dir, shards).unwrap();
+        assert_eq!(repaired.manifest, clean.manifest);
+        assert_eq!(
+            open(&dir).unwrap().view(ExecutionKind::Job),
+            open(&clean_dir).unwrap().view(ExecutionKind::Job)
+        );
+        // The quarantined file survives the repair.
+        assert!(dir.join(format!("quarantine-{victim}")).exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+        std::fs::remove_dir_all(&clean_dir).unwrap();
+    }
+
+    #[test]
+    fn salvage_with_an_unusable_manifest_fails_typed() {
+        let dir = test_dir("salvage_manifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), r#"{"version": 1}"#).unwrap();
+        assert!(matches!(
+            open_salvage(&dir),
+            Err(CoreError::SnapshotVersionSkew { .. })
+        ));
+        std::fs::write(dir.join(MANIFEST_FILE), "not json").unwrap();
+        assert!(matches!(
+            open_salvage(&dir),
+            Err(CoreError::SnapshotCorrupt { .. })
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn verify_reports_per_shard_health_without_mutating_the_store() {
+        let dir = test_dir("verify");
+        let report = persist_shards(&dir, fingerprinted_shards()).unwrap();
+        let healthy = verify(&dir).unwrap();
+        assert_eq!(healthy.len(), report.manifest.shards.len());
+        assert!(healthy.iter().all(ShardHealth::is_healthy));
+
+        let victim = report.manifest.shards[0].file.clone();
+        flip_byte(&dir.join(&victim), 9);
+        let checked = verify(&dir).unwrap();
+        assert!(!checked[0].is_healthy());
+        assert!(matches!(
+            checked[0].error,
+            Some(CoreError::SnapshotCorrupt { .. })
+        ));
+        assert!(checked[1..].iter().all(ShardHealth::is_healthy));
+        // Read-only: the damaged file is still in place under its original
+        // name (verify never quarantines), and a salvage still finds it.
+        assert!(dir.join(&victim).exists());
+        assert_eq!(open_salvage(&dir).unwrap().damaged_indices(), vec![0]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn clean_operations_report_zero_io_retries() {
+        let dir = test_dir("retries");
+        let report = persist(&sample_log(), &dir, 2).unwrap();
+        assert_eq!(report.io_retries, 0);
+        assert_eq!(open_salvage(&dir).unwrap().io_retries(), 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn transient_kinds_retry_and_hard_kinds_do_not() {
+        for kind in [
+            std::io::ErrorKind::Interrupted,
+            std::io::ErrorKind::WouldBlock,
+            std::io::ErrorKind::TimedOut,
+        ] {
+            assert!(transient_io(kind), "{kind:?} must retry");
+            let retries = AtomicU64::new(0);
+            let mut failures = 2;
+            let result: std::io::Result<u32> = with_io_retry(&retries, || {
+                if failures > 0 {
+                    failures -= 1;
+                    Err(std::io::Error::new(kind, "flaky"))
+                } else {
+                    Ok(7)
+                }
+            });
+            assert_eq!(result.unwrap(), 7);
+            assert_eq!(retries.load(Ordering::Relaxed), 2);
+            // A persistent transient error still fails after the bound.
+            let retries = AtomicU64::new(0);
+            let result: std::io::Result<u32> =
+                with_io_retry(&retries, || Err(std::io::Error::new(kind, "stuck")));
+            assert_eq!(result.unwrap_err().kind(), kind);
+            assert_eq!(
+                retries.load(Ordering::Relaxed),
+                u64::from(IO_RETRY_ATTEMPTS) - 1
+            );
+        }
+        for kind in [
+            std::io::ErrorKind::NotFound,
+            std::io::ErrorKind::InvalidData,
+            std::io::ErrorKind::PermissionDenied,
+        ] {
+            assert!(!transient_io(kind), "{kind:?} must not retry");
+            let retries = AtomicU64::new(0);
+            let result: std::io::Result<u32> =
+                with_io_retry(&retries, || Err(std::io::Error::new(kind, "hard")));
+            assert_eq!(result.unwrap_err().kind(), kind);
+            assert_eq!(retries.load(Ordering::Relaxed), 0);
+        }
     }
 
     #[test]

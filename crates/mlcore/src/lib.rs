@@ -48,6 +48,11 @@
 //!   [`pool::shared`] instance sized to the hardware.
 //! * [`stats`] — means, standard deviations and the percentile-rank
 //!   normalisation used by `normalizeScore` in Algorithm 1.
+//! * [`failpoints`] — deterministic fault injection behind the
+//!   off-by-default `failpoints` cargo feature: named sites in the
+//!   persistence, pool and server paths ask [`failpoints::trigger`]
+//!   whether to fail; disabled, the call inlines to `None` and costs
+//!   nothing.
 //! * [`oracle`] (tests only) — the retained naive split finder, tree fit
 //!   and Relief, the equivalence oracles for everything below.
 //!
@@ -115,6 +120,7 @@ pub mod columnar;
 pub mod dataset;
 pub mod dtree;
 pub mod entropy;
+pub mod failpoints;
 pub mod hash;
 #[cfg(any(test, feature = "oracle"))]
 pub mod oracle;

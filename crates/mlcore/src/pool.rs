@@ -22,7 +22,13 @@
 //! A job that panics is caught at the worker (the pool survives; `execute`
 //! jobs are fire-and-forget, so their panics are swallowed after the catch),
 //! and `map_chunks` re-raises the first chunk panic in the caller once every
-//! chunk has settled — the same contract as `std::thread::scope`.
+//! chunk has settled — the same contract as `std::thread::scope`.  Poisoned
+//! locks are *recovered*, never propagated: a panic that lands while one of
+//! the pool's mutexes is held cannot corrupt the queue (every critical
+//! section is a single push/pop/counter step), so treating poison as fatal
+//! would only convert one bad job into a dead process-wide [`shared`] pool.
+//! Under `--features failpoints` the `"pool.job"` site injects worker
+//! faults between pop and run; faulted jobs are requeued, never dropped.
 //!
 //! The queue is intentionally unbounded: the pool's callers bound it.  The
 //! server charges every job against a concurrent-cost budget *before*
@@ -32,13 +38,25 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// An enqueued job.  Jobs are type-erased closures; `map_chunks` erases the
 /// *lifetime* too (see the safety argument there).
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Locks `mutex`, recovering from poisoning instead of panicking.
+///
+/// Every critical section in this module is a handful of queue or counter
+/// operations that leave the data consistent even if a panic lands mid-hold
+/// (there are no multi-step invariants spanning an unwind point), so the
+/// poison flag carries no information the pool needs — and propagating it
+/// would turn one panicking job into a dead pool for every *other* caller
+/// of the process-wide [`shared`] singleton.
+fn lock_recover<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poison| poison.into_inner())
+}
 
 /// Shared pool state: the job queue plus the shutdown flag, under one lock
 /// so workers can wait on a single condvar.
@@ -100,12 +118,7 @@ impl WorkerPool {
 
     /// Number of jobs currently queued (not yet picked up by a worker).
     pub fn queued(&self) -> usize {
-        self.shared
-            .state
-            .lock()
-            .expect("pool lock poisoned")
-            .queue
-            .len()
+        lock_recover(&self.shared.state).queue.len()
     }
 
     /// Enqueues an owned job.  Jobs run in FIFO order across the pool's
@@ -116,7 +129,7 @@ impl WorkerPool {
     }
 
     fn push(&self, job: Job) {
-        let mut state = self.shared.state.lock().expect("pool lock poisoned");
+        let mut state = lock_recover(&self.shared.state);
         state.queue.push_back(job);
         drop(state);
         self.shared.work_ready.notify_one();
@@ -124,12 +137,7 @@ impl WorkerPool {
 
     /// Pops one queued job without blocking (used by helping waiters).
     fn try_pop(&self) -> Option<Job> {
-        self.shared
-            .state
-            .lock()
-            .expect("pool lock poisoned")
-            .queue
-            .pop_front()
+        lock_recover(&self.shared.state).queue.pop_front()
     }
 
     /// Runs `f` over up to `chunks` contiguous chunks of `items` on the
@@ -175,7 +183,7 @@ impl WorkerPool {
                 // caller below would wait forever; the payload is parked in
                 // the slot and re-raised by the caller.
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(chunk)));
-                *slot.lock().expect("chunk slot lock poisoned") = Some(outcome);
+                *lock_recover(slot) = Some(outcome);
                 latch.count_down();
             };
             // SAFETY: `task` borrows `f`, `slots`, `chunk_slices` and
@@ -196,6 +204,25 @@ impl WorkerPool {
         while !latch.is_done() {
             match self.try_pop() {
                 Some(job) => {
+                    // The helping waiter dequeues jobs exactly like a
+                    // worker, so it passes the same failpoint: a faulted
+                    // dequeue requeues the (never-run) job and keeps
+                    // helping.
+                    #[cfg(feature = "failpoints")]
+                    {
+                        let faulted = catch_unwind(AssertUnwindSafe(|| {
+                            if let Some(failure) = crate::failpoints::trigger("pool.job") {
+                                std::panic::panic_any(
+                                    failure.into_io_error("pool.job").to_string(),
+                                );
+                            }
+                        }))
+                        .is_err();
+                        if faulted {
+                            self.push(job);
+                            continue;
+                        }
+                    }
                     // Panics here are either our own chunks (parked in
                     // their slot by the wrapper) or another caller's
                     // `execute` job (fire-and-forget); neither may abort
@@ -211,7 +238,7 @@ impl WorkerPool {
             .map(|slot| {
                 let outcome = slot
                     .into_inner()
-                    .expect("chunk slot lock poisoned")
+                    .unwrap_or_else(|poison| poison.into_inner())
                     .expect("latch released with an empty chunk slot");
                 outcome.unwrap_or_else(|payload| resume_unwind(payload))
             })
@@ -222,7 +249,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().expect("pool lock poisoned");
+            let mut state = lock_recover(&self.shared.state);
             state.shutdown = true;
         }
         self.shared.work_ready.notify_all();
@@ -235,7 +262,7 @@ impl Drop for WorkerPool {
 fn worker_loop(shared: &PoolShared) {
     loop {
         let job = {
-            let mut state = shared.state.lock().expect("pool lock poisoned");
+            let mut state = lock_recover(&shared.state);
             loop {
                 if let Some(job) = state.queue.pop_front() {
                     break job;
@@ -243,9 +270,33 @@ fn worker_loop(shared: &PoolShared) {
                 if state.shutdown {
                     return;
                 }
-                state = shared.work_ready.wait(state).expect("pool lock poisoned");
+                state = shared
+                    .work_ready
+                    .wait(state)
+                    .unwrap_or_else(|poison| poison.into_inner());
             }
         };
+        // The "pool.job" failpoint models a worker blowing up *around* a
+        // job rather than inside it: an injected fault (or `Panic` action)
+        // is caught here and the job is pushed back for the next pop, so a
+        // chunk job's completion latch still counts down eventually — jobs
+        // are retried, never lost.  Scripted once-then-succeed schedules
+        // therefore converge; an `Always` panic would spin, which is the
+        // chaos harness's problem, not the pool's.
+        #[cfg(feature = "failpoints")]
+        {
+            let faulted = catch_unwind(AssertUnwindSafe(|| {
+                if let Some(failure) = crate::failpoints::trigger("pool.job") {
+                    std::panic::panic_any(failure.into_io_error("pool.job").to_string());
+                }
+            }))
+            .is_err();
+            if faulted {
+                lock_recover(&shared.state).queue.push_back(job);
+                shared.work_ready.notify_one();
+                continue;
+            }
+        }
         // A panicking job must not take the worker (and with it the whole
         // pool's capacity) down.
         let _ = catch_unwind(AssertUnwindSafe(job));
@@ -268,7 +319,7 @@ impl Latch {
     }
 
     fn count_down(&self) {
-        let mut remaining = self.remaining.lock().expect("latch lock poisoned");
+        let mut remaining = lock_recover(&self.remaining);
         *remaining -= 1;
         if *remaining == 0 {
             self.done.notify_all();
@@ -276,18 +327,18 @@ impl Latch {
     }
 
     fn is_done(&self) -> bool {
-        *self.remaining.lock().expect("latch lock poisoned") == 0
+        *lock_recover(&self.remaining) == 0
     }
 
     /// Waits briefly for the latch; the caller re-checks the queue between
     /// waits so it can keep helping.
     fn wait_a_moment(&self) {
-        let remaining = self.remaining.lock().expect("latch lock poisoned");
+        let remaining = lock_recover(&self.remaining);
         if *remaining > 0 {
             let _ = self
                 .done
                 .wait_timeout(remaining, Duration::from_millis(1))
-                .expect("latch lock poisoned");
+                .unwrap_or_else(|poison| poison.into_inner());
         }
     }
 }
@@ -403,6 +454,34 @@ mod tests {
             std::thread::sleep(Duration::from_millis(1));
         }
         panic!("worker died after a panicking job");
+    }
+
+    #[test]
+    fn pool_survives_a_poisoned_lock() {
+        let pool = WorkerPool::new(2);
+        // Poison the queue lock the hard way: panic while holding it.
+        let shared = Arc::clone(&pool.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.state.lock().unwrap();
+            panic!("poison the pool lock");
+        })
+        .join();
+        assert!(pool.shared.state.is_poisoned());
+        // Every entry point recovers instead of propagating the poison.
+        assert_eq!(pool.queued(), 0);
+        let items: Vec<usize> = (0..100).collect();
+        let total: usize = pool
+            .map_chunks(&items, 4, |chunk| chunk.iter().sum::<usize>())
+            .into_iter()
+            .sum();
+        assert_eq!(total, items.iter().sum::<usize>());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let counter_in = Arc::clone(&counter);
+        pool.execute(move || {
+            counter_in.fetch_add(1, Ordering::SeqCst);
+        });
+        drop(pool); // joins workers; the queued job ran first.
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
     }
 
     #[test]

@@ -45,6 +45,13 @@
 //! `generality` / `relevance`, plus `generation`, `view_reused` and the
 //! admission `cost_units` the request was charged.
 //!
+//! A request with `"target": "status"` (and no `query`) is a **status
+//! probe**: the event loop answers it immediately — no admission charge,
+//! no worker — so it keeps working while the query path is saturated.
+//! The response carries `uptime_ms`, the served log `generation`, the
+//! `admitted` / `shed` / `expired` / `cancelled` counters, the current
+//! `queue_depth`, and `budget_in_use` / `budget_total` in cost units.
+//!
 //! Error responses (`status: "error"`) carry an HTTP-style `code`, a
 //! machine-readable `error` kind and a human-readable `message`:
 //!
@@ -65,6 +72,13 @@
 //! `bad_frame` and keeps reading), with one exception: a line longer than
 //! [`ServerConfig::max_frame_bytes`] is answered and then the connection is
 //! closed, because the rest of the oversized line cannot be re-framed.
+//!
+//! Under `--features failpoints` the event loop's socket paths carry the
+//! `"server.accept"` / `"server.read"` / `"server.write"` fault-injection
+//! sites (see [`perfxplain_core::failpoints`]): injected transient kinds
+//! defer the operation to the next tick, anything else behaves like the
+//! corresponding real socket error.  All three inline to no-ops when the
+//! feature is off.
 //!
 //! # Quickstart
 //!

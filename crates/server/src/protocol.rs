@@ -18,6 +18,10 @@ pub struct WireRequest {
     /// Responses to pipelined requests on one connection can complete out
     /// of order; the id is how clients match them up.
     pub id: Option<u64>,
+    /// What the request addresses.  Absent (the default) means a PXQL
+    /// query; `"status"` asks for the server's health/counter probe and is
+    /// answered immediately by the event loop (no admission, no worker).
+    pub target: Option<String>,
     /// The PXQL query text (`DESPITE … OBSERVED … EXPECTED …`).
     pub query: Option<String>,
     /// Left execution id of the pair of interest.
@@ -70,6 +74,23 @@ pub struct WireResponse {
     pub view_reused: Option<bool>,
     /// Admission-control cost charged for this request.
     pub cost_units: Option<u64>,
+    /// Milliseconds since the event loop started (status probe only).
+    pub uptime_ms: Option<u64>,
+    /// Requests admitted by the scheduler so far (status probe only).
+    pub admitted: Option<u64>,
+    /// Admission rejections so far (status probe only).
+    pub shed: Option<u64>,
+    /// Queued-deadline expirations so far (status probe only).
+    pub expired: Option<u64>,
+    /// Requests cancelled mid-execution so far (status probe only).
+    pub cancelled: Option<u64>,
+    /// Requests currently waiting in the admission queue (status probe
+    /// only).
+    pub queue_depth: Option<u64>,
+    /// Summed cost of currently executing requests (status probe only).
+    pub budget_in_use: Option<u64>,
+    /// The configured concurrent-cost budget (status probe only).
+    pub budget_total: Option<u64>,
 }
 
 /// The admission queue is full: retry later (load shedding).
@@ -204,6 +225,7 @@ mod tests {
 
         let full = WireRequest {
             id: Some(7),
+            target: None,
             query: Some("q".to_string()),
             left: Some("l".to_string()),
             right: Some("r".to_string()),

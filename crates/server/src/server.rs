@@ -68,14 +68,19 @@ pub struct ServerStats {
     pub sessions_accepted: AtomicU64,
     /// Frames received (parseable or not).
     pub requests: AtomicU64,
+    /// Requests admitted by the scheduler (dispatched or queued).
+    pub admitted: AtomicU64,
     /// Success responses sent.
     pub answered: AtomicU64,
-    /// Typed error responses other than admission rejections.
+    /// Typed error responses other than admission rejections and
+    /// cancellations.
     pub errors: AtomicU64,
     /// Admission rejections (queue full / cost / session limit).
     pub shed: AtomicU64,
     /// Requests whose deadline passed while queued.
     pub expired: AtomicU64,
+    /// Requests cancelled (or past deadline) mid-execution.
+    pub cancelled: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -85,14 +90,18 @@ pub struct StatsSnapshot {
     pub sessions_accepted: u64,
     /// Frames received.
     pub requests: u64,
+    /// Requests admitted by the scheduler.
+    pub admitted: u64,
     /// Success responses sent.
     pub answered: u64,
-    /// Non-admission typed errors sent.
+    /// Non-admission, non-cancellation typed errors sent.
     pub errors: u64,
     /// Admission rejections sent.
     pub shed: u64,
     /// Queued-deadline expirations sent.
     pub expired: u64,
+    /// Mid-execution cancellations/deadline hits sent.
+    pub cancelled: u64,
 }
 
 impl ServerStats {
@@ -100,10 +109,12 @@ impl ServerStats {
         StatsSnapshot {
             sessions_accepted: self.sessions_accepted.load(Ordering::Relaxed),
             requests: self.requests.load(Ordering::Relaxed),
+            admitted: self.admitted.load(Ordering::Relaxed),
             answered: self.answered.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
             shed: self.shed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
         }
     }
 }
@@ -194,13 +205,20 @@ fn event_loop(
     let (completions_tx, completions_rx) = mpsc::channel::<(u64, String)>();
     let mut sessions: HashMap<u64, Session> = HashMap::new();
     let mut next_session = 1u64;
+    let started = Instant::now();
     let mut last_sweep = Instant::now();
 
     while !shutdown.load(Ordering::Relaxed) {
         let mut progressed = false;
 
-        // Accept every pending connection.
+        // Accept every pending connection.  The "server.accept" failpoint
+        // models a transiently failing accept(2): any injected fault skips
+        // this tick's accepts (pending connections stay in the backlog and
+        // are picked up next time around).
         loop {
+            if perfxplain_core::failpoints::trigger("server.accept").is_some() {
+                break;
+            }
             match listener.accept() {
                 Ok((stream, _)) => {
                     if stream.set_nonblocking(true).is_err() {
@@ -270,6 +288,7 @@ fn event_loop(
                     &completions_tx,
                     stats,
                     &config,
+                    started,
                 ) {
                     session
                         .write_buf
@@ -293,6 +312,17 @@ fn event_loop(
                 continue;
             }
             if session.write_buf.is_empty() {
+                continue;
+            }
+            // The "server.write" failpoint models a transiently failing
+            // send(2): a transient kind leaves the buffer for the next
+            // flush, anything else closes the connection like a real
+            // write error would.
+            if let Some(failure) = perfxplain_core::failpoints::trigger("server.write") {
+                match failure.into_io_error("server.write").kind() {
+                    ErrorKind::WouldBlock | ErrorKind::Interrupted | ErrorKind::TimedOut => {}
+                    _ => closed.push(id),
+                }
                 continue;
             }
             match session.stream.write(&session.write_buf) {
@@ -343,6 +373,18 @@ fn read_available(stream: &mut TcpStream, buf: &mut Vec<u8>) -> ReadOutcome {
     let mut chunk = [0u8; 16 * 1024];
     let mut outcome = ReadOutcome::Idle;
     loop {
+        // The "server.read" failpoint models a transiently failing
+        // recv(2): transient kinds defer to the next tick (bytes stay in
+        // the socket buffer), anything else drops the connection like a
+        // real read error would.
+        if let Some(failure) = perfxplain_core::failpoints::trigger("server.read") {
+            match failure.into_io_error("server.read").kind() {
+                ErrorKind::WouldBlock | ErrorKind::Interrupted | ErrorKind::TimedOut => {
+                    return outcome
+                }
+                _ => return ReadOutcome::Closed,
+            }
+        }
         match stream.read(&mut chunk) {
             Ok(0) => return ReadOutcome::Closed,
             Ok(n) => {
@@ -370,7 +412,9 @@ fn trim_frame(frame: &[u8]) -> &[u8] {
 
 /// Parses one frame and either submits it to the scheduler (response will
 /// arrive via the completion channel) or returns an immediate response
-/// (parse errors, admission rejections, estimation failures).
+/// (status probes, parse errors, admission rejections, estimation
+/// failures).
+#[allow(clippy::too_many_arguments)]
 fn handle_frame(
     session_id: u64,
     frame: &[u8],
@@ -379,6 +423,7 @@ fn handle_frame(
     completions: &mpsc::Sender<(u64, String)>,
     stats: &Arc<ServerStats>,
     config: &ServerConfig,
+    started: Instant,
 ) -> Option<WireResponse> {
     let wire = match protocol::decode_request(frame) {
         Ok(wire) => wire,
@@ -393,6 +438,40 @@ fn handle_frame(
         }
     };
     let id = wire.id;
+    // Status probes are answered by the event loop itself: no admission
+    // charge, no worker, no view — they must keep working while the query
+    // path is saturated or shedding.
+    match wire.target.as_deref() {
+        None => {}
+        Some("status") => {
+            let sched = scheduler.stats();
+            let snapshot = stats.snapshot();
+            return Some(WireResponse {
+                id,
+                status: "ok".to_string(),
+                code: 200,
+                generation: Some(service.generation()),
+                uptime_ms: Some(started.elapsed().as_millis() as u64),
+                admitted: Some(snapshot.admitted),
+                shed: Some(snapshot.shed),
+                expired: Some(snapshot.expired),
+                cancelled: Some(snapshot.cancelled),
+                queue_depth: Some(sched.queued as u64),
+                budget_in_use: Some(sched.inflight.units()),
+                budget_total: Some(config.scheduler.budget.units()),
+                ..WireResponse::default()
+            });
+        }
+        Some(other) => {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+            return Some(WireResponse::error(
+                id,
+                400,
+                ERR_BAD_FRAME,
+                format!("unknown target '{other}' (omit it for a query, or use \"status\")"),
+            ));
+        }
+    }
     let Some(query_text) = wire.query.clone() else {
         stats.errors.fetch_add(1, Ordering::Relaxed);
         return Some(WireResponse::error(
@@ -433,7 +512,15 @@ fn handle_frame(
                     WireResponse::ok(id, &outcome, units)
                 }
                 Err(e) => {
-                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    // Mid-execution cancellations and deadline hits are
+                    // accounted separately from real errors: they describe
+                    // the client's patience, not the server's health.
+                    let counter = match &e {
+                        perfxplain_core::CoreError::Cancelled
+                        | perfxplain_core::CoreError::DeadlineExceeded => &stats.cancelled,
+                        _ => &stats.errors,
+                    };
+                    counter.fetch_add(1, Ordering::Relaxed);
                     WireResponse::from_core_error(id, &e)
                 }
             };
@@ -454,7 +541,10 @@ fn handle_frame(
     };
 
     match scheduler.submit(session_id, cost, deadline, run, on_expire) {
-        Ok(()) => None,
+        Ok(()) => {
+            stats.admitted.fetch_add(1, Ordering::Relaxed);
+            None
+        }
         Err(rejection) => {
             stats.shed.fetch_add(1, Ordering::Relaxed);
             let response = match rejection {

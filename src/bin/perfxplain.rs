@@ -28,6 +28,11 @@
 //!     re-encode), print per-phase timings; optionally write the log back
 //!     out as JSON.
 //!
+//! perfxplain snapshot verify --snapshot <dir>
+//!     Fingerprint-check every segment without building any views: print
+//!     per-shard health and exit non-zero if any shard is damaged.  Never
+//!     modifies the store — quarantining happens only on salvage opens.
+//!
 //! perfxplain inspect --log log.json
 //!     Summarise an execution log: jobs, tasks, features, durations.
 //!
@@ -333,48 +338,52 @@ fn ingest_into_snapshot(args: &Args, bundles: &[JobLogBundle], dir: &std::path::
     let parse_started = Instant::now();
     // Parses the dirty shards across threads (one chunk per worker, like
     // `collect_bundles_sharded`) and interleaves the results with the
-    // clean shards' reuse claims.
-    let build_inputs = |parse_all: bool| -> Result<(Vec<ShardInput>, usize), String> {
-        let dirty: Vec<usize> = (0..chunks.len())
-            .filter(|&i| {
-                parse_all
-                    || !reusable
-                    || existing.as_ref().unwrap().shards[i].source_fingerprint
-                        != Some(fingerprints[i])
-            })
-            .collect();
-        type ParsedShard = (usize, Vec<perfxplain::ExecutionRecord>);
-        let parsed: Result<Vec<Vec<ParsedShard>>, String> = perfxplain::shard::map_chunks(
-            &dirty,
-            perfxplain::shard::hardware_threads().min(dirty.len().max(1)),
-            |group| {
-                group
-                    .iter()
-                    .map(|&i| {
-                        perfxplain::prelude::collect_bundles(chunks[i])
-                            .map(|log| (i, log.records().to_vec()))
-                            .map_err(|e| e.to_string())
-                    })
-                    .collect()
-            },
-        )
-        .into_iter()
-        .collect();
-        let mut parsed: BTreeMap<usize, Vec<perfxplain::ExecutionRecord>> =
-            parsed?.into_iter().flatten().collect();
-        let inputs = (0..chunks.len())
-            .map(|i| match parsed.remove(&i) {
-                Some(records) => ShardInput::Fresh(RecordShard {
-                    records,
-                    source_fingerprint: Some(fingerprints[i]),
-                }),
-                None => ShardInput::Unchanged {
-                    source_fingerprint: fingerprints[i],
+    // clean shards' reuse claims.  `damaged` adds shard indices that must
+    // be re-parsed regardless of their source fingerprint (the salvage
+    // path: their on-disk segments are quarantined).
+    let build_inputs =
+        |parse_all: bool, damaged: &[usize]| -> Result<(Vec<ShardInput>, usize), String> {
+            let dirty: Vec<usize> = (0..chunks.len())
+                .filter(|&i| {
+                    parse_all
+                        || !reusable
+                        || damaged.contains(&i)
+                        || existing.as_ref().unwrap().shards[i].source_fingerprint
+                            != Some(fingerprints[i])
+                })
+                .collect();
+            type ParsedShard = (usize, Vec<perfxplain::ExecutionRecord>);
+            let parsed: Result<Vec<Vec<ParsedShard>>, String> = perfxplain::shard::map_chunks(
+                &dirty,
+                perfxplain::shard::hardware_threads().min(dirty.len().max(1)),
+                |group| {
+                    group
+                        .iter()
+                        .map(|&i| {
+                            perfxplain::prelude::collect_bundles(chunks[i])
+                                .map(|log| (i, log.records().to_vec()))
+                                .map_err(|e| e.to_string())
+                        })
+                        .collect()
                 },
-            })
+            )
+            .into_iter()
             .collect();
-        Ok((inputs, dirty.len()))
-    };
+            let mut parsed: BTreeMap<usize, Vec<perfxplain::ExecutionRecord>> =
+                parsed?.into_iter().flatten().collect();
+            let inputs = (0..chunks.len())
+                .map(|i| match parsed.remove(&i) {
+                    Some(records) => ShardInput::Fresh(RecordShard {
+                        records,
+                        source_fingerprint: Some(fingerprints[i]),
+                    }),
+                    None => ShardInput::Unchanged {
+                        source_fingerprint: fingerprints[i],
+                    },
+                })
+                .collect();
+            Ok((inputs, dirty.len()))
+        };
 
     // Full (non-incremental) write: every input is Fresh by construction.
     let persist_all = |inputs: Vec<ShardInput>| -> SyncReport {
@@ -388,24 +397,62 @@ fn ingest_into_snapshot(args: &Args, bundles: &[JobLogBundle], dir: &std::path::
         snapshot::persist_shards(dir, shards).unwrap_or_else(|e| fail(&e.to_string()))
     };
 
-    let (inputs, mut shards_parsed) =
-        build_inputs(!reusable).unwrap_or_else(|e| fail(&format!("cannot parse bundles: {e}")));
+    let (inputs, mut shards_parsed) = build_inputs(!reusable, &[])
+        .unwrap_or_else(|e| fail(&format!("cannot parse bundles: {e}")));
     let mut parse_secs = parse_started.elapsed().as_secs_f64();
+
+    // Re-parses and re-syncs after a failure, parsing the union of the
+    // fingerprint-dirty shards and `damaged`; `parse_all` rebuilds from
+    // scratch.  Returns None when the retried sync also fails.
+    let resync = |parse_all: bool,
+                  damaged: &[usize],
+                  shards_parsed: &mut usize,
+                  parse_secs: &mut f64|
+     -> Option<SyncReport> {
+        let reparse_started = Instant::now();
+        let (inputs, parsed) = build_inputs(parse_all, damaged)
+            .unwrap_or_else(|e| fail(&format!("cannot parse bundles: {e}")));
+        *shards_parsed = parsed;
+        *parse_secs += reparse_started.elapsed().as_secs_f64();
+        if parse_all {
+            Some(persist_all(inputs))
+        } else {
+            snapshot::sync(dir, inputs).ok()
+        }
+    };
 
     let report: SyncReport = if reusable {
         match snapshot::sync(dir, inputs) {
             Ok(report) => report,
             Err(err) => {
-                // Recovery path: the stored snapshot is unusable (corrupt
-                // segment, fingerprint drift, version skew) — fall back to
-                // a full re-ingest over the same directory.
-                eprintln!("warning: incremental sync failed ({err}); re-ingesting everything");
-                let reparse_started = Instant::now();
-                let (inputs, parsed) = build_inputs(true)
-                    .unwrap_or_else(|e| fail(&format!("cannot parse bundles: {e}")));
-                shards_parsed = parsed;
-                parse_secs += reparse_started.elapsed().as_secs_f64();
-                persist_all(inputs)
+                // Recovery is layered (see perfxplain::snapshot): salvage
+                // the store first — quarantine the damaged segments and
+                // re-parse *only* the shards they covered — and fall back
+                // to a full re-ingest over the same directory only when
+                // even salvage cannot tell which shards are healthy.
+                let salvaged = snapshot::open_salvage(dir)
+                    .ok()
+                    .filter(|partial| !partial.damaged_indices().is_empty())
+                    .and_then(|partial| {
+                        let damaged = partial.damaged_indices();
+                        eprintln!(
+                            "warning: incremental sync failed ({err}); quarantined {} damaged \
+                             shard(s), re-encoding only those",
+                            damaged.len()
+                        );
+                        drop(partial);
+                        resync(false, &damaged, &mut shards_parsed, &mut parse_secs)
+                    });
+                match salvaged {
+                    Some(report) => report,
+                    None => {
+                        eprintln!(
+                            "warning: incremental sync failed ({err}); re-ingesting everything"
+                        );
+                        resync(true, &[], &mut shards_parsed, &mut parse_secs)
+                            .expect("full persist cannot fail to sync")
+                    }
+                }
             }
         }
     } else {
@@ -522,7 +569,43 @@ fn cmd_snapshot(action: &str, args: &Args) {
                 println!("wrote the JSON form to {out}");
             }
         }
-        other => fail(&format!("unknown snapshot action '{other}' (save|open)")),
+        "verify" => {
+            let verify_started = Instant::now();
+            let health = snapshot::verify(dir).unwrap_or_else(|e| fail(&e.to_string()));
+            let verify_secs = verify_started.elapsed().as_secs_f64();
+            let mut damaged = 0usize;
+            for shard in &health {
+                match &shard.error {
+                    None => println!(
+                        "  shard {:>3}: ok       {} ({} rows)",
+                        shard.index, shard.file, shard.rows
+                    ),
+                    Some(err) => {
+                        damaged += 1;
+                        println!(
+                            "  shard {:>3}: DAMAGED  {} ({err})",
+                            shard.index, shard.file
+                        );
+                    }
+                }
+            }
+            println!(
+                "  verify  : {:>10}  ({} shard(s), fingerprints checked, no views built)",
+                ms(verify_secs),
+                health.len()
+            );
+            if damaged > 0 {
+                eprintln!(
+                    "{damaged} of {} shard(s) damaged; a salvage open would quarantine them",
+                    health.len()
+                );
+                exit(1);
+            }
+            println!("all {} shard(s) healthy", health.len());
+        }
+        other => fail(&format!(
+            "unknown snapshot action '{other}' (save|open|verify)"
+        )),
     }
 }
 
@@ -784,8 +867,32 @@ fn cmd_serve(args: &Args) {
     let explain_config = config_from(args);
     let service = match (args.get("snapshot"), args.get("log")) {
         (Some(dir), _) => {
-            XplainService::open_snapshot_with_config(std::path::Path::new(dir), explain_config)
-                .unwrap_or_else(|e| fail(&format!("cannot open snapshot {dir}: {e}")))
+            let path = std::path::Path::new(dir);
+            match XplainService::open_snapshot_with_config(path, explain_config.clone()) {
+                Ok(service) => service,
+                // Serve what survives rather than refusing to start: the
+                // salvage open quarantines damaged segments and builds the
+                // service from the healthy shards.
+                Err(err) => {
+                    eprintln!("warning: cannot open snapshot {dir} strictly ({err}); salvaging");
+                    let (service, damage) =
+                        XplainService::open_snapshot_salvage_with_config(path, explain_config)
+                            .unwrap_or_else(|e| {
+                                fail(&format!("cannot salvage snapshot {dir}: {e}"))
+                            });
+                    for shard in &damage {
+                        eprintln!(
+                            "warning: quarantined shard {} ({}): {}",
+                            shard.index, shard.file, shard.error
+                        );
+                    }
+                    eprintln!(
+                        "warning: serving without {} damaged shard(s); re-ingest to repair",
+                        damage.len()
+                    );
+                    service
+                }
+            }
         }
         (None, Some(_)) => XplainService::with_config(load_log(args), explain_config),
         (None, None) => fail("--log <file.json> or --snapshot <dir> is required"),
@@ -919,7 +1026,7 @@ fn main() {
         "ingest" => cmd_ingest(&Args::parse(rest)),
         "snapshot" => {
             let Some((action, rest)) = rest.split_first() else {
-                fail("usage: perfxplain snapshot <save|open> [options]");
+                fail("usage: perfxplain snapshot <save|open|verify> [options]");
             };
             cmd_snapshot(action, &Args::parse(rest));
         }

@@ -79,7 +79,18 @@
 //!   query hits a cached view.  Re-ingest is **incremental**
 //!   ([`snapshot::sync`], CLI `perfxplain ingest --bundles <dir>
 //!   --snapshot <dir>`): shards whose source fingerprint still matches the
-//!   manifest are neither re-parsed nor re-encoded.
+//!   manifest are neither re-parsed nor re-encoded.  Recovery from damage
+//!   is **layered**, cheapest remedy first: transient IO errors are
+//!   absorbed in place by bounded-backoff retry (counted in
+//!   [`SyncReport::io_retries`]); a store that fails the strict open is
+//!   *salvaged* ([`snapshot::open_salvage`],
+//!   [`XplainService::open_snapshot_salvage`]) — damaged segments are
+//!   quarantined (renamed aside, never deleted) and the healthy shards
+//!   keep serving while a targeted [`snapshot::sync`] re-encodes only the
+//!   quarantined shards from source; a full re-ingest is the **last
+//!   resort**, reserved for stores salvage cannot read at all (unusable
+//!   manifest, version skew).  [`snapshot::verify`] (CLI `perfxplain
+//!   snapshot verify`) checks every fingerprint read-only.
 //! * **Warm service cache** — every later query `Arc`-shares the cached
 //!   view per (log generation, kind); pair enumeration fans out over
 //!   threads by default on large views (the `parallel` / `serial` crate
@@ -93,18 +104,30 @@
 //!   concurrent budget, queued FIFO (bounded) when the budget is held, and
 //!   shed with typed `429` responses beyond that, so many concurrent
 //!   debugging sessions share one log under bounded memory.
+//!
+//! Every IO and dispatch layer above carries named fault-injection sites
+//! ([`failpoints`], compiled in only under `--features failpoints`): the
+//! chaos suite (`tests/chaos.rs`) drives random fault schedules through
+//! persist/sync/open, the worker pool and the server sockets, asserting
+//! the store is always openable or salvageable and that salvage plus a
+//! targeted sync converges to the same views as a clean full ingest.
 
 pub use perfxplain_core::{
     assess, compute_pair_features, evaluate_on_log, generality, generate_explanation, narrate,
     precision, prepare_training_set, relevance, split_log, train_test_round, Aggregate, BoundQuery,
     CoreError, EvaluationResult, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig,
     Explanation, ExplanationQuality, FeatureCatalog, FeatureDef, FeatureKind, FeatureLevel,
-    MetricEstimate, PairCatalog, PairExample, PairFeatureGroup, PairLabel, PerfXplain, QueryInput,
-    QueryOutcome, QueryRequest, RecordShard, RuleOfThumb, ShardEntry, ShardInput, SimButDiff,
-    Snapshot, SnapshotManifest, SnapshotShard, SnapshotUsage, SnapshotViews, SyncReport, Technique,
-    TrainingSet, XplainService, DEFAULT_SIM_THRESHOLD, DURATION_FEATURE, SNAPSHOT_VERSION,
+    MetricEstimate, PairCatalog, PairExample, PairFeatureGroup, PairLabel, PartialSnapshot,
+    PerfXplain, QueryInput, QueryOutcome, QueryRequest, RecordShard, RuleOfThumb, ShardDamage,
+    ShardEntry, ShardHealth, ShardInput, SimButDiff, Snapshot, SnapshotManifest, SnapshotShard,
+    SnapshotUsage, SnapshotViews, SyncReport, Technique, TrainingSet, XplainService,
+    DEFAULT_SIM_THRESHOLD, DURATION_FEATURE, SNAPSHOT_VERSION,
 };
 
+// The fault-injection registry (a no-op unless the `failpoints` feature is
+// armed) — re-exported so the chaos suite controls every crate's sites
+// through one path.
+pub use perfxplain_core::failpoints;
 pub use perfxplain_core::shard;
 pub use perfxplain_core::snapshot;
 

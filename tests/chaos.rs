@@ -1,0 +1,561 @@
+//! Chaos suite: drives the deterministic fault-injection registry
+//! ([`perfxplain::failpoints`]) through the snapshot store, the worker pool
+//! and the server's socket paths, and asserts the robustness invariants the
+//! recovery story promises:
+//!
+//! * transient IO faults are absorbed in place and counted
+//!   ([`SyncReport::io_retries`]), permanent ones surface typed errors
+//!   without a retry storm;
+//! * whatever faults strike, the store is always openable or salvageable —
+//!   and salvage plus a *targeted* sync (re-encoding only the quarantined
+//!   shards) converges to views bit-identical to a clean full ingest;
+//! * a panicking pool job is requeued, never lost, so `map_chunks` latches
+//!   always settle;
+//! * a server connection rides through transient socket faults and hard
+//!   accept faults only skip one tick.
+//!
+//! Compiled only under `--features failpoints`.  The registry is
+//! process-global, so every test serializes on [`serial`] and disarms the
+//! registry on entry; each test also asserts it finished under the CI
+//! chaos-smoke ceiling of 30 s.
+
+#![cfg(feature = "failpoints")]
+
+use perfxplain::failpoints::{self, Action};
+use perfxplain::server::{spawn, Client, SchedulerConfig, ServerConfig, WireRequest};
+use perfxplain::snapshot::{self, RecordShard, ShardInput, SnapshotViews};
+use perfxplain::{CoreError, ExecutionLog, ExecutionRecord, XplainService};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::io::ErrorKind;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::{Duration, Instant};
+
+/// The failpoint registry is process-global: chaos tests must not
+/// interleave, and a panicking test must not wedge the rest.
+fn serial() -> MutexGuard<'static, ()> {
+    static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+    LOCK.get_or_init(|| Mutex::new(()))
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Every chaos test must finish comfortably inside the CI chaos-smoke
+/// wall-clock ceiling.
+const CEILING: Duration = Duration::from_secs(30);
+
+fn test_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pxchaos_{}_{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Three explicit record shards (jobs + tasks, stable source fingerprints)
+/// so targeted syncs can pass damaged shards as [`ShardInput::Fresh`] and
+/// the rest as [`ShardInput::Unchanged`].
+fn chaos_shards() -> Vec<RecordShard> {
+    (0..3)
+        .map(|shard| {
+            let mut records = Vec::new();
+            for i in 0..12usize {
+                let id = shard * 12 + i;
+                let big_blocks = id % 2 == 0;
+                let input: f64 = if id % 4 < 2 { 32.0e9 } else { 1.0e9 };
+                let duration = if big_blocks { 600.0 } else { input / 5.0e7 };
+                records.push(
+                    ExecutionRecord::job(format!("job_{id}"))
+                        .with_feature("inputsize", input)
+                        .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+                        .with_feature("duration", duration),
+                );
+                if id % 3 == 0 {
+                    records.push(
+                        ExecutionRecord::task(format!("task_{id}"), format!("job_{id}"))
+                            .with_feature("tasktype", if id % 2 == 0 { "MAP" } else { "REDUCE" })
+                            .with_feature("duration", duration / 10.0),
+                    );
+                }
+            }
+            RecordShard {
+                records,
+                source_fingerprint: Some(0xC0FF_EE00 + shard as u64),
+            }
+        })
+        .collect()
+}
+
+fn small_log(n: usize) -> ExecutionLog {
+    let mut log = ExecutionLog::new();
+    for i in 0..n {
+        let big_blocks = i % 2 == 0;
+        let input = [1.0e9, 4.0e9, 32.0e9][i % 3];
+        let duration = if big_blocks {
+            600.0 + (i % 13) as f64
+        } else {
+            input / 5.0e7 + (i % 7) as f64
+        };
+        log.push(
+            ExecutionRecord::job(format!("job_{i}"))
+                .with_feature("inputsize", input)
+                .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+                .with_feature("pigscript", ["a.pig", "b.pig"][i % 2])
+                .with_feature("duration", duration),
+        );
+    }
+    log.rebuild_catalogs();
+    log
+}
+
+// ---------------------------------------------------------------------------
+// Transient vs permanent IO faults
+// ---------------------------------------------------------------------------
+
+#[test]
+fn transient_io_faults_are_absorbed_and_counted() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let dir = test_dir("transient");
+    let shards = chaos_shards();
+    let rows: usize = shards.iter().map(|s| s.records.len()).sum();
+
+    // Once-then-succeed transients on every write-side site: the persist
+    // rides through and the report counts what was absorbed.
+    failpoints::script(
+        "snapshot.segment.write",
+        &[
+            Action::IoError(ErrorKind::Interrupted),
+            Action::IoError(ErrorKind::TimedOut),
+        ],
+    );
+    failpoints::script(
+        "snapshot.manifest.write",
+        &[Action::IoError(ErrorKind::WouldBlock)],
+    );
+    failpoints::script(
+        "snapshot.manifest.rename",
+        &[Action::IoError(ErrorKind::Interrupted)],
+    );
+    let report = snapshot::persist_shards(&dir, shards).expect("transient write faults absorbed");
+    assert_eq!(report.rows, rows);
+    assert!(
+        report.io_retries >= 4,
+        "4 injected transients, counted {} retries",
+        report.io_retries
+    );
+    failpoints::disarm_all();
+
+    // Same on the read side: a strict open retries through the hiccups.
+    failpoints::script(
+        "snapshot.manifest.read",
+        &[Action::IoError(ErrorKind::Interrupted)],
+    );
+    failpoints::script(
+        "snapshot.segment.read",
+        &[Action::IoError(ErrorKind::TimedOut)],
+    );
+    let snap = snapshot::open(&dir).expect("transient read faults absorbed");
+    assert_eq!(snap.num_rows(), rows);
+
+    failpoints::disarm_all();
+    assert!(start.elapsed() < CEILING);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn permanent_io_faults_surface_typed_errors_without_a_retry_storm() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let dir = test_dir("permanent");
+    snapshot::persist_shards(&dir, chaos_shards()).unwrap();
+
+    // NotFound is never worth retrying: one trigger per shard, typed error.
+    failpoints::always(
+        "snapshot.segment.read",
+        Action::IoError(ErrorKind::NotFound),
+    );
+    match snapshot::open(&dir) {
+        Err(CoreError::SnapshotIo { .. }) => {}
+        other => panic!("expected SnapshotIo, got {other:?}"),
+    }
+    let hits = failpoints::hits("snapshot.segment.read");
+    assert!(
+        (1..=3).contains(&hits),
+        "non-transient kinds must not retry: at most one trigger per shard, saw {hits}"
+    );
+
+    // A transient kind that never clears exhausts the bounded retry budget
+    // and still surfaces the typed error — no infinite loop.
+    failpoints::disarm_all();
+    failpoints::always(
+        "snapshot.manifest.read",
+        Action::IoError(ErrorKind::Interrupted),
+    );
+    match snapshot::open(&dir) {
+        Err(CoreError::SnapshotIo { .. }) => {}
+        other => panic!("expected SnapshotIo, got {other:?}"),
+    }
+
+    failpoints::disarm_all();
+    assert!(start.elapsed() < CEILING);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn injected_decode_corruption_is_quarantined_and_restorable() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let dir = test_dir("decode_corrupt");
+    let shards = chaos_shards();
+    let rows: usize = shards.iter().map(|s| s.records.len()).sum();
+    snapshot::persist_shards(&dir, shards).unwrap();
+
+    // One injected decode failure: the strict open reports corruption...
+    failpoints::script("snapshot.segment.decode", &[Action::Corrupt]);
+    match snapshot::open(&dir) {
+        Err(CoreError::SnapshotCorrupt { .. }) => {}
+        other => panic!("expected SnapshotCorrupt, got {other:?}"),
+    }
+
+    // ...and a salvage open quarantines exactly the shard it struck while
+    // the other two keep serving.
+    failpoints::script("snapshot.segment.decode", &[Action::Corrupt]);
+    let partial = snapshot::open_salvage(&dir).expect("salvageable");
+    assert_eq!(partial.quarantined().len(), 1);
+    assert_eq!(partial.healthy_shards(), 2);
+    let damage = &partial.quarantined()[0];
+    let quarantined_as = damage.quarantined_as.clone().expect("renamed aside");
+
+    // The fault was injected — the bytes on disk were always fine.  The
+    // quarantine preserved them, so putting the file back fully restores
+    // the store once the fault clears.
+    failpoints::disarm_all();
+    std::fs::rename(dir.join(&quarantined_as), dir.join(&damage.file)).unwrap();
+    let snap = snapshot::open(&dir).expect("restored store opens strictly");
+    assert_eq!(snap.num_rows(), rows);
+
+    assert!(start.elapsed() < CEILING);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+// ---------------------------------------------------------------------------
+// Salvage + targeted sync convergence
+// ---------------------------------------------------------------------------
+
+#[test]
+fn salvage_plus_targeted_sync_converges_to_a_clean_ingest() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let clean_dir = test_dir("converge_clean");
+    let hurt_dir = test_dir("converge_hurt");
+    let shards = chaos_shards();
+    snapshot::persist_shards(&clean_dir, shards.clone()).unwrap();
+    snapshot::persist_shards(&hurt_dir, shards.clone()).unwrap();
+
+    // Real on-disk damage: flip a byte in the middle shard's segment.
+    let manifest = snapshot::SnapshotManifest::load(&hurt_dir).unwrap();
+    let victim = hurt_dir.join(&manifest.shards[1].file);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let at = bytes.len() / 2;
+    bytes[at] ^= 0xff;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    assert!(
+        snapshot::open(&hurt_dir).is_err(),
+        "strict open must refuse"
+    );
+    let partial = snapshot::open_salvage(&hurt_dir).expect("salvageable");
+    assert_eq!(partial.damaged_indices(), vec![1]);
+    assert_eq!(partial.healthy_shards(), 2);
+    let quarantine = hurt_dir.join(
+        partial.quarantined()[0]
+            .quarantined_as
+            .as_deref()
+            .expect("renamed aside"),
+    );
+    assert_eq!(
+        std::fs::read(&quarantine).unwrap(),
+        bytes,
+        "quarantine preserves the damaged bytes for post-mortems"
+    );
+
+    // Targeted sync: only the quarantined shard is re-encoded from source.
+    let damaged: BTreeSet<usize> = partial.damaged_indices().into_iter().collect();
+    let inputs: Vec<ShardInput> = shards
+        .iter()
+        .enumerate()
+        .map(|(index, shard)| {
+            if damaged.contains(&index) {
+                ShardInput::Fresh(shard.clone())
+            } else {
+                ShardInput::Unchanged {
+                    source_fingerprint: shard.source_fingerprint.unwrap(),
+                }
+            }
+        })
+        .collect();
+    let report = snapshot::sync(&hurt_dir, inputs).expect("targeted sync succeeds");
+    assert_eq!(report.shards_encoded, 1, "exactly the damage re-encodes");
+    assert_eq!(report.shards_reused, 2);
+    assert!(!report.catalog_changed);
+    assert!(
+        quarantine.exists(),
+        "sync must never delete quarantine files"
+    );
+
+    // The healed store is bit-identical to the never-damaged one.
+    let clean: SnapshotViews = snapshot::open(&clean_dir).unwrap().into_views();
+    let healed: SnapshotViews = snapshot::open(&hurt_dir).unwrap().into_views();
+    assert_eq!(healed.log, clean.log);
+    assert_eq!(healed.job, clean.job);
+    assert_eq!(healed.task, clean.task);
+
+    assert!(start.elapsed() < CEILING);
+    std::fs::remove_dir_all(&clean_dir).unwrap();
+    std::fs::remove_dir_all(&hurt_dir).unwrap();
+}
+
+/// Faults a real disk could produce: transient hiccups, hard failures and
+/// corruption.  No `Panic` here — the snapshot sites run on scoped encode/
+/// decode threads where an injected panic is a test abort, not an error
+/// path (the pool's panic recovery has its own test below).
+const STORM: &[Action] = &[
+    Action::IoError(ErrorKind::Interrupted),
+    Action::IoError(ErrorKind::TimedOut),
+    Action::IoError(ErrorKind::WouldBlock),
+    Action::IoError(ErrorKind::PermissionDenied),
+    Action::Corrupt,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The invariant at the heart of the suite: under a seeded random
+    /// fault schedule striking every IO site, whatever happens to a
+    /// persist → open interleaving, the store is always openable,
+    /// salvageable, or (when not even a manifest survived) re-ingestable —
+    /// and every recovery converges to views bit-identical to a clean
+    /// full ingest.
+    #[test]
+    fn random_fault_schedules_never_leave_the_store_unrecoverable(
+        seed in 0u64..u64::MAX,
+        permille in 30u32..280,
+    ) {
+            let _guard = serial();
+            let start = Instant::now();
+            failpoints::disarm_all();
+            let tag = format!("storm_{seed}_{permille}");
+            let clean_dir = test_dir(&format!("{tag}_clean"));
+            let hurt_dir = test_dir(&format!("{tag}_hurt"));
+            let shards = chaos_shards();
+
+            // The reference: a clean ingest with no faults armed.
+            snapshot::persist_shards(&clean_dir, shards.clone()).unwrap();
+            let clean = snapshot::open(&clean_dir).unwrap().into_views();
+
+            // The storm rages through persist AND the subsequent open.
+            failpoints::arm_seeded(seed, permille as u16, STORM);
+            let _ = snapshot::persist_shards(&hurt_dir, shards.clone());
+            let healed: SnapshotViews = match snapshot::open(&hurt_dir) {
+                // The storm missed (or only transients struck): full store.
+                Ok(snap) => snap.into_views(),
+                Err(_) => match snapshot::open_salvage(&hurt_dir) {
+                    Ok(partial) => {
+                        // The storm passes; re-encode exactly the damage.
+                        failpoints::disarm_all();
+                        let damaged: BTreeSet<usize> =
+                            partial.damaged_indices().into_iter().collect();
+                        let inputs: Vec<ShardInput> = shards
+                            .iter()
+                            .enumerate()
+                            .map(|(index, shard)| {
+                                if damaged.contains(&index) {
+                                    ShardInput::Fresh(shard.clone())
+                                } else {
+                                    ShardInput::Unchanged {
+                                        source_fingerprint: shard.source_fingerprint.unwrap(),
+                                    }
+                                }
+                            })
+                            .collect();
+                        let report =
+                            snapshot::sync(&hurt_dir, inputs).expect("targeted sync succeeds");
+                        prop_assert!(
+                            report.catalog_changed
+                                || report.shards_encoded == damaged.len(),
+                            "re-encoded {} shards for {} damaged",
+                            report.shards_encoded,
+                            damaged.len()
+                        );
+                        snapshot::open(&hurt_dir).expect("healed store opens").into_views()
+                    }
+                    Err(_) => {
+                        // Not even a manifest to salvage against (the storm
+                        // killed the persist before its atomic commit, or is
+                        // still raging over the manifest): the last resort.
+                        failpoints::disarm_all();
+                        snapshot::persist_shards(&hurt_dir, shards.clone())
+                            .expect("full re-ingest succeeds once the storm passes");
+                        snapshot::open(&hurt_dir).expect("re-ingested store opens").into_views()
+                    }
+                },
+            };
+            failpoints::disarm_all();
+
+            prop_assert_eq!(&healed.log, &clean.log);
+            prop_assert_eq!(&healed.job, &clean.job);
+            prop_assert_eq!(&healed.task, &clean.task);
+
+            std::fs::remove_dir_all(&clean_dir).unwrap();
+            std::fs::remove_dir_all(&hurt_dir).unwrap();
+            prop_assert!(start.elapsed() < CEILING);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool
+// ---------------------------------------------------------------------------
+
+#[test]
+fn panicking_pool_jobs_are_requeued_and_latches_settle() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let pool = perfxplain::mlcore::pool::WorkerPool::new(2);
+
+    // Three injected panics strike three dequeues; the struck jobs are
+    // requeued, so every chunk still lands and the latch settles.
+    failpoints::script("pool.job", &[Action::Panic, Action::Panic, Action::Panic]);
+    let items: Vec<u64> = (0..64).collect();
+    let sums = pool.map_chunks(&items, 8, |chunk| chunk.iter().sum::<u64>());
+    assert_eq!(sums.len(), 8);
+    assert_eq!(sums.iter().sum::<u64>(), 64 * 63 / 2);
+    assert!(
+        failpoints::hits("pool.job") >= 8 + 3,
+        "8 jobs plus 3 requeued retries, saw {}",
+        failpoints::hits("pool.job")
+    );
+
+    // The pool is fully serviceable afterwards — no worker died.
+    let again = pool.map_chunks(&items, 4, |chunk| chunk.len());
+    assert_eq!(again.iter().sum::<usize>(), 64);
+
+    failpoints::disarm_all();
+    assert!(start.elapsed() < CEILING);
+}
+
+// ---------------------------------------------------------------------------
+// Server sockets
+// ---------------------------------------------------------------------------
+
+#[test]
+fn server_connections_ride_through_transient_socket_faults() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let service = Arc::new(XplainService::new(small_log(200)));
+    let handle = spawn(
+        Arc::clone(&service),
+        ServerConfig {
+            scheduler: SchedulerConfig::default(),
+            workers: 2,
+            default_timeout: Some(Duration::from_secs(60)),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("server binds");
+    let addr = handle.addr().to_string();
+    let mut client = Client::connect(&addr).expect("client connects");
+
+    // A transient read fault leaves the frame in the socket buffer and a
+    // transient write fault leaves the response queued: the next poll tick
+    // completes both and the client never notices.
+    failpoints::script("server.read", &[Action::IoError(ErrorKind::Interrupted)]);
+    failpoints::script("server.write", &[Action::IoError(ErrorKind::WouldBlock)]);
+    let probe = WireRequest {
+        id: Some(1),
+        target: Some("status".to_string()),
+        ..WireRequest::default()
+    };
+    let status = client.call(&probe).expect("answered through the faults");
+    assert!(status.is_ok(), "{status:?}");
+    assert_eq!(status.queue_depth, Some(0));
+    assert!(failpoints::hits("server.read") >= 1);
+    assert!(failpoints::hits("server.write") >= 1);
+
+    // A hard accept fault skips one tick of accepts; the listener stays
+    // readable, so the very next tick lets the connection in.
+    failpoints::script(
+        "server.accept",
+        &[Action::IoError(ErrorKind::ConnectionAborted)],
+    );
+    let mut second = Client::connect(&addr).expect("second client connects");
+    let probe2 = WireRequest {
+        id: Some(2),
+        target: Some("status".to_string()),
+        ..WireRequest::default()
+    };
+    let status2 = second.call(&probe2).expect("accepted on the next tick");
+    assert!(status2.is_ok(), "{status2:?}");
+    assert!(failpoints::hits("server.accept") >= 1);
+
+    // And the first connection is still alive.
+    let status3 = client.call(&probe).expect("original connection survives");
+    assert!(status3.is_ok(), "{status3:?}");
+
+    failpoints::disarm_all();
+    drop(handle);
+    assert!(start.elapsed() < CEILING);
+}
+
+// ---------------------------------------------------------------------------
+// Wiring audit
+// ---------------------------------------------------------------------------
+
+/// Every documented snapshot site actually fires during a persist → corrupt
+/// → salvage round trip — a site that silently un-wires would turn the rest
+/// of this suite into a no-op.
+#[test]
+fn every_snapshot_failpoint_site_is_wired() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let dir = test_dir("wired");
+    snapshot::persist_shards(&dir, chaos_shards()).unwrap();
+    snapshot::open(&dir).unwrap();
+
+    // Damage one segment so the salvage path (and its quarantine rename)
+    // runs too.
+    let manifest = snapshot::SnapshotManifest::load(&dir).unwrap();
+    let victim = dir.join(&manifest.shards[0].file);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    bytes[0] ^= 0xff;
+    std::fs::write(&victim, &bytes).unwrap();
+    snapshot::open_salvage(&dir).unwrap();
+
+    let hit: BTreeSet<String> = failpoints::sites_hit()
+        .into_iter()
+        .map(|(site, _)| site)
+        .collect();
+    for site in [
+        "snapshot.dir.create",
+        "snapshot.manifest.write",
+        "snapshot.manifest.rename",
+        "snapshot.manifest.read",
+        "snapshot.segment.write",
+        "snapshot.segment.read",
+        "snapshot.segment.decode",
+        "snapshot.segment.quarantine",
+    ] {
+        assert!(hit.contains(site), "failpoint '{site}' never triggered");
+    }
+
+    failpoints::disarm_all();
+    assert!(start.elapsed() < CEILING);
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -311,6 +311,58 @@ fn malformed_frames_get_typed_errors_without_killing_the_connection() {
 }
 
 #[test]
+fn status_probes_answer_immediately_with_counters() {
+    let budget = QueryCost(4096);
+    let (handle, service) = serve(
+        600,
+        SchedulerConfig {
+            budget,
+            ..SchedulerConfig::default()
+        },
+    );
+    let mut client = connect(&handle);
+
+    // A fresh server: zero counters, empty queue, full budget free.
+    let probe = WireRequest {
+        id: Some(1),
+        target: Some("status".to_string()),
+        ..WireRequest::default()
+    };
+    let status = client.call(&probe).expect("status answered");
+    assert!(status.is_ok(), "{status:?}");
+    assert_eq!(status.id, Some(1));
+    assert_eq!(status.generation, Some(service.generation()));
+    assert!(status.uptime_ms.is_some());
+    assert_eq!(status.admitted, Some(0));
+    assert_eq!(status.shed, Some(0));
+    assert_eq!(status.expired, Some(0));
+    assert_eq!(status.cancelled, Some(0));
+    assert_eq!(status.queue_depth, Some(0));
+    assert_eq!(status.budget_in_use, Some(0));
+    assert_eq!(status.budget_total, Some(budget.units()));
+    // A probe is not a query: nothing was admitted or answered for it.
+    assert_eq!(handle.stats().admitted, 0);
+
+    // After a real query the admitted counter moves.
+    let ok = client.call(&request(2, FAST_SAMPLE)).expect("response");
+    assert!(ok.is_ok(), "{ok:?}");
+    let status = client.call(&probe).expect("status answered");
+    assert_eq!(status.admitted, Some(1));
+
+    // Unknown targets are typed protocol errors, not dead connections.
+    let bogus = WireRequest {
+        id: Some(3),
+        target: Some("metrics".to_string()),
+        ..WireRequest::default()
+    };
+    let response = client.call(&bogus).expect("response");
+    assert_eq!(response.code, 400);
+    assert_eq!(response.error.as_deref(), Some("bad_frame"));
+    let ok = client.call(&request(4, FAST_SAMPLE)).expect("response");
+    assert!(ok.is_ok(), "{ok:?}");
+}
+
+#[test]
 fn networked_answers_match_the_in_process_service() {
     let (handle, service) = serve(600, SchedulerConfig::default());
     let mut wire_request = request(1, FAST_SAMPLE);

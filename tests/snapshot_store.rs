@@ -178,13 +178,18 @@ fn v1_manifests_report_version_skew_naming_reingest() {
 /// fail with a typed `SnapshotCorrupt` — never a panic, and never an
 /// attacker-sized allocation (the wall clock would explode long before the
 /// sweep finished if counts were trusted before the bytes backing them).
+/// On top of the typed failure, every damaged case must also *salvage*: a
+/// lenient open quarantines the flipped shard (the file preserved on disk,
+/// renamed aside, never deleted) and still serves the undamaged shard.
 #[test]
 fn corrupt_segment_bitstreams_fail_typed_never_panic() {
     let dir = test_dir("flip_sweep");
-    snapshot::persist(&block_size_log(24), &dir, 1).unwrap();
+    snapshot::persist(&block_size_log(24), &dir, 2).unwrap();
     let mut manifest = SnapshotManifest::load(&dir).unwrap();
     let path = dir.join(&manifest.shards[0].file);
     let pristine = std::fs::read(&path).unwrap();
+    let healthy_rows = manifest.shards[1].rows as usize;
+    assert!(healthy_rows > 0, "the undamaged shard must hold rows");
 
     let mut check = |bytes: &[u8], what: &str| {
         std::fs::write(&path, bytes).unwrap();
@@ -195,7 +200,25 @@ fn corrupt_segment_bitstreams_fail_typed_never_panic() {
         )
         .unwrap();
         match snapshot::open(&dir) {
-            Ok(_) | Err(CoreError::SnapshotCorrupt { .. }) => {}
+            Ok(_) => {}
+            Err(CoreError::SnapshotCorrupt { .. }) => {
+                // The lenient open recovers every undamaged shard and
+                // quarantines the flipped one without deleting its bytes.
+                let partial = snapshot::open_salvage(&dir)
+                    .unwrap_or_else(|e| panic!("{what}: salvage failed: {e}"));
+                assert_eq!(partial.damaged_indices(), vec![0], "{what}");
+                assert_eq!(partial.healthy_shards(), 1, "{what}");
+                assert_eq!(partial.num_rows(), healthy_rows, "{what}");
+                let damage = &partial.quarantined()[0];
+                let quarantined_as = damage
+                    .quarantined_as
+                    .as_ref()
+                    .unwrap_or_else(|| panic!("{what}: damage not quarantined: {damage:?}"));
+                let preserved = std::fs::read(dir.join(quarantined_as))
+                    .unwrap_or_else(|e| panic!("{what}: quarantine file unreadable: {e}"));
+                assert_eq!(preserved, bytes, "{what}: quarantine altered the bytes");
+                assert!(!path.exists(), "{what}: damaged segment left in place");
+            }
             other => panic!("{what}: expected Ok or SnapshotCorrupt, got {other:?}"),
         }
     };
@@ -512,7 +535,11 @@ fn cli_ingest_reencodes_only_dirty_shards() {
         }
     }
 
-    // Corrupt a segment: the CLI warns and falls back to a full re-ingest.
+    // Corrupt a segment: the CLI salvages — it quarantines the damaged
+    // shard and re-encodes only that one, instead of re-ingesting the
+    // world (the full re-ingest remains the last resort for stores salvage
+    // cannot read at all, e.g. version skew — see
+    // `cli_ingest_falls_back_on_version_skew`).
     let path = snap.join(&manifest_after.shards[0].file);
     let mut bytes = std::fs::read(&path).unwrap();
     let len = bytes.len();
@@ -520,16 +547,69 @@ fn cli_ingest_reencodes_only_dirty_shards() {
     std::fs::write(&path, bytes).unwrap();
     let (stdout, stderr) = run_cli(&base);
     assert!(
-        stderr.contains("re-ingesting everything"),
+        stderr.contains("quarantined 1 damaged shard(s), re-encoding only those"),
         "recovery stderr:\n{stderr}"
     );
     assert!(
-        stdout.contains("3 shard(s) re-encoded, 0 served from disk"),
+        stdout.contains("1 shard(s) parsed, 2 clean skipped"),
         "recovery stdout:\n{stdout}"
     );
+    assert!(
+        stdout.contains("1 shard(s) re-encoded, 2 served from disk"),
+        "recovery stdout:\n{stdout}"
+    );
+    // The quarantined segment survives the repair on disk.
+    let quarantine = snap.join(format!("quarantine-{}", manifest_after.shards[0].file));
+    assert!(quarantine.exists(), "quarantine file was deleted");
     // The recovered snapshot opens cleanly and answers like the JSON path.
     let snap_open = snapshot::open(&snap).unwrap();
     let direct = collect_bundles(&JobLogBundle::read_all(&bundles).unwrap()).unwrap();
     assert_eq!(snap_open.to_log(), direct);
+
+    // `snapshot verify` agrees: every shard healthy, exit code zero.
+    let snap_arg2 = snap.display().to_string();
+    let (stdout, _) = run_cli(&["snapshot", "verify", "--snapshot", snap_arg2.as_str()]);
+    assert!(
+        stdout.contains("all 3 shard(s) healthy"),
+        "verify stdout:\n{stdout}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `snapshot verify` reports damage per shard and exits non-zero, without
+/// touching the store (no quarantining — verification is read-only).
+#[test]
+fn cli_snapshot_verify_reports_damage_and_exits_nonzero() {
+    let dir = test_dir("cli_verify");
+    snapshot::persist(&block_size_log(30), &dir, 3).unwrap();
+    let dir_arg = dir.display().to_string();
+    let verify = ["snapshot", "verify", "--snapshot", dir_arg.as_str()];
+
+    let (stdout, _) = run_cli(&verify);
+    assert!(stdout.contains("all 3 shard(s) healthy"), "{stdout}");
+
+    // Flip a byte in one segment: verify names the shard, exits non-zero,
+    // and leaves the damaged file exactly where it was.
+    let manifest = SnapshotManifest::load(&dir).unwrap();
+    let victim = dir.join(&manifest.shards[1].file);
+    let mut bytes = std::fs::read(&victim).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    std::fs::write(&victim, &bytes).unwrap();
+
+    let output = std::process::Command::new(env!("CARGO_BIN_EXE_perfxplain"))
+        .args(verify)
+        .output()
+        .expect("CLI runs");
+    assert!(!output.status.success(), "damage must exit non-zero");
+    let stdout = String::from_utf8_lossy(&output.stdout);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stdout.contains("DAMAGED"), "verify stdout:\n{stdout}");
+    assert!(
+        stderr.contains("1 of 3 shard(s) damaged"),
+        "verify stderr:\n{stderr}"
+    );
+    assert!(victim.exists(), "verify must not quarantine");
+    assert_eq!(std::fs::read(&victim).unwrap(), bytes);
     std::fs::remove_dir_all(&dir).unwrap();
 }
