@@ -10,7 +10,10 @@
 //! the sweep trainer on the identical training dataset, n ∈ {20k, 100k}),
 //! the `serve_qps` scenario (an open-loop many-client drive against the
 //! in-process network front-end under a deliberately tight admission
-//! budget: qps, latency percentiles and shed counts),
+//! budget: qps, latency percentiles and shed counts), the `live_ingest`
+//! scenario (sustained append batches against a served log at
+//! n ∈ {100k, 1M}: delta view refresh vs the full re-encode a non-delta
+//! cache would pay),
 //! and writes `BENCH_pairs.json` (pairs/sec, candidate-memory footprint,
 //! speedups, the parallel-enumeration threshold) so future PRs can track
 //! the trend.  Run with `cargo bench --bench pairs_pipeline`.
@@ -225,6 +228,43 @@ struct ServeQpsPoint {
     p99_ms: f64,
 }
 
+/// The `live_ingest` scenario: sustained appends against a served log.
+/// Each round appends a batch through [`XplainService::append`], refreshes
+/// the cached view (the delta path: splice the batch into an append tail,
+/// O(tail)), and answers one query against the refreshed view.  The
+/// recorded baseline is what a non-delta cache would pay after *every*
+/// append: a from-scratch re-encode of the whole log.
+#[derive(Debug, Serialize)]
+struct LiveIngestPoint {
+    /// Number of log records served before the first append.
+    n: usize,
+    /// Raw features per record.
+    features: usize,
+    /// Records per append batch.
+    batch: usize,
+    /// Append+query rounds driven.
+    rounds: usize,
+    /// From-scratch re-encode of the n-record log (what every append would
+    /// cost without delta maintenance), ms.
+    full_rebuild_ms: f64,
+    /// Mean view refresh after an append batch (the delta splice), ms.
+    delta_refresh_ms: f64,
+    /// full_rebuild ÷ delta_refresh: the payoff of delta maintenance.
+    refresh_speedup: f64,
+    /// Records ingested per second over the sustained loop (append +
+    /// delta refresh, the full ingest cost a serving process pays).
+    appends_per_sec: f64,
+    /// Mean query latency against the freshly refreshed view, ms.
+    mean_query_ms: f64,
+    /// Tail rows held by the cached view after the loop (un-compacted).
+    tail_rows: u64,
+    /// Delta refreshes the service performed.
+    delta_refreshes: u64,
+    /// Full rebuilds the service performed (the initial build only —
+    /// every append must stay on the delta path).
+    full_rebuilds: u64,
+}
+
 #[derive(Debug, Serialize)]
 struct PairsBenchReport {
     description: String,
@@ -241,6 +281,7 @@ struct PairsBenchReport {
     blocked_enumeration: BlockedEnumerationPoint,
     explain_latency: Vec<ExplainLatencyPoint>,
     serve_qps: ServeQpsPoint,
+    live_ingest: Vec<LiveIngestPoint>,
 }
 
 /// A synthetic log shaped like the paper's workload: two duration regimes
@@ -780,6 +821,88 @@ fn measure_serve_qps(
     }
 }
 
+/// Measures the `live_ingest` scenario at one log size.  The append
+/// batches are the continuation of the same [`perfxplain_bench::blocked_log`]
+/// the service was started with — identical feature names, so every batch
+/// stays on the delta path (a changed catalog would force a rebuild).
+fn measure_live_ingest(n: usize, batch: usize, rounds: usize) -> LiveIngestPoint {
+    let group_size = 10;
+    // One generator call covers the base log and every append batch: slice
+    // the first n records into the served log and feed the rest in batches.
+    let all = perfxplain_bench::blocked_log(n + batch * rounds, group_size, 2)
+        .records()
+        .to_vec();
+    let mut log = ExecutionLog::new();
+    for record in &all[..n] {
+        log.push(record.clone());
+    }
+    log.rebuild_catalogs();
+    let features = log.job_catalog().len();
+    let service = XplainService::with_config(log, ExplainConfig::default().with_sample_size(200));
+    let bound = service_queries(1, group_size).remove(0);
+
+    // Warm: the first query pays the one full view build of this scenario.
+    service
+        .explain(&QueryRequest::bound(bound.clone()))
+        .expect("live-ingest warm query succeeds");
+
+    // Baseline: what a non-delta cache would pay to refresh after any
+    // append — a from-scratch encode of the current log.
+    let snapshot = service.snapshot();
+    let started = Instant::now();
+    let rebuilt = ColumnarLog::build_auto(&snapshot, ExecutionKind::Job);
+    let full_rebuild_ms = started.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(rebuilt.num_rows(), n);
+    drop((snapshot, rebuilt));
+
+    // The sustained loop: append, refresh (delta), serve.
+    let mut ingest_secs = 0.0;
+    let mut delta_ms_total = 0.0;
+    let mut query_ms_total = 0.0;
+    for round in 0..rounds {
+        let from = n + round * batch;
+        let records = all[from..from + batch].to_vec();
+        let started = Instant::now();
+        service.append(records);
+        let append_secs = started.elapsed().as_secs_f64();
+
+        let started = Instant::now();
+        let view = service.view(ExecutionKind::Job);
+        let delta_secs = started.elapsed().as_secs_f64();
+        assert_eq!(view.num_rows(), from + batch);
+        assert!(view.tail_rows() > 0, "append fell off the delta path");
+        ingest_secs += append_secs + delta_secs;
+        delta_ms_total += delta_secs * 1e3;
+
+        let started = Instant::now();
+        service
+            .explain(&QueryRequest::bound(bound.clone()))
+            .expect("live-ingest query succeeds");
+        query_ms_total += started.elapsed().as_secs_f64() * 1e3;
+    }
+
+    let stats = service.view_stats();
+    assert_eq!(
+        stats.full_rebuilds, 1,
+        "an append forced a full rebuild: {stats:?}"
+    );
+    let delta_refresh_ms = delta_ms_total / rounds as f64;
+    LiveIngestPoint {
+        n,
+        features,
+        batch,
+        rounds,
+        full_rebuild_ms,
+        delta_refresh_ms,
+        refresh_speedup: full_rebuild_ms / delta_refresh_ms.max(1e-9),
+        appends_per_sec: (batch * rounds) as f64 / ingest_secs.max(1e-9),
+        mean_query_ms: query_ms_total / rounds as f64,
+        tail_rows: stats.tail_rows,
+        delta_refreshes: stats.delta_refreshes,
+        full_rebuilds: stats.full_rebuilds,
+    }
+}
+
 /// The blocked-enumeration scenario at n = 100k: candidates restricted to
 /// within-pigscript groups by the despite clause.
 fn measure_blocked_enumeration(n: usize, group_size: usize) -> BlockedEnumerationPoint {
@@ -903,6 +1026,26 @@ fn main() {
         serve_qps.p99_ms,
     );
 
+    let mut live_ingest = Vec::new();
+    for n in [100_000usize, 1_000_000] {
+        let point = measure_live_ingest(n, 64, 8);
+        println!(
+            "live_ingest n = {:>8}: full rebuild {:>8.1} ms vs delta refresh {:>6.2} ms \
+             ({:.0}x), {:.0} appends/s sustained, query {:.1} ms warm, {} tail rows \
+             ({} delta refreshes, {} full rebuild)",
+            point.n,
+            point.full_rebuild_ms,
+            point.delta_refresh_ms,
+            point.refresh_speedup,
+            point.appends_per_sec,
+            point.mean_query_ms,
+            point.tail_rows,
+            point.delta_refreshes,
+            point.full_rebuilds,
+        );
+        live_ingest.push(point);
+    }
+
     let blocked_enumeration = measure_blocked_enumeration(100_000, 10);
     println!(
         "blocked enumeration: n = {}, groups of {}: {} candidates (vs {} unblocked) in \
@@ -942,8 +1085,13 @@ fn main() {
                       the network front-end over loopback sockets with the admission \
                       budget sized to half the connection depth, so queueing and typed \
                       load shedding are both on the measured path; latency percentiles \
-                      cover successful responses only.  Pair enumeration fans out over \
-                      threads by default above parallel_enumeration_threshold records."
+                      cover successful responses only.  live_ingest drives sustained \
+                      append batches through XplainService::append while serving \
+                      queries: each batch is spliced into the cached view's append \
+                      tail (O(tail) delta refresh), measured against the from-scratch \
+                      re-encode a non-delta cache would pay after every append.  Pair \
+                      enumeration fans out over threads by default above \
+                      parallel_enumeration_threshold records."
             .to_string(),
         hardware_threads: std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
@@ -956,6 +1104,7 @@ fn main() {
         blocked_enumeration,
         explain_latency,
         serve_qps,
+        live_ingest,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");
     // Write to the workspace root (identified by ROADMAP.md) whether run

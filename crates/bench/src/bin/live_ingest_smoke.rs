@@ -1,0 +1,135 @@
+//! Release-mode smoke test of delta-maintained live views.
+//!
+//! Serves a 100k-record blocked log through an [`XplainService`], then
+//! drives an append-while-querying loop: each round appends a batch through
+//! [`XplainService::append`], refreshes the cached view (which must stay on
+//! the O(tail) delta path — the splice, not a rebuild), and answers one
+//! query, including queries whose pair of interest lives in the appended
+//! tail.  Fails (non-zero exit) if the whole run exceeds a wall-clock
+//! ceiling, if any append falls off the delta path, or if the mean delta
+//! refresh costs more than a fixed fraction of one full re-encode — so a
+//! regression that quietly turns every append back into an O(log) rebuild
+//! fails CI instead of slowly eating the ingest-while-serving win.
+//!
+//! Run with `cargo run --release -p perfxplain-bench --bin live_ingest_smoke`.
+
+use perfxplain_bench::{blocked_log, BLOCKED_QUERY};
+use perfxplain_core::columnar::ColumnarLog;
+use perfxplain_core::{ExecutionKind, ExecutionLog, ExplainConfig, QueryRequest, XplainService};
+use std::time::Instant;
+
+/// Log size served before the first append.
+const N: usize = 100_000;
+/// Records per pigscript blocking group.
+const GROUP_SIZE: usize = 10;
+/// Records per append batch.
+const BATCH: usize = 64;
+/// Append + refresh + query rounds.
+const ROUNDS: usize = 8;
+/// Wall-clock ceiling for the whole run: initial build, baseline rebuild
+/// and the append-while-querying loop.  Measured well under 3 s on one
+/// core; the ceiling leaves headroom for slow CI machines while still
+/// catching an encode-path or refresh-path complexity regression.
+const CEILING_SECS: f64 = 30.0;
+/// The mean delta refresh must stay under this fraction of one full
+/// re-encode.  Measured around 1/50 at n = 100k; a refresh that costs a
+/// quarter of a rebuild means the O(tail) path has regressed toward
+/// O(log).
+const MAX_REFRESH_FRACTION: f64 = 0.25;
+
+fn main() {
+    let started = Instant::now();
+
+    // The base log and every append batch come from one generator call, so
+    // the appended records carry exactly the served catalog's feature names
+    // and the batches stay on the delta path.
+    let all = blocked_log(N + BATCH * ROUNDS, GROUP_SIZE, 1)
+        .records()
+        .to_vec();
+    let mut log = ExecutionLog::new();
+    for record in &all[..N] {
+        log.push(record.clone());
+    }
+    log.rebuild_catalogs();
+    let service = XplainService::with_config(log, ExplainConfig::default().with_sample_size(200));
+
+    // Warm query: pays the scenario's one and only full view build.
+    service
+        .explain(&QueryRequest::text(BLOCKED_QUERY).with_pair("job_2", "job_0"))
+        .expect("the warm smoke query must be answerable");
+
+    // Baseline: the full re-encode a non-delta cache would pay per append.
+    let snapshot = service.snapshot();
+    let rebuild_started = Instant::now();
+    let rebuilt = ColumnarLog::build_auto(&snapshot, ExecutionKind::Job);
+    let full_rebuild_secs = rebuild_started.elapsed().as_secs_f64();
+    assert_eq!(rebuilt.num_rows(), N);
+    drop((snapshot, rebuilt));
+
+    // Append-while-querying loop.
+    let mut refresh_secs = 0.0;
+    for round in 0..ROUNDS {
+        let from = N + round * BATCH;
+        service.append(all[from..from + BATCH].to_vec());
+
+        let refresh_started = Instant::now();
+        let view = service.view(ExecutionKind::Job);
+        refresh_secs += refresh_started.elapsed().as_secs_f64();
+        assert_eq!(view.num_rows(), from + BATCH, "append lost records");
+        assert!(view.tail_rows() > 0, "append fell off the delta path");
+
+        // Query a pair that lives entirely in the freshly appended tail:
+        // members 0 and 2 of the first complete group this round added.
+        let base = from.div_ceil(GROUP_SIZE) * GROUP_SIZE;
+        let outcome = service
+            .explain(
+                &QueryRequest::text(BLOCKED_QUERY)
+                    .with_pair(format!("job_{}", base + 2), format!("job_{base}")),
+            )
+            .expect("the appended-pair smoke query must be answerable");
+        assert!(
+            outcome.explanation.width() >= 1,
+            "the appended-pair query produced an empty explanation"
+        );
+    }
+
+    let stats = service.view_stats();
+    assert_eq!(
+        stats.full_rebuilds, 1,
+        "an append forced a full rebuild: {stats:?}"
+    );
+    assert_eq!(
+        stats.tail_rows as usize,
+        BATCH * ROUNDS,
+        "the cached tail does not hold the appended rows: {stats:?}"
+    );
+
+    let mean_refresh_secs = refresh_secs / ROUNDS as f64;
+    let total = started.elapsed();
+    println!(
+        "live_ingest_smoke: {} records + {}x{} appended: full rebuild {:.0} ms, \
+         mean delta refresh {:.2} ms ({:.0}x), {} delta refreshes / {} full rebuild, \
+         done at {:.0} ms",
+        N,
+        ROUNDS,
+        BATCH,
+        full_rebuild_secs * 1e3,
+        mean_refresh_secs * 1e3,
+        full_rebuild_secs / mean_refresh_secs.max(1e-9),
+        stats.delta_refreshes,
+        stats.full_rebuilds,
+        total.as_secs_f64() * 1e3,
+    );
+    assert!(
+        mean_refresh_secs < full_rebuild_secs * MAX_REFRESH_FRACTION,
+        "mean delta refresh {:.1} ms is over {MAX_REFRESH_FRACTION} of a full rebuild \
+         ({:.1} ms): the O(tail) path regressed",
+        mean_refresh_secs * 1e3,
+        full_rebuild_secs * 1e3,
+    );
+    assert!(
+        total.as_secs_f64() < CEILING_SECS,
+        "live ingest smoke took {:.1} s (ceiling {CEILING_SECS} s): the refresh path regressed",
+        total.as_secs_f64()
+    );
+}

@@ -32,6 +32,7 @@ use crate::query::{BoundQuery, PairLabel};
 use crate::record::{ExecutionKind, ExecutionLog, ExecutionRecord};
 use mlcore::{AttrValue, Attribute, ColumnStore, FxHashMap};
 use pxql::{Op, Predicate, Value};
+use std::sync::Arc;
 
 /// Row count at or above which [`ColumnarLog::build_auto`] switches from the
 /// single-shot encode to the sharded parallel encode.  Encoding costs a few
@@ -54,27 +55,78 @@ pub const SHARDED_BUILD_THRESHOLD: usize = 8192;
 /// independently (local dictionaries) on its own thread, and the segments
 /// are merged by dictionary remapping ([`ColumnStore::merge_segments`]) into
 /// a view bit-identical to the single-shot encode.
+///
+/// # Base and tail
+///
+/// A view is stored in two chunks: an immutable **base** behind an `Arc`
+/// (everything encoded by the last full build or compaction) and a small
+/// **tail** holding rows appended since.  [`ColumnarLog::with_appended`]
+/// produces an updated view in O(tail): it encodes only the fresh records,
+/// splices them onto the tail via [`ColumnStore::splice_tail`] (dictionaries
+/// extend in place, base ids never move) and *shares* the base chunk with
+/// its predecessor — the delta-maintenance path
+/// [`XplainService`](crate::service::XplainService) refreshes cached views
+/// through.  [`ColumnarLog::compacted`] folds an oversized tail back into a
+/// fresh base without re-interning a single value.  Both are bit-identical
+/// to a from-scratch build (proptested in `tests/properties.rs`).
 #[derive(Debug, Clone)]
 pub struct ColumnarLog {
     kind: ExecutionKind,
-    records: Vec<ExecutionRecord>,
-    store: ColumnStore,
-    /// Per column: the original `Value` behind each interned nominal id.
+    /// The immutable base chunk, shared across delta generations.
+    base: Arc<ViewBase>,
+    /// Records appended since the base was built, in row order.
+    tail_records: Vec<ExecutionRecord>,
+    /// The tail's cells, encoded against the **global** dictionaries (the
+    /// base dictionaries extended in place — base ids are a prefix).  The
+    /// attributes here are the view's authoritative schema even when the
+    /// tail has no rows.
+    tail_store: ColumnStore,
+    /// Per column: the original `Value` behind each interned nominal id
+    /// (global ids, covering base and tail).
     originals: Vec<Vec<Value>>,
     /// Catalog kind per column.
     kinds: Vec<FeatureKind>,
-    /// Record id → row index.
+    /// Record id → absolute row index, for tail rows only (consult before
+    /// the base index so duplicate ids keep last-wins semantics).
+    tail_index: FxHashMap<String, usize>,
+}
+
+/// The immutable base chunk of a [`ColumnarLog`]: the encoded columns,
+/// the records they encode, and the id → row index over them.  Shared via
+/// `Arc` so a delta refresh never copies a base cell.
+#[derive(Debug)]
+struct ViewBase {
+    store: ColumnStore,
+    records: Vec<ExecutionRecord>,
     row_index: FxHashMap<String, usize>,
 }
 
 impl PartialEq for ColumnarLog {
     fn eq(&self, other: &Self) -> bool {
-        // The row index is derived from the records.
-        self.kind == other.kind
-            && self.records == other.records
-            && self.store == other.store
-            && self.originals == other.originals
-            && self.kinds == other.kinds
+        // Logical-content equality, independent of the base/tail split: a
+        // flat build and a delta-maintained view with the same rows,
+        // dictionaries and ids compare equal.  The row indexes are derived
+        // from the records.
+        if self.kind != other.kind
+            || self.kinds != other.kinds
+            || self.originals != other.originals
+            || self.num_rows() != other.num_rows()
+            || self.tail_store.attributes() != other.tail_store.attributes()
+        {
+            return false;
+        }
+        let columns = self.kinds.len();
+        for row in 0..self.num_rows() {
+            if self.record(row) != other.record(row) {
+                return false;
+            }
+            for col in 0..columns {
+                if self.cell(row, col) != other.cell(row, col) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -167,6 +219,15 @@ fn merge_segments(segments: Vec<EncodedSegment>) -> (ColumnStore, Vec<Vec<Value>
     (merged.store, originals)
 }
 
+/// A zero-row store carrying `store`'s schema and dictionaries — the empty
+/// tail of a freshly built (or compacted) view.
+fn empty_like(store: &ColumnStore) -> ColumnStore {
+    ColumnStore::from_columns(
+        store.attributes().to_vec(),
+        vec![Vec::new(); store.num_columns()],
+    )
+}
+
 impl ColumnarLog {
     /// Encodes the records of `kind` in one pass (equivalent to
     /// [`ColumnarLog::build_sharded`] with one shard).
@@ -208,19 +269,119 @@ impl ColumnarLog {
         };
 
         let kinds = catalog.defs().iter().map(|def| def.kind).collect();
+        ColumnarLog::from_encoded(
+            kind,
+            records.into_iter().cloned().collect(),
+            store,
+            originals,
+            kinds,
+        )
+    }
+
+    /// Wraps a flat single-chunk encoding as a base with an empty tail.
+    fn from_encoded(
+        kind: ExecutionKind,
+        records: Vec<ExecutionRecord>,
+        store: ColumnStore,
+        originals: Vec<Vec<Value>>,
+        kinds: Vec<FeatureKind>,
+    ) -> Self {
         let row_index = records
             .iter()
             .enumerate()
             .map(|(i, r)| (r.id.clone(), i))
             .collect();
+        let tail_store = empty_like(&store);
         ColumnarLog {
             kind,
-            records: records.into_iter().cloned().collect(),
-            store,
+            base: Arc::new(ViewBase {
+                store,
+                records,
+                row_index,
+            }),
+            tail_records: Vec::new(),
+            tail_store,
             originals,
             kinds,
-            row_index,
+            tail_index: FxHashMap::default(),
         }
+    }
+
+    /// Returns a view extended by `fresh` records in **O(tail)**: only the
+    /// fresh records are encoded (local dictionaries), spliced onto the
+    /// current tail with the global dictionaries extended in place, and the
+    /// base chunk is shared with `self` — not a base cell is copied.  The
+    /// result is bit-identical to rebuilding the view over all rows from
+    /// scratch.
+    ///
+    /// `catalog` must be the same catalog the view was built against: a
+    /// batch that changes the catalog (new feature, kind promotion) changes
+    /// the schema, and the caller must fall back to a full rebuild (the
+    /// service gates this on [`ExecutionLog::rewrite_generation`]).
+    pub fn with_appended(&self, catalog: &FeatureCatalog, fresh: &[&ExecutionRecord]) -> Self {
+        debug_assert!(
+            catalog.defs().iter().map(|def| def.name.as_str()).eq(self
+                .tail_store
+                .attributes()
+                .iter()
+                .map(|a| a.name.as_str())),
+            "with_appended called with a catalog that does not match the view schema"
+        );
+        if fresh.is_empty() {
+            return self.clone();
+        }
+        let segment = encode_segment(catalog, fresh);
+        let spliced = self.tail_store.splice_tail(&segment.store);
+        let mut originals = self.originals.clone();
+        for (col, column_locals) in segment.originals.into_iter().enumerate() {
+            // Local ids were interned in first-occurrence order, so the
+            // global ids this batch introduces appear here in ascending
+            // order: a value is new globally exactly when its global id
+            // equals the current originals length.
+            for (local, value) in column_locals.into_iter().enumerate() {
+                let global = spliced.remaps[col][local] as usize;
+                if global == originals[col].len() {
+                    originals[col].push(value);
+                }
+            }
+        }
+        let base_rows = self.base.records.len();
+        let mut tail_records = self.tail_records.clone();
+        let mut tail_index = self.tail_index.clone();
+        tail_records.reserve(fresh.len());
+        for record in fresh {
+            tail_index.insert(record.id.clone(), base_rows + tail_records.len());
+            tail_records.push((*record).clone());
+        }
+        ColumnarLog {
+            kind: self.kind,
+            base: Arc::clone(&self.base),
+            tail_records,
+            tail_store: spliced.store,
+            originals,
+            kinds: self.kinds.clone(),
+            tail_index,
+        }
+    }
+
+    /// Folds the tail into a fresh base chunk ([`ColumnStore::concat_encoded`]
+    /// — a pure cell concatenation, since base and tail already share one
+    /// dictionary space) and returns the compacted view with an empty tail.
+    /// A no-op clone when the tail is already empty.
+    pub fn compacted(&self) -> Self {
+        if self.tail_records.is_empty() {
+            return self.clone();
+        }
+        let store = ColumnStore::concat_encoded(&self.base.store, &self.tail_store);
+        let mut records = self.base.records.clone();
+        records.extend(self.tail_records.iter().cloned());
+        ColumnarLog::from_encoded(
+            self.kind,
+            records,
+            store,
+            self.originals.clone(),
+            self.kinds.clone(),
+        )
     }
 
     /// Assembles the view of `kind` from a loaded snapshot, without
@@ -266,19 +427,7 @@ impl ColumnarLog {
     ) -> Self {
         let (store, originals) = merge_segments(segments);
         let kinds = catalog.defs().iter().map(|def| def.kind).collect();
-        let row_index = records
-            .iter()
-            .enumerate()
-            .map(|(i, r)| (r.id.clone(), i))
-            .collect();
-        ColumnarLog {
-            kind,
-            records,
-            store,
-            originals,
-            kinds,
-            row_index,
-        }
+        ColumnarLog::from_encoded(kind, records, store, originals, kinds)
     }
 
     /// The execution kind this view encodes.
@@ -286,29 +435,62 @@ impl ColumnarLog {
         self.kind
     }
 
-    /// The encoded records (the view's own snapshot), in row order.
-    pub fn records(&self) -> &[ExecutionRecord] {
-        &self.records
+    /// The encoded records (the view's own snapshot), in row order: base
+    /// rows first, then the appended tail.
+    pub fn records(&self) -> impl Iterator<Item = &ExecutionRecord> {
+        self.base.records.iter().chain(&self.tail_records)
+    }
+
+    /// The record at `row`.
+    #[inline]
+    pub fn record(&self, row: usize) -> &ExecutionRecord {
+        let base_rows = self.base.records.len();
+        if row < base_rows {
+            &self.base.records[row]
+        } else {
+            &self.tail_records[row - base_rows]
+        }
     }
 
     /// Number of rows (records of the view's kind).
+    ///
+    /// Always counted over the records, never over the column stores: a
+    /// view with an empty catalog has zero columns, and a zero-column
+    /// [`ColumnStore`] reports zero rows regardless of the record count.
     pub fn num_rows(&self) -> usize {
-        self.records.len()
+        self.base.records.len() + self.tail_records.len()
     }
 
-    /// The underlying column store.
-    pub fn store(&self) -> &ColumnStore {
-        &self.store
+    /// Rows in the immutable base chunk.
+    pub fn base_rows(&self) -> usize {
+        self.base.records.len()
+    }
+
+    /// Rows in the appended tail (encoded since the last full build or
+    /// compaction).
+    pub fn tail_rows(&self) -> usize {
+        self.tail_records.len()
+    }
+
+    /// Whether this view shares its base chunk with `other` (the delta
+    /// refresh contract: no base cell was copied between them).
+    pub fn shares_base_with(&self, other: &ColumnarLog) -> bool {
+        Arc::ptr_eq(&self.base, &other.base)
     }
 
     /// Row index of the record with the given id.
     pub fn row_of(&self, id: &str) -> Option<usize> {
-        self.row_index.get(id).copied()
+        // Tail first: an appended record with a duplicate id shadows the
+        // base row, preserving the flat build's last-wins semantics.
+        self.tail_index
+            .get(id)
+            .or_else(|| self.base.row_index.get(id))
+            .copied()
     }
 
     /// Column index of a raw feature.
     pub fn column_of(&self, feature: &str) -> Option<usize> {
-        self.store.column_index(feature)
+        self.tail_store.column_index(feature)
     }
 
     /// Catalog kind of column `col`.
@@ -319,7 +501,12 @@ impl ColumnarLog {
     /// The cell at (`row`, `col`).
     #[inline]
     pub fn cell(&self, row: usize, col: usize) -> AttrValue {
-        self.store.value(row, col)
+        let base_rows = self.base.records.len();
+        if row < base_rows {
+            self.base.store.value(row, col)
+        } else {
+            self.tail_store.value(row - base_rows, col)
+        }
     }
 
     /// PXQL equality of two cells of the same column (`pxql_eq` semantics:
@@ -575,7 +762,7 @@ mod tests {
         assert_eq!(view.num_rows(), 5);
         assert_eq!(view.kind(), ExecutionKind::Job);
         let script_col = view.column_of("pigscript").unwrap();
-        for (row, record) in view.records().iter().enumerate() {
+        for (row, record) in view.records().enumerate() {
             let decoded = view.decode(script_col, view.cell(row, script_col));
             assert_eq!(decoded, record.feature("pigscript"));
         }
@@ -597,14 +784,14 @@ mod tests {
         .unwrap();
         let query = BoundQuery::new(q, "job_a", "job_b");
         let compiled = CompiledQuery::compile(&query, &view, config.sim_threshold);
-        let records = view.records();
+        let records: Vec<_> = view.records().collect();
         for i in 0..records.len() {
             for j in 0..records.len() {
                 if i == j {
                     continue;
                 }
                 let expected =
-                    query.classify_records(&log, &records[i], &records[j], config.sim_threshold);
+                    query.classify_records(&log, records[i], records[j], config.sim_threshold);
                 assert_eq!(
                     compiled.classify(&view, i, j),
                     expected,
@@ -624,14 +811,14 @@ mod tests {
         let catalog = log.job_catalog();
         // Every pair feature of every pair: the compiled atom must agree
         // with evaluation over the full pair-feature map.
-        let records = view.records();
+        let records: Vec<_> = view.records().collect();
         for i in 0..records.len() {
             for j in 0..records.len() {
                 if i == j {
                     continue;
                 }
                 let features =
-                    compute_pair_features(catalog, &records[i], &records[j], config.sim_threshold);
+                    compute_pair_features(catalog, records[i], records[j], config.sim_threshold);
                 for (name, value) in &features {
                     let atom = pxql::Atom::new(name.clone(), Op::Eq, value.clone());
                     let by_map = atom.eval(&features);
@@ -682,6 +869,76 @@ mod tests {
         one.rebuild_catalogs();
         let sharded = ColumnarLog::build_sharded(&one, ExecutionKind::Job, 8);
         assert_eq!(sharded, ColumnarLog::build(&one, ExecutionKind::Job));
+    }
+
+    #[test]
+    fn with_appended_is_bit_identical_and_shares_the_base() {
+        let mut log = log();
+        let view = ColumnarLog::build(&log, ExecutionKind::Job);
+        assert_eq!(view.tail_rows(), 0);
+
+        // Append a batch mixing known and brand-new nominal values.
+        let batch = vec![
+            ExecutionRecord::job("job_f")
+                .with_feature("inputsize", 2.0e9)
+                .with_feature("pigscript", "filter.pig")
+                .with_feature("duration", 400.0),
+            ExecutionRecord::job("job_g")
+                .with_feature("inputsize", 4.0e9)
+                .with_feature("pigscript", "join.pig")
+                .with_feature("duration", 999.0),
+        ];
+        let fresh: Vec<&ExecutionRecord> = batch.iter().collect();
+        let delta = view.with_appended(log.catalog(ExecutionKind::Job), &fresh);
+        assert!(delta.shares_base_with(&view));
+        assert_eq!(delta.base_rows(), view.num_rows());
+        assert_eq!(delta.tail_rows(), 2);
+        assert_eq!(delta.row_of("job_g"), Some(6));
+
+        for record in batch {
+            log.append(vec![record]);
+        }
+        let full = ColumnarLog::build(&log, ExecutionKind::Job);
+        assert_eq!(delta, full, "delta view diverges from a full rebuild");
+
+        // A second delta on top of the first still shares the original base.
+        let more = vec![ExecutionRecord::job("job_h").with_feature("pigscript", "join.pig")];
+        let fresh: Vec<&ExecutionRecord> = more.iter().collect();
+        let stacked = delta.with_appended(log.catalog(ExecutionKind::Job), &fresh);
+        assert!(stacked.shares_base_with(&view));
+        assert_eq!(stacked.tail_rows(), 3);
+        log.append(more);
+        assert_eq!(stacked, ColumnarLog::build(&log, ExecutionKind::Job));
+    }
+
+    #[test]
+    fn compacted_folds_the_tail_without_changing_content() {
+        let log = log();
+        let view = ColumnarLog::build(&log, ExecutionKind::Job);
+        let batch = [ExecutionRecord::job("job_f")
+            .with_feature("pigscript", "join.pig")
+            .with_feature("duration", 5.0)];
+        let fresh: Vec<&ExecutionRecord> = batch.iter().collect();
+        let delta = view.with_appended(log.catalog(ExecutionKind::Job), &fresh);
+        let compacted = delta.compacted();
+        assert_eq!(compacted.tail_rows(), 0);
+        assert_eq!(compacted.base_rows(), delta.num_rows());
+        assert!(!compacted.shares_base_with(&delta));
+        assert_eq!(compacted, delta);
+        // Compacting an empty tail is the identity (base shared, no copy).
+        assert!(view.compacted().shares_base_with(&view));
+        assert_eq!(view.compacted(), view);
+    }
+
+    #[test]
+    fn appended_duplicate_ids_shadow_base_rows() {
+        let log = log();
+        let view = ColumnarLog::build(&log, ExecutionKind::Job);
+        assert_eq!(view.row_of("job_c"), Some(2));
+        let batch = [ExecutionRecord::job("job_c").with_feature("duration", 123.0)];
+        let fresh: Vec<&ExecutionRecord> = batch.iter().collect();
+        let delta = view.with_appended(log.catalog(ExecutionKind::Job), &fresh);
+        assert_eq!(delta.row_of("job_c"), Some(5));
     }
 
     /// Shards whose nominal dictionaries are disjoint (every script name is

@@ -101,7 +101,7 @@ impl PerfXplain {
         view: Arc<ColumnarLog>,
         query: &BoundQuery,
     ) -> Result<Explanation> {
-        self.explain_with_training(log, view, query, false, false, &CancelToken::never())
+        self.explain_with_training(log, view, query, false, false, &CancelToken::never(), None)
             .map(|(explanation, _, _)| explanation)
     }
 
@@ -121,6 +121,12 @@ impl PerfXplain {
     /// surfaces as [`CoreError::Cancelled`](crate::CoreError::Cancelled) /
     /// [`CoreError::DeadlineExceeded`](crate::CoreError::DeadlineExceeded)
     /// within one phase of firing.
+    ///
+    /// `cost_probe`, when given, fires exactly once with the actual related
+    /// pair count right after the first pair enumeration — the moment the
+    /// real workload becomes known — so admission control can refine the
+    /// request's charged cost mid-flight.
+    #[allow(clippy::too_many_arguments)] // internal seam: service + stateless engine share it
     pub(crate) fn explain_with_training<'a>(
         &self,
         log: &'a ExecutionLog,
@@ -129,6 +135,7 @@ impl PerfXplain {
         extend_despite: bool,
         preconditions_verified: bool,
         cancel: &CancelToken,
+        cost_probe: Option<&crate::service::CostProbe>,
     ) -> Result<(Explanation, BoundQuery, EncodedTraining<'a>)> {
         cancel.check()?;
         if !preconditions_verified {
@@ -136,6 +143,9 @@ impl PerfXplain {
         }
         let training =
             prepare_encoded_training_cancellable(log, view.clone(), query, &self.config, cancel)?;
+        if let Some(probe) = cost_probe {
+            probe.fire(training.related_pairs as u64);
+        }
 
         if extend_despite {
             // Relevance of the empty extension over the sample: the fraction
@@ -231,7 +241,7 @@ impl PerfXplain {
         view: Arc<ColumnarLog>,
         query: &BoundQuery,
     ) -> Result<(Explanation, BoundQuery)> {
-        self.explain_with_training(log, view, query, true, false, &CancelToken::never())
+        self.explain_with_training(log, view, query, true, false, &CancelToken::never(), None)
             .map(|(explanation, effective, _)| (explanation, effective))
     }
 

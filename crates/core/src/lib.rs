@@ -72,23 +72,32 @@
 //! its columnar view, and classifying O(n²) candidate pairs against the
 //! query.  The pipeline attacks both with a **sharded, columnar, streaming,
 //! zero-re-encoding hot path** ([`columnar`], [`training`], [`bridge`],
-//! [`record`]), and getting *to* that hot path is a **four-tier story**:
+//! [`record`]), and getting *to* that hot path — and staying on it while
+//! new executions stream in — is a **five-tier story**:
 //!
 //! | tier | start state | cost |
 //! |---|---|---|
 //! | cold JSON ingest | raw bundles or a JSON log | parse + catalog inference + full columnar encode |
 //! | snapshot open | a [`snapshot`] directory | read + fingerprint-verify + decode binary columns; **no parsing, no re-encode** |
 //! | warm service cache | a running [`XplainService`] | `Arc` clone of the cached view; zero work |
+//! | live append | a running service ingesting | O(tail) splice of the fresh records into the cached view's **append tail**; base columns `Arc`-shared untouched |
 //! | networked serving | a `perfxplain-server` front-end | one admission-time [`estimate_cost`](service::XplainService::estimate_cost) per request; queries share the warm cache |
 //!
 //! A deployment pays tier 1 once per *source* change (and, with
 //! incremental [`snapshot::sync`], only for the shards whose source
 //! actually changed), tier 2 once per process start, and tier 3 on every
-//! query; tier 4 wraps the warm service in a wire protocol so many remote
+//! query; tier 4 keeps the cache warm *through* ingest — an
+//! [`XplainService::append`](service::XplainService::append) never costs a
+//! re-encode, only an O(tail) delta refresh on the next query; tier 5
+//! wraps the warm service in a wire protocol so many remote
 //! debugging sessions share one log — each request is admitted against a
 //! concurrent cost budget computed from its compiled-plan statistics
 //! ([`CostEstimate`](service::CostEstimate), no view built, no features
-//! scanned) and carries a [`CancelToken`](cancel::CancelToken) deadline the
+//! scanned), refunds the estimate/actual difference mid-flight once the
+//! measured related-pair count is known
+//! ([`CostProbe`](service::CostProbe),
+//! [`CostEstimate::refined_units`](service::CostEstimate::refined_units)),
+//! and carries a [`CancelToken`](cancel::CancelToken) deadline the
 //! enumeration and clause loops observe at phase boundaries, so a serving
 //! process stays bounded in both memory and per-request latency.
 //!
@@ -190,7 +199,31 @@
 //!    source and re-encodes only the dirty shards; a changed global
 //!    catalog re-encodes everything from on-disk records, still never
 //!    re-parsing the source.
-//! 8. **Recover in layers, cheapest remedy first.** Transient IO errors
+//! 8. **Append live, refresh by delta.**
+//!    [`XplainService::append`](service::XplainService::append) extends the
+//!    served log *without* invalidating the cached views: the next query
+//!    splices the fresh records into a small **append-tail segment**
+//!    ([`ColumnarLog::with_appended`](columnar::ColumnarLog::with_appended)
+//!    over [`mlcore::ColumnStore::splice_tail`]) — dictionaries extend in
+//!    place, the base columns stay `Arc`-shared byte for byte, and the
+//!    refresh costs O(tail) instead of O(log).  Per-kind **rewrite
+//!    watermarks** ([`ExecutionLog::rewrite_generation`]) keep the shortcut
+//!    sound: an append whose batch changes the catalog, and every
+//!    non-append mutation ([`XplainService::with_log_mut`]), move the
+//!    watermark and force a full rebuild.  Tail lookups win over shadowed
+//!    base rows (duplicate ids behave exactly like a rebuild), queries see
+//!    base and tail as one view, and a tail that outgrows the configurable
+//!    [`CompactionPolicy`](service::CompactionPolicy) folds back into its
+//!    base ([`ColumnarLog::compacted`](columnar::ColumnarLog::compacted),
+//!    [`mlcore::ColumnStore::concat_encoded`]) on the shared worker pool in
+//!    the background.  [`XplainService::checkpoint`](service::XplainService::checkpoint)
+//!    persists the live tail as one incremental snapshot shard
+//!    ([`snapshot::sync_append`], [`ShardInput::Keep`](snapshot::ShardInput::Keep)
+//!    for the clean prefix) — a checkpoint while serving, no stop-the-world
+//!    re-encode.  [`ViewCacheStats`](service::ViewCacheStats) counts delta
+//!    refreshes vs full rebuilds vs compactions
+//!    ([`XplainService::view_stats`](service::XplainService::view_stats)).
+//! 9. **Recover in layers, cheapest remedy first.** Transient IO errors
 //!    (interrupted, would-block, timed-out) are absorbed *in place*: every
 //!    snapshot read, write and rename retries with bounded exponential
 //!    backoff before surfacing [`CoreError::SnapshotIo`], and
@@ -219,9 +252,15 @@
 //! single-shot counterparts for every shard count; and a persisted
 //! snapshot reopens to the same log and bit-identical views
 //! (`build_from_snapshot(persist(log)) ≡ build_sharded(log, ..)`), with
-//! one-dirty-shard syncs re-encoding exactly one segment;
-//! `tests/properties.rs` proves all three on randomized logs, queries and
-//! shard counts, and `tests/snapshot_store.rs` pins the corruption
+//! one-dirty-shard syncs re-encoding exactly one segment; and the
+//! delta-maintained live views are equivalent to never having cached at
+//! all — under arbitrary interleavings of appends (catalog-preserving and
+//! catalog-changing), non-append mutations, tail compactions and queries,
+//! the view the service serves is bit-identical to a from-scratch
+//! `build_sharded` of the log at that moment, and the answers match a
+//! stateless engine's.
+//! `tests/properties.rs` proves all of these on randomized logs, queries
+//! and shard counts, and `tests/snapshot_store.rs` pins the corruption
 //! taxonomy (truncation, fingerprint mismatch, version skew → typed
 //! [`CoreError`]s), that every corruption is salvageable (lenient open
 //! quarantines exactly the damaged shard and serves the rest) and
@@ -242,14 +281,20 @@
 //! 100k records, and the `explain_latency` phase breakdown (enumerate /
 //! featurize / relief / tree at n ∈ {20k, 100k}, with the retained naive
 //! trainer timed against the sweep trainer on the identical dataset and
-//! cross-checked equal), all in `BENCH_pairs.json` (alongside the
+//! cross-checked equal), and the `live_ingest` scenario (sustained append
+//! batches against a served log at n ∈ {100k, 1M}: the O(tail) delta
+//! refresh vs the full re-encode a non-delta cache would pay per append,
+//! plus the sustained append rate and warm query latency while serving),
+//! all in `BENCH_pairs.json` (alongside the
 //! machine's hardware thread count — sharded speedups are real
 //! parallelism, so they track the core count and degenerate to ~1x on a
-//! single core).  CI additionally runs three release-mode smokes under
+//! single core).  CI additionally runs release-mode smokes under
 //! wall-clock ceilings: the sharded 100k ingest+query round trip, the
 //! snapshot persist → reopen → query round trip checked outcome-equal to
-//! the in-memory path, and the blocked 100k explain (cold + warm) on a
-//! trainer-heavy log.
+//! the in-memory path, the blocked 100k explain (cold + warm) on a
+//! trainer-heavy log, and the append-while-serving loop (every batch must
+//! refresh by delta, with the mean refresh under a fixed fraction of one
+//! full re-encode).
 
 pub mod baselines;
 pub mod bridge;
@@ -304,7 +349,10 @@ pub use pairs::{
 };
 pub use query::{BoundQuery, PairLabel};
 pub use record::{ExecutionKind, ExecutionLog, ExecutionRecord};
-pub use service::{CostEstimate, QueryInput, QueryOutcome, QueryRequest, XplainService};
+pub use service::{
+    AppendOutcome, CompactionPolicy, CostEstimate, CostProbe, QueryInput, QueryOutcome,
+    QueryRequest, ViewCacheStats, XplainService,
+};
 pub use snapshot::{
     PartialSnapshot, RecordShard, ShardDamage, ShardEntry, ShardHealth, ShardInput, Snapshot,
     SnapshotManifest, SnapshotShard, SnapshotUsage, SnapshotViews, SyncReport, SNAPSHOT_VERSION,

@@ -113,12 +113,29 @@ impl FeatureSource for ExecutionRecord {
 /// with identical records compare equal regardless of their generations, and
 /// the counter is not serialized (a freshly loaded log starts counting
 /// anew).
+/// In addition to the generation, the log tracks a per-kind **rewrite
+/// watermark** ([`ExecutionLog::rewrite_generation`]): the last generation
+/// at which anything *other than a pure record append* happened to that
+/// kind — a record replaced, a catalog re-inferred to a different schema, a
+/// wholesale reload.  A cached view built at generation `g` can be brought
+/// up to date by encoding only the appended tail iff
+/// `g >= rewrite_generation(kind)`; otherwise the world changed under it
+/// and only a full rebuild is sound.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutionLog {
     job_catalog: FeatureCatalog,
     task_catalog: FeatureCatalog,
     records: Vec<ExecutionRecord>,
     generation: u64,
+    rewrite: [u64; 2],
+}
+
+/// Index into per-kind bookkeeping arrays.
+fn kind_index(kind: ExecutionKind) -> usize {
+    match kind {
+        ExecutionKind::Job => 0,
+        ExecutionKind::Task => 1,
+    }
 }
 
 impl PartialEq for ExecutionLog {
@@ -152,6 +169,7 @@ impl Deserialize for ExecutionLog {
             task_catalog: Deserialize::deserialize(serde::Content::field(entries, "task_catalog"))?,
             records: Deserialize::deserialize(serde::Content::field(entries, "records"))?,
             generation: 0,
+            rewrite: [0, 0],
         })
     }
 }
@@ -169,10 +187,66 @@ impl ExecutionLog {
         self.generation
     }
 
+    /// The last generation at which `kind`'s records or catalog changed in
+    /// a way a cached view cannot absorb by encoding the appended tail.
+    /// See the type docs: a view built at generation `g` may take the delta
+    /// path iff `g >= rewrite_generation(kind)`.
+    pub fn rewrite_generation(&self, kind: ExecutionKind) -> u64 {
+        self.rewrite[kind_index(kind)]
+    }
+
+    /// Marks the current generation as a rewrite for both kinds (the
+    /// conservative default for every mutation that is not a pure append).
+    fn mark_rewrite(&mut self) {
+        self.rewrite = [self.generation; 2];
+    }
+
     /// Adds a record.
     pub fn push(&mut self, record: ExecutionRecord) {
         self.records.push(record);
         self.generation += 1;
+        // `push` does not maintain the catalogs, so cached views of the
+        // record's kind cannot trust the schema until `rebuild_catalogs`;
+        // treat it as a rewrite (use `append` for watermark-clean ingest).
+        self.mark_rewrite();
+    }
+
+    /// Appends a batch of records while keeping the catalogs exact — the
+    /// watermark-clean ingest path.  Per kind, the batch's features are
+    /// inferred and merged into the existing catalog
+    /// ([`FeatureCatalog::merge`] is proven equivalent to a joint
+    /// re-inference); when the merge leaves the catalog unchanged the
+    /// kind's rewrite watermark stays put, so cached views refresh by
+    /// encoding only this tail.  A batch that *does* change a catalog
+    /// (new feature, kind promotion) bumps that kind's watermark: the
+    /// schema moved, and views of that kind must rebuild.
+    ///
+    /// Returns the new generation.
+    pub fn append(&mut self, records: Vec<ExecutionRecord>) -> u64 {
+        self.generation += 1;
+        for kind in [ExecutionKind::Job, ExecutionKind::Task] {
+            let mut fresh = records
+                .iter()
+                .filter(|r| r.kind == kind)
+                .map(|r| &r.features)
+                .peekable();
+            if fresh.peek().is_none() {
+                continue;
+            }
+            let batch = FeatureCatalog::infer(fresh);
+            let current = match kind {
+                ExecutionKind::Job => &mut self.job_catalog,
+                ExecutionKind::Task => &mut self.task_catalog,
+            };
+            let mut merged = current.clone();
+            merged.merge(&batch);
+            if merged != *current {
+                *current = merged;
+                self.rewrite[kind_index(kind)] = self.generation;
+            }
+        }
+        self.records.extend(records);
+        self.generation
     }
 
     /// Adds every record of `other` to this log.
@@ -195,6 +269,7 @@ impl ExecutionLog {
             task_catalog,
             records,
             generation: 1,
+            rewrite: [1, 1],
         }
     }
 
@@ -217,6 +292,7 @@ impl ExecutionLog {
             out.records.extend(shard.records);
         }
         out.generation = 1;
+        out.rewrite = [1, 1];
         out
     }
 
@@ -285,12 +361,14 @@ impl ExecutionLog {
             self.records.extend(shard.records);
         }
         self.generation += 1;
+        self.mark_rewrite();
     }
 
     /// Recomputes the job and task feature catalogs from the stored records.
     /// Call after bulk loading records.
     pub fn rebuild_catalogs(&mut self) {
         self.generation += 1;
+        self.mark_rewrite();
         self.job_catalog = FeatureCatalog::infer(
             self.records
                 .iter()
@@ -536,6 +614,66 @@ mod tests {
         // The counter is not part of the JSON representation.
         let json = log.to_json().unwrap();
         assert!(!json.contains("generation"));
+    }
+
+    #[test]
+    fn append_keeps_catalogs_exact_without_bumping_the_watermark() {
+        let mut log = sample_log();
+        let clean = log.generation();
+        assert!(log.rewrite_generation(ExecutionKind::Job) <= clean);
+        let job_watermark = log.rewrite_generation(ExecutionKind::Job);
+        let task_watermark = log.rewrite_generation(ExecutionKind::Task);
+
+        // A batch whose features the catalog already knows: content must
+        // equal the push + rebuild path, but the watermark must not move.
+        let batch = vec![
+            ExecutionRecord::job("job_3")
+                .with_feature("inputsize", 4096i64)
+                .with_feature("pigscript", "simple-join.pig")
+                .with_feature(DURATION_FEATURE, 60.0),
+            ExecutionRecord::task("task_3_m_0", "job_3")
+                .with_feature("tasktype", "REDUCE")
+                .with_feature(DURATION_FEATURE, 10.0),
+        ];
+        let mut serial = log.clone();
+        for record in batch.clone() {
+            serial.push(record);
+        }
+        serial.rebuild_catalogs();
+
+        let generation = log.append(batch);
+        assert!(generation > clean);
+        assert_eq!(log, serial, "append diverged from push + rebuild");
+        assert_eq!(log.rewrite_generation(ExecutionKind::Job), job_watermark);
+        assert_eq!(log.rewrite_generation(ExecutionKind::Task), task_watermark);
+    }
+
+    #[test]
+    fn append_with_a_new_feature_bumps_only_that_kinds_watermark() {
+        let mut log = sample_log();
+        let task_watermark = log.rewrite_generation(ExecutionKind::Task);
+        let generation = log.append(vec![
+            ExecutionRecord::job("job_3").with_feature("brand_new", 1i64)
+        ]);
+        assert_eq!(log.rewrite_generation(ExecutionKind::Job), generation);
+        assert_eq!(log.rewrite_generation(ExecutionKind::Task), task_watermark);
+        assert!(log.job_catalog().get("brand_new").is_some());
+
+        // And the merged catalog equals a full re-inference.
+        let mut rebuilt = log.clone();
+        rebuilt.rebuild_catalogs();
+        assert_eq!(log, rebuilt);
+    }
+
+    #[test]
+    fn non_append_mutations_raise_the_watermark() {
+        let mut log = sample_log();
+        log.push(ExecutionRecord::job("job_9"));
+        assert_eq!(log.rewrite_generation(ExecutionKind::Job), log.generation());
+        assert_eq!(
+            log.rewrite_generation(ExecutionKind::Task),
+            log.generation()
+        );
     }
 
     #[test]

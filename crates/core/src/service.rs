@@ -9,10 +9,20 @@
 //!
 //! * The service owns the [`ExecutionLog`] behind an `RwLock`.  Mutations go
 //!   through [`XplainService::with_log_mut`] and bump the log's
-//!   **generation counter**; queries run under the read lock against a view
-//!   cached by `(generation, ExecutionKind)`, so a stale view can never be
-//!   observed — any mutation changes the key and the next query lazily
-//!   rebuilds (and evicts the superseded entries).
+//!   **generation counter**; queries run under the read lock against a
+//!   cached view stamped with the generation it was built at, so a stale
+//!   view can never be observed.
+//! * The cache is **delta-maintained**: records ingested through
+//!   [`XplainService::append`] keep the cached views alive, and the next
+//!   query splices the fresh records into a small *tail segment*
+//!   ([`ColumnarLog::with_appended`]) that shares the unchanged base
+//!   buffers by `Arc` — refresh cost is O(tail), not O(log).  Non-append
+//!   mutations ([`XplainService::with_log_mut`],
+//!   [`XplainService::replace_log`]) still drop the cache and trigger a
+//!   full rebuild; the log's per-kind *rewrite watermark*
+//!   ([`ExecutionLog::rewrite_generation`]) is what separates the two.
+//!   Oversized tails are folded back into the base in the background
+//!   ([`CompactionPolicy`]), off the query path.
 //! * One [`QueryRequest`] carries everything a query needs — the PXQL text
 //!   (or an already-parsed/bound query), the pair of interest, per-query
 //!   config overrides, and the despite-extension / narration / assessment
@@ -35,10 +45,38 @@ use crate::explanation::Explanation;
 use crate::metrics::{assess, ExplanationQuality};
 use crate::narrate::narrate;
 use crate::query::BoundQuery;
-use crate::record::{ExecutionKind, ExecutionLog};
+use crate::record::{ExecutionKind, ExecutionLog, ExecutionRecord};
 use pxql::PxqlQuery;
 use std::collections::HashMap;
-use std::sync::{Arc, RwLock};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+/// An observer for the **actual** cost of a query, fired from inside the
+/// explanation pipeline once the related pairs have been enumerated —
+/// the point where the admission-time estimate (an upper bound over the
+/// candidate space) can be replaced by the measured related-pair count.
+/// Admission controllers attach one via [`QueryRequest::with_cost_probe`]
+/// and refund the estimate/actual difference to their budget mid-flight.
+#[derive(Clone)]
+pub struct CostProbe(Arc<dyn Fn(u64) + Send + Sync>);
+
+impl CostProbe {
+    /// Wraps a callback invoked with the enumerated related-pair count.
+    pub fn new(f: impl Fn(u64) + Send + Sync + 'static) -> Self {
+        CostProbe(Arc::new(f))
+    }
+
+    /// Reports the measured related-pair count to the observer.
+    pub fn fire(&self, related_pairs: u64) {
+        (self.0)(related_pairs)
+    }
+}
+
+impl std::fmt::Debug for CostProbe {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("CostProbe(..)")
+    }
+}
 
 /// The query of a [`QueryRequest`]: PXQL text, a parsed AST, or an
 /// already-bound query.
@@ -77,6 +115,10 @@ pub struct QueryRequest {
     /// [`CoreError::DeadlineExceeded`](crate::CoreError::DeadlineExceeded).
     /// Defaults to [`CancelToken::never`].
     pub cancel: CancelToken,
+    /// Mid-flight cost observer: fired with the enumerated related-pair
+    /// count so an admission controller can refund the difference between
+    /// its pre-execution estimate and the actual work.
+    pub cost_probe: Option<CostProbe>,
 }
 
 impl QueryRequest {
@@ -104,6 +146,7 @@ impl QueryRequest {
             narrate: false,
             assess: false,
             cancel: CancelToken::never(),
+            cost_probe: None,
         }
     }
 
@@ -151,6 +194,12 @@ impl QueryRequest {
         self.with_cancel(CancelToken::with_timeout(timeout))
     }
 
+    /// Attaches a mid-flight cost observer (see [`CostProbe`]).
+    pub fn with_cost_probe(mut self, probe: CostProbe) -> Self {
+        self.cost_probe = Some(probe);
+        self
+    }
+
     /// Resolves the request into a bound query.
     fn resolve(&self) -> Result<BoundQuery> {
         let parsed = match &self.query {
@@ -189,6 +238,10 @@ pub struct QueryOutcome {
     /// Whether the columnar view came from the service cache (`false` for
     /// the call that built it).
     pub view_reused: bool,
+    /// How many related pairs the final training set was enumerated from —
+    /// the query's *actual* dominant cost, versus the candidate-space upper
+    /// bound [`CostEstimate::scanned_pairs`] charged at admission.
+    pub related_pairs: u64,
 }
 
 /// A pre-execution cost estimate of one query, derived from the compiled
@@ -221,6 +274,110 @@ impl CostEstimate {
     pub fn units(&self) -> u64 {
         (self.scanned_pairs + self.training_cells) / Self::PAIRS_PER_UNIT + 1
     }
+
+    /// The cost re-priced with the measured related-pair count in place of
+    /// the candidate-space upper bound, once a [`CostProbe`] has reported
+    /// it mid-query.  Admission controllers refund the admitted charge down
+    /// to this (never up — the estimate stays the ceiling).
+    pub fn refined_units(&self, related_pairs: u64) -> u64 {
+        (related_pairs + self.training_cells) / Self::PAIRS_PER_UNIT + 1
+    }
+}
+
+/// When to fold a live view's tail segment back into its base.
+///
+/// Delta refreshes keep appended records in a small tail
+/// ([`ColumnarLog::tail_rows`]); queries over the tail pay a branch per
+/// row access, so an unboundedly growing tail would slowly erode scan
+/// speed.  Once a refreshed view's tail reaches `tail_limit` rows the
+/// service schedules a background fold ([`ColumnarLog::compacted`]) on the
+/// process-wide worker pool — off the query path; queries keep being
+/// served from the un-compacted view until the fold lands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Tail size (rows) at which a background compaction is scheduled.
+    /// `usize::MAX` disables background compaction entirely (the
+    /// synchronous [`XplainService::compact_views`] still works).
+    pub tail_limit: usize,
+}
+
+impl Default for CompactionPolicy {
+    /// Defaults to the sharded-build threshold: a tail that large would
+    /// have been worth a parallel re-encode anyway.
+    fn default() -> Self {
+        CompactionPolicy { tail_limit: 8192 }
+    }
+}
+
+/// Counters describing the view cache's delta-maintenance behaviour,
+/// read via [`XplainService::view_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ViewCacheStats {
+    /// Rows held in cached views' immutable base segments.
+    pub base_rows: u64,
+    /// Rows held in cached views' append tails (not yet compacted).
+    pub tail_rows: u64,
+    /// Views refreshed by splicing an append tail (O(tail) work).
+    pub delta_refreshes: u64,
+    /// Views rebuilt from scratch (O(log) work).
+    pub full_rebuilds: u64,
+    /// Tail segments folded back into their base.
+    pub compactions: u64,
+    /// Unix timestamp (ms) of the last completed compaction; `0` if none.
+    pub last_compaction_unix_ms: u64,
+}
+
+/// What [`XplainService::append`] did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AppendOutcome {
+    /// The log generation after the append.
+    pub generation: u64,
+    /// How many records were appended.
+    pub appended: usize,
+}
+
+/// A cached columnar view stamped with the log generation it reflects.
+#[derive(Debug, Clone)]
+struct CachedView {
+    view: Arc<ColumnarLog>,
+    generation: u64,
+}
+
+/// Shared mutable delta-maintenance state: counters plus the per-kind
+/// "compaction in flight" latches (indexed by [`kind_slot`]).  Lives in an
+/// `Arc` so background compaction jobs outlive the borrow of the service.
+#[derive(Debug, Default)]
+struct DeltaStats {
+    delta_refreshes: AtomicU64,
+    full_rebuilds: AtomicU64,
+    compactions: AtomicU64,
+    compacting: [AtomicBool; 2],
+    last_compaction_unix_ms: AtomicU64,
+}
+
+fn kind_slot(kind: ExecutionKind) -> usize {
+    match kind {
+        ExecutionKind::Job => 0,
+        ExecutionKind::Task => 1,
+    }
+}
+
+fn unix_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// Where the served log was last checkpointed, and how many records the
+/// checkpoint covers.  Present only while *every* mutation since has been
+/// an append — [`XplainService::with_log_mut`] / `replace_log` clear it —
+/// so [`XplainService::checkpoint`] can persist just `records[rows..]` as
+/// an incremental shard instead of re-encoding the world.
+#[derive(Debug, Clone)]
+struct CheckpointState {
+    dir: std::path::PathBuf,
+    rows: usize,
 }
 
 /// A long-lived, thread-safe PerfXplain query service.
@@ -262,8 +419,13 @@ impl CostEstimate {
 #[derive(Debug)]
 pub struct XplainService {
     log: RwLock<ExecutionLog>,
-    /// Columnar views keyed by `(log generation, execution kind)`.
-    views: RwLock<HashMap<(u64, ExecutionKind), Arc<ColumnarLog>>>,
+    /// At most one live columnar view per execution kind, stamped with the
+    /// log generation it reflects.  `Arc`d so background compaction jobs
+    /// can re-install a folded view after the service borrow ends.
+    views: Arc<RwLock<HashMap<ExecutionKind, CachedView>>>,
+    stats: Arc<DeltaStats>,
+    compaction: CompactionPolicy,
+    checkpoint: Mutex<Option<CheckpointState>>,
     engine: PerfXplain,
 }
 
@@ -277,9 +439,18 @@ impl XplainService {
     pub fn with_config(log: ExecutionLog, config: ExplainConfig) -> Self {
         XplainService {
             log: RwLock::new(log),
-            views: RwLock::new(HashMap::new()),
+            views: Arc::new(RwLock::new(HashMap::new())),
+            stats: Arc::new(DeltaStats::default()),
+            compaction: CompactionPolicy::default(),
+            checkpoint: Mutex::new(None),
             engine: PerfXplain::new(config),
         }
+    }
+
+    /// Overrides the tail-compaction policy (builder style).
+    pub fn with_compaction_policy(mut self, policy: CompactionPolicy) -> Self {
+        self.compaction = policy;
+        self
     }
 
     /// Rehydrates a service from a snapshot directory with the default
@@ -299,7 +470,15 @@ impl XplainService {
     /// cache instead of paying a JSON parse and a full re-encode.
     pub fn open_snapshot_with_config(dir: &std::path::Path, config: ExplainConfig) -> Result<Self> {
         let snapshot = crate::snapshot::open(dir)?;
-        Ok(Self::from_snapshot(snapshot, config))
+        let service = Self::from_snapshot(snapshot, config);
+        // The directory we just opened *is* a checkpoint of the served log:
+        // future `checkpoint` calls only need to persist appended records.
+        let rows = service.with_log(|log| log.len());
+        *service.checkpoint.lock().expect("checkpoint lock poisoned") = Some(CheckpointState {
+            dir: dir.to_path_buf(),
+            rows,
+        });
+        Ok(service)
     }
 
     /// Rehydrates a service from a snapshot directory **leniently**
@@ -350,12 +529,21 @@ impl XplainService {
         let mut views = HashMap::new();
         for view in [job, task] {
             if view.num_rows() > 0 {
-                views.insert((log.generation(), view.kind()), Arc::new(view));
+                views.insert(
+                    view.kind(),
+                    CachedView {
+                        view: Arc::new(view),
+                        generation: log.generation(),
+                    },
+                );
             }
         }
         XplainService {
             log: RwLock::new(log),
-            views: RwLock::new(views),
+            views: Arc::new(RwLock::new(views)),
+            stats: Arc::new(DeltaStats::default()),
+            compaction: CompactionPolicy::default(),
+            checkpoint: Mutex::new(None),
             engine: PerfXplain::new(config),
         }
     }
@@ -366,7 +554,40 @@ impl XplainService {
     /// re-parsing JSON.  Runs under the read lock; concurrent queries keep
     /// being served.
     pub fn persist(&self, dir: &std::path::Path) -> Result<crate::snapshot::SyncReport> {
-        self.with_log(|log| crate::snapshot::persist(log, dir, crate::shard::hardware_threads()))
+        let log = self.read_log();
+        let report = crate::snapshot::persist(&log, dir, crate::shard::hardware_threads())?;
+        *self.checkpoint.lock().expect("checkpoint lock poisoned") = Some(CheckpointState {
+            dir: dir.to_path_buf(),
+            rows: log.len(),
+        });
+        Ok(report)
+    }
+
+    /// Persists the served log into `dir` **incrementally when possible**:
+    /// if `dir` is the directory the log was last opened from or persisted
+    /// to, and only appends happened since, the appended suffix is written
+    /// as one ordinary incremental shard ([`crate::snapshot::sync_append`])
+    /// while every existing shard is kept verbatim — a serving process
+    /// checkpoints its live tail without a stop-the-world re-encode.  Any
+    /// other history (a different directory, a non-append mutation) falls
+    /// back to a full [`XplainService::persist`].  Runs under the read
+    /// lock; concurrent queries keep being served.
+    pub fn checkpoint(&self, dir: &std::path::Path) -> Result<crate::snapshot::SyncReport> {
+        let log = self.read_log();
+        let mut state = self.checkpoint.lock().expect("checkpoint lock poisoned");
+        let incremental_from = match &*state {
+            Some(s) if s.dir == dir && s.rows <= log.len() => Some(s.rows),
+            _ => None,
+        };
+        let report = match incremental_from {
+            Some(rows) => crate::snapshot::sync_append(dir, log.records()[rows..].to_vec())?,
+            None => crate::snapshot::persist(&log, dir, crate::shard::hardware_threads())?,
+        };
+        *state = Some(CheckpointState {
+            dir: dir.to_path_buf(),
+            rows: log.len(),
+        });
+        Ok(report)
     }
 
     /// The service-wide configuration (requests can override per query).
@@ -406,6 +627,8 @@ impl XplainService {
             .write()
             .expect("view cache lock poisoned")
             .clear();
+        // Arbitrary mutation invalidates the append-only checkpoint lineage.
+        *self.checkpoint.lock().expect("checkpoint lock poisoned") = None;
         result
     }
 
@@ -418,12 +641,90 @@ impl XplainService {
             .write()
             .expect("view cache lock poisoned")
             .clear();
+        *self.checkpoint.lock().expect("checkpoint lock poisoned") = None;
+    }
+
+    /// Appends records to the served log **without dropping the view
+    /// cache** — the cheap ingest path for a serving process.  The log's
+    /// catalogs are kept exact incrementally ([`ExecutionLog::append`]);
+    /// cached views survive whenever their kind's schema was unchanged by
+    /// the batch (the common case) and the next query refreshes them in
+    /// O(batch) by splicing a tail segment instead of re-encoding the log.
+    pub fn append(&self, records: Vec<ExecutionRecord>) -> AppendOutcome {
+        let appended = records.len();
+        let mut log = self.log.write().expect("log lock poisoned");
+        let generation = log.append(records);
+        // Only views whose kind saw a schema change (rewrite watermark
+        // bumped past them) are stale beyond delta repair.
+        self.views
+            .write()
+            .expect("view cache lock poisoned")
+            .retain(|kind, entry| entry.generation >= log.rewrite_generation(*kind));
+        AppendOutcome {
+            generation,
+            appended,
+        }
+    }
+
+    /// Synchronously folds every cached view's tail into its base
+    /// ([`ColumnarLog::compacted`]), returning how many views were
+    /// compacted.  The background path ([`CompactionPolicy`]) does the
+    /// same off the query path; this is for deterministic tests, benches,
+    /// and pre-shutdown housekeeping.
+    pub fn compact_views(&self) -> usize {
+        let mut cache = self.views.write().expect("view cache lock poisoned");
+        let mut folded = 0;
+        for entry in cache.values_mut() {
+            if entry.view.tail_rows() > 0 {
+                entry.view = Arc::new(entry.view.compacted());
+                folded += 1;
+            }
+        }
+        if folded > 0 {
+            self.stats
+                .compactions
+                .fetch_add(folded as u64, Ordering::Relaxed);
+            self.stats
+                .last_compaction_unix_ms
+                .store(unix_ms(), Ordering::Relaxed);
+        }
+        folded
+    }
+
+    /// A snapshot of the delta-maintenance counters and the cached views'
+    /// base/tail row split.
+    pub fn view_stats(&self) -> ViewCacheStats {
+        let cache = self.views.read().expect("view cache lock poisoned");
+        let (base_rows, tail_rows) = cache.values().fold((0u64, 0u64), |(b, t), entry| {
+            (
+                b + entry.view.base_rows() as u64,
+                t + entry.view.tail_rows() as u64,
+            )
+        });
+        ViewCacheStats {
+            base_rows,
+            tail_rows,
+            delta_refreshes: self.stats.delta_refreshes.load(Ordering::Relaxed),
+            full_rebuilds: self.stats.full_rebuilds.load(Ordering::Relaxed),
+            compactions: self.stats.compactions.load(Ordering::Relaxed),
+            last_compaction_unix_ms: self.stats.last_compaction_unix_ms.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of cached columnar views (at most one per execution kind once
     /// the cache is warm).
     pub fn cached_view_count(&self) -> usize {
         self.views.read().expect("view cache lock poisoned").len()
+    }
+
+    /// The columnar view of `kind` the service would serve right now:
+    /// fetched from the cache, delta-refreshed, or built — exactly the
+    /// view the next query of this kind runs against.  Used by the
+    /// equivalence proptests and the live-ingest benchmark; queries go
+    /// through [`XplainService::explain`].
+    pub fn view(&self, kind: ExecutionKind) -> Arc<ColumnarLog> {
+        let log = self.read_log();
+        self.view_for(&log, kind).0
     }
 
     /// Answers one query.  The columnar view for the log's current
@@ -540,6 +841,7 @@ impl XplainService {
             narrate: false,
             assess: false,
             cancel: CancelToken::never(),
+            cost_probe: None,
         };
         answer(engine, log, view, false, query, &request, true)
     }
@@ -548,28 +850,116 @@ impl XplainService {
         self.log.read().expect("log lock poisoned")
     }
 
-    /// Fetches (or lazily builds) the columnar view for the log's current
-    /// generation, evicting entries of superseded generations.  Builds go
-    /// through [`ColumnarLog::build_auto`], so a large log is encoded as
-    /// parallel shards (bit-identical to the single-shot encode) without the
-    /// caller opting in.
+    /// Fetches (or lazily refreshes) the columnar view for the log's
+    /// current generation.
+    ///
+    /// Staleness comes in two flavours.  A cached view whose generation
+    /// trails the log's but is still at or past the kind's **rewrite
+    /// watermark** is *stale by delta*: everything it missed was a pure
+    /// append, so it is refreshed in O(tail) by splicing the fresh records
+    /// into a tail segment ([`ColumnarLog::with_appended`]) that shares
+    /// the base buffers by `Arc`.  A view behind the watermark is *stale
+    /// by rewrite* and is rebuilt from scratch
+    /// ([`ColumnarLog::build_auto`] — parallel shards for large logs,
+    /// bit-identical to the single-shot encode).
+    ///
+    /// Builds run **outside** the cache lock: the caller holds the log
+    /// read lock, so the log is frozen and two racing builds for the same
+    /// generation produce identical views — whichever installs first wins.
     fn view_for(&self, log: &ExecutionLog, kind: ExecutionKind) -> (Arc<ColumnarLog>, bool) {
-        let key = (log.generation(), kind);
-        if let Some(view) = self
-            .views
-            .read()
-            .expect("view cache lock poisoned")
-            .get(&key)
-        {
-            return (view.clone(), true);
+        let generation = log.generation();
+        let delta_base = {
+            let cache = self.views.read().expect("view cache lock poisoned");
+            match cache.get(&kind) {
+                Some(entry) if entry.generation == generation => {
+                    return (entry.view.clone(), true);
+                }
+                Some(entry) if entry.generation >= log.rewrite_generation(kind) => {
+                    Some(entry.view.clone())
+                }
+                _ => None,
+            }
+        };
+        let (view, reused) = match delta_base {
+            Some(prev) => {
+                // Appends only extend the record list, so the cached view's
+                // rows are exactly the first `num_rows` records of this
+                // kind; everything after is the fresh tail.
+                let fresh: Vec<&ExecutionRecord> =
+                    log.of_kind(kind).skip(prev.num_rows()).collect();
+                if fresh.is_empty() {
+                    // The generation bumps came from the *other* kind's
+                    // appends; the view content is already current.
+                    (prev, true)
+                } else {
+                    let spliced = Arc::new(prev.with_appended(log.catalog(kind), &fresh));
+                    self.stats.delta_refreshes.fetch_add(1, Ordering::Relaxed);
+                    (spliced, false)
+                }
+            }
+            None => {
+                let built = Arc::new(ColumnarLog::build_auto(log, kind));
+                self.stats.full_rebuilds.fetch_add(1, Ordering::Relaxed);
+                (built, false)
+            }
+        };
+        let installed = {
+            let mut cache = self.views.write().expect("view cache lock poisoned");
+            let entry = cache.entry(kind).or_insert_with(|| CachedView {
+                view: view.clone(),
+                generation,
+            });
+            if entry.generation != generation {
+                *entry = CachedView {
+                    view: view.clone(),
+                    generation,
+                };
+            }
+            // A racing query may have installed this generation already;
+            // both views are identical, keep the first.
+            entry.view.clone()
+        };
+        self.maybe_schedule_compaction(kind, generation, &installed);
+        (installed, reused)
+    }
+
+    /// Schedules a background tail fold for `view` when its tail has
+    /// outgrown the [`CompactionPolicy`].  The job runs on the
+    /// process-wide worker pool and re-installs the folded view only if
+    /// the cache entry is still exactly the view it folded — a newer
+    /// generation or a concurrent compaction simply wins.
+    fn maybe_schedule_compaction(
+        &self,
+        kind: ExecutionKind,
+        generation: u64,
+        view: &Arc<ColumnarLog>,
+    ) {
+        if view.tail_rows() < self.compaction.tail_limit {
+            return;
         }
-        let built = Arc::new(ColumnarLog::build_auto(log, kind));
-        let mut cache = self.views.write().expect("view cache lock poisoned");
-        cache.retain(|(generation, _), _| *generation == log.generation());
-        // A racing query may have inserted the same view already; both
-        // encodings are identical, keep the first.
-        let entry = cache.entry(key).or_insert(built);
-        (entry.clone(), false)
+        let slot = kind_slot(kind);
+        if self.stats.compacting[slot].swap(true, Ordering::AcqRel) {
+            return; // one fold in flight per kind
+        }
+        let stats = Arc::clone(&self.stats);
+        let views = Arc::clone(&self.views);
+        let view = Arc::clone(view);
+        crate::pool::shared().execute(move || {
+            let folded = Arc::new(view.compacted());
+            {
+                let mut cache = views.write().expect("view cache lock poisoned");
+                if let Some(entry) = cache.get_mut(&kind) {
+                    if entry.generation == generation && Arc::ptr_eq(&entry.view, &view) {
+                        entry.view = folded;
+                        stats.compactions.fetch_add(1, Ordering::Relaxed);
+                        stats
+                            .last_compaction_unix_ms
+                            .store(unix_ms(), Ordering::Relaxed);
+                    }
+                }
+            }
+            stats.compacting[slot].store(false, Ordering::Release);
+        });
     }
 }
 
@@ -594,6 +984,7 @@ fn answer(
         request.extend_despite,
         preconditions_verified,
         &request.cancel,
+        request.cost_probe.as_ref(),
     )?;
     let narration = request.narrate.then(|| narrate(bound, &explanation));
     // Assessment reuses the training set the clause was grown from (the
@@ -611,6 +1002,7 @@ fn answer(
         quality,
         generation: log.generation(),
         view_reused,
+        related_pairs: training.related_pairs as u64,
     })
 }
 
@@ -836,6 +1228,185 @@ mod tests {
         assert!(service
             .estimate_cost(&QueryRequest::text("NONSENSE"))
             .is_err());
+    }
+
+    /// More records shaped like [`block_size_log`]'s, for appending.
+    fn extra_jobs(start: usize, n: usize) -> Vec<ExecutionRecord> {
+        (start..start + n)
+            .map(|i| {
+                let big_blocks = i % 2 == 0;
+                let big_cluster = i % 3 != 0;
+                let input: f64 = if i % 4 < 2 { 32.0e9 } else { 1.0e9 };
+                let duration = if big_blocks && big_cluster {
+                    600.0
+                } else {
+                    input / (if big_cluster { 150.0 } else { 4.0 } * 2.0e7)
+                };
+                ExecutionRecord::job(format!("job_{i}"))
+                    .with_feature("inputsize", input)
+                    .with_feature("blocksize", if big_blocks { 1024.0 } else { 64.0 })
+                    .with_feature("numinstances", if big_cluster { 150.0 } else { 4.0 })
+                    .with_feature("duration", duration)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn appends_refresh_the_cached_view_by_delta() {
+        let service = XplainService::new(block_size_log(40));
+        let before = service.explain(&request()).unwrap();
+        assert_eq!(service.view_stats().full_rebuilds, 1);
+
+        let outcome = service.append(extra_jobs(40, 10));
+        assert_eq!(outcome.appended, 10);
+        // The cached view survives the append (schema unchanged) ...
+        assert_eq!(service.cached_view_count(), 1);
+
+        let after = service.explain(&request()).unwrap();
+        assert!(after.generation > before.generation);
+        let stats = service.view_stats();
+        assert_eq!(stats.delta_refreshes, 1);
+        assert_eq!(stats.full_rebuilds, 1);
+        assert_eq!(stats.base_rows, 40);
+        assert_eq!(stats.tail_rows, 10);
+
+        // ... and the delta-refreshed answer equals a fresh engine over the
+        // grown log: the tail is provably part of the served view.
+        let fresh = PerfXplain::with_defaults()
+            .explain(&service.snapshot(), &after.query)
+            .unwrap();
+        assert_eq!(after.explanation, fresh);
+        // The next query hits the refreshed view outright.
+        assert!(service.explain(&request()).unwrap().view_reused);
+    }
+
+    #[test]
+    fn appends_with_a_new_feature_fall_back_to_a_full_rebuild() {
+        let service = XplainService::new(block_size_log(40));
+        service.explain(&request()).unwrap();
+        assert_eq!(service.cached_view_count(), 1);
+
+        // A record carrying a feature the job catalog has never seen moves
+        // the schema: the cached job view is stale beyond delta repair.
+        service.append(vec![ExecutionRecord::job("job_oddball")
+            .with_feature("inputsize", 1.0e9)
+            .with_feature("blocksize", 64.0)
+            .with_feature("numinstances", 4.0)
+            .with_feature("duration", 10.0)
+            .with_feature("brand_new_knob", 7.0)]);
+        assert_eq!(service.cached_view_count(), 0);
+
+        let after = service.explain(&request()).unwrap();
+        assert!(!after.view_reused);
+        let stats = service.view_stats();
+        assert_eq!(stats.full_rebuilds, 2);
+        assert_eq!(stats.delta_refreshes, 0);
+        let fresh = PerfXplain::with_defaults()
+            .explain(&service.snapshot(), &after.query)
+            .unwrap();
+        assert_eq!(after.explanation, fresh);
+    }
+
+    #[test]
+    fn compact_views_folds_the_tail_without_changing_answers() {
+        let service = XplainService::new(block_size_log(40));
+        service.explain(&request()).unwrap();
+        service.append(extra_jobs(40, 8));
+        let delta = service.explain(&request()).unwrap();
+        assert_eq!(service.view_stats().tail_rows, 8);
+
+        assert_eq!(service.compact_views(), 1);
+        let stats = service.view_stats();
+        assert_eq!(stats.tail_rows, 0);
+        assert_eq!(stats.base_rows, 48);
+        assert_eq!(stats.compactions, 1);
+        assert!(stats.last_compaction_unix_ms > 0);
+
+        // The folded view serves the same generation and the same answer.
+        let compacted = service.explain(&request()).unwrap();
+        assert!(compacted.view_reused);
+        assert_eq!(compacted.explanation, delta.explanation);
+        assert_eq!(compacted.generation, delta.generation);
+    }
+
+    #[test]
+    fn oversized_tails_are_folded_in_the_background() {
+        let service = XplainService::new(block_size_log(40))
+            .with_compaction_policy(CompactionPolicy { tail_limit: 4 });
+        service.explain(&request()).unwrap();
+        service.append(extra_jobs(40, 8));
+        // This refresh splices an 8-row tail — past the limit, so a
+        // background fold is scheduled on the shared pool.
+        service.explain(&request()).unwrap();
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while service.view_stats().tail_rows > 0 {
+            assert!(
+                std::time::Instant::now() < deadline,
+                "background compaction never landed"
+            );
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        let stats = service.view_stats();
+        assert_eq!(stats.base_rows, 48);
+        assert!(stats.compactions >= 1);
+        // Queries keep working over the folded view.
+        assert!(service.explain(&request()).unwrap().view_reused);
+    }
+
+    #[test]
+    fn queries_report_their_actual_related_pairs_through_the_probe() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let service = XplainService::new(block_size_log(40));
+        let observed = Arc::new(AtomicU64::new(u64::MAX));
+        let probe_target = Arc::clone(&observed);
+        let outcome = service
+            .explain(&request().with_cost_probe(CostProbe::new(move |pairs| {
+                probe_target.store(pairs, Ordering::SeqCst);
+            })))
+            .unwrap();
+        let fired = observed.load(Ordering::SeqCst);
+        assert_ne!(fired, u64::MAX, "probe must fire");
+        assert_eq!(fired, outcome.related_pairs);
+        // The actual related-pair count is far below the candidate-space
+        // upper bound charged at admission.
+        let estimate = service.estimate_cost(&request()).unwrap();
+        assert!(outcome.related_pairs <= estimate.scanned_pairs);
+        assert!(outcome.related_pairs > 0);
+    }
+
+    #[test]
+    fn checkpoints_persist_the_live_tail_incrementally() {
+        let dir = std::env::temp_dir().join(format!("pxsvc_ckpt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let service = XplainService::new(block_size_log(40));
+        let full = service.persist(&dir).unwrap();
+        assert!(full.shards_encoded >= 1);
+        let base_shards = full.manifest.shards.len();
+
+        // Appends since the persist → the checkpoint writes one tail shard
+        // and keeps every base shard verbatim.
+        service.append(extra_jobs(40, 6));
+        let incremental = service.checkpoint(&dir).unwrap();
+        assert_eq!(incremental.shards_encoded, 1);
+        assert_eq!(incremental.shards_reused, base_shards);
+        assert_eq!(incremental.rows, 46);
+
+        // The checkpointed store reopens to the served log, bit for bit.
+        let reopened = XplainService::open_snapshot(&dir).unwrap();
+        assert_eq!(reopened.snapshot(), service.snapshot());
+
+        // A second checkpoint with nothing appended keeps everything.
+        let idle = service.checkpoint(&dir).unwrap();
+        assert_eq!(idle.shards_encoded, 0);
+        assert_eq!(idle.shards_reused, base_shards + 1);
+
+        // An arbitrary mutation invalidates the lineage: the next
+        // checkpoint falls back to a full persist.
+        service.with_log_mut(|log| log.rebuild_catalogs());
+        let rewritten = service.checkpoint(&dir).unwrap();
+        assert_eq!(rewritten.shards_reused, 0);
+        assert!(rewritten.shards_encoded >= 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1637,6 +1637,14 @@ pub enum ShardInput {
     /// The shard's source changed (or is new): these are its freshly
     /// parsed records.
     Fresh(RecordShard),
+    /// Keep the shard at this position exactly as the manifest records it,
+    /// with no source-fingerprint bookkeeping — unlike
+    /// [`ShardInput::Unchanged`], this works for shards persisted without a
+    /// source fingerprint (e.g. by [`persist`]).  The segment's *content*
+    /// fingerprint is still verified.  This is the checkpoint path: a
+    /// serving process appending a tail shard ([`sync_append`]) keeps every
+    /// existing shard by position without knowing how it was ingested.
+    Keep,
 }
 
 /// Incrementally re-ingests into an existing snapshot: shards marked
@@ -1664,17 +1672,29 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
 
     // Validate every reuse claim against the manifest before doing work.
     for (i, input) in inputs.iter().enumerate() {
-        if let ShardInput::Unchanged { source_fingerprint } = input {
-            let recorded = old.shards.get(i).and_then(|e| e.source_fingerprint);
-            if recorded != Some(*source_fingerprint) {
+        match input {
+            ShardInput::Unchanged { source_fingerprint } => {
+                let recorded = old.shards.get(i).and_then(|e| e.source_fingerprint);
+                if recorded != Some(*source_fingerprint) {
+                    return Err(CoreError::SnapshotCorrupt {
+                        path: manifest_path.clone(),
+                        message: format!(
+                            "shard {i} cannot be reused: manifest records source fingerprint \
+                             {recorded:?}, caller observed {source_fingerprint:016x}"
+                        ),
+                    });
+                }
+            }
+            ShardInput::Keep if old.shards.get(i).is_none() => {
                 return Err(CoreError::SnapshotCorrupt {
                     path: manifest_path.clone(),
                     message: format!(
-                        "shard {i} cannot be reused: manifest records source fingerprint \
-                         {recorded:?}, caller observed {source_fingerprint:016x}"
+                        "shard {i} cannot be kept: the manifest records only {} shards",
+                        old.shards.len()
                     ),
                 });
             }
+            _ => {}
         }
     }
 
@@ -1688,7 +1708,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                 .iter()
                 .map(|input| match input {
                     ShardInput::Fresh(shard) => infer_catalogs(&shard.records),
-                    ShardInput::Unchanged { .. } => Default::default(),
+                    ShardInput::Unchanged { .. } | ShardInput::Keep => Default::default(),
                 })
                 .collect::<Vec<_>>()
         },
@@ -1702,7 +1722,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
     for (i, input) in inputs.iter().enumerate() {
         let (job, task) = match input {
             ShardInput::Fresh(_) => local_catalogs[i].clone(),
-            ShardInput::Unchanged { .. } => {
+            ShardInput::Unchanged { .. } | ShardInput::Keep => {
                 let entry = &old.shards[i];
                 (entry.job_catalog.clone(), entry.task_catalog.clone())
             }
@@ -1725,7 +1745,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                 chunk
                     .iter()
                     .map(|(i, input)| match input {
-                        ShardInput::Unchanged { .. } => {
+                        ShardInput::Unchanged { .. } | ShardInput::Keep => {
                             load_shard(dir, &old.shards[*i], job_old, task_old, &retries)
                                 .map(|shard| Some(shard.records))
                         }
@@ -1747,7 +1767,7 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
         let unchanged: Vec<usize> = inputs
             .iter()
             .enumerate()
-            .filter(|(_, input)| matches!(input, ShardInput::Unchanged { .. }))
+            .filter(|(_, input)| matches!(input, ShardInput::Unchanged { .. } | ShardInput::Keep))
             .map(|(i, _)| i)
             .collect();
         let verified: Result<Vec<()>> = crate::shard::map_chunks(
@@ -1796,11 +1816,11 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                 index: i,
                 records: &shard.records,
             }),
-            ShardInput::Unchanged { .. } if catalog_changed => jobs.push(Job {
+            ShardInput::Unchanged { .. } | ShardInput::Keep if catalog_changed => jobs.push(Job {
                 index: i,
                 records: reloaded[i].as_deref().expect("reloaded above"),
             }),
-            ShardInput::Unchanged { .. } => {}
+            ShardInput::Unchanged { .. } | ShardInput::Keep => {}
         }
     }
     let encoded: Vec<(usize, (Vec<u8>, ShardSizes))> = crate::shard::map_chunks(
@@ -1848,17 +1868,26 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
                     task_catalog: task_local,
                 }
             }
+            (ShardInput::Keep, None) => {
+                shards_reused += 1;
+                let old_entry = &old.shards[i];
+                let mut entry = old_entry.clone();
+                entry.job_catalog = job_local;
+                entry.task_catalog = task_local;
+                entry
+            }
             (input, Some((bytes, sizes))) => {
                 shards_encoded += 1;
                 let rows = match input {
                     ShardInput::Fresh(shard) => shard.records.len(),
-                    ShardInput::Unchanged { .. } => {
+                    ShardInput::Unchanged { .. } | ShardInput::Keep => {
                         reloaded[i].as_ref().expect("reloaded above").len()
                     }
                 };
                 let source_fingerprint = match input {
                     ShardInput::Fresh(shard) => shard.source_fingerprint,
                     ShardInput::Unchanged { source_fingerprint } => Some(*source_fingerprint),
+                    ShardInput::Keep => old.shards[i].source_fingerprint,
                 };
                 let fingerprint = fingerprint_bytes(&bytes);
                 let file = segment_file_name(i, fingerprint);
@@ -1902,6 +1931,31 @@ pub fn sync(dir: &Path, inputs: Vec<ShardInput>) -> Result<SyncReport> {
         io_retries: retries.load(Ordering::Relaxed),
         manifest,
     })
+}
+
+/// Persists `tail` — the records appended since the snapshot in `dir` was
+/// last written — as **one additional incremental shard**, keeping every
+/// existing shard verbatim ([`ShardInput::Keep`]).  This is the live-tail
+/// checkpoint: a serving process that has only appended since its last
+/// [`persist`] encodes O(tail) records instead of re-encoding the world.
+/// When the tail introduces features the stored catalog has never seen the
+/// schema moved, and [`sync`] transparently re-encodes every segment from
+/// its on-disk records — slower, still correct, still no source re-parse.
+///
+/// An empty tail degenerates to a keep-everything sync: the stored
+/// segments are fingerprint-verified and the manifest rewritten, nothing
+/// re-encoded.
+pub fn sync_append(dir: &Path, tail: Vec<ExecutionRecord>) -> Result<SyncReport> {
+    let retries = AtomicU64::new(0);
+    let old = SnapshotManifest::load_with_retries(dir, &retries)?;
+    let mut inputs: Vec<ShardInput> = (0..old.shards.len()).map(|_| ShardInput::Keep).collect();
+    if !tail.is_empty() {
+        inputs.push(ShardInput::Fresh(RecordShard {
+            records: tail,
+            source_fingerprint: None,
+        }));
+    }
+    sync(dir, inputs)
 }
 
 #[cfg(test)]
@@ -2051,6 +2105,68 @@ mod tests {
             snapshot.view(ExecutionKind::Job),
             ColumnarLog::build(&expected, ExecutionKind::Job)
         );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_append_keeps_base_shards_and_adds_a_tail() {
+        let dir = test_dir("sync_append");
+        let log = sample_log();
+        // `persist` records no source fingerprints — exactly the situation
+        // `ShardInput::Keep` exists for.
+        persist(&log, &dir, 3).unwrap();
+        let base_shards = SnapshotManifest::load(&dir).unwrap().shards.len();
+
+        // A tail whose features the stored catalog already knows: every
+        // base shard is kept verbatim, only the tail is encoded.
+        let tail = vec![
+            ExecutionRecord::job("job_tail")
+                .with_feature("inputsize", 5.0e9)
+                .with_feature("pigscript", "script_0.pig")
+                .with_feature("duration", 111.0),
+            ExecutionRecord::task("task_tail", "job_tail")
+                .with_feature("tasktype", "MAP")
+                .with_feature("duration", 11.0),
+        ];
+        let before = SnapshotManifest::load(&dir).unwrap();
+        let report = sync_append(&dir, tail.clone()).unwrap();
+        assert_eq!(report.shards_encoded, 1);
+        assert_eq!(report.shards_reused, base_shards);
+        assert!(!report.catalog_changed);
+        assert_eq!(report.rows, log.len() + tail.len());
+        for (old_entry, new_entry) in before.shards.iter().zip(&report.manifest.shards) {
+            assert_eq!(old_entry.fingerprint, new_entry.fingerprint);
+        }
+
+        // The appended store equals a from-scratch ingest.
+        let mut expected = log.clone();
+        for record in &tail {
+            expected.push(record.clone());
+        }
+        expected.rebuild_catalogs();
+        assert_eq!(open(&dir).unwrap().to_log(), expected);
+
+        // An empty tail is a keep-everything no-op sync.
+        let idle = sync_append(&dir, Vec::new()).unwrap();
+        assert_eq!(idle.shards_encoded, 0);
+        assert_eq!(idle.shards_reused, base_shards + 1);
+
+        // A tail that moves the schema re-encodes every segment from its
+        // on-disk records — slower, still correct.
+        let oddball = vec![ExecutionRecord::job("job_new_schema")
+            .with_feature("inputsize", 1.0e9)
+            .with_feature("pigscript", "script_9.pig")
+            .with_feature("brand_new_knob", 3.0)
+            .with_feature("duration", 5.0)];
+        let report = sync_append(&dir, oddball.clone()).unwrap();
+        assert!(report.catalog_changed);
+        assert_eq!(report.shards_reused, 0);
+        assert_eq!(report.shards_encoded, base_shards + 2);
+        for record in &oddball {
+            expected.push(record.clone());
+        }
+        expected.rebuild_catalogs();
+        assert_eq!(open(&dir).unwrap().to_log(), expected);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

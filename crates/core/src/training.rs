@@ -492,6 +492,10 @@ pub struct EncodedTraining<'a> {
     pub pairs: Vec<(usize, usize)>,
     /// `true` for pairs that performed as observed.
     pub labels: Vec<bool>,
+    /// Total related pairs found by the enumeration, before sampling — the
+    /// actual (not estimated) candidate workload, used to refine admission
+    /// costs after the fact.
+    pub related_pairs: usize,
 }
 
 impl<'a> EncodedTraining<'a> {
@@ -535,13 +539,12 @@ impl<'a> EncodedTraining<'a> {
     /// narration boundary representation).
     pub fn materialise(&self, sim_threshold: f64) -> TrainingSet {
         let catalog = self.log.catalog(self.view.kind());
-        let records = self.view.records();
         let mut set = TrainingSet::default();
         for (&(left, right), &label) in self.pairs.iter().zip(&self.labels) {
             set.examples.push(PairExample::build(
                 catalog,
-                &records[left],
-                &records[right],
+                self.view.record(left),
+                self.view.record(right),
                 sim_threshold,
             ));
             set.labels.push(label);
@@ -586,6 +589,7 @@ pub fn prepare_encoded_training_cancellable<'a>(
     cancel: &CancelToken,
 ) -> Result<EncodedTraining<'a>> {
     let related = collect_related_pairs_cancellable(&view, query, log, config, cancel)?;
+    let related_pairs = related.len();
     let selected = sample_related(&related, config)?;
     let mut pairs = Vec::with_capacity(selected.len());
     let mut labels = Vec::with_capacity(selected.len());
@@ -606,6 +610,7 @@ pub fn prepare_encoded_training_cancellable<'a>(
         view,
         pairs,
         labels,
+        related_pairs,
     })
 }
 

@@ -93,6 +93,18 @@ pub struct MergedStore {
     pub remaps: Vec<Vec<Vec<u32>>>,
 }
 
+/// The result of splicing a tail segment onto a base store: the combined
+/// store plus the tail's per-column dictionary remap tables
+/// (`remaps[column][local_id]` = global id) so callers can remap side data
+/// keyed by the tail's local ids.
+#[derive(Debug, Clone)]
+pub struct SplicedStore {
+    /// The combined store (base rows first, then the remapped tail rows).
+    pub store: ColumnStore,
+    /// `remaps[column][local_id]` = global dictionary id.
+    pub remaps: Vec<Vec<u32>>,
+}
+
 impl ColumnStore {
     /// Builds a store from per-attribute columns.
     ///
@@ -274,6 +286,110 @@ impl ColumnStore {
             store: ColumnStore::from_columns(attributes, columns),
             remaps,
         }
+    }
+
+    /// Splices a freshly encoded tail segment onto this store's dictionary
+    /// space: the result carries this store's dictionaries **extended in
+    /// place** with the tail's values (first-occurrence order preserved, so
+    /// existing ids never move) and the tail's cells remapped onto those
+    /// extended dictionaries.  This is the delta-maintenance primitive: the
+    /// base store's columns and ids stay valid untouched, and only the
+    /// O(tail) cells plus the O(new values) dictionary entries are produced.
+    ///
+    /// The spliced store's rows are this store's rows followed by the
+    /// tail's rows; because the tail's local dictionaries intern in
+    /// first-occurrence order and are appended after every base value, the
+    /// result is bit-identical to encoding all rows in one pass.
+    ///
+    /// # Panics
+    /// Panics when the tail's schema (attribute names and kinds, in order)
+    /// differs from this store's.
+    pub fn splice_tail(&self, tail: &ColumnStore) -> SplicedStore {
+        assert_eq!(
+            tail.num_columns(),
+            self.num_columns(),
+            "tail schema width mismatch"
+        );
+        for (base, this) in self.attributes.iter().zip(&tail.attributes) {
+            assert_eq!(base.name, this.name, "tail attribute name mismatch");
+            assert_eq!(
+                base.kind, this.kind,
+                "tail attribute kind mismatch on {}",
+                base.name
+            );
+        }
+        let mut attributes = self.attributes.clone();
+        let mut remaps: Vec<Vec<u32>> = Vec::with_capacity(self.num_columns());
+        for (col, attribute) in tail.attributes.iter().enumerate() {
+            let global = &mut attributes[col].dictionary;
+            remaps.push(
+                attribute
+                    .dictionary
+                    .iter()
+                    .map(|(_, value)| global.intern(value))
+                    .collect(),
+            );
+        }
+        let columns: Vec<Vec<AttrValue>> = (0..self.num_columns())
+            .map(|col| {
+                let remap = &remaps[col];
+                let mut cells = Vec::with_capacity(self.rows + tail.rows);
+                cells.extend_from_slice(&self.columns[col]);
+                cells.extend(tail.columns[col].iter().map(|cell| match cell {
+                    AttrValue::Nom(id) => AttrValue::Nom(remap[*id as usize]),
+                    other => *other,
+                }));
+                cells
+            })
+            .collect();
+        SplicedStore {
+            store: ColumnStore::from_columns(attributes, columns),
+            remaps,
+        }
+    }
+
+    /// Concatenates two stores whose cells are already encoded against one
+    /// shared dictionary space: `front`'s dictionaries must be a prefix of
+    /// `back`'s (the invariant [`ColumnStore::splice_tail`] maintains), and
+    /// the result adopts `back`'s attributes — the full dictionaries —
+    /// with the cell streams concatenated verbatim.  This is the tail
+    /// compaction step: fold an oversized tail into the base without
+    /// re-interning a single value.
+    ///
+    /// # Panics
+    /// Panics when the schemas disagree or `front`'s dictionaries are not a
+    /// prefix of `back`'s.
+    pub fn concat_encoded(front: &ColumnStore, back: &ColumnStore) -> ColumnStore {
+        assert_eq!(
+            front.num_columns(),
+            back.num_columns(),
+            "concat schema width mismatch"
+        );
+        for (a, b) in front.attributes.iter().zip(&back.attributes) {
+            assert_eq!(a.name, b.name, "concat attribute name mismatch");
+            assert_eq!(
+                a.kind, b.kind,
+                "concat attribute kind mismatch on {}",
+                a.name
+            );
+            assert!(
+                a.dictionary.len() <= b.dictionary.len()
+                    && a.dictionary
+                        .iter()
+                        .all(|(id, value)| b.dictionary.resolve(id) == Some(value)),
+                "front dictionary is not a prefix of back's on {}",
+                a.name
+            );
+        }
+        let columns: Vec<Vec<AttrValue>> = (0..front.num_columns())
+            .map(|col| {
+                let mut cells = Vec::with_capacity(front.rows + back.rows);
+                cells.extend_from_slice(&front.columns[col]);
+                cells.extend_from_slice(&back.columns[col]);
+                cells
+            })
+            .collect();
+        ColumnStore::from_columns(back.attributes.clone(), columns)
     }
 
     /// Appends the store's binary encoding (the compressed v2 column
@@ -627,6 +743,64 @@ mod tests {
         let store = store();
         let merged = ColumnStore::merge_segments(vec![store.clone()]);
         assert_eq!(merged.store, store);
+    }
+
+    #[test]
+    fn splice_tail_extends_dictionaries_in_place() {
+        // Base interns "b", "a"; the tail's local dictionary ("a", "c")
+        // must remap onto {b:0, a:1, c:2} without moving base ids.
+        let base = nominal_segment(&["b", "a", "b"]);
+        let tail = nominal_segment(&["a", "c", "a"]);
+        let spliced = base.splice_tail(&tail);
+        let single = nominal_segment(&["b", "a", "b", "a", "c", "a"]);
+        assert_eq!(spliced.store, single);
+        assert_eq!(spliced.remaps[0], vec![1, 2]);
+        // Base ids are untouched: "b" is still 0, "a" still 1.
+        let dictionary = &spliced.store.attribute(0).dictionary;
+        assert_eq!(dictionary.resolve(0), Some("b"));
+        assert_eq!(dictionary.resolve(1), Some("a"));
+        assert_eq!(dictionary.resolve(2), Some("c"));
+    }
+
+    #[test]
+    fn splice_tail_onto_an_empty_base_adopts_the_tail() {
+        let empty = {
+            let attribute = Attribute::nominal("script");
+            ColumnStore::from_columns(vec![attribute], vec![vec![]])
+        };
+        let tail = nominal_segment(&["x", "y", "x"]);
+        let spliced = empty.splice_tail(&tail);
+        assert_eq!(spliced.store, tail);
+        assert_eq!(spliced.remaps[0], vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "tail attribute name mismatch")]
+    fn splice_tail_rejects_mismatched_schemas() {
+        let base = ColumnStore::from_columns(vec![Attribute::numeric("a")], vec![vec![]]);
+        let tail = ColumnStore::from_columns(vec![Attribute::numeric("b")], vec![vec![]]);
+        base.splice_tail(&tail);
+    }
+
+    #[test]
+    fn concat_encoded_folds_a_spliced_tail_into_the_base() {
+        let base = nominal_segment(&["b", "a"]);
+        let tail = {
+            // Encode the tail against the base's dictionary space via
+            // splice onto an empty store carrying the base dictionaries.
+            let empty = ColumnStore::from_columns(base.attributes().to_vec(), vec![vec![]]);
+            empty.splice_tail(&nominal_segment(&["a", "c"])).store
+        };
+        let folded = ColumnStore::concat_encoded(&base, &tail);
+        assert_eq!(folded, nominal_segment(&["b", "a", "a", "c"]));
+    }
+
+    #[test]
+    #[should_panic(expected = "not a prefix")]
+    fn concat_encoded_rejects_diverged_dictionaries() {
+        let front = nominal_segment(&["a", "b"]);
+        let back = nominal_segment(&["b", "a"]);
+        ColumnStore::concat_encoded(&front, &back);
     }
 
     #[test]

@@ -69,6 +69,88 @@ impl Client {
         self.send(request)?;
         self.recv()
     }
+
+    /// Appends a batch of execution records to the served log (the
+    /// `"append"` target) and waits for the acknowledgement, which carries
+    /// the log's new generation and the number of records accepted.
+    pub fn append(
+        &mut self,
+        records: &[perfxplain_core::ExecutionRecord],
+    ) -> std::io::Result<WireResponse> {
+        let records = serde_json::to_string(records)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        self.call(&WireRequest {
+            target: Some("append".to_string()),
+            records: Some(records),
+            ..WireRequest::default()
+        })
+    }
+
+    /// [`Client::append`] for batches of any size: splits `records` into as
+    /// many `append` requests as needed to keep every frame under
+    /// `max_frame_bytes` (the server's line cap —
+    /// [`ServerConfig::max_frame_bytes`](crate::ServerConfig), 1 MiB by
+    /// default), sized by each record's actual serialized length.  Returns
+    /// `(total records acknowledged, final generation)`; a rejected batch
+    /// surfaces the server's typed error as [`std::io::Error`].  A single
+    /// record too large for one frame is sent anyway, so the server's own
+    /// limit stays authoritative.
+    pub fn append_batched(
+        &mut self,
+        records: &[perfxplain_core::ExecutionRecord],
+        max_frame_bytes: usize,
+    ) -> std::io::Result<(u64, u64)> {
+        // Budget for the record array inside one frame: the line cap minus
+        // generous headroom for the request envelope and JSON-string
+        // escaping of the embedded array.
+        let budget = max_frame_bytes.saturating_sub(1024) / 2;
+        let mut appended = 0u64;
+        let mut generation = 0u64;
+        let mut batch_start = 0;
+        let mut batch_bytes = 2; // "[]"
+        for (i, record) in records.iter().enumerate() {
+            let bytes = serde_json::to_string(record)
+                .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?
+                .len()
+                + 1; // the separating comma
+            if i > batch_start && batch_bytes + bytes > budget {
+                let (count, gen) = self.append_checked(&records[batch_start..i])?;
+                appended += count;
+                generation = gen;
+                batch_start = i;
+                batch_bytes = 2;
+            }
+            batch_bytes += bytes;
+        }
+        if batch_start < records.len() {
+            let (count, gen) = self.append_checked(&records[batch_start..])?;
+            appended += count;
+            generation = gen;
+        }
+        Ok((appended, generation))
+    }
+
+    /// One `append` call with a non-ok response turned into an error.
+    fn append_checked(
+        &mut self,
+        records: &[perfxplain_core::ExecutionRecord],
+    ) -> std::io::Result<(u64, u64)> {
+        let response = self.append(records)?;
+        if !response.is_ok() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!(
+                    "server rejected the append: {} ({})",
+                    response.message.as_deref().unwrap_or("no message"),
+                    response.error.as_deref().unwrap_or("unknown error"),
+                ),
+            ));
+        }
+        Ok((
+            response.appended.unwrap_or(0),
+            response.generation.unwrap_or(0),
+        ))
+    }
 }
 
 /// Aggregate outcome of a [`run_load`] drive.

@@ -42,15 +42,31 @@
 //!
 //! Success response (`status: "ok"`, code 200): `because` / `despite` as
 //! rendered atom strings, optional `narration`, optional `precision` /
-//! `generality` / `relevance`, plus `generation`, `view_reused` and the
-//! admission `cost_units` the request was charged.
+//! `generality` / `relevance`, plus `generation`, `view_reused`,
+//! `related_pairs` (the measured training work) and `cost_units` — the
+//! admission charge *refined* down to the measured work: queries are
+//! admitted on the candidate-space upper bound, then refund the
+//! estimate/actual difference to the budget mid-flight once the view is
+//! built ([`ChargeHandle`](scheduler::ChargeHandle)).
+//!
+//! A request with `"target": "append"` carries a `records` field — a JSON
+//! array of execution records, encoded as a string — and appends them to
+//! the served log without restarting it.  The event loop answers inline
+//! with the log's new `generation` and the `appended` count; cached
+//! columnar views are *delta-maintained*
+//! ([`XplainService::append`](perfxplain_core::XplainService::append)), so
+//! the next query pays an O(tail) view refresh rather than a full
+//! re-encode.  [`Client::append`] wraps the encoding.
 //!
 //! A request with `"target": "status"` (and no `query`) is a **status
 //! probe**: the event loop answers it immediately — no admission charge,
 //! no worker — so it keeps working while the query path is saturated.
 //! The response carries `uptime_ms`, the served log `generation`, the
 //! `admitted` / `shed` / `expired` / `cancelled` counters, the current
-//! `queue_depth`, and `budget_in_use` / `budget_total` in cost units.
+//! `queue_depth`, `budget_in_use` / `budget_total` in cost units, the
+//! cumulative `refunded_units`, and the live-view delta stats
+//! (`base_rows` / `tail_rows` / `delta_refreshes` / `full_rebuilds` /
+//! `compactions` / `last_compaction_unix_ms`).
 //!
 //! Error responses (`status: "error"`) carry an HTTP-style `code`, a
 //! machine-readable `error` kind and a human-readable `message`:
@@ -111,5 +127,5 @@ pub mod server;
 pub use client::{default_request, run_load, Client, LoadReport};
 pub use cost::QueryCost;
 pub use protocol::{WireRequest, WireResponse};
-pub use scheduler::{Rejection, Scheduler, SchedulerConfig, SchedulerStats};
+pub use scheduler::{ChargeHandle, Rejection, Scheduler, SchedulerConfig, SchedulerStats};
 pub use server::{spawn, ServerConfig, ServerHandle, ServerStats, StatsSnapshot};

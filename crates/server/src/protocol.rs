@@ -20,7 +20,10 @@ pub struct WireRequest {
     pub id: Option<u64>,
     /// What the request addresses.  Absent (the default) means a PXQL
     /// query; `"status"` asks for the server's health/counter probe and is
-    /// answered immediately by the event loop (no admission, no worker).
+    /// answered immediately by the event loop (no admission, no worker);
+    /// `"append"` ingests [`WireRequest::records`] into the served log —
+    /// also answered inline by the event loop, since an append is O(batch)
+    /// and the expensive view refresh happens lazily on the delta path.
     pub target: Option<String>,
     /// The PXQL query text (`DESPITE … OBSERVED … EXPECTED …`).
     pub query: Option<String>,
@@ -40,6 +43,10 @@ pub struct WireRequest {
     pub assess: Option<bool>,
     /// Per-request deadline in milliseconds (overrides the server default).
     pub timeout_ms: Option<u64>,
+    /// For `target = "append"`: a JSON array of execution records (the
+    /// [`ExecutionLog`](perfxplain_core::ExecutionLog) record format),
+    /// carried as a string so the outer frame stays a flat object.
+    pub records: Option<String>,
 }
 
 /// One server response: either an explanation (`status = "ok"`) or a typed
@@ -72,8 +79,15 @@ pub struct WireResponse {
     pub generation: Option<u64>,
     /// Whether the columnar view came from the service cache.
     pub view_reused: Option<bool>,
-    /// Admission-control cost charged for this request.
+    /// Admission-control cost ultimately charged for this request — the
+    /// *refined* (post-enumeration) cost when it came in below the
+    /// admission-time estimate.
     pub cost_units: Option<u64>,
+    /// Related pairs the explanation actually trained on (the measured
+    /// cost behind the refinement).
+    pub related_pairs: Option<u64>,
+    /// Records ingested (append responses only).
+    pub appended: Option<u64>,
     /// Milliseconds since the event loop started (status probe only).
     pub uptime_ms: Option<u64>,
     /// Requests admitted by the scheduler so far (status probe only).
@@ -91,6 +105,23 @@ pub struct WireResponse {
     pub budget_in_use: Option<u64>,
     /// The configured concurrent-cost budget (status probe only).
     pub budget_total: Option<u64>,
+    /// Cost units refunded mid-flight by estimate/actual refinement
+    /// (status probe only).
+    pub refunded_units: Option<u64>,
+    /// Rows in the cached views' immutable base segments (status probe
+    /// only).
+    pub base_rows: Option<u64>,
+    /// Rows in the cached views' append tails (status probe only).
+    pub tail_rows: Option<u64>,
+    /// Views refreshed by tail splice, O(tail) each (status probe only).
+    pub delta_refreshes: Option<u64>,
+    /// Views rebuilt from scratch, O(log) each (status probe only).
+    pub full_rebuilds: Option<u64>,
+    /// Tail segments folded into their base (status probe only).
+    pub compactions: Option<u64>,
+    /// Unix timestamp (ms) of the last compaction; 0 if none (status probe
+    /// only).
+    pub last_compaction_unix_ms: Option<u64>,
 }
 
 /// The admission queue is full: retry later (load shedding).
@@ -136,6 +167,7 @@ impl WireResponse {
             generation: Some(outcome.generation),
             view_reused: Some(outcome.view_reused),
             cost_units: Some(cost_units),
+            related_pairs: Some(outcome.related_pairs),
             ..WireResponse::default()
         }
     }
@@ -235,12 +267,14 @@ mod tests {
             narrate: Some(true),
             assess: Some(true),
             timeout_ms: Some(250),
+            records: Some("[]".to_string()),
         };
         let echoed: WireRequest =
             decode_request(serde_json::to_string(&full).unwrap().as_bytes()).unwrap();
         assert_eq!(echoed.id, Some(7));
         assert_eq!(echoed.timeout_ms, Some(250));
         assert_eq!(echoed.auto_despite, Some(true));
+        assert_eq!(echoed.records.as_deref(), Some("[]"));
     }
 
     #[test]

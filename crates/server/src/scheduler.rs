@@ -28,6 +28,7 @@ use crate::cost::QueryCost;
 use perfxplain_core::pool::WorkerPool;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -85,14 +86,76 @@ pub enum Rejection {
     },
 }
 
-type Job = Box<dyn FnOnce() + Send + 'static>;
+/// An admitted job.  It receives a [`ChargeHandle`] so it can *refine* its
+/// own admission charge mid-flight once the actual work is measured.
+type Job = Box<dyn FnOnce(ChargeHandle) + Send + 'static>;
+type ExpireJob = Box<dyn FnOnce() + Send + 'static>;
+
+/// A running job's live admission charge.
+///
+/// Admission charges the *estimate* — a conservative upper bound from the
+/// compiled plan.  Once the job has enumerated its actual work (e.g. the
+/// real related-pair count), it can [`refund_to`](ChargeHandle::refund_to)
+/// the lower measured cost: the difference returns to the budget
+/// immediately and queued requests the freed budget now covers dispatch
+/// without waiting for this job to finish.  The charge can only go down —
+/// raising it could retroactively overdraw the budget.  Whatever charge is
+/// held when the job returns is released by the completion wrapper.
+pub struct ChargeHandle {
+    scheduler: Arc<Scheduler>,
+    /// Units currently held, shared with the completion wrapper so a
+    /// refund is never double-released.
+    charge: Arc<AtomicU64>,
+}
+
+impl ChargeHandle {
+    /// The units this job currently holds against the budget.
+    pub fn held(&self) -> QueryCost {
+        QueryCost(self.charge.load(Ordering::SeqCst))
+    }
+
+    /// Lowers the held charge to `refined` (no-op unless it is lower),
+    /// returning the freed budget to the scheduler and dispatching queued
+    /// work it now covers.  Returns the units refunded.
+    ///
+    /// Only the job's own thread calls this, so the load–store pair on the
+    /// charge cell is race-free; the per-session in-flight *count* is
+    /// untouched (it counts jobs, not cost).
+    pub fn refund_to(&self, refined: QueryCost) -> u64 {
+        let current = self.charge.load(Ordering::SeqCst);
+        if refined.0 >= current {
+            return 0;
+        }
+        let delta = current - refined.0;
+        self.charge.store(refined.0, Ordering::SeqCst);
+        let (dispatch, expired) = {
+            let mut state = self
+                .scheduler
+                .state
+                .lock()
+                .expect("scheduler lock poisoned");
+            state.inflight -= QueryCost(delta);
+            self.scheduler.drain_locked(&mut state)
+        };
+        self.scheduler.run_drained(dispatch, expired);
+        delta
+    }
+}
+
+impl std::fmt::Debug for ChargeHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChargeHandle")
+            .field("held", &self.held())
+            .finish()
+    }
+}
 
 struct QueuedEntry {
     session: u64,
     cost: QueryCost,
     deadline: Option<Instant>,
     run: Job,
-    on_expire: Job,
+    on_expire: ExpireJob,
 }
 
 #[derive(Default)]
@@ -201,7 +264,7 @@ impl Scheduler {
         session: u64,
         cost: QueryCost,
         deadline: Option<Instant>,
-        run: impl FnOnce() + Send + 'static,
+        run: impl FnOnce(ChargeHandle) + Send + 'static,
         on_expire: impl FnOnce() + Send + 'static,
     ) -> Result<(), Rejection> {
         if cost > self.config.budget {
@@ -211,7 +274,7 @@ impl Scheduler {
             });
         }
         let run: Job = Box::new(run);
-        let on_expire: Job = Box::new(on_expire);
+        let on_expire: ExpireJob = Box::new(on_expire);
         let (dispatch_now, drained) = {
             let mut state = self.state.lock().expect("scheduler lock poisoned");
             let pending = state.pending(session);
@@ -265,14 +328,23 @@ impl Scheduler {
         Ok(())
     }
 
-    /// Wraps a job so completion releases its cost and drains the queue,
-    /// then hands it to the pool.  The release runs even if the job panics
-    /// — a panicking query must not leak budget.
+    /// Wraps a job so completion releases its *remaining* charge and drains
+    /// the queue, then hands it to the pool.  The charge starts at the
+    /// admitted cost and may be lowered mid-flight through the job's
+    /// [`ChargeHandle`]; whatever is left in the shared cell when the job
+    /// returns is released here, so a refund is never double-counted.  The
+    /// release runs even if the job panics — a panicking query must not
+    /// leak budget.
     fn spawn(self: &Arc<Self>, session: u64, cost: QueryCost, run: Job) {
         let scheduler = Arc::clone(self);
         self.pool.execute(move || {
-            let _ = catch_unwind(AssertUnwindSafe(run));
-            scheduler.complete(session, cost);
+            let charge = Arc::new(AtomicU64::new(cost.0));
+            let handle = ChargeHandle {
+                scheduler: Arc::clone(&scheduler),
+                charge: Arc::clone(&charge),
+            };
+            let _ = catch_unwind(AssertUnwindSafe(move || run(handle)));
+            scheduler.complete(session, QueryCost(charge.load(Ordering::SeqCst)));
         });
     }
 
@@ -317,7 +389,7 @@ impl Scheduler {
     /// remaining budget stops the scan (strict FIFO — cheap latecomers
     /// must not starve an expensive queue head); an entry blocked only by
     /// its session's in-flight cap is skipped.
-    fn drain_locked(&self, state: &mut State) -> (Vec<(u64, QueryCost, Job)>, Vec<Job>) {
+    fn drain_locked(&self, state: &mut State) -> (Vec<(u64, QueryCost, Job)>, Vec<ExpireJob>) {
         let now = Instant::now();
         let mut dispatch = Vec::new();
         let mut expired = Vec::new();
@@ -347,7 +419,11 @@ impl Scheduler {
     }
 
     /// Runs the results of a drain outside the lock.
-    fn run_drained(self: &Arc<Self>, dispatch: Vec<(u64, QueryCost, Job)>, expired: Vec<Job>) {
+    fn run_drained(
+        self: &Arc<Self>,
+        dispatch: Vec<(u64, QueryCost, Job)>,
+        expired: Vec<ExpireJob>,
+    ) {
         for on_expire in expired {
             let _ = catch_unwind(AssertUnwindSafe(on_expire));
         }
@@ -392,7 +468,7 @@ mod tests {
                 session,
                 QueryCost(cost),
                 None,
-                move || {
+                move |_| {
                     let _ = started_tx.send(());
                     let _ = release_rx.recv();
                 },
@@ -431,7 +507,7 @@ mod tests {
             ..SchedulerConfig::default()
         });
         let err = sched
-            .submit(1, QueryCost(11), None, || {}, || {})
+            .submit(1, QueryCost(11), None, |_| {}, || {})
             .unwrap_err();
         assert_eq!(
             err,
@@ -455,11 +531,11 @@ mod tests {
         // Budget is held: the next two queue, the third sheds.
         for session in 2..4 {
             sched
-                .submit(session, QueryCost(1), None, || {}, || {})
+                .submit(session, QueryCost(1), None, |_| {}, || {})
                 .expect("queued");
         }
         let err = sched
-            .submit(4, QueryCost(1), None, || {}, || {})
+            .submit(4, QueryCost(1), None, |_| {}, || {})
             .unwrap_err();
         assert_eq!(
             err,
@@ -493,7 +569,7 @@ mod tests {
                     1,
                     QueryCost(1),
                     None,
-                    move || {
+                    move |_| {
                         hog_done.fetch_add(1, Ordering::SeqCst);
                     },
                     || {},
@@ -509,7 +585,7 @@ mod tests {
                 2,
                 QueryCost(1),
                 None,
-                move || {
+                move |_| {
                     let _ = victim_tx.send(());
                 },
                 || {},
@@ -537,14 +613,14 @@ mod tests {
         let (release, started) = blocking_job(&sched, 1, 1);
         started.recv_timeout(Duration::from_secs(5)).unwrap();
         for _ in 0..2 {
-            sched.submit(1, QueryCost(1), None, || {}, || {}).unwrap();
+            sched.submit(1, QueryCost(1), None, |_| {}, || {}).unwrap();
         }
         let err = sched
-            .submit(1, QueryCost(1), None, || {}, || {})
+            .submit(1, QueryCost(1), None, |_| {}, || {})
             .unwrap_err();
         assert_eq!(err, Rejection::SessionLimit { pending: 3, cap: 3 });
         // Another session is unaffected by the flooder's cap.
-        sched.submit(2, QueryCost(1), None, || {}, || {}).unwrap();
+        sched.submit(2, QueryCost(1), None, |_| {}, || {}).unwrap();
         release.send(()).unwrap();
     }
 
@@ -568,7 +644,7 @@ mod tests {
                     2,
                     QueryCost(1),
                     Some(already_past),
-                    move || {
+                    move |_| {
                         ran.fetch_add(1, Ordering::SeqCst);
                     },
                     move || {
@@ -591,7 +667,7 @@ mod tests {
                 2,
                 QueryCost(1),
                 Some(already_past),
-                || {},
+                |_| {},
                 move || {
                     expired_b.fetch_add(1, Ordering::SeqCst);
                 },
@@ -621,7 +697,7 @@ mod tests {
                     session,
                     QueryCost(1),
                     None,
-                    move || {
+                    move |_| {
                         ran.fetch_add(1, Ordering::SeqCst);
                     },
                     || {},
@@ -646,7 +722,7 @@ mod tests {
             ..SchedulerConfig::default()
         });
         sched
-            .submit(1, QueryCost(2), None, || panic!("query exploded"), || {})
+            .submit(1, QueryCost(2), None, |_| panic!("query exploded"), || {})
             .unwrap();
         // The full budget must come back, or this submission never runs.
         let (tx, rx) = mpsc::channel::<()>();
@@ -661,7 +737,7 @@ mod tests {
                 1,
                 QueryCost(2),
                 None,
-                move || {
+                move |_| {
                     let _ = tx.send(());
                 },
                 || {},
@@ -669,5 +745,67 @@ mod tests {
             .unwrap();
         rx.recv_timeout(Duration::from_secs(5))
             .expect("budget leaked by a panicking job");
+    }
+
+    #[test]
+    fn mid_flight_refunds_free_budget_for_queued_jobs() {
+        let sched = scheduler(SchedulerConfig {
+            budget: QueryCost(10),
+            ..SchedulerConfig::default()
+        });
+        // A job admitted at cost 9 that will refund down to 2 mid-flight.
+        let (refund_tx, refund_rx) = mpsc::channel::<()>();
+        let (finish_tx, finish_rx) = mpsc::channel::<()>();
+        let (refunded_tx, refunded_rx) = mpsc::channel::<u64>();
+        sched
+            .submit(
+                1,
+                QueryCost(9),
+                None,
+                move |charge: ChargeHandle| {
+                    assert_eq!(charge.held(), QueryCost(9));
+                    let _ = refund_rx.recv();
+                    let freed = charge.refund_to(QueryCost(2));
+                    assert_eq!(charge.held(), QueryCost(2));
+                    // Raising the charge back up is refused.
+                    assert_eq!(charge.refund_to(QueryCost(5)), 0);
+                    let _ = refunded_tx.send(freed);
+                    let _ = finish_rx.recv();
+                },
+                || {},
+            )
+            .unwrap();
+        // A 6-unit job from another session does not fit behind 9/10.
+        let (queued_tx, queued_rx) = mpsc::channel::<()>();
+        sched
+            .submit(
+                2,
+                QueryCost(6),
+                None,
+                move |_| {
+                    let _ = queued_tx.send(());
+                },
+                || {},
+            )
+            .unwrap();
+        assert!(queued_rx.recv_timeout(Duration::from_millis(100)).is_err());
+        assert_eq!(sched.stats().queued, 1);
+        // The refund drops in-flight cost to 2, which dispatches the queued
+        // job while the refunding job is still running.
+        refund_tx.send(()).unwrap();
+        assert_eq!(refunded_rx.recv_timeout(Duration::from_secs(5)).unwrap(), 7);
+        queued_rx
+            .recv_timeout(Duration::from_secs(5))
+            .expect("refund did not release budget to the queue");
+        // Completion releases only the refined charge — nothing leaks and
+        // nothing is double-released.
+        finish_tx.send(()).unwrap();
+        for _ in 0..500 {
+            if sched.stats().inflight == QueryCost(0) {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(sched.stats().inflight, QueryCost(0));
     }
 }

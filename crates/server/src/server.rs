@@ -12,13 +12,14 @@
 //! pending is disconnected (slow-consumer shedding) rather than buffered
 //! without bound.
 
+use crate::cost::QueryCost;
 use crate::protocol::{
     self, WireRequest, WireResponse, ERR_BAD_FRAME, ERR_COST_EXCEEDS_BUDGET, ERR_DEADLINE,
     ERR_SESSION_LIMIT, ERR_SHED_QUEUE_FULL,
 };
-use crate::scheduler::{Rejection, Scheduler, SchedulerConfig};
+use crate::scheduler::{ChargeHandle, Rejection, Scheduler, SchedulerConfig};
 use perfxplain_core::pool::WorkerPool;
-use perfxplain_core::{CancelToken, QueryRequest, XplainService};
+use perfxplain_core::{CancelToken, CostProbe, ExecutionRecord, QueryRequest, XplainService};
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -81,6 +82,11 @@ pub struct ServerStats {
     pub expired: AtomicU64,
     /// Requests cancelled (or past deadline) mid-execution.
     pub cancelled: AtomicU64,
+    /// Budget units refunded mid-flight after queries measured their
+    /// actual related-pair work below the admission estimate.
+    pub refunded_units: AtomicU64,
+    /// Record batches appended over the wire.
+    pub appends: AtomicU64,
 }
 
 /// A point-in-time copy of [`ServerStats`].
@@ -102,6 +108,10 @@ pub struct StatsSnapshot {
     pub expired: u64,
     /// Mid-execution cancellations/deadline hits sent.
     pub cancelled: u64,
+    /// Budget units refunded mid-flight.
+    pub refunded_units: u64,
+    /// Record batches appended over the wire.
+    pub appends: u64,
 }
 
 impl ServerStats {
@@ -115,6 +125,8 @@ impl ServerStats {
             shed: self.shed.load(Ordering::Relaxed),
             expired: self.expired.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            refunded_units: self.refunded_units.load(Ordering::Relaxed),
+            appends: self.appends.load(Ordering::Relaxed),
         }
     }
 }
@@ -446,6 +458,7 @@ fn handle_frame(
         Some("status") => {
             let sched = scheduler.stats();
             let snapshot = stats.snapshot();
+            let views = service.view_stats();
             return Some(WireResponse {
                 id,
                 status: "ok".to_string(),
@@ -459,6 +472,50 @@ fn handle_frame(
                 queue_depth: Some(sched.queued as u64),
                 budget_in_use: Some(sched.inflight.units()),
                 budget_total: Some(config.scheduler.budget.units()),
+                refunded_units: Some(snapshot.refunded_units),
+                base_rows: Some(views.base_rows),
+                tail_rows: Some(views.tail_rows),
+                delta_refreshes: Some(views.delta_refreshes),
+                full_rebuilds: Some(views.full_rebuilds),
+                compactions: Some(views.compactions),
+                last_compaction_unix_ms: Some(views.last_compaction_unix_ms),
+                ..WireResponse::default()
+            });
+        }
+        // Appends are handled inline by the event loop too: the hand-off
+        // into the log is a short lock-and-extend (no view is rebuilt — the
+        // next query pays the O(tail) delta refresh), so routing them
+        // through admission control would cost more than the work itself.
+        Some("append") => {
+            let Some(records_json) = wire.records.as_deref() else {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Some(WireResponse::error(
+                    id,
+                    400,
+                    ERR_BAD_FRAME,
+                    "append request has no \"records\" field",
+                ));
+            };
+            let records: Vec<ExecutionRecord> = match serde_json::from_str(records_json) {
+                Ok(records) => records,
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return Some(WireResponse::error(
+                        id,
+                        400,
+                        ERR_BAD_FRAME,
+                        format!("unparseable \"records\" array: {e}"),
+                    ));
+                }
+            };
+            let outcome = service.append(records);
+            stats.appends.fetch_add(1, Ordering::Relaxed);
+            return Some(WireResponse {
+                id,
+                status: "ok".to_string(),
+                code: 200,
+                generation: Some(outcome.generation),
+                appended: Some(outcome.appended as u64),
                 ..WireResponse::default()
             });
         }
@@ -468,7 +525,9 @@ fn handle_frame(
                 id,
                 400,
                 ERR_BAD_FRAME,
-                format!("unknown target '{other}' (omit it for a query, or use \"status\")"),
+                format!(
+                    "unknown target '{other}' (omit it for a query, or use \"status\" / \"append\")"
+                ),
             ));
         }
     }
@@ -504,12 +563,28 @@ fn handle_frame(
         let service = Arc::clone(service);
         let completions = completions.clone();
         let stats = Arc::clone(stats);
-        let units = cost.units();
-        move || {
+        move |charge: ChargeHandle| {
+            // Once the view is built and the actual related-pair count is
+            // measured, re-price the query and hand the estimate/actual
+            // difference back to the scheduler so queued requests stop
+            // waiting on budget this query will never use.
+            let probe_stats = Arc::clone(&stats);
+            let request = request.with_cost_probe(CostProbe::new(move |related_pairs| {
+                let refined = QueryCost(estimate.refined_units(related_pairs));
+                let refunded = charge.refund_to(refined);
+                if refunded > 0 {
+                    probe_stats
+                        .refunded_units
+                        .fetch_add(refunded, Ordering::Relaxed);
+                }
+            }));
             let response = match service.explain(&request) {
                 Ok(outcome) => {
                     stats.answered.fetch_add(1, Ordering::Relaxed);
-                    WireResponse::ok(id, &outcome, units)
+                    let refined = estimate
+                        .units()
+                        .min(estimate.refined_units(outcome.related_pairs));
+                    WireResponse::ok(id, &outcome, refined)
                 }
                 Err(e) => {
                     // Mid-execution cancellations and deadline hits are

@@ -58,13 +58,24 @@
 //! perfxplain serve --log log.json | --snapshot <dir>
 //!                  [--addr HOST:PORT] [--workers N] [--budget UNITS]
 //!                  [--queue N] [--session-inflight N] [--session-pending N]
-//!                  [--timeout-ms MS] [--width N]
+//!                  [--timeout-ms MS] [--width N] [--checkpoint <dir>]
 //!     Serve the log over the line-delimited JSON protocol: a non-blocking
 //!     TCP event loop in front of a bounded worker pool with cost-based
 //!     admission control (requests whose estimated cost does not fit the
 //!     concurrent budget queue in a bounded FIFO; beyond that, load is shed
 //!     with typed 429 responses).  `--timeout-ms 0` disables the default
-//!     per-request deadline.  Runs until killed.
+//!     per-request deadline.  With --checkpoint the server persists the
+//!     served log to a snapshot directory whenever records have been
+//!     appended since the last checkpoint — incrementally: clean base
+//!     shards are kept as-is and only the live tail is encoded, so a
+//!     serving process checkpoints without a stop-the-world re-encode.
+//!     Runs until killed.
+//!
+//! perfxplain append --addr HOST:PORT --log records.json
+//!     Append the records of a JSON execution log to a *running* server
+//!     over the wire.  The server extends its log in place and
+//!     delta-maintains the cached columnar views (the next query pays an
+//!     O(tail) refresh, not a rebuild), so serving continues uninterrupted.
 //!
 //! perfxplain load --addr HOST:PORT --left ID --right ID
 //!                 [--connections N] [--requests N] [--query FILE.pxql]
@@ -129,6 +140,7 @@ impl Args {
                         | "timeout-ms"
                         | "connections"
                         | "requests"
+                        | "checkpoint"
                 );
                 if takes_value {
                     let value = raw.get(i + 1).unwrap_or_else(|| {
@@ -391,7 +403,9 @@ fn ingest_into_snapshot(args: &Args, bundles: &[JobLogBundle], dir: &std::path::
             .into_iter()
             .map(|input| match input {
                 ShardInput::Fresh(shard) => shard,
-                ShardInput::Unchanged { .. } => unreachable!("full parse is all fresh"),
+                ShardInput::Unchanged { .. } | ShardInput::Keep => {
+                    unreachable!("full parse is all fresh")
+                }
             })
             .collect();
         snapshot::persist_shards(dir, shards).unwrap_or_else(|e| fail(&e.to_string()))
@@ -923,7 +937,10 @@ fn cmd_serve(args: &Args) {
     }
 
     let rows = service.with_log(|log| log.len());
-    let handle = spawn(Arc::new(service), config.clone()).unwrap_or_else(|e| fail(&e.to_string()));
+    let checkpoint_dir = args.get("checkpoint").map(std::path::PathBuf::from);
+    let service = Arc::new(service);
+    let handle =
+        spawn(Arc::clone(&service), config.clone()).unwrap_or_else(|e| fail(&e.to_string()));
     println!(
         "serving {rows} executions on {} ({} worker(s), budget {} unit(s), queue {}, \
          per-session {} running / {} pending)",
@@ -936,24 +953,72 @@ fn cmd_serve(args: &Args) {
     );
     // The handle owns the event loop; park this thread until the process is
     // killed, reporting counters occasionally so operators see the shape of
-    // the load.
+    // the load, and checkpointing the live tail when appends landed.
     let mut last = handle.stats();
+    let mut checkpointed_generation = service.generation();
     loop {
         std::thread::sleep(std::time::Duration::from_secs(10));
         let stats = handle.stats();
         if stats != last {
             println!(
-                "sessions {}  requests {}  answered {}  shed {}  expired {}  errors {}",
+                "sessions {}  requests {}  answered {}  appends {}  shed {}  expired {}  errors {}",
                 stats.sessions_accepted,
                 stats.requests,
                 stats.answered,
+                stats.appends,
                 stats.shed,
                 stats.expired,
                 stats.errors
             );
             last = stats;
         }
+        if let Some(dir) = &checkpoint_dir {
+            let generation = service.generation();
+            if generation != checkpointed_generation {
+                match service.checkpoint(dir) {
+                    Ok(report) => {
+                        checkpointed_generation = generation;
+                        println!(
+                            "checkpointed {} rows to {} ({} shard(s) encoded, {} kept)",
+                            report.rows,
+                            dir.display(),
+                            report.shards_encoded,
+                            report.shards_reused
+                        );
+                    }
+                    Err(err) => eprintln!("warning: checkpoint to {} failed: {err}", dir.display()),
+                }
+            }
+        }
     }
+}
+
+/// Appends the records of a JSON execution log to a running server.
+fn cmd_append(args: &Args) {
+    use perfxplain::server::{Client, ServerConfig};
+
+    let addr = args
+        .get("addr")
+        .unwrap_or_else(|| fail("--addr HOST:PORT is required"));
+    let log = load_log(args);
+    if log.is_empty() {
+        fail("the records file contains no executions");
+    }
+    let mut client =
+        Client::connect(addr).unwrap_or_else(|e| fail(&format!("cannot connect to {addr}: {e}")));
+    let started = Instant::now();
+    // Batch to the server's frame cap: a multi-megabyte log streams as
+    // many append requests over the one connection instead of one
+    // oversized frame the server would reject.
+    let (appended, generation) = client
+        .append_batched(log.records(), ServerConfig::default().max_frame_bytes)
+        .unwrap_or_else(|e| fail(&format!("append failed: {e}")));
+    println!(
+        "appended {} record(s) in {:.1} ms; served log is now at generation {}",
+        appended,
+        started.elapsed().as_secs_f64() * 1e3,
+        generation
+    );
 }
 
 /// Drives an open-loop many-client workload against a running server.
@@ -1015,7 +1080,7 @@ fn cmd_load(args: &Args) {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     const USAGE: &str =
-        "usage: perfxplain <simulate|ingest|snapshot|inspect|queries|explain|batch|serve|load> [options]";
+        "usage: perfxplain <simulate|ingest|snapshot|inspect|queries|explain|batch|serve|append|load> [options]";
     let Some((command, rest)) = raw.split_first() else {
         eprintln!("{USAGE}");
         eprintln!("       see the module documentation at the top of src/bin/perfxplain.rs");
@@ -1035,6 +1100,7 @@ fn main() {
         "explain" => cmd_explain(&Args::parse(rest)),
         "batch" => cmd_batch(&Args::parse(rest)),
         "serve" => cmd_serve(&Args::parse(rest)),
+        "append" => cmd_append(&Args::parse(rest)),
         "load" => cmd_load(&Args::parse(rest)),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");

@@ -43,8 +43,11 @@
 //! println!("{}", outcome.explanation);
 //! println!("{}", outcome.narration.unwrap());
 //!
-//! // Mutating the log through the service bumps its generation counter and
-//! // invalidates the cached views — stale answers are impossible.
+//! // New executions append while serving: cached views splice them into an
+//! // O(tail) append segment instead of re-encoding the log.  Any other
+//! // mutation bumps the generation and invalidates the cached views
+//! // wholesale — stale answers are impossible either way.
+//! service.append(vec![ExecutionRecord::job("job_new")]);
 //! service.with_log_mut(|log| log.rebuild_catalogs());
 //! ```
 //!
@@ -54,9 +57,9 @@
 //!
 //! # Scaling to large logs
 //!
-//! Million-record logs load and encode as **shards**, end to end, and the
-//! encoded form **persists**: how much a start costs depends on which of
-//! three tiers it begins from.
+//! Million-record logs load and encode as **shards**, end to end, the
+//! encoded form **persists**, and a served log stays **live**: how much an
+//! operation costs depends on which tier it begins from.
 //!
 //! * **Cold JSON/bundle ingest** — the expensive tier, paid once per
 //!   source change.  `hadoop_logs::collect_bundles_sharded(&bundles,
@@ -95,6 +98,26 @@
 //!   view per (log generation, kind); pair enumeration fans out over
 //!   threads by default on large views (the `parallel` / `serial` crate
 //!   features force it on / off), with bit-identical results either way.
+//! * **Live appends** — new executions stream into a *serving* process
+//!   without ever paying a re-encode.
+//!   [`XplainService::append`](perfxplain_core::XplainService::append)
+//!   extends the log and keeps the cached views alive: the next query
+//!   splices the fresh records into a small **append-tail segment** of the
+//!   cached view (dictionaries extended in place, base columns `Arc`-shared
+//!   untouched), so the refresh costs O(tail), not O(log) — 50×+ cheaper
+//!   than a rebuild at n = 100k, and growing with the log.  Per-kind
+//!   *rewrite watermarks* keep the shortcut sound: appends that change the
+//!   catalog, and every non-append mutation
+//!   ([`XplainService::with_log_mut`]), move the watermark and force a full
+//!   rebuild — proptest-proven bit-identical to a from-scratch encode under
+//!   arbitrary interleavings.  Oversized tails fold back into their base in
+//!   the background under a configurable
+//!   [`CompactionPolicy`](perfxplain_core::CompactionPolicy), and
+//!   [`XplainService::checkpoint`] persists the live tail as an incremental
+//!   snapshot shard ([`snapshot::sync_append`]) — a checkpoint without a
+//!   stop-the-world re-encode (CLI `perfxplain serve --checkpoint <dir>`).
+//!   Over the wire, a `"target": "append"` request (CLI `perfxplain
+//!   append`) does the same against a remote server.
 //! * **Networked serving** — [`server::spawn`] (CLI `perfxplain serve`)
 //!   puts a line-delimited JSON protocol in front of a warm service: a
 //!   single non-blocking event loop owns every connection while queries run
@@ -103,7 +126,13 @@
 //!   ([`XplainService::estimate_cost`]), charged against a configurable
 //!   concurrent budget, queued FIFO (bounded) when the budget is held, and
 //!   shed with typed `429` responses beyond that, so many concurrent
-//!   debugging sessions share one log under bounded memory.
+//!   debugging sessions share one log under bounded memory.  Once a query's
+//!   view is built and the *actual* related-pair count is known, the charge
+//!   is **refined mid-flight**: the estimate/actual difference is refunded
+//!   to the budget ([`server::ChargeHandle`]), unblocking queued work early;
+//!   the cumulative refund shows up in the `status` probe alongside the
+//!   live-view delta stats
+//!   ([`ViewCacheStats`](perfxplain_core::ViewCacheStats)).
 //!
 //! Every IO and dispatch layer above carries named fault-injection sites
 //! ([`failpoints`], compiled in only under `--features failpoints`): the

@@ -481,6 +481,103 @@ proptest! {
         }
     }
 
+    /// Delta-maintained views are bit-identical to a from-scratch rebuild.
+    /// Under any interleaving of appends (the O(tail) delta-refresh path),
+    /// appends that change the catalog (forced full rebuild), non-append
+    /// mutations (`with_log_mut`, unconditional eviction), tail compactions
+    /// and queries, the view the service serves after every step equals
+    /// `ColumnarLog::build_sharded` over a snapshot of the log at that
+    /// moment — and query answers agree with a stateless engine.
+    #[test]
+    fn delta_maintained_views_are_bit_identical_to_a_rebuild(
+        seed in 0u64..120,
+        shards in 1usize..8,
+        ops in proptest::collection::vec(0u32..8, 1usize..14),
+    ) {
+        use perfxplain::{ExecutionKind, PerfXplain, QueryRequest, XplainService};
+        use perfxplain_core::columnar::ColumnarLog;
+
+        let config = uncapped_config();
+        let service = XplainService::with_config(random_log(seed), config.clone());
+        let engine = PerfXplain::new(config.clone());
+        let queries = query_pool();
+
+        let mut extra = 0usize;
+        for (step, op) in ops.iter().enumerate() {
+            let h = seed.wrapping_mul(131).wrapping_add(step as u64);
+            match op {
+                // Append through the delta path: known features only, so
+                // the catalog (and the rewrite watermark) stay put.  Every
+                // third batch reuses an existing id — appended duplicates
+                // must shadow their base rows exactly like a rebuild.
+                0..=2 => {
+                    extra += 1;
+                    let id = if h % 3 == 0 {
+                        "job_0".to_string()
+                    } else {
+                        format!("appended_{extra}")
+                    };
+                    service.append(vec![
+                        ExecutionRecord::job(id)
+                            .with_feature("inputsize", [1.0e9, 4.0e9, 32.0e9][(h % 3) as usize])
+                            .with_feature("blocksize", 256.0)
+                            .with_feature("pigscript", ["a.pig", "d.pig"][((h >> 8) % 2) as usize])
+                            .with_feature("duration", 400.0 + (h % 300) as f64),
+                    ]);
+                }
+                // Append a record carrying a brand-new feature: the batch
+                // catalog differs, the rewrite watermark moves, and the
+                // service must rebuild instead of splicing.
+                3 => {
+                    extra += 1;
+                    service.append(vec![
+                        ExecutionRecord::job(format!("appended_{extra}"))
+                            .with_feature(format!("knob_{extra}"), (h % 10) as f64)
+                            .with_feature("duration", 500.0),
+                    ]);
+                }
+                // Non-append mutation: unconditional eviction path.
+                4 => service.with_log_mut(|log| {
+                    extra += 1;
+                    log.push(
+                        ExecutionRecord::job(format!("pushed_{extra}"))
+                            .with_feature("inputsize", 4.0e9)
+                            .with_feature("duration", 700.0),
+                    );
+                    log.rebuild_catalogs();
+                }),
+                // Fold every cached tail into its base; content-neutral.
+                5 => {
+                    service.compact_views();
+                }
+                // Query: the served answer must match a stateless engine
+                // over a snapshot of the current log.
+                _ => {
+                    let query = queries[(seed as usize + step) % queries.len()].clone();
+                    let bound = BoundQuery::new(query, "job_0", "job_1");
+                    let served = service.explain(&QueryRequest::bound(bound.clone()));
+                    let fresh = engine.explain(&service.snapshot(), &bound);
+                    match (&served, &fresh) {
+                        (Ok(outcome), Ok(explanation)) => {
+                            prop_assert_eq!(&outcome.explanation, explanation);
+                        }
+                        (Err(a), Err(b)) => prop_assert_eq!(a, b),
+                        other => prop_assert!(false, "service/fresh divergence: {:?}", other),
+                    }
+                }
+            }
+            // After every step, the view the service would serve is
+            // bit-identical to encoding the current log from scratch.
+            let snapshot = service.snapshot();
+            let served = service.view(ExecutionKind::Job);
+            let rebuilt = ColumnarLog::build_sharded(&snapshot, ExecutionKind::Job, shards);
+            prop_assert_eq!(
+                &*served, &rebuilt,
+                "served view diverges from a from-scratch rebuild at step {}", step
+            );
+        }
+    }
+
     /// The sharded parallel encode produces a view bit-identical to the
     /// single-shot build for arbitrary logs and shard counts — including
     /// s = 1, s > n, and logs whose shards have disjoint dictionaries.

@@ -363,6 +363,87 @@ fn status_probes_answer_immediately_with_counters() {
 }
 
 #[test]
+fn appends_over_the_wire_refresh_views_by_delta() {
+    let (handle, service) = serve(600, SchedulerConfig::default());
+    let mut client = connect(&handle);
+    let admitted_units = cost_of(&service, FAST_SAMPLE as usize).units();
+
+    // Warm the view with a query; its charge is refined down to the
+    // measured related-pair work once the view is built.
+    let ok = client.call(&request(1, FAST_SAMPLE)).expect("response");
+    assert!(ok.is_ok(), "{ok:?}");
+    let related = ok.related_pairs.expect("measured work reported");
+    assert!(related > 0);
+    let charged = ok.cost_units.expect("refined charge reported");
+    assert!(charged <= admitted_units);
+
+    let probe = WireRequest {
+        id: Some(2),
+        target: Some("status".to_string()),
+        ..WireRequest::default()
+    };
+    let status = client.call(&probe).expect("status");
+    assert_eq!(status.base_rows, Some(600));
+    assert_eq!(status.tail_rows, Some(0));
+    assert_eq!(status.full_rebuilds, Some(1));
+    assert_eq!(status.delta_refreshes, Some(0));
+    // The estimate/actual difference came back to the budget mid-flight.
+    assert_eq!(status.refunded_units, Some(admitted_units - charged));
+
+    // Append a batch over the wire: acknowledged inline with the new
+    // generation, no view work yet.
+    let fresh: Vec<ExecutionRecord> = (600..606)
+        .map(|i| {
+            ExecutionRecord::job(format!("job_{i}"))
+                .with_feature("inputsize", 4.0e9)
+                .with_feature("blocksize", 1024.0)
+                .with_feature("numinstances", 8.0)
+                .with_feature("iosortfactor", 10.0)
+                .with_feature("pigscript", "a.pig")
+                .with_feature("duration", 600.0 + (i % 13) as f64)
+        })
+        .collect();
+    let generation_before = service.generation();
+    let ack = client.append(&fresh).expect("append acknowledged");
+    assert!(ack.is_ok(), "{ack:?}");
+    assert_eq!(ack.appended, Some(6));
+    assert!(ack.generation.expect("generation echoes") > generation_before);
+
+    // The next query pays an O(tail) delta refresh, not a full rebuild,
+    // and can explain a pair involving an appended record.
+    let mut over_tail = request(3, FAST_SAMPLE);
+    over_tail.left = Some("job_602".to_string());
+    let ok = client.call(&over_tail).expect("response");
+    assert!(ok.is_ok(), "query over an appended record: {ok:?}");
+    let status = client.call(&probe).expect("status");
+    assert_eq!(status.base_rows, Some(600));
+    assert_eq!(status.tail_rows, Some(6));
+    assert_eq!(status.delta_refreshes, Some(1));
+    assert_eq!(status.full_rebuilds, Some(1));
+
+    // Malformed batches are typed protocol errors, not dead connections.
+    let bad = WireRequest {
+        id: Some(5),
+        target: Some("append".to_string()),
+        records: Some("not a json array".to_string()),
+        ..WireRequest::default()
+    };
+    let response = client.call(&bad).expect("response");
+    assert_eq!(response.code, 400);
+    assert_eq!(response.error.as_deref(), Some("bad_frame"));
+    let missing = WireRequest {
+        id: Some(6),
+        target: Some("append".to_string()),
+        ..WireRequest::default()
+    };
+    let response = client.call(&missing).expect("response");
+    assert_eq!(response.code, 400);
+    assert_eq!(response.error.as_deref(), Some("bad_frame"));
+    let ok = client.call(&request(7, FAST_SAMPLE)).expect("response");
+    assert!(ok.is_ok(), "connection survives bad appends: {ok:?}");
+}
+
+#[test]
 fn networked_answers_match_the_in_process_service() {
     let (handle, service) = serve(600, SchedulerConfig::default());
     let mut wire_request = request(1, FAST_SAMPLE);
