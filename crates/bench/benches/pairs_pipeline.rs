@@ -21,8 +21,8 @@
 use perfxplain_core::columnar::{ColumnarLog, CompiledQuery};
 use perfxplain_core::training::{collect_related_pairs_in, PARALLEL_ENUMERATION_THRESHOLD};
 use perfxplain_core::{
-    BoundQuery, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig, PerfXplain,
-    QueryRequest, XplainService,
+    BoundQuery, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig, FsyncPolicy,
+    PerfXplain, QueryRequest, XplainService,
 };
 use serde::Serialize;
 use std::time::Instant;
@@ -263,6 +263,9 @@ struct LiveIngestPoint {
     /// Full rebuilds the service performed (the initial build only —
     /// every append must stay on the delta path).
     full_rebuilds: u64,
+    /// The append-journal fsync policy in force, or `None` when the point
+    /// was measured un-journaled (PR 9 semantics: acks are in-memory only).
+    fsync: Option<String>,
 }
 
 #[derive(Debug, Serialize)]
@@ -825,7 +828,15 @@ fn measure_serve_qps(
 /// batches are the continuation of the same [`perfxplain_bench::blocked_log`]
 /// the service was started with — identical feature names, so every batch
 /// stays on the delta path (a changed catalog would force a rebuild).
-fn measure_live_ingest(n: usize, batch: usize, rounds: usize) -> LiveIngestPoint {
+/// With `journal` set, the service is persisted to a scratch snapshot and
+/// every append first frames the batch into the write-ahead journal under
+/// that fsync policy — the durability tax on the measured ingest loop.
+fn measure_live_ingest(
+    n: usize,
+    batch: usize,
+    rounds: usize,
+    journal: Option<FsyncPolicy>,
+) -> LiveIngestPoint {
     let group_size = 10;
     // One generator call covers the base log and every append batch: slice
     // the first n records into the served log and feed the rest in batches.
@@ -839,6 +850,19 @@ fn measure_live_ingest(n: usize, batch: usize, rounds: usize) -> LiveIngestPoint
     log.rebuild_catalogs();
     let features = log.job_catalog().len();
     let service = XplainService::with_config(log, ExplainConfig::default().with_sample_size(200));
+    let journal_dir = journal.map(|policy| {
+        let dir = std::env::temp_dir().join(format!(
+            "pxbench_live_ingest_{}_{n}_{policy}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("journal scratch dir");
+        service.persist(&dir).expect("journal anchor persist");
+        service
+            .enable_journal(&dir, policy)
+            .expect("journal enables on the persisted dir");
+        dir
+    });
     let bound = service_queries(1, group_size).remove(0);
 
     // Warm: the first query pays the one full view build of this scenario.
@@ -863,7 +887,7 @@ fn measure_live_ingest(n: usize, batch: usize, rounds: usize) -> LiveIngestPoint
         let from = n + round * batch;
         let records = all[from..from + batch].to_vec();
         let started = Instant::now();
-        service.append(records);
+        service.append(records).expect("append failed");
         let append_secs = started.elapsed().as_secs_f64();
 
         let started = Instant::now();
@@ -887,6 +911,9 @@ fn measure_live_ingest(n: usize, batch: usize, rounds: usize) -> LiveIngestPoint
         "an append forced a full rebuild: {stats:?}"
     );
     let delta_refresh_ms = delta_ms_total / rounds as f64;
+    if let Some(dir) = &journal_dir {
+        let _ = std::fs::remove_dir_all(dir);
+    }
     LiveIngestPoint {
         n,
         features,
@@ -900,6 +927,7 @@ fn measure_live_ingest(n: usize, batch: usize, rounds: usize) -> LiveIngestPoint
         tail_rows: stats.tail_rows,
         delta_refreshes: stats.delta_refreshes,
         full_rebuilds: stats.full_rebuilds,
+        fsync: journal.map(|policy| policy.to_string()),
     }
 }
 
@@ -1027,13 +1055,24 @@ fn main() {
     );
 
     let mut live_ingest = Vec::new();
-    for n in [100_000usize, 1_000_000] {
-        let point = measure_live_ingest(n, 64, 8);
+    let live_ingest_shapes: [(usize, Option<FsyncPolicy>); 5] = [
+        (100_000, None),
+        (1_000_000, None),
+        // The durability tax at n = 100k: fsync per ack, amortized fsync,
+        // and journal-only (fsync deferred to checkpoints — the policy
+        // that should stay within 10% of the un-journaled point above).
+        (100_000, Some(FsyncPolicy::Always)),
+        (100_000, Some(FsyncPolicy::EveryN(8))),
+        (100_000, Some(FsyncPolicy::OnCheckpoint)),
+    ];
+    for (n, journal) in live_ingest_shapes {
+        let point = measure_live_ingest(n, 64, 8, journal);
         println!(
-            "live_ingest n = {:>8}: full rebuild {:>8.1} ms vs delta refresh {:>6.2} ms \
-             ({:.0}x), {:.0} appends/s sustained, query {:.1} ms warm, {} tail rows \
-             ({} delta refreshes, {} full rebuild)",
+            "live_ingest n = {:>8} (fsync {:>12}): full rebuild {:>8.1} ms vs delta \
+             refresh {:>6.2} ms ({:.0}x), {:.0} appends/s sustained, query {:.1} ms warm, \
+             {} tail rows ({} delta refreshes, {} full rebuild)",
             point.n,
+            point.fsync.as_deref().unwrap_or("off"),
             point.full_rebuild_ms,
             point.delta_refresh_ms,
             point.refresh_speedup,
@@ -1089,8 +1128,11 @@ fn main() {
                       append batches through XplainService::append while serving \
                       queries: each batch is spliced into the cached view's append \
                       tail (O(tail) delta refresh), measured against the from-scratch \
-                      re-encode a non-delta cache would pay after every append.  Pair \
-                      enumeration fans out over threads by default above \
+                      re-encode a non-delta cache would pay after every append; \
+                      journaled points (fsync = always / every:8 / oncheckpoint) add \
+                      the write-ahead append journal to the measured loop, so the \
+                      appends_per_sec deltas are the price of each durability tier.  \
+                      Pair enumeration fans out over threads by default above \
                       parallel_enumeration_threshold records."
             .to_string(),
         hardware_threads: std::thread::available_parallelism()

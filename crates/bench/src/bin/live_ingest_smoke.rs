@@ -70,7 +70,9 @@ fn main() {
     let mut refresh_secs = 0.0;
     for round in 0..ROUNDS {
         let from = N + round * BATCH;
-        service.append(all[from..from + BATCH].to_vec());
+        service
+            .append(all[from..from + BATCH].to_vec())
+            .expect("append failed");
 
         let refresh_started = Instant::now();
         let view = service.view(ExecutionKind::Job);

@@ -57,6 +57,15 @@ pub enum CoreError {
         /// What failed to decode or verify.
         message: String,
     },
+    /// The append journal cannot be enabled for a directory: journal
+    /// frames record positions relative to that directory's manifest, so
+    /// the served log must have checkpoint lineage there (it was opened
+    /// from, persisted to, or checkpointed into the directory, and only
+    /// appends happened since).  Recovery: checkpoint first, then enable.
+    JournalNotAnchored {
+        /// The snapshot directory journaling was requested for.
+        path: String,
+    },
     /// The snapshot was written by an incompatible version of the store
     /// format.  Recovery: re-ingest from the original source.
     SnapshotVersionSkew {
@@ -98,6 +107,11 @@ impl fmt::Display for CoreError {
             CoreError::SnapshotCorrupt { path, message } => {
                 write!(f, "snapshot file {path} is corrupt: {message}")
             }
+            CoreError::JournalNotAnchored { path } => write!(
+                f,
+                "cannot enable the append journal on {path}: the served log has no \
+                 checkpoint lineage there; persist or checkpoint into the directory first"
+            ),
             CoreError::SnapshotVersionSkew { found, supported } => write!(
                 f,
                 "snapshot format version {found} is not supported \
@@ -153,6 +167,10 @@ mod tests {
             message: "permission denied".to_string(),
         };
         assert!(err.to_string().contains("permission denied"));
+        let err = CoreError::JournalNotAnchored {
+            path: "snap".to_string(),
+        };
+        assert!(err.to_string().contains("checkpoint lineage"));
         assert!(CoreError::Cancelled.to_string().contains("cancelled"));
         assert!(CoreError::DeadlineExceeded.to_string().contains("deadline"));
     }

@@ -73,7 +73,7 @@
 //! query.  The pipeline attacks both with a **sharded, columnar, streaming,
 //! zero-re-encoding hot path** ([`columnar`], [`training`], [`bridge`],
 //! [`record`]), and getting *to* that hot path — and staying on it while
-//! new executions stream in — is a **five-tier story**:
+//! new executions stream in — is a **six-tier story**:
 //!
 //! | tier | start state | cost |
 //! |---|---|---|
@@ -81,6 +81,7 @@
 //! | snapshot open | a [`snapshot`] directory | read + fingerprint-verify + decode binary columns; **no parsing, no re-encode** |
 //! | warm service cache | a running [`XplainService`] | `Arc` clone of the cached view; zero work |
 //! | live append | a running service ingesting | O(tail) splice of the fresh records into the cached view's **append tail**; base columns `Arc`-shared untouched |
+//! | durable append | a service with the journal enabled | one checksummed frame written to `journal.bin` before the ack, fsynced per [`FsyncPolicy`]; replayed through the delta path on restart |
 //! | networked serving | a `perfxplain-server` front-end | one admission-time [`estimate_cost`](service::XplainService::estimate_cost) per request; queries share the warm cache |
 //!
 //! A deployment pays tier 1 once per *source* change (and, with
@@ -89,7 +90,13 @@
 //! query; tier 4 keeps the cache warm *through* ingest — an
 //! [`XplainService::append`](service::XplainService::append) never costs a
 //! re-encode, only an O(tail) delta refresh on the next query; tier 5
-//! wraps the warm service in a wire protocol so many remote
+//! makes those acks *mean* something across a crash — with
+//! [`enable_journal`](service::XplainService::enable_journal) every append
+//! is framed and checksummed into a write-ahead journal before it is
+//! acknowledged ([`AppendOutcome::durable`](service::AppendOutcome)
+//! reports whether the frame was fsynced first), and a restart replays the
+//! journal tail through the same delta path, so recovery resumes warm;
+//! tier 6 wraps the warm service in a wire protocol so many remote
 //! debugging sessions share one log — each request is admitted against a
 //! concurrent cost budget computed from its compiled-plan statistics
 //! ([`CostEstimate`](service::CostEstimate), no view built, no features
@@ -243,6 +250,38 @@
 //!    `perfxplain snapshot verify`), and under `--features failpoints`
 //!    every one of these IO sites carries a named fault-injection point
 //!    the chaos suite drives.
+//! 10. **Journal acknowledged appends; replay them on restart.** The
+//!     write-ahead journal
+//!     ([`XplainService::enable_journal`](service::XplainService::enable_journal))
+//!     closes the durability gap between checkpoints: every append writes a
+//!     length-prefixed, checksum-framed record batch to `journal.bin` in
+//!     the snapshot directory *before* the ack, fsynced per
+//!     [`FsyncPolicy`] (`Always` / `EveryN` /
+//!     `OnCheckpoint`), and [`AppendOutcome::durable`](service::AppendOutcome)
+//!     — surfaced on the wire as the append response's `durable` flag —
+//!     says whether *this* ack survives a crash.  On open (strict or
+//!     salvage) the journal is replayed after the manifest: frames record
+//!     the log position they were acked at, so already-checkpointed frames
+//!     skip, a torn or bit-rotted tail **truncates at the last valid
+//!     frame** (typed, never a panic, never a count-sized allocation), and
+//!     the replayed batches splice through the same
+//!     [`with_appended`](columnar::ColumnarLog::with_appended) delta path
+//!     as live appends — the restarted service answers its first query
+//!     warm, tail already in the views.  [`XplainService::checkpoint`] and
+//!     [`XplainService::persist`](service::XplainService::persist) rotate
+//!     the journal atomically (fresh journal staged before the manifest
+//!     rename, reset only after the commit), so journal bytes only ever
+//!     describe the tail beyond the snapshot.  [`verify_journal`]
+//!     audits frame checksums read-only alongside [`snapshot::verify`],
+//!     [`JournalStats`] (bytes, frames appended /
+//!     replayed / truncated, fsyncs, last rotation generation) feeds the
+//!     server's `status` probe, and the journal's write / fsync / replay
+//!     paths run through the same transient-retry and failpoint machinery
+//!     as the snapshot store.  The invariant is proven both ways: a
+//!     crash-prefix proptest damages the journal at arbitrary byte offsets
+//!     and asserts exactly the acked prefix recovers, and the CI
+//!     crash-recovery smoke SIGKILLs a journaled server mid-storm and
+//!     asserts zero acked-durable records lost.
 //!
 //! **Invariants.** The columnar path produces the same related-pair set,
 //! labels, dataset and explanations as the map-based path
@@ -354,8 +393,9 @@ pub use service::{
     QueryRequest, ViewCacheStats, XplainService,
 };
 pub use snapshot::{
-    PartialSnapshot, RecordShard, ShardDamage, ShardEntry, ShardHealth, ShardInput, Snapshot,
-    SnapshotManifest, SnapshotShard, SnapshotUsage, SnapshotViews, SyncReport, SNAPSHOT_VERSION,
+    verify_journal, FsyncPolicy, JournalHealth, JournalStats, PartialSnapshot, RecordShard,
+    ShardDamage, ShardEntry, ShardHealth, ShardInput, Snapshot, SnapshotManifest, SnapshotShard,
+    SnapshotUsage, SnapshotViews, SyncReport, SNAPSHOT_VERSION,
 };
 pub use training::{
     collect_related_pairs_in, prepare_encoded_training, prepare_encoded_training_in,

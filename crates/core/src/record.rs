@@ -128,6 +128,20 @@ pub struct ExecutionLog {
     records: Vec<ExecutionRecord>,
     generation: u64,
     rewrite: [u64; 2],
+    /// Records per kind (indexed by [`kind_index`]), maintained by every
+    /// mutation so delta consumers can tell in O(1) whether a kind has any
+    /// fresh tail at all — the per-kind bookkeeping that keeps interleaved
+    /// job/task append storms from scanning (or re-encoding) the kind that
+    /// did not change.
+    kind_rows: [usize; 2],
+}
+
+fn count_kind_rows(records: &[ExecutionRecord]) -> [usize; 2] {
+    let mut rows = [0usize; 2];
+    for record in records {
+        rows[kind_index(record.kind)] += 1;
+    }
+    rows
 }
 
 /// Index into per-kind bookkeeping arrays.
@@ -170,7 +184,9 @@ impl Deserialize for ExecutionLog {
             records: Deserialize::deserialize(serde::Content::field(entries, "records"))?,
             generation: 0,
             rewrite: [0, 0],
-        })
+            kind_rows: [0, 0],
+        }
+        .with_recounted_kind_rows())
     }
 }
 
@@ -195,6 +211,20 @@ impl ExecutionLog {
         self.rewrite[kind_index(kind)]
     }
 
+    /// Number of records of `kind`, maintained incrementally (O(1)).  A
+    /// cached view holding this many rows of the kind is content-complete
+    /// regardless of how many records of the *other* kind were appended
+    /// since — the check that lets mixed-kind append storms skip the
+    /// untouched kind entirely.
+    pub fn rows_of_kind(&self, kind: ExecutionKind) -> usize {
+        self.kind_rows[kind_index(kind)]
+    }
+
+    fn with_recounted_kind_rows(mut self) -> ExecutionLog {
+        self.kind_rows = count_kind_rows(&self.records);
+        self
+    }
+
     /// Marks the current generation as a rewrite for both kinds (the
     /// conservative default for every mutation that is not a pure append).
     fn mark_rewrite(&mut self) {
@@ -203,6 +233,7 @@ impl ExecutionLog {
 
     /// Adds a record.
     pub fn push(&mut self, record: ExecutionRecord) {
+        self.kind_rows[kind_index(record.kind)] += 1;
         self.records.push(record);
         self.generation += 1;
         // `push` does not maintain the catalogs, so cached views of the
@@ -245,6 +276,9 @@ impl ExecutionLog {
                 self.rewrite[kind_index(kind)] = self.generation;
             }
         }
+        for record in &records {
+            self.kind_rows[kind_index(record.kind)] += 1;
+        }
         self.records.extend(records);
         self.generation
     }
@@ -270,7 +304,9 @@ impl ExecutionLog {
             records,
             generation: 1,
             rewrite: [1, 1],
+            kind_rows: [0, 0],
         }
+        .with_recounted_kind_rows()
     }
 
     /// Assembles one log from independently ingested shards: records are
@@ -289,6 +325,9 @@ impl ExecutionLog {
         for shard in shards {
             out.job_catalog.merge(&shard.job_catalog);
             out.task_catalog.merge(&shard.task_catalog);
+            for (slot, rows) in shard.kind_rows.iter().enumerate() {
+                out.kind_rows[slot] += rows;
+            }
             out.records.extend(shard.records);
         }
         out.generation = 1;
@@ -358,17 +397,21 @@ impl ExecutionLog {
         for shard in shards {
             self.job_catalog.merge(&shard.job_catalog);
             self.task_catalog.merge(&shard.task_catalog);
+            for (slot, rows) in shard.kind_rows.iter().enumerate() {
+                self.kind_rows[slot] += rows;
+            }
             self.records.extend(shard.records);
         }
         self.generation += 1;
         self.mark_rewrite();
     }
 
-    /// Recomputes the job and task feature catalogs from the stored records.
-    /// Call after bulk loading records.
+    /// Recomputes the job and task feature catalogs (and the per-kind row
+    /// counts) from the stored records.  Call after bulk loading records.
     pub fn rebuild_catalogs(&mut self) {
         self.generation += 1;
         self.mark_rewrite();
+        self.kind_rows = count_kind_rows(&self.records);
         self.job_catalog = FeatureCatalog::infer(
             self.records
                 .iter()
@@ -585,6 +628,41 @@ mod tests {
         let back = ExecutionLog::from_json(&json).unwrap();
         assert_eq!(log, back);
         assert!(ExecutionLog::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn per_kind_row_counts_track_every_mutation_path() {
+        let mut log = sample_log();
+        assert_eq!(log.rows_of_kind(ExecutionKind::Job), 2);
+        assert_eq!(log.rows_of_kind(ExecutionKind::Task), 1);
+
+        log.append(vec![
+            ExecutionRecord::task("task_1_m_1", "job_1").with_feature(DURATION_FEATURE, 31.0)
+        ]);
+        assert_eq!(log.rows_of_kind(ExecutionKind::Job), 2);
+        assert_eq!(log.rows_of_kind(ExecutionKind::Task), 2);
+
+        let mut extra = ExecutionLog::new();
+        extra.push(ExecutionRecord::job("job_3").with_feature(DURATION_FEATURE, 9.0));
+        log.extend(extra);
+        assert_eq!(log.rows_of_kind(ExecutionKind::Job), 3);
+
+        log.extend_parallel(vec![vec![
+            ExecutionRecord::task("task_3_m_0", "job_3").with_feature(DURATION_FEATURE, 2.0)
+        ]]);
+        assert_eq!(log.rows_of_kind(ExecutionKind::Task), 3);
+
+        let merged = ExecutionLog::from_shards(vec![log.clone(), sample_log()]);
+        assert_eq!(merged.rows_of_kind(ExecutionKind::Job), 5);
+        assert_eq!(merged.rows_of_kind(ExecutionKind::Task), 4);
+
+        let filtered = log.filter(|r| r.kind == ExecutionKind::Task);
+        assert_eq!(filtered.rows_of_kind(ExecutionKind::Job), 0);
+        assert_eq!(filtered.rows_of_kind(ExecutionKind::Task), 3);
+
+        let back = ExecutionLog::from_json(&log.to_json().unwrap()).unwrap();
+        assert_eq!(back.rows_of_kind(ExecutionKind::Job), 3);
+        assert_eq!(back.rows_of_kind(ExecutionKind::Task), 3);
     }
 
     #[test]

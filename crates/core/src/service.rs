@@ -334,13 +334,25 @@ pub struct AppendOutcome {
     pub generation: u64,
     /// How many records were appended.
     pub appended: usize,
+    /// Whether the batch reached stable storage before this
+    /// acknowledgement: `true` only when an append journal is enabled and
+    /// its [`FsyncPolicy`](crate::snapshot::FsyncPolicy) fsynced the frame
+    /// (`Always`, or the flush-triggering append under `EveryN`).  A
+    /// `false` ack survives a clean shutdown but not a crash before the
+    /// next fsync or checkpoint.
+    pub durable: bool,
 }
 
 /// A cached columnar view stamped with the log generation it reflects.
+/// `rows_covered` is the *total* log length (all kinds) when the view was
+/// installed: every record of this kind in `records[..rows_covered]` is in
+/// the view, so a delta refresh only scans `records[rows_covered..]` —
+/// O(appended-since), not O(all rows of the kind).
 #[derive(Debug, Clone)]
 struct CachedView {
     view: Arc<ColumnarLog>,
     generation: u64,
+    rows_covered: usize,
 }
 
 /// Shared mutable delta-maintenance state: counters plus the per-kind
@@ -378,6 +390,51 @@ fn unix_ms() -> u64 {
 struct CheckpointState {
     dir: std::path::PathBuf,
     rows: usize,
+}
+
+/// What a journal replay left behind, kept so a later
+/// [`XplainService::enable_journal`] for the same directory can *resume*
+/// the journal (cursor after the last valid frame, replay counters seeded)
+/// instead of resetting it — a reset would discard replayed frames that no
+/// checkpoint has absorbed yet.
+#[derive(Debug)]
+struct JournalSeed {
+    dir: std::path::PathBuf,
+    replay: crate::snapshot::JournalReplay,
+    frames_applied: u64,
+    /// Log length once the replay finished: journal frames cover exactly
+    /// `records[..rows_covered]` beyond the manifest.
+    rows_covered: usize,
+}
+
+/// Wraps a snapshot write into `dir` with the journal rotation protocol
+/// when the service journals into that directory: flush and stage the next
+/// journal generation **before** the manifest commits (a crash in between
+/// still finds the old journal covering the old manifest's tail), swap it
+/// in only after.  A failed write aborts the staged rotation and leaves
+/// the old journal authoritative.
+fn with_journal_rotation(
+    journal: Option<&mut crate::snapshot::Journal>,
+    dir: &std::path::Path,
+    write: impl FnOnce() -> Result<crate::snapshot::SyncReport>,
+) -> Result<crate::snapshot::SyncReport> {
+    match journal {
+        Some(journal) if journal.dir() == dir => {
+            journal.sync()?;
+            journal.begin_rotation()?;
+            match write() {
+                Ok(report) => {
+                    journal.commit_rotation(report.manifest.generation)?;
+                    Ok(report)
+                }
+                Err(err) => {
+                    journal.abort_rotation();
+                    Err(err)
+                }
+            }
+        }
+        _ => write(),
+    }
 }
 
 /// A long-lived, thread-safe PerfXplain query service.
@@ -426,6 +483,14 @@ pub struct XplainService {
     stats: Arc<DeltaStats>,
     compaction: CompactionPolicy,
     checkpoint: Mutex<Option<CheckpointState>>,
+    /// The write-ahead append journal, when enabled
+    /// ([`XplainService::enable_journal`]).  Locked **before** the log on
+    /// every path that touches both, so journal frames and in-memory
+    /// appends land in the same order.  Deactivated (set to `None`) by
+    /// non-append mutations: journal frames record log positions, and an
+    /// arbitrary rewrite invalidates them.
+    journal: Mutex<Option<crate::snapshot::Journal>>,
+    journal_seed: Mutex<Option<JournalSeed>>,
     engine: PerfXplain,
 }
 
@@ -443,6 +508,8 @@ impl XplainService {
             stats: Arc::new(DeltaStats::default()),
             compaction: CompactionPolicy::default(),
             checkpoint: Mutex::new(None),
+            journal: Mutex::new(None),
+            journal_seed: Mutex::new(None),
             engine: PerfXplain::new(config),
         }
     }
@@ -478,6 +545,10 @@ impl XplainService {
             dir: dir.to_path_buf(),
             rows,
         });
+        // Replay the append journal over the manifest: acknowledged batches
+        // the last checkpoint missed splice back in through the delta path,
+        // so the restart resumes with the tail already served and warm.
+        service.replay_journal(dir)?;
         Ok(service)
     }
 
@@ -511,6 +582,13 @@ impl XplainService {
             });
         }
         let service = Self::from_snapshot(partial.into_snapshot(), config);
+        // Replay the journal over whatever survived.  Frames record
+        // absolute log positions, so when quarantined shards punched holes
+        // in the row space the positions no longer line up and the replay
+        // conservatively stops at the first gap — salvage never splices
+        // records against the wrong base.  A fully healthy store replays
+        // exactly like the strict path.
+        service.replay_journal(dir)?;
         Ok((service, damage))
     }
 
@@ -534,6 +612,7 @@ impl XplainService {
                     CachedView {
                         view: Arc::new(view),
                         generation: log.generation(),
+                        rows_covered: log.len(),
                     },
                 );
             }
@@ -544,6 +623,8 @@ impl XplainService {
             stats: Arc::new(DeltaStats::default()),
             compaction: CompactionPolicy::default(),
             checkpoint: Mutex::new(None),
+            journal: Mutex::new(None),
+            journal_seed: Mutex::new(None),
             engine: PerfXplain::new(config),
         }
     }
@@ -554,12 +635,19 @@ impl XplainService {
     /// re-parsing JSON.  Runs under the read lock; concurrent queries keep
     /// being served.
     pub fn persist(&self, dir: &std::path::Path) -> Result<crate::snapshot::SyncReport> {
+        let mut journal = self.journal.lock().expect("journal lock poisoned");
         let log = self.read_log();
-        let report = crate::snapshot::persist(&log, dir, crate::shard::hardware_threads())?;
+        let report = with_journal_rotation(journal.as_mut(), dir, || {
+            crate::snapshot::persist(&log, dir, crate::shard::hardware_threads())
+        })?;
         *self.checkpoint.lock().expect("checkpoint lock poisoned") = Some(CheckpointState {
             dir: dir.to_path_buf(),
             rows: log.len(),
         });
+        *self
+            .journal_seed
+            .lock()
+            .expect("journal seed lock poisoned") = None;
         Ok(report)
     }
 
@@ -573,20 +661,25 @@ impl XplainService {
     /// back to a full [`XplainService::persist`].  Runs under the read
     /// lock; concurrent queries keep being served.
     pub fn checkpoint(&self, dir: &std::path::Path) -> Result<crate::snapshot::SyncReport> {
+        let mut journal = self.journal.lock().expect("journal lock poisoned");
         let log = self.read_log();
         let mut state = self.checkpoint.lock().expect("checkpoint lock poisoned");
         let incremental_from = match &*state {
             Some(s) if s.dir == dir && s.rows <= log.len() => Some(s.rows),
             _ => None,
         };
-        let report = match incremental_from {
-            Some(rows) => crate::snapshot::sync_append(dir, log.records()[rows..].to_vec())?,
-            None => crate::snapshot::persist(&log, dir, crate::shard::hardware_threads())?,
-        };
+        let report = with_journal_rotation(journal.as_mut(), dir, || match incremental_from {
+            Some(rows) => crate::snapshot::sync_append(dir, log.records()[rows..].to_vec()),
+            None => crate::snapshot::persist(&log, dir, crate::shard::hardware_threads()),
+        })?;
         *state = Some(CheckpointState {
             dir: dir.to_path_buf(),
             rows: log.len(),
         });
+        *self
+            .journal_seed
+            .lock()
+            .expect("journal seed lock poisoned") = None;
         Ok(report)
     }
 
@@ -621,6 +714,16 @@ impl XplainService {
     /// *different* log whose counter happens to collide with a cached key
     /// must not resurrect a stale view either.
     pub fn with_log_mut<R>(&self, f: impl FnOnce(&mut ExecutionLog) -> R) -> R {
+        // Journal frames record log positions; an arbitrary rewrite
+        // invalidates them, so journaling deactivates (the file stays on
+        // disk — its frames still describe acked history against the old
+        // manifest, which is what a crash before the next checkpoint needs).
+        let mut journal = self.journal.lock().expect("journal lock poisoned");
+        *journal = None;
+        *self
+            .journal_seed
+            .lock()
+            .expect("journal seed lock poisoned") = None;
         let mut log = self.log.write().expect("log lock poisoned");
         let result = f(&mut log);
         self.views
@@ -633,8 +736,15 @@ impl XplainService {
     }
 
     /// Replaces the served log wholesale, dropping every cached view (the
-    /// new log's generation counter is unrelated to the old one's).
+    /// new log's generation counter is unrelated to the old one's).  Like
+    /// [`XplainService::with_log_mut`] this deactivates the append journal.
     pub fn replace_log(&self, log: ExecutionLog) {
+        let mut journal = self.journal.lock().expect("journal lock poisoned");
+        *journal = None;
+        *self
+            .journal_seed
+            .lock()
+            .expect("journal seed lock poisoned") = None;
         let mut guard = self.log.write().expect("log lock poisoned");
         *guard = log;
         self.views
@@ -650,7 +760,28 @@ impl XplainService {
     /// cached views survive whenever their kind's schema was unchanged by
     /// the batch (the common case) and the next query refreshes them in
     /// O(batch) by splicing a tail segment instead of re-encoding the log.
-    pub fn append(&self, records: Vec<ExecutionRecord>) -> AppendOutcome {
+    /// With an append journal enabled ([`XplainService::enable_journal`])
+    /// the batch is framed and written to `journal.bin` **before** the
+    /// in-memory append — a journal error means nothing was appended and
+    /// nothing may be acknowledged.  [`AppendOutcome::durable`] reports
+    /// whether the frame was fsynced under the journal's policy.
+    pub fn append(&self, records: Vec<ExecutionRecord>) -> Result<AppendOutcome> {
+        let mut journal = self.journal.lock().expect("journal lock poisoned");
+        let durable = match journal.as_mut() {
+            Some(journal) => {
+                let start_rows = self.read_log().len() as u64;
+                journal.append_batch(start_rows, &records)?
+            }
+            None => false,
+        };
+        Ok(self.append_in_memory(records, durable))
+    }
+
+    /// The in-memory half of an append: extend the log and retain only the
+    /// cached views whose kind saw no schema change.  Callers hold the
+    /// journal mutex (or know no journal exists), so journal frames and
+    /// log positions stay in lockstep.
+    fn append_in_memory(&self, records: Vec<ExecutionRecord>, durable: bool) -> AppendOutcome {
         let appended = records.len();
         let mut log = self.log.write().expect("log lock poisoned");
         let generation = log.append(records);
@@ -663,7 +794,147 @@ impl XplainService {
         AppendOutcome {
             generation,
             appended,
+            durable,
         }
+    }
+
+    /// Enables the write-ahead append journal in `dir`: every subsequent
+    /// [`XplainService::append`] frames the batch into
+    /// `dir/journal.bin` before it is acknowledged, under `policy`
+    /// ([`FsyncPolicy`](crate::snapshot::FsyncPolicy)).  Requires checkpoint
+    /// lineage for `dir` (the log was opened from, persisted to, or
+    /// checkpointed into it, with only appends since) — journal frames
+    /// record positions relative to that directory's manifest, so an
+    /// unanchored enable fails with
+    /// [`CoreError::JournalNotAnchored`](crate::CoreError::JournalNotAnchored).
+    ///
+    /// When the service was just opened from `dir` and replayed its
+    /// journal, the journal **resumes** after the last valid frame instead
+    /// of resetting, so replayed-but-not-yet-checkpointed frames keep
+    /// covering their records.  Records appended between the checkpoint and
+    /// this call are caught up into the journal immediately.
+    pub fn enable_journal(
+        &self,
+        dir: &std::path::Path,
+        policy: crate::snapshot::FsyncPolicy,
+    ) -> Result<()> {
+        let mut journal = self.journal.lock().expect("journal lock poisoned");
+        let checkpoint_rows = {
+            let state = self.checkpoint.lock().expect("checkpoint lock poisoned");
+            match &*state {
+                Some(s) if s.dir == dir => s.rows,
+                _ => {
+                    return Err(crate::error::CoreError::JournalNotAnchored {
+                        path: dir.display().to_string(),
+                    })
+                }
+            }
+        };
+        let mut seed = self
+            .journal_seed
+            .lock()
+            .expect("journal seed lock poisoned");
+        let (mut new, covered) = match seed.take() {
+            Some(s) if s.dir == dir => {
+                let journal =
+                    crate::snapshot::Journal::resume(dir, policy, &s.replay, s.frames_applied)?;
+                (journal, s.rows_covered)
+            }
+            other => {
+                *seed = other;
+                (
+                    crate::snapshot::Journal::create(dir, policy)?,
+                    checkpoint_rows,
+                )
+            }
+        };
+        drop(seed);
+        // Catch up: records acked since the journal's coverage ends (e.g.
+        // appended before this call) get one bridging frame, so a crash
+        // from here on loses nothing the policy promised.
+        {
+            let log = self.read_log();
+            if log.len() > covered {
+                new.append_batch(covered as u64, &log.records()[covered..])?;
+            }
+        }
+        *journal = Some(new);
+        Ok(())
+    }
+
+    /// Flushes any journal frames not yet fsynced (a no-op without a
+    /// journal or when nothing is pending) — the pre-shutdown complement
+    /// to [`FsyncPolicy::EveryN`](crate::snapshot::FsyncPolicy) and
+    /// [`FsyncPolicy::OnCheckpoint`](crate::snapshot::FsyncPolicy).
+    pub fn sync_journal(&self) -> Result<()> {
+        match self.journal.lock().expect("journal lock poisoned").as_mut() {
+            Some(journal) => journal.sync(),
+            None => Ok(()),
+        }
+    }
+
+    /// Journal health counters for the status probe, `None` while no
+    /// journal is enabled.
+    pub fn journal_stats(&self) -> Option<crate::snapshot::JournalStats> {
+        self.journal
+            .lock()
+            .expect("journal lock poisoned")
+            .as_ref()
+            .map(|journal| journal.stats())
+    }
+
+    /// Replays `dir`'s append journal over the just-opened log: acked
+    /// batches the last checkpoint missed splice back in through the
+    /// regular append path (per-kind delta repair included), and the views
+    /// the snapshot pre-cached are refreshed immediately, so the first
+    /// query after a restart serves the replayed tail without a rebuild.
+    /// Frames record absolute log positions — already-covered frames are
+    /// skipped, and a positional gap stops the replay conservatively.
+    fn replay_journal(&self, dir: &std::path::Path) -> Result<u64> {
+        let mut replay = crate::snapshot::read_journal(dir)?;
+        let batches = std::mem::take(&mut replay.batches);
+        let mut covered = self.with_log(|log| log.len());
+        let mut frames_applied = 0u64;
+        for batch in batches {
+            let start = batch.start_rows as usize;
+            let count = batch.records.len();
+            if start.saturating_add(count) <= covered {
+                // Already part of the manifest (a crash landed between the
+                // checkpoint commit and the journal rotation).
+                frames_applied += 1;
+                continue;
+            }
+            if start != covered {
+                break; // positional gap: never splice against the wrong base
+            }
+            self.append_in_memory(batch.records, false);
+            covered += count;
+            frames_applied += 1;
+        }
+        // Refresh the views the snapshot pre-cached so the replayed tail is
+        // spliced now, off the query path.  Kinds without a cached view
+        // stay lazy — warming them here would charge a full build to the
+        // open.
+        let kinds: Vec<ExecutionKind> = {
+            let cache = self.views.read().expect("view cache lock poisoned");
+            cache.keys().copied().collect()
+        };
+        {
+            let log = self.read_log();
+            for kind in kinds {
+                self.view_for(&log, kind);
+            }
+        }
+        *self
+            .journal_seed
+            .lock()
+            .expect("journal seed lock poisoned") = Some(JournalSeed {
+            dir: dir.to_path_buf(),
+            replay,
+            frames_applied,
+            rows_covered: covered,
+        });
+        Ok(frames_applied)
     }
 
     /// Synchronously folds every cached view's tail into its base
@@ -807,7 +1078,7 @@ impl XplainService {
         let bound = request.resolve()?;
         let config = request.config.as_ref().unwrap_or_else(|| self.config());
         let log = self.read_log();
-        let rows = log.of_kind(bound.kind).count() as u64;
+        let rows = log.rows_of_kind(bound.kind) as u64;
         let scanned_pairs = (rows * rows.saturating_sub(1)).min(config.max_candidate_pairs as u64);
         // Each raw feature fans out into a small constant number of pair
         // features; the catalog length is the right scale factor.
@@ -875,23 +1146,25 @@ impl XplainService {
                     return (entry.view.clone(), true);
                 }
                 Some(entry) if entry.generation >= log.rewrite_generation(kind) => {
-                    Some(entry.view.clone())
+                    Some((entry.view.clone(), entry.rows_covered))
                 }
                 _ => None,
             }
         };
         let (view, reused) = match delta_base {
-            Some(prev) => {
-                // Appends only extend the record list, so the cached view's
-                // rows are exactly the first `num_rows` records of this
-                // kind; everything after is the fresh tail.
-                let fresh: Vec<&ExecutionRecord> =
-                    log.of_kind(kind).skip(prev.num_rows()).collect();
-                if fresh.is_empty() {
-                    // The generation bumps came from the *other* kind's
-                    // appends; the view content is already current.
+            Some((prev, covered)) => {
+                // Appends only extend the record list, so the cached view
+                // holds every record of this kind in `records[..covered]`
+                // and the per-kind row count tells in O(1) whether any
+                // arrived since — an interleaved append storm of the
+                // *other* kind costs this kind neither a scan nor a splice.
+                if log.rows_of_kind(kind) == prev.num_rows() {
                     (prev, true)
                 } else {
+                    let fresh: Vec<&ExecutionRecord> = log.records()[covered..]
+                        .iter()
+                        .filter(|record| record.kind == kind)
+                        .collect();
                     let spliced = Arc::new(prev.with_appended(log.catalog(kind), &fresh));
                     self.stats.delta_refreshes.fetch_add(1, Ordering::Relaxed);
                     (spliced, false)
@@ -908,11 +1181,13 @@ impl XplainService {
             let entry = cache.entry(kind).or_insert_with(|| CachedView {
                 view: view.clone(),
                 generation,
+                rows_covered: log.len(),
             });
             if entry.generation != generation {
                 *entry = CachedView {
                     view: view.clone(),
                     generation,
+                    rows_covered: log.len(),
                 };
             }
             // A racing query may have installed this generation already;
@@ -1257,7 +1532,7 @@ mod tests {
         let before = service.explain(&request()).unwrap();
         assert_eq!(service.view_stats().full_rebuilds, 1);
 
-        let outcome = service.append(extra_jobs(40, 10));
+        let outcome = service.append(extra_jobs(40, 10)).unwrap();
         assert_eq!(outcome.appended, 10);
         // The cached view survives the append (schema unchanged) ...
         assert_eq!(service.cached_view_count(), 1);
@@ -1288,12 +1563,14 @@ mod tests {
 
         // A record carrying a feature the job catalog has never seen moves
         // the schema: the cached job view is stale beyond delta repair.
-        service.append(vec![ExecutionRecord::job("job_oddball")
-            .with_feature("inputsize", 1.0e9)
-            .with_feature("blocksize", 64.0)
-            .with_feature("numinstances", 4.0)
-            .with_feature("duration", 10.0)
-            .with_feature("brand_new_knob", 7.0)]);
+        service
+            .append(vec![ExecutionRecord::job("job_oddball")
+                .with_feature("inputsize", 1.0e9)
+                .with_feature("blocksize", 64.0)
+                .with_feature("numinstances", 4.0)
+                .with_feature("duration", 10.0)
+                .with_feature("brand_new_knob", 7.0)])
+            .unwrap();
         assert_eq!(service.cached_view_count(), 0);
 
         let after = service.explain(&request()).unwrap();
@@ -1311,7 +1588,7 @@ mod tests {
     fn compact_views_folds_the_tail_without_changing_answers() {
         let service = XplainService::new(block_size_log(40));
         service.explain(&request()).unwrap();
-        service.append(extra_jobs(40, 8));
+        service.append(extra_jobs(40, 8)).unwrap();
         let delta = service.explain(&request()).unwrap();
         assert_eq!(service.view_stats().tail_rows, 8);
 
@@ -1334,7 +1611,7 @@ mod tests {
         let service = XplainService::new(block_size_log(40))
             .with_compaction_policy(CompactionPolicy { tail_limit: 4 });
         service.explain(&request()).unwrap();
-        service.append(extra_jobs(40, 8));
+        service.append(extra_jobs(40, 8)).unwrap();
         // This refresh splices an 8-row tail — past the limit, so a
         // background fold is scheduled on the shared pool.
         service.explain(&request()).unwrap();
@@ -1385,7 +1662,7 @@ mod tests {
 
         // Appends since the persist → the checkpoint writes one tail shard
         // and keeps every base shard verbatim.
-        service.append(extra_jobs(40, 6));
+        service.append(extra_jobs(40, 6)).unwrap();
         let incremental = service.checkpoint(&dir).unwrap();
         assert_eq!(incremental.shards_encoded, 1);
         assert_eq!(incremental.shards_reused, base_shards);
@@ -1407,6 +1684,162 @@ mod tests {
         assert_eq!(rewritten.shards_reused, 0);
         assert!(rewritten.shards_encoded >= 1);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn journal_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("pxsvc_jnl_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn journal_requires_checkpoint_lineage() {
+        use crate::error::CoreError;
+        use crate::snapshot::FsyncPolicy;
+        let dir = journal_dir("anchor");
+        let service = XplainService::new(block_size_log(24));
+        // No checkpoint yet: journal frames would have nothing to anchor to.
+        let err = service
+            .enable_journal(&dir, FsyncPolicy::Always)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::JournalNotAnchored { .. }));
+        // After a persist into the directory, enabling succeeds.
+        service.persist(&dir).unwrap();
+        service.enable_journal(&dir, FsyncPolicy::Always).unwrap();
+        assert!(service.journal_stats().is_some());
+        // A non-append mutation deactivates the journal.
+        service.with_log_mut(|log| log.rebuild_catalogs());
+        assert!(service.journal_stats().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journaled_appends_survive_a_restart_and_reopen_warm() {
+        use crate::snapshot::FsyncPolicy;
+        let dir = journal_dir("recover");
+        let service = XplainService::new(block_size_log(40));
+        service.persist(&dir).unwrap();
+        service.enable_journal(&dir, FsyncPolicy::Always).unwrap();
+        let outcome = service.append(extra_jobs(40, 6)).unwrap();
+        assert!(outcome.durable, "fsync=Always must ack durable");
+        let outcome = service.append(extra_jobs(46, 4)).unwrap();
+        assert!(outcome.durable);
+        let stats = service.journal_stats().unwrap();
+        assert_eq!(stats.frames_appended, 2);
+        assert_eq!(stats.fsyncs, 2);
+
+        // "Crash": drop the service without a checkpoint.  The reopened
+        // store replays the journal over the manifest...
+        let expected = service.snapshot();
+        drop(service);
+        let reopened = XplainService::open_snapshot(&dir).unwrap();
+        assert_eq!(reopened.snapshot(), expected);
+        // ... and the first query is served from the replayed tail: the
+        // snapshot's pre-cached view was delta-refreshed, never rebuilt.
+        let before = reopened.view_stats();
+        assert_eq!(before.full_rebuilds, 0);
+        assert_eq!(before.tail_rows, 10);
+        let answer = reopened.explain(&request()).unwrap();
+        assert!(answer.view_reused);
+        assert_eq!(reopened.view_stats().full_rebuilds, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopened_journal_resumes_and_keeps_protecting_replayed_frames() {
+        use crate::snapshot::FsyncPolicy;
+        let dir = journal_dir("resume");
+        let service = XplainService::new(block_size_log(40));
+        service.persist(&dir).unwrap();
+        service.enable_journal(&dir, FsyncPolicy::Always).unwrap();
+        service.append(extra_jobs(40, 6)).unwrap();
+        drop(service);
+
+        // First restart: replay, re-enable (resumes after the replayed
+        // frame), append more, crash again without ever checkpointing.
+        let restarted = XplainService::open_snapshot(&dir).unwrap();
+        restarted.enable_journal(&dir, FsyncPolicy::Always).unwrap();
+        assert_eq!(restarted.journal_stats().unwrap().frames_replayed, 1);
+        restarted.append(extra_jobs(46, 4)).unwrap();
+        let expected = restarted.snapshot();
+        drop(restarted);
+
+        // Second restart: both the pre-crash frame and the post-restart
+        // frame replay — resuming never dropped the first one.
+        let recovered = XplainService::open_snapshot(&dir).unwrap();
+        assert_eq!(recovered.snapshot(), expected);
+        assert_eq!(recovered.with_log(|log| log.len()), 50);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_rotate_the_journal_and_appends_before_enable_catch_up() {
+        use crate::snapshot::FsyncPolicy;
+        let dir = journal_dir("rotate");
+        let service = XplainService::new(block_size_log(40));
+        service.persist(&dir).unwrap();
+        service
+            .enable_journal(&dir, FsyncPolicy::OnCheckpoint)
+            .unwrap();
+        let outcome = service.append(extra_jobs(40, 6)).unwrap();
+        assert!(!outcome.durable, "OnCheckpoint never fsyncs on append");
+        let before = service.journal_stats().unwrap();
+        assert_eq!(before.frames_appended, 1);
+
+        // The checkpoint absorbs the tail into a segment and rotates the
+        // journal: the old frames are gone, the cursor is back at the
+        // header, and the rotation generation matches the manifest's.
+        let report = service.checkpoint(&dir).unwrap();
+        let after = service.journal_stats().unwrap();
+        assert!(after.bytes < before.bytes);
+        assert_eq!(after.last_rotation_generation, report.manifest.generation);
+
+        // A crash right after the checkpoint loses nothing: the manifest
+        // covers everything and the fresh journal is empty.
+        let expected = service.snapshot();
+        drop(service);
+        let reopened = XplainService::open_snapshot(&dir).unwrap();
+        assert_eq!(reopened.snapshot(), expected);
+
+        // Records appended before `enable_journal` are bridged into the
+        // journal at enable time, so they too survive a crash.
+        reopened.append(extra_jobs(46, 3)).unwrap();
+        reopened.enable_journal(&dir, FsyncPolicy::Always).unwrap();
+        let expected = reopened.snapshot();
+        drop(reopened);
+        let recovered = XplainService::open_snapshot(&dir).unwrap();
+        assert_eq!(recovered.snapshot(), expected);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interleaved_kind_appends_leave_the_other_kinds_view_untouched() {
+        // The mixed-kind append-storm gap: appending tasks must not force
+        // the cached job view to rescan (or rebuild over) the job rows.
+        let service = XplainService::new(block_size_log(40));
+        service.explain(&request()).unwrap();
+        assert_eq!(service.view_stats().full_rebuilds, 1);
+
+        for i in 0..5 {
+            service
+                .append(vec![ExecutionRecord::task(format!("task_{i}"), "job_0")
+                    .with_feature("duration", 5.0)])
+                .unwrap();
+            // The job view answers without a delta splice or rebuild: the
+            // per-kind row count shows nothing of its kind arrived.
+            let answer = service.explain(&request()).unwrap();
+            assert!(answer.view_reused);
+        }
+        let stats = service.view_stats();
+        assert_eq!(stats.full_rebuilds, 1);
+        assert_eq!(stats.delta_refreshes, 0);
+
+        // Job appends still delta-refresh as before.
+        service.append(extra_jobs(40, 4)).unwrap();
+        service.explain(&request()).unwrap();
+        let stats = service.view_stats();
+        assert_eq!(stats.full_rebuilds, 1);
+        assert_eq!(stats.delta_refreshes, 1);
     }
 
     #[test]

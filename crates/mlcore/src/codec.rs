@@ -36,7 +36,9 @@
 //!   whenever packing would not be strictly smaller — so NaN, ±inf, `-0.0`
 //!   and fractional values always round-trip **bit-exactly**.
 
+use crate::hash::FxHasher;
 use std::fmt;
+use std::hash::Hasher;
 
 /// Decoding failure: the input is shorter than a read requires, or a read
 /// value is structurally invalid (bad tag, bad UTF-8, id out of range).
@@ -176,6 +178,27 @@ impl ByteWriter {
         self.buf[prefix_at..body_at].copy_from_slice(&body_len.to_le_bytes());
     }
 
+    /// Appends a checksummed block: a `u32` body length, the FxHash-64
+    /// fingerprint of the body, then the body produced by `fill`.  The
+    /// matching [`ByteReader::get_checksummed_block`] verifies the
+    /// fingerprint before handing the body out, so a flipped bit anywhere
+    /// in the block surfaces as [`CodecError::Invalid`] instead of a
+    /// silently corrupt decode — the framing the durable append journal
+    /// stores its record batches in.
+    pub fn put_checksummed_block(&mut self, fill: impl FnOnce(&mut ByteWriter)) {
+        let prefix_at = self.buf.len();
+        self.put_u32(0);
+        self.put_u64(0);
+        let body_at = self.buf.len();
+        fill(self);
+        let body_len = (self.buf.len() - body_at) as u32;
+        let mut hasher = FxHasher::default();
+        hasher.write(&self.buf[body_at..]);
+        let fingerprint = hasher.finish();
+        self.buf[prefix_at..prefix_at + 4].copy_from_slice(&body_len.to_le_bytes());
+        self.buf[prefix_at + 4..body_at].copy_from_slice(&fingerprint.to_le_bytes());
+    }
+
     /// Appends `values` bit-packed at `width` bits each, LSB-first within
     /// each byte, padded with zero bits to the next byte boundary.  Every
     /// value must fit in `width` bits (`width == 0` writes nothing and is
@@ -307,6 +330,30 @@ impl<'a> ByteReader<'a> {
     pub fn get_block(&mut self) -> CodecResult<ByteReader<'a>> {
         let len = self.get_count()?;
         Ok(ByteReader::new(self.take(len)?))
+    }
+
+    /// Reads a checksummed block written by
+    /// [`ByteWriter::put_checksummed_block`]: the `u32` body length and the
+    /// `u64` FxHash-64 fingerprint are consumed, the body is fingerprinted
+    /// and compared, and only a verified body is returned (as a reader over
+    /// exactly the block; the outer cursor advances past it).  A length
+    /// pointing past the input is [`CodecError::Truncated`]; a fingerprint
+    /// mismatch is [`CodecError::Invalid`].  No allocation is sized by the
+    /// untrusted length — the body is a borrowed slice.
+    pub fn get_checksummed_block(&mut self) -> CodecResult<ByteReader<'a>> {
+        let len = self.get_u32()? as usize;
+        let expected = self.get_u64()?;
+        let body = self.take(len)?;
+        let mut hasher = FxHasher::default();
+        hasher.write(body);
+        let actual = hasher.finish();
+        if actual != expected {
+            return Err(CodecError::Invalid(format!(
+                "checksummed block fingerprint mismatch: stored {expected:016x}, \
+                 computed {actual:016x}"
+            )));
+        }
+        Ok(ByteReader::new(body))
     }
 
     /// Reads `count` values bit-packed at `width` bits each (the inverse of
@@ -598,6 +645,48 @@ mod tests {
         let bytes = w.into_bytes();
         let mut r = ByteReader::new(&bytes);
         assert!(matches!(r.get_str(), Err(CodecError::Invalid(_))));
+    }
+
+    #[test]
+    fn checksummed_blocks_round_trip_and_detect_every_flip() {
+        let mut w = ByteWriter::new();
+        w.put_checksummed_block(|w| {
+            w.put_str("payload");
+            w.put_u64(1234);
+        });
+        w.put_u8(99);
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        let mut block = r.get_checksummed_block().unwrap();
+        assert_eq!(block.get_str().unwrap(), "payload");
+        assert_eq!(block.get_u64().unwrap(), 1234);
+        assert!(block.is_exhausted());
+        assert_eq!(r.get_u8().unwrap(), 99);
+
+        // A flip anywhere — header or body — is detected, never a panic.
+        for i in 0..bytes.len() - 1 {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            let mut r = ByteReader::new(&corrupt);
+            assert!(
+                r.get_checksummed_block().is_err(),
+                "flip at byte {i} went undetected"
+            );
+        }
+        // Any truncation of the block itself is detected.
+        for cut in 0..bytes.len() - 1 {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(r.get_checksummed_block().is_err(), "cut at {cut}");
+        }
+
+        // The empty block round-trips too.
+        let mut w = ByteWriter::new();
+        w.put_checksummed_block(|_| {});
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        assert!(r.get_checksummed_block().unwrap().is_exhausted());
+        assert!(r.is_exhausted());
     }
 
     #[test]

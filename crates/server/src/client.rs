@@ -22,6 +22,19 @@ pub struct Client {
     reader: BufReader<TcpStream>,
 }
 
+/// Acknowledgement for a (possibly multi-frame) append drive.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AppendAck {
+    /// Records the server accepted into the served log.
+    pub appended: u64,
+    /// The log generation after the last accepted batch.
+    pub generation: u64,
+    /// True only when *every* batch was acknowledged durable — fsynced to
+    /// the server's append journal before the ack was sent.  False when the
+    /// server runs without a journal or under a deferred fsync policy.
+    pub durable: bool,
+}
+
 impl Client {
     /// Connects to a running server.
     pub fn connect(addr: &str) -> std::io::Result<Client> {
@@ -91,21 +104,24 @@ impl Client {
     /// `max_frame_bytes` (the server's line cap —
     /// [`ServerConfig::max_frame_bytes`](crate::ServerConfig), 1 MiB by
     /// default), sized by each record's actual serialized length.  Returns
-    /// `(total records acknowledged, final generation)`; a rejected batch
-    /// surfaces the server's typed error as [`std::io::Error`].  A single
-    /// record too large for one frame is sent anyway, so the server's own
-    /// limit stays authoritative.
+    /// an [`AppendAck`] totalling the drive; a rejected batch surfaces the
+    /// server's typed error as [`std::io::Error`].  A single record too
+    /// large for one frame is sent anyway, so the server's own limit stays
+    /// authoritative.
     pub fn append_batched(
         &mut self,
         records: &[perfxplain_core::ExecutionRecord],
         max_frame_bytes: usize,
-    ) -> std::io::Result<(u64, u64)> {
+    ) -> std::io::Result<AppendAck> {
         // Budget for the record array inside one frame: the line cap minus
         // generous headroom for the request envelope and JSON-string
         // escaping of the embedded array.
         let budget = max_frame_bytes.saturating_sub(1024) / 2;
-        let mut appended = 0u64;
-        let mut generation = 0u64;
+        let mut total = AppendAck {
+            durable: true,
+            ..AppendAck::default()
+        };
+        let mut batches = 0u64;
         let mut batch_start = 0;
         let mut batch_bytes = 2; // "[]"
         for (i, record) in records.iter().enumerate() {
@@ -114,27 +130,34 @@ impl Client {
                 .len()
                 + 1; // the separating comma
             if i > batch_start && batch_bytes + bytes > budget {
-                let (count, gen) = self.append_checked(&records[batch_start..i])?;
-                appended += count;
-                generation = gen;
+                let ack = self.append_checked(&records[batch_start..i])?;
+                total.appended += ack.appended;
+                total.generation = ack.generation;
+                total.durable &= ack.durable;
+                batches += 1;
                 batch_start = i;
                 batch_bytes = 2;
             }
             batch_bytes += bytes;
         }
         if batch_start < records.len() {
-            let (count, gen) = self.append_checked(&records[batch_start..])?;
-            appended += count;
-            generation = gen;
+            let ack = self.append_checked(&records[batch_start..])?;
+            total.appended += ack.appended;
+            total.generation = ack.generation;
+            total.durable &= ack.durable;
+            batches += 1;
         }
-        Ok((appended, generation))
+        if batches == 0 {
+            total.durable = false;
+        }
+        Ok(total)
     }
 
     /// One `append` call with a non-ok response turned into an error.
     fn append_checked(
         &mut self,
         records: &[perfxplain_core::ExecutionRecord],
-    ) -> std::io::Result<(u64, u64)> {
+    ) -> std::io::Result<AppendAck> {
         let response = self.append(records)?;
         if !response.is_ok() {
             return Err(std::io::Error::new(
@@ -146,10 +169,22 @@ impl Client {
                 ),
             ));
         }
-        Ok((
-            response.appended.unwrap_or(0),
-            response.generation.unwrap_or(0),
-        ))
+        Ok(AppendAck {
+            appended: response.appended.unwrap_or(0),
+            generation: response.generation.unwrap_or(0),
+            durable: response.durable.unwrap_or(false),
+        })
+    }
+
+    /// Asks the server to drain and shut down (the `"shutdown"` admin
+    /// frame): it stops accepting new connections, finishes queued and
+    /// in-flight requests within its drain deadline, and exits.  Returns
+    /// the acknowledgement; the connection is useless afterwards.
+    pub fn shutdown(&mut self) -> std::io::Result<WireResponse> {
+        self.call(&WireRequest {
+            target: Some("shutdown".to_string()),
+            ..WireRequest::default()
+        })
     }
 }
 

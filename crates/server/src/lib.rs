@@ -124,7 +124,7 @@ pub mod protocol;
 pub mod scheduler;
 pub mod server;
 
-pub use client::{default_request, run_load, Client, LoadReport};
+pub use client::{default_request, run_load, AppendAck, Client, LoadReport};
 pub use cost::QueryCost;
 pub use protocol::{WireRequest, WireResponse};
 pub use scheduler::{ChargeHandle, Rejection, Scheduler, SchedulerConfig, SchedulerStats};

@@ -88,6 +88,12 @@ pub struct WireResponse {
     pub related_pairs: Option<u64>,
     /// Records ingested (append responses only).
     pub appended: Option<u64>,
+    /// Whether the appended batch was fsynced into the append journal
+    /// before this acknowledgement (append responses only).  `false` means
+    /// the record is in memory — and in the journal file when one is
+    /// enabled — but a crash before the next fsync or checkpoint may drop
+    /// it.
+    pub durable: Option<bool>,
     /// Milliseconds since the event loop started (status probe only).
     pub uptime_ms: Option<u64>,
     /// Requests admitted by the scheduler so far (status probe only).
@@ -122,6 +128,22 @@ pub struct WireResponse {
     /// Unix timestamp (ms) of the last compaction; 0 if none (status probe
     /// only).
     pub last_compaction_unix_ms: Option<u64>,
+    /// Append-journal size in bytes, header included (status probe only;
+    /// absent while no journal is enabled).
+    pub journal_bytes: Option<u64>,
+    /// Frames appended to the journal since the server started (status
+    /// probe only).
+    pub journal_frames_appended: Option<u64>,
+    /// Frames replayed from the journal when the store was opened (status
+    /// probe only).
+    pub journal_frames_replayed: Option<u64>,
+    /// Torn/corrupt tails truncated at open (status probe only).
+    pub journal_frames_truncated: Option<u64>,
+    /// Journal fsyncs performed so far (status probe only).
+    pub journal_fsyncs: Option<u64>,
+    /// Manifest generation of the last journal rotation; 0 before the
+    /// first checkpoint (status probe only).
+    pub journal_last_rotation_generation: Option<u64>,
 }
 
 /// The admission queue is full: retry later (load shedding).
@@ -196,9 +218,9 @@ impl WireResponse {
         let (code, kind) = match err {
             CoreError::Pxql(_) | CoreError::KindMismatch { .. } => (400, ERR_PXQL),
             CoreError::UnknownExecution(_) => (404, ERR_UNKNOWN_EXECUTION),
-            CoreError::QueryPreconditionViolated(_) | CoreError::NotEnoughTrainingPairs { .. } => {
-                (422, ERR_PRECONDITION)
-            }
+            CoreError::QueryPreconditionViolated(_)
+            | CoreError::NotEnoughTrainingPairs { .. }
+            | CoreError::JournalNotAnchored { .. } => (422, ERR_PRECONDITION),
             CoreError::DeadlineExceeded => (408, ERR_DEADLINE),
             CoreError::Cancelled => (499, ERR_CANCELLED),
             CoreError::Serialization(_)

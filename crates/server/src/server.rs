@@ -47,6 +47,10 @@ pub struct ServerConfig {
     /// Maximum buffered response bytes per connection before the client is
     /// treated as a slow consumer and dropped.
     pub max_write_buffer: usize,
+    /// How long a graceful shutdown ([`ServerHandle::drain`] or the
+    /// `shutdown` admin frame) waits for queued and in-flight requests to
+    /// finish before the loop exits anyway.
+    pub drain_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +62,7 @@ impl Default for ServerConfig {
             default_timeout: Some(Duration::from_secs(30)),
             max_frame_bytes: 1 << 20,
             max_write_buffer: 4 << 20,
+            drain_timeout: Duration::from_secs(5),
         }
     }
 }
@@ -136,6 +141,7 @@ impl ServerStats {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    drain: Arc<AtomicBool>,
     stats: Arc<ServerStats>,
     join: Option<std::thread::JoinHandle<()>>,
 }
@@ -156,6 +162,25 @@ impl ServerHandle {
     pub fn shutdown(mut self) -> StatsSnapshot {
         self.stop();
         self.stats.snapshot()
+    }
+
+    /// Gracefully shuts down: stop accepting connections, let queued and
+    /// in-flight requests finish (bounded by
+    /// [`ServerConfig::drain_timeout`]), flush their responses, then stop.
+    /// Blocks until the loop exits.  The `shutdown` admin frame triggers
+    /// the same path from the wire.
+    pub fn drain(mut self) -> StatsSnapshot {
+        self.drain.store(true, Ordering::Relaxed);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+        self.stats.snapshot()
+    }
+
+    /// Whether the event loop has exited (e.g. a client sent the
+    /// `shutdown` admin frame and the drain completed).
+    pub fn is_finished(&self) -> bool {
+        self.join.as_ref().is_none_or(|join| join.is_finished())
     }
 
     fn stop(&mut self) {
@@ -189,15 +214,27 @@ pub fn spawn(service: Arc<XplainService>, config: ServerConfig) -> std::io::Resu
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let drain = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
     let loop_shutdown = Arc::clone(&shutdown);
+    let loop_drain = Arc::clone(&drain);
     let loop_stats = Arc::clone(&stats);
     let join = std::thread::Builder::new()
         .name("pxserve-loop".to_string())
-        .spawn(move || event_loop(listener, service, config, &loop_shutdown, &loop_stats))?;
+        .spawn(move || {
+            event_loop(
+                listener,
+                service,
+                config,
+                &loop_shutdown,
+                &loop_drain,
+                &loop_stats,
+            )
+        })?;
     Ok(ServerHandle {
         addr,
         shutdown,
+        drain,
         stats,
         join: Some(join),
     })
@@ -208,6 +245,7 @@ fn event_loop(
     service: Arc<XplainService>,
     config: ServerConfig,
     shutdown: &AtomicBool,
+    drain: &Arc<AtomicBool>,
     stats: &Arc<ServerStats>,
 ) {
     let pool = Arc::new(WorkerPool::new(config.workers));
@@ -219,39 +257,47 @@ fn event_loop(
     let mut next_session = 1u64;
     let started = Instant::now();
     let mut last_sweep = Instant::now();
+    let mut drain_deadline: Option<Instant> = None;
 
     while !shutdown.load(Ordering::Relaxed) {
         let mut progressed = false;
+        let draining = drain.load(Ordering::Relaxed);
+        if draining && drain_deadline.is_none() {
+            drain_deadline = Some(Instant::now() + config.drain_timeout);
+        }
 
-        // Accept every pending connection.  The "server.accept" failpoint
-        // models a transiently failing accept(2): any injected fault skips
-        // this tick's accepts (pending connections stay in the backlog and
-        // are picked up next time around).
-        loop {
-            if perfxplain_core::failpoints::trigger("server.accept").is_some() {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    if stream.set_nonblocking(true).is_err() {
-                        continue;
-                    }
-                    let _ = stream.set_nodelay(true);
-                    sessions.insert(
-                        next_session,
-                        Session {
-                            stream,
-                            read_buf: Vec::new(),
-                            write_buf: Vec::new(),
-                            close_after_flush: false,
-                        },
-                    );
-                    next_session += 1;
-                    stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
-                    progressed = true;
+        // Accept every pending connection (a draining server stops
+        // accepting — existing sessions are served to completion).  The
+        // "server.accept" failpoint models a transiently failing accept(2):
+        // any injected fault skips this tick's accepts (pending connections
+        // stay in the backlog and are picked up next time around).
+        if !draining {
+            loop {
+                if perfxplain_core::failpoints::trigger("server.accept").is_some() {
+                    break;
                 }
-                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
-                Err(_) => break,
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nonblocking(true).is_err() {
+                            continue;
+                        }
+                        let _ = stream.set_nodelay(true);
+                        sessions.insert(
+                            next_session,
+                            Session {
+                                stream,
+                                read_buf: Vec::new(),
+                                write_buf: Vec::new(),
+                                close_after_flush: false,
+                            },
+                        );
+                        next_session += 1;
+                        stats.sessions_accepted.fetch_add(1, Ordering::Relaxed);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
             }
         }
 
@@ -301,6 +347,7 @@ fn event_loop(
                     stats,
                     &config,
                     started,
+                    drain,
                 ) {
                     session
                         .write_buf
@@ -369,7 +416,50 @@ fn event_loop(
             last_sweep = Instant::now();
         }
 
+        // A draining loop exits once nothing is queued, running, or
+        // buffered — or once the bounded drain deadline passes.
+        if draining {
+            let sched = scheduler.stats();
+            let idle = sched.queued == 0
+                && sched.inflight.units() == 0
+                && sessions.values().all(|s| s.write_buf.is_empty());
+            if idle || drain_deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+                break;
+            }
+        }
+
         if !progressed {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    // Final flush: a worker may have finished between this tick's
+    // completion sweep and the idle check — give already-computed
+    // responses a short, bounded window to reach their sockets.
+    if drain.load(Ordering::Relaxed) && !shutdown.load(Ordering::Relaxed) {
+        let deadline = Instant::now() + Duration::from_millis(250);
+        loop {
+            while let Ok((session_id, line)) = completions_rx.try_recv() {
+                if let Some(session) = sessions.get_mut(&session_id) {
+                    session.write_buf.extend_from_slice(line.as_bytes());
+                }
+            }
+            let mut pending = false;
+            for session in sessions.values_mut() {
+                if session.write_buf.is_empty() {
+                    continue;
+                }
+                match session.stream.write(&session.write_buf) {
+                    Ok(written) if written > 0 => {
+                        session.write_buf.drain(..written);
+                    }
+                    _ => {}
+                }
+                pending |= !session.write_buf.is_empty();
+            }
+            if (!pending && scheduler.stats().inflight.units() == 0) || Instant::now() >= deadline {
+                break;
+            }
             std::thread::sleep(Duration::from_millis(1));
         }
     }
@@ -436,6 +526,7 @@ fn handle_frame(
     stats: &Arc<ServerStats>,
     config: &ServerConfig,
     started: Instant,
+    drain: &Arc<AtomicBool>,
 ) -> Option<WireResponse> {
     let wire = match protocol::decode_request(frame) {
         Ok(wire) => wire,
@@ -459,6 +550,7 @@ fn handle_frame(
             let sched = scheduler.stats();
             let snapshot = stats.snapshot();
             let views = service.view_stats();
+            let journal = service.journal_stats();
             return Some(WireResponse {
                 id,
                 status: "ok".to_string(),
@@ -479,6 +571,28 @@ fn handle_frame(
                 full_rebuilds: Some(views.full_rebuilds),
                 compactions: Some(views.compactions),
                 last_compaction_unix_ms: Some(views.last_compaction_unix_ms),
+                journal_bytes: journal.map(|j| j.bytes),
+                journal_frames_appended: journal.map(|j| j.frames_appended),
+                journal_frames_replayed: journal.map(|j| j.frames_replayed),
+                journal_frames_truncated: journal.map(|j| j.frames_truncated),
+                journal_fsyncs: journal.map(|j| j.fsyncs),
+                journal_last_rotation_generation: journal.map(|j| j.last_rotation_generation),
+                ..WireResponse::default()
+            });
+        }
+        // The shutdown admin frame starts a graceful drain: this response
+        // is acknowledged first (it flushes during the drain), the
+        // listener stops accepting, queued and in-flight requests finish
+        // under the bounded drain deadline, and the loop exits — the host
+        // process (see the CLI's `serve`) then runs its final checkpoint
+        // and journal fsync.
+        Some("shutdown") => {
+            drain.store(true, Ordering::Relaxed);
+            return Some(WireResponse {
+                id,
+                status: "ok".to_string(),
+                code: 200,
+                message: Some("draining: no new connections; in-flight requests finish".into()),
                 ..WireResponse::default()
             });
         }
@@ -508,7 +622,16 @@ fn handle_frame(
                     ));
                 }
             };
-            let outcome = service.append(records);
+            // Journal-first: a journaling service only acks after the
+            // batch is framed on disk, and `durable` tells the client
+            // whether it was fsynced under the journal's policy.
+            let outcome = match service.append(records) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    stats.errors.fetch_add(1, Ordering::Relaxed);
+                    return Some(WireResponse::from_core_error(id, &e));
+                }
+            };
             stats.appends.fetch_add(1, Ordering::Relaxed);
             return Some(WireResponse {
                 id,
@@ -516,6 +639,7 @@ fn handle_frame(
                 code: 200,
                 generation: Some(outcome.generation),
                 appended: Some(outcome.appended as u64),
+                durable: Some(outcome.durable),
                 ..WireResponse::default()
             });
         }
@@ -526,7 +650,8 @@ fn handle_frame(
                 400,
                 ERR_BAD_FRAME,
                 format!(
-                    "unknown target '{other}' (omit it for a query, or use \"status\" / \"append\")"
+                    "unknown target '{other}' (omit it for a query, or use \"status\" / \
+                     \"append\" / \"shutdown\")"
                 ),
             ));
         }

@@ -30,8 +30,10 @@
 //!
 //! perfxplain snapshot verify --snapshot <dir>
 //!     Fingerprint-check every segment without building any views: print
-//!     per-shard health and exit non-zero if any shard is damaged.  Never
-//!     modifies the store — quarantining happens only on salvage opens.
+//!     per-shard health, audit the append journal's frame checksums when
+//!     one is present, and exit non-zero if any shard or the journal is
+//!     damaged.  Never modifies the store — quarantining happens only on
+//!     salvage opens, torn-tail truncation only on real opens.
 //!
 //! perfxplain inspect --log log.json
 //!     Summarise an execution log: jobs, tasks, features, durations.
@@ -59,6 +61,7 @@
 //!                  [--addr HOST:PORT] [--workers N] [--budget UNITS]
 //!                  [--queue N] [--session-inflight N] [--session-pending N]
 //!                  [--timeout-ms MS] [--width N] [--checkpoint <dir>]
+//!                  [--fsync always|every:N|oncheckpoint] [--drain-ms MS]
 //!     Serve the log over the line-delimited JSON protocol: a non-blocking
 //!     TCP event loop in front of a bounded worker pool with cost-based
 //!     admission control (requests whose estimated cost does not fit the
@@ -69,13 +72,22 @@
 //!     appended since the last checkpoint — incrementally: clean base
 //!     shards are kept as-is and only the live tail is encoded, so a
 //!     serving process checkpoints without a stop-the-world re-encode.
-//!     Runs until killed.
+//!     With --fsync the checkpoint directory additionally carries a
+//!     write-ahead append journal: every wire append is framed and
+//!     checksummed into journal.bin before it is acknowledged, so a crash
+//!     between checkpoints loses nothing that was acked durable.  On
+//!     SIGINT/SIGTERM (or a `shutdown` admin frame) the server drains
+//!     gracefully — stops accepting, finishes in-flight requests within
+//!     --drain-ms (default 5000), then takes a final checkpoint and fsyncs
+//!     the journal before exiting.
 //!
 //! perfxplain append --addr HOST:PORT --log records.json
 //!     Append the records of a JSON execution log to a *running* server
 //!     over the wire.  The server extends its log in place and
 //!     delta-maintains the cached columnar views (the next query pays an
 //!     O(tail) refresh, not a rebuild), so serving continues uninterrupted.
+//!     Reports whether the whole drive was acknowledged durable (fsynced
+//!     into the server's append journal before each ack).
 //!
 //! perfxplain load --addr HOST:PORT --left ID --right ID
 //!                 [--connections N] [--requests N] [--query FILE.pxql]
@@ -141,6 +153,8 @@ impl Args {
                         | "connections"
                         | "requests"
                         | "checkpoint"
+                        | "fsync"
+                        | "drain-ms"
                 );
                 if takes_value {
                     let value = raw.get(i + 1).unwrap_or_else(|| {
@@ -513,7 +527,7 @@ fn ingest_into_snapshot(args: &Args, bundles: &[JobLogBundle], dir: &std::path::
 
 /// `snapshot save` / `snapshot open`.
 fn cmd_snapshot(action: &str, args: &Args) {
-    use perfxplain::snapshot;
+    use perfxplain::{snapshot, ExecutionKind};
 
     let dir = args
         .get("snapshot")
@@ -552,11 +566,32 @@ fn cmd_snapshot(action: &str, args: &Args) {
 
             let assemble_started = Instant::now();
             let perfxplain::SnapshotViews {
-                log,
+                mut log,
                 job: job_view,
                 task: task_view,
             } = snap.into_views();
             let assemble_secs = assemble_started.elapsed().as_secs_f64();
+
+            // Replay the append journal, if one is present: acked batches
+            // the last checkpoint missed belong to the log the user asked
+            // to open.  Frames carry the log position they were acked at,
+            // so already-checkpointed frames skip and a positional gap
+            // stops the replay conservatively — the same contract as the
+            // service's restart path.
+            let replay = snapshot::read_journal(dir).unwrap_or_else(|e| fail(&e.to_string()));
+            let mut replayed_rows = 0usize;
+            for batch in replay.batches {
+                let start = batch.start_rows as usize;
+                let count = batch.records.len();
+                if start.saturating_add(count) <= log.len() {
+                    continue;
+                }
+                if start != log.len() {
+                    break;
+                }
+                log.append(batch.records);
+                replayed_rows += count;
+            }
 
             println!(
                 "  open    : {:>10}  ({} shard(s), fingerprints verified)",
@@ -567,13 +602,29 @@ fn cmd_snapshot(action: &str, args: &Args) {
                 "  views   : {:>10}  (columns adopted from the decoded segments, no copy)",
                 ms(assemble_secs)
             );
+            if replayed_rows > 0 {
+                println!(
+                    "  journal : {} acked row(s) replayed past the last checkpoint{}",
+                    replayed_rows,
+                    if replay.frames_truncated > 0 {
+                        " (torn tail truncated)"
+                    } else {
+                        ""
+                    }
+                );
+            }
             report_snapshot_size(&usage_manifest);
+            // Per-kind counts come from the replayed log, not the decoded
+            // views — journal rows are part of the opened log even though
+            // the snapshot's cached views predate them.
+            debug_assert!(job_view.num_rows() <= log.rows_of_kind(ExecutionKind::Job));
+            debug_assert!(task_view.num_rows() <= log.rows_of_kind(ExecutionKind::Task));
             println!(
                 "opened {} rows ({} jobs / {} job features, {} tasks / {} task features)",
                 log.len(),
-                job_view.num_rows(),
+                log.rows_of_kind(ExecutionKind::Job),
                 log.job_catalog().len(),
-                task_view.num_rows(),
+                log.rows_of_kind(ExecutionKind::Task),
                 log.task_catalog().len()
             );
             if let Some(out) = args.get("out") {
@@ -603,16 +654,43 @@ fn cmd_snapshot(action: &str, args: &Args) {
                     }
                 }
             }
+            // The append journal rides along in the same directory; audit
+            // its frame checksums too (read-only — truncation of a torn
+            // tail happens only on a real open).
+            let journal = perfxplain::verify_journal(dir).unwrap_or_else(|e| fail(&e.to_string()));
+            let journal_damaged = !journal.is_healthy();
+            if journal.present {
+                match &journal.damage {
+                    None => println!(
+                        "  journal  : ok       {} byte(s), {} frame(s), {} record(s)",
+                        journal.bytes, journal.frames, journal.records
+                    ),
+                    Some(damage) => println!(
+                        "  journal  : DAMAGED  {} clean frame(s) then: {damage}",
+                        journal.frames
+                    ),
+                }
+            } else {
+                println!("  journal  : absent   (snapshot runs unjournaled)");
+            }
             println!(
                 "  verify  : {:>10}  ({} shard(s), fingerprints checked, no views built)",
                 ms(verify_secs),
                 health.len()
             );
-            if damaged > 0 {
-                eprintln!(
-                    "{damaged} of {} shard(s) damaged; a salvage open would quarantine them",
-                    health.len()
-                );
+            if damaged > 0 || journal_damaged {
+                if damaged > 0 {
+                    eprintln!(
+                        "{damaged} of {} shard(s) damaged; a salvage open would quarantine them",
+                        health.len()
+                    );
+                }
+                if journal_damaged {
+                    eprintln!(
+                        "the append journal is damaged; an open would truncate it to the last \
+                         clean frame"
+                    );
+                }
                 exit(1);
             }
             println!("all {} shard(s) healthy", health.len());
@@ -873,9 +951,36 @@ fn numeric_flag<T: std::str::FromStr>(args: &Args, name: &str) -> Option<T> {
     })
 }
 
-/// Serves the log over the network protocol until the process is killed.
+/// Set by the SIGINT/SIGTERM handler; polled by the serve loop.
+static SHUTDOWN_REQUESTED: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Minimal async-signal-safe handler: one relaxed store, nothing else.
+extern "C" fn on_shutdown_signal(_signum: i32) {
+    SHUTDOWN_REQUESTED.store(true, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Routes SIGINT and SIGTERM to [`on_shutdown_signal`] via libc's `signal`,
+/// so `Ctrl-C` and `kill` drain the server instead of dropping in-flight
+/// work.  Best-effort: on failure the process just keeps the default
+/// (immediate-exit) disposition, which the journal already tolerates.
+fn install_shutdown_handler() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    let handler = on_shutdown_signal as extern "C" fn(i32) as *const () as usize;
+    unsafe {
+        signal(SIGINT, handler);
+        signal(SIGTERM, handler);
+    }
+}
+
+/// Serves the log over the network protocol until killed or drained.
 fn cmd_serve(args: &Args) {
     use perfxplain::server::{spawn, QueryCost, SchedulerConfig, ServerConfig};
+    use perfxplain::{CoreError, FsyncPolicy};
     use std::sync::Arc;
 
     let explain_config = config_from(args);
@@ -935,9 +1040,47 @@ fn cmd_serve(args: &Args) {
         config.default_timeout =
             (timeout_ms > 0).then(|| std::time::Duration::from_millis(timeout_ms));
     }
+    if let Some(drain_ms) = numeric_flag::<u64>(args, "drain-ms") {
+        config.drain_timeout = std::time::Duration::from_millis(drain_ms);
+    }
 
     let rows = service.with_log(|log| log.len());
     let checkpoint_dir = args.get("checkpoint").map(std::path::PathBuf::from);
+    let fsync_policy = args.get("fsync").map(|raw| {
+        raw.parse::<FsyncPolicy>()
+            .unwrap_or_else(|e| fail(&format!("--fsync: {e}")))
+    });
+    if let Some(policy) = fsync_policy {
+        let dir = checkpoint_dir.as_deref().unwrap_or_else(|| {
+            fail("--fsync requires --checkpoint <dir> (the journal lives there)")
+        });
+        // The journal needs checkpoint lineage in its directory: a strict
+        // snapshot open from the same dir already has it, a salvage open
+        // or a --log start does not — establish it with one checkpoint.
+        if let Err(err) = service.enable_journal(dir, policy) {
+            match err {
+                CoreError::JournalNotAnchored { .. } => {
+                    let report = service
+                        .checkpoint(dir)
+                        .unwrap_or_else(|e| fail(&format!("cannot anchor the journal: {e}")));
+                    println!(
+                        "checkpointed {} rows to {} to anchor the append journal",
+                        report.rows,
+                        dir.display()
+                    );
+                    service
+                        .enable_journal(dir, policy)
+                        .unwrap_or_else(|e| fail(&format!("cannot enable the journal: {e}")));
+                }
+                other => fail(&format!("cannot enable the journal: {other}")),
+            }
+        }
+        println!(
+            "append journal enabled in {} (fsync policy: {policy})",
+            dir.display()
+        );
+    }
+    install_shutdown_handler();
     let service = Arc::new(service);
     let handle =
         spawn(Arc::clone(&service), config.clone()).unwrap_or_else(|e| fail(&e.to_string()));
@@ -951,13 +1094,24 @@ fn cmd_serve(args: &Args) {
         config.scheduler.max_inflight_per_session,
         config.scheduler.max_pending_per_session,
     );
-    // The handle owns the event loop; park this thread until the process is
-    // killed, reporting counters occasionally so operators see the shape of
-    // the load, and checkpointing the live tail when appends landed.
+    // The handle owns the event loop; park this thread polling for a
+    // shutdown signal (or a `shutdown` admin frame, which finishes the
+    // event loop on its own), reporting counters every ten seconds so
+    // operators see the shape of the load, and checkpointing the live tail
+    // when appends landed.
     let mut last = handle.stats();
     let mut checkpointed_generation = service.generation();
+    let report_every = std::time::Duration::from_secs(10);
+    let mut next_report = Instant::now() + report_every;
     loop {
-        std::thread::sleep(std::time::Duration::from_secs(10));
+        std::thread::sleep(std::time::Duration::from_millis(200));
+        if SHUTDOWN_REQUESTED.load(std::sync::atomic::Ordering::Relaxed) || handle.is_finished() {
+            break;
+        }
+        if Instant::now() < next_report {
+            continue;
+        }
+        next_report = Instant::now() + report_every;
         let stats = handle.stats();
         if stats != last {
             println!(
@@ -991,6 +1145,55 @@ fn cmd_serve(args: &Args) {
             }
         }
     }
+
+    // Graceful exit: stop accepting, let in-flight and queued requests
+    // finish within the drain deadline, then make the served state durable
+    // — one final checkpoint if anything was appended, and a journal fsync
+    // so even an OnCheckpoint policy leaves no unsynced frames behind.
+    println!(
+        "shutting down: draining in-flight requests (up to {} ms)...",
+        config.drain_timeout.as_millis()
+    );
+    let stats = handle.drain();
+    println!(
+        "drained; final counters: sessions {}  requests {}  answered {}  appends {}  \
+         shed {}  expired {}  errors {}",
+        stats.sessions_accepted,
+        stats.requests,
+        stats.answered,
+        stats.appends,
+        stats.shed,
+        stats.expired,
+        stats.errors
+    );
+    if let Some(dir) = &checkpoint_dir {
+        if service.generation() != checkpointed_generation {
+            match service.checkpoint(dir) {
+                Ok(report) => println!(
+                    "final checkpoint: {} rows to {} ({} shard(s) encoded, {} kept)",
+                    report.rows,
+                    dir.display(),
+                    report.shards_encoded,
+                    report.shards_reused
+                ),
+                Err(err) => eprintln!(
+                    "warning: final checkpoint to {} failed: {err}",
+                    dir.display()
+                ),
+            }
+        }
+    }
+    match service.sync_journal() {
+        Ok(()) => {
+            if let Some(stats) = service.journal_stats() {
+                println!(
+                    "journal synced: {} bytes, {} frame(s) appended, {} fsync(s)",
+                    stats.bytes, stats.frames_appended, stats.fsyncs
+                );
+            }
+        }
+        Err(err) => eprintln!("warning: final journal sync failed: {err}"),
+    }
 }
 
 /// Appends the records of a JSON execution log to a running server.
@@ -1010,14 +1213,19 @@ fn cmd_append(args: &Args) {
     // Batch to the server's frame cap: a multi-megabyte log streams as
     // many append requests over the one connection instead of one
     // oversized frame the server would reject.
-    let (appended, generation) = client
+    let ack = client
         .append_batched(log.records(), ServerConfig::default().max_frame_bytes)
         .unwrap_or_else(|e| fail(&format!("append failed: {e}")));
     println!(
-        "appended {} record(s) in {:.1} ms; served log is now at generation {}",
-        appended,
+        "appended {} record(s) in {:.1} ms; served log is now at generation {} ({})",
+        ack.appended,
         started.elapsed().as_secs_f64() * 1e3,
-        generation
+        ack.generation,
+        if ack.durable {
+            "durable: every batch fsynced to the server's journal before its ack"
+        } else {
+            "not durable: the server journals lazily or not at all"
+        }
     );
 }
 

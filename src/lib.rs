@@ -46,8 +46,12 @@
 //! // New executions append while serving: cached views splice them into an
 //! // O(tail) append segment instead of re-encoding the log.  Any other
 //! // mutation bumps the generation and invalidates the cached views
-//! // wholesale — stale answers are impossible either way.
-//! service.append(vec![ExecutionRecord::job("job_new")]);
+//! // wholesale — stale answers are impossible either way.  The returned
+//! // outcome says whether the append was fsynced to the write-ahead
+//! // journal before the ack (`durable` — always false here, where no
+//! // journal is enabled).
+//! let outcome = service.append(vec![ExecutionRecord::job("job_new")]).unwrap();
+//! assert!(!outcome.durable);
 //! service.with_log_mut(|log| log.rebuild_catalogs());
 //! ```
 //!
@@ -118,6 +122,29 @@
 //!   stop-the-world re-encode (CLI `perfxplain serve --checkpoint <dir>`).
 //!   Over the wire, a `"target": "append"` request (CLI `perfxplain
 //!   append`) does the same against a remote server.
+//! * **Durable appends** — a snapshot directory can additionally carry a
+//!   **write-ahead append journal**
+//!   ([`XplainService::enable_journal`](perfxplain_core::XplainService::enable_journal),
+//!   CLI `perfxplain serve --checkpoint <dir> --fsync <policy>`): every
+//!   append first writes a length-prefixed, fingerprint-checksummed record
+//!   frame to `journal.bin` and only then acknowledges, with the fsync
+//!   cadence set by [`FsyncPolicy`] — `always` (every ack durable),
+//!   `every:n` (amortized), or `oncheckpoint` (journal written, fsync
+//!   deferred; within ~10% of un-journaled throughput).  The wire append
+//!   response carries the `durable` verdict per batch.  On restart,
+//!   [`XplainService::open_snapshot`] replays the journal after the
+//!   manifest — torn or corrupt tails are **truncated at the last valid
+//!   frame**, never an error, and the replayed records splice through the
+//!   same delta path as live appends, so the service comes back warm with
+//!   its tail already in the views.  `checkpoint` and `persist` rotate the
+//!   journal atomically (new journal staged before the manifest rename,
+//!   reset only after the commit), so the journal only ever describes the
+//!   tail beyond the snapshot on disk.  [`verify_journal`] (CLI
+//!   `perfxplain snapshot verify`) audits the frame checksums read-only,
+//!   and the `status` probe reports journal bytes, frame counts, fsyncs
+//!   and the last rotation generation.  Graceful shutdown (SIGINT/SIGTERM
+//!   or a `shutdown` admin frame) drains in-flight requests under a
+//!   bounded deadline, then takes a final checkpoint and journal fsync.
 //! * **Networked serving** — [`server::spawn`] (CLI `perfxplain serve`)
 //!   puts a line-delimited JSON protocol in front of a warm service: a
 //!   single non-blocking event loop owns every connection while queries run
@@ -137,20 +164,26 @@
 //! Every IO and dispatch layer above carries named fault-injection sites
 //! ([`failpoints`], compiled in only under `--features failpoints`): the
 //! chaos suite (`tests/chaos.rs`) drives random fault schedules through
-//! persist/sync/open, the worker pool and the server sockets, asserting
-//! the store is always openable or salvageable and that salvage plus a
-//! targeted sync converges to the same views as a clean full ingest.
+//! persist/sync/open, the journal, the worker pool and the server sockets,
+//! asserting the store is always openable or salvageable and that salvage
+//! plus a targeted sync converges to the same views as a clean full
+//! ingest.  The durability invariant is proven both ways: a crash-prefix
+//! proptest truncates or bit-flips the journal at arbitrary byte offsets
+//! and asserts exactly the frames before the damage are recovered, and the
+//! CI crash-recovery smoke SIGKILLs a journaled server mid-append-storm
+//! and asserts zero acked-durable records lost on restart.
 
 pub use perfxplain_core::{
     assess, compute_pair_features, evaluate_on_log, generality, generate_explanation, narrate,
-    precision, prepare_training_set, relevance, split_log, train_test_round, Aggregate, BoundQuery,
-    CoreError, EvaluationResult, ExecutionKind, ExecutionLog, ExecutionRecord, ExplainConfig,
-    Explanation, ExplanationQuality, FeatureCatalog, FeatureDef, FeatureKind, FeatureLevel,
-    MetricEstimate, PairCatalog, PairExample, PairFeatureGroup, PairLabel, PartialSnapshot,
-    PerfXplain, QueryInput, QueryOutcome, QueryRequest, RecordShard, RuleOfThumb, ShardDamage,
-    ShardEntry, ShardHealth, ShardInput, SimButDiff, Snapshot, SnapshotManifest, SnapshotShard,
-    SnapshotUsage, SnapshotViews, SyncReport, Technique, TrainingSet, XplainService,
-    DEFAULT_SIM_THRESHOLD, DURATION_FEATURE, SNAPSHOT_VERSION,
+    precision, prepare_training_set, relevance, split_log, train_test_round, verify_journal,
+    Aggregate, BoundQuery, CoreError, EvaluationResult, ExecutionKind, ExecutionLog,
+    ExecutionRecord, ExplainConfig, Explanation, ExplanationQuality, FeatureCatalog, FeatureDef,
+    FeatureKind, FeatureLevel, FsyncPolicy, JournalHealth, JournalStats, MetricEstimate,
+    PairCatalog, PairExample, PairFeatureGroup, PairLabel, PartialSnapshot, PerfXplain, QueryInput,
+    QueryOutcome, QueryRequest, RecordShard, RuleOfThumb, ShardDamage, ShardEntry, ShardHealth,
+    ShardInput, SimButDiff, Snapshot, SnapshotManifest, SnapshotShard, SnapshotUsage,
+    SnapshotViews, SyncReport, Technique, TrainingSet, XplainService, DEFAULT_SIM_THRESHOLD,
+    DURATION_FEATURE, SNAPSHOT_VERSION,
 };
 
 // The fault-injection registry (a no-op unless the `failpoints` feature is

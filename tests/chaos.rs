@@ -24,7 +24,9 @@
 use perfxplain::failpoints::{self, Action};
 use perfxplain::server::{spawn, Client, SchedulerConfig, ServerConfig, WireRequest};
 use perfxplain::snapshot::{self, RecordShard, ShardInput, SnapshotViews};
-use perfxplain::{CoreError, ExecutionLog, ExecutionRecord, XplainService};
+use perfxplain::{
+    CoreError, ExecutionKind, ExecutionLog, ExecutionRecord, FsyncPolicy, XplainService,
+};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::io::ErrorKind;
@@ -418,6 +420,134 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
+// Journal crash-prefix recovery
+// ---------------------------------------------------------------------------
+
+/// The base snapshot for the journal tests: jobs *and* tasks, so both
+/// columnar views are cached on reopen and a replayed tail splices into
+/// them instead of triggering a from-scratch build.
+fn journal_base_log() -> ExecutionLog {
+    let mut log = small_log(16);
+    for i in 0..4 {
+        log.push(
+            ExecutionRecord::task(format!("base_task_{i}"), format!("job_{i}"))
+                .with_feature("tasktype", if i % 2 == 0 { "MAP" } else { "REDUCE" })
+                .with_feature("duration", 5.0 + i as f64),
+        );
+    }
+    log.rebuild_catalogs();
+    log
+}
+
+/// One journaled append batch: a couple of jobs plus a task, with unique
+/// ids per `(batch, row)` so recovered logs compare exactly.
+fn journal_batch(batch: usize, rows: usize) -> Vec<ExecutionRecord> {
+    (0..rows)
+        .flat_map(|row| {
+            let id = batch * 100 + row;
+            let job = ExecutionRecord::job(format!("jl_job_{id}"))
+                .with_feature("inputsize", 1.0e9 + id as f64)
+                .with_feature("blocksize", if id % 2 == 0 { 1024.0 } else { 64.0 })
+                .with_feature("duration", 60.0 + id as f64);
+            let task = ExecutionRecord::task(format!("jl_task_{id}"), format!("jl_job_{id}"))
+                .with_feature("tasktype", if id % 2 == 0 { "MAP" } else { "REDUCE" })
+                .with_feature("duration", 6.0 + id as f64);
+            [job, task]
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The durability invariant, attacked from the disk side: persist a
+    /// base snapshot, journal K batches under `fsync = Always` (every one
+    /// acked durable), then crash the journal at an arbitrary byte — cut
+    /// it off (torn tail) or flip the byte (bit rot).  The reopen must
+    /// never panic or error, must recover exactly the batches whose frames
+    /// lie entirely before the damage, and must serve views bit-identical
+    /// to a from-scratch build of the surviving records — warm, with no
+    /// full rebuild.
+    #[test]
+    fn crash_prefixes_of_the_journal_recover_exactly_the_acked_frames(
+        batches in 1usize..5,
+        rows in 1usize..4,
+        permille in 0u32..1001,
+        flip_coin in 0u32..2,
+    ) {
+        let flip = flip_coin == 1;
+        let _guard = serial();
+        let start = Instant::now();
+        failpoints::disarm_all();
+        let tag = format!("jprefix_{batches}_{rows}_{permille}_{flip}");
+        let dir = test_dir(&tag);
+
+        let service = XplainService::new(journal_base_log());
+        service.persist(&dir).expect("base persist");
+        service
+            .enable_journal(&dir, FsyncPolicy::Always)
+            .expect("journal anchors on the persisted dir");
+
+        // Append K batches; under Always every single ack is durable, and
+        // the journal byte size after each ack marks that frame's end.
+        let mut frame_ends = Vec::new();
+        for batch in 0..batches {
+            let outcome = service.append(journal_batch(batch, rows)).expect("append");
+            prop_assert!(outcome.durable, "fsync=Always must ack durable");
+            frame_ends.push(service.journal_stats().expect("journal enabled").bytes);
+        }
+        drop(service);
+
+        // Crash: damage the journal at an arbitrary byte offset.
+        let journal_path = dir.join(snapshot::JOURNAL_FILE);
+        let len = std::fs::metadata(&journal_path).unwrap().len();
+        let at = len * u64::from(permille) / 1000;
+        if flip {
+            let mut bytes = std::fs::read(&journal_path).unwrap();
+            let at = (at.min(len.saturating_sub(1))) as usize;
+            bytes[at] ^= 0xff;
+            std::fs::write(&journal_path, &bytes).unwrap();
+        } else {
+            let file = std::fs::OpenOptions::new()
+                .write(true)
+                .open(&journal_path)
+                .unwrap();
+            file.set_len(at).unwrap();
+        }
+        // Frames whose bytes all lie strictly before the damage survive;
+        // a flip at `at` wounds the frame containing that byte.
+        let damage_at = if flip {
+            at.min(len.saturating_sub(1))
+        } else {
+            at
+        };
+        let surviving = frame_ends.iter().filter(|end| **end <= damage_at).count();
+
+        // The reopen replays the surviving prefix — typed truncation, no
+        // panic, no error.
+        let reopened = XplainService::open_snapshot(&dir).expect("crash-damaged reopen");
+        let mut expected_log = journal_base_log();
+        for batch in 0..surviving {
+            expected_log.append(journal_batch(batch, rows));
+        }
+        let expected = XplainService::new(expected_log.clone());
+        prop_assert_eq!(reopened.snapshot(), expected_log);
+        let (recovered_job, scratch_job) =
+            (reopened.view(ExecutionKind::Job), expected.view(ExecutionKind::Job));
+        prop_assert_eq!(recovered_job.as_ref(), scratch_job.as_ref());
+        let (recovered_task, scratch_task) =
+            (reopened.view(ExecutionKind::Task), expected.view(ExecutionKind::Task));
+        prop_assert_eq!(recovered_task.as_ref(), scratch_task.as_ref());
+        // The replayed tail was spliced through the delta path: serving
+        // the views above never paid a from-scratch rebuild.
+        prop_assert_eq!(reopened.view_stats().full_rebuilds, 0);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+        prop_assert!(start.elapsed() < CEILING);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Worker pool
 // ---------------------------------------------------------------------------
 
@@ -517,9 +647,9 @@ fn server_connections_ride_through_transient_socket_faults() {
 // Wiring audit
 // ---------------------------------------------------------------------------
 
-/// Every documented snapshot site actually fires during a persist → corrupt
-/// → salvage round trip — a site that silently un-wires would turn the rest
-/// of this suite into a no-op.
+/// Every documented snapshot site actually fires during a persist →
+/// journal → corrupt → salvage round trip — a site that silently un-wires
+/// would turn the rest of this suite into a no-op.
 #[test]
 fn every_snapshot_failpoint_site_is_wired() {
     let _guard = serial();
@@ -528,6 +658,16 @@ fn every_snapshot_failpoint_site_is_wired() {
     let dir = test_dir("wired");
     snapshot::persist_shards(&dir, chaos_shards()).unwrap();
     snapshot::open(&dir).unwrap();
+
+    // Exercise the journal sites: an fsynced append (journal.write +
+    // journal.fsync), a checkpoint rotation (journal.write), and a reopen
+    // that replays the journal (journal.replay).
+    let service = XplainService::open_snapshot(&dir).unwrap();
+    service.enable_journal(&dir, FsyncPolicy::Always).unwrap();
+    service.append(journal_batch(0, 1)).unwrap();
+    service.checkpoint(&dir).unwrap();
+    drop(service);
+    XplainService::open_snapshot(&dir).unwrap();
 
     // Damage one segment so the salvage path (and its quarantine rename)
     // runs too.
@@ -551,6 +691,9 @@ fn every_snapshot_failpoint_site_is_wired() {
         "snapshot.segment.read",
         "snapshot.segment.decode",
         "snapshot.segment.quarantine",
+        "journal.write",
+        "journal.fsync",
+        "journal.replay",
     ] {
         assert!(hit.contains(site), "failpoint '{site}' never triggered");
     }

@@ -523,7 +523,8 @@ proptest! {
                             .with_feature("blocksize", 256.0)
                             .with_feature("pigscript", ["a.pig", "d.pig"][((h >> 8) % 2) as usize])
                             .with_feature("duration", 400.0 + (h % 300) as f64),
-                    ]);
+                    ])
+                    .expect("unjournaled append is infallible");
                 }
                 // Append a record carrying a brand-new feature: the batch
                 // catalog differs, the rewrite watermark moves, and the
@@ -534,7 +535,8 @@ proptest! {
                         ExecutionRecord::job(format!("appended_{extra}"))
                             .with_feature(format!("knob_{extra}"), (h % 10) as f64)
                             .with_feature("duration", 500.0),
-                    ]);
+                    ])
+                    .expect("unjournaled append is infallible");
                 }
                 // Non-append mutation: unconditional eviction path.
                 4 => service.with_log_mut(|log| {
