@@ -412,28 +412,33 @@ struct JournalSeed {
 /// journal generation **before** the manifest commits (a crash in between
 /// still finds the old journal covering the old manifest's tail), swap it
 /// in only after.  A failed write aborts the staged rotation and leaves
-/// the old journal authoritative.
+/// the old journal authoritative.  A failed *swap* after the manifest
+/// committed deactivates journaling: the commit already unlinked the old
+/// `journal.bin`, so a handle stuck on the old inode would keep acking
+/// durability recovery could never find.
 fn with_journal_rotation(
-    journal: Option<&mut crate::snapshot::Journal>,
+    journal: &mut Option<crate::snapshot::Journal>,
     dir: &std::path::Path,
     write: impl FnOnce() -> Result<crate::snapshot::SyncReport>,
 ) -> Result<crate::snapshot::SyncReport> {
-    match journal {
-        Some(journal) if journal.dir() == dir => {
-            journal.sync()?;
-            journal.begin_rotation()?;
-            match write() {
-                Ok(report) => {
-                    journal.commit_rotation(report.manifest.generation)?;
-                    Ok(report)
-                }
-                Err(err) => {
-                    journal.abort_rotation();
-                    Err(err)
-                }
+    if !matches!(journal.as_ref(), Some(j) if j.dir() == dir) {
+        return write();
+    }
+    let j = journal.as_mut().expect("matched Some above");
+    j.sync()?;
+    j.begin_rotation()?;
+    match write() {
+        Ok(report) => {
+            if let Err(err) = j.commit_rotation(report.manifest.generation) {
+                *journal = None;
+                return Err(err);
             }
+            Ok(report)
         }
-        _ => write(),
+        Err(err) => {
+            j.abort_rotation();
+            Err(err)
+        }
     }
 }
 
@@ -637,7 +642,7 @@ impl XplainService {
     pub fn persist(&self, dir: &std::path::Path) -> Result<crate::snapshot::SyncReport> {
         let mut journal = self.journal.lock().expect("journal lock poisoned");
         let log = self.read_log();
-        let report = with_journal_rotation(journal.as_mut(), dir, || {
+        let report = with_journal_rotation(&mut journal, dir, || {
             crate::snapshot::persist(&log, dir, crate::shard::hardware_threads())
         })?;
         *self.checkpoint.lock().expect("checkpoint lock poisoned") = Some(CheckpointState {
@@ -668,7 +673,7 @@ impl XplainService {
             Some(s) if s.dir == dir && s.rows <= log.len() => Some(s.rows),
             _ => None,
         };
-        let report = with_journal_rotation(journal.as_mut(), dir, || match incremental_from {
+        let report = with_journal_rotation(&mut journal, dir, || match incremental_from {
             Some(rows) => crate::snapshot::sync_append(dir, log.records()[rows..].to_vec()),
             None => crate::snapshot::persist(&log, dir, crate::shard::hardware_threads()),
         })?;
@@ -768,9 +773,22 @@ impl XplainService {
     pub fn append(&self, records: Vec<ExecutionRecord>) -> Result<AppendOutcome> {
         let mut journal = self.journal.lock().expect("journal lock poisoned");
         let durable = match journal.as_mut() {
-            Some(journal) => {
+            Some(j) => {
                 let start_rows = self.read_log().len() as u64;
-                journal.append_batch(start_rows, &records)?
+                match j.append_batch(start_rows, &records) {
+                    Ok(durable) => durable,
+                    Err(err) => {
+                        // A failed append normally scrubs its frame and the
+                        // journal stays live; if the scrub itself failed an
+                        // unacknowledged frame is stuck at the acked cursor
+                        // and any later frame would be shadowed by it on
+                        // replay — stop journaling rather than desync.
+                        if j.is_broken() {
+                            *journal = None;
+                        }
+                        return Err(err);
+                    }
+                }
             }
             None => false,
         };

@@ -2335,6 +2335,11 @@ pub struct Journal {
     fsyncs: u64,
     unsynced_frames: u64,
     last_rotation_generation: u64,
+    /// Set when a failed append could not be scrubbed off the file: an
+    /// unacknowledged frame sits at the acked cursor, so any further
+    /// frame this journal wrote could be shadowed by it on replay.  The
+    /// owner must stop journaling ([`Journal::is_broken`]).
+    broken: bool,
 }
 
 impl Journal {
@@ -2398,6 +2403,7 @@ impl Journal {
             fsyncs: 0,
             unsynced_frames: 0,
             last_rotation_generation: 0,
+            broken: false,
         };
         if reset || len < JOURNAL_HEADER_BYTES {
             journal.write_at(0, &journal_header_bytes())?;
@@ -2468,10 +2474,54 @@ impl Journal {
     /// Appends one acknowledged batch as a frame and applies the fsync
     /// policy.  Returns whether the batch is **durable** (fsynced before
     /// the acknowledgement).  On error nothing must be acknowledged — the
-    /// caller aborts the in-memory append.
+    /// caller aborts the in-memory append, and the frame is scrubbed back
+    /// off the file so it can never replay in place of a *later* acked
+    /// frame at the same position (if even the scrub fails the journal
+    /// reports [`Journal::is_broken`] and must be deactivated).
     pub fn append_batch(&mut self, start_rows: u64, records: &[ExecutionRecord]) -> Result<bool> {
+        if self.broken {
+            return Err(io_error(
+                &self.path,
+                std::io::Error::other(
+                    "journal is broken: a failed append left an unacknowledged frame \
+                     that could not be scrubbed",
+                ),
+            ));
+        }
         let frame = encode_journal_frame(start_rows, records);
-        self.write_at(self.bytes, &frame)?;
+        let pre_bytes = self.bytes;
+        let pre_appended = self.frames_appended;
+        let pre_unsynced = self.unsynced_frames;
+        let result = self.append_frame(&frame);
+        if result.is_err() {
+            // The frame (whole or torn) may be on disk but was never
+            // acknowledged.  Truncate back to the pre-frame offset and
+            // restore the counters: the journal stays active and the next
+            // acked frame lands at the same position this one vacated.
+            // If the truncate itself fails, an unacknowledged frame is
+            // stuck at the acked cursor and would shadow whatever acked
+            // frame is written there next — mark the journal broken so
+            // the owner stops journaling instead of desyncing replay.
+            self.bytes = pre_bytes;
+            self.frames_appended = pre_appended;
+            self.unsynced_frames = pre_unsynced;
+            let file = &mut self.file;
+            if with_io_retry(&self.retries, || file.set_len(pre_bytes)).is_err() {
+                self.broken = true;
+            }
+        }
+        result
+    }
+
+    /// Whether a failed append left an unacknowledged frame on disk that
+    /// could not be scrubbed — the journal must not be used for further
+    /// appends (see [`Journal::append_batch`]).
+    pub fn is_broken(&self) -> bool {
+        self.broken
+    }
+
+    fn append_frame(&mut self, frame: &[u8]) -> Result<bool> {
+        self.write_at(self.bytes, frame)?;
         self.bytes += frame.len() as u64;
         self.frames_appended += 1;
         self.unsynced_frames += 1;
@@ -2533,6 +2583,9 @@ impl Journal {
         self.bytes = JOURNAL_HEADER_BYTES;
         self.unsynced_frames = 0;
         self.last_rotation_generation = generation;
+        // The swap discarded the old file wholesale, and with it any
+        // unacknowledged frame a failed scrub left behind.
+        self.broken = false;
         Ok(())
     }
 

@@ -179,7 +179,10 @@ impl Client {
     /// Asks the server to drain and shut down (the `"shutdown"` admin
     /// frame): it stops accepting new connections, finishes queued and
     /// in-flight requests within its drain deadline, and exits.  Returns
-    /// the acknowledgement; the connection is useless afterwards.
+    /// the acknowledgement; the connection is useless afterwards.  Servers
+    /// honor the frame only from loopback peers unless they opted into
+    /// `allow_remote_shutdown` — a remote client gets a 403 `forbidden`
+    /// response and the server keeps serving.
     pub fn shutdown(&mut self) -> std::io::Result<WireResponse> {
         self.call(&WireRequest {
             target: Some("shutdown".to_string()),

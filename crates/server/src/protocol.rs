@@ -160,6 +160,9 @@ pub const ERR_CANCELLED: &str = "cancelled";
 /// The frame was not a valid protocol request (bad JSON, missing query,
 /// oversized line).
 pub const ERR_BAD_FRAME: &str = "bad_frame";
+/// The peer is not allowed to use this admin target (e.g. `shutdown`
+/// from a non-loopback connection without `allow_remote_shutdown`).
+pub const ERR_FORBIDDEN: &str = "forbidden";
 /// The PXQL text failed to parse or bind.
 pub const ERR_PXQL: &str = "pxql";
 /// An execution id is not in the served log.

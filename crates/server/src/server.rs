@@ -51,6 +51,12 @@ pub struct ServerConfig {
     /// `shutdown` admin frame) waits for queued and in-flight requests to
     /// finish before the loop exits anyway.
     pub drain_timeout: Duration,
+    /// Accept the `shutdown` admin frame from non-loopback peers.  Off by
+    /// default: on an otherwise query/append-only protocol, letting any
+    /// reachable client drain and terminate the process is a remote
+    /// denial-of-service.  Loopback connections may always shut the
+    /// server down (that is how the CLI's own tooling does it).
+    pub allow_remote_shutdown: bool,
 }
 
 impl Default for ServerConfig {
@@ -63,6 +69,7 @@ impl Default for ServerConfig {
             max_frame_bytes: 1 << 20,
             max_write_buffer: 4 << 20,
             drain_timeout: Duration::from_secs(5),
+            allow_remote_shutdown: false,
         }
     }
 }
@@ -205,6 +212,10 @@ struct Session {
     /// Close after the write buffer drains (protocol violation already
     /// answered with a typed error).
     close_after_flush: bool,
+    /// Whether the peer connected over a loopback address — admin frames
+    /// like `shutdown` are restricted to loopback unless
+    /// [`ServerConfig::allow_remote_shutdown`] opts out.
+    peer_loopback: bool,
 }
 
 /// Binds the listener and spawns the event-loop thread.  Returns as soon as
@@ -277,7 +288,7 @@ fn event_loop(
                     break;
                 }
                 match listener.accept() {
-                    Ok((stream, _)) => {
+                    Ok((stream, peer)) => {
                         if stream.set_nonblocking(true).is_err() {
                             continue;
                         }
@@ -289,6 +300,7 @@ fn event_loop(
                                 read_buf: Vec::new(),
                                 write_buf: Vec::new(),
                                 close_after_flush: false,
+                                peer_loopback: peer.ip().is_loopback(),
                             },
                         );
                         next_session += 1;
@@ -348,6 +360,7 @@ fn event_loop(
                     &config,
                     started,
                     drain,
+                    session.peer_loopback,
                 ) {
                     session
                         .write_buf
@@ -527,6 +540,7 @@ fn handle_frame(
     config: &ServerConfig,
     started: Instant,
     drain: &Arc<AtomicBool>,
+    peer_loopback: bool,
 ) -> Option<WireResponse> {
     let wire = match protocol::decode_request(frame) {
         Ok(wire) => wire,
@@ -585,8 +599,19 @@ fn handle_frame(
         // listener stops accepting, queued and in-flight requests finish
         // under the bounded drain deadline, and the loop exits — the host
         // process (see the CLI's `serve`) then runs its final checkpoint
-        // and journal fsync.
+        // and journal fsync.  Only loopback peers may use it unless the
+        // server opted into remote shutdown.
         Some("shutdown") => {
+            if !peer_loopback && !config.allow_remote_shutdown {
+                stats.errors.fetch_add(1, Ordering::Relaxed);
+                return Some(WireResponse::error(
+                    id,
+                    403,
+                    protocol::ERR_FORBIDDEN,
+                    "shutdown is restricted to loopback connections \
+                     (enable allow_remote_shutdown to accept it remotely)",
+                ));
+            }
             drain.store(true, Ordering::Relaxed);
             return Some(WireResponse {
                 id,
@@ -811,4 +836,63 @@ fn build_query_request(
         request = request.with_cancel(CancelToken::with_deadline(deadline));
     }
     request
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use perfxplain_core::ExecutionLog;
+
+    /// The `shutdown` admin frame is loopback-only by default: a remote
+    /// peer gets a typed 403 and the drain flag stays clear, while a
+    /// loopback peer — or a remote one once the server opted into
+    /// `allow_remote_shutdown` — starts the drain.
+    #[test]
+    fn shutdown_frame_is_gated_to_loopback_unless_opted_in() {
+        let service = Arc::new(XplainService::new(ExecutionLog::new()));
+        let pool = Arc::new(WorkerPool::new(1));
+        let scheduler = Scheduler::new(pool, SchedulerConfig::default());
+        let (completions, _responses) = mpsc::channel();
+        let stats = Arc::new(ServerStats::default());
+        let config = ServerConfig::default();
+        let drain = Arc::new(AtomicBool::new(false));
+        let started = Instant::now();
+        let frame = br#"{"id":1,"target":"shutdown"}"#;
+        let call = |config: &ServerConfig, peer_loopback: bool| {
+            handle_frame(
+                1,
+                frame,
+                &service,
+                &scheduler,
+                &completions,
+                &stats,
+                config,
+                started,
+                &drain,
+                peer_loopback,
+            )
+            .expect("shutdown is answered immediately")
+        };
+
+        // Remote peer, default config: refused, the server keeps serving.
+        let refused = call(&config, false);
+        assert_eq!(refused.code, 403);
+        assert_eq!(refused.error.as_deref(), Some(protocol::ERR_FORBIDDEN));
+        assert!(!drain.load(Ordering::Relaxed));
+
+        // Loopback peer: honored.
+        let honored = call(&config, true);
+        assert_eq!(honored.code, 200);
+        assert!(drain.load(Ordering::Relaxed));
+
+        // Remote peer on a server that opted into remote shutdown.
+        drain.store(false, Ordering::Relaxed);
+        let opted = ServerConfig {
+            allow_remote_shutdown: true,
+            ..ServerConfig::default()
+        };
+        let honored = call(&opted, false);
+        assert_eq!(honored.code, 200);
+        assert!(drain.load(Ordering::Relaxed));
+    }
 }

@@ -62,6 +62,7 @@
 //!                  [--queue N] [--session-inflight N] [--session-pending N]
 //!                  [--timeout-ms MS] [--width N] [--checkpoint <dir>]
 //!                  [--fsync always|every:N|oncheckpoint] [--drain-ms MS]
+//!                  [--allow-remote-shutdown]
 //!     Serve the log over the line-delimited JSON protocol: a non-blocking
 //!     TCP event loop in front of a bounded worker pool with cost-based
 //!     admission control (requests whose estimated cost does not fit the
@@ -79,7 +80,8 @@
 //!     SIGINT/SIGTERM (or a `shutdown` admin frame) the server drains
 //!     gracefully — stops accepting, finishes in-flight requests within
 //!     --drain-ms (default 5000), then takes a final checkpoint and fsyncs
-//!     the journal before exiting.
+//!     the journal before exiting.  The `shutdown` frame is honored only
+//!     from loopback connections unless --allow-remote-shutdown is set.
 //!
 //! perfxplain append --addr HOST:PORT --log records.json
 //!     Append the records of a JSON execution log to a *running* server
@@ -1043,6 +1045,9 @@ fn cmd_serve(args: &Args) {
     if let Some(drain_ms) = numeric_flag::<u64>(args, "drain-ms") {
         config.drain_timeout = std::time::Duration::from_millis(drain_ms);
     }
+    // Off by default: the shutdown admin frame is otherwise a remote
+    // denial-of-service on a query/append-only protocol.
+    config.allow_remote_shutdown = args.has("allow-remote-shutdown");
 
     let rows = service.with_log(|log| log.len());
     let checkpoint_dir = args.get("checkpoint").map(std::path::PathBuf::from);

@@ -547,6 +547,113 @@ proptest! {
     }
 }
 
+/// A failed fsync must not desync the journal: the unacknowledged frame is
+/// scrubbed back off the file, the journal stays live, and the next acked
+/// frame lands at the position the failed one vacated — so a crash replay
+/// recovers exactly the acked batches, never resurrects the failed one,
+/// and never skips an acked frame written after the fault.
+#[test]
+fn failed_fsync_rolls_the_frame_back_and_later_acked_frames_replay() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let dir = test_dir("jfsync_rollback");
+
+    let service = XplainService::new(journal_base_log());
+    service.persist(&dir).expect("base persist");
+    service
+        .enable_journal(&dir, FsyncPolicy::Always)
+        .expect("journal anchors on the persisted dir");
+
+    let first = service.append(journal_batch(0, 2)).expect("first append");
+    assert!(first.durable);
+    let bytes_after_first = service.journal_stats().expect("journal enabled").bytes;
+
+    // A hard (non-transient) fsync fault: the append errors, nothing is
+    // acknowledged, and the frame is rolled back off the file.
+    failpoints::script(
+        "journal.fsync",
+        &[Action::IoError(ErrorKind::PermissionDenied)],
+    );
+    service
+        .append(journal_batch(1, 2))
+        .expect_err("fsync fault must fail the append");
+    failpoints::disarm_all();
+    let stats = service.journal_stats().expect("journal stays active");
+    assert_eq!(
+        stats.bytes, bytes_after_first,
+        "the unacknowledged frame must be scrubbed off the journal"
+    );
+
+    // The journal is still live: the next batch acks durable into the
+    // vacated position.
+    let third = service
+        .append(journal_batch(2, 2))
+        .expect("appends keep working after the fault");
+    assert!(third.durable);
+    drop(service);
+
+    // Crash replay recovers exactly the acked batches: batch 1 (failed,
+    // never acked) must not resurrect, batch 2 (acked durable after the
+    // fault) must not be shadowed or dropped.
+    let reopened = XplainService::open_snapshot(&dir).expect("reopen");
+    let mut expected = journal_base_log();
+    expected.append(journal_batch(0, 2));
+    expected.append(journal_batch(2, 2));
+    assert_eq!(reopened.snapshot(), expected);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(start.elapsed() < CEILING);
+}
+
+/// A checkpoint whose journal-rotation swap fails *after* the manifest
+/// committed must deactivate journaling: the commit already unlinked the
+/// old `journal.bin`, so a handle stuck on the old inode would keep acking
+/// "durable" frames recovery could never find.
+#[test]
+fn failed_rotation_swap_deactivates_journaling_instead_of_lying() {
+    let _guard = serial();
+    let start = Instant::now();
+    failpoints::disarm_all();
+    let dir = test_dir("jrotate_swap");
+
+    let service = XplainService::new(journal_base_log());
+    service.persist(&dir).expect("base persist");
+    service
+        .enable_journal(&dir, FsyncPolicy::Always)
+        .expect("journal anchors on the persisted dir");
+    service.append(journal_batch(0, 2)).expect("append");
+
+    // `journal.write` fires once in begin_rotation (staging the next
+    // generation: pass) and once in commit_rotation (the rename after the
+    // manifest committed: fail hard).
+    failpoints::script(
+        "journal.write",
+        &[Action::Pass, Action::IoError(ErrorKind::PermissionDenied)],
+    );
+    service
+        .checkpoint(&dir)
+        .expect_err("the failed swap must surface");
+    failpoints::disarm_all();
+
+    // Journaling deactivated: appends keep working but no longer claim a
+    // durability they cannot deliver.
+    assert!(service.journal_stats().is_none());
+    let outcome = service
+        .append(journal_batch(1, 2))
+        .expect("appends continue un-journaled");
+    assert!(!outcome.durable);
+
+    // And the committed checkpoint is intact on disk.
+    let reopened = XplainService::open_snapshot(&dir).expect("reopen");
+    let mut expected = journal_base_log();
+    expected.append(journal_batch(0, 2));
+    assert_eq!(reopened.snapshot(), expected);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+    assert!(start.elapsed() < CEILING);
+}
+
 // ---------------------------------------------------------------------------
 // Worker pool
 // ---------------------------------------------------------------------------
